@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Extension ablation — dilation itself, simulated head to head.
+ *
+ * The architecture's central bet (Section 2) is that dilated
+ * routers — multiple equivalent outputs per logical direction —
+ * buy congestion relief and fault tolerance that a plain butterfly
+ * cannot have. This bench builds both 64-endpoint networks and
+ * runs identical workloads:
+ *
+ *   butterfly      radix-4, dilation 1, one endpoint port:
+ *                  exactly ONE path per endpoint pair;
+ *   multibutterfly the Figure 3 network (dilation 2/2/1, two
+ *                  endpoint ports): 8 paths per pair.
+ *
+ * Compared: saturated throughput, hotspot behaviour, and the
+ * consequence of a single mid-stage router death — the butterfly
+ * *partitions* (some pairs become unreachable and their messages
+ * are abandoned) while the multibutterfly merely retries around
+ * the corpse.
+ */
+
+#include <cstdio>
+
+#include "network/analysis.hh"
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+namespace
+{
+
+using namespace metro;
+
+/** A plain radix-4 butterfly: dilation 1 everywhere, one port. */
+MultibutterflySpec
+butterflySpec(std::uint64_t seed)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 64;
+    spec.endpointPorts = 1;
+    spec.seed = seed;
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 1024;
+    spec.niConfig.maxAttempts = 100000;
+
+    RouterParams p;
+    p.width = 8;
+    p.numForward = 4;
+    p.numBackward = 4;
+    p.maxDilation = 2;
+
+    MbStageSpec st;
+    st.params = p;
+    st.radix = 4;
+    st.dilation = 1;
+    spec.stages = {st, st, st};
+    return spec;
+}
+
+ExperimentResult
+saturate(Network &net, TrafficPattern pattern, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.messageWords = 20;
+    cfg.warmup = 1500;
+    cfg.measure = 10000;
+    cfg.thinkTime = 0;
+    cfg.pattern = pattern;
+    cfg.hotNode = 21;
+    cfg.hotFraction = 0.2;
+    cfg.seed = seed;
+    return runClosedLoop(net, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Dilation ablation: plain butterfly vs the Figure 3 "
+                "multibutterfly (simulated)\n\n");
+
+    const auto b_spec = butterflySpec(41);
+    const auto m_spec = fig3Spec(41);
+    auto butterfly = buildMultibutterfly(b_spec);
+    auto multi = buildMultibutterfly(m_spec);
+
+    std::printf("%-16s %10s %10s %12s\n", "network", "routers",
+                "links", "paths/pair");
+    std::printf("%-16s %10zu %10zu %12llu\n", "butterfly",
+                butterfly->numRouters(), butterfly->numLinks(),
+                static_cast<unsigned long long>(
+                    countPaths(*butterfly, b_spec, 0, 63)));
+    std::printf("%-16s %10zu %10zu %12llu\n\n", "multibutterfly",
+                multi->numRouters(), multi->numLinks(),
+                static_cast<unsigned long long>(
+                    countPaths(*multi, m_spec, 0, 63)));
+
+    std::printf("— saturating uniform traffic —\n");
+    std::printf("%-16s %10s %10s %10s %12s\n", "network", "load",
+                "latency", "p95", "attempts");
+    const auto b_uni = saturate(*butterfly,
+                                TrafficPattern::UniformRandom, 3);
+    const auto m_uni =
+        saturate(*multi, TrafficPattern::UniformRandom, 3);
+    std::printf("%-16s %10.4f %10.1f %10llu %12.3f\n", "butterfly",
+                b_uni.achievedLoad, b_uni.latency.mean(),
+                static_cast<unsigned long long>(
+                    b_uni.latency.percentile(95)),
+                b_uni.attempts.mean());
+    std::printf("%-16s %10.4f %10.1f %10llu %12.3f\n\n",
+                "multibutterfly", m_uni.achievedLoad,
+                m_uni.latency.mean(),
+                static_cast<unsigned long long>(
+                    m_uni.latency.percentile(95)),
+                m_uni.attempts.mean());
+
+    std::printf("— single stage-1 router death under load —\n");
+    std::printf("%-16s %12s %12s %14s\n", "network", "delivered",
+                "abandoned", "connectivity");
+    bool ok = true;
+    {
+        auto hurt = buildMultibutterfly(butterflySpec(41));
+        auto spec = butterflySpec(41);
+        // Bounded retries so unreachable messages resolve.
+        // (Rebuild with the bound; same wiring seed.)
+        spec.niConfig.maxAttempts = 24;
+        hurt = buildMultibutterfly(spec);
+        hurt->router(hurt->routersInStage(1)[3]).setDead(true);
+        const bool connected = allPairsConnected(*hurt, spec);
+        const auto r =
+            saturate(*hurt, TrafficPattern::UniformRandom, 9);
+        std::printf("%-16s %12llu %12llu %14s\n", "butterfly",
+                    static_cast<unsigned long long>(
+                        r.completedMessages),
+                    static_cast<unsigned long long>(
+                        r.gaveUpMessages),
+                    connected ? "intact" : "PARTITIONED");
+        // The whole point: a butterfly cannot lose a router.
+        if (connected || r.gaveUpMessages == 0)
+            ok = false;
+    }
+    {
+        auto spec = fig3Spec(41);
+        auto hurt = buildMultibutterfly(spec);
+        hurt->router(hurt->routersInStage(1)[3]).setDead(true);
+        const bool connected = allPairsConnected(*hurt, spec);
+        const auto r =
+            saturate(*hurt, TrafficPattern::UniformRandom, 9);
+        std::printf("%-16s %12llu %12llu %14s\n", "multibutterfly",
+                    static_cast<unsigned long long>(
+                        r.completedMessages),
+                    static_cast<unsigned long long>(
+                        r.gaveUpMessages),
+                    connected ? "intact" : "PARTITIONED");
+        if (!connected || r.gaveUpMessages != 0 ||
+            r.unresolvedMessages != 0)
+            ok = false;
+    }
+
+    std::printf("\nthe multibutterfly spends ~2x the router silicon "
+                "(8-port vs 4-port parts, two\nendpoint ports) and "
+                "buys 8 disjoint paths per pair: higher saturated "
+                "load,\nflatter tails, and — the paper's point — no "
+                "single component can partition it.\n");
+    std::printf("\ndilation ablation %s\n",
+                ok ? "REPRODUCED" : "NOT reproduced");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * E7 — ablation of fast path reclamation (Section 5.1, "Path
+ * Reclamation — Fast and Detailed").
+ *
+ * Fast mode releases a blocked connection's resources immediately
+ * via the backward control bit; detailed mode holds the whole
+ * partial path until the source's TURN comes back with a blocked
+ * STATUS word. Under contention, fast reclamation frees backward
+ * ports sooner and resolves blocked attempts in a fraction of the
+ * cycles — the paper's rationale for making the mode per-forward-
+ * port configurable.
+ */
+
+#include <cstdio>
+
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+int
+main()
+{
+    using namespace metro;
+
+    std::printf("Ablation: fast path reclamation vs. detailed "
+                "blocking replies\n(Figure 3 network, saturating "
+                "closed-loop 20-byte traffic)\n\n");
+    std::printf("%-10s %10s %10s %10s %10s %12s %12s\n", "mode",
+                "load", "latency", "p95", "attempts", "blocks",
+                "blockInfo");
+
+    double fast_load = 0, detailed_load = 0;
+    double fast_lat = 0, detailed_lat = 0;
+    for (bool fast : {true, false}) {
+        auto spec = fig3Spec(/*seed=*/111);
+        spec.fastReclaim = fast;
+        auto net = buildMultibutterfly(spec);
+
+        ExperimentConfig cfg;
+        cfg.messageWords = 20;
+        cfg.warmup = 2000;
+        cfg.measure = 15000;
+        cfg.thinkTime = 0;
+        cfg.seed = 222;
+        const auto r = runClosedLoop(*net, cfg);
+
+        // In fast mode the source learns only the stage (via the
+        // BCB); in detailed mode it gets the blocking router's
+        // STATUS word and checksum.
+        const char *info = fast ? "stage only" : "router+crc";
+        std::printf("%-10s %10.4f %10.2f %10llu %10.3f %12llu "
+                    "%12s\n",
+                    fast ? "fast" : "detailed", r.achievedLoad,
+                    r.latency.mean(),
+                    static_cast<unsigned long long>(
+                        r.latency.percentile(95)),
+                    r.attempts.mean(),
+                    static_cast<unsigned long long>(
+                        r.routerTotals.get("blocks")),
+                    info);
+        (fast ? fast_load : detailed_load) = r.achievedLoad;
+        (fast ? fast_lat : detailed_lat) = r.latency.mean();
+    }
+
+    std::printf("\nfast reclamation delivers %.1f%% more load at "
+                "%.1f%% lower mean latency\n",
+                (fast_load / detailed_load - 1.0) * 100.0,
+                (1.0 - fast_lat / detailed_lat) * 100.0);
+    const bool ok = fast_load > detailed_load &&
+                    fast_lat < detailed_lat;
+    std::printf("expected ordering (fast wins under saturation) "
+                "%s\n", ok ? "REPRODUCED" : "NOT reproduced");
+    return ok ? 0 : 1;
+}

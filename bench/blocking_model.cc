@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Extension — analytic blocking model vs. cycle-accurate simulation
+ * (the analysis style of the paper's refs [2][3]).
+ *
+ * The time-slot model predicts per-attempt acceptance and expected
+ * attempts per message from the offered load; the simulator
+ * measures them. The model ignores holding times and retry
+ * correlation, so absolute values drift at saturation, but the
+ * shape — where contention sets in, how dilation softens it — must
+ * agree.
+ */
+
+#include <cstdio>
+
+#include "model/blocking.hh"
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+int
+main()
+{
+    using namespace metro;
+
+    std::printf("Analytic blocking model vs simulation "
+                "(Figure 3 network)\n\n");
+    std::printf("%8s %14s %14s %14s %14s\n", "think", "sim load",
+                "sim attempts", "model accept", "model attempts");
+
+    const auto spec = fig3Spec(2024);
+    bool shape_ok = true;
+    double prev_model = 0.0, prev_sim = 0.0;
+    for (unsigned think : {800u, 200u, 50u, 10u, 0u}) {
+        auto net = buildMultibutterfly(spec);
+        ExperimentConfig cfg;
+        cfg.messageWords = 20;
+        cfg.warmup = 1500;
+        cfg.measure = 10000;
+        cfg.thinkTime = think;
+        cfg.seed = 99;
+        const auto r = runClosedLoop(*net, cfg);
+
+        // Feed the model the measured channel occupancy: an
+        // endpoint port is busy `load` of the time.
+        const double injection = r.achievedLoad;
+        const double acceptance =
+            networkAcceptance(spec, injection);
+        const double attempts = expectedAttempts(spec, injection);
+
+        std::printf("%8u %14.4f %14.3f %14.4f %14.3f\n", think,
+                    r.achievedLoad, r.attempts.mean(), acceptance,
+                    attempts);
+
+        // Shape agreement: both must be monotone in load.
+        if (attempts < prev_model - 1e-9 ||
+            r.attempts.mean() < prev_sim - 0.05)
+            shape_ok = false;
+        prev_model = attempts;
+        prev_sim = r.attempts.mean();
+    }
+
+    std::printf("\n— dilation ablation at fixed load (analytic) "
+                "—\n");
+    std::printf("%10s %14s %14s\n", "dilation", "acceptance",
+                "attempts");
+    for (unsigned d : {1u, 2u, 4u}) {
+        // One stage, radix 4, i = 4d so the stage stays balanced.
+        MultibutterflySpec s;
+        s.numEndpoints = 4;
+        s.endpointPorts = d;
+        MbStageSpec st;
+        st.params.width = 8;
+        st.params.numForward = 4 * d;
+        st.params.numBackward = 4 * d;
+        st.params.maxDilation = 4;
+        st.radix = 4;
+        st.dilation = d;
+        s.stages = {st};
+        const double a = networkAcceptance(s, 0.5);
+        std::printf("%10u %14.4f %14.3f\n", d, a, 1.0 / a);
+    }
+    std::printf("(doubling dilation sharply cuts blocking at the "
+                "same offered load —\nthe multipath argument of "
+                "Section 2)\n");
+
+    std::printf("\nmodel/simulation shape agreement: %s\n",
+                shape_ok ? "CONSISTENT" : "INCONSISTENT");
+    return shape_ok ? 0 : 1;
+}

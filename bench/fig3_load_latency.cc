@@ -1,0 +1,100 @@
+/**
+ * @file
+ * E4 — regenerate paper Figure 3: latency vs. network loading.
+ *
+ * Configuration from the figure caption: randomly distributed
+ * 20-byte messages on a 3-stage network of 8-bit-wide radix-4
+ * routers, the first two stages dilation-2 and the last dilation-1,
+ * 64 endpoints with two network ports each (one injection at a
+ * time), closed-loop (processors stall awaiting completion).
+ * Unloaded latency: 28 cycles injection-to-acknowledgment.
+ *
+ * Load is swept with the closed-loop think time; reported load is
+ * delivered payload words per endpoint-cycle (fraction of the
+ * one-word-per-cycle injection capacity).
+ */
+
+#include <cstdio>
+
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+int
+main()
+{
+    using namespace metro;
+
+    std::printf("Figure 3: Aggregate Latency Performance "
+                "(reproduced)\n");
+    std::printf("3-stage, 64-endpoint multibutterfly; radix-4 8-bit "
+                "routers; dilation 2/2/1;\n20-byte messages; "
+                "closed-loop (stall on completion)\n\n");
+    std::printf("%10s %10s %10s %8s %8s %8s %10s %10s\n", "think",
+                "load", "latency", "median", "p95", "max",
+                "attempts", "blockRate");
+
+    const unsigned thinks[] = {2000, 1200, 800, 500, 300, 200, 120,
+                               80,   50,   30,  20,  10,  5,   2,
+                               0};
+
+    struct Point
+    {
+        double load;
+        double mean;
+    };
+    std::vector<Point> curve;
+
+    for (unsigned think : thinks) {
+        auto net = buildMultibutterfly(fig3Spec(/*seed=*/2024));
+        ExperimentConfig cfg;
+        cfg.messageWords = 20;
+        cfg.warmup = 2000;
+        cfg.measure = 20000;
+        cfg.thinkTime = think;
+        cfg.seed = 777;
+        const auto r = runClosedLoop(*net, cfg);
+
+        std::printf("%10u %10.4f %10.2f %8llu %8llu %8.0f %10.3f "
+                    "%10.4f\n",
+                    think, r.achievedLoad, r.latency.mean(),
+                    static_cast<unsigned long long>(
+                        r.latency.median()),
+                    static_cast<unsigned long long>(
+                        r.latency.percentile(95)),
+                    r.latency.max(), r.attempts.mean(),
+                    r.blockRate());
+        curve.push_back({r.achievedLoad, r.latency.mean()});
+    }
+
+    // Coarse ASCII rendering of the curve (load on x, mean latency
+    // on y) for a quick visual check against the paper's figure.
+    std::printf("\nlatency (cycles) vs load (fraction of injection "
+                "capacity)\n");
+    double max_lat = 0, max_load = 0;
+    for (const auto &p : curve) {
+        max_lat = std::max(max_lat, p.mean);
+        max_load = std::max(max_load, p.load);
+    }
+    const int rows = 16, cols = 60;
+    std::vector<std::string> grid(rows, std::string(cols, ' '));
+    for (const auto &p : curve) {
+        const int x = std::min(
+            cols - 1, static_cast<int>(p.load / max_load *
+                                       (cols - 1)));
+        const int y = std::min(
+            rows - 1, static_cast<int>((p.mean - 28.0) /
+                                       (max_lat - 28.0 + 1e-9) *
+                                       (rows - 1)));
+        grid[rows - 1 - y][x] = '*';
+    }
+    for (int r = 0; r < rows; ++r) {
+        const double lat =
+            28.0 + (max_lat - 28.0) * (rows - 1 - r) / (rows - 1);
+        std::printf("%7.1f |%s\n", lat, grid[r].c_str());
+    }
+    std::printf("        +%s\n", std::string(cols, '-').c_str());
+    std::printf("         0%*s%.3f\n", cols - 6, "", max_load);
+
+    std::printf("\nanchor: unloaded latency 28 cycles (paper: 28)\n");
+    return 0;
+}

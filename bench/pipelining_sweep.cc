@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extension ablation — the architecture's pipelining freedoms
+ * (Section 5.1: Pipelining Data Through Routers, Pipelined
+ * Connection Setup, Variable Turn Delay), swept on the
+ * cycle-accurate simulator.
+ *
+ * The sweep quantifies the trades Table 3 exploits analytically:
+ *   - dp (internal pipestages): raises clock rate in silicon at the
+ *     cost of cycles per hop — here, pure per-hop cycles;
+ *   - vtd (wire pipelining): longer wires cost cycles per hop but
+ *     let distant parts run at full clock;
+ *   - hw (setup pipelining): consumes header words per stage
+ *     (serialization cost) to shorten the post-setup critical path
+ *     — in cycle terms it costs hw*stages - savedHeaderWords.
+ *
+ * Unloaded and saturated latency plus saturated load are reported
+ * for each point on the 32-node METROJR application network.
+ */
+
+#include <cstdio>
+
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+namespace
+{
+
+using namespace metro;
+
+struct Point
+{
+    const char *label;
+    unsigned dp;
+    unsigned hw;
+    unsigned vtd;
+};
+
+Cycle
+unloadedLatency(const MultibutterflySpec &spec)
+{
+    auto net = buildMultibutterfly(spec);
+    const auto id =
+        net->endpoint(2).send(29, std::vector<Word>(39, 0x5));
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 5000);
+    return net->tracker().record(id).latency();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Pipelining-parameter sweep on the 32-node METROJR "
+                "network\n(20-byte messages = 40 nibbles on the "
+                "4-bit channel)\n\n");
+    std::printf("%-22s %4s %4s %4s %10s %10s %10s\n", "point", "dp",
+                "hw", "vtd", "unloaded", "sat.lat", "sat.load");
+
+    const Point points[] = {
+        {"baseline", 1, 0, 0},
+        {"wire vtd=1", 1, 0, 1},
+        {"wire vtd=3", 1, 0, 3},
+        {"deep pipe dp=2", 2, 0, 0},
+        {"deep pipe dp=4", 4, 0, 0},
+        {"setup hw=1", 1, 1, 0},
+        {"setup hw=2", 1, 2, 0},
+        {"dp=2 vtd=3 hw=1", 2, 1, 3},
+    };
+
+    bool sane = true;
+    Cycle base_unloaded = 0;
+    for (const auto &pt : points) {
+        auto params = RouterParams::metroJr();
+        params.dataPipeStages = pt.dp;
+        params.headerWords = pt.hw;
+        auto spec = table32Spec(params, /*seed=*/31);
+        for (auto &st : spec.stages)
+            st.linkDelay = pt.vtd;
+        spec.endpointLinkDelay = pt.vtd;
+
+        const Cycle unloaded = unloadedLatency(spec);
+
+        auto net = buildMultibutterfly(spec);
+        ExperimentConfig cfg;
+        cfg.messageWords = 40; // 20 bytes at w = 4
+        cfg.warmup = 1500;
+        cfg.measure = 10000;
+        cfg.thinkTime = 0;
+        cfg.seed = 77;
+        const auto r = runClosedLoop(*net, cfg);
+
+        std::printf("%-22s %4u %4u %4u %10llu %10.1f %10.4f\n",
+                    pt.label, pt.dp, pt.hw, pt.vtd,
+                    static_cast<unsigned long long>(unloaded),
+                    r.latency.mean(), r.achievedLoad);
+
+        if (pt.dp == 1 && pt.hw == 0 && pt.vtd == 0)
+            base_unloaded = unloaded;
+        else if (unloaded <= base_unloaded)
+            sane = false; // every extra pipeline slot costs cycles
+        if (r.unresolvedMessages > 0 || r.gaveUpMessages > 0)
+            sane = false;
+    }
+
+    std::printf("\nEach pipeline slot costs cycles end-to-end — the "
+                "win is in the clock each slot\nbuys in silicon "
+                "(Table 3: dp=2 full-custom runs at 2 ns where the "
+                "flat design\nneeds 5 ns, netting 124 ns vs 270 ns "
+                "for t_20,32 despite more cycles).\n");
+    std::printf("\npipelining sweep %s\n",
+                sane ? "CONSISTENT" : "INCONSISTENT");
+    return sane ? 0 : 1;
+}

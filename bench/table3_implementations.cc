@@ -1,0 +1,53 @@
+/**
+ * @file
+ * E1 — regenerate paper Table 3: METRO implementation examples.
+ *
+ * For each implementation row the Table 4 equations derive t_stg,
+ * t_bit and the 32-node 20-byte application latency t_20,32. The
+ * published values are printed alongside; the model reproduces
+ * every published t_20,32 exactly.
+ */
+
+#include <cstdio>
+
+#include "model/latency.hh"
+
+int
+main()
+{
+    using namespace metro;
+
+    std::printf("Table 3: METRO Implementation Examples "
+                "(reproduced)\n");
+    std::printf("%-28s %-18s %6s %6s %6s %12s %6s %10s %10s %6s\n",
+                "Instance", "Technology", "t_clk", "t_io", "t_stg",
+                "t_bit", "stages", "t20,32", "paper", "match");
+    std::printf("%.*s\n", 120,
+                "-----------------------------------------------------"
+                "-----------------------------------------------------"
+                "--------------");
+
+    int mismatches = 0;
+    for (const auto &row : table3Rows()) {
+        const auto d = deriveLatency(row.spec);
+        const bool match =
+            d.t2032 == row.publishedT2032 &&
+            d.tStg == row.publishedTStg;
+        if (!match)
+            ++mismatches;
+        char tbit[32];
+        std::snprintf(tbit, sizeof(tbit), "%g ns/%u b",
+                      row.spec.tClk,
+                      row.spec.w * row.spec.cascade);
+        std::printf("%-28s %-18s %4g ns %4g ns %4g ns %12s %6u "
+                    "%7g ns %7g ns %6s\n",
+                    row.spec.name.c_str(),
+                    row.spec.technology.c_str(), row.spec.tClk,
+                    row.spec.tIo, d.tStg, tbit, row.spec.stages(),
+                    d.t2032, row.publishedT2032,
+                    match ? "yes" : "NO");
+    }
+
+    std::printf("\n%d mismatching rows (expected 0)\n", mismatches);
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * E2 — validate the Table 4 latency equations two ways:
+ *
+ *  1. recompute every Table 3 row from the raw equations and check
+ *     the published t_stg / t_20,32 values (also done in E1);
+ *
+ *  2. cross-validate against the cycle-accurate simulator: build
+ *     the 32-node application network for selected implementations,
+ *     deliver one unloaded 20-byte message, and compare the
+ *     *measured* cycle count against the analytic cycle count
+ *     t_20,32 / t_clk.
+ *
+ * The analytic model charges `stages * t_stg` of transit plus pure
+ * serialization; the simulator additionally models the endpoint
+ * injection wire, whose vtd pipeline registers Table 4 does not
+ * charge (its TURN word and the on-wire measurement convention
+ * cancel exactly). The expected, derivable offset is therefore
+ * +vtd cycles, independent of everything else.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "model/latency.hh"
+#include "network/presets.hh"
+
+namespace
+{
+
+using namespace metro;
+
+/** One cross-validation case: implementation row -> network spec. */
+struct SimCase
+{
+    const char *name;
+    RouterParams params;
+    unsigned linkDelay;    // vtd in cycles
+    unsigned analyticCycles;
+};
+
+/** Deliver one unloaded 20-byte message; return one-way delivery
+ *  time in cycles (injection to the destination reading TURN). */
+Cycle
+simulateDelivery(const RouterParams &params, unsigned link_delay,
+                 std::uint64_t seed)
+{
+    auto spec = table32Spec(params, seed);
+    for (auto &st : spec.stages)
+        st.linkDelay = link_delay;
+    spec.endpointLinkDelay = link_delay;
+    auto net = buildMultibutterfly(spec);
+
+    // 20 bytes at width w: 160 / w words including the checksum.
+    const unsigned words = 160 / params.width;
+    std::vector<Word> payload(words - 1, 0x9 & ((1u << params.width) - 1));
+    const auto id = net->endpoint(0).send(17, payload);
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 5000);
+    const auto &rec = net->tracker().record(id);
+    METRO_ASSERT(rec.succeeded, "unloaded delivery failed");
+    return rec.deliverCycle - rec.injectCycle;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace metro;
+
+    std::printf("Table 4 validation — part 1: equations vs. "
+                "published Table 3 values\n");
+    int mismatches = 0;
+    for (const auto &row : table3Rows()) {
+        const auto d = deriveLatency(row.spec);
+        if (d.t2032 != row.publishedT2032 ||
+            d.tStg != row.publishedTStg) {
+            ++mismatches;
+            std::printf("  MISMATCH %s: t_stg %g vs %g, t2032 %g "
+                        "vs %g\n",
+                        row.spec.name.c_str(), d.tStg,
+                        row.publishedTStg, d.t2032,
+                        row.publishedT2032);
+        }
+    }
+    std::printf("  %zu rows checked, %d mismatches (expected 0)\n\n",
+                table3Rows().size(), mismatches);
+
+    std::printf("Table 4 validation — part 2: analytic cycles vs. "
+                "cycle-accurate simulation\n");
+    std::printf("(the simulator also models the endpoint injection "
+                "wire, which Table 4 does not\ncharge: expected "
+                "offset = +vtd cycles exactly)\n\n");
+    std::printf("%-26s %10s %10s %10s %8s\n", "instance",
+                "analytic", "simulated", "offset", "ok");
+
+    // Cases: analytic cycles = t_20,32 / t_clk =
+    //   stages*(dp+vtd) + (160+hbits)/w.
+    std::vector<SimCase> cases;
+    {
+        // METROJR-ORBIT: dp=1, vtd=1, w=4, 4 stages, hbits=8.
+        SimCase c;
+        c.name = "METROJR-ORBIT (25ns clk)";
+        c.params = RouterParams::metroJr();
+        c.linkDelay = 1;
+        c.analyticCycles = 4 * 2 + (160 + 8) / 4; // 50
+        cases.push_back(c);
+    }
+    {
+        // METROJR full custom 5ns: dp=1, vtd=2.
+        SimCase c;
+        c.name = "METROJR FC (5ns clk)";
+        c.params = RouterParams::metroJr();
+        c.linkDelay = 2;
+        c.analyticCycles = 4 * 3 + (160 + 8) / 4; // 54 = 270ns/5
+        cases.push_back(c);
+    }
+    {
+        // METROJR dp=2 @2ns: vtd=3.
+        SimCase c;
+        c.name = "METROJR dp=2 (2ns clk)";
+        c.params = RouterParams::metroJr();
+        c.params.dataPipeStages = 2;
+        c.linkDelay = 3;
+        c.analyticCycles = 4 * 5 + (160 + 8) / 4; // 62 = 124ns/2
+        cases.push_back(c);
+    }
+    {
+        // METROJR hw=1 @2ns: dp=1, vtd=3, hbits=16.
+        SimCase c;
+        c.name = "METROJR hw=1 (2ns clk)";
+        c.params = RouterParams::metroJr();
+        c.params.headerWords = 1;
+        c.linkDelay = 3;
+        c.analyticCycles = 4 * 4 + (160 + 16) / 4; // 60 = 120ns/2
+        cases.push_back(c);
+    }
+    {
+        // METRO i=o=8 w=4 std cell: 2 stages, dp=1, vtd=1,
+        // hbits=8. 2*2 + 168/4 = 46 = 460ns/10.
+        SimCase c;
+        c.name = "METRO i=o=8 (10ns clk)";
+        c.params.width = 4;
+        c.params.numForward = 8;
+        c.params.numBackward = 8;
+        c.params.maxDilation = 2;
+        c.linkDelay = 1;
+        c.analyticCycles = 2 * 2 + (160 + 8) / 4;
+        cases.push_back(c);
+    }
+    {
+        // METRO i=o=8 hw=2 @2ns: vtd=3, hbits=16.
+        // 2*4 + 176/4 = 52 = 104ns/2.
+        SimCase c;
+        c.name = "METRO i=o=8 hw=2 (2ns)";
+        c.params.width = 4;
+        c.params.numForward = 8;
+        c.params.numBackward = 8;
+        c.params.maxDilation = 2;
+        c.params.headerWords = 2;
+        c.linkDelay = 3;
+        c.analyticCycles = 2 * 4 + (160 + 16) / 4;
+        cases.push_back(c);
+    }
+
+    int bad = 0;
+    for (const auto &c : cases) {
+        const Cycle sim = simulateDelivery(c.params, c.linkDelay, 7);
+        const long long offset =
+            static_cast<long long>(sim) - c.analyticCycles;
+        const bool ok =
+            offset == static_cast<long long>(c.linkDelay);
+        if (!ok)
+            ++bad;
+        std::printf("%-26s %10u %10llu %+10lld %8s\n", c.name,
+                    c.analyticCycles,
+                    static_cast<unsigned long long>(sim), offset,
+                    ok ? "yes" : "NO");
+    }
+
+    std::printf("\n%d cases outside the derived +vtd offset "
+                "(expected 0)\n", bad);
+    return (mismatches == 0 && bad == 0) ? 0 : 1;
+}

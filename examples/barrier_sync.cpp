@@ -1,0 +1,293 @@
+/**
+ * @file
+ * A multiprocessor barrier built on METRO primitives.
+ *
+ * Low-latency synchronization is exactly the parallelism-limited
+ * workload Section 2 argues networks must serve: at a barrier,
+ * every processor stalls until the last arrives, so barrier cost
+ * is pure cross-network latency. This example implements a
+ * flat signal/release barrier over the message API:
+ *
+ *  - arrival: each node sends its arrival (with its phase) to a
+ *    coordinator node;
+ *  - release: the coordinator, on collecting all arrivals, sends a
+ *    release message to every node.
+ *
+ * Two algorithms are compared on the Figure 3 machine:
+ *
+ *  - flat: every node signals one coordinator, which releases
+ *    everyone — O(n) serialization at the coordinator;
+ *  - binary combining tree: node k signals parent (k-1)/2 once its
+ *    subtree arrived; releases fan back down — O(log n) rounds.
+ *
+ * Both run on the ordinary retry/checksum message protocol (no
+ * special hardware support, as the paper intends).
+ */
+
+#include <cstdio>
+
+#include "metro/metro.hh"
+
+namespace
+{
+
+using namespace metro;
+
+/** Coordinator + participant logic driven from delivery handlers. */
+class Barrier
+{
+  public:
+    Barrier(Network *net, unsigned participants)
+        : net_(net), n_(participants)
+    {
+        // Node 0 coordinates; every node participates.
+        net_->endpoint(0).setDeliveryHandler(
+            [this](const MessageRecord &rec) {
+                if (!rec.payload.empty() &&
+                    rec.payload[0] == 0xBA) // arrival marker
+                    onArrival();
+            });
+        for (NodeId e = 0; e < n_; ++e) {
+            net_->endpoint(e).setDeliveryHandler(
+                e == 0 ? net_and_zero_handler()
+                       : DeliveryHandlerFor(e));
+        }
+    }
+
+    NetworkInterface::DeliveryHandler
+    net_and_zero_handler()
+    {
+        return [this](const MessageRecord &rec) {
+            if (!rec.payload.empty() && rec.payload[0] == 0xBA)
+                onArrival();
+            else if (!rec.payload.empty() &&
+                     rec.payload[0] == 0xEE)
+                releasedAt_[0] = net_->engine().now();
+        };
+    }
+
+    NetworkInterface::DeliveryHandler
+    DeliveryHandlerFor(NodeId e)
+    {
+        return [this, e](const MessageRecord &rec) {
+            if (!rec.payload.empty() && rec.payload[0] == 0xEE)
+                releasedAt_[e] = net_->engine().now();
+        };
+    }
+
+    /** All nodes hit the barrier at `cycle` 0 of the run. */
+    void
+    arriveAll()
+    {
+        releasedAt_.assign(n_, 0);
+        arrivals_ = 0;
+        startCycle_ = net_->engine().now();
+        for (NodeId e = 0; e < n_; ++e) {
+            if (e == 0)
+                onArrival(); // the coordinator arrives locally
+            else
+                net_->endpoint(e).send(0, {0xBA});
+        }
+    }
+
+    bool
+    done() const
+    {
+        for (unsigned e = 0; e < n_; ++e) {
+            if (releasedAt_[e] == 0)
+                return false;
+        }
+        return true;
+    }
+
+    Cycle
+    lastRelease() const
+    {
+        Cycle last = 0;
+        for (auto c : releasedAt_)
+            last = std::max(last, c);
+        return last;
+    }
+
+    Cycle
+    firstRelease() const
+    {
+        Cycle first = kNever;
+        for (auto c : releasedAt_)
+            first = std::min(first, c);
+        return first;
+    }
+
+    Cycle startCycle() const { return startCycle_; }
+
+  private:
+    void
+    onArrival()
+    {
+        if (++arrivals_ == n_) {
+            // Release everyone (the coordinator releases itself
+            // locally — its "network" is a register write).
+            releasedAt_[0] = net_->engine().now();
+            for (NodeId e = 1; e < n_; ++e)
+                net_->endpoint(0).send(e, {0xEE});
+        }
+    }
+
+    Network *net_;
+    unsigned n_;
+    unsigned arrivals_ = 0;
+    Cycle startCycle_ = 0;
+    std::vector<Cycle> releasedAt_;
+};
+
+/** Binary combining-tree barrier over the same message API. */
+class TreeBarrier
+{
+  public:
+    TreeBarrier(Network *net, unsigned participants)
+        : net_(net), n_(participants)
+    {
+        arrivals_.assign(n_, 0);
+        releasedAt_.assign(n_, 0);
+        for (NodeId e = 0; e < n_; ++e) {
+            net_->endpoint(e).setDeliveryHandler(
+                [this, e](const MessageRecord &rec) {
+                    if (rec.payload.empty())
+                        return;
+                    if (rec.payload[0] == 0xBA)
+                        onArrival(e);
+                    else if (rec.payload[0] == 0xEE)
+                        onRelease(e);
+                });
+        }
+    }
+
+    void
+    arriveAll()
+    {
+        startCycle_ = net_->engine().now();
+        arrivals_.assign(n_, 0);
+        releasedAt_.assign(n_, 0);
+        // Every node "arrives"; leaves start signalling upward.
+        for (NodeId e = 0; e < n_; ++e)
+            onArrival(e); // local arrival
+    }
+
+    bool
+    done() const
+    {
+        for (unsigned e = 0; e < n_; ++e) {
+            if (releasedAt_[e] == 0)
+                return false;
+        }
+        return true;
+    }
+
+    Cycle
+    cost() const
+    {
+        Cycle last = 0;
+        for (auto c : releasedAt_)
+            last = std::max(last, c);
+        return last - startCycle_;
+    }
+
+  private:
+    unsigned
+    expectedArrivals(NodeId e) const
+    {
+        // Own arrival plus one per child in the binary tree.
+        unsigned expect = 1;
+        if (2 * e + 1 < n_)
+            ++expect;
+        if (2 * e + 2 < n_)
+            ++expect;
+        return expect;
+    }
+
+    void
+    onArrival(NodeId e)
+    {
+        if (++arrivals_[e] < expectedArrivals(e))
+            return;
+        if (e == 0)
+            onRelease(0); // the root releases downward
+        else
+            net_->endpoint(e).send((e - 1) / 2, {0xBA});
+    }
+
+    void
+    onRelease(NodeId e)
+    {
+        releasedAt_[e] = net_->engine().now();
+        if (2 * e + 1 < n_)
+            net_->endpoint(e).send(2 * e + 1, {0xEE});
+        if (2 * e + 2 < n_)
+            net_->endpoint(e).send(2 * e + 2, {0xEE});
+    }
+
+    Network *net_;
+    unsigned n_;
+    Cycle startCycle_ = 0;
+    std::vector<unsigned> arrivals_;
+    std::vector<Cycle> releasedAt_;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("barriers over METRO messages (Figure 3 machine)\n\n");
+    std::printf("%14s %14s %14s %10s\n", "participants",
+                "flat barrier", "tree barrier", "tree skew");
+
+    bool ok = true;
+    Cycle flat64 = 0, tree64 = 0;
+    for (unsigned n : {4u, 8u, 16u, 32u, 64u}) {
+        Cycle flat_cost = 0, tree_cost = 0, tree_skew = 0;
+        {
+            auto net = buildMultibutterfly(fig3Spec(31));
+            Barrier barrier(net.get(), n);
+            barrier.arriveAll();
+            net->engine().runUntil([&] { return barrier.done(); },
+                                   200000);
+            if (!barrier.done()) {
+                std::printf("flat barrier with %u HUNG\n", n);
+                return 1;
+            }
+            flat_cost = barrier.lastRelease() - barrier.startCycle();
+        }
+        {
+            auto net = buildMultibutterfly(fig3Spec(32));
+            TreeBarrier barrier(net.get(), n);
+            barrier.arriveAll();
+            net->engine().runUntil([&] { return barrier.done(); },
+                                   200000);
+            if (!barrier.done()) {
+                std::printf("tree barrier with %u HUNG\n", n);
+                return 1;
+            }
+            tree_cost = barrier.cost();
+            (void)tree_skew;
+        }
+        std::printf("%14u %11llu cy %11llu cy %10s\n", n,
+                    static_cast<unsigned long long>(flat_cost),
+                    static_cast<unsigned long long>(tree_cost), "-");
+        if (n == 64) {
+            flat64 = flat_cost;
+            tree64 = tree_cost;
+        }
+    }
+
+    std::printf("\nthe flat coordinator serializes arrivals, so its "
+                "cost grows ~linearly; the\ncombining tree pays "
+                "2*log2(n) message latencies: %llu vs %llu cycles "
+                "at n = 64.\nBoth run the stock source-responsible "
+                "protocol — the paper's point that\nfast primitives "
+                "compose into fast synchronization.\n",
+                static_cast<unsigned long long>(flat64),
+                static_cast<unsigned long long>(tree64));
+    ok = tree64 < flat64;
+    return ok ? 0 : 1;
+}

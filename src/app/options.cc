@@ -1,0 +1,426 @@
+#include "app/options.hh"
+
+#include "app/specfile.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "fault/injector.hh"
+#include "network/fattree.hh"
+#include "network/presets.hh"
+#include "report/csv.hh"
+#include "report/dot.hh"
+#include "report/stats_dump.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+bool
+parseUnsigned(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+std::string
+usageText()
+{
+    return
+        "metro_sim — drive a METRO network simulation\n"
+        "\n"
+        "usage: metro_sim [options]\n"
+        "  --topology=fig3|fig1|table32jr|fattree   (default fig3)\n"
+        "  --mode=closed|open                       (default closed)\n"
+        "  --pattern=uniform|hotspot|transpose|bitreversal|"
+        "permutation\n"
+        "  --think=N[,N...]      closed-loop think-time sweep\n"
+        "  --inject=P[,P...]     open-loop injection-probability "
+        "sweep\n"
+        "  --message-words=N     words per message incl. checksum "
+        "(default 20)\n"
+        "  --warmup=N            warmup cycles (default 2000)\n"
+        "  --measure=N           measurement cycles (default 20000)\n"
+        "  --seed=N              simulation seed (default 1)\n"
+        "  --router-faults=N     dead routers (survivable sample)\n"
+        "  --link-faults=N       dead links (survivable sample)\n"
+        "  --fault-cycle=N       cycle the faults strike (default "
+        "0)\n"
+        "  --hot-node=N          hotspot node (default 0)\n"
+        "  --hot-fraction=F      hotspot probability (default "
+        "0.25)\n"
+        "  --csv                 emit CSV instead of a table\n"
+        "  --stats               append router/endpoint statistics\n"
+        "  --spec-file=PATH      load a custom multibutterfly spec\n"
+        "  --dot                 print the topology as Graphviz DOT\n"
+        "  --help                this text\n";
+}
+
+std::optional<Options>
+parseOptions(int argc, const char *const *argv, std::string &error)
+{
+    Options opts;
+    for (int k = 1; k < argc; ++k) {
+        const std::string arg = argv[k];
+        const auto eq = arg.find('=');
+        const std::string key =
+            eq == std::string::npos ? arg : arg.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+
+        auto want_value = [&]() {
+            if (value.empty()) {
+                error = key + " requires a value";
+                return false;
+            }
+            return true;
+        };
+
+        if (key == "--help") {
+            opts.help = true;
+            return opts;
+        } else if (key == "--csv") {
+            opts.csv = true;
+        } else if (key == "--stats") {
+            opts.stats = true;
+        } else if (key == "--dot") {
+            opts.dot = true;
+        } else if (key == "--spec-file") {
+            if (!want_value())
+                return std::nullopt;
+            opts.specFile = value;
+        } else if (key == "--topology") {
+            if (!want_value())
+                return std::nullopt;
+            if (value == "fig3")
+                opts.topology = Topology::Fig3;
+            else if (value == "fig1")
+                opts.topology = Topology::Fig1;
+            else if (value == "table32jr")
+                opts.topology = Topology::Table32Jr;
+            else if (value == "fattree")
+                opts.topology = Topology::FatTree;
+            else {
+                error = "unknown topology: " + value;
+                return std::nullopt;
+            }
+        } else if (key == "--mode") {
+            if (!want_value())
+                return std::nullopt;
+            if (value == "closed")
+                opts.mode = LoadMode::Closed;
+            else if (value == "open")
+                opts.mode = LoadMode::Open;
+            else {
+                error = "unknown mode: " + value;
+                return std::nullopt;
+            }
+        } else if (key == "--pattern") {
+            if (!want_value())
+                return std::nullopt;
+            if (value == "uniform")
+                opts.pattern = TrafficPattern::UniformRandom;
+            else if (value == "hotspot")
+                opts.pattern = TrafficPattern::Hotspot;
+            else if (value == "transpose")
+                opts.pattern = TrafficPattern::Transpose;
+            else if (value == "bitreversal")
+                opts.pattern = TrafficPattern::BitReversal;
+            else if (value == "permutation")
+                opts.pattern = TrafficPattern::Permutation;
+            else {
+                error = "unknown pattern: " + value;
+                return std::nullopt;
+            }
+        } else if (key == "--think") {
+            if (!want_value())
+                return std::nullopt;
+            opts.thinkTimes.clear();
+            for (const auto &part : splitCommas(value)) {
+                std::uint64_t v;
+                if (!parseUnsigned(part, v)) {
+                    error = "bad --think value: " + part;
+                    return std::nullopt;
+                }
+                opts.thinkTimes.push_back(
+                    static_cast<unsigned>(v));
+            }
+        } else if (key == "--inject") {
+            if (!want_value())
+                return std::nullopt;
+            opts.injectProbs.clear();
+            for (const auto &part : splitCommas(value)) {
+                double v;
+                if (!parseDouble(part, v) || v < 0.0 || v > 1.0) {
+                    error = "bad --inject value: " + part;
+                    return std::nullopt;
+                }
+                opts.injectProbs.push_back(v);
+            }
+        } else if (key == "--message-words") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --message-words";
+                return std::nullopt;
+            }
+            opts.messageWords = static_cast<unsigned>(v);
+        } else if (key == "--warmup") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --warmup";
+                return std::nullopt;
+            }
+            opts.warmup = v;
+        } else if (key == "--measure") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --measure";
+                return std::nullopt;
+            }
+            opts.measure = v;
+        } else if (key == "--seed") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --seed";
+                return std::nullopt;
+            }
+            opts.seed = v;
+        } else if (key == "--router-faults") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --router-faults";
+                return std::nullopt;
+            }
+            opts.routerFaults = static_cast<unsigned>(v);
+        } else if (key == "--link-faults") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --link-faults";
+                return std::nullopt;
+            }
+            opts.linkFaults = static_cast<unsigned>(v);
+        } else if (key == "--fault-cycle") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --fault-cycle";
+                return std::nullopt;
+            }
+            opts.faultCycle = v;
+        } else if (key == "--hot-node") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --hot-node";
+                return std::nullopt;
+            }
+            opts.hotNode = static_cast<NodeId>(v);
+        } else if (key == "--hot-fraction") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 0.0 ||
+                v > 1.0) {
+                error = "bad --hot-fraction";
+                return std::nullopt;
+            }
+            opts.hotFraction = v;
+        } else {
+            error = "unknown option: " + key;
+            return std::nullopt;
+        }
+    }
+    return opts;
+}
+
+namespace
+{
+
+struct BuiltNetwork
+{
+    std::unique_ptr<Network> net;
+    // Only multibutterflies support survivable-fault sampling.
+    std::optional<MultibutterflySpec> mbSpec;
+};
+
+BuiltNetwork
+buildTopology(const Options &opts)
+{
+    BuiltNetwork built;
+    if (!opts.specFile.empty()) {
+        std::string error;
+        auto spec = loadSpecFile(opts.specFile, error);
+        if (!spec.has_value())
+            METRO_FATAL("--spec-file: %s", error.c_str());
+        spec->seed = opts.seed;
+        built.net = buildMultibutterfly(*spec);
+        built.mbSpec = *spec;
+        return built;
+    }
+    switch (opts.topology) {
+      case Topology::Fig3: {
+        auto spec = fig3Spec(opts.seed);
+        built.net = buildMultibutterfly(spec);
+        built.mbSpec = spec;
+        break;
+      }
+      case Topology::Fig1: {
+        auto spec = fig1Spec(opts.seed);
+        built.net = buildMultibutterfly(spec);
+        built.mbSpec = spec;
+        break;
+      }
+      case Topology::Table32Jr: {
+        auto spec = table32Spec(RouterParams::metroJr(), opts.seed);
+        built.net = buildMultibutterfly(spec);
+        built.mbSpec = spec;
+        break;
+      }
+      case Topology::FatTree: {
+        FatTreeSpec spec;
+        spec.levels = 4;
+        spec.seed = opts.seed;
+        built.net = buildFatTree(spec);
+        break;
+      }
+    }
+    return built;
+}
+
+} // namespace
+
+std::string
+runFromOptions(const Options &opts)
+{
+    std::ostringstream out;
+
+    if (opts.dot) {
+        auto built = buildTopology(opts);
+        return networkToDot(*built.net,
+                            opts.specFile.empty() ? "metro"
+                                                  : opts.specFile);
+    }
+
+    CsvWriter csv;
+    if (opts.csv)
+        csv.row(experimentCsvHeader());
+    else
+        out << "metro_sim: "
+            << (opts.mode == LoadMode::Closed ? "closed" : "open")
+            << "-loop " << trafficPatternName(opts.pattern)
+            << " traffic\n"
+            << "  label       load   latency    median       p95  "
+               "attempts   blockRate\n";
+
+    const auto &sweep_closed = opts.thinkTimes;
+    const auto &sweep_open = opts.injectProbs;
+    const std::size_t points = opts.mode == LoadMode::Closed
+                                   ? sweep_closed.size()
+                                   : sweep_open.size();
+
+    for (std::size_t k = 0; k < points; ++k) {
+        auto built = buildTopology(opts);
+        Network &net = *built.net;
+
+        std::unique_ptr<FaultInjector> injector;
+        if (opts.routerFaults + opts.linkFaults > 0) {
+            if (!built.mbSpec.has_value())
+                METRO_FATAL("fault sampling requires a "
+                            "multibutterfly topology");
+            injector = std::make_unique<FaultInjector>(&net);
+            injector->schedule(sampleSurvivableFaults(
+                net, *built.mbSpec, opts.routerFaults,
+                opts.linkFaults, opts.faultCycle,
+                opts.seed ^ 0xFA11));
+            net.engine().addComponent(injector.get());
+        }
+
+        ExperimentConfig cfg;
+        cfg.messageWords = opts.messageWords;
+        cfg.warmup = opts.warmup;
+        cfg.measure = opts.measure;
+        cfg.pattern = opts.pattern;
+        cfg.hotNode = opts.hotNode;
+        cfg.hotFraction = opts.hotFraction;
+        cfg.seed = opts.seed ^ (0x9e37ULL * (k + 1));
+
+        std::string label;
+        ExperimentResult result;
+        if (opts.mode == LoadMode::Closed) {
+            cfg.thinkTime = sweep_closed[k];
+            label = "think=" + std::to_string(sweep_closed[k]);
+            result = runClosedLoop(net, cfg);
+        } else {
+            cfg.injectProb = sweep_open[k];
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "inject=%g",
+                          sweep_open[k]);
+            label = buf;
+            result = runOpenLoop(net, cfg);
+        }
+
+        if (injector)
+            net.engine().removeComponent(injector.get());
+
+        if (opts.stats && !opts.csv && k + 1 == points) {
+            out << "\n" << networkHealthSummary(net) << "\n"
+                << stageStatsReport(net) << "\n"
+                << endpointStatsReport(net);
+        }
+
+        if (opts.csv) {
+            csv.row(experimentCsvRow(label, result));
+        } else {
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "  %-10s %6.4f %9.2f %9llu %9llu %9.3f "
+                          "%11.4f\n",
+                          label.c_str(), result.achievedLoad,
+                          result.latency.mean(),
+                          static_cast<unsigned long long>(
+                              result.latency.median()),
+                          static_cast<unsigned long long>(
+                              result.latency.percentile(95)),
+                          result.attempts.mean(),
+                          result.blockRate());
+            out << line;
+        }
+    }
+
+    return opts.csv ? csv.str() : out.str();
+}
+
+} // namespace metro

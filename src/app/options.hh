@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Command-line options for the metro_sim driver tool.
+ *
+ * Kept in the library (rather than the tool's main) so option
+ * parsing and the experiment runner are unit-testable.
+ */
+
+#ifndef METRO_APP_OPTIONS_HH
+#define METRO_APP_OPTIONS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "traffic/patterns.hh"
+
+namespace metro
+{
+
+/** Supported prebuilt topologies. */
+enum class Topology : std::uint8_t
+{
+    Fig3,      ///< 64-endpoint, 3-stage radix-4 (paper Figure 3)
+    Fig1,      ///< 16-endpoint (paper Figure 1)
+    Table32Jr, ///< 32-endpoint METROJR application network
+    FatTree,   ///< 16-endpoint binary fat tree
+};
+
+/** Traffic loop discipline. */
+enum class LoadMode : std::uint8_t
+{
+    Closed, ///< stall-on-completion + think time
+    Open,   ///< Bernoulli injection
+};
+
+/** Parsed command line. */
+struct Options
+{
+    Topology topology = Topology::Fig3;
+    LoadMode mode = LoadMode::Closed;
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+
+    /** Closed-loop think times to sweep (one run per value). */
+    std::vector<unsigned> thinkTimes = {0};
+
+    /** Open-loop injection probabilities to sweep. */
+    std::vector<double> injectProbs = {0.01};
+
+    unsigned messageWords = 20;
+    Cycle warmup = 2000;
+    Cycle measure = 20000;
+    std::uint64_t seed = 1;
+
+    unsigned routerFaults = 0;
+    unsigned linkFaults = 0;
+    Cycle faultCycle = 0;
+
+    NodeId hotNode = 0;
+    double hotFraction = 0.25;
+
+    bool csv = false;
+    bool stats = false;
+    bool help = false;
+
+    /** Load the topology from a spec file instead of a preset. */
+    std::string specFile;
+
+    /** Emit the topology as Graphviz DOT and exit. */
+    bool dot = false;
+};
+
+/**
+ * Parse argv. On error returns std::nullopt and fills `error`
+ * with a message; `--help` sets Options::help.
+ */
+std::optional<Options> parseOptions(int argc, const char *const *argv,
+                                    std::string &error);
+
+/** The usage text shown for --help and on errors. */
+std::string usageText();
+
+/**
+ * Build the selected topology, apply faults, run the sweep, and
+ * return the rendered report (table or CSV).
+ */
+std::string runFromOptions(const Options &options);
+
+} // namespace metro
+
+#endif // METRO_APP_OPTIONS_HH

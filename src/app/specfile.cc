@@ -1,0 +1,250 @@
+#include "app/specfile.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "true" || s == "1") {
+        out = true;
+        return true;
+    }
+    if (s == "false" || s == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<MultibutterflySpec>
+parseSpecText(const std::string &text, std::string &error)
+{
+    MultibutterflySpec spec;
+    spec.stages.clear();
+    MbStageSpec *stage = nullptr;
+
+    std::istringstream in(text);
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(raw);
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = trim(line.substr(0, hash));
+        if (line.empty())
+            continue;
+
+        if (line == "[stage]") {
+            spec.stages.emplace_back();
+            stage = &spec.stages.back();
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            error = "line " + std::to_string(line_no) +
+                    ": expected key = value";
+            return std::nullopt;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        std::uint64_t u = 0;
+        bool b = false;
+        auto bad = [&]() {
+            error = "line " + std::to_string(line_no) +
+                    ": bad value for " + key;
+            return std::nullopt;
+        };
+
+        if (stage == nullptr) {
+            if (key == "endpoints") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.numEndpoints = static_cast<unsigned>(u);
+            } else if (key == "endpointPorts") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.endpointPorts = static_cast<unsigned>(u);
+            } else if (key == "seed") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.seed = u;
+            } else if (key == "fastReclaim") {
+                if (!parseBool(value, b))
+                    return bad();
+                spec.fastReclaim = b;
+            } else if (key == "randomSelection") {
+                if (!parseBool(value, b))
+                    return bad();
+                spec.randomSelection = b;
+            } else if (key == "randomWiring") {
+                if (!parseBool(value, b))
+                    return bad();
+                spec.randomWiring = b;
+            } else if (key == "cascadeWidth") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.cascadeWidth = static_cast<unsigned>(u);
+            } else if (key == "endpointLinkDelay") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.endpointLinkDelay = static_cast<unsigned>(u);
+            } else if (key == "routerIdleTimeout") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.routerIdleTimeout = static_cast<unsigned>(u);
+            } else if (key == "replyTimeout") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.replyTimeout =
+                    static_cast<unsigned>(u);
+            } else if (key == "maxAttempts") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.maxAttempts =
+                    static_cast<unsigned>(u);
+            } else {
+                error = "line " + std::to_string(line_no) +
+                        ": unknown network key: " + key;
+                return std::nullopt;
+            }
+        } else {
+            if (key == "radix") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->radix = static_cast<unsigned>(u);
+            } else if (key == "dilation") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->dilation = static_cast<unsigned>(u);
+            } else if (key == "width") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.width = static_cast<unsigned>(u);
+            } else if (key == "numForward") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.numForward =
+                    static_cast<unsigned>(u);
+            } else if (key == "numBackward") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.numBackward =
+                    static_cast<unsigned>(u);
+            } else if (key == "maxDilation") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.maxDilation =
+                    static_cast<unsigned>(u);
+            } else if (key == "hw") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.headerWords =
+                    static_cast<unsigned>(u);
+            } else if (key == "dp") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.dataPipeStages =
+                    static_cast<unsigned>(u);
+            } else if (key == "maxVtd") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->params.maxVtd = static_cast<unsigned>(u);
+            } else if (key == "linkDelay") {
+                if (!parseU64(value, u))
+                    return bad();
+                stage->linkDelay = static_cast<unsigned>(u);
+            } else {
+                error = "line " + std::to_string(line_no) +
+                        ": unknown stage key: " + key;
+                return std::nullopt;
+            }
+        }
+    }
+
+    if (spec.stages.empty()) {
+        error = "spec has no [stage] sections";
+        return std::nullopt;
+    }
+    return spec;
+}
+
+std::optional<MultibutterflySpec>
+loadSpecFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseSpecText(buf.str(), error);
+}
+
+std::string
+specToText(const MultibutterflySpec &spec)
+{
+    std::ostringstream out;
+    out << "endpoints = " << spec.numEndpoints << "\n"
+        << "endpointPorts = " << spec.endpointPorts << "\n"
+        << "seed = " << spec.seed << "\n"
+        << "fastReclaim = "
+        << (spec.fastReclaim ? "true" : "false") << "\n"
+        << "randomSelection = "
+        << (spec.randomSelection ? "true" : "false") << "\n"
+        << "randomWiring = "
+        << (spec.randomWiring ? "true" : "false") << "\n"
+        << "cascadeWidth = " << spec.cascadeWidth << "\n"
+        << "endpointLinkDelay = " << spec.endpointLinkDelay << "\n"
+        << "routerIdleTimeout = " << spec.routerIdleTimeout << "\n"
+        << "replyTimeout = " << spec.niConfig.replyTimeout << "\n"
+        << "maxAttempts = " << spec.niConfig.maxAttempts << "\n";
+    for (const auto &st : spec.stages) {
+        out << "\n[stage]\n"
+            << "radix = " << st.radix << "\n"
+            << "dilation = " << st.dilation << "\n"
+            << "width = " << st.params.width << "\n"
+            << "numForward = " << st.params.numForward << "\n"
+            << "numBackward = " << st.params.numBackward << "\n"
+            << "maxDilation = " << st.params.maxDilation << "\n"
+            << "hw = " << st.params.headerWords << "\n"
+            << "dp = " << st.params.dataPipeStages << "\n"
+            << "maxVtd = " << st.params.maxVtd << "\n"
+            << "linkDelay = " << st.linkDelay << "\n";
+    }
+    return out.str();
+}
+
+} // namespace metro

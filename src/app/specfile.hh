@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Text-format network specifications.
+ *
+ * metro_sim can load arbitrary multibutterfly topologies from a
+ * small INI-like file instead of the built-in presets:
+ *
+ *     # 64-endpoint, 3-stage network
+ *     endpoints = 64
+ *     endpointPorts = 2
+ *     seed = 7
+ *     fastReclaim = true
+ *     cascadeWidth = 1
+ *     endpointLinkDelay = 0
+ *
+ *     [stage]            # one section per stage, in order
+ *     radix = 4
+ *     dilation = 2
+ *     width = 8
+ *     numForward = 8
+ *     numBackward = 8
+ *     maxDilation = 2
+ *     hw = 0
+ *     dp = 1
+ *     linkDelay = 0
+ *
+ * Unknown keys are errors; omitted keys keep their defaults; the
+ * resulting spec is validated by the builder as usual.
+ */
+
+#ifndef METRO_APP_SPECFILE_HH
+#define METRO_APP_SPECFILE_HH
+
+#include <optional>
+#include <string>
+
+#include "network/multibutterfly.hh"
+
+namespace metro
+{
+
+/**
+ * Parse a spec document (the file's contents). Returns nullopt and
+ * fills `error` (with a line number) on malformed input. The spec
+ * is NOT validated here — call spec.validate() or let the builder.
+ */
+std::optional<MultibutterflySpec>
+parseSpecText(const std::string &text, std::string &error);
+
+/** Read and parse a spec file from disk. */
+std::optional<MultibutterflySpec>
+loadSpecFile(const std::string &path, std::string &error);
+
+/** Serialize a spec back to the text format (round-trips). */
+std::string specToText(const MultibutterflySpec &spec);
+
+} // namespace metro
+
+#endif // METRO_APP_SPECFILE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CRC checksums used for end-to-end and per-router stream integrity.
+ *
+ * The paper relies on checksums twice: the source appends a checksum
+ * to each message so the destination can verify integrity
+ * end-to-end, and every router accumulates a checksum of the words
+ * it forwards, injecting it into the return stream on connection
+ * reversal so the source can localize where corruption entered the
+ * path (Section 4, "Overview"; Section 5.1, "Connection Reversal").
+ */
+
+#ifndef METRO_COMMON_CRC_HH
+#define METRO_COMMON_CRC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace metro
+{
+
+/**
+ * Incremental CRC-16/CCITT accumulator over channel words.
+ *
+ * Each w-bit channel word is folded in byte-by-byte (words narrower
+ * than 8 bits are folded as one byte). The specific polynomial is a
+ * simulator choice; the paper does not fix one.
+ */
+class Crc16
+{
+  public:
+    /** Reset the accumulator to its initial value. */
+    void reset() { crc_ = 0xffff; }
+
+    /** Fold one channel word (low `width` bits) into the CRC. */
+    void
+    update(Word word, unsigned width)
+    {
+        unsigned bytes = (width + 7) / 8;
+        if (bytes == 0)
+            bytes = 1;
+        for (unsigned b = 0; b < bytes; ++b)
+            updateByte(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+
+    /** The current CRC value. */
+    std::uint16_t value() const { return crc_; }
+
+  private:
+    void
+    updateByte(std::uint8_t byte)
+    {
+        crc_ ^= static_cast<std::uint16_t>(byte) << 8;
+        for (int i = 0; i < 8; ++i) {
+            if (crc_ & 0x8000)
+                crc_ = static_cast<std::uint16_t>((crc_ << 1) ^ 0x1021);
+            else
+                crc_ = static_cast<std::uint16_t>(crc_ << 1);
+        }
+    }
+
+    std::uint16_t crc_ = 0xffff;
+};
+
+} // namespace metro
+
+#endif // METRO_COMMON_CRC_HH

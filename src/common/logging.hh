@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant of the simulator was violated
+ *            (a simulator bug); aborts so a debugger can attach.
+ * fatal()  — the user supplied an impossible configuration; exits
+ *            with an error code.
+ * warn()   — something looks suspicious but simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef METRO_COMMON_LOGGING_HH
+#define METRO_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace metro
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on a violated simulator invariant (simulator bug). */
+#define METRO_PANIC(...)                                                \
+    ::metro::detail::panicImpl(__FILE__, __LINE__,                      \
+                               ::metro::detail::vformat(__VA_ARGS__))
+
+/** Exit on an impossible user configuration (user error). */
+#define METRO_FATAL(...)                                                \
+    ::metro::detail::fatalImpl(__FILE__, __LINE__,                      \
+                               ::metro::detail::vformat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define METRO_WARN(...)                                                 \
+    ::metro::detail::warnImpl(::metro::detail::vformat(__VA_ARGS__))
+
+/** Status message. */
+#define METRO_INFORM(...)                                               \
+    ::metro::detail::informImpl(::metro::detail::vformat(__VA_ARGS__))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define METRO_ASSERT(cond, ...)                                         \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::metro::detail::panicImpl(                                 \
+                __FILE__, __LINE__,                                     \
+                std::string("assertion failed: " #cond " — ") +         \
+                    ::metro::detail::vformat(__VA_ARGS__));             \
+        }                                                               \
+    } while (0)
+
+} // namespace metro
+
+#endif // METRO_COMMON_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the METRO simulator.
+ */
+
+#ifndef METRO_COMMON_TYPES_HH
+#define METRO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace metro
+{
+
+/** Simulation time, in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A data word on a channel. Wide enough for any practical w. */
+using Word = std::uint64_t;
+
+/** Identifies a network endpoint (processor node / hub port). */
+using NodeId = std::uint32_t;
+
+/** Index of a port on a router (forward or backward port space). */
+using PortIndex = std::uint32_t;
+
+/** Identifies a router within a network. */
+using RouterId = std::uint32_t;
+
+/** Identifies a link within a network. */
+using LinkId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no router". */
+inline constexpr RouterId kInvalidRouter =
+    std::numeric_limits<RouterId>::max();
+
+/** Sentinel for "no port". */
+inline constexpr PortIndex kInvalidPort =
+    std::numeric_limits<PortIndex>::max();
+
+/** Sentinel for "no link". */
+inline constexpr LinkId kInvalidLink =
+    std::numeric_limits<LinkId>::max();
+
+/** Sentinel for "never" in cycle arithmetic. */
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+} // namespace metro
+
+#endif // METRO_COMMON_TYPES_HH

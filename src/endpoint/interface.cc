@@ -1,0 +1,712 @@
+#include "endpoint/interface.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace metro
+{
+
+NetworkInterface::NetworkInterface(NodeId id, const NiConfig &config,
+                                   MessageTracker *tracker,
+                                   std::uint64_t seed)
+    : Component("endpoint" + std::to_string(id)),
+      id_(id), config_(config), tracker_(tracker),
+      rng_(seed ^ (0xabcdef12345ULL + id))
+{
+    METRO_ASSERT(tracker_ != nullptr, "tracker required");
+}
+
+void
+NetworkInterface::addOutPort(Link *link)
+{
+    addOutPortGroup({link});
+}
+
+void
+NetworkInterface::addInPort(Link *link)
+{
+    addInPortGroup({link});
+}
+
+void
+NetworkInterface::addOutPortGroup(std::vector<Link *> slices)
+{
+    METRO_ASSERT(!slices.empty(), "empty slice group");
+    if (out_.empty() && in_.empty())
+        cascade_ = static_cast<unsigned>(slices.size());
+    METRO_ASSERT(slices.size() == cascade_,
+                 "mixed cascade widths on endpoint %u", id_);
+    METRO_ASSERT(config_.width % cascade_ == 0,
+                 "width %u not divisible into %u slices",
+                 config_.width, cascade_);
+    out_.push_back(std::move(slices));
+}
+
+void
+NetworkInterface::addInPortGroup(std::vector<Link *> slices)
+{
+    METRO_ASSERT(!slices.empty(), "empty slice group");
+    if (out_.empty() && in_.empty())
+        cascade_ = static_cast<unsigned>(slices.size());
+    METRO_ASSERT(slices.size() == cascade_,
+                 "mixed cascade widths on endpoint %u", id_);
+    RecvPort port;
+    port.links = std::move(slices);
+    port.sliceCrc.resize(cascade_);
+    in_.push_back(std::move(port));
+}
+
+Symbol
+NetworkInterface::sliceOf(const Symbol &s, unsigned k) const
+{
+    Symbol out = s;
+    switch (s.kind) {
+      case SymbolKind::Data:
+        out.value = (s.value >> (k * sliceWidth())) &
+                    lowMask(sliceWidth());
+        break;
+      case SymbolKind::Checksum:
+        // The checksum word packs one CRC-16 per slice.
+        out.value = (s.value >> (k * 16)) & 0xffff;
+        break;
+      default:
+        break; // control words are replicated verbatim
+    }
+    return out;
+}
+
+Word
+NetworkInterface::packedChecksum(const std::vector<Word> &words) const
+{
+    Word packed = 0;
+    for (unsigned k = 0; k < cascade_; ++k) {
+        Crc16 crc;
+        for (Word w : words)
+            crc.update((w >> (k * sliceWidth())) &
+                           lowMask(sliceWidth()),
+                       sliceWidth());
+        packed |= static_cast<Word>(crc.value()) << (k * 16);
+    }
+    return packed;
+}
+
+void
+NetworkInterface::pushGroupDown(const std::vector<Link *> &group,
+                                const Symbol &s)
+{
+    for (unsigned k = 0; k < group.size(); ++k)
+        group[k]->pushDown(sliceOf(s, k));
+}
+
+void
+NetworkInterface::pushGroupUp(const std::vector<Link *> &group,
+                              const Symbol &s)
+{
+    for (unsigned k = 0; k < group.size(); ++k)
+        group[k]->pushUp(sliceOf(s, k));
+}
+
+namespace
+{
+
+/** Reassemble slice symbols into a logical one. */
+Symbol
+assembleSlices(const std::vector<Symbol> &slices, unsigned slice_w,
+               bool &consistent)
+{
+    Symbol out = slices.front();
+    consistent = true;
+    for (std::size_t k = 1; k < slices.size(); ++k) {
+        if (slices[k].kind != out.kind)
+            consistent = false;
+    }
+    if (out.kind == SymbolKind::Data) {
+        out.value = 0;
+        for (std::size_t k = 0; k < slices.size(); ++k)
+            out.value |= (slices[k].value & lowMask(slice_w))
+                         << (k * slice_w);
+    } else if (out.kind == SymbolKind::Checksum) {
+        out.value = 0;
+        for (std::size_t k = 0; k < slices.size(); ++k)
+            out.value |= (slices[k].value & 0xffff) << (k * 16);
+    }
+    // Status/Ack: slice 0's payload speaks for the group (each
+    // slice router reports its own checksum; the wired-AND keeps
+    // the control outcomes aligned).
+    return out;
+}
+
+} // namespace
+
+Symbol
+NetworkInterface::readGroupUp(const std::vector<Link *> &group,
+                              bool &consistent) const
+{
+    std::vector<Symbol> slices;
+    slices.reserve(group.size());
+    for (Link *l : group)
+        slices.push_back(l->headUp());
+    return assembleSlices(slices, sliceWidth(), consistent);
+}
+
+Symbol
+NetworkInterface::readGroupDown(const std::vector<Link *> &group,
+                                bool &consistent) const
+{
+    std::vector<Symbol> slices;
+    slices.reserve(group.size());
+    for (Link *l : group)
+        slices.push_back(l->headDown());
+    return assembleSlices(slices, sliceWidth(), consistent);
+}
+
+std::uint64_t
+NetworkInterface::send(NodeId dest, std::vector<Word> payload,
+                       bool request_reply)
+{
+    for (Word w : payload) {
+        METRO_ASSERT((w & ~lowMask(config_.width)) == 0,
+                     "payload word %llx exceeds channel width %u",
+                     static_cast<unsigned long long>(w),
+                     config_.width);
+    }
+    const std::uint64_t id =
+        tracker_->create(id_, dest, std::move(payload), nextSequence_++,
+                         request_reply, /*now=*/kNever);
+    queue_.push_back(id);
+    counters_.add("submitted");
+    return id;
+}
+
+std::uint64_t
+NetworkInterface::sendSession(NodeId dest,
+                              std::vector<std::vector<Word>> rounds)
+{
+    METRO_ASSERT(!rounds.empty(), "session needs at least one round");
+    for (const auto &round : rounds) {
+        for (Word w : round) {
+            METRO_ASSERT((w & ~lowMask(config_.width)) == 0,
+                         "session word exceeds channel width");
+        }
+    }
+    const std::uint64_t id =
+        tracker_->create(id_, dest, rounds.front(), nextSequence_++,
+                         /*request_reply=*/true, kNever);
+    tracker_->record(id).sessionRounds = std::move(rounds);
+    queue_.push_back(id);
+    counters_.add("submitted");
+    counters_.add("sessionsSubmitted");
+    return id;
+}
+
+void
+NetworkInterface::startRound(unsigned round)
+{
+    const auto &rec = tracker_->record(activeMsg_);
+    const auto &data = round == 0 ? rec.payload
+                                  : rec.sessionRounds[round];
+    stream_.clear();
+    if (round == 0) {
+        const RoutePlan plan = routeFn_(rec.dest);
+        for (unsigned h = 0; h < plan.headerSymbols; ++h)
+            stream_.push_back(
+                Symbol::header(plan.route, plan.length, activeMsg_));
+    }
+    for (std::size_t k = 0; k < data.size(); ++k) {
+        if (k > 0) {
+            for (unsigned g = 0; g < config_.interWordGap; ++g)
+                stream_.push_back(Symbol::control(
+                    SymbolKind::DataIdle, activeMsg_));
+        }
+        stream_.push_back(Symbol::data(data[k], activeMsg_));
+    }
+    Symbol ck;
+    ck.kind = SymbolKind::Checksum;
+    ck.value = packedChecksum(data);
+    ck.msgId = activeMsg_;
+    stream_.push_back(ck);
+    stream_.push_back(Symbol::control(SymbolKind::Turn, activeMsg_));
+
+    cursor_ = 0;
+    roundIndex_ = round;
+    ackSeen_ = false;
+    replyWords_.clear();
+    replySliceCrc_.assign(cascade_, Crc16{});
+    replyChecksumSeen_ = false;
+    sendState_ = SendState::Sending;
+}
+
+bool
+NetworkInterface::roundReplyOk() const
+{
+    if (!ackSeen_ || !ack_.ok)
+        return false;
+    if (replyChecksumSeen_) {
+        for (unsigned k = 0; k < cascade_; ++k) {
+            const auto expected =
+                (replyChecksum_ >> (k * 16)) & 0xffff;
+            if (replySliceCrc_[k].value() != expected)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+NetworkInterface::startAttempt(Cycle cycle)
+{
+    METRO_ASSERT(!out_.empty(), "endpoint %u has no injection ports",
+                 id_);
+    METRO_ASSERT(routeFn_, "endpoint %u has no route function", id_);
+
+    auto &rec = tracker_->record(activeMsg_);
+    ++rec.attempts;
+    counters_.add("attempts");
+    if (rec.attempts > 1)
+        counters_.add("retries");
+
+    // Stochastic injection-port choice: with multiple network input
+    // ports per endpoint (Figure 1), retries spread over them too.
+    outPort_ = static_cast<unsigned>(rng_.below(out_.size()));
+
+    statuses_.clear();
+    sawBlockedStatus_ = false;
+    roundsAckedOk_ = 0;
+    sessionReplies_.clear();
+    startRound(0);
+
+    // First word goes out this very tick; it is on the wire next
+    // cycle, which is the paper's "message injection" instant.
+    if (rec.injectCycle == kNever)
+        rec.injectCycle = cycle + 1;
+}
+
+void
+NetworkInterface::scheduleRetry(Cycle cycle)
+{
+    auto &rec = tracker_->record(activeMsg_);
+    if (rec.attempts >= config_.maxAttempts) {
+        rec.gaveUp = true;
+        rec.completeCycle = cycle;
+        counters_.add("giveUps");
+        activeMsg_ = 0;
+        sendState_ = SendState::Idle;
+        return;
+    }
+    const auto span = config_.backoffMax - config_.backoffMin;
+    const auto wait =
+        config_.backoffMin +
+        (span > 0 ? static_cast<unsigned>(rng_.below(span + 1)) : 0);
+    backoffUntil_ = cycle + 1 + wait;
+    sendState_ = SendState::Backoff;
+}
+
+void
+NetworkInterface::finishAttempt(Cycle cycle, bool success)
+{
+    auto &rec = tracker_->record(activeMsg_);
+    rec.statuses = statuses_;
+    if (success) {
+        rec.succeeded = true;
+        rec.completeCycle = cycle;
+        rec.reply = replyWords_;
+        rec.replyOk = rec.requestReply;
+        rec.sessionReplies = sessionReplies_;
+        rec.roundsCompleted = roundsAckedOk_;
+        counters_.add("successes");
+        activeMsg_ = 0;
+        sendState_ = SendState::Idle;
+    } else {
+        counters_.add("failedAttempts");
+        scheduleRetry(cycle);
+    }
+}
+
+void
+NetworkInterface::tickSend(Cycle cycle)
+{
+    // Start a queued message when the sender is free.
+    if (sendState_ == SendState::Idle) {
+        if (queue_.empty())
+            return;
+        activeMsg_ = queue_.front();
+        queue_.pop_front();
+        auto &rec = tracker_->record(activeMsg_);
+        if (rec.submitCycle == kNever)
+            rec.submitCycle = cycle;
+        startAttempt(cycle);
+        // fall through into Sending below to emit the first word
+    }
+
+    const std::vector<Link *> *group = &out_[outPort_];
+
+    if (sendState_ == SendState::Backoff) {
+        if (cycle >= backoffUntil_)
+            startAttempt(cycle);
+        else
+            return;
+        group = &out_[outPort_]; // port re-chosen by startAttempt
+    }
+
+    if (sendState_ == SendState::Abort) {
+        pushGroupDown(*group,
+                      Symbol::control(SymbolKind::Drop, activeMsg_));
+        scheduleRetry(cycle);
+        return;
+    }
+
+    // Watch the reverse lane in Sending and Await alike: the
+    // backward control bit can overtake the stream.
+    bool consistent = true;
+    const Symbol rsym = readGroupUp(*group, consistent);
+    if (!consistent) {
+        // Slice streams disagree: a cascade fault escaped the
+        // wired-AND. Treat the attempt as corrupted.
+        counters_.add("sliceDisagreement");
+        sendState_ = SendState::Abort;
+        return;
+    }
+
+    if (sendState_ == SendState::Sending) {
+        if (rsym.kind == SymbolKind::BcbDrop) {
+            counters_.add("bcbAborts");
+            sendState_ = SendState::Abort;
+            return; // truncate the stream; Drop goes out next tick
+        }
+        pushGroupDown(*group, stream_[cursor_++]);
+        if (cursor_ == stream_.size()) {
+            sendState_ = SendState::Await;
+            turnSent_ = cycle;
+        }
+        return;
+    }
+
+    METRO_ASSERT(sendState_ == SendState::Await, "bad send state");
+
+    switch (rsym.kind) {
+      case SymbolKind::Empty:
+      case SymbolKind::DataIdle:
+      case SymbolKind::Header:
+        break;
+      case SymbolKind::Status: {
+        const auto sw = StatusWord::decode(rsym.value);
+        statuses_.push_back(sw);
+        if (sw.blocked) {
+            sawBlockedStatus_ = true;
+            counters_.add("blockedStatuses");
+        }
+        break;
+      }
+      case SymbolKind::Ack: {
+        ack_ = AckWord::decode(rsym.value);
+        ackSeen_ = true;
+        if (ack_.ok) {
+            auto &rec = tracker_->record(activeMsg_);
+            if (roundIndex_ == 0)
+                rec.ackCycle = cycle;
+        } else {
+            counters_.add("nacks");
+        }
+        break;
+      }
+      case SymbolKind::Data:
+        replyWords_.push_back(rsym.value);
+        for (unsigned k = 0; k < cascade_; ++k)
+            replySliceCrc_[k].update(
+                (rsym.value >> (k * sliceWidth())) &
+                    lowMask(sliceWidth()),
+                sliceWidth());
+        break;
+      case SymbolKind::Checksum:
+        replyChecksumSeen_ = true;
+        replyChecksum_ = rsym.value;
+        break;
+      case SymbolKind::Drop: {
+        const auto &rec = tracker_->record(activeMsg_);
+        bool ok;
+        if (!rec.sessionRounds.empty()) {
+            // The destination closed the session. Success iff every
+            // round so far resolved cleanly and this closing round
+            // did too.
+            ok = roundReplyOk() && !sawBlockedStatus_;
+            if (ok) {
+                ++roundsAckedOk_;
+                sessionReplies_.push_back(replyWords_);
+            }
+        } else {
+            ok = ackSeen_ && ack_.ok && !sawBlockedStatus_;
+            if (ok && rec.requestReply) {
+                ok = replyChecksumSeen_ && roundReplyOk();
+                if (!ok)
+                    counters_.add("replyChecksumFail");
+            }
+        }
+        finishAttempt(cycle, ok);
+        return;
+      }
+      case SymbolKind::BcbDrop:
+        counters_.add("bcbAborts");
+        sendState_ = SendState::Abort;
+        return;
+      case SymbolKind::Turn: {
+        // The destination handed the connection back (multi-turn
+        // session, Section 5.1).
+        const auto &rec = tracker_->record(activeMsg_);
+        if (!roundReplyOk() || sawBlockedStatus_) {
+            counters_.add("roundFailures");
+            sendState_ = SendState::Abort;
+            return;
+        }
+        ++roundsAckedOk_;
+        sessionReplies_.push_back(replyWords_);
+        counters_.add("roundsCompleted");
+        if (roundIndex_ + 1 < rec.sessionRounds.size()) {
+            startRound(roundIndex_ + 1); // Sending resumes next tick
+        } else {
+            // Nothing more to send: close the session from our
+            // side; the Drop unwinds the path toward the
+            // destination.
+            pushGroupDown(*group, Symbol::control(SymbolKind::Drop,
+                                                  activeMsg_));
+            finishAttempt(cycle, true);
+        }
+        return;
+      }
+      case SymbolKind::Test:
+        counters_.add("strayAtSource");
+        break;
+    }
+
+    if (cycle - turnSent_ > config_.replyTimeout) {
+        counters_.add("replyTimeouts");
+        sendState_ = SendState::Abort;
+    }
+}
+
+void
+NetworkInterface::handleTurnAtReceiver(RecvPort &port, Cycle cycle)
+{
+    const bool tracked = tracker_->known(port.msgId);
+    MessageRecord *rec =
+        tracked ? &tracker_->record(port.msgId) : nullptr;
+
+    bool crc_ok = port.checksumSeen;
+    if (port.checksumSeen) {
+        for (unsigned k = 0; k < cascade_; ++k) {
+            const auto expected = (port.checksum >> (k * 16)) & 0xffff;
+            if (port.sliceCrc[k].value() != expected)
+                crc_ok = false;
+        }
+    }
+    bool ok = crc_ok && rec != nullptr;
+    if (ok && port.round == 0 && rec->dest != id_) {
+        ok = false;
+        counters_.add("wrongDestination");
+    }
+    if (port.checksumSeen && rec != nullptr && !crc_ok)
+        counters_.add("checksumFailures");
+
+    bool duplicate = false;
+    if (ok && port.round == 0) {
+        ++rec->arrivalCount;
+        auto it = lastDeliveredSeq_.find(rec->src);
+        duplicate = it != lastDeliveredSeq_.end() &&
+                    rec->sequence <= it->second;
+        if (duplicate) {
+            counters_.add("duplicateArrivals");
+        } else {
+            lastDeliveredSeq_[rec->src] = rec->sequence;
+            if (rec->deliverCycle == kNever)
+                rec->deliverCycle = cycle;
+            ++rec->deliveredCount;
+            counters_.add("deliveries");
+            if (deliveryHandler_)
+                deliveryHandler_(*rec);
+        }
+    }
+
+    // The acknowledgment occupies the very first reverse stream
+    // slot: pushed in the same tick the TURN is read.
+    AckWord ack;
+    ack.ok = ok;
+    ack.sequence = rec ? rec->sequence : 0;
+    Symbol ack_sym;
+    ack_sym.kind = SymbolKind::Ack;
+    ack_sym.value = ack.encode();
+    ack_sym.msgId = port.msgId;
+    pushGroupUp(port.links, ack_sym);
+
+    port.replyQueue.clear();
+    const bool session =
+        ok && !rec->sessionRounds.empty() && sessionHandler_;
+    bool turn_back = false;
+    if (session) {
+        // Multi-turn session round (at-least-once on retry).
+        const SessionReply sr =
+            sessionHandler_(*rec, port.round, port.words);
+        for (unsigned i = 0; i < sr.delay; ++i)
+            port.replyQueue.push_back(
+                Symbol::control(SymbolKind::DataIdle, port.msgId));
+        for (Word w : sr.words) {
+            METRO_ASSERT((w & ~lowMask(config_.width)) == 0,
+                         "reply word exceeds channel width");
+            port.replyQueue.push_back(Symbol::data(w, port.msgId));
+        }
+        Symbol ck;
+        ck.kind = SymbolKind::Checksum;
+        ck.value = packedChecksum(sr.words);
+        ck.msgId = port.msgId;
+        port.replyQueue.push_back(ck);
+        turn_back = sr.continueSession;
+        counters_.add("sessionRoundsServed");
+    } else if (ok && rec->requestReply && rec->sessionRounds.empty()) {
+        ReplySpec spec;
+        if (replyHandler_)
+            spec = replyHandler_(*rec);
+        for (unsigned i = 0; i < spec.delay; ++i)
+            port.replyQueue.push_back(
+                Symbol::control(SymbolKind::DataIdle, port.msgId));
+        for (Word w : spec.words) {
+            METRO_ASSERT((w & ~lowMask(config_.width)) == 0,
+                         "reply word exceeds channel width");
+            port.replyQueue.push_back(Symbol::data(w, port.msgId));
+        }
+        Symbol ck;
+        ck.kind = SymbolKind::Checksum;
+        ck.value = packedChecksum(spec.words);
+        ck.msgId = port.msgId;
+        port.replyQueue.push_back(ck);
+    }
+    port.replyQueue.push_back(Symbol::control(
+        turn_back ? SymbolKind::Turn : SymbolKind::Drop,
+        port.msgId));
+    port.state = RecvState::Replying;
+}
+
+void
+NetworkInterface::processReceivedSymbol(RecvPort &port,
+                                        const Symbol &sym, Cycle cycle)
+{
+    switch (sym.kind) {
+      case SymbolKind::Header:
+      case SymbolKind::DataIdle:
+      case SymbolKind::Empty:
+        break;
+      case SymbolKind::Status:
+        // Router status words of a reversal transient (they reach
+        // the receiving end after the source turns the connection
+        // forward again mid-session).
+        counters_.add("statusAtReceiver");
+        break;
+      case SymbolKind::Data:
+        port.words.push_back(sym.value);
+        for (unsigned k = 0; k < cascade_; ++k)
+            port.sliceCrc[k].update(
+                (sym.value >> (k * sliceWidth())) &
+                    lowMask(sliceWidth()),
+                sliceWidth());
+        break;
+      case SymbolKind::Checksum:
+        port.checksumSeen = true;
+        port.checksum = sym.value;
+        break;
+      case SymbolKind::Turn:
+        handleTurnAtReceiver(port, cycle);
+        break;
+      case SymbolKind::Drop:
+        counters_.add("abortedReceives");
+        port.state = RecvState::Idle;
+        port.round = 0;
+        break;
+      default:
+        counters_.add("strayAtReceiver");
+        break;
+    }
+}
+
+void
+NetworkInterface::tickRecv(RecvPort &port, Cycle cycle)
+{
+    if (port.links.empty())
+        return;
+
+    bool consistent = true;
+    Symbol sym = readGroupDown(port.links, consistent);
+    if (!consistent) {
+        // Disagreeing slices: poison the stream so the checksum
+        // check fails and the source retries.
+        counters_.add("sliceDisagreement");
+        sym = Symbol::data(0, sym.msgId);
+    }
+    if (sym.occupied())
+        port.lastActivity = cycle;
+
+    switch (port.state) {
+      case RecvState::Idle:
+        // A circuit-switched delivery port latches onto whatever
+        // stream starts arriving. The leading word is usually a
+        // Header, but the last-stage router may have swallowed the
+        // final header word, in which case the payload leads.
+        if (sym.kind == SymbolKind::Header ||
+            sym.kind == SymbolKind::Data ||
+            sym.kind == SymbolKind::Checksum ||
+            sym.kind == SymbolKind::DataIdle ||
+            sym.kind == SymbolKind::Turn) {
+            port.state = RecvState::Receiving;
+            port.msgId = sym.msgId;
+            port.round = 0;
+            port.sliceCrc.assign(cascade_, Crc16{});
+            port.words.clear();
+            port.checksumSeen = false;
+            processReceivedSymbol(port, sym, cycle);
+        } else if (sym.occupied()) {
+            counters_.add("strayAtReceiver");
+        }
+        break;
+
+      case RecvState::Receiving:
+        processReceivedSymbol(port, sym, cycle);
+        // Half-open stream watchdog (e.g. the source's path died).
+        if (port.state == RecvState::Receiving &&
+            config_.recvTimeout > 0 && !sym.occupied() &&
+            cycle - port.lastActivity > config_.recvTimeout) {
+            counters_.add("recvTimeouts");
+            port.state = RecvState::Idle;
+        }
+        break;
+
+      case RecvState::Replying: {
+        METRO_ASSERT(!port.replyQueue.empty(), "empty reply queue");
+        const Symbol next = port.replyQueue.front();
+        port.replyQueue.pop_front();
+        pushGroupUp(port.links, next);
+        if (next.kind == SymbolKind::Drop) {
+            port.state = RecvState::Idle;
+            port.round = 0;
+        } else if (next.kind == SymbolKind::Turn) {
+            // Session continues: receive the next round on the
+            // still-open connection.
+            port.state = RecvState::Receiving;
+            ++port.round;
+            port.sliceCrc.assign(cascade_, Crc16{});
+            port.words.clear();
+            port.checksumSeen = false;
+            port.lastActivity = cycle;
+        }
+        if (sym.occupied() && sym.kind != SymbolKind::DataIdle)
+            counters_.add("strayAtReceiver");
+        break;
+      }
+    }
+}
+
+void
+NetworkInterface::tick(Cycle cycle)
+{
+    for (auto &port : in_)
+        tickRecv(port, cycle);
+    tickSend(cycle);
+}
+
+} // namespace metro

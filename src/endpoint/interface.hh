@@ -1,0 +1,326 @@
+/**
+ * @file
+ * The source-responsible network interface.
+ *
+ * METRO routers push buffering, congestion handling, and fault
+ * handling out of the network and onto the endpoints (Section 1).
+ * The NetworkInterface implements that endpoint side:
+ *
+ *  - builds the routing header for a destination and streams
+ *    [header words | data words | checksum | TURN] at one word per
+ *    cycle into a randomly chosen injection port;
+ *  - parses the reversal transient: per-router STATUS words, the
+ *    destination acknowledgment, an optional reply payload, and the
+ *    closing Drop;
+ *  - on a blocked STATUS, a backward-control-bit drop, a failed
+ *    checksum, or a watchdog timeout, closes the connection and
+ *    *retries*. Randomized path selection inside the routers means
+ *    a retry very likely takes a different path, avoiding the fault
+ *    or hot spot (Section 4, Stochastic Path Selection);
+ *  - delivers each message to software exactly once (duplicate
+ *    arrivals from retries are re-acknowledged but not
+ *    re-delivered) using per-source sequence numbers;
+ *  - on the receive side, answers a TURN with an acknowledgment in
+ *    the very next stream slot, followed for request-reply traffic
+ *    by the reply payload — preceded by DATA-IDLE words when the
+ *    reply takes time to produce (the paper's remote-memory-read
+ *    motivation for DATA-IDLE, Section 5.1).
+ */
+
+#ifndef METRO_ENDPOINT_INTERFACE_HH
+#define METRO_ENDPOINT_INTERFACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/crc.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "endpoint/message.hh"
+#include "sim/component.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+/** Route header plan for one destination from one endpoint. */
+struct RoutePlan
+{
+    /** Packed route digits, stage 0 in the low bits. */
+    std::uint64_t route = 0;
+
+    /** Significant bits in `route`. */
+    std::uint16_t length = 0;
+
+    /** Header symbols to emit (paper Table 4 hbits / w). */
+    unsigned headerSymbols = 1;
+};
+
+/** Endpoint protocol configuration. */
+struct NiConfig
+{
+    /** Channel width in bits (must match the routers'). */
+    unsigned width = 8;
+
+    /** Give up after this many connection attempts. */
+    unsigned maxAttempts = 64;
+
+    /** Random retry backoff range, in cycles. @{ */
+    unsigned backoffMin = 0;
+    unsigned backoffMax = 7;
+    /** @} */
+
+    /** Watchdog: cycles to wait after TURN for the connection to
+     *  resolve before aborting the attempt. */
+    unsigned replyTimeout = 2000;
+
+    /** Receive-side watchdog: reset a half-open incoming stream
+     *  after this many silent cycles (0 = off). */
+    unsigned recvTimeout = 5000;
+
+    /**
+     * DATA-IDLE words inserted between consecutive payload words —
+     * a source whose data is not deterministically available
+     * (Section 5.1's first DATA-IDLE use case). The circuit stays
+     * open and the words simply arrive later. 0 = back-to-back.
+     */
+    unsigned interWordGap = 0;
+};
+
+/** A reply produced by the receive-side application callback. */
+struct ReplySpec
+{
+    /** Cycles of DATA-IDLE before the reply data (e.g. memory
+     *  access latency). */
+    unsigned delay = 0;
+
+    /** Reply payload words. */
+    std::vector<Word> words;
+};
+
+/** A per-round reply in a multi-turn session. */
+struct SessionReply
+{
+    /** Cycles of DATA-IDLE before the reply data. */
+    unsigned delay = 0;
+
+    /** Reply payload words for this round. */
+    std::vector<Word> words;
+
+    /** true: hand the connection back to the source with a TURN
+     *  (another round may follow); false: close with Drop. */
+    bool continueSession = true;
+};
+
+/**
+ * One network endpoint: a source-responsible sender plus an
+ * independent receiver per network input port.
+ */
+class NetworkInterface : public Component
+{
+  public:
+    using RouteFunction = std::function<RoutePlan(NodeId dest)>;
+    using ReplyHandler = std::function<ReplySpec(const MessageRecord &)>;
+    using DeliveryHandler = std::function<void(const MessageRecord &)>;
+    using SessionHandler = std::function<SessionReply(
+        const MessageRecord &, unsigned round,
+        const std::vector<Word> &data)>;
+
+    NetworkInterface(NodeId id, const NiConfig &config,
+                     MessageTracker *tracker, std::uint64_t seed);
+
+    /** Attach an injection (endpoint → network) link; A end. */
+    void addOutPort(Link *link);
+
+    /** Attach a delivery (network → endpoint) link; B end. */
+    void addInPort(Link *link);
+
+    /**
+     * Width cascading (Section 5.1): attach one injection port as a
+     * group of c parallel slice links — slice k carries bits
+     * [k·w/c, (k+1)·w/c) of every word, control words are
+     * replicated, and the checksum word packs one CRC-16 per slice.
+     * All groups of an endpoint must share the same width. @{
+     */
+    void addOutPortGroup(std::vector<Link *> slices);
+    void addInPortGroup(std::vector<Link *> slices);
+    /** @} */
+
+    /** Slices per port group (1 = no cascading). */
+    unsigned cascade() const { return cascade_; }
+
+    /** Install the topology's route computation. */
+    void setRouteFunction(RouteFunction fn) { routeFn_ = std::move(fn); }
+
+    /** Install the request-reply application callback. */
+    void setReplyHandler(ReplyHandler fn) { replyHandler_ = std::move(fn); }
+
+    /** Install the multi-turn session callback (invoked once per
+     *  arriving round; at-least-once on session retry, so handlers
+     *  should be idempotent per (source, sequence, round)). */
+    void
+    setSessionHandler(SessionHandler fn)
+    {
+        sessionHandler_ = std::move(fn);
+    }
+
+    /** Install a callback invoked on each first-time delivery. */
+    void
+    setDeliveryHandler(DeliveryHandler fn)
+    {
+        deliveryHandler_ = std::move(fn);
+    }
+
+    /**
+     * Queue a message. @return the tracker id.
+     * Payload words must fit in `width` bits each.
+     */
+    std::uint64_t send(NodeId dest, std::vector<Word> payload,
+                       bool request_reply = false);
+
+    /**
+     * Queue a multi-turn session (Section 5.1): the connection is
+     * opened once and reversed 2·rounds−1 times; the source sends
+     * rounds[k] in round k, the destination's SessionHandler
+     * replies each time. The whole session retries from round 0 on
+     * any failure. @return the tracker id.
+     */
+    std::uint64_t sendSession(NodeId dest,
+                              std::vector<std::vector<Word>> rounds);
+
+    /** True when nothing is queued or in flight on the send side. */
+    bool
+    sendIdle() const
+    {
+        return sendState_ == SendState::Idle && queue_.empty();
+    }
+
+    /** Queued-but-not-started messages. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Endpoint node id. */
+    NodeId nodeId() const { return id_; }
+
+    /** Channel width in bits. */
+    unsigned width() const { return config_.width; }
+
+    void tick(Cycle cycle) override;
+
+    /** Event counters (sends, retries, timeouts, duplicates...). */
+    const CounterSet &counters() const { return counters_; }
+
+    /** Number of attached ports. @{ */
+    std::size_t numOutPorts() const { return out_.size(); }
+    std::size_t numInPorts() const { return in_.size(); }
+    /** @} */
+
+  private:
+    enum class SendState : std::uint8_t
+    {
+        Idle,
+        Sending,
+        Await,
+        Abort,
+        Backoff,
+    };
+
+    enum class RecvState : std::uint8_t
+    {
+        Idle,
+        Receiving,
+        Replying,
+    };
+
+    struct RecvPort
+    {
+        std::vector<Link *> links; // one per slice
+        RecvState state = RecvState::Idle;
+        std::uint64_t msgId = 0;
+        std::vector<Crc16> sliceCrc; // one per slice
+        std::vector<Word> words;
+        bool checksumSeen = false;
+        Word checksum = 0; // per-slice CRC-16s, packed
+        std::deque<Symbol> replyQueue;
+        Cycle lastActivity = 0;
+        unsigned round = 0;
+    };
+
+    void startAttempt(Cycle cycle);
+    void startRound(unsigned round);
+    bool roundReplyOk() const;
+    void finishAttempt(Cycle cycle, bool success);
+
+    /** Slicing helpers (cascade() = 1 degenerates to pass-through).
+     *  @{ */
+    unsigned sliceWidth() const { return config_.width / cascade_; }
+    Symbol sliceOf(const Symbol &s, unsigned k) const;
+    /** Packed per-slice CRC-16s over a word sequence. */
+    Word packedChecksum(const std::vector<Word> &words) const;
+    void pushGroupDown(const std::vector<Link *> &group,
+                       const Symbol &s);
+    void pushGroupUp(const std::vector<Link *> &group,
+                     const Symbol &s);
+    /** Reassemble this cycle's symbol from a group's lanes; clears
+     *  `consistent` when the slices disagree on the symbol kind. */
+    Symbol readGroupUp(const std::vector<Link *> &group,
+                       bool &consistent) const;
+    Symbol readGroupDown(const std::vector<Link *> &group,
+                         bool &consistent) const;
+    /** @} */
+    void scheduleRetry(Cycle cycle);
+    void tickSend(Cycle cycle);
+    void tickRecv(RecvPort &port, Cycle cycle);
+    void processReceivedSymbol(RecvPort &port, const Symbol &sym,
+                               Cycle cycle);
+    void handleTurnAtReceiver(RecvPort &port, Cycle cycle);
+
+    NodeId id_;
+    NiConfig config_;
+    MessageTracker *tracker_;
+    Xoshiro256 rng_;
+    RouteFunction routeFn_;
+    ReplyHandler replyHandler_;
+    DeliveryHandler deliveryHandler_;
+    SessionHandler sessionHandler_;
+
+    std::vector<std::vector<Link *>> out_;
+    std::vector<RecvPort> in_;
+    unsigned cascade_ = 1;
+
+    // --- send side ---
+    std::deque<std::uint64_t> queue_;
+    SendState sendState_ = SendState::Idle;
+    std::uint64_t activeMsg_ = 0;
+    unsigned outPort_ = 0;
+    std::vector<Symbol> stream_;
+    std::size_t cursor_ = 0;
+    Cycle turnSent_ = 0;
+    Cycle backoffUntil_ = 0;
+    std::vector<StatusWord> statuses_;
+    bool sawBlockedStatus_ = false;
+    bool ackSeen_ = false;
+    AckWord ack_;
+    std::vector<Word> replyWords_;
+    std::vector<Crc16> replySliceCrc_;
+    bool replyChecksumSeen_ = false;
+    Word replyChecksum_ = 0;
+    std::uint32_t nextSequence_ = 1;
+
+    // --- multi-turn session state (send side) ---
+    unsigned roundIndex_ = 0;
+    unsigned roundsAckedOk_ = 0;
+    std::vector<std::vector<Word>> sessionReplies_;
+
+    // --- receive side ---
+    std::unordered_map<NodeId, std::uint32_t> lastDeliveredSeq_;
+
+    CounterSet counters_;
+};
+
+} // namespace metro
+
+#endif // METRO_ENDPOINT_INTERFACE_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Message records and the message tracker.
+ *
+ * METRO networks are stateless — no message ever exists solely in
+ * the network (Section 2) — so end-to-end correctness is entirely
+ * the endpoints' responsibility. The MessageTracker is the
+ * simulator's ground-truth ledger: every message a source submits
+ * is registered here, every delivery and acknowledgment is recorded
+ * against it, and the test suite checks exactly-once delivery and
+ * latency accounting against this ledger.
+ *
+ * In hardware the (source, destination, sequence) triple would ride
+ * in the message payload; the simulator carries a msgId tag on
+ * symbols and keeps the triple here instead, which keeps payload
+ * words free for checksum-integrity testing.
+ */
+
+#ifndef METRO_ENDPOINT_MESSAGE_HH
+#define METRO_ENDPOINT_MESSAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/symbol.hh"
+
+namespace metro
+{
+
+/** Lifecycle record of one end-to-end message. */
+struct MessageRecord
+{
+    std::uint64_t id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    std::uint32_t sequence = 0;
+
+    /** Payload data words (excluding the checksum word). */
+    std::vector<Word> payload;
+
+    /** True when the source expects a reply payload (remote read). */
+    bool requestReply = false;
+
+    /** Cycle the source accepted the message. */
+    Cycle submitCycle = kNever;
+
+    /** Cycle the first header word of the first attempt was on the
+     *  wire (paper Figure 3 measures from message injection). */
+    Cycle injectCycle = kNever;
+
+    /** Cycle the destination delivered the payload to software. */
+    Cycle deliverCycle = kNever;
+
+    /** Cycle the source read the (successful) acknowledgment. */
+    Cycle ackCycle = kNever;
+
+    /** Cycle the source observed the final connection close. */
+    Cycle completeCycle = kNever;
+
+    /** Connection attempts used (1 = no retries). */
+    unsigned attempts = 0;
+
+    /** Times the destination delivered to software (must be ≤ 1). */
+    unsigned deliveredCount = 0;
+
+    /** Times the destination saw the message arrive intact
+     *  (duplicates acknowledged but not re-delivered). */
+    unsigned arrivalCount = 0;
+
+    bool succeeded = false;
+    bool gaveUp = false;
+
+    /** STATUS words collected on the final (successful or last)
+     *  attempt, in network-stage order. */
+    std::vector<StatusWord> statuses;
+
+    /** Reply payload received (request-reply messages). */
+    std::vector<Word> reply;
+    bool replyOk = false;
+
+    /** Multi-turn sessions (Section 5.1: "Any number of data
+     *  transmission reversals may occur during a single
+     *  connection"): the data the source sends per round (round 0
+     *  aliases `payload`) and the replies it collected. @{ */
+    std::vector<std::vector<Word>> sessionRounds;
+    std::vector<std::vector<Word>> sessionReplies;
+    unsigned roundsCompleted = 0;
+    /** @} */
+
+    /** Injection-to-acknowledgment latency (paper's metric). */
+    Cycle
+    latency() const
+    {
+        METRO_ASSERT(succeeded && ackCycle != kNever &&
+                     injectCycle != kNever,
+                     "latency of an incomplete message");
+        return ackCycle - injectCycle;
+    }
+};
+
+/**
+ * Ground-truth ledger of all messages in a simulation.
+ */
+class MessageTracker
+{
+  public:
+    /** Register a new message; returns its simulator-wide id. */
+    std::uint64_t
+    create(NodeId src, NodeId dest, std::vector<Word> payload,
+           std::uint32_t sequence, bool request_reply, Cycle now)
+    {
+        const std::uint64_t id = nextId_++;
+        MessageRecord rec;
+        rec.id = id;
+        rec.src = src;
+        rec.dest = dest;
+        rec.sequence = sequence;
+        rec.payload = std::move(payload);
+        rec.requestReply = request_reply;
+        rec.submitCycle = now;
+        records_.emplace(id, std::move(rec));
+        return id;
+    }
+
+    /** Mutable access to a record. */
+    MessageRecord &
+    record(std::uint64_t id)
+    {
+        auto it = records_.find(id);
+        METRO_ASSERT(it != records_.end(), "unknown message %llu",
+                     static_cast<unsigned long long>(id));
+        return it->second;
+    }
+
+    /** Read-only access to a record. */
+    const MessageRecord &
+    record(std::uint64_t id) const
+    {
+        auto it = records_.find(id);
+        METRO_ASSERT(it != records_.end(), "unknown message %llu",
+                     static_cast<unsigned long long>(id));
+        return it->second;
+    }
+
+    /** Whether an id is known (0 is never known). */
+    bool
+    known(std::uint64_t id) const
+    {
+        return records_.find(id) != records_.end();
+    }
+
+    /** All records (tests iterate for invariant checks). */
+    const std::unordered_map<std::uint64_t, MessageRecord> &
+    all() const
+    {
+        return records_;
+    }
+
+    /** Count of registered messages. */
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::uint64_t nextId_ = 1;
+    std::unordered_map<std::uint64_t, MessageRecord> records_;
+};
+
+} // namespace metro
+
+#endif // METRO_ENDPOINT_MESSAGE_HH

@@ -1,0 +1,85 @@
+#include "model/blocking.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+/** Binomial pmf via a numerically tame running product. */
+double
+binomialPmf(unsigned n, double p, unsigned k)
+{
+    if (p <= 0.0)
+        return k == 0 ? 1.0 : 0.0;
+    if (p >= 1.0)
+        return k == n ? 1.0 : 0.0;
+    // C(n, k) p^k (1-p)^(n-k) built factor by factor.
+    double result = 1.0;
+    for (unsigned j = 1; j <= k; ++j)
+        result *= (static_cast<double>(n - k + j) / j) * p;
+    for (unsigned j = 0; j < n - k; ++j)
+        result *= (1.0 - p);
+    return result;
+}
+
+} // namespace
+
+double
+expectedMinBinomial(unsigned n, double p, unsigned d)
+{
+    double expected = 0.0;
+    for (unsigned k = 0; k <= n; ++k)
+        expected += binomialPmf(n, p, k) *
+                    static_cast<double>(std::min(k, d));
+    return expected;
+}
+
+std::vector<StageBlocking>
+analyzeBlocking(const MultibutterflySpec &spec, double injection)
+{
+    METRO_ASSERT(injection >= 0.0 && injection <= 1.0,
+                 "injection must be a probability");
+    std::vector<StageBlocking> stages;
+    double q = injection;
+    for (const auto &st : spec.stages) {
+        StageBlocking sb;
+        sb.inputLoad = q;
+        const unsigned i = st.params.numForward;
+        const double per_dir = q / st.radix;
+        const double carried =
+            expectedMinBinomial(i, per_dir, st.dilation);
+        const double offered =
+            static_cast<double>(i) * per_dir; // E[X]
+        sb.acceptance = offered > 0.0 ? carried / offered : 1.0;
+        // Each direction has d output ports carrying `carried`
+        // connections on average.
+        sb.outputLoad = carried / st.dilation;
+        stages.push_back(sb);
+        q = sb.outputLoad;
+    }
+    return stages;
+}
+
+double
+networkAcceptance(const MultibutterflySpec &spec, double injection)
+{
+    double acceptance = 1.0;
+    for (const auto &sb : analyzeBlocking(spec, injection))
+        acceptance *= sb.acceptance;
+    return acceptance;
+}
+
+double
+expectedAttempts(const MultibutterflySpec &spec, double injection)
+{
+    const double a = networkAcceptance(spec, injection);
+    METRO_ASSERT(a > 0.0, "zero acceptance");
+    return 1.0 / a;
+}
+
+} // namespace metro

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic blocking model for dilated multistage networks.
+ *
+ * The paper's aggregate performance rests on earlier analyses of
+ * multipath MINs (its refs [2] [3], Chong et al.). This module
+ * implements the standard time-slot approximation for a
+ * circuit-switched dilated stage:
+ *
+ *   Each of a router's i inputs independently carries a connection
+ *   attempt with probability q, uniformly spread over the r logical
+ *   directions. The number of requests X for one direction is
+ *   Binomial(i, q/r); with d equivalent outputs, min(X, d) are
+ *   granted, so a direction's expected carried load is E[min(X,d)]
+ *   and the per-attempt acceptance is E[min(X,d)] / E[X].
+ *
+ * Chaining stages (output load of stage s, normalized per output
+ * port, is the input load of stage s+1) yields the network
+ * acceptance probability A and the expected connection attempts
+ * 1/A — the quantity the simulator measures as attempts-per-message
+ * under load. The model ignores holding-time correlation and
+ * retry correlation, so it is an approximation the bench compares
+ * against simulation (it tracks the shape and the knee).
+ */
+
+#ifndef METRO_MODEL_BLOCKING_HH
+#define METRO_MODEL_BLOCKING_HH
+
+#include <vector>
+
+#include "network/multibutterfly.hh"
+
+namespace metro
+{
+
+/** Per-stage result of the blocking analysis. */
+struct StageBlocking
+{
+    /** Probability an input port carries an attempt this slot. */
+    double inputLoad = 0.0;
+
+    /** Probability an output port is carrying traffic. */
+    double outputLoad = 0.0;
+
+    /** Per-attempt acceptance probability at this stage. */
+    double acceptance = 1.0;
+};
+
+/**
+ * E[min(X, d)] for X ~ Binomial(n, p): the expected connections a
+ * direction with d equivalent ports carries.
+ */
+double expectedMinBinomial(unsigned n, double p, unsigned d);
+
+/**
+ * Chain the per-stage analysis through a multibutterfly at the
+ * given per-endpoint-port injection probability.
+ */
+std::vector<StageBlocking>
+analyzeBlocking(const MultibutterflySpec &spec, double injection);
+
+/** Product of per-stage acceptances: end-to-end first-try success. */
+double networkAcceptance(const MultibutterflySpec &spec,
+                         double injection);
+
+/** 1 / acceptance: expected attempts per message. */
+double expectedAttempts(const MultibutterflySpec &spec,
+                        double injection);
+
+} // namespace metro
+
+#endif // METRO_MODEL_BLOCKING_HH

@@ -1,0 +1,169 @@
+#include "model/latency.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace metro
+{
+
+DerivedLatency
+deriveLatency(const ImplementationSpec &spec)
+{
+    DerivedLatency d;
+    d.vtd = static_cast<unsigned>(
+        std::ceil((spec.tIo + d.tWire) / spec.tClk));
+    d.tOnChip = spec.tClk * spec.dp;
+    d.tStg = d.tOnChip + d.vtd * spec.tClk;
+    d.tBitPerBit = spec.tClk / (spec.w * spec.cascade);
+
+    if (spec.hw > 0) {
+        d.hbits = spec.hw * spec.w * spec.cascade * spec.stages();
+    } else {
+        unsigned route_bits = 0;
+        for (unsigned r : spec.radices)
+            route_bits += log2Ceil(r);
+        d.hbits = static_cast<unsigned>(
+                      ceilDiv(route_bits, spec.w)) *
+                  spec.w * spec.cascade;
+    }
+
+    d.t2032 = spec.stages() * d.tStg +
+              (20.0 * 8.0 + d.hbits) * d.tBitPerBit;
+    return d;
+}
+
+std::vector<Table3Row>
+table3Rows()
+{
+    // The 32-node application networks: i = o = 4 routers use the
+    // Figure-1-style 4-stage 2x2x2x4 construction; i = o = 8
+    // routers use the 2-stage 4x8 construction.
+    const std::vector<unsigned> four_stage = {2, 2, 2, 4};
+    const std::vector<unsigned> two_stage = {4, 8};
+
+    std::vector<Table3Row> rows;
+
+    auto add = [&rows](const std::string &name,
+                       const std::string &tech, double t_clk,
+                       double t_io, unsigned dp, unsigned hw,
+                       unsigned w, unsigned c,
+                       const std::vector<unsigned> &radices,
+                       double pub_t2032, double pub_tstg) {
+        Table3Row row;
+        row.spec.name = name;
+        row.spec.technology = tech;
+        row.spec.tClk = t_clk;
+        row.spec.tIo = t_io;
+        row.spec.dp = dp;
+        row.spec.hw = hw;
+        row.spec.w = w;
+        row.spec.cascade = c;
+        row.spec.radices = radices;
+        row.publishedT2032 = pub_t2032;
+        row.publishedTStg = pub_tstg;
+        rows.push_back(row);
+    };
+
+    const std::string ga = "1.2u Gate Array";
+    add("METROJR-ORBIT", ga, 25, 10, 1, 0, 4, 1, four_stage, 1250, 50);
+    add("METROJR-ORBIT 2-cascade", ga, 25, 10, 1, 0, 4, 2, four_stage,
+        750, 50);
+    add("METROJR-ORBIT 4-cascade", ga, 25, 10, 1, 0, 4, 4, four_stage,
+        500, 50);
+    add("METROJR w=8", ga, 25, 10, 1, 0, 8, 1, four_stage, 725, 50);
+
+    const std::string sc = "0.8u Std. Cell";
+    add("METROJR", sc, 10, 5, 1, 0, 4, 1, four_stage, 500, 20);
+    add("METROJR 2-cascade", sc, 10, 5, 1, 0, 4, 2, four_stage, 300,
+        20);
+    add("METROJR 4-cascade", sc, 10, 5, 1, 0, 4, 4, four_stage, 200,
+        20);
+    add("METRO i=o=8 w=4", sc, 10, 5, 1, 0, 4, 1, two_stage, 460, 20);
+
+    const std::string fc = "0.8u Full Custom";
+    add("METROJR", fc, 5, 3, 1, 0, 4, 1, four_stage, 270, 15);
+    add("METRO i=o=8 w=4", fc, 5, 3, 1, 0, 4, 1, two_stage, 240, 15);
+    add("METROJR dp=2", fc, 2, 3, 2, 0, 4, 1, four_stage, 124, 10);
+    add("METROJR hw=1", fc, 2, 3, 1, 1, 4, 1, four_stage, 120, 8);
+    add("METROJR hw=1 2-cascade", fc, 2, 3, 1, 1, 4, 2, four_stage, 80,
+        8);
+    add("METROJR hw=1 w=8", fc, 2, 3, 1, 1, 8, 1, four_stage, 80, 8);
+    add("METRO i=o=8 hw=2 w=4", fc, 2, 3, 1, 2, 4, 1, two_stage, 104,
+        8);
+    add("METRO i=o=8 hw=2 4-cascade", fc, 2, 3, 1, 2, 4, 4, two_stage,
+        44, 8);
+
+    return rows;
+}
+
+ContemporaryEstimate
+estimateContemporary(const ContemporarySpec &spec)
+{
+    // Same accounting as t_20,32: switching latency across the
+    // hops, plus 20 bytes serialized at the channel's bit rate.
+    const double per_bit = spec.tBitNs / spec.tBitBits;
+    const double serialize = 20.0 * 8.0 * per_bit;
+    ContemporaryEstimate est;
+    est.minNs = spec.hopsMin * spec.latencyMinNs + serialize;
+    est.maxNs = spec.hopsMax * spec.latencyMaxNs + serialize;
+    return est;
+}
+
+std::vector<ContemporarySpec>
+table5Rows()
+{
+    std::vector<ContemporarySpec> rows;
+
+    auto add = [&rows](const std::string &name, const std::string &note,
+                       double lat_min, double lat_max, unsigned h_min,
+                       unsigned h_max, double t_bit, unsigned bits,
+                       double pub_min, double pub_max) {
+        ContemporarySpec s;
+        s.name = name;
+        s.router_note = note;
+        s.latencyMinNs = lat_min;
+        s.latencyMaxNs = lat_max;
+        s.hopsMin = h_min;
+        s.hopsMax = h_max;
+        s.tBitNs = t_bit;
+        s.tBitBits = bits;
+        s.publishedMinNs = pub_min;
+        s.publishedMaxNs = pub_max;
+        rows.push_back(s);
+    };
+
+    // Hop counts: a 32-node configuration of each topology. The
+    // crossbar hubs and the ring cross the fabric in one switch
+    // transit; the CM-5 4-ary fat-tree takes from 2 transits
+    // (nearest leaf pair) up to ~10 including the up/down levels
+    // and interface transits the paper charges it; the J-Machine
+    // 3D mesh (4x4x2) and the MRC 2D mesh span a few hops each
+    // way; RACE crosses its crossbar tree in ~4 transits.
+    add("DEC/GIGAswitch", "<15us / 22-port xbar", 15000, 15000, 1, 1,
+        10, 1, 16000, 16000);
+    add("KSR/KSR-1", "3us / 32-node ring", 3000, 3000, 1, 1, 30, 8,
+        3500, 3500);
+    add("TMC/CM-5 Router", "250ns / 4-ary switch", 250, 250, 2, 10,
+        25, 4, 1500, 3500);
+    add("INMOS/C104", "<1us / 32-port xbar", 1000, 1000, 1, 1, 10, 1,
+        2500, 2500);
+    add("MIT/J-Machine", "60ns / 3D router", 60, 60, 1, 7, 30, 8, 660,
+        1020);
+    add("Caltech/MRC", "50-100ns / 2D router", 50, 100, 2, 6, 11, 8,
+        300, 800);
+    add("Mercury/RACE", "100ns / 6-port xbar", 100, 100, 4, 4, 5, 8,
+        500, 500);
+
+    return rows;
+}
+
+double
+parallelismLimitedOpsPerCycle(double p, double l)
+{
+    METRO_ASSERT(l >= 0.0, "latency must be non-negative");
+    return p / (l + 1.0);
+}
+
+} // namespace metro

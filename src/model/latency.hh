@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The paper's analytic latency model (Tables 3 and 4) and the
+ * contemporary-router comparison (Table 5).
+ *
+ * Table 4 defines, for a METRO implementation with clock period
+ * t_clk, i/o pad latency t_io, dp pipeline stages, hw consumed
+ * header words, channel width w, cascade factor c and a `stages`-
+ * stage 32-node multibutterfly:
+ *
+ *   t_wire    = 3 ns                       (assumed wire delay)
+ *   vtd       = ceil((t_io + t_wire) / t_clk)
+ *   t_on_chip = t_clk * dp
+ *   t_stg     = t_on_chip + vtd * t_clk
+ *   hbits     = hw > 0 : hw * w * c * stages
+ *               hw = 0 : ceil(sum_s log2(r_s) / w) * w * c
+ *   t_20,32   = stages * t_stg + (20*8 + hbits) * t_bit
+ *
+ * where t_bit = t_clk / (w * c) is the per-bit serialization time
+ * of the (possibly cascaded) channel. These formulas reproduce
+ * every t_20,32 entry of Table 3 exactly; the model-validation
+ * bench checks that, and cross-checks the cycle counts against the
+ * cycle-accurate simulator.
+ */
+
+#ifndef METRO_MODEL_LATENCY_HH
+#define METRO_MODEL_LATENCY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace metro
+{
+
+/** Input parameters of one implementation row (Table 3). */
+struct ImplementationSpec
+{
+    std::string name;
+    std::string technology;
+
+    /** Clock period, ns. */
+    double tClk = 25.0;
+
+    /** I/O pad latency, ns. */
+    double tIo = 10.0;
+
+    /** Internal data pipeline stages. */
+    unsigned dp = 1;
+
+    /** Header words consumed per router. */
+    unsigned hw = 0;
+
+    /** Channel width per component, bits. */
+    unsigned w = 4;
+
+    /** Width-cascade factor. */
+    unsigned cascade = 1;
+
+    /** Stage radices of the 32-node application network. */
+    std::vector<unsigned> radices = {2, 2, 2, 4};
+
+    /** Stages in that network. */
+    unsigned stages() const
+    {
+        return static_cast<unsigned>(radices.size());
+    }
+};
+
+/** Quantities derived by the Table 4 equations. */
+struct DerivedLatency
+{
+    double tWire = 3.0;     ///< assumed wire delay, ns
+    unsigned vtd = 0;       ///< interconnect delay in clocks
+    double tOnChip = 0.0;   ///< ns through the chip
+    double tStg = 0.0;      ///< chip-to-chip latency, ns
+    double tBitPerBit = 0.0;///< ns per bit of channel bandwidth
+    unsigned hbits = 0;     ///< routing bits required
+    double t2032 = 0.0;     ///< 20-byte, 32-node delivery, ns
+};
+
+/** Evaluate the Table 4 equations for one implementation. */
+DerivedLatency deriveLatency(const ImplementationSpec &spec);
+
+/** Every row of paper Table 3, with its published t_20,32 (ns). */
+struct Table3Row
+{
+    ImplementationSpec spec;
+    double publishedT2032;  ///< ns, as printed in the paper
+    double publishedTStg;   ///< ns, as printed in the paper
+};
+
+/** The fourteen implementation rows of Table 3. */
+std::vector<Table3Row> table3Rows();
+
+/** One contemporary router of Table 5. */
+struct ContemporarySpec
+{
+    std::string name;
+    std::string router_note;
+
+    /** Per-switch/hop latency range, ns. @{ */
+    double latencyMinNs = 0.0;
+    double latencyMaxNs = 0.0;
+    /** @} */
+
+    /** Hop count range across a 32-node configuration. @{ */
+    unsigned hopsMin = 1;
+    unsigned hopsMax = 1;
+    /** @} */
+
+    /** Channel serialization: ns per `bits` bits. @{ */
+    double tBitNs = 10.0;
+    unsigned tBitBits = 1;
+    /** @} */
+
+    /** Published t_20,32 range (ns). @{ */
+    double publishedMinNs = 0.0;
+    double publishedMaxNs = 0.0;
+    /** @} */
+};
+
+/** Estimated unloaded 20-byte, 32-node delivery time range (ns). */
+struct ContemporaryEstimate
+{
+    double minNs = 0.0;
+    double maxNs = 0.0;
+};
+
+/** Evaluate the Table 5 estimate for one contemporary router. */
+ContemporaryEstimate estimateContemporary(const ContemporarySpec &spec);
+
+/** The seven contemporary routers of Table 5. */
+std::vector<ContemporarySpec> table5Rows();
+
+/**
+ * Section 2's parallelism-limited speedup model: an application
+ * with p parallel operations per cycle on a machine with
+ * cross-network latency l executes p / (l + 1) operations per
+ * cycle on average.
+ */
+double parallelismLimitedOpsPerCycle(double p, double l);
+
+} // namespace metro
+
+#endif // METRO_MODEL_LATENCY_HH

@@ -1,0 +1,159 @@
+#include "network/analysis.hh"
+
+#include <unordered_map>
+
+#include "common/bitops.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+/** Resolved adjacency of one backward port. */
+struct Hop
+{
+    bool toEndpoint = false;
+    std::uint32_t id = 0;       // router id or endpoint id
+    PortIndex port = 0;         // downstream forward port
+    Link *link = nullptr;
+};
+
+/** Map (router, backward port) -> downstream attachment. */
+std::unordered_map<std::uint64_t, Hop>
+buildAdjacency(Network &net)
+{
+    std::unordered_map<std::uint64_t, Hop> adj;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        Link &link = net.link(l);
+        if (link.endA().kind != AttachKind::RouterBackward)
+            continue;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(link.endA().id) << 16) |
+            link.endA().port;
+        Hop hop;
+        hop.link = &link;
+        if (link.endB().kind == AttachKind::Endpoint) {
+            hop.toEndpoint = true;
+            hop.id = link.endB().id;
+        } else {
+            hop.toEndpoint = false;
+            hop.id = link.endB().id;
+            hop.port = link.endB().port;
+        }
+        adj.emplace(key, hop);
+    }
+    return adj;
+}
+
+bool
+usableRouter(Network &net, RouterId id, PortIndex fwd_port)
+{
+    MetroRouter &r = net.router(id);
+    return !r.dead() && r.config().forwardEnabled[fwd_port];
+}
+
+} // namespace
+
+std::uint64_t
+countPaths(Network &net, const MultibutterflySpec &spec, NodeId src,
+           NodeId dest)
+{
+    const auto adj = buildAdjacency(net);
+    const auto radices = spec.radices();
+
+    // Destination digit per stage.
+    std::vector<unsigned> digits(radices.size());
+    {
+        std::uint64_t suffix = 1;
+        std::vector<std::uint64_t> suffixes(radices.size());
+        for (std::size_t s = radices.size(); s-- > 0;) {
+            suffixes[s] = suffix;
+            suffix *= radices[s];
+        }
+        for (std::size_t s = 0; s < radices.size(); ++s)
+            digits[s] = static_cast<unsigned>(
+                (dest / suffixes[s]) % radices[s]);
+    }
+
+    // Seed: paths into stage-0 routers from the source's injection
+    // links.
+    std::unordered_map<RouterId, std::uint64_t> frontier;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        Link &link = net.link(l);
+        if (link.endA().kind != AttachKind::Endpoint ||
+            link.endA().id != src)
+            continue;
+        if (link.endB().kind != AttachKind::RouterForward)
+            continue;
+        if (link.fault() == LinkFault::Dead)
+            continue;
+        if (!usableRouter(net, link.endB().id, link.endB().port))
+            continue;
+        frontier[link.endB().id] += 1;
+    }
+
+    std::uint64_t delivered = 0;
+    for (std::size_t s = 0; s < radices.size(); ++s) {
+        const unsigned dir = digits[s];
+        std::unordered_map<RouterId, std::uint64_t> next;
+        for (const auto &[rid, count] : frontier) {
+            MetroRouter &router = net.router(rid);
+            const unsigned dilation = router.config().dilation;
+            for (unsigned k = 0; k < dilation; ++k) {
+                const PortIndex b = dir * dilation + k;
+                if (!router.config().backwardEnabled[b])
+                    continue;
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(rid) << 16) | b;
+                auto it = adj.find(key);
+                if (it == adj.end())
+                    continue;
+                const Hop &hop = it->second;
+                if (hop.link->fault() == LinkFault::Dead)
+                    continue;
+                if (hop.toEndpoint) {
+                    if (hop.id == dest)
+                        delivered += count;
+                } else {
+                    if (!usableRouter(net, hop.id, hop.port))
+                        continue;
+                    next[hop.id] += count;
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    return delivered;
+}
+
+bool
+allPairsConnected(Network &net, const MultibutterflySpec &spec)
+{
+    for (NodeId s = 0; s < spec.numEndpoints; ++s) {
+        for (NodeId d = 0; d < spec.numEndpoints; ++d) {
+            if (s == d)
+                continue;
+            if (countPaths(net, spec, s, d) == 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+minPathsOverPairs(Network &net, const MultibutterflySpec &spec)
+{
+    std::uint64_t min_paths = ~0ULL;
+    for (NodeId s = 0; s < spec.numEndpoints; ++s) {
+        for (NodeId d = 0; d < spec.numEndpoints; ++d) {
+            if (s == d)
+                continue;
+            min_paths =
+                std::min(min_paths, countPaths(net, spec, s, d));
+        }
+    }
+    return min_paths;
+}
+
+} // namespace metro

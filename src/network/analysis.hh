@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structural analysis of multibutterfly networks: path counting and
+ * fault-isolation properties (the claims illustrated by Figure 1:
+ * "there are many paths between each pair of network endpoints" and
+ * "the final stage [dilation-1 routers] allow the network to
+ * tolerate the complete loss of any router in the final stage
+ * without isolating any endpoints").
+ */
+
+#ifndef METRO_NETWORK_ANALYSIS_HH
+#define METRO_NETWORK_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "network/multibutterfly.hh"
+#include "network/network.hh"
+
+namespace metro
+{
+
+/**
+ * Count the distinct source→destination paths currently usable:
+ * dead routers, dead links, and disabled ports are excluded.
+ */
+std::uint64_t countPaths(Network &net, const MultibutterflySpec &spec,
+                         NodeId src, NodeId dest);
+
+/**
+ * True when every endpoint pair retains at least one usable path.
+ */
+bool allPairsConnected(Network &net, const MultibutterflySpec &spec);
+
+/**
+ * Minimum over all endpoint pairs of the usable path count.
+ */
+std::uint64_t minPathsOverPairs(Network &net,
+                                const MultibutterflySpec &spec);
+
+} // namespace metro
+
+#endif // METRO_NETWORK_ANALYSIS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fat-tree construction from METRO routers (paper Section 2:
+ * "Fat-Tree networks [17] [14] are another class of multistage,
+ * multipath networks which can be built using METRO routing
+ * components", with construction schemes in DeHon [7]).
+ *
+ * The instance built here is a binary fat tree over N = 2^levels
+ * endpoints. A cluster of routers implements each tree node; the
+ * cluster size doubles toward the root (leafRouters * 2^(level-1)),
+ * so aggregate level bandwidth stays constant — the fat-tree
+ * property. Every router runs radix 3: directions {left child,
+ * right child, up}, each direction dilation-d; root-level routers
+ * run radix 2 (no up). Up-routing exploits METRO's stochastic
+ * selection twice over: the random choice among the d equivalent
+ * ports also picks among parent-cluster routers.
+ *
+ * Routes are source-dependent (up to the least common ancestor,
+ * then down by destination bits), encoded in the same packed digit
+ * form the multibutterfly uses; digit value 2 means "up".
+ */
+
+#ifndef METRO_NETWORK_FATTREE_HH
+#define METRO_NETWORK_FATTREE_HH
+
+#include <memory>
+
+#include "endpoint/interface.hh"
+#include "network/network.hh"
+#include "router/params.hh"
+
+namespace metro
+{
+
+/** Fat-tree specification. */
+struct FatTreeSpec
+{
+    /** Tree height; N = 2^levels endpoints. */
+    unsigned levels = 3;
+
+    /** Routers in each leaf cluster (doubles per level up). */
+    unsigned leafRouters = 2;
+
+    /** Dilation of every direction (incl. up). */
+    unsigned dilation = 2;
+
+    /** Endpoint injection ports (each to a distinct leaf router
+     *  when the cluster allows). */
+    unsigned endpointPorts = 2;
+
+    /** Router implementation; needs 3*dilation backward ports. */
+    RouterParams params;
+
+    /** Wire pipeline registers on every link. */
+    unsigned linkDelay = 0;
+
+    NiConfig niConfig;
+    unsigned routerIdleTimeout = 4096;
+    bool randomWiring = true;
+    std::uint64_t seed = 1;
+
+    FatTreeSpec()
+    {
+        params.width = 8;
+        params.numForward = 8;
+        params.numBackward = 8;
+        params.maxDilation = 2;
+        niConfig.replyTimeout = 1024;
+        niConfig.maxAttempts = 100000;
+    }
+
+    /** Endpoints in the tree. */
+    unsigned numEndpoints() const { return 1u << levels; }
+
+    /** Check capacities; fatal() on error. */
+    void validate() const;
+};
+
+/**
+ * Route digits from `src` to `dest`: up-hops (digit 2) to the least
+ * common ancestor level, then down by destination bits. The peak
+ * router consumes 1 bit at the root level (radix 2), 2 bits
+ * elsewhere (radix 3).
+ */
+RoutePlan fatTreeRoute(const FatTreeSpec &spec, NodeId src,
+                       NodeId dest);
+
+/** Number of routers a src→dest connection crosses (2*anc - 1). */
+unsigned fatTreeHops(unsigned levels, NodeId src, NodeId dest);
+
+/** Build the network. The caller owns the result. */
+std::unique_ptr<Network> buildFatTree(const FatTreeSpec &spec);
+
+} // namespace metro
+
+#endif // METRO_NETWORK_FATTREE_HH

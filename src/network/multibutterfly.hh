@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Multibutterfly network construction (paper Section 2, Figure 1).
+ *
+ * A multibutterfly is a multistage network in which every stage
+ * recursively subdivides the set of possible destinations into
+ * radix-many classes, and dilation-d routers provide d equivalent
+ * links into each class — the source of the network's path
+ * multiplicity, bandwidth, and fault tolerance. The interstage
+ * wiring *within* a destination class is randomized (the
+ * "randomly-wired multibutterfly" of Leighton & Maggs), which is
+ * what gives distinct inputs largely disjoint path sets.
+ *
+ * The builder is class-structured: it tracks the destination class
+ * of every dangling wire, groups the wires of a class, deals them
+ * (randomly) onto the forward ports of the routers serving that
+ * class, and labels each router output with the refined class
+ * (c * radix + direction). Route digits therefore depend only on
+ * the destination, never on the path taken — a property the route
+ * computation below relies on.
+ */
+
+#ifndef METRO_NETWORK_MULTIBUTTERFLY_HH
+#define METRO_NETWORK_MULTIBUTTERFLY_HH
+
+#include <memory>
+#include <vector>
+
+#include "endpoint/interface.hh"
+#include "network/network.hh"
+#include "router/params.hh"
+
+namespace metro
+{
+
+/** One stage of a multibutterfly. */
+struct MbStageSpec
+{
+    /** Router implementation used in this stage. */
+    RouterParams params;
+
+    /** Logical directions resolved by this stage. */
+    unsigned radix = 4;
+
+    /** Equivalent outputs per direction. */
+    unsigned dilation = 2;
+
+    /** Wire pipeline registers (vtd) on links INTO this stage. */
+    unsigned linkDelay = 0;
+};
+
+/** Full multibutterfly specification. */
+struct MultibutterflySpec
+{
+    /** Endpoints; must equal the product of all stage radices. */
+    unsigned numEndpoints = 64;
+
+    /** Injection/delivery ports per endpoint (Figure 1 uses 2). */
+    unsigned endpointPorts = 2;
+
+    std::vector<MbStageSpec> stages;
+
+    /** vtd on last-stage → endpoint links. */
+    unsigned endpointLinkDelay = 0;
+
+    /**
+     * Width cascading (Section 5.1): build every logical router
+     * from this many physical routers operating in parallel, each
+     * carrying a w-bit slice of the (cascadeWidth * w)-wide logical
+     * channel. Members share random inputs and are monitored by a
+     * wired-AND CascadeGroup. 1 = no cascading.
+     */
+    unsigned cascadeWidth = 1;
+
+    /** Endpoint protocol configuration (width filled from stages). */
+    NiConfig niConfig;
+
+    /** Router connection idle-timeout (see RouterConfig). */
+    unsigned routerIdleTimeout = 0;
+
+    /** Fast path reclamation on every forward port (vs. detailed
+     *  blocking replies). */
+    bool fastReclaim = true;
+
+    /** Randomize within-class interstage wiring. */
+    bool randomWiring = true;
+
+    /** Stochastic output selection in every router (ablation knob;
+     *  see RouterConfig::randomSelection). */
+    bool randomSelection = true;
+
+    std::uint64_t seed = 1;
+
+    /** Check global consistency; fatal() on error. */
+    void validate() const;
+
+    /** Radices of all stages, in order. */
+    std::vector<unsigned> radices() const;
+
+    /** Total route bits (sum of ceil-log2 of the radices). */
+    unsigned routeBits() const;
+
+    /** Header symbols per message (paper Table 4 hbits / w). */
+    unsigned headerSymbols() const;
+};
+
+/**
+ * Route digits for `dest` in a network with the given stage
+ * radices: stage 0's digit in the low bits.
+ */
+RoutePlan multibutterflyRoute(const std::vector<unsigned> &radices,
+                              unsigned width, unsigned header_symbols,
+                              NodeId dest);
+
+/** Build the network. The caller owns the result. */
+std::unique_ptr<Network>
+buildMultibutterfly(const MultibutterflySpec &spec);
+
+} // namespace metro
+
+#endif // METRO_NETWORK_MULTIBUTTERFLY_HH

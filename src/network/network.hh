@@ -1,0 +1,185 @@
+/**
+ * @file
+ * A complete METRO network: routers, endpoints, links, the
+ * simulation engine, and the message ledger, under one owner.
+ */
+
+#ifndef METRO_NETWORK_NETWORK_HH
+#define METRO_NETWORK_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "endpoint/interface.hh"
+#include "endpoint/message.hh"
+#include "router/cascade.hh"
+#include "router/router.hh"
+#include "sim/engine.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+/**
+ * Owns every simulation object of one network instance. Builders
+ * (multibutterfly, fat-tree, ad-hoc test fixtures) populate it;
+ * finalize() registers everything with the engine.
+ */
+class Network
+{
+  public:
+    Network() = default;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Construction API (builders). @{ */
+    MetroRouter *
+    addRouter(const RouterParams &params, const RouterConfig &config,
+              std::uint64_t seed)
+    {
+        auto id = static_cast<RouterId>(routers_.size());
+        routers_.push_back(
+            std::make_unique<MetroRouter>(id, params, config, seed));
+        return routers_.back().get();
+    }
+
+    NetworkInterface *
+    addEndpoint(const NiConfig &config, std::uint64_t seed)
+    {
+        auto id = static_cast<NodeId>(endpoints_.size());
+        endpoints_.push_back(std::make_unique<NetworkInterface>(
+            id, config, &tracker_, seed));
+        return endpoints_.back().get();
+    }
+
+    Link *
+    addLink(unsigned down_latency, unsigned up_latency,
+            std::uint64_t fault_seed)
+    {
+        auto id = static_cast<LinkId>(links_.size());
+        links_.push_back(std::make_unique<Link>(
+            id, down_latency, up_latency, fault_seed));
+        return links_.back().get();
+    }
+
+    /** Register a width-cascade consistency monitor over a set of
+     *  member routers (shares their randomness; ticks after them). */
+    CascadeGroup *
+    addCascadeGroup(std::vector<MetroRouter *> members,
+                    std::uint64_t seed)
+    {
+        cascades_.push_back(std::make_unique<CascadeGroup>(
+            std::move(members), seed));
+        return cascades_.back().get();
+    }
+
+    /** Record which stage a router belongs to. */
+    void
+    setStages(std::vector<std::vector<RouterId>> stages)
+    {
+        stages_ = std::move(stages);
+    }
+
+    /** Register all objects with the engine. Call exactly once. */
+    void
+    finalize()
+    {
+        METRO_ASSERT(!finalized_, "network finalized twice");
+        for (auto &r : routers_)
+            engine_.addComponent(r.get());
+        // Cascade monitors observe post-tick router state: they
+        // must tick after every member.
+        for (auto &c : cascades_)
+            engine_.addComponent(c.get());
+        for (auto &e : endpoints_)
+            engine_.addComponent(e.get());
+        for (auto &l : links_)
+            engine_.addLink(l.get());
+        finalized_ = true;
+    }
+    /** @} */
+
+    /** Accessors. @{ */
+    Engine &engine() { return engine_; }
+    MessageTracker &tracker() { return tracker_; }
+    const MessageTracker &tracker() const { return tracker_; }
+
+    std::size_t numRouters() const { return routers_.size(); }
+    std::size_t numEndpoints() const { return endpoints_.size(); }
+    std::size_t numLinks() const { return links_.size(); }
+
+    MetroRouter &
+    router(RouterId id)
+    {
+        METRO_ASSERT(id < routers_.size(), "router %u out of range",
+                     id);
+        return *routers_[id];
+    }
+
+    NetworkInterface &
+    endpoint(NodeId id)
+    {
+        METRO_ASSERT(id < endpoints_.size(),
+                     "endpoint %u out of range", id);
+        return *endpoints_[id];
+    }
+
+    Link &
+    link(LinkId id)
+    {
+        METRO_ASSERT(id < links_.size(), "link %u out of range", id);
+        return *links_[id];
+    }
+
+    /** Cascade monitors in this network. */
+    std::size_t numCascadeGroups() const { return cascades_.size(); }
+
+    CascadeGroup &
+    cascadeGroup(std::size_t k)
+    {
+        METRO_ASSERT(k < cascades_.size(), "cascade %zu out of range",
+                     k);
+        return *cascades_[k];
+    }
+
+    unsigned
+    numStages() const
+    {
+        return static_cast<unsigned>(stages_.size());
+    }
+
+    const std::vector<RouterId> &
+    routersInStage(unsigned s) const
+    {
+        METRO_ASSERT(s < stages_.size(), "stage %u out of range", s);
+        return stages_[s];
+    }
+    /** @} */
+
+    /** True when every router holds no connection state. */
+    bool
+    routersQuiescent() const
+    {
+        for (const auto &r : routers_) {
+            if (!r->quiescent())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    Engine engine_;
+    MessageTracker tracker_;
+    std::vector<std::unique_ptr<MetroRouter>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> endpoints_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::vector<std::unique_ptr<CascadeGroup>> cascades_;
+    std::vector<std::vector<RouterId>> stages_;
+    bool finalized_ = false;
+};
+
+} // namespace metro
+
+#endif // METRO_NETWORK_NETWORK_HH

@@ -1,0 +1,120 @@
+#include "network/presets.hh"
+
+#include "common/logging.hh"
+
+namespace metro
+{
+
+MultibutterflySpec
+fig1Spec(std::uint64_t seed)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 16;
+    spec.endpointPorts = 2;
+    spec.seed = seed;
+
+    RouterParams jr = RouterParams::metroJr(); // i = o = w = 4
+
+    MbStageSpec s01;
+    s01.params = jr;
+    s01.radix = 2;
+    s01.dilation = 2;
+
+    MbStageSpec s2;
+    s2.params = jr;
+    s2.radix = 4;
+    s2.dilation = 1;
+
+    spec.stages = {s01, s01, s2};
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 512;
+    // Source-responsible retry keeps trying until a path opens
+    // (Section 4); the give-up bound exists only as a backstop.
+    spec.niConfig.maxAttempts = 100000;
+    return spec;
+}
+
+MultibutterflySpec
+fig3Spec(std::uint64_t seed)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 64;
+    spec.endpointPorts = 2;
+    spec.seed = seed;
+
+    // 8-bit wide, radix-4 routers (Figure 3 caption); the first two
+    // stages dilation-2 (i = o = 8), the last dilation-1 (4x4).
+    RouterParams wide;
+    wide.width = 8;
+    wide.numForward = 8;
+    wide.numBackward = 8;
+    wide.maxDilation = 2;
+
+    RouterParams narrow;
+    narrow.width = 8;
+    narrow.numForward = 4;
+    narrow.numBackward = 4;
+    narrow.maxDilation = 2;
+
+    MbStageSpec s0;
+    s0.params = wide;
+    s0.radix = 4;
+    s0.dilation = 2;
+
+    MbStageSpec s2;
+    s2.params = narrow;
+    s2.radix = 4;
+    s2.dilation = 1;
+
+    spec.stages = {s0, s0, s2};
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 1024;
+    spec.niConfig.maxAttempts = 100000;
+    return spec;
+}
+
+MultibutterflySpec
+table32Spec(const RouterParams &params, std::uint64_t seed)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 32;
+    spec.endpointPorts = 2;
+    spec.seed = seed;
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 1024;
+    spec.niConfig.maxAttempts = 100000;
+
+    if (params.numForward == 4) {
+        // Figure-1 style: 2 x 2 x 2 x 4 = 32 over four stages.
+        MbStageSpec early;
+        early.params = params;
+        early.radix = 2;
+        early.dilation = 2;
+
+        MbStageSpec last;
+        last.params = params;
+        last.radix = 4;
+        last.dilation = 1;
+
+        spec.stages = {early, early, early, last};
+    } else if (params.numForward == 8) {
+        // Two-stage form: 4 x 8 = 32.
+        MbStageSpec first;
+        first.params = params;
+        first.radix = 4;
+        first.dilation = 2;
+
+        MbStageSpec last;
+        last.params = params;
+        last.radix = 8;
+        last.dilation = 1;
+
+        spec.stages = {first, last};
+    } else {
+        METRO_FATAL("table32Spec supports i = 4 or i = 8 routers "
+                    "(got %u)", params.numForward);
+    }
+    return spec;
+}
+
+} // namespace metro

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Canonical network instances from the paper.
+ *
+ *  - fig1Spec(): the 16×16 multipath network of Figure 1 — two
+ *    stages of 4×2 (inputs × radix) dilation-2 routers followed by
+ *    4×4 dilation-1 routers, endpoints with two ports each.
+ *
+ *  - fig3Spec(): the aggregate-performance network of Figure 3 — a
+ *    3-stage, 64-endpoint network of 8-bit-wide radix-4 routers,
+ *    the first two stages in dilation-2 mode and the last in
+ *    dilation-1 mode, every endpoint with two network ports. The
+ *    default timing (dp = 1, zero wire delay) reproduces the stated
+ *    28-cycle unloaded injection-to-acknowledgment latency for
+ *    20-byte messages.
+ *
+ *  - table32Spec(): the 32-node network used for the t_{20,32}
+ *    application-latency figures of Table 3, "constructed like the
+ *    one shown in Figure 1": for 4-stage rows, three stages of
+ *    radix-2 dilation-2 routers and a final radix-4 dilation-1
+ *    stage (2·2·2·4 = 32); for 2-stage rows (METRO i = o = 8),
+ *    radix-4 dilation-2 followed by radix-8 dilation-1 (4·8 = 32).
+ */
+
+#ifndef METRO_NETWORK_PRESETS_HH
+#define METRO_NETWORK_PRESETS_HH
+
+#include "network/multibutterfly.hh"
+
+namespace metro
+{
+
+/** Figure 1: the 16×16 multipath network. */
+MultibutterflySpec fig1Spec(std::uint64_t seed = 1);
+
+/** Figure 3: the 3-stage, 64-endpoint load-latency network. */
+MultibutterflySpec fig3Spec(std::uint64_t seed = 1);
+
+/**
+ * Table 3 application network: 32 endpoints.
+ * @param params router implementation (i = o = 4 → 4 stages,
+ *               i = o = 8 → 2 stages)
+ */
+MultibutterflySpec table32Spec(const RouterParams &params,
+                               std::uint64_t seed = 1);
+
+} // namespace metro
+
+#endif // METRO_NETWORK_PRESETS_HH

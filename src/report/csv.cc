@@ -1,0 +1,75 @@
+#include "report/csv.hh"
+
+#include <map>
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+fmt(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::string>
+experimentCsvHeader()
+{
+    return {"label",        "load",       "latencyMean",
+            "latencyMedian", "latencyP95", "latencyMax",
+            "attemptsMean", "blockRate",  "completed",
+            "gaveUp",       "unresolved", "routerBlocks",
+            "routerGrants", "bcbSent",    "retries"};
+}
+
+std::vector<std::string>
+experimentCsvRow(const std::string &label,
+                 const ExperimentResult &r)
+{
+    return {label,
+            fmt(r.achievedLoad),
+            fmt(r.latency.mean()),
+            fmt(r.latency.median()),
+            fmt(r.latency.percentile(95)),
+            fmt(r.latency.max()),
+            fmt(r.attempts.mean()),
+            fmt(r.blockRate()),
+            fmt(r.completedMessages),
+            fmt(r.gaveUpMessages),
+            fmt(r.unresolvedMessages),
+            fmt(r.routerTotals.get("blocks")),
+            fmt(r.routerTotals.get("grants")),
+            fmt(r.routerTotals.get("bcbSent")),
+            fmt(r.niTotals.get("retries"))};
+}
+
+std::string
+histogramCsv(const Histogram &histogram)
+{
+    // Bucketize exact samples into a frequency table.
+    std::map<std::uint64_t, std::uint64_t> freq;
+    for (auto v : histogram.samples())
+        ++freq[v];
+    CsvWriter csv;
+    csv.row({"latency", "count"});
+    for (const auto &[value, count] : freq)
+        csv.row({fmt(value), fmt(count)});
+    return csv.str();
+}
+
+} // namespace metro

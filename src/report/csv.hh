@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CSV emission for experiment results.
+ *
+ * Benches and the metro_sim command-line tool can emit their
+ * series machine-readably so plots of the paper's figures can be
+ * regenerated with external tooling. Quoting follows RFC 4180.
+ */
+
+#ifndef METRO_REPORT_CSV_HH
+#define METRO_REPORT_CSV_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+
+/** Minimal RFC-4180 CSV writer. */
+class CsvWriter
+{
+  public:
+    /** Emit one row from preformatted cells. */
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+            if (k)
+                out_ << ',';
+            out_ << escape(cells[k]);
+        }
+        out_ << "\r\n";
+    }
+
+    /** The document so far. */
+    std::string str() const { return out_.str(); }
+
+    /** Quote a cell per RFC 4180. */
+    static std::string
+    escape(const std::string &cell)
+    {
+        const bool needs_quotes =
+            cell.find_first_of(",\"\r\n") != std::string::npos;
+        if (!needs_quotes)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    }
+
+  private:
+    std::ostringstream out_;
+};
+
+/** Column header for experiment-result rows. */
+std::vector<std::string> experimentCsvHeader();
+
+/**
+ * One experiment result as CSV cells, tagged with a free-form
+ * label (e.g. the swept parameter value).
+ */
+std::vector<std::string>
+experimentCsvRow(const std::string &label,
+                 const ExperimentResult &result);
+
+/** A latency histogram as its own two-column CSV document. */
+std::string histogramCsv(const Histogram &histogram);
+
+} // namespace metro
+
+#endif // METRO_REPORT_CSV_HH

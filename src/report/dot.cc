@@ -1,0 +1,84 @@
+#include "report/dot.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+nodeName(const LinkEnd &end)
+{
+    if (end.kind == AttachKind::Endpoint)
+        return "ep" + std::to_string(end.id);
+    return "r" + std::to_string(end.id);
+}
+
+} // namespace
+
+std::string
+networkToDot(Network &net, const std::string &title)
+{
+    std::ostringstream out;
+    out << "digraph metro {\n";
+    if (!title.empty())
+        out << "  label=\"" << title << "\";\n";
+    out << "  rankdir=LR;\n"
+        << "  node [fontname=\"monospace\"];\n";
+
+    // Endpoints.
+    out << "  { rank=same;\n";
+    for (NodeId e = 0; e < net.numEndpoints(); ++e)
+        out << "    ep" << e << " [shape=box, label=\"ep" << e
+            << "\"];\n";
+    out << "  }\n";
+
+    // Routers per stage.
+    for (unsigned s = 0; s < net.numStages(); ++s) {
+        out << "  { rank=same;\n";
+        for (RouterId r : net.routersInStage(s)) {
+            const bool dead = net.router(r).dead();
+            out << "    r" << r << " [shape=ellipse, label=\"r" << r
+                << "\\ns" << s << "\"";
+            if (dead)
+                out << ", style=dashed, color=red";
+            out << "];\n";
+        }
+        out << "  }\n";
+    }
+
+    // Links: collapse cascade slices and dilated parallels into
+    // weighted edges between the same pair.
+    struct EdgeInfo
+    {
+        unsigned count = 0;
+        bool anyDead = false;
+    };
+    std::map<std::pair<std::string, std::string>, EdgeInfo> edges;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        Link &link = net.link(l);
+        if (link.endA().kind == AttachKind::None ||
+            link.endB().kind == AttachKind::None)
+            continue;
+        auto &info = edges[{nodeName(link.endA()),
+                            nodeName(link.endB())}];
+        ++info.count;
+        info.anyDead |= link.fault() == LinkFault::Dead;
+    }
+    for (const auto &[pair, info] : edges) {
+        out << "  " << pair.first << " -> " << pair.second;
+        out << " [label=\"" << info.count << "\"";
+        if (info.anyDead)
+            out << ", style=dashed, color=red";
+        out << "];\n";
+    }
+
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace metro

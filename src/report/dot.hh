@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Graphviz DOT export of a network's topology: endpoints, routers
+ * (grouped by stage), and links (slice groups collapsed to one
+ * edge). Render with `dot -Tsvg` / `neato` to inspect wiring, path
+ * diversity, or the placement of injected faults (dead elements
+ * are drawn dashed/red).
+ */
+
+#ifndef METRO_REPORT_DOT_HH
+#define METRO_REPORT_DOT_HH
+
+#include <string>
+
+#include "network/network.hh"
+
+namespace metro
+{
+
+/** Render the network's structure as a DOT digraph. */
+std::string networkToDot(Network &net, const std::string &title = "");
+
+} // namespace metro
+
+#endif // METRO_REPORT_DOT_HH

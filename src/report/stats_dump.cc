@@ -1,0 +1,113 @@
+#include "report/stats_dump.hh"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace metro
+{
+
+std::string
+stageStatsReport(Network &net)
+{
+    // Aggregate counters per stage.
+    const unsigned stages = net.numStages();
+    std::vector<std::map<std::string, std::uint64_t>> totals(
+        std::max(1u, stages));
+    std::set<std::string> names;
+
+    auto stage_of = [&net, stages](RouterId r) -> unsigned {
+        if (stages == 0)
+            return 0;
+        return net.router(r).stage();
+    };
+    for (RouterId r = 0; r < net.numRouters(); ++r) {
+        const unsigned s = stage_of(r);
+        for (const auto &[name, value] :
+             net.router(r).counters().all()) {
+            totals[std::min<std::size_t>(s, totals.size() - 1)]
+                [name] += value;
+            names.insert(name);
+        }
+    }
+
+    std::ostringstream out;
+    out << "router events by stage\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-22s", "counter");
+    out << line;
+    for (unsigned s = 0; s < totals.size(); ++s) {
+        std::snprintf(line, sizeof(line), " %12s",
+                      ("stage " + std::to_string(s)).c_str());
+        out << line;
+    }
+    out << "\n";
+    for (const auto &name : names) {
+        std::snprintf(line, sizeof(line), "  %-22s", name.c_str());
+        out << line;
+        for (const auto &stage : totals) {
+            const auto it = stage.find(name);
+            std::snprintf(line, sizeof(line), " %12llu",
+                          static_cast<unsigned long long>(
+                              it == stage.end() ? 0 : it->second));
+            out << line;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+endpointStatsReport(Network &net)
+{
+    std::map<std::string, std::uint64_t> totals;
+    for (NodeId e = 0; e < net.numEndpoints(); ++e) {
+        for (const auto &[name, value] :
+             net.endpoint(e).counters().all())
+            totals[name] += value;
+    }
+    std::ostringstream out;
+    out << "endpoint protocol events (all " << net.numEndpoints()
+        << " endpoints)\n";
+    char line[128];
+    for (const auto &[name, value] : totals) {
+        std::snprintf(line, sizeof(line), "  %-22s %12llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(value));
+        out << line;
+    }
+    return out.str();
+}
+
+std::string
+networkHealthSummary(Network &net)
+{
+    std::uint64_t submitted = 0, succeeded = 0, gave_up = 0,
+                  in_flight = 0, duplicates = 0;
+    for (const auto &[id, rec] : net.tracker().all()) {
+        ++submitted;
+        if (rec.succeeded)
+            ++succeeded;
+        else if (rec.gaveUp)
+            ++gave_up;
+        else
+            ++in_flight;
+        if (rec.deliveredCount > 1)
+            ++duplicates;
+    }
+    std::ostringstream out;
+    out << "messages: " << submitted << " submitted, " << succeeded
+        << " succeeded, " << gave_up << " gave up, " << in_flight
+        << " in flight\n";
+    out << "delivery integrity: "
+        << (duplicates == 0 ? "exactly-once holds"
+                            : std::to_string(duplicates) +
+                                  " DUPLICATED")
+        << "\n";
+    out << "routers quiescent: "
+        << (net.routersQuiescent() ? "yes" : "no") << "\n";
+    return out.str();
+}
+
+} // namespace metro

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable statistics reports for a network: per-stage
+ * aggregated router event counters, endpoint protocol totals, and
+ * a one-line health summary. Used by metro_sim --stats and handy
+ * in tests and examples.
+ */
+
+#ifndef METRO_REPORT_STATS_DUMP_HH
+#define METRO_REPORT_STATS_DUMP_HH
+
+#include <string>
+
+#include "network/network.hh"
+
+namespace metro
+{
+
+/** Router counters aggregated per stage, rendered as a table. */
+std::string stageStatsReport(Network &net);
+
+/** Endpoint protocol counters aggregated, rendered as a table. */
+std::string endpointStatsReport(Network &net);
+
+/**
+ * One-paragraph summary: message ledger totals (submitted,
+ * succeeded, gave up, in flight), delivery-integrity check
+ * (exactly-once), and quiescence.
+ */
+std::string networkHealthSummary(Network &net);
+
+} // namespace metro
+
+#endif // METRO_REPORT_STATS_DUMP_HH

@@ -1,0 +1,76 @@
+#include "router/allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace metro
+{
+
+std::vector<AllocGrant>
+allocateCrossbar(const std::vector<AllocRequest> &requests,
+                 const std::vector<bool> &available, unsigned dilation,
+                 std::uint64_t random_word, bool randomize)
+{
+    METRO_ASSERT(dilation > 0, "dilation must be positive");
+
+    std::vector<AllocGrant> result(requests.size());
+    const unsigned num_directions =
+        static_cast<unsigned>(available.size()) / dilation;
+
+    // Group request indices by direction, preserving forward-port
+    // order so the random rotation below is the only source of
+    // priority variation (and is identical across a cascade group).
+    std::vector<std::vector<std::size_t>> by_dir(num_directions);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto &req = requests[i];
+        METRO_ASSERT(req.direction < num_directions,
+                     "request direction %u out of range (radix %u)",
+                     req.direction, num_directions);
+        result[i].forwardPort = req.forwardPort;
+        by_dir[req.direction].push_back(i);
+    }
+
+    for (unsigned dir = 0; dir < num_directions; ++dir) {
+        auto &reqs = by_dir[dir];
+        if (reqs.empty())
+            continue;
+
+        // Free ports of this direction's group.
+        std::vector<PortIndex> free_ports;
+        for (unsigned k = 0; k < dilation; ++k) {
+            const PortIndex b = dir * dilation + k;
+            if (available[b])
+                free_ports.push_back(b);
+        }
+
+        // Deterministic per-direction random stream derived from
+        // the shared word: identical across cascaded routers.
+        Xoshiro256 draw(random_word ^
+                        (0x9e3779b97f4a7c15ULL * (dir + 1)));
+
+        // Rotate request priority randomly.
+        if (randomize && reqs.size() > 1) {
+            const auto rot = static_cast<std::size_t>(
+                draw.below(reqs.size()));
+            std::rotate(reqs.begin(), reqs.begin() + rot, reqs.end());
+        }
+
+        for (std::size_t idx : reqs) {
+            if (free_ports.empty())
+                break; // remaining requests stay blocked
+            const auto pick =
+                randomize ? static_cast<std::size_t>(
+                                draw.below(free_ports.size()))
+                          : 0;
+            result[idx].backwardPort = free_ports[pick];
+            free_ports.erase(free_ports.begin() +
+                             static_cast<std::ptrdiff_t>(pick));
+        }
+    }
+
+    return result;
+}
+
+} // namespace metro

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Router width cascading (paper Section 5.1).
+ *
+ * A logical router with a w·c-bit datapath is built from c
+ * identical METRO routers operating in parallel, each carrying a
+ * w-bit slice of every word. Two hooks keep the members in
+ * lockstep:
+ *
+ *  - *shared randomness*: the members draw their random input bits
+ *    from the same external stream, so identical connection
+ *    requests produce identical allocations (modelled by giving
+ *    each member the same RandomSource);
+ *
+ *  - the *wired-AND IN-USE pull-up*: each backward port exports a
+ *    not-in-use signal, wire-ANDed across the cascade. When the
+ *    members ever disagree about an allocation — which can only
+ *    happen under a fault such as a corrupted routing header — the
+ *    disagreement is detected and the affected connection is shut
+ *    down on every member, containing the fault. End-to-end
+ *    checksums still guard the (improbable) escapes.
+ *
+ * CascadeGroup evaluates the wired-AND each cycle. Register it
+ * with the engine *after* its member routers so it observes the
+ * cycle's final port states.
+ */
+
+#ifndef METRO_ROUTER_CASCADE_HH
+#define METRO_ROUTER_CASCADE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "router/router.hh"
+#include "sim/component.hh"
+
+namespace metro
+{
+
+/**
+ * The wired-AND consistency monitor over a set of width-cascaded
+ * routers.
+ */
+class CascadeGroup : public Component
+{
+  public:
+    /**
+     * @param members the cascaded routers; all must share
+     *                architectural parameters
+     * @param seed    seed for the shared random stream distributed
+     *                to every member
+     */
+    CascadeGroup(std::vector<MetroRouter *> members, std::uint64_t seed)
+        : Component("cascade"), members_(std::move(members))
+    {
+        METRO_ASSERT(members_.size() >= 2,
+                     "a cascade needs at least two members");
+        const auto &p0 = members_.front()->params();
+        for (auto *m : members_) {
+            METRO_ASSERT(m->params().numForward == p0.numForward &&
+                         m->params().numBackward == p0.numBackward,
+                         "cascade members must be identical");
+        }
+        auto shared = std::make_shared<RandomSource>(seed);
+        for (auto *m : members_)
+            m->setRandomSource(shared);
+    }
+
+    void
+    tick(Cycle cycle) override
+    {
+        (void)cycle;
+        const auto &first = *members_.front();
+        const unsigned o = first.params().numBackward;
+        for (PortIndex b = 0; b < o; ++b) {
+            bool any_busy = false;
+            bool any_free = false;
+            for (auto *m : members_) {
+                if (m->backwardBusy(b))
+                    any_busy = true;
+                else
+                    any_free = true;
+            }
+            if (any_busy && any_free) {
+                // The wired-AND pull-up disagrees: a fault. Shut
+                // the connection down on every member.
+                ++containments_;
+                for (auto *m : members_)
+                    m->releaseBackward(b);
+            }
+        }
+    }
+
+    /** Disagreements detected and contained. */
+    std::uint64_t containments() const { return containments_; }
+
+    /** The member routers. */
+    const std::vector<MetroRouter *> &members() const
+    {
+        return members_;
+    }
+
+  private:
+    std::vector<MetroRouter *> members_;
+    std::uint64_t containments_ = 0;
+};
+
+} // namespace metro
+
+#endif // METRO_ROUTER_CASCADE_HH

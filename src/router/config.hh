@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Runtime-configurable router options (paper Table 2).
+ *
+ * All of these are set through the scan/TAP interface in hardware;
+ * the simulator exposes them through RouterConfig and the Tap class.
+ * Port enables and fast-reclaim mode may be changed while the router
+ * is in use (Section 5.3); dilation, turn delay, and swallow are
+ * normally static.
+ */
+
+#ifndef METRO_ROUTER_CONFIG_HH
+#define METRO_ROUTER_CONFIG_HH
+
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "router/params.hh"
+
+namespace metro
+{
+
+/**
+ * Per-use configuration of one router instance (paper Table 2).
+ */
+struct RouterConfig
+{
+    /**
+     * d — effective dilation: any power of two up to maxDilation
+     * (Section 5.1, "Configurable Dilation"). Radix r = o / d.
+     */
+    unsigned dilation = 2;
+
+    /**
+     * Number of backward ports actually wired in this network
+     * position; must be r * d for the *configured* radix. Networks
+     * like Figure 1's final stage use only radix-many outputs of a
+     * dilation-1 router. Defaults to numBackward.
+     */
+    unsigned backwardPortsUsed = 0;
+
+    /** Port On/Off — per forward port. */
+    std::vector<bool> forwardEnabled;
+
+    /** Port On/Off — per backward port. */
+    std::vector<bool> backwardEnabled;
+
+    /**
+     * Off Port Drive Output (Table 2) — per backward port: when the
+     * port is disabled, actively drive the wire with DATA-IDLE
+     * instead of leaving it undriven (prevents a floating input at
+     * the neighbour during maintenance).
+     */
+    std::vector<bool> offPortDrive;
+
+    /**
+     * Fast Reclaim — per forward port: true = propagate the
+     * backward control bit immediately on blocking; false = hold
+     * the connection for a detailed status reply on TURN
+     * (Section 5.1, "Path Reclamation").
+     */
+    std::vector<bool> fastReclaim;
+
+    /**
+     * Swallow — per forward port, only meaningful when hw = 0:
+     * consume the leading header word once its route bits are
+     * exhausted (allows route specs longer than w bits).
+     */
+    std::vector<bool> swallow;
+
+    /**
+     * Turn Delay — per port (forward then backward), the number of
+     * wire pipeline registers on the attached link. Informational
+     * for the router (the latency itself lives on the Link); bounds
+     * checked against maxVtd.
+     */
+    std::vector<unsigned> turnDelay;
+
+    /**
+     * Stochastic output selection (Section 4). Disabling it makes
+     * the allocator deterministic (lowest free equivalent port,
+     * fixed priority) — an ablation baseline only; real METRO
+     * parts always randomize.
+     */
+    bool randomSelection = true;
+
+    /**
+     * Idle-timeout for open connections, in cycles. A simulator
+     * extension beyond the paper: a connection that sees no symbol
+     * for this long is torn down, so that injected dead-wire faults
+     * cannot leak circuit resources forever. Never triggers in
+     * fault-free operation. 0 disables.
+     */
+    unsigned idleTimeout = 0;
+
+    /** Build a default config for a parameter set. */
+    static RouterConfig
+    defaults(const RouterParams &params)
+    {
+        RouterConfig c;
+        c.dilation = params.maxDilation;
+        c.backwardPortsUsed = params.numBackward;
+        c.forwardEnabled.assign(params.numForward, true);
+        c.backwardEnabled.assign(params.numBackward, true);
+        c.fastReclaim.assign(params.numForward, true);
+        c.swallow.assign(params.numForward, true);
+        c.offPortDrive.assign(params.numBackward, false);
+        c.turnDelay.assign(params.numForward + params.numBackward, 0);
+        c.idleTimeout = 0;
+        return c;
+    }
+
+    /** Radix implied by this configuration. */
+    unsigned
+    radix() const
+    {
+        METRO_ASSERT(dilation > 0 &&
+                     backwardPortsUsed % dilation == 0,
+                     "bad dilation/ports: %u/%u", dilation,
+                     backwardPortsUsed);
+        return backwardPortsUsed / dilation;
+    }
+
+    /** Validate against the architectural parameters. */
+    void
+    validate(const RouterParams &params) const
+    {
+        if (dilation == 0 || !isPowerOfTwo(dilation))
+            METRO_FATAL("dilation must be a power of two (got %u)",
+                        dilation);
+        if (dilation > params.maxDilation)
+            METRO_FATAL("dilation %u exceeds max_d %u", dilation,
+                        params.maxDilation);
+        if (backwardPortsUsed == 0 ||
+            backwardPortsUsed > params.numBackward)
+            METRO_FATAL("backwardPortsUsed %u out of range (o = %u)",
+                        backwardPortsUsed, params.numBackward);
+        if (backwardPortsUsed % dilation != 0)
+            METRO_FATAL("backwardPortsUsed %u not divisible by "
+                        "dilation %u", backwardPortsUsed, dilation);
+        if (forwardEnabled.size() != params.numForward ||
+            fastReclaim.size() != params.numForward ||
+            swallow.size() != params.numForward)
+            METRO_FATAL("per-forward-port config sized %zu, want %u",
+                        forwardEnabled.size(), params.numForward);
+        if (backwardEnabled.size() != params.numBackward ||
+            offPortDrive.size() != params.numBackward)
+            METRO_FATAL("per-backward-port config sized %zu, want %u",
+                        backwardEnabled.size(), params.numBackward);
+        if (turnDelay.size() !=
+            params.numForward + params.numBackward)
+            METRO_FATAL("turnDelay config sized %zu, want %u",
+                        turnDelay.size(),
+                        params.numForward + params.numBackward);
+        for (unsigned td : turnDelay) {
+            if (td > params.maxVtd)
+                METRO_FATAL("turn delay %u exceeds max_vtd %u", td,
+                            params.maxVtd);
+        }
+    }
+};
+
+} // namespace metro
+
+#endif // METRO_ROUTER_CONFIG_HH

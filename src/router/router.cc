@@ -1,0 +1,667 @@
+#include "router/router.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace metro
+{
+
+const char *
+fwdPortStateName(FwdPortState state)
+{
+    switch (state) {
+      case FwdPortState::Idle: return "Idle";
+      case FwdPortState::ConnectedFwd: return "ConnectedFwd";
+      case FwdPortState::ConnectedRev: return "ConnectedRev";
+      case FwdPortState::BlockedWait: return "BlockedWait";
+      case FwdPortState::BlockedDrop: return "BlockedDrop";
+      case FwdPortState::Draining: return "Draining";
+    }
+    return "?";
+}
+
+MetroRouter::MetroRouter(RouterId id, const RouterParams &params,
+                         const RouterConfig &config, std::uint64_t seed)
+    : Component("router" + std::to_string(id)),
+      id_(id), params_(params), config_(config),
+      randomSource_(std::make_shared<RandomSource>(seed)),
+      randomOutput_(seed ^ 0x0badc0deULL),
+      misrouteRng_(seed ^ 0xdeadbeefULL)
+{
+    params_.validate();
+    config_.validate(params_);
+    fwd_.resize(params_.numForward);
+    bwd_.resize(params_.numBackward);
+}
+
+bool
+MetroRouter::randomOutputBit(Cycle cycle) const
+{
+    // Derived from the component's own seed stream, NOT the shared
+    // random inputs — a cascade fed from one member's output must
+    // not correlate with any member's input consumption.
+    return (randomOutput_.wordForCycle(cycle) & 1) != 0;
+}
+
+void
+MetroRouter::attachForward(PortIndex p, Link *link)
+{
+    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    fwd_[p].link = link;
+}
+
+void
+MetroRouter::attachBackward(PortIndex p, Link *link)
+{
+    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    bwd_[p].link = link;
+}
+
+unsigned
+MetroRouter::directionBits() const
+{
+    return log2Ceil(config_.radix());
+}
+
+unsigned
+MetroRouter::extractDirection(const Symbol &header, Cycle cycle)
+{
+    const unsigned bits = directionBits();
+    if (bits == 0)
+        return 0;
+    if (misroute_) {
+        // Header-decode fault: the direction decoded bears no
+        // relation to the requested one.
+        (void)cycle;
+        return static_cast<unsigned>(
+            misrouteRng_.below(config_.radix()));
+    }
+    METRO_ASSERT(header.routePos + bits <= header.routeLen,
+                 "route spec exhausted: pos %u + %u > len %u "
+                 "(router %u)", header.routePos, bits, header.routeLen,
+                 id_);
+    return static_cast<unsigned>(
+        (header.route >> header.routePos) & lowMask(bits));
+}
+
+std::vector<bool>
+MetroRouter::availabilitySnapshot() const
+{
+    std::vector<bool> avail(bwd_.size(), false);
+    for (std::size_t b = 0; b < bwd_.size(); ++b) {
+        // Only the first backwardPortsUsed ports participate in
+        // this network position (e.g. a dilation-1 radix-4 use of
+        // an 8-output component wires only 4 outputs).
+        avail[b] = b < config_.backwardPortsUsed &&
+                   config_.backwardEnabled[b] && !bwd_[b].busy &&
+                   bwd_[b].link != nullptr;
+    }
+    return avail;
+}
+
+Symbol
+MetroRouter::makeStatus(const FwdPort &port, bool blocked) const
+{
+    StatusWord sw;
+    sw.router = id_;
+    sw.stage = stage_;
+    sw.blocked = blocked;
+    sw.checksum = port.crc.value();
+    Symbol s;
+    s.kind = SymbolKind::Status;
+    s.value = sw.encode();
+    s.msgId = port.msgId;
+    return s;
+}
+
+void
+MetroRouter::pushStatusUp(PortIndex p, bool blocked)
+{
+    fwd_[p].link->pushUp(makeStatus(fwd_[p], blocked));
+}
+
+void
+MetroRouter::pushStatusDown(PortIndex p, bool blocked)
+{
+    auto &port = fwd_[p];
+    METRO_ASSERT(port.bwd != kInvalidPort, "status down w/o bwd port");
+    bwd_[port.bwd].link->pushDown(makeStatus(port, blocked));
+}
+
+void
+MetroRouter::freeConnection(PortIndex p)
+{
+    auto &port = fwd_[p];
+    if (port.bwd != kInvalidPort) {
+        bwd_[port.bwd].busy = false;
+        bwd_[port.bwd].owner = kInvalidPort;
+        port.bwd = kInvalidPort;
+    }
+    port.state = FwdPortState::Idle;
+    port.consumeLeft = 0;
+    port.firstHeaderDone = false;
+    port.swallowFirst = false;
+}
+
+void
+MetroRouter::teardownPort(PortIndex p)
+{
+    if (fwd_[p].state != FwdPortState::Idle) {
+        counters_.add("scanTeardown");
+        freeConnection(p);
+    }
+}
+
+void
+MetroRouter::forwardHeader(FwdPort &port, Symbol sym)
+{
+    sym.routePos = port.posAfter;
+    bwd_[port.bwd].link->pushDown(sym);
+}
+
+void
+MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
+                                Cycle cycle)
+{
+    auto &port = fwd_[p];
+    Link *down = bwd_[port.bwd].link;
+
+    // Reverse-lane control first: a backward-control-bit drop from
+    // a blocked router downstream reclaims this path segment.
+    const Symbol rsym = down->headUp();
+    if (rsym.kind == SymbolKind::BcbDrop) {
+        counters_.add("bcbForwarded");
+        port.lastActivity = cycle;
+        // Releasing the crosspoint makes the downstream channel go
+        // undriven; the draining router below sees its stream end.
+        // Model that with an explicit Drop down the old port.
+        down->pushDown(Symbol::control(SymbolKind::Drop, port.msgId));
+        bwd_[port.bwd].busy = false;
+        bwd_[port.bwd].owner = kInvalidPort;
+        port.bwd = kInvalidPort;
+        port.link->pushUp(Symbol::control(SymbolKind::BcbDrop,
+                                          port.msgId));
+        port.state = FwdPortState::Draining;
+        return;
+    }
+    if (rsym.kind == SymbolKind::Drop) {
+        // Downstream cleanup (e.g. idle timeout there): release and
+        // inform upstream.
+        counters_.add("reverseDropFwd");
+        port.link->pushUp(rsym);
+        freeConnection(p);
+        return;
+    }
+    if (rsym.occupied())
+        counters_.add("strayReverseSymbol");
+
+    if (sym.occupied())
+        port.lastActivity = cycle;
+
+    switch (sym.kind) {
+      case SymbolKind::Empty:
+        break;
+      case SymbolKind::Header:
+        if (port.consumeLeft > 0) {
+            --port.consumeLeft;
+            counters_.add("headerConsumed");
+        } else if (!port.firstHeaderDone && port.swallowFirst) {
+            port.firstHeaderDone = true;
+            counters_.add("headerSwallowed");
+        } else {
+            port.firstHeaderDone = true;
+            forwardHeader(port, sym);
+        }
+        break;
+      case SymbolKind::Data:
+        port.crc.update(sym.value, params_.width);
+        [[fallthrough]];
+      case SymbolKind::Checksum:
+      case SymbolKind::DataIdle:
+      case SymbolKind::Ack:
+      case SymbolKind::Test:
+        if (port.consumeLeft > 0) {
+            // Pipelined connection setup consumes words blindly
+            // from the stream head.
+            --port.consumeLeft;
+            counters_.add("headerConsumed");
+        } else {
+            down->pushDown(sym);
+            counters_.add("wordsForwarded");
+        }
+        break;
+      case SymbolKind::Turn:
+        // Forward the TURN downstream, inject our status into the
+        // newly-reversed stream, and flip direction.
+        down->pushDown(sym);
+        pushStatusUp(p, false);
+        counters_.add("turns");
+        port.state = FwdPortState::ConnectedRev;
+        break;
+      case SymbolKind::Drop:
+        down->pushDown(sym);
+        freeConnection(p);
+        counters_.add("drops");
+        break;
+      case SymbolKind::Status:
+      case SymbolKind::BcbDrop:
+        counters_.add("strayForwardSymbol");
+        break;
+    }
+}
+
+void
+MetroRouter::handleConnectedRev(PortIndex p, const Symbol &sym,
+                                Cycle cycle)
+{
+    auto &port = fwd_[p];
+    Link *down = bwd_[port.bwd].link;
+    Link *up = port.link;
+
+    // The forward lane should be quiet while reversed — except for
+    // a Drop: the source-responsible endpoint aborts a connection
+    // whose reply went missing (watchdog) by closing it from its
+    // side. Honour the abort: free this segment and pass the Drop
+    // on so the rest of the path unwinds too.
+    if (sym.kind == SymbolKind::Drop) {
+        counters_.add("abortDrops");
+        down->pushDown(sym);
+        freeConnection(p);
+        return;
+    }
+    if (sym.occupied()) {
+        // Anything else is in-flight debris of a dead attempt;
+        // discard without refreshing the idle clock so a half-dead
+        // connection still times out.
+        counters_.add("strayForwardSymbol");
+    }
+
+    const Symbol rsym = down->headUp();
+    if (rsym.occupied())
+        port.lastActivity = cycle;
+
+    switch (rsym.kind) {
+      case SymbolKind::Empty:
+        // Hold the connection open through reversal-transient and
+        // variable-delay gaps (Section 5.1, Data Idle).
+        up->pushUp(Symbol::control(SymbolKind::DataIdle, port.msgId));
+        break;
+      case SymbolKind::Data:
+        port.crc.update(rsym.value, params_.width);
+        up->pushUp(rsym);
+        counters_.add("wordsForwarded");
+        break;
+      case SymbolKind::DataIdle:
+      case SymbolKind::Checksum:
+      case SymbolKind::Status:
+      case SymbolKind::Ack:
+      case SymbolKind::Test:
+      case SymbolKind::Header:
+        up->pushUp(rsym);
+        if (rsym.kind != SymbolKind::DataIdle &&
+            rsym.kind != SymbolKind::Status)
+            counters_.add("wordsForwarded");
+        break;
+      case SymbolKind::Turn:
+        // Turn back toward the forward direction: forward the TURN
+        // upstream, inject our status toward the new downstream.
+        up->pushUp(rsym);
+        pushStatusDown(p, false);
+        counters_.add("turns");
+        port.state = FwdPortState::ConnectedFwd;
+        break;
+      case SymbolKind::Drop:
+        up->pushUp(rsym);
+        freeConnection(p);
+        counters_.add("drops");
+        break;
+      case SymbolKind::BcbDrop:
+        // A connection can block downstream after we reversed only
+        // in exotic race conditions; reclaim identically (see the
+        // ConnectedFwd case for the Drop-down rationale).
+        counters_.add("bcbForwarded");
+        down->pushDown(Symbol::control(SymbolKind::Drop, port.msgId));
+        bwd_[port.bwd].busy = false;
+        bwd_[port.bwd].owner = kInvalidPort;
+        port.bwd = kInvalidPort;
+        up->pushUp(Symbol::control(SymbolKind::BcbDrop, port.msgId));
+        port.state = FwdPortState::Draining;
+        break;
+    }
+}
+
+void
+MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
+                                std::vector<PendingRequest> &pending)
+{
+    auto &port = fwd_[p];
+    if (port.link == nullptr)
+        return;
+
+    const Symbol sym = port.link->headDown();
+
+    if (!config_.forwardEnabled[p]) {
+        // Disabled port: isolated from normal operation; only scan
+        // test patterns are observed (Section 5.1, Scan Support).
+        if (sym.kind == SymbolKind::Test)
+            port.lastTest = sym;
+        else if (sym.occupied())
+            counters_.add("disabledPortDiscard");
+        return;
+    }
+
+    // Idle-timeout cleanup (simulator extension; see RouterConfig).
+    if (config_.idleTimeout > 0 && port.state != FwdPortState::Idle &&
+        !sym.occupied() &&
+        cycle - port.lastActivity > config_.idleTimeout) {
+        counters_.add("idleTimeouts");
+        const auto drop =
+            Symbol::control(SymbolKind::Drop, port.msgId);
+        switch (port.state) {
+          case FwdPortState::ConnectedFwd:
+          case FwdPortState::ConnectedRev:
+            bwd_[port.bwd].link->pushDown(drop);
+            port.link->pushUp(drop);
+            break;
+          case FwdPortState::BlockedWait:
+          case FwdPortState::BlockedDrop:
+            port.link->pushUp(drop);
+            break;
+          case FwdPortState::Draining:
+          case FwdPortState::Idle:
+            break;
+        }
+        freeConnection(p);
+        return;
+    }
+
+    switch (port.state) {
+      case FwdPortState::Idle:
+        if (sym.kind == SymbolKind::Header) {
+            PendingRequest req;
+            req.fwd = p;
+            req.direction = extractDirection(sym, cycle);
+            req.header = sym;
+            pending.push_back(req);
+        } else if (sym.occupied()) {
+            // In-flight remains of a fast-reclaimed stream, or a
+            // close marker racing a teardown: discard.
+            counters_.add("idleDiscard");
+        }
+        break;
+
+      case FwdPortState::ConnectedFwd:
+        handleConnectedFwd(p, sym, cycle);
+        break;
+
+      case FwdPortState::ConnectedRev:
+        handleConnectedRev(p, sym, cycle);
+        break;
+
+      case FwdPortState::BlockedWait:
+        if (sym.occupied())
+            port.lastActivity = cycle;
+        switch (sym.kind) {
+          case SymbolKind::Data:
+            port.crc.update(sym.value, params_.width);
+            counters_.add("blockedDiscard");
+            break;
+          case SymbolKind::Turn:
+            // Detailed reply: status (with blocked flag and the
+            // checksum of everything received) then teardown.
+            pushStatusUp(p, true);
+            port.state = FwdPortState::BlockedDrop;
+            counters_.add("blockedReplies");
+            break;
+          case SymbolKind::Drop:
+            freeConnection(p);
+            break;
+          default:
+            if (sym.occupied())
+                counters_.add("blockedDiscard");
+            break;
+        }
+        break;
+
+      case FwdPortState::BlockedDrop:
+        port.link->pushUp(Symbol::control(SymbolKind::Drop,
+                                          port.msgId));
+        freeConnection(p);
+        break;
+
+      case FwdPortState::Draining:
+        if (sym.kind == SymbolKind::Drop) {
+            freeConnection(p);
+        } else if (sym.occupied()) {
+            port.lastActivity = cycle;
+            counters_.add("drainedWords");
+        }
+        break;
+    }
+}
+
+void
+MetroRouter::runAllocation(const std::vector<PendingRequest> &pending,
+                           const std::vector<bool> &avail_snapshot,
+                           Cycle cycle)
+{
+    if (pending.empty())
+        return;
+
+    std::vector<AllocRequest> requests;
+    requests.reserve(pending.size());
+    for (const auto &req : pending)
+        requests.push_back({req.fwd, req.direction});
+
+    lastGrants_ = allocateCrossbar(
+        requests, avail_snapshot, config_.dilation,
+        randomSource_->wordForCycle(cycle),
+        config_.randomSelection);
+
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+        const auto &req = pending[k];
+        const auto &grant = lastGrants_[k];
+        auto &port = fwd_[req.fwd];
+        counters_.add("requests");
+
+        if (grant.granted()) {
+            counters_.add("grants");
+            port.state = FwdPortState::ConnectedFwd;
+            port.bwd = grant.backwardPort;
+            port.direction = req.direction;
+            port.msgId = req.header.msgId;
+            port.crc.reset();
+            port.lastActivity = cycle;
+            bwd_[grant.backwardPort].busy = true;
+            bwd_[grant.backwardPort].owner = req.fwd;
+
+            const unsigned bits = directionBits();
+            port.posAfter =
+                static_cast<std::uint16_t>(req.header.routePos + bits);
+
+            if (params_.headerWords > 0) {
+                // Pipelined setup: this word plus hw-1 more are
+                // consumed from the stream head.
+                port.consumeLeft = params_.headerWords - 1;
+                port.firstHeaderDone = true;
+                port.swallowFirst = false;
+                counters_.add("headerConsumed");
+            } else {
+                port.consumeLeft = 0;
+                port.firstHeaderDone = false;
+                const unsigned w = params_.width;
+                const unsigned word_end =
+                    (req.header.routePos / w + 1) * w;
+                const unsigned limit = std::min<unsigned>(
+                    word_end, req.header.routeLen);
+                port.swallowFirst = config_.swallow[req.fwd] &&
+                                    port.posAfter >= limit;
+                // Route the first header word right now.
+                if (port.swallowFirst) {
+                    port.firstHeaderDone = true;
+                    counters_.add("headerSwallowed");
+                } else {
+                    port.firstHeaderDone = true;
+                    forwardHeader(port, req.header);
+                }
+            }
+        } else {
+            counters_.add("blocks");
+            port.msgId = req.header.msgId;
+            port.direction = req.direction;
+            port.lastActivity = cycle;
+            if (config_.fastReclaim[req.fwd]) {
+                // Fast path reclamation: immediately propagate the
+                // backward control bit; resources here are never
+                // held.
+                counters_.add("bcbSent");
+                port.link->pushUp(Symbol::control(SymbolKind::BcbDrop,
+                                                  port.msgId));
+                port.state = FwdPortState::Draining;
+            } else {
+                port.crc.reset();
+                port.state = FwdPortState::BlockedWait;
+            }
+        }
+    }
+}
+
+void
+MetroRouter::tick(Cycle cycle)
+{
+    lastGrants_.clear();
+    if (dead_)
+        return;
+
+    // Snapshot availability before any teardown this cycle: a port
+    // freed in cycle t accepts new connections from t+1, which also
+    // guarantees single-push-per-lane.
+    const auto avail = availabilitySnapshot();
+
+    std::vector<PendingRequest> pending;
+    for (PortIndex p = 0; p < fwd_.size(); ++p)
+        processForwardPort(p, cycle, pending);
+
+    runAllocation(pending, avail, cycle);
+
+    // Off Port Drive Output (Table 2): disabled backward ports with
+    // drive enabled hold the wire at DATA-IDLE.
+    for (PortIndex b = 0; b < bwd_.size(); ++b) {
+        if (!config_.backwardEnabled[b] && config_.offPortDrive[b] &&
+            bwd_[b].link != nullptr && !bwd_[b].busy) {
+            bwd_[b].link->pushDown(
+                Symbol::control(SymbolKind::DataIdle));
+        }
+    }
+}
+
+void
+MetroRouter::setForwardEnabled(PortIndex p, bool enabled)
+{
+    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    if (!enabled)
+        teardownPort(p);
+    config_.forwardEnabled[p] = enabled;
+}
+
+void
+MetroRouter::setBackwardEnabled(PortIndex p, bool enabled)
+{
+    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    if (!enabled && bwd_[p].busy)
+        teardownPort(bwd_[p].owner);
+    config_.backwardEnabled[p] = enabled;
+}
+
+void
+MetroRouter::setFastReclaim(PortIndex p, bool fast)
+{
+    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    config_.fastReclaim[p] = fast;
+}
+
+void
+MetroRouter::setDilation(unsigned dilation)
+{
+    RouterConfig next = config_;
+    next.dilation = dilation;
+    next.validate(params_);
+    config_ = next;
+}
+
+FwdPortState
+MetroRouter::forwardState(PortIndex p) const
+{
+    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    return fwd_[p].state;
+}
+
+bool
+MetroRouter::backwardBusy(PortIndex p) const
+{
+    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    return bwd_[p].busy;
+}
+
+PortIndex
+MetroRouter::connectedBackward(PortIndex fwd) const
+{
+    METRO_ASSERT(fwd < fwd_.size(), "forward port %u out of range",
+                 fwd);
+    return fwd_[fwd].bwd;
+}
+
+bool
+MetroRouter::quiescent() const
+{
+    for (const auto &p : fwd_) {
+        if (p.state != FwdPortState::Idle)
+            return false;
+    }
+    for (const auto &b : bwd_) {
+        if (b.busy)
+            return false;
+    }
+    return true;
+}
+
+Symbol
+MetroRouter::lastTestSymbol(PortIndex p) const
+{
+    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    return fwd_[p].lastTest;
+}
+
+void
+MetroRouter::driveTestSymbol(PortIndex p, const Symbol &s)
+{
+    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    METRO_ASSERT(!config_.backwardEnabled[p],
+                 "test drive requires a disabled port");
+    METRO_ASSERT(bwd_[p].link != nullptr, "port %u unattached", p);
+    bwd_[p].link->pushDown(s);
+}
+
+void
+MetroRouter::releaseBackward(PortIndex b)
+{
+    METRO_ASSERT(b < bwd_.size(), "backward port %u out of range", b);
+    if (bwd_[b].busy) {
+        counters_.add("cascadeShutdown");
+        freeConnection(bwd_[b].owner);
+    }
+}
+
+void
+MetroRouter::shutdownAllConnections()
+{
+    for (PortIndex p = 0; p < fwd_.size(); ++p) {
+        if (fwd_[p].state != FwdPortState::Idle) {
+            counters_.add("cascadeShutdown");
+            freeConnection(p);
+        }
+    }
+}
+
+} // namespace metro

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * The METRO router model.
+ *
+ * A MetroRouter is a dilated crossbar routing component supporting
+ * half-duplex bidirectional, pipelined, circuit-switched connections
+ * (Section 3). It is self-routing — connections are established by
+ * the routing header arriving on a forward port — and handles
+ * dynamic message traffic with no internal message buffering.
+ *
+ * Cycle behaviour implemented here (Sections 4–5):
+ *
+ *  - Connection setup: a Header word arriving at an idle forward
+ *    port requests a backward port in the header's logical
+ *    direction; the crossbar allocator picks randomly among free
+ *    equivalent ports (stochastic path selection). With hw > 0 the
+ *    router consumes hw words from the stream head (pipelined
+ *    connection setup); with hw = 0 and swallow enabled it strips
+ *    the leading header word once its route bits are exhausted.
+ *
+ *  - Blocking: when no backward port is free in the requested
+ *    direction the connection blocks. Per-forward-port
+ *    configuration selects *fast path reclamation* (immediately
+ *    propagate a backward-control-bit drop toward the source and
+ *    release resources) or a *detailed reply* (hold the connection,
+ *    discard data, and answer the eventual TURN with a blocked
+ *    STATUS word and checksum).
+ *
+ *  - Connection reversal: a TURN word is forwarded downstream while
+ *    the router injects a STATUS word (connection state + CRC of
+ *    the data it forwarded) into the newly-reversed return stream;
+ *    DATA-IDLE fills reversal-transient slots. Connections may turn
+ *    any number of times; turns are symmetric.
+ *
+ *  - Teardown: a Drop word from the transmitting end releases the
+ *    crosspoint as it passes through.
+ *
+ * Timing: the router's dp internal pipeline stages and the attached
+ * wire's vtd registers are folded into the outgoing lane latency of
+ * each Link (see sim/link.hh), so a symbol read in cycle t is
+ * visible to the neighbour at t + dp + vtd.
+ */
+
+#ifndef METRO_ROUTER_ROUTER_HH
+#define METRO_ROUTER_ROUTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/crc.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "router/allocator.hh"
+#include "router/config.hh"
+#include "router/params.hh"
+#include "sim/component.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+/** Forward-port connection state. */
+enum class FwdPortState : std::uint8_t
+{
+    /** No connection; waiting for a routing header. */
+    Idle,
+    /** Connected, data flowing source → destination. */
+    ConnectedFwd,
+    /** Connected, data flowing destination → source. */
+    ConnectedRev,
+    /** Blocked in detailed mode: discarding, awaiting TURN. */
+    BlockedWait,
+    /** Blocked reply sent status; Drop goes out next cycle. */
+    BlockedDrop,
+    /** Fast-reclaimed: discarding the dead stream until Drop. */
+    Draining,
+};
+
+/** Human-readable forward-port state name. */
+const char *fwdPortStateName(FwdPortState state);
+
+/**
+ * One METRO routing component.
+ */
+class MetroRouter : public Component
+{
+  public:
+    /**
+     * @param id      network-unique router id
+     * @param params  architectural parameters (validated)
+     * @param config  runtime configuration (validated)
+     * @param seed    seed for this router's own RandomSource
+     */
+    MetroRouter(RouterId id, const RouterParams &params,
+                const RouterConfig &config, std::uint64_t seed);
+
+    /** Attach the link feeding forward port p (router is B end). */
+    void attachForward(PortIndex p, Link *link);
+
+    /** Attach the link leaving backward port p (router is A end). */
+    void attachBackward(PortIndex p, Link *link);
+
+    /** Network stage this router sits in (for STATUS words). */
+    void setStage(std::uint8_t stage) { stage_ = stage; }
+
+    /** Stage recorded for STATUS words. */
+    std::uint8_t stage() const { return stage_; }
+
+    /**
+     * Share a random-input stream across a cascade group
+     * (Section 5.1, shared randomness). Replaces the router's own
+     * source.
+     */
+    void
+    setRandomSource(std::shared_ptr<RandomSource> source)
+    {
+        randomSource_ = std::move(source);
+    }
+
+    /** The random-input stream in use. */
+    const std::shared_ptr<RandomSource> &
+    randomSource() const
+    {
+        return randomSource_;
+    }
+
+    /**
+     * The random *output* bit stream this component generates
+     * (Section 5.1: every METRO component produces one, so cascade
+     * groups can be fed without extra parts). Deterministic per
+     * (router seed, cycle); independent of the router's own
+     * random-input consumption.
+     */
+    bool randomOutputBit(Cycle cycle) const;
+
+    void tick(Cycle cycle) override;
+
+    /** Architectural parameters. @{ */
+    const RouterParams &params() const { return params_; }
+    const RouterConfig &config() const { return config_; }
+    RouterId id() const { return id_; }
+    /** @} */
+
+    /**
+     * Scan-controlled reconfiguration (used by Tap). Disabling a
+     * port with a live connection tears the connection down (Drop
+     * in both directions) so the fault region is isolated cleanly.
+     * @{
+     */
+    void setForwardEnabled(PortIndex p, bool enabled);
+    void setBackwardEnabled(PortIndex p, bool enabled);
+    void setFastReclaim(PortIndex p, bool fast);
+    void setDilation(unsigned dilation);
+    /** @} */
+
+    /**
+     * Fault hooks for the fault-tolerance experiments. A dead
+     * router ignores all traffic. A misrouting router decodes
+     * corrupted directions (random), modelling header-decode
+     * faults; used by the cascade consistency tests. @{
+     */
+    void setDead(bool dead) { dead_ = dead; }
+    bool dead() const { return dead_; }
+    void setMisroute(bool misroute) { misroute_ = misroute; }
+    /** @} */
+
+    /** Introspection for tests and monitors. @{ */
+    FwdPortState forwardState(PortIndex p) const;
+    bool backwardBusy(PortIndex p) const;
+    PortIndex connectedBackward(PortIndex fwd) const;
+    const CounterSet &counters() const { return counters_; }
+    CounterSet &counters() { return counters_; }
+    /** True when no port holds any connection state. */
+    bool quiescent() const;
+    /** Last Test symbol observed on a disabled forward port. */
+    Symbol lastTestSymbol(PortIndex p) const;
+    /** Drive a Test symbol out a *disabled* backward port. */
+    void driveTestSymbol(PortIndex p, const Symbol &s);
+    /** @} */
+
+    /**
+     * Allocation observer for cascade consistency checking: after
+     * each tick, the set of (forward, backward) pairs granted in
+     * that tick. Cleared at the start of every tick.
+     */
+    const std::vector<AllocGrant> &lastGrants() const
+    {
+        return lastGrants_;
+    }
+
+    /** Force-release every connection (cascade containment). */
+    void shutdownAllConnections();
+
+    /** Force-release whatever connection owns backward port b
+     *  (wired-AND consistency shutdown). No-op when free. */
+    void releaseBackward(PortIndex b);
+
+  private:
+    struct FwdPort
+    {
+        Link *link = nullptr;
+        FwdPortState state = FwdPortState::Idle;
+        PortIndex bwd = kInvalidPort;
+        /** hw words still to consume from the stream head. */
+        unsigned consumeLeft = 0;
+        /** routePos to stamp on forwarded header words. */
+        std::uint16_t posAfter = 0;
+        /** swallow: strip the leading header word. */
+        bool swallowFirst = false;
+        /** true until the stream's first header was handled. */
+        bool firstHeaderDone = false;
+        /** CRC over Data words forwarded on this connection. */
+        Crc16 crc;
+        /** requested logical direction (diagnostics). */
+        unsigned direction = 0;
+        Cycle lastActivity = 0;
+        std::uint64_t msgId = 0;
+        Symbol lastTest;
+    };
+
+    struct BwdPort
+    {
+        Link *link = nullptr;
+        bool busy = false;
+        PortIndex owner = kInvalidPort;
+    };
+
+    /** Pending allocation request gathered during the input scan. */
+    struct PendingRequest
+    {
+        PortIndex fwd;
+        unsigned direction;
+        Symbol header;
+    };
+
+    void processForwardPort(PortIndex p, Cycle cycle,
+                            std::vector<PendingRequest> &pending);
+    void handleConnectedFwd(PortIndex p, const Symbol &sym,
+                            Cycle cycle);
+    void handleConnectedRev(PortIndex p, const Symbol &sym,
+                            Cycle cycle);
+    void runAllocation(const std::vector<PendingRequest> &pending,
+                       const std::vector<bool> &avail_snapshot,
+                       Cycle cycle);
+    void forwardHeader(FwdPort &port, Symbol sym);
+    void pushStatusUp(PortIndex p, bool blocked);
+    void pushStatusDown(PortIndex p, bool blocked);
+    Symbol makeStatus(const FwdPort &port, bool blocked) const;
+    void freeConnection(PortIndex p);
+    void teardownPort(PortIndex p);
+    unsigned directionBits() const;
+    unsigned extractDirection(const Symbol &header, Cycle cycle);
+    std::vector<bool> availabilitySnapshot() const;
+
+    RouterId id_;
+    RouterParams params_;
+    RouterConfig config_;
+    std::uint8_t stage_ = 0;
+    bool dead_ = false;
+    bool misroute_ = false;
+    std::shared_ptr<RandomSource> randomSource_;
+    RandomSource randomOutput_;
+    Xoshiro256 misrouteRng_;
+    std::vector<FwdPort> fwd_;
+    std::vector<BwdPort> bwd_;
+    std::vector<AllocGrant> lastGrants_;
+    CounterSet counters_;
+};
+
+} // namespace metro
+
+#endif // METRO_ROUTER_ROUTER_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Scan/TAP access model (paper Section 5.1, Scan Support).
+ *
+ * METRO integrates an IEEE 1149.1-style Test Access Port, extended
+ * to multiple TAPs per component (multiTAP) so that a fault in a
+ * scan path does not sever test access. The simulator models the
+ * TAP behaviourally: configuration register access, per-port
+ * disable for on-line fault isolation, and boundary test-pattern
+ * drive/observe on *disabled* ports while the rest of the router
+ * keeps routing live traffic.
+ */
+
+#ifndef METRO_ROUTER_TAP_HH
+#define METRO_ROUTER_TAP_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "router/router.hh"
+
+namespace metro
+{
+
+/**
+ * Multi-TAP scan access to one router. Operations go through a
+ * selected scan path; paths can be marked faulty, and operations
+ * transparently fail over to the next healthy path. With every
+ * path faulty, operations fatal-out — the component has lost test
+ * access entirely (the situation multiTAP exists to make
+ * improbable).
+ */
+class Tap
+{
+  public:
+    explicit Tap(MetroRouter *router)
+        : router_(router),
+          pathFaulty_(router->params().scanPaths, false)
+    {}
+
+    /** Mark one scan path faulty (fault-injection hook). */
+    void
+    setPathFaulty(unsigned path, bool faulty)
+    {
+        METRO_ASSERT(path < pathFaulty_.size(),
+                     "scan path %u out of range", path);
+        pathFaulty_[path] = faulty;
+    }
+
+    /** True when at least one scan path still works. */
+    bool
+    accessible() const
+    {
+        for (bool f : pathFaulty_) {
+            if (!f)
+                return true;
+        }
+        return false;
+    }
+
+    /** Read the full configuration register set. */
+    const RouterConfig &
+    readConfig()
+    {
+        requireAccess();
+        return router_->config();
+    }
+
+    /** Per-port enables (Table 2: Port On/Off). @{ */
+    void
+    writeForwardEnable(PortIndex p, bool enabled)
+    {
+        requireAccess();
+        router_->setForwardEnabled(p, enabled);
+    }
+
+    void
+    writeBackwardEnable(PortIndex p, bool enabled)
+    {
+        requireAccess();
+        router_->setBackwardEnabled(p, enabled);
+    }
+    /** @} */
+
+    /** Fast-reclaim mode (Table 2), changeable during operation. */
+    void
+    writeFastReclaim(PortIndex p, bool fast)
+    {
+        requireAccess();
+        router_->setFastReclaim(p, fast);
+    }
+
+    /** Effective dilation (Table 2). */
+    void
+    writeDilation(unsigned dilation)
+    {
+        requireAccess();
+        router_->setDilation(dilation);
+    }
+
+    /**
+     * Drive a boundary test pattern out a *disabled* backward port
+     * (into the attached link, toward the neighbouring component's
+     * disabled port).
+     */
+    void
+    driveTest(PortIndex backward_port, Word pattern)
+    {
+        requireAccess();
+        Symbol s;
+        s.kind = SymbolKind::Test;
+        s.value = pattern;
+        router_->driveTestSymbol(backward_port, s);
+    }
+
+    /**
+     * Observe the last test pattern that arrived at a disabled
+     * forward port. Returns true and fills `pattern` when a test
+     * symbol has been captured.
+     */
+    bool
+    observeTest(PortIndex forward_port, Word &pattern)
+    {
+        requireAccess();
+        const Symbol s = router_->lastTestSymbol(forward_port);
+        if (s.kind != SymbolKind::Test)
+            return false;
+        pattern = s.value;
+        return true;
+    }
+
+    /** The router behind this TAP. */
+    MetroRouter *router() { return router_; }
+
+  private:
+    void
+    requireAccess()
+    {
+        if (!accessible())
+            METRO_FATAL("all %zu scan paths of router %u are faulty: "
+                        "no test access", pathFaulty_.size(),
+                        router_->id());
+    }
+
+    MetroRouter *router_;
+    std::vector<bool> pathFaulty_;
+};
+
+} // namespace metro
+
+#endif // METRO_ROUTER_TAP_HH

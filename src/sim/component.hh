@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Base class for clocked simulation components.
+ */
+
+#ifndef METRO_SIM_COMPONENT_HH
+#define METRO_SIM_COMPONENT_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace metro
+{
+
+/**
+ * Anything ticked by the engine: routers, endpoints, fault
+ * injectors, monitors.
+ *
+ * The timing contract (see Pipe) lets components be ticked in any
+ * order: a component may only read lane heads and push onto lane
+ * tails, never observe another component's same-cycle writes.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance one clock cycle. */
+    virtual void tick(Cycle cycle) = 0;
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace metro
+
+#endif // METRO_SIM_COMPONENT_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * A bidirectional point-to-point link between two ports.
+ *
+ * METRO connections are half-duplex bidirectional: payload flows in
+ * one direction at a time, but control signalling (the backward
+ * control bit used for fast path reclamation, and the reversed data
+ * stream after a TURN) travels against the current payload
+ * direction. The simulator therefore gives each link two
+ * unidirectional lanes:
+ *
+ *   down: from the A (upstream / source-side) end to the B
+ *         (downstream / destination-side) end — the initial
+ *         direction of a route;
+ *   up:   from B back to A.
+ *
+ * Lane latency folds together the driving component's internal
+ * pipeline depth (dp for a router, one output register for an
+ * endpoint) and the wire's pipeline registers (the paper's variable
+ * turn delay, vtd). A lane of latency L delivers a symbol pushed in
+ * cycle t to the reader in cycle t + L.
+ *
+ * Links also host fault state (dead / corrupting lanes) for the
+ * fault-tolerance experiments.
+ */
+
+#ifndef METRO_SIM_LINK_HH
+#define METRO_SIM_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "sim/pipe.hh"
+
+namespace metro
+{
+
+/** What kind of component a link end attaches to. */
+enum class AttachKind : std::uint8_t
+{
+    None,
+    Endpoint,
+    RouterForward,  ///< a router's forward port
+    RouterBackward, ///< a router's backward port
+};
+
+/** Identification of one end of a link (for builders/diagnostics). */
+struct LinkEnd
+{
+    AttachKind kind = AttachKind::None;
+    std::uint32_t id = 0;      ///< NodeId or RouterId
+    PortIndex port = kInvalidPort;
+    std::uint32_t subPort = 0; ///< endpoint port index
+};
+
+/** Fault modes a link lane can be placed in. */
+enum class LinkFault : std::uint8_t
+{
+    None,     ///< healthy
+    Dead,     ///< delivers nothing (broken wire)
+    Corrupt,  ///< randomly flips payload bits of delivered words
+};
+
+/**
+ * A bidirectional link: two lanes plus attachment metadata and
+ * fault state.
+ */
+class Link
+{
+  public:
+    /**
+     * @param id        network-unique identifier
+     * @param down_lat  A→B lane latency (driver dp + wire vtd), ≥ 1
+     * @param up_lat    B→A lane latency, ≥ 1
+     * @param fault_seed seed for the corruption PRNG
+     */
+    Link(LinkId id, unsigned down_lat, unsigned up_lat,
+         std::uint64_t fault_seed = 1)
+        : id_(id), down_(down_lat), up_(up_lat), faultRng_(fault_seed)
+    {}
+
+    /** Network-unique identifier. */
+    LinkId id() const { return id_; }
+
+    /** Attachment of the A (upstream) end. */
+    LinkEnd &endA() { return endA_; }
+    const LinkEnd &endA() const { return endA_; }
+
+    /** Attachment of the B (downstream) end. */
+    LinkEnd &endB() { return endB_; }
+    const LinkEnd &endB() const { return endB_; }
+
+    /** Push a symbol toward B (used by the A-side component). */
+    void pushDown(const Symbol &s) { down_.push(s); }
+
+    /** Push a symbol toward A (used by the B-side component). */
+    void pushUp(const Symbol &s) { up_.push(s); }
+
+    /** Read the symbol arriving at the B end this cycle. */
+    Symbol
+    headDown()
+    {
+        return applyFault(down_.head());
+    }
+
+    /** Read the symbol arriving at the A end this cycle. */
+    Symbol
+    headUp()
+    {
+        return applyFault(up_.head());
+    }
+
+    /** Advance both lanes by one cycle (engine only). */
+    void
+    advance()
+    {
+        down_.advance();
+        up_.advance();
+    }
+
+    /** A→B lane latency in cycles. */
+    unsigned downLatency() const { return down_.latency(); }
+
+    /** B→A lane latency in cycles. */
+    unsigned upLatency() const { return up_.latency(); }
+
+    /** Current fault mode. */
+    LinkFault fault() const { return fault_; }
+
+    /**
+     * Set the fault mode. Entering Dead also flushes in-flight
+     * symbols (a severed wire delivers nothing).
+     */
+    void
+    setFault(LinkFault fault)
+    {
+        fault_ = fault;
+        if (fault == LinkFault::Dead) {
+            down_.flush();
+            up_.flush();
+        }
+    }
+
+  private:
+    Symbol
+    applyFault(Symbol s)
+    {
+        switch (fault_) {
+          case LinkFault::None:
+            return s;
+          case LinkFault::Dead:
+            return Symbol{};
+          case LinkFault::Corrupt:
+            // Flip a random low bit of the payload of value-bearing
+            // words; control tokens pass (their encodings are
+            // heavily redundant in hardware). Corrupting payload is
+            // what the end-to-end checksum must catch.
+            if (s.kind == SymbolKind::Data ||
+                s.kind == SymbolKind::Checksum ||
+                s.kind == SymbolKind::Header) {
+                s.value ^= 1ULL << faultRng_.below(8);
+            }
+            return s;
+        }
+        return s;
+    }
+
+    LinkId id_;
+    LinkEnd endA_;
+    LinkEnd endB_;
+    Pipe down_;
+    Pipe up_;
+    LinkFault fault_ = LinkFault::None;
+    Xoshiro256 faultRng_;
+};
+
+} // namespace metro
+
+#endif // METRO_SIM_LINK_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A fixed-latency symbol pipeline (a chain of registers).
+ *
+ * The simulator's timing contract: a symbol pushed during cycle t
+ * into a Pipe of latency L becomes readable at head() during cycle
+ * t + L. Latency 1 models a single register (a component's output
+ * register); larger latencies model wire pipelining — the paper's
+ * "variable turn delay" treats each inter-router wire as an integral
+ * number of pipeline registers (Section 5.1).
+ */
+
+#ifndef METRO_SIM_PIPE_HH
+#define METRO_SIM_PIPE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/symbol.hh"
+
+namespace metro
+{
+
+/**
+ * Ring buffer of symbols providing a push-at-tail / read-at-head
+ * interface with a compile-time-unknown but fixed latency.
+ *
+ * Usage discipline per cycle: any number of head() reads, at most
+ * one push(), then exactly one advance() issued by the engine after
+ * every component has ticked. Components therefore never observe
+ * values pushed in the current cycle, which makes component tick
+ * order irrelevant.
+ */
+class Pipe
+{
+  public:
+    /** @param latency cycles from push to visibility; must be ≥ 1. */
+    explicit Pipe(unsigned latency = 1)
+        : slots_(latency), head_(0)
+    {
+        METRO_ASSERT(latency >= 1, "pipe latency must be >= 1");
+    }
+
+    /** Latency in cycles. */
+    unsigned latency() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    /**
+     * The symbol that was pushed latency() cycles ago. Returned by
+     * value: push() may legally overwrite the head slot in the same
+     * cycle (components read inputs before writing outputs).
+     */
+    Symbol head() const { return slots_[head_]; }
+
+    /**
+     * Occupy this cycle's input slot. At most one push per cycle;
+     * pushing twice in one cycle is a simulator bug. The pushed
+     * value is staged and only committed into the ring by
+     * advance(), so same-cycle readers — regardless of component
+     * tick order — never observe it.
+     */
+    void
+    push(const Symbol &s)
+    {
+        METRO_ASSERT(!pushed_, "double push into pipe in one cycle");
+        pending_ = s;
+        pushed_ = true;
+    }
+
+    /** Rotate the ring: called once per cycle by the engine. */
+    void
+    advance()
+    {
+        // The slot just consumed as head is refilled with this
+        // cycle's push; it resurfaces as head after exactly
+        // `latency` advances.
+        slots_[head_] = pushed_ ? pending_ : Symbol{};
+        pushed_ = false;
+        head_ = (head_ + 1) % slots_.size();
+    }
+
+    /** Clear all in-flight symbols (used by fault injection). */
+    void
+    flush()
+    {
+        for (auto &s : slots_)
+            s = Symbol{};
+        pushed_ = false;
+    }
+
+  private:
+    std::vector<Symbol> slots_;
+    std::size_t head_;
+    Symbol pending_;
+    bool pushed_ = false;
+};
+
+} // namespace metro
+
+#endif // METRO_SIM_PIPE_HH

@@ -1,0 +1,25 @@
+#include "sim/symbol.hh"
+
+namespace metro
+{
+
+const char *
+symbolKindName(SymbolKind kind)
+{
+    switch (kind) {
+      case SymbolKind::Empty: return "Empty";
+      case SymbolKind::Header: return "Header";
+      case SymbolKind::Data: return "Data";
+      case SymbolKind::Checksum: return "Checksum";
+      case SymbolKind::DataIdle: return "DataIdle";
+      case SymbolKind::Turn: return "Turn";
+      case SymbolKind::Status: return "Status";
+      case SymbolKind::Ack: return "Ack";
+      case SymbolKind::Drop: return "Drop";
+      case SymbolKind::BcbDrop: return "BcbDrop";
+      case SymbolKind::Test: return "Test";
+    }
+    return "?";
+}
+
+} // namespace metro

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Channel symbol encoding.
+ *
+ * A METRO channel carries one w-bit word per clock plus out-of-band
+ * control encodings. The simulator models each cycle's channel
+ * content as a Symbol: a tagged word. The tags correspond to the
+ * paper's designated control words (DATA-IDLE, TURN, the backward
+ * control bit used for fast path reclamation, connection teardown)
+ * plus the router-injected STATUS/checksum words of the reversal
+ * transient.
+ *
+ * Simulator-only metadata rides on the symbol (packed route digits,
+ * a message-provenance tag). In hardware the route digits live in
+ * the header words themselves and the provenance tag does not exist;
+ * neither affects timing, which is governed purely by symbol counts.
+ */
+
+#ifndef METRO_SIM_SYMBOL_HH
+#define METRO_SIM_SYMBOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace metro
+{
+
+/** The kind of word present on a channel in a given cycle. */
+enum class SymbolKind : std::uint8_t
+{
+    /** No signal: the channel is not part of an open connection. */
+    Empty,
+    /** A routing-header word (carries packed route digits). */
+    Header,
+    /** An in-band payload data word. */
+    Data,
+    /** The message checksum word appended by the source/replier. */
+    Checksum,
+    /** DATA-IDLE: hold the connection open, no data available. */
+    DataIdle,
+    /** TURN: reverse the direction of the open connection. */
+    Turn,
+    /** Router-injected status word (reversal transient). */
+    Status,
+    /** Endpoint acknowledgment word (protocol-level). */
+    Ack,
+    /** Connection teardown marker from the transmitting end. */
+    Drop,
+    /**
+     * Backward control bit: fast path reclamation. Propagates
+     * toward the source when a connection blocks (Section 5.1,
+     * "Path Reclamation").
+     */
+    BcbDrop,
+    /** Scan/boundary-test pattern word (only on disabled ports). */
+    Test,
+};
+
+/** Human-readable name of a symbol kind (for traces and tests). */
+const char *symbolKindName(SymbolKind kind);
+
+/**
+ * One cycle's content on one channel lane.
+ */
+struct Symbol
+{
+    SymbolKind kind = SymbolKind::Empty;
+
+    /** The w-bit word (payload, checksum, encoded status/ack). */
+    Word value = 0;
+
+    /** Header only: route digits packed LSB-first, 2 bits... per
+     *  stage as sized by each stage's radix. */
+    std::uint64_t route = 0;
+
+    /** Header only: total significant bits in `route`. */
+    std::uint16_t routeLen = 0;
+
+    /** Header only: bits of `route` already consumed upstream. */
+    std::uint16_t routePos = 0;
+
+    /** Simulator-side provenance tag (0 = none). */
+    std::uint64_t msgId = 0;
+
+    /** True when some word (of any kind) occupies the channel. */
+    bool occupied() const { return kind != SymbolKind::Empty; }
+
+    /** Convenience factories. @{ */
+    static Symbol
+    data(Word value, std::uint64_t msg_id = 0)
+    {
+        Symbol s;
+        s.kind = SymbolKind::Data;
+        s.value = value;
+        s.msgId = msg_id;
+        return s;
+    }
+
+    static Symbol
+    header(std::uint64_t route, std::uint16_t route_len,
+           std::uint64_t msg_id = 0)
+    {
+        Symbol s;
+        s.kind = SymbolKind::Header;
+        s.route = route;
+        s.routeLen = route_len;
+        s.msgId = msg_id;
+        return s;
+    }
+
+    static Symbol
+    control(SymbolKind kind, std::uint64_t msg_id = 0)
+    {
+        Symbol s;
+        s.kind = kind;
+        s.msgId = msg_id;
+        return s;
+    }
+    /** @} */
+};
+
+/**
+ * Payload of a router-injected STATUS word, as seen by the source
+ * when it parses the reversal transient. The paper specifies that
+ * the status identifies whether the connection was blocked at that
+ * router and carries a checksum of the data the router forwarded,
+ * letting the source localize congestion and corruption.
+ */
+struct StatusWord
+{
+    /** Router that injected the status. */
+    RouterId router = kInvalidRouter;
+
+    /** Network stage of that router (0-based). */
+    std::uint8_t stage = 0;
+
+    /** True when the connection blocked at this router. */
+    bool blocked = false;
+
+    /** CRC-16 of the forward words the router passed. */
+    std::uint16_t checksum = 0;
+
+    /** Pack into a channel word. */
+    Word
+    encode() const
+    {
+        return (static_cast<Word>(router) << 32) |
+               (static_cast<Word>(stage) << 24) |
+               (static_cast<Word>(blocked ? 1 : 0) << 16) |
+               static_cast<Word>(checksum);
+    }
+
+    /** Unpack from a channel word. */
+    static StatusWord
+    decode(Word w)
+    {
+        StatusWord s;
+        s.router = static_cast<RouterId>(w >> 32);
+        s.stage = static_cast<std::uint8_t>((w >> 24) & 0xff);
+        s.blocked = ((w >> 16) & 1) != 0;
+        s.checksum = static_cast<std::uint16_t>(w & 0xffff);
+        return s;
+    }
+};
+
+/**
+ * Payload of an endpoint acknowledgment word. In hardware this is
+ * an ordinary data word interpreted by the end-to-end protocol; the
+ * simulator tags it for clarity.
+ */
+struct AckWord
+{
+    /** True when the destination's checksum matched. */
+    bool ok = false;
+
+    /** Low bits of the message sequence number being acked. */
+    std::uint32_t sequence = 0;
+
+    /** Pack into a channel word. */
+    Word
+    encode() const
+    {
+        return (static_cast<Word>(ok ? 1 : 0) << 32) |
+               static_cast<Word>(sequence);
+    }
+
+    /** Unpack from a channel word. */
+    static AckWord
+    decode(Word w)
+    {
+        AckWord a;
+        a.ok = ((w >> 32) & 1) != 0;
+        a.sequence = static_cast<std::uint32_t>(w & 0xffffffffu);
+        return a;
+    }
+};
+
+} // namespace metro
+
+#endif // METRO_SIM_SYMBOL_HH

@@ -1,0 +1,68 @@
+#include "trace/probe.hh"
+
+#include <cstdio>
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+endName(const LinkEnd &end)
+{
+    char buf[48];
+    switch (end.kind) {
+      case AttachKind::Endpoint:
+        std::snprintf(buf, sizeof(buf), "ep%u.%u", end.id,
+                      end.subPort);
+        break;
+      case AttachKind::RouterForward:
+        std::snprintf(buf, sizeof(buf), "r%u.f%u", end.id, end.port);
+        break;
+      case AttachKind::RouterBackward:
+        std::snprintf(buf, sizeof(buf), "r%u.b%u", end.id, end.port);
+        break;
+      case AttachKind::None:
+        std::snprintf(buf, sizeof(buf), "?");
+        break;
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatTraceEvent(const TraceEvent &event, const Link *link)
+{
+    char buf[160];
+    if (link != nullptr) {
+        const bool down = event.lane == Lane::Down;
+        const std::string from =
+            endName(down ? link->endA() : link->endB());
+        const std::string to =
+            endName(down ? link->endB() : link->endA());
+        std::snprintf(buf, sizeof(buf),
+                      "[%8llu] %-8s %s -> %s  value=%#llx msg=%llu",
+                      static_cast<unsigned long long>(event.cycle),
+                      symbolKindName(event.symbol.kind), from.c_str(),
+                      to.c_str(),
+                      static_cast<unsigned long long>(
+                          event.symbol.value),
+                      static_cast<unsigned long long>(
+                          event.symbol.msgId));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "[%8llu] %-8s link%u/%s  value=%#llx msg=%llu",
+                      static_cast<unsigned long long>(event.cycle),
+                      symbolKindName(event.symbol.kind), event.link,
+                      event.lane == Lane::Down ? "down" : "up",
+                      static_cast<unsigned long long>(
+                          event.symbol.value),
+                      static_cast<unsigned long long>(
+                          event.symbol.msgId));
+    }
+    return buf;
+}
+
+} // namespace metro

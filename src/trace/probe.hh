@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Link probes: non-intrusive observation of channel traffic.
+ *
+ * A LinkProbe is a passive Component that samples the head of each
+ * watched link's lanes every cycle and records the occupied symbols
+ * it sees. Probes attach from outside the router/endpoint code
+ * paths — they read lane heads exactly as the attached component
+ * will one latency later — so enabling tracing cannot perturb a
+ * simulation.
+ *
+ * Typical uses: protocol debugging (dump a connection's lifecycle),
+ * tests that assert on wire-level symbol sequences, and the trace
+ * example tooling.
+ */
+
+#ifndef METRO_TRACE_PROBE_HH
+#define METRO_TRACE_PROBE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/component.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+/** Which lane of a link an event was seen on. */
+enum class Lane : std::uint8_t
+{
+    Down, ///< toward the B (downstream) end
+    Up,   ///< toward the A (upstream) end
+};
+
+/** One observed symbol. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    LinkId link = kInvalidLink;
+    Lane lane = Lane::Down;
+    Symbol symbol;
+};
+
+/** Human-readable one-line rendering of an event. */
+std::string formatTraceEvent(const TraceEvent &event,
+                             const Link *link = nullptr);
+
+/**
+ * Watches a set of links and records occupied symbols, optionally
+ * filtered. Ring-bounded so long runs cannot exhaust memory.
+ */
+class LinkProbe : public Component
+{
+  public:
+    using Filter = std::function<bool(const TraceEvent &)>;
+
+    /**
+     * @param capacity retain at most this many events (oldest
+     *                 dropped first)
+     */
+    explicit LinkProbe(std::size_t capacity = 65536)
+        : Component("probe"), capacity_(capacity)
+    {}
+
+    /** Watch a link (both lanes). */
+    void watch(Link *link) { links_.push_back(link); }
+
+    /** Watch every link of a collection. */
+    template <typename Iterable>
+    void
+    watchAll(Iterable &&links)
+    {
+        for (auto *l : links)
+            watch(l);
+    }
+
+    /** Record only events the filter accepts (default: all). */
+    void setFilter(Filter filter) { filter_ = std::move(filter); }
+
+    /** Convenience: record only symbols of one message. */
+    void
+    filterMessage(std::uint64_t msg_id)
+    {
+        setFilter([msg_id](const TraceEvent &e) {
+            return e.symbol.msgId == msg_id;
+        });
+    }
+
+    void
+    tick(Cycle cycle) override
+    {
+        for (Link *link : links_) {
+            const Symbol down = link->headDown();
+            if (down.occupied())
+                record({cycle, link->id(), Lane::Down, down});
+            const Symbol up = link->headUp();
+            if (up.occupied())
+                record({cycle, link->id(), Lane::Up, up});
+        }
+    }
+
+    /** Events recorded, oldest first. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Total events observed (including any dropped). */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Events discarded due to the capacity bound. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Forget everything recorded so far. */
+    void
+    clear()
+    {
+        events_.clear();
+        observed_ = 0;
+        dropped_ = 0;
+    }
+
+    /** Events touching one message, in time order. */
+    std::vector<TraceEvent>
+    messageTimeline(std::uint64_t msg_id) const
+    {
+        std::vector<TraceEvent> out;
+        for (const auto &e : events_) {
+            if (e.symbol.msgId == msg_id)
+                out.push_back(e);
+        }
+        return out;
+    }
+
+  private:
+    void
+    record(const TraceEvent &event)
+    {
+        ++observed_;
+        if (filter_ && !filter_(event))
+            return;
+        if (events_.size() >= capacity_) {
+            events_.erase(events_.begin());
+            ++dropped_;
+        }
+        events_.push_back(event);
+    }
+
+    std::size_t capacity_;
+    std::vector<Link *> links_;
+    Filter filter_;
+    std::vector<TraceEvent> events_;
+    std::uint64_t observed_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace metro
+
+#endif // METRO_TRACE_PROBE_HH

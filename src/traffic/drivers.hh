@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Per-endpoint workload drivers.
+ *
+ * ClosedLoopDriver models the parallelism-limited case of Figure 3:
+ * a processor submits a message, *stalls* until its completion, then
+ * thinks for a configurable time before the next message. Sweeping
+ * the think time sweeps the applied network load.
+ *
+ * OpenLoopDriver injects with a fixed per-cycle Bernoulli
+ * probability regardless of completion (offered-load experiments,
+ * saturation studies).
+ */
+
+#ifndef METRO_TRAFFIC_DRIVERS_HH
+#define METRO_TRAFFIC_DRIVERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "endpoint/interface.hh"
+#include "sim/component.hh"
+#include "traffic/patterns.hh"
+
+namespace metro
+{
+
+/** Shared driver settings. */
+struct DriverConfig
+{
+    /** Data words per message INCLUDING the checksum word (the
+     *  paper's 20-byte messages are "a 4-word cache-line including
+     *  checksum": 20 words on an 8-bit channel). */
+    unsigned messageWords = 20;
+
+    /** Mark messages submitted outside [measureFrom, measureTo) so
+     *  harnesses can exclude warmup/drain. @{ */
+    Cycle measureFrom = 0;
+    Cycle measureTo = kNever;
+    /** @} */
+
+    /** Stop submitting new messages at this cycle (drain phase). */
+    Cycle stopAt = kNever;
+
+    /** Request-reply traffic instead of plain messages. */
+    bool requestReply = false;
+};
+
+/**
+ * Closed-loop (stall-on-completion) driver for one endpoint.
+ */
+class ClosedLoopDriver : public Component
+{
+  public:
+    /**
+     * @param ni        the endpoint to drive
+     * @param dests     shared destination generator
+     * @param config    message/window settings
+     * @param think_time idle cycles between completion and next
+     *                  submission (0 = saturating)
+     * @param seed      RNG seed
+     */
+    ClosedLoopDriver(NetworkInterface *ni,
+                     const DestinationGenerator *dests,
+                     const DriverConfig &config, unsigned think_time,
+                     std::uint64_t seed)
+        : Component("driver" + std::to_string(ni->nodeId())),
+          ni_(ni), dests_(dests), config_(config),
+          thinkTime_(think_time), rng_(seed)
+    {}
+
+    void
+    tick(Cycle cycle) override
+    {
+        if (cycle >= config_.stopAt)
+            return;
+        if (!ni_->sendIdle()) {
+            // Processor stalled waiting for message completion.
+            waiting_ = true;
+            return;
+        }
+        if (waiting_) {
+            // Completion observed: think, then submit. The think
+            // time is jittered +-25% so the closed-loop processors
+            // do not phase-lock into synchronized submission
+            // convoys (the paper's traffic is "randomly
+            // distributed").
+            waiting_ = false;
+            unsigned think = thinkTime_;
+            if (think >= 4) {
+                const unsigned span = think / 2;
+                think = think - span / 2 +
+                        static_cast<unsigned>(rng_.below(span + 1));
+            }
+            nextSubmit_ = cycle + think;
+        }
+        if (cycle < nextSubmit_)
+            return;
+
+        const NodeId dest = dests_->pick(ni_->nodeId(), rng_);
+        std::vector<Word> payload(config_.messageWords > 0
+                                      ? config_.messageWords - 1
+                                      : 0);
+        for (auto &w : payload)
+            w = rng_.next() & lowMask(ni_->width());
+        const auto id =
+            ni_->send(dest, std::move(payload), config_.requestReply);
+        ids_.push_back(id);
+        ++submitted_;
+    }
+
+    /** Messages submitted so far. */
+    std::uint64_t submitted() const { return submitted_; }
+
+    /** Tracker ids of all submissions. */
+    const std::vector<std::uint64_t> &messageIds() const
+    {
+        return ids_;
+    }
+
+  private:
+    NetworkInterface *ni_;
+    const DestinationGenerator *dests_;
+    DriverConfig config_;
+    unsigned thinkTime_;
+    Xoshiro256 rng_;
+    Cycle nextSubmit_ = 0;
+    bool waiting_ = false;
+    std::uint64_t submitted_ = 0;
+    std::vector<std::uint64_t> ids_;
+};
+
+/**
+ * Open-loop Bernoulli driver for one endpoint. Messages queue in
+ * the NI when injection falls behind.
+ */
+class OpenLoopDriver : public Component
+{
+  public:
+    OpenLoopDriver(NetworkInterface *ni,
+                   const DestinationGenerator *dests,
+                   const DriverConfig &config, double inject_prob,
+                   std::uint64_t seed)
+        : Component("odriver" + std::to_string(ni->nodeId())),
+          ni_(ni), dests_(dests), config_(config),
+          injectProb_(inject_prob), rng_(seed)
+    {}
+
+    void
+    tick(Cycle cycle) override
+    {
+        if (cycle >= config_.stopAt)
+            return;
+        if (!rng_.chance(injectProb_))
+            return;
+        const NodeId dest = dests_->pick(ni_->nodeId(), rng_);
+        std::vector<Word> payload(config_.messageWords > 0
+                                      ? config_.messageWords - 1
+                                      : 0);
+        for (auto &w : payload)
+            w = rng_.next() & lowMask(ni_->width());
+        const auto id =
+            ni_->send(dest, std::move(payload), config_.requestReply);
+        ids_.push_back(id);
+        ++submitted_;
+    }
+
+    /** Messages submitted so far. */
+    std::uint64_t submitted() const { return submitted_; }
+
+    /** Tracker ids of all submissions. */
+    const std::vector<std::uint64_t> &messageIds() const
+    {
+        return ids_;
+    }
+
+  private:
+    NetworkInterface *ni_;
+    const DestinationGenerator *dests_;
+    DriverConfig config_;
+    double injectProb_;
+    Xoshiro256 rng_;
+    std::uint64_t submitted_ = 0;
+    std::vector<std::uint64_t> ids_;
+};
+
+} // namespace metro
+
+#endif // METRO_TRAFFIC_DRIVERS_HH

@@ -1,0 +1,139 @@
+#include "traffic/experiment.hh"
+
+#include <memory>
+#include <vector>
+
+#include "traffic/drivers.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+/** Collect per-entity counters into run totals. */
+void
+gatherTotals(Network &net, ExperimentResult &result)
+{
+    for (RouterId r = 0; r < net.numRouters(); ++r) {
+        for (const auto &[name, value] :
+             net.router(r).counters().all())
+            result.routerTotals.add(name, value);
+    }
+    for (NodeId e = 0; e < net.numEndpoints(); ++e) {
+        for (const auto &[name, value] :
+             net.endpoint(e).counters().all())
+            result.niTotals.add(name, value);
+    }
+}
+
+template <typename DriverT, typename MakeDriver>
+ExperimentResult
+runExperiment(Network &net, const ExperimentConfig &config,
+              MakeDriver make_driver)
+{
+    const auto n = static_cast<unsigned>(net.numEndpoints());
+    DestinationGenerator dests(config.pattern, n, config.seed ^ 0x77,
+                               config.hotNode, config.hotFraction);
+
+    DriverConfig dcfg;
+    dcfg.messageWords = config.messageWords;
+    dcfg.requestReply = config.requestReply;
+
+    Engine &engine = net.engine();
+    const Cycle start = engine.now();
+    const Cycle measure_from = start + config.warmup;
+    const Cycle measure_to = measure_from + config.measure;
+    dcfg.measureFrom = measure_from;
+    dcfg.measureTo = measure_to;
+    dcfg.stopAt = measure_to;
+
+    const auto active = static_cast<unsigned>(
+        config.activeFraction * n + 0.5);
+    std::vector<std::unique_ptr<DriverT>> drivers;
+    for (unsigned e = 0; e < n && e < active; ++e) {
+        drivers.push_back(
+            make_driver(&net.endpoint(e), &dests, dcfg, e));
+        engine.addComponent(drivers.back().get());
+    }
+
+    engine.run(config.warmup + config.measure);
+
+    // Drain: run until every submitted message resolves.
+    const auto all_resolved = [&net]() {
+        for (const auto &[id, rec] : net.tracker().all()) {
+            if (!rec.succeeded && !rec.gaveUp)
+                return false;
+        }
+        return true;
+    };
+    engine.runUntil(all_resolved, config.drainMax);
+
+    ExperimentResult result;
+    std::uint64_t measured_words = 0;
+    for (const auto &[id, rec] : net.tracker().all()) {
+        if (rec.succeeded)
+            ++result.completedMessages;
+        else if (rec.gaveUp)
+            ++result.gaveUpMessages;
+        else
+            ++result.unresolvedMessages;
+
+        const bool in_window = rec.submitCycle >= measure_from &&
+                               rec.submitCycle < measure_to;
+        if (!in_window)
+            continue;
+        ++result.measuredMessages;
+        if (rec.succeeded) {
+            result.latency.sample(rec.latency());
+            result.attempts.sample(
+                static_cast<double>(rec.attempts));
+            measured_words += config.messageWords;
+        }
+    }
+
+    result.achievedLoad =
+        static_cast<double>(measured_words) /
+        (static_cast<double>(config.measure) * n);
+
+    gatherTotals(net, result);
+
+    // Drivers die with this frame; unhook them from the engine so
+    // the network can keep running (or run another experiment).
+    for (auto &d : drivers)
+        engine.removeComponent(d.get());
+
+    return result;
+}
+
+} // namespace
+
+ExperimentResult
+runClosedLoop(Network &net, const ExperimentConfig &config)
+{
+    return runExperiment<ClosedLoopDriver>(
+        net, config,
+        [&config](NetworkInterface *ni,
+                  const DestinationGenerator *dests,
+                  const DriverConfig &dcfg, unsigned e) {
+            return std::make_unique<ClosedLoopDriver>(
+                ni, dests, dcfg, config.thinkTime,
+                config.seed ^ (0x5151ULL * (e + 1)));
+        });
+}
+
+ExperimentResult
+runOpenLoop(Network &net, const ExperimentConfig &config)
+{
+    return runExperiment<OpenLoopDriver>(
+        net, config,
+        [&config](NetworkInterface *ni,
+                  const DestinationGenerator *dests,
+                  const DriverConfig &dcfg, unsigned e) {
+            return std::make_unique<OpenLoopDriver>(
+                ni, dests, dcfg, config.injectProb,
+                config.seed ^ (0x7272ULL * (e + 1)));
+        });
+}
+
+} // namespace metro

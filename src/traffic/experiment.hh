@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A reusable load–latency experiment harness.
+ *
+ * Drives a built network with closed-loop (Figure 3) or open-loop
+ * traffic through warmup / measurement / drain windows and reduces
+ * the message ledger to the numbers the paper's evaluation reports:
+ * applied load, latency distribution, retry counts, and router
+ * event totals.
+ */
+
+#ifndef METRO_TRAFFIC_EXPERIMENT_HH
+#define METRO_TRAFFIC_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "network/network.hh"
+#include "traffic/patterns.hh"
+
+namespace metro
+{
+
+/** Settings for one experiment run. */
+struct ExperimentConfig
+{
+    /** Words per message including the checksum word. */
+    unsigned messageWords = 20;
+
+    /** Cycles before measurement starts. */
+    Cycle warmup = 2000;
+
+    /** Measurement window length. */
+    Cycle measure = 20000;
+
+    /** Maximum drain time after the window closes. */
+    Cycle drainMax = 50000;
+
+    /** Closed-loop think time between completion and next send. */
+    unsigned thinkTime = 0;
+
+    /** Fraction of endpoints running a driver. */
+    double activeFraction = 1.0;
+
+    /** Open-loop injection probability (openLoop runs only). */
+    double injectProb = 0.05;
+
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+    NodeId hotNode = 0;
+    double hotFraction = 0.25;
+
+    bool requestReply = false;
+
+    std::uint64_t seed = 12345;
+};
+
+/** Reduced results of one run. */
+struct ExperimentResult
+{
+    /** Delivered payload words per cycle per endpoint, as a
+     *  fraction of the one-word-per-cycle injection capacity. */
+    double achievedLoad = 0.0;
+
+    /** Injection-to-acknowledgment latency over measured,
+     *  successful messages, in cycles. */
+    Histogram latency;
+
+    /** Connection attempts per successful message. */
+    Summary attempts;
+
+    std::uint64_t measuredMessages = 0;
+    std::uint64_t completedMessages = 0;
+    std::uint64_t gaveUpMessages = 0;
+    std::uint64_t unresolvedMessages = 0;
+
+    /** Router-event totals over the whole run. */
+    CounterSet routerTotals;
+
+    /** Endpoint-event totals over the whole run. */
+    CounterSet niTotals;
+
+    /** Fraction of allocation requests that blocked. */
+    double
+    blockRate() const
+    {
+        const auto req = routerTotals.get("requests");
+        return req ? static_cast<double>(routerTotals.get("blocks")) /
+                         static_cast<double>(req)
+                   : 0.0;
+    }
+};
+
+/** Run a closed-loop experiment on a finalized network. */
+ExperimentResult runClosedLoop(Network &net,
+                               const ExperimentConfig &config);
+
+/** Run an open-loop experiment on a finalized network. */
+ExperimentResult runOpenLoop(Network &net,
+                             const ExperimentConfig &config);
+
+} // namespace metro
+
+#endif // METRO_TRAFFIC_EXPERIMENT_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Destination-selection patterns for workload generation.
+ *
+ * Figure 3 uses "randomly distributed ... message traffic"
+ * (UniformRandom); the hotspot and permutation patterns support the
+ * congestion-avoidance and ablation experiments.
+ */
+
+#ifndef METRO_TRAFFIC_PATTERNS_HH
+#define METRO_TRAFFIC_PATTERNS_HH
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace metro
+{
+
+/** Supported traffic patterns. */
+enum class TrafficPattern : std::uint8_t
+{
+    /** Uniformly random destination != source. */
+    UniformRandom,
+    /** With probability `hotFraction`, the hotspot node; else
+     *  uniform. Models a contended service/home node. */
+    Hotspot,
+    /** dest = source with upper/lower halves of the node-id bits
+     *  exchanged (matrix transpose). */
+    Transpose,
+    /** dest = bit-reversed source id. */
+    BitReversal,
+    /** A fixed random permutation chosen at construction. */
+    Permutation,
+};
+
+/** Human-readable pattern name. */
+inline const char *
+trafficPatternName(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::UniformRandom: return "uniform";
+      case TrafficPattern::Hotspot: return "hotspot";
+      case TrafficPattern::Transpose: return "transpose";
+      case TrafficPattern::BitReversal: return "bitreversal";
+      case TrafficPattern::Permutation: return "permutation";
+    }
+    return "?";
+}
+
+/**
+ * Picks destinations according to a pattern. One instance is shared
+ * by all drivers of a run (permutation consistency); picking is
+ * stateless apart from the caller-supplied RNG.
+ */
+class DestinationGenerator
+{
+  public:
+    /**
+     * @param pattern       the pattern
+     * @param num_endpoints network size (power of two for the
+     *                      bit-permutation patterns)
+     * @param seed          permutation seed
+     * @param hot_node      hotspot node id
+     * @param hot_fraction  probability of addressing the hotspot
+     */
+    DestinationGenerator(TrafficPattern pattern, unsigned num_endpoints,
+                         std::uint64_t seed = 1, NodeId hot_node = 0,
+                         double hot_fraction = 0.25)
+        : pattern_(pattern), n_(num_endpoints), hotNode_(hot_node),
+          hotFraction_(hot_fraction)
+    {
+        METRO_ASSERT(n_ >= 2, "need at least two endpoints");
+        if (pattern == TrafficPattern::Transpose ||
+            pattern == TrafficPattern::BitReversal) {
+            METRO_ASSERT(isPowerOfTwo(n_),
+                         "bit-permutation patterns require a "
+                         "power-of-two network");
+        }
+        if (pattern == TrafficPattern::Permutation) {
+            perm_.resize(n_);
+            std::iota(perm_.begin(), perm_.end(), 0);
+            Xoshiro256 rng(seed);
+            for (std::size_t k = perm_.size(); k > 1; --k)
+                std::swap(perm_[k - 1], perm_[rng.below(k)]);
+        }
+    }
+
+    /** Choose a destination for a message from `src`. */
+    NodeId
+    pick(NodeId src, Xoshiro256 &rng) const
+    {
+        switch (pattern_) {
+          case TrafficPattern::UniformRandom:
+            return uniformNotSelf(src, rng);
+          case TrafficPattern::Hotspot:
+            if (src != hotNode_ && rng.chance(hotFraction_))
+                return hotNode_;
+            return uniformNotSelf(src, rng);
+          case TrafficPattern::Transpose: {
+            const unsigned bits = log2Floor(n_);
+            const unsigned half = bits / 2;
+            const NodeId lo = src & static_cast<NodeId>(
+                                        lowMask(half));
+            const NodeId hi = src >> half;
+            NodeId dest = (lo << (bits - half)) | hi;
+            if (dest == src)
+                return uniformNotSelf(src, rng);
+            return dest;
+          }
+          case TrafficPattern::BitReversal: {
+            const unsigned bits = log2Floor(n_);
+            NodeId dest = 0;
+            for (unsigned b = 0; b < bits; ++b) {
+                if (src & (1u << b))
+                    dest |= 1u << (bits - 1 - b);
+            }
+            if (dest == src)
+                return uniformNotSelf(src, rng);
+            return dest;
+          }
+          case TrafficPattern::Permutation: {
+            NodeId dest = perm_[src % n_];
+            if (dest == src)
+                return uniformNotSelf(src, rng);
+            return dest;
+          }
+        }
+        return uniformNotSelf(src, rng);
+    }
+
+  private:
+    NodeId
+    uniformNotSelf(NodeId src, Xoshiro256 &rng) const
+    {
+        // Draw from [0, n-1) and skip over src: uniform over the
+        // other n-1 endpoints.
+        NodeId d = static_cast<NodeId>(rng.below(n_ - 1));
+        if (d >= src)
+            ++d;
+        return d;
+    }
+
+    TrafficPattern pattern_;
+    unsigned n_;
+    NodeId hotNode_;
+    double hotFraction_;
+    std::vector<NodeId> perm_;
+};
+
+} // namespace metro
+
+#endif // METRO_TRAFFIC_PATTERNS_HH

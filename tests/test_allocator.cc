@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit and property tests for the dilated-crossbar allocator: the
+ * randomized output selection of Section 4 and the determinism that
+ * width cascading requires.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "router/allocator.hh"
+
+namespace metro
+{
+namespace
+{
+
+std::vector<bool>
+allFree(unsigned o)
+{
+    return std::vector<bool>(o, true);
+}
+
+TEST(Allocator, SingleRequestGetsPortInItsDirection)
+{
+    for (std::uint64_t word = 0; word < 32; ++word) {
+        const auto grants = allocateCrossbar(
+            {{0, 1}}, allFree(8), /*dilation=*/2, word);
+        ASSERT_EQ(grants.size(), 1u);
+        EXPECT_TRUE(grants[0].granted());
+        // Direction 1 of a dilation-2 router owns ports 2 and 3.
+        EXPECT_GE(grants[0].backwardPort, 2u);
+        EXPECT_LE(grants[0].backwardPort, 3u);
+    }
+}
+
+TEST(Allocator, BothEquivalentPortsGetUsed)
+{
+    std::set<PortIndex> seen;
+    for (std::uint64_t word = 0; word < 64; ++word) {
+        const auto grants =
+            allocateCrossbar({{0, 0}}, allFree(4), 2, word);
+        seen.insert(grants[0].backwardPort);
+    }
+    EXPECT_EQ(seen, (std::set<PortIndex>{0, 1}));
+}
+
+TEST(Allocator, SelectionIsRoughlyUniform)
+{
+    std::map<PortIndex, int> counts;
+    const int n = 20000;
+    RandomSource rand_bits(11);
+    for (int i = 0; i < n; ++i) {
+        const auto grants = allocateCrossbar(
+            {{0, 0}}, allFree(8), 4,
+            rand_bits.wordForCycle(static_cast<Cycle>(i)));
+        ++counts[grants[0].backwardPort];
+    }
+    ASSERT_EQ(counts.size(), 4u);
+    for (const auto &[port, c] : counts) {
+        EXPECT_GT(c, n / 4 * 0.9) << "port " << port;
+        EXPECT_LT(c, n / 4 * 1.1) << "port " << port;
+    }
+}
+
+TEST(Allocator, ContentionBlocksTheExcess)
+{
+    // Three requests, direction 0, dilation 2: exactly one blocked.
+    const auto grants = allocateCrossbar(
+        {{0, 0}, {1, 0}, {2, 0}}, allFree(4), 2, 99);
+    int granted = 0, blocked = 0;
+    for (const auto &g : grants)
+        g.granted() ? ++granted : ++blocked;
+    EXPECT_EQ(granted, 2);
+    EXPECT_EQ(blocked, 1);
+}
+
+TEST(Allocator, NoDoubleGrantOfAPort)
+{
+    RandomSource rand_bits(77);
+    for (Cycle c = 0; c < 500; ++c) {
+        const auto grants = allocateCrossbar(
+            {{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 0}, {5, 1}},
+            allFree(8), 2, rand_bits.wordForCycle(c));
+        std::set<PortIndex> used;
+        for (const auto &g : grants) {
+            if (!g.granted())
+                continue;
+            EXPECT_TRUE(used.insert(g.backwardPort).second)
+                << "port " << g.backwardPort << " granted twice";
+        }
+    }
+}
+
+TEST(Allocator, GrantsRespectDirectionGroups)
+{
+    RandomSource rand_bits(31);
+    for (Cycle c = 0; c < 200; ++c) {
+        const auto grants = allocateCrossbar(
+            {{0, 0}, {1, 1}, {2, 2}, {3, 3}}, allFree(8), 2,
+            rand_bits.wordForCycle(c));
+        for (std::size_t k = 0; k < grants.size(); ++k) {
+            ASSERT_TRUE(grants[k].granted());
+            EXPECT_EQ(grants[k].backwardPort / 2, k)
+                << "request " << k;
+        }
+    }
+}
+
+TEST(Allocator, UnavailablePortsAreNeverGranted)
+{
+    std::vector<bool> avail(4, true);
+    avail[0] = false; // direction 0's first port is down
+    for (std::uint64_t word = 0; word < 64; ++word) {
+        const auto grants =
+            allocateCrossbar({{0, 0}}, avail, 2, word);
+        ASSERT_TRUE(grants[0].granted());
+        EXPECT_EQ(grants[0].backwardPort, 1u);
+    }
+}
+
+TEST(Allocator, FullyBusyDirectionBlocks)
+{
+    std::vector<bool> avail(4, true);
+    avail[2] = avail[3] = false;
+    const auto grants = allocateCrossbar({{5, 1}}, avail, 2, 1);
+    EXPECT_FALSE(grants[0].granted());
+    EXPECT_EQ(grants[0].forwardPort, 5u);
+}
+
+TEST(Allocator, DeterministicForCascading)
+{
+    // Same requests + same shared random word => identical
+    // allocations (Section 5.1, shared randomness).
+    const std::vector<AllocRequest> reqs = {
+        {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 1}};
+    for (std::uint64_t word = 0; word < 128; ++word) {
+        const auto a = allocateCrossbar(reqs, allFree(8), 2, word);
+        const auto b = allocateCrossbar(reqs, allFree(8), 2, word);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t k = 0; k < a.size(); ++k) {
+            EXPECT_EQ(a[k].backwardPort, b[k].backwardPort);
+            EXPECT_EQ(a[k].forwardPort, b[k].forwardPort);
+        }
+    }
+}
+
+TEST(Allocator, PriorityRotationIsFair)
+{
+    // Two requests fight for one free port; over many draws each
+    // forward port should win about half the time.
+    std::vector<bool> avail(4, false);
+    avail[0] = true;
+    RandomSource rand_bits(5);
+    int wins0 = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const auto grants = allocateCrossbar(
+            {{0, 0}, {1, 0}}, avail, 2,
+            rand_bits.wordForCycle(static_cast<Cycle>(i)));
+        if (grants[0].granted())
+            ++wins0;
+        EXPECT_NE(grants[0].granted(), grants[1].granted());
+    }
+    EXPECT_GT(wins0, n / 2 * 0.9);
+    EXPECT_LT(wins0, n / 2 * 1.1);
+}
+
+TEST(Allocator, Dilation1BehavesLikePlainCrossbar)
+{
+    // dilation 1: port k <=> direction k; contention on the same
+    // direction blocks all but one.
+    const auto grants = allocateCrossbar(
+        {{0, 3}, {1, 3}}, allFree(4), 1, 17);
+    int granted = 0;
+    for (const auto &g : grants) {
+        if (g.granted()) {
+            EXPECT_EQ(g.backwardPort, 3u);
+            ++granted;
+        }
+    }
+    EXPECT_EQ(granted, 1);
+}
+
+TEST(Allocator, EmptyRequestListIsFine)
+{
+    const auto grants = allocateCrossbar({}, allFree(8), 2, 1);
+    EXPECT_TRUE(grants.empty());
+}
+
+} // namespace
+} // namespace metro

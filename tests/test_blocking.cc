@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the analytic blocking model and the stats reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/blocking.hh"
+#include "network/presets.hh"
+#include "report/stats_dump.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+TEST(Blocking, ExpectedMinBinomialLimits)
+{
+    // d >= n: min never binds -> E[min] = E[X] = n p.
+    EXPECT_NEAR(expectedMinBinomial(8, 0.25, 8), 2.0, 1e-12);
+    // p = 0 / p = 1 degenerate cases.
+    EXPECT_DOUBLE_EQ(expectedMinBinomial(8, 0.0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(expectedMinBinomial(8, 1.0, 2), 2.0);
+    // d = 1: E[min(X,1)] = P(X >= 1) = 1 - (1-p)^n.
+    EXPECT_NEAR(expectedMinBinomial(4, 0.5, 1),
+                1.0 - std::pow(0.5, 4), 1e-12);
+}
+
+TEST(Blocking, AcceptanceDecreasesWithLoad)
+{
+    const auto spec = fig3Spec(1);
+    double prev = 1.0001;
+    for (double q : {0.05, 0.2, 0.4, 0.6, 0.9}) {
+        const double a = networkAcceptance(spec, q);
+        EXPECT_LT(a, prev) << "q " << q;
+        EXPECT_GT(a, 0.0);
+        prev = a;
+    }
+    EXPECT_NEAR(networkAcceptance(spec, 0.0), 1.0, 1e-12);
+}
+
+TEST(Blocking, DilationImprovesAcceptance)
+{
+    // Same radix and offered load; more equivalent ports, less
+    // blocking (Section 2's multipath argument).
+    auto mk = [](unsigned d) {
+        MultibutterflySpec s;
+        s.numEndpoints = 4;
+        s.endpointPorts = d;
+        MbStageSpec st;
+        st.params.width = 8;
+        st.params.numForward = 4 * d;
+        st.params.numBackward = 4 * d;
+        st.params.maxDilation = 4;
+        st.radix = 4;
+        st.dilation = d;
+        s.stages = {st};
+        return s;
+    };
+    const double a1 = networkAcceptance(mk(1), 0.5);
+    const double a2 = networkAcceptance(mk(2), 0.5);
+    const double a4 = networkAcceptance(mk(4), 0.5);
+    EXPECT_LT(a1, a2);
+    EXPECT_LT(a2, a4);
+}
+
+TEST(Blocking, PerStageLoadsChain)
+{
+    const auto spec = fig3Spec(1);
+    const auto stages = analyzeBlocking(spec, 0.4);
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_DOUBLE_EQ(stages[0].inputLoad, 0.4);
+    for (std::size_t s = 1; s < stages.size(); ++s)
+        EXPECT_DOUBLE_EQ(stages[s].inputLoad,
+                         stages[s - 1].outputLoad);
+    // Carried load can only shrink through blocking stages.
+    EXPECT_LE(stages.back().outputLoad, 0.4);
+}
+
+TEST(Blocking, ModelTracksSimulatedAttemptsAtModerateLoad)
+{
+    const auto spec = fig3Spec(4);
+    auto net = buildMultibutterfly(spec);
+    ExperimentConfig cfg;
+    cfg.messageWords = 20;
+    cfg.warmup = 1500;
+    cfg.measure = 8000;
+    cfg.thinkTime = 60;
+    cfg.seed = 21;
+    const auto r = runClosedLoop(*net, cfg);
+    const double model = expectedAttempts(spec, r.achievedLoad);
+    // Within 25% at moderate load (the model ignores holding-time
+    // correlation).
+    EXPECT_NEAR(model, r.attempts.mean(),
+                0.25 * r.attempts.mean());
+}
+
+TEST(StatsDump, ReportsContainTheExpectedSections)
+{
+    auto net = buildMultibutterfly(fig1Spec(2));
+    ExperimentConfig cfg;
+    cfg.messageWords = 8;
+    cfg.warmup = 100;
+    cfg.measure = 1200;
+    cfg.thinkTime = 15;
+    cfg.seed = 3;
+    runClosedLoop(*net, cfg);
+
+    const auto stage_report = stageStatsReport(*net);
+    EXPECT_NE(stage_report.find("stage 0"), std::string::npos);
+    EXPECT_NE(stage_report.find("stage 2"), std::string::npos);
+    EXPECT_NE(stage_report.find("grants"), std::string::npos);
+
+    const auto ep_report = endpointStatsReport(*net);
+    EXPECT_NE(ep_report.find("successes"), std::string::npos);
+
+    const auto health = networkHealthSummary(*net);
+    EXPECT_NE(health.find("exactly-once holds"), std::string::npos);
+    EXPECT_NE(health.find("routers quiescent"), std::string::npos);
+}
+
+TEST(StatsDump, HealthSummaryFlagsInFlight)
+{
+    auto net = buildMultibutterfly(fig1Spec(5));
+    net->endpoint(0).send(9, {1, 2});
+    net->engine().run(3); // mid-flight
+    const auto health = networkHealthSummary(*net);
+    EXPECT_NE(health.find("1 in flight"), std::string::npos);
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Width-cascading tests (Section 5.1): shared randomness keeps
+ * cascaded routers allocating identically; the wired-AND IN-USE
+ * check detects a faulty member's divergent allocation and shuts
+ * the connection down on all members (fault containment).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "router/cascade.hh"
+#include "sim/engine.hh"
+
+namespace metro
+{
+namespace
+{
+
+/**
+ * A cascade group of c identical routers. Each member gets its own
+ * links (its w-bit slice of the logical channel). The fixture
+ * drives identical control streams into all members.
+ */
+class CascadeFixture
+{
+  public:
+    explicit CascadeFixture(unsigned members, std::uint64_t seed = 3)
+    {
+        params.width = 4;
+        params.numForward = 4;
+        params.numBackward = 4;
+        params.maxDilation = 2;
+        auto config = RouterConfig::defaults(params);
+
+        std::vector<MetroRouter *> ptrs;
+        for (unsigned m = 0; m < members; ++m) {
+            routers.push_back(std::make_unique<MetroRouter>(
+                m, params, config, /*seed=*/1000 + m));
+            ptrs.push_back(routers.back().get());
+            fwd.emplace_back();
+            bwd.emplace_back();
+            for (PortIndex p = 0; p < params.numForward; ++p) {
+                fwd[m].push_back(std::make_unique<Link>(
+                    m * 100 + p, 1, 1, 1));
+                routers[m]->attachForward(p, fwd[m][p].get());
+                engine.addLink(fwd[m][p].get());
+            }
+            for (PortIndex p = 0; p < params.numBackward; ++p) {
+                bwd[m].push_back(std::make_unique<Link>(
+                    m * 100 + 50 + p, 1, 1, 1));
+                routers[m]->attachBackward(p, bwd[m][p].get());
+                engine.addLink(bwd[m][p].get());
+            }
+            engine.addComponent(routers[m].get());
+        }
+        group = std::make_unique<CascadeGroup>(ptrs, seed);
+        // The monitor must observe post-tick state: register last.
+        engine.addComponent(group.get());
+    }
+
+    /** Drive the same symbol into port p of every member (the
+     *  control signals of a wide word are replicated). */
+    void
+    inAll(PortIndex p, const Symbol &s)
+    {
+        for (auto &links : fwd)
+            links[p]->pushDown(s);
+    }
+
+    void step(unsigned n = 1) { engine.run(n); }
+
+    RouterParams params;
+    Engine engine;
+    std::vector<std::unique_ptr<MetroRouter>> routers;
+    std::vector<std::vector<std::unique_ptr<Link>>> fwd;
+    std::vector<std::vector<std::unique_ptr<Link>>> bwd;
+    std::unique_ptr<CascadeGroup> group;
+};
+
+TEST(Cascade, SharedRandomnessAlignsAllocations)
+{
+    // Across many connection setups, all members must pick the
+    // *same* backward port despite the random dilated choice.
+    CascadeFixture f(4);
+    for (int round = 0; round < 40; ++round) {
+        f.inAll(0, Symbol::header(/*route=*/round & 1, 1,
+                                  round + 1));
+        f.step(2);
+        const auto b0 = f.routers[0]->connectedBackward(0);
+        ASSERT_NE(b0, kInvalidPort) << "round " << round;
+        for (auto &r : f.routers)
+            EXPECT_EQ(r->connectedBackward(0), b0)
+                << "round " << round;
+        EXPECT_EQ(f.group->containments(), 0u);
+        f.inAll(0, Symbol::control(SymbolKind::Drop, round + 1));
+        f.step(2);
+    }
+}
+
+TEST(Cascade, ContentionResolvedIdenticallyAcrossMembers)
+{
+    CascadeFixture f(2);
+    // Three competing requests for direction 0 (two ports).
+    f.inAll(0, Symbol::header(0, 1, 1));
+    f.inAll(1, Symbol::header(0, 1, 2));
+    f.inAll(2, Symbol::header(0, 1, 3));
+    f.step(2);
+    for (PortIndex p = 0; p < 3; ++p) {
+        EXPECT_EQ(f.routers[0]->forwardState(p),
+                  f.routers[1]->forwardState(p))
+            << "port " << p;
+        EXPECT_EQ(f.routers[0]->connectedBackward(p),
+                  f.routers[1]->connectedBackward(p));
+    }
+    EXPECT_EQ(f.group->containments(), 0u);
+}
+
+TEST(Cascade, MisroutingMemberIsContained)
+{
+    // One member decodes headers wrongly (e.g. its slice of the
+    // routing word was corrupted): allocations diverge, the
+    // wired-AND notices, and the connection is shut down on every
+    // member.
+    CascadeFixture f(2);
+    f.routers[1]->setMisroute(true);
+    std::uint64_t contained = 0;
+    for (int round = 0; round < 32 && contained == 0; ++round) {
+        f.inAll(0, Symbol::header(/*direction=*/1, 1, round + 1));
+        f.step(2);
+        contained = f.group->containments();
+        f.inAll(0, Symbol::control(SymbolKind::Drop, round + 1));
+        f.step(2);
+    }
+    EXPECT_GT(contained, 0u);
+    // After containment, no member still holds the connection.
+    for (auto &r : f.routers) {
+        for (PortIndex b = 0; b < f.params.numBackward; ++b)
+            EXPECT_FALSE(r->backwardBusy(b));
+    }
+}
+
+TEST(Cascade, DeadMemberDetected)
+{
+    // A completely dead member never allocates; the live members
+    // do. The wired-AND disagreement shuts the connection down —
+    // the fault is contained rather than silently corrupting the
+    // wide word.
+    CascadeFixture f(2);
+    f.routers[1]->setDead(true);
+    f.inAll(0, Symbol::header(0, 1, 7));
+    f.step(2);
+    EXPECT_GT(f.group->containments(), 0u);
+    EXPECT_TRUE(f.routers[0]->quiescent());
+}
+
+TEST(Cascade, RequiresTwoMembers)
+{
+    RouterParams params;
+    params.width = 4;
+    params.numForward = 4;
+    params.numBackward = 4;
+    RouterConfig config = RouterConfig::defaults(params);
+    MetroRouter solo(0, params, config, 1);
+    EXPECT_DEATH(CascadeGroup({&solo}, 1), "at least two");
+}
+
+TEST(Cascade, MembersShareOneRandomSource)
+{
+    CascadeFixture f(3);
+    const auto &src = f.routers[0]->randomSource();
+    for (auto &r : f.routers)
+        EXPECT_EQ(r->randomSource().get(), src.get());
+}
+
+} // namespace
+} // namespace metro

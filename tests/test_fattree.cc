@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Fat-tree construction and routing tests: structure, route-digit
+ * computation, locality-dependent hop counts, end-to-end delivery
+ * between every pair, up-path stochastic diversity, and behaviour
+ * under contention and faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/fattree.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+FatTreeSpec
+smallTree(std::uint64_t seed = 1)
+{
+    FatTreeSpec spec;
+    spec.levels = 3; // 8 endpoints
+    spec.seed = seed;
+    return spec;
+}
+
+TEST(FatTree, Structure)
+{
+    auto spec = smallTree();
+    auto net = buildFatTree(spec);
+    EXPECT_EQ(net->numEndpoints(), 8u);
+    // Clusters x routers per level: 4*2 + 2*4 + 1*8 = 24.
+    EXPECT_EQ(net->numRouters(), 24u);
+    EXPECT_EQ(net->numStages(), 3u);
+    EXPECT_EQ(net->routersInStage(0).size(), 8u);
+    EXPECT_EQ(net->routersInStage(1).size(), 8u);
+    EXPECT_EQ(net->routersInStage(2).size(), 8u);
+}
+
+TEST(FatTree, RouteDigits)
+{
+    const auto spec = smallTree();
+    // Same leaf cluster (0 -> 1): one router, down bit 1, 2 bits.
+    auto plan = fatTreeRoute(spec, 0, 1);
+    EXPECT_EQ(plan.length, 2u);
+    EXPECT_EQ(plan.route, 1u);
+
+    // Adjacent clusters (0 -> 2): up, peak at level 2 (radix 3,
+    // bit 1 of dest=2 is 1), down (bit 0 = 0).
+    plan = fatTreeRoute(spec, 0, 2);
+    EXPECT_EQ(plan.length, 6u);
+    EXPECT_EQ(plan.route & 0x3u, 2u);        // up
+    EXPECT_EQ((plan.route >> 2) & 0x3u, 1u); // peak: right
+    EXPECT_EQ((plan.route >> 4) & 0x3u, 0u); // down: left
+
+    // Across the root (0 -> 7): up, up, root peak (1 bit), down,
+    // down.
+    plan = fatTreeRoute(spec, 0, 7);
+    EXPECT_EQ(plan.length, 2 + 2 + 1 + 2 + 2);
+    EXPECT_EQ(plan.route & 0x3u, 2u);
+    EXPECT_EQ((plan.route >> 2) & 0x3u, 2u);
+    EXPECT_EQ((plan.route >> 4) & 0x1u, 1u); // root: right
+    EXPECT_EQ((plan.route >> 5) & 0x3u, 1u);
+    EXPECT_EQ((plan.route >> 7) & 0x3u, 1u);
+}
+
+TEST(FatTree, HopCountsReflectLocality)
+{
+    EXPECT_EQ(fatTreeHops(3, 0, 1), 1u); // same leaf
+    EXPECT_EQ(fatTreeHops(3, 0, 2), 3u); // neighbour cluster
+    EXPECT_EQ(fatTreeHops(3, 0, 5), 5u); // across the root
+    EXPECT_EQ(fatTreeHops(3, 0, 7), 5u);
+}
+
+TEST(FatTree, AllPairsDeliver)
+{
+    auto net = buildFatTree(smallTree(3));
+    for (NodeId s = 0; s < 8; ++s) {
+        for (NodeId dst = 0; dst < 8; ++dst) {
+            if (s == dst)
+                continue;
+            const auto id = net->endpoint(s).send(
+                dst, {Word(s), Word(dst), 0x55});
+            net->engine().runUntil(
+                [&] {
+                    const auto &rec = net->tracker().record(id);
+                    return rec.succeeded || rec.gaveUp;
+                },
+                5000);
+            const auto &rec = net->tracker().record(id);
+            EXPECT_TRUE(rec.succeeded) << s << " -> " << dst;
+            EXPECT_EQ(rec.deliveredCount, 1u);
+            // STATUS words match the hop count.
+            EXPECT_EQ(rec.statuses.size(),
+                      fatTreeHops(3, s, dst))
+                << s << " -> " << dst;
+        }
+    }
+}
+
+TEST(FatTree, LocalTrafficIsFaster)
+{
+    auto net = buildFatTree(smallTree(4));
+    auto latency = [&](NodeId s, NodeId dst) {
+        const auto id =
+            net->endpoint(s).send(dst, std::vector<Word>(19, 1));
+        net->engine().runUntil(
+            [&] { return net->tracker().record(id).succeeded; },
+            5000);
+        return net->tracker().record(id).latency();
+    };
+    const auto near = latency(2, 3);  // 1 hop
+    const auto mid = latency(0, 2);   // 3 hops
+    const auto far = latency(0, 7);   // 5 hops
+    EXPECT_LT(near, mid);
+    EXPECT_LT(mid, far);
+}
+
+TEST(FatTree, UpPathsAreDiverse)
+{
+    // Repeated sends from 0 to 7 should traverse different peak/
+    // intermediate routers thanks to stochastic up-selection.
+    auto net = buildFatTree(smallTree(5));
+    std::set<RouterId> level2_routers;
+    for (int round = 0; round < 24; ++round) {
+        const auto id = net->endpoint(0).send(7, {0x1, 0x2});
+        net->engine().runUntil(
+            [&] { return net->tracker().record(id).succeeded; },
+            5000);
+        const auto &rec = net->tracker().record(id);
+        ASSERT_TRUE(rec.succeeded);
+        ASSERT_EQ(rec.statuses.size(), 5u);
+        level2_routers.insert(rec.statuses[1].router); // level 2 up
+    }
+    EXPECT_GT(level2_routers.size(), 1u);
+}
+
+TEST(FatTree, SaturatingTrafficDeliversExactlyOnce)
+{
+    auto net = buildFatTree(smallTree(6));
+    ExperimentConfig cfg;
+    cfg.messageWords = 20;
+    cfg.warmup = 500;
+    cfg.measure = 4000;
+    cfg.thinkTime = 0;
+    cfg.seed = 9;
+    const auto r = runClosedLoop(*net, cfg);
+    EXPECT_GT(r.completedMessages, 200u);
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+    EXPECT_EQ(r.gaveUpMessages, 0u);
+    for (const auto &[id, rec] : net->tracker().all())
+        EXPECT_LE(rec.deliveredCount, 1u);
+}
+
+TEST(FatTree, SurvivesAnUpperLevelRouterDeath)
+{
+    auto net = buildFatTree(smallTree(7));
+    // Kill one root-level router; dilated up-paths route around.
+    net->router(net->routersInStage(2).front()).setDead(true);
+    std::vector<std::uint64_t> ids;
+    for (NodeId s = 0; s < 4; ++s)
+        ids.push_back(
+            net->endpoint(s).send(s + 4, {0xa, 0xb})); // via root
+    net->engine().runUntil(
+        [&] {
+            for (auto id : ids) {
+                const auto &rec = net->tracker().record(id);
+                if (!rec.succeeded && !rec.gaveUp)
+                    return false;
+            }
+            return true;
+        },
+        20000);
+    for (auto id : ids) {
+        EXPECT_TRUE(net->tracker().record(id).succeeded);
+        EXPECT_EQ(net->tracker().record(id).deliveredCount, 1u);
+    }
+}
+
+TEST(FatTree, ValidationCatchesOvercommit)
+{
+    FatTreeSpec spec;
+    spec.levels = 3;
+    spec.leafRouters = 1;
+    spec.endpointPorts = 8; // 16 endpoint wires + parent-down > 8
+    EXPECT_EXIT({ spec.validate(); }, ::testing::ExitedWithCode(1),
+                "overcommitted");
+}
+
+TEST(FatTree, BiggerTreeWorks)
+{
+    FatTreeSpec spec;
+    spec.levels = 4; // 16 endpoints
+    spec.seed = 11;
+    auto net = buildFatTree(spec);
+    EXPECT_EQ(net->numEndpoints(), 16u);
+    const auto id = net->endpoint(0).send(15, {1, 2, 3});
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 5000);
+    const auto &rec = net->tracker().record(id);
+    EXPECT_TRUE(rec.succeeded);
+    EXPECT_EQ(rec.statuses.size(), 7u); // 2*4 - 1
+}
+
+} // namespace
+} // namespace metro

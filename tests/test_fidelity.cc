@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the remaining Table 2 configuration options: per-port
+ * turn-delay registers mirroring the physical wiring, Off Port
+ * Drive Output, and the component-generated random output bit
+ * stream used to feed cascade groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "network/presets.hh"
+#include "router/cascade.hh"
+#include "router/router.hh"
+#include "sim/engine.hh"
+
+namespace metro
+{
+namespace
+{
+
+TEST(Fidelity, TurnDelayRegistersMirrorTheWiring)
+{
+    auto spec = fig3Spec(1);
+    spec.stages[0].linkDelay = 2;
+    spec.stages[1].linkDelay = 1;
+    spec.stages[2].linkDelay = 3;
+    spec.endpointLinkDelay = 1;
+    auto net = buildMultibutterfly(spec);
+
+    // A stage-1 router: forward ports face stage-1 inbound wires
+    // (vtd 1), backward ports face stage-2 wires (vtd 3).
+    const RouterId r1 = net->routersInStage(1).front();
+    const auto &cfg1 = net->router(r1).config();
+    const unsigned i1 = net->router(r1).params().numForward;
+    for (unsigned p = 0; p < i1; ++p)
+        EXPECT_EQ(cfg1.turnDelay[p], 1u);
+    for (unsigned b = 0; b < net->router(r1).params().numBackward;
+         ++b)
+        EXPECT_EQ(cfg1.turnDelay[i1 + b], 3u);
+
+    // Last stage: backward ports face the endpoint wires (vtd 1).
+    const RouterId r2 = net->routersInStage(2).front();
+    const auto &cfg2 = net->router(r2).config();
+    const unsigned i2 = net->router(r2).params().numForward;
+    for (unsigned b = 0; b < net->router(r2).params().numBackward;
+         ++b)
+        EXPECT_EQ(cfg2.turnDelay[i2 + b], 1u);
+
+    // And the turn-delay registers agree with the actual lane
+    // latencies of the attached links (dp + vtd).
+    for (LinkId l = 0; l < net->numLinks(); ++l) {
+        const Link &link = net->link(l);
+        if (link.endA().kind != AttachKind::RouterBackward)
+            continue;
+        const auto &router = net->router(link.endA().id);
+        const unsigned vtd =
+            router.config()
+                .turnDelay[router.params().numForward +
+                           link.endA().port];
+        EXPECT_EQ(link.downLatency(),
+                  router.params().dataPipeStages + vtd)
+            << "link " << l;
+    }
+}
+
+TEST(Fidelity, TurnDelayValidatedAgainstMaxVtd)
+{
+    auto spec = fig3Spec(1);
+    spec.stages[1].linkDelay = 9; // max_vtd is 8
+    EXPECT_EXIT({ spec.validate(); }, ::testing::ExitedWithCode(1),
+                "max_vtd");
+}
+
+TEST(Fidelity, OffPortDriveHoldsWireAtDataIdle)
+{
+    RouterParams params;
+    params.width = 8;
+    params.numForward = 4;
+    params.numBackward = 4;
+    params.maxDilation = 2;
+    auto config = RouterConfig::defaults(params);
+    config.backwardEnabled[1] = false;
+    config.offPortDrive[1] = true;
+    config.backwardEnabled[2] = false; // disabled, NOT driven
+
+    Engine engine;
+    MetroRouter router(0, params, config, 5);
+    std::vector<std::unique_ptr<Link>> links;
+    for (PortIndex p = 0; p < 4; ++p) {
+        links.push_back(std::make_unique<Link>(p, 1, 1, 1));
+        router.attachForward(p, links.back().get());
+        engine.addLink(links.back().get());
+    }
+    std::vector<Link *> bwd;
+    for (PortIndex p = 0; p < 4; ++p) {
+        links.push_back(std::make_unique<Link>(10 + p, 1, 1, 1));
+        router.attachBackward(p, links.back().get());
+        bwd.push_back(links.back().get());
+        engine.addLink(links.back().get());
+    }
+    engine.addComponent(&router);
+    engine.run(3);
+
+    EXPECT_EQ(bwd[1]->headDown().kind, SymbolKind::DataIdle);
+    EXPECT_FALSE(bwd[2]->headDown().occupied()); // undriven
+    EXPECT_FALSE(bwd[0]->headDown().occupied()); // enabled, idle
+}
+
+TEST(Fidelity, RandomOutputBitIsDeterministicAndBalanced)
+{
+    RouterParams params;
+    params.width = 8;
+    params.numForward = 4;
+    params.numBackward = 4;
+    auto config = RouterConfig::defaults(params);
+    MetroRouter a(0, params, config, 42), b(1, params, config, 42),
+        c(2, params, config, 43);
+
+    int ones = 0, differ = 0;
+    for (Cycle t = 0; t < 2000; ++t) {
+        EXPECT_EQ(a.randomOutputBit(t), b.randomOutputBit(t));
+        if (a.randomOutputBit(t))
+            ++ones;
+        if (a.randomOutputBit(t) != c.randomOutputBit(t))
+            ++differ;
+    }
+    EXPECT_GT(ones, 850);
+    EXPECT_LT(ones, 1150);
+    EXPECT_GT(differ, 850); // different seeds decorrelate
+}
+
+TEST(Fidelity, CascadeFedFromAMemberOutputStaysInLockstep)
+{
+    // Feed the shared random source from one component's random
+    // output stream, as the paper intends (no extra parts needed).
+    RouterParams params;
+    params.width = 4;
+    params.numForward = 4;
+    params.numBackward = 4;
+    params.maxDilation = 2;
+    auto config = RouterConfig::defaults(params);
+
+    Engine engine;
+    std::vector<std::unique_ptr<MetroRouter>> members;
+    std::vector<std::vector<std::unique_ptr<Link>>> fwd(2), bwd(2);
+    std::vector<MetroRouter *> ptrs;
+    for (unsigned m = 0; m < 2; ++m) {
+        members.push_back(std::make_unique<MetroRouter>(
+            m, params, config, 100 + m));
+        ptrs.push_back(members.back().get());
+        for (PortIndex p = 0; p < 4; ++p) {
+            fwd[m].push_back(std::make_unique<Link>(
+                m * 100 + p, 1, 1, 1));
+            members[m]->attachForward(p, fwd[m][p].get());
+            engine.addLink(fwd[m][p].get());
+            bwd[m].push_back(std::make_unique<Link>(
+                m * 100 + 50 + p, 1, 1, 1));
+            members[m]->attachBackward(p, bwd[m][p].get());
+            engine.addLink(bwd[m][p].get());
+        }
+        engine.addComponent(members[m].get());
+    }
+    // A third component supplies the random stream via its output
+    // bit generator's seed.
+    MetroRouter generator(99, params, config, 777);
+    auto shared = std::make_shared<RandomSource>(
+        generator.randomOutputBit(0) ? 0x777ULL : 0x778ULL);
+    for (auto *m : ptrs)
+        m->setRandomSource(shared);
+    CascadeGroup group(ptrs, /*seed unused, source replaced*/ 1);
+    for (auto *m : ptrs)
+        m->setRandomSource(shared); // re-share after group ctor
+    engine.addComponent(&group);
+
+    for (unsigned round = 0; round < 32; ++round) {
+        for (unsigned m = 0; m < 2; ++m)
+            fwd[m][0]->pushDown(
+                Symbol::header(round & 1, 1, round + 1));
+        engine.run(2);
+        EXPECT_EQ(members[0]->connectedBackward(0),
+                  members[1]->connectedBackward(0))
+            << "round " << round;
+        for (unsigned m = 0; m < 2; ++m)
+            fwd[m][0]->pushDown(
+                Symbol::control(SymbolKind::Drop, round + 1));
+        engine.run(2);
+    }
+    EXPECT_EQ(group.containments(), 0u);
+}
+
+} // namespace
+} // namespace metro

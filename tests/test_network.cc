@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for multibutterfly construction and structural analysis:
+ * the Figure 1 and Figure 3 networks, route-digit computation,
+ * wiring invariants (class structure, endpoint-port separation),
+ * path multiplicity, and the paper's fault-isolation claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "network/analysis.hh"
+#include "network/multibutterfly.hh"
+#include "network/presets.hh"
+
+namespace metro
+{
+namespace
+{
+
+TEST(Multibutterfly, Fig1Structure)
+{
+    const auto spec = fig1Spec(3);
+    auto net = buildMultibutterfly(spec);
+    EXPECT_EQ(net->numEndpoints(), 16u);
+    // 8 routers per stage, three stages (paper Figure 1).
+    EXPECT_EQ(net->numRouters(), 24u);
+    EXPECT_EQ(net->numStages(), 3u);
+    EXPECT_EQ(net->routersInStage(0).size(), 8u);
+    EXPECT_EQ(net->routersInStage(1).size(), 8u);
+    EXPECT_EQ(net->routersInStage(2).size(), 8u);
+    // 32 injection + 32 + 32 interstage + 32 delivery links.
+    EXPECT_EQ(net->numLinks(), 128u);
+}
+
+TEST(Multibutterfly, Fig3Structure)
+{
+    const auto spec = fig3Spec(3);
+    auto net = buildMultibutterfly(spec);
+    EXPECT_EQ(net->numEndpoints(), 64u);
+    EXPECT_EQ(net->numRouters(), 64u); // 16 + 16 + 32
+    EXPECT_EQ(net->routersInStage(0).size(), 16u);
+    EXPECT_EQ(net->routersInStage(1).size(), 16u);
+    EXPECT_EQ(net->routersInStage(2).size(), 32u);
+    EXPECT_EQ(net->numLinks(), 512u);
+}
+
+TEST(Multibutterfly, Table32Structures)
+{
+    auto spec4 = table32Spec(RouterParams::metroJr(), 5);
+    EXPECT_EQ(spec4.stages.size(), 4u);
+    auto net4 = buildMultibutterfly(spec4);
+    EXPECT_EQ(net4->numEndpoints(), 32u);
+
+    RouterParams eight;
+    eight.width = 4;
+    eight.numForward = 8;
+    eight.numBackward = 8;
+    eight.maxDilation = 2;
+    auto spec2 = table32Spec(eight, 5);
+    EXPECT_EQ(spec2.stages.size(), 2u);
+    auto net2 = buildMultibutterfly(spec2);
+    EXPECT_EQ(net2->numEndpoints(), 32u);
+}
+
+TEST(Multibutterfly, RouteDigitsMatchClassRefinement)
+{
+    // radices {2, 2, 4}: dest 13 = 1*8 + 1*4 + 1 -> digits 1,1,1?
+    // dest = d0*8 + d1*4 + d2 with r = {2,2,4}.
+    const std::vector<unsigned> radices = {2, 2, 4};
+    for (NodeId dest = 0; dest < 16; ++dest) {
+        const auto plan = multibutterflyRoute(radices, 8, 1, dest);
+        const unsigned d0 = plan.route & 0x1;
+        const unsigned d1 = (plan.route >> 1) & 0x1;
+        const unsigned d2 = (plan.route >> 2) & 0x3;
+        EXPECT_EQ(d0 * 8 + d1 * 4 + d2, dest);
+        EXPECT_EQ(plan.length, 4u);
+    }
+}
+
+TEST(Multibutterfly, HeaderSymbolCounts)
+{
+    EXPECT_EQ(fig3Spec().headerSymbols(), 1u); // 6 bits in w=8
+    // METROJR 32-node: 5 route bits on a 4-bit channel -> 2 words.
+    EXPECT_EQ(table32Spec(RouterParams::metroJr()).headerSymbols(),
+              2u);
+
+    // hw > 0: one word consumed per stage.
+    auto spec = fig3Spec();
+    for (auto &st : spec.stages)
+        st.params.headerWords = 1;
+    EXPECT_EQ(spec.headerSymbols(), 3u);
+}
+
+TEST(Multibutterfly, EndpointPortsLandOnDistinctStage0Routers)
+{
+    for (std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+        const auto spec = fig3Spec(seed);
+        auto net = buildMultibutterfly(spec);
+        std::map<NodeId, std::set<RouterId>> targets;
+        for (LinkId l = 0; l < net->numLinks(); ++l) {
+            const Link &link = net->link(l);
+            if (link.endA().kind == AttachKind::Endpoint &&
+                link.endB().kind == AttachKind::RouterForward) {
+                targets[link.endA().id].insert(link.endB().id);
+            }
+        }
+        for (const auto &[e, routers] : targets)
+            EXPECT_EQ(routers.size(), spec.endpointPorts)
+                << "endpoint " << e << " seed " << seed;
+    }
+}
+
+TEST(Multibutterfly, DeliveryPortsComeFromDistinctFinalRouters)
+{
+    const auto spec = fig1Spec(11);
+    auto net = buildMultibutterfly(spec);
+    std::map<NodeId, std::set<RouterId>> sources;
+    for (LinkId l = 0; l < net->numLinks(); ++l) {
+        const Link &link = net->link(l);
+        if (link.endB().kind == AttachKind::Endpoint &&
+            link.endA().kind == AttachKind::RouterBackward) {
+            sources[link.endB().id].insert(link.endA().id);
+        }
+    }
+    ASSERT_EQ(sources.size(), spec.numEndpoints);
+    for (const auto &[e, routers] : sources)
+        EXPECT_EQ(routers.size(), spec.endpointPorts)
+            << "endpoint " << e;
+}
+
+TEST(Multibutterfly, StageConfigurationsApplied)
+{
+    const auto spec = fig3Spec(1);
+    auto net = buildMultibutterfly(spec);
+    for (RouterId r : net->routersInStage(0)) {
+        EXPECT_EQ(net->router(r).config().dilation, 2u);
+        EXPECT_EQ(net->router(r).config().radix(), 4u);
+        EXPECT_EQ(net->router(r).stage(), 0u);
+    }
+    for (RouterId r : net->routersInStage(2)) {
+        EXPECT_EQ(net->router(r).config().dilation, 1u);
+        EXPECT_EQ(net->router(r).config().radix(), 4u);
+        EXPECT_EQ(net->router(r).stage(), 2u);
+    }
+}
+
+TEST(Analysis, PathMultiplicityMatchesDilationProduct)
+{
+    // Paths = endpointPorts * d0 * d1 * d2 = 2*2*2*1 = 8 for both
+    // canonical networks.
+    {
+        const auto spec = fig1Spec(2);
+        auto net = buildMultibutterfly(spec);
+        EXPECT_EQ(countPaths(*net, spec, 6, 16 % 16), 8u);
+        EXPECT_EQ(minPathsOverPairs(*net, spec), 8u);
+    }
+    {
+        const auto spec = fig3Spec(2);
+        auto net = buildMultibutterfly(spec);
+        EXPECT_EQ(countPaths(*net, spec, 0, 63), 8u);
+        EXPECT_EQ(countPaths(*net, spec, 5, 6), 8u);
+    }
+}
+
+TEST(Analysis, AnyFinalStageRouterLossIsolatesNoEndpoint)
+{
+    // The Figure 1 claim: dilation-1 final-stage routers are
+    // arranged so the complete loss of any one never isolates an
+    // endpoint.
+    const auto spec = fig1Spec(4);
+    auto net = buildMultibutterfly(spec);
+    for (RouterId r : net->routersInStage(2)) {
+        net->router(r).setDead(true);
+        EXPECT_TRUE(allPairsConnected(*net, spec))
+            << "final-stage router " << r;
+        net->router(r).setDead(false);
+    }
+}
+
+TEST(Analysis, SingleEarlyStageRouterLossKeepsConnectivity)
+{
+    const auto spec = fig3Spec(1);
+    auto net = buildMultibutterfly(spec);
+    for (unsigned s = 0; s < 2; ++s) {
+        for (RouterId r : net->routersInStage(s)) {
+            net->router(r).setDead(true);
+            EXPECT_TRUE(allPairsConnected(*net, spec))
+                << "stage " << s << " router " << r;
+            net->router(r).setDead(false);
+        }
+    }
+}
+
+TEST(Analysis, DeadLinkReducesPathCount)
+{
+    const auto spec = fig3Spec(6);
+    auto net = buildMultibutterfly(spec);
+    const auto before = countPaths(*net, spec, 0, 63);
+    // Kill one of endpoint 0's injection links.
+    for (LinkId l = 0; l < net->numLinks(); ++l) {
+        Link &link = net->link(l);
+        if (link.endA().kind == AttachKind::Endpoint &&
+            link.endA().id == 0) {
+            link.setFault(LinkFault::Dead);
+            break;
+        }
+    }
+    const auto after = countPaths(*net, spec, 0, 63);
+    EXPECT_EQ(before, 8u);
+    EXPECT_EQ(after, 4u); // half the paths started on that port
+}
+
+TEST(Analysis, DisabledBackwardPortReducesPathCount)
+{
+    const auto spec = fig3Spec(6);
+    auto net = buildMultibutterfly(spec);
+    const RouterId r0 = net->routersInStage(0).front();
+    for (PortIndex b = 0; b < 8; ++b)
+        net->router(r0).setBackwardEnabled(b, false);
+    // Any pair whose source feeds r0 lost some paths.
+    std::uint64_t min_paths = minPathsOverPairs(*net, spec);
+    EXPECT_LT(min_paths, 8u);
+    EXPECT_GT(min_paths, 0u);
+}
+
+TEST(Multibutterfly, ValidationRejectsBadSpecs)
+{
+    auto spec = fig3Spec();
+    spec.numEndpoints = 63; // radix product is 64
+    EXPECT_EXIT({ spec.validate(); }, ::testing::ExitedWithCode(1),
+                "resolve");
+
+    auto spec2 = fig3Spec();
+    spec2.stages[1].params.width = 4; // mismatched channel width
+    EXPECT_EXIT({ spec2.validate(); }, ::testing::ExitedWithCode(1),
+                "width");
+
+    auto spec3 = fig3Spec();
+    spec3.stages[0].dilation = 4; // needs 16 ports on an 8-port part
+    EXPECT_EXIT({ spec3.validate(); }, ::testing::ExitedWithCode(1),
+                "backward ports");
+}
+
+TEST(Multibutterfly, DeterministicConstruction)
+{
+    const auto a = buildMultibutterfly(fig3Spec(42));
+    const auto b = buildMultibutterfly(fig3Spec(42));
+    ASSERT_EQ(a->numLinks(), b->numLinks());
+    for (LinkId l = 0; l < a->numLinks(); ++l) {
+        EXPECT_EQ(a->link(l).endA().id, b->link(l).endA().id);
+        EXPECT_EQ(a->link(l).endB().id, b->link(l).endB().id);
+        EXPECT_EQ(a->link(l).endB().port, b->link(l).endB().port);
+    }
+}
+
+TEST(Multibutterfly, SeedsChangeWiring)
+{
+    const auto a = buildMultibutterfly(fig3Spec(1));
+    const auto b = buildMultibutterfly(fig3Spec(2));
+    ASSERT_EQ(a->numLinks(), b->numLinks());
+    bool any_difference = false;
+    for (LinkId l = 0; l < a->numLinks(); ++l) {
+        if (a->link(l).endB().id != b->link(l).endB().id ||
+            a->link(l).endB().port != b->link(l).endB().port)
+            any_difference = true;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Multibutterfly, FreshNetworkIsQuiescent)
+{
+    auto net = buildMultibutterfly(fig1Spec(1));
+    EXPECT_TRUE(net->routersQuiescent());
+    net->engine().run(100); // no traffic
+    EXPECT_TRUE(net->routersQuiescent());
+    EXPECT_EQ(net->tracker().size(), 0u);
+}
+
+} // namespace
+} // namespace metro

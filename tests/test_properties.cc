@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Property-based parameter sweeps (TEST_P) over the METRO
+ * implementation family: the same invariants must hold for every
+ * combination of radix, dilation, channel width, header words (hw),
+ * pipeline depth (dp), wire delay (vtd), and endpoint ports that
+ * Table 1 admits.
+ *
+ * The central property is the closed-form unloaded latency law
+ * derived from the architecture (uniform-parameter networks):
+ *
+ *   latency = hs + n - 1 + 2*(1 + vtd) + 2*S*(dp + vtd)
+ *
+ * where hs = header symbols, n = message words (incl. the checksum
+ * slot; the TURN and on-wire measurement conventions cancel into
+ * the -1), S = stages; the two symmetric transit terms are the
+ * endpoint register + injection wire and the S routers each way.
+ * Figure 3's 28 cycles is the (hs=1, n=20, S=3, dp=1, vtd=0)
+ * instance: 1 + 20 - 1 + 2 + 6 = 28.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "network/analysis.hh"
+#include "network/multibutterfly.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+/** One point in the implementation-family sweep. */
+struct FamilyPoint
+{
+    const char *name;
+    std::vector<unsigned> radices;
+    std::vector<unsigned> dilations;
+    unsigned width;
+    unsigned numForward;
+    unsigned numBackward;
+    unsigned maxDilation;
+    unsigned hw;
+    unsigned dp;
+    unsigned vtd;
+    unsigned endpointPorts;
+    bool fastReclaim;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const FamilyPoint &p)
+{
+    return os << p.name;
+}
+
+MultibutterflySpec
+makeSpec(const FamilyPoint &p, std::uint64_t seed)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 1;
+    for (unsigned r : p.radices)
+        spec.numEndpoints *= r;
+    spec.endpointPorts = p.endpointPorts;
+    spec.seed = seed;
+    spec.fastReclaim = p.fastReclaim;
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 2048;
+    spec.niConfig.maxAttempts = 100000;
+
+    for (std::size_t s = 0; s < p.radices.size(); ++s) {
+        MbStageSpec st;
+        st.params.width = p.width;
+        st.params.numForward = p.numForward;
+        st.params.numBackward = p.numBackward;
+        st.params.maxDilation = p.maxDilation;
+        st.params.headerWords = p.hw;
+        st.params.dataPipeStages = p.dp;
+        st.radix = p.radices[s];
+        st.dilation = p.dilations[s];
+        st.linkDelay = p.vtd;
+        spec.stages.push_back(st);
+    }
+    spec.endpointLinkDelay = p.vtd;
+    return spec;
+}
+
+class FamilySweep : public ::testing::TestWithParam<FamilyPoint>
+{
+};
+
+TEST_P(FamilySweep, SpecValidatesAndBuilds)
+{
+    const auto spec = makeSpec(GetParam(), 11);
+    spec.validate();
+    auto net = buildMultibutterfly(spec);
+    EXPECT_EQ(net->numEndpoints(), spec.numEndpoints);
+    EXPECT_TRUE(net->routersQuiescent());
+}
+
+TEST_P(FamilySweep, UnloadedLatencyLaw)
+{
+    const auto &p = GetParam();
+    const auto spec = makeSpec(p, 13);
+    auto net = buildMultibutterfly(spec);
+
+    const unsigned n_words = 8; // 7 payload + checksum slot
+    const unsigned hs = spec.headerSymbols();
+    const auto stages = static_cast<unsigned>(p.radices.size());
+    const Cycle expected = hs + n_words - 1 + 2 * (1 + p.vtd) +
+                           2 * stages * (p.dp + p.vtd);
+
+    const Word mask = (1u << p.width) - 1;
+    for (NodeId src : {0u, spec.numEndpoints - 1}) {
+        const NodeId dest = (src + spec.numEndpoints / 2 + 1) %
+                            spec.numEndpoints;
+        const auto id = net->endpoint(src).send(
+            dest, std::vector<Word>(n_words - 1, 0x2b & mask));
+        net->engine().runUntil(
+            [&] { return net->tracker().record(id).succeeded; },
+            20000);
+        const auto &rec = net->tracker().record(id);
+        ASSERT_TRUE(rec.succeeded) << src << "->" << dest;
+        EXPECT_EQ(rec.latency(), expected) << src << "->" << dest;
+    }
+}
+
+TEST_P(FamilySweep, StatusChainCarriesTheSourceChecksum)
+{
+    const auto &p = GetParam();
+    auto net = buildMultibutterfly(makeSpec(p, 17));
+    const Word mask = (1u << p.width) - 1;
+    const std::vector<Word> payload = {Word(0x13 & mask),
+                                       Word(0x2a & mask),
+                                       Word(0x07 & mask)};
+    const auto id = net->endpoint(1).send(0, payload);
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 20000);
+    const auto &rec = net->tracker().record(id);
+    ASSERT_TRUE(rec.succeeded);
+    ASSERT_EQ(rec.statuses.size(), p.radices.size());
+    Crc16 crc;
+    for (Word w : payload)
+        crc.update(w, p.width);
+    for (std::size_t s = 0; s < rec.statuses.size(); ++s) {
+        EXPECT_EQ(rec.statuses[s].stage, s);
+        EXPECT_EQ(rec.statuses[s].checksum, crc.value())
+            << "stage " << s;
+        EXPECT_FALSE(rec.statuses[s].blocked);
+    }
+}
+
+TEST_P(FamilySweep, PathCountIsPortTimesDilationProduct)
+{
+    const auto &p = GetParam();
+    const auto spec = makeSpec(p, 19);
+    auto net = buildMultibutterfly(spec);
+    std::uint64_t expected = p.endpointPorts;
+    for (unsigned d : p.dilations)
+        expected *= d;
+    EXPECT_EQ(countPaths(*net, spec, 0, spec.numEndpoints - 1),
+              expected);
+    EXPECT_EQ(minPathsOverPairs(*net, spec), expected);
+}
+
+TEST_P(FamilySweep, BurstDeliversExactlyOnceAndQuiesces)
+{
+    const auto &p = GetParam();
+    const auto spec = makeSpec(p, 23);
+    auto net = buildMultibutterfly(spec);
+
+    ExperimentConfig cfg;
+    cfg.messageWords = 6;
+    cfg.warmup = 0;
+    cfg.measure = 1500;
+    cfg.drainMax = 60000;
+    cfg.thinkTime = 0;
+    cfg.seed = 29;
+    const auto r = runClosedLoop(*net, cfg);
+
+    EXPECT_GT(r.completedMessages, 20u);
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+    EXPECT_EQ(r.gaveUpMessages, 0u);
+    for (const auto &[id, rec] : net->tracker().all()) {
+        EXPECT_LE(rec.deliveredCount, 1u);
+        if (rec.succeeded) {
+            EXPECT_EQ(rec.deliveredCount, 1u);
+        }
+    }
+    net->engine().run(1000);
+    EXPECT_TRUE(net->routersQuiescent());
+}
+
+TEST_P(FamilySweep, DeterministicAcrossRuns)
+{
+    const auto &p = GetParam();
+    auto run = [&p]() {
+        auto net = buildMultibutterfly(makeSpec(p, 31));
+        ExperimentConfig cfg;
+        cfg.messageWords = 6;
+        cfg.warmup = 0;
+        cfg.measure = 800;
+        cfg.thinkTime = 3;
+        cfg.seed = 37;
+        const auto r = runClosedLoop(*net, cfg);
+        return std::make_tuple(r.completedMessages,
+                               r.latency.mean(),
+                               r.routerTotals.get("grants"),
+                               r.routerTotals.get("blocks"));
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST_P(FamilySweep, MultiTurnSessionsCompleteEverywhere)
+{
+    const auto &p = GetParam();
+    auto net = buildMultibutterfly(makeSpec(p, 47));
+    const Word mask = (1u << p.width) - 1;
+    for (NodeId e = 0; e < net->numEndpoints(); ++e) {
+        net->endpoint(e).setSessionHandler(
+            [mask](const MessageRecord &, unsigned round,
+                   const std::vector<Word> &data) {
+                SessionReply reply;
+                for (Word w : data)
+                    reply.words.push_back((w + round) & mask);
+                return reply;
+            });
+    }
+    const auto id = net->endpoint(0).sendSession(
+        net->numEndpoints() - 1,
+        {{Word(1 & mask), Word(2 & mask)}, {Word(3 & mask)}});
+    net->engine().runUntil(
+        [&] {
+            const auto &rec = net->tracker().record(id);
+            return rec.succeeded || rec.gaveUp;
+        },
+        40000);
+    const auto &rec = net->tracker().record(id);
+    ASSERT_TRUE(rec.succeeded);
+    EXPECT_EQ(rec.roundsCompleted, 2u);
+    ASSERT_EQ(rec.sessionReplies.size(), 2u);
+    EXPECT_EQ(rec.sessionReplies[1],
+              (std::vector<Word>{Word(4 & mask)}));
+    net->engine().run(200);
+    EXPECT_TRUE(net->routersQuiescent());
+}
+
+TEST_P(FamilySweep, SurvivesMidRunRouterDeathWhenMultipath)
+{
+    const auto &p = GetParam();
+    std::uint64_t paths = p.endpointPorts;
+    for (unsigned d : p.dilations)
+        paths *= d;
+    if (paths < 2)
+        GTEST_SKIP() << "single-path configuration";
+
+    const auto spec = makeSpec(p, 41);
+    auto net = buildMultibutterfly(spec);
+    if (net->routersInStage(0).size() < 2)
+        GTEST_SKIP() << "single-router stage: no alternate router";
+
+    // Kill one stage-0 router mid-run.
+    class Killer : public Component
+    {
+      public:
+        Killer(Network *net, RouterId victim, Cycle at)
+            : Component("killer"), net_(net), victim_(victim),
+              at_(at)
+        {}
+        void
+        tick(Cycle cycle) override
+        {
+            if (cycle == at_)
+                net_->router(victim_).setDead(true);
+        }
+
+      private:
+        Network *net_;
+        RouterId victim_;
+        Cycle at_;
+    };
+    Killer killer(net.get(), net->routersInStage(0).front(), 300);
+    net->engine().addComponent(&killer);
+
+    ExperimentConfig cfg;
+    cfg.messageWords = 6;
+    cfg.warmup = 0;
+    cfg.measure = 1500;
+    cfg.drainMax = 100000;
+    cfg.thinkTime = 2;
+    cfg.seed = 43;
+    const auto r = runClosedLoop(*net, cfg);
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+    EXPECT_EQ(r.gaveUpMessages, 0u);
+    for (const auto &[id, rec] : net->tracker().all())
+        EXPECT_LE(rec.deliveredCount, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ImplementationFamily, FamilySweep,
+    ::testing::Values(
+        // Figure-3-like, all stages dilation 2 (uniform parts).
+        FamilyPoint{"fig3like", {4, 4, 4}, {2, 2, 2}, 8, 8, 8, 2, 0,
+                    1, 0, 2, true},
+        // METROJR-flavoured: narrow channel, 4-port parts.
+        FamilyPoint{"metrojr", {2, 2, 4}, {2, 2, 1}, 4, 4, 4, 2, 0,
+                    1, 0, 2, true},
+        // Wire-pipelined (variable turn delay active).
+        FamilyPoint{"vtd2", {4, 4}, {2, 2}, 8, 8, 8, 2, 0, 1, 2, 2,
+                    true},
+        // Deep internal pipeline.
+        FamilyPoint{"dp3", {2, 2}, {2, 2}, 8, 4, 4, 2, 0, 3, 0, 2,
+                    true},
+        // Pipelined connection setup (hw > 0).
+        FamilyPoint{"hw1", {4, 4}, {2, 2}, 8, 8, 8, 2, 1, 1, 0, 2,
+                    true},
+        FamilyPoint{"hw2vtd1", {2, 4}, {2, 1}, 8, 4, 4, 2, 2, 2, 1,
+                    2, true},
+        // Wide channel.
+        FamilyPoint{"w16", {4, 4}, {2, 2}, 16, 8, 8, 2, 0, 1, 0, 2,
+                    true},
+        // Dilation 4.
+        FamilyPoint{"dil4", {2, 2}, {4, 4}, 8, 8, 8, 4, 0, 1, 0, 4,
+                    true},
+        // Single-path (dilation 1 everywhere, one endpoint port).
+        FamilyPoint{"singlepath", {4, 4}, {1, 1}, 8, 4, 4, 1, 0, 1,
+                    0, 1, true},
+        // Detailed path reclamation.
+        FamilyPoint{"detailed", {4, 4, 4}, {2, 2, 2}, 8, 8, 8, 2, 0,
+                    1, 0, 2, false},
+        // Radix 8 single stage.
+        FamilyPoint{"radix8", {8}, {2}, 8, 16, 16, 2, 0, 1, 0, 2,
+                    true},
+        // Everything at once: mixed radices and dilations, hw,
+        // deep pipe, wire delay (i = 4, o = 8 parts).
+        FamilyPoint{"kitchen", {4, 2, 2}, {2, 2, 1}, 8, 4, 8, 2, 1,
+                    2, 1, 2, true}),
+    [](const ::testing::TestParamInfo<FamilyPoint> &info) {
+        return std::string(info.param.name);
+    });
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,651 @@
+/**
+ * @file
+ * Unit tests for the MetroRouter state machine: connection setup,
+ * header handling (swallow and hw consumption), stochastic output
+ * selection, blocking in both reclamation modes, connection
+ * reversal with status injection, teardown, backward-control-bit
+ * propagation, scan disable, and the idle-timeout extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/crc.hh"
+#include "router/router.hh"
+#include "sim/engine.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+namespace
+{
+
+/**
+ * A single router with every port wired to a test-owned link. The
+ * test plays the upstream endpoints (pushing into forward links'
+ * down lanes) and the downstream neighbours (pushing into backward
+ * links' up lanes).
+ */
+class RouterFixture
+{
+  public:
+    RouterFixture(const RouterParams &params,
+                  const RouterConfig &config, std::uint64_t seed = 7)
+        : router(0, params, config, seed)
+    {
+        for (PortIndex p = 0; p < params.numForward; ++p) {
+            fwd.push_back(std::make_unique<Link>(
+                p, 1, params.dataPipeStages, 1));
+            router.attachForward(p, fwd.back().get());
+            engine.addLink(fwd.back().get());
+        }
+        for (PortIndex p = 0; p < params.numBackward; ++p) {
+            bwd.push_back(std::make_unique<Link>(
+                100 + p, params.dataPipeStages, 1, 1));
+            router.attachBackward(p, bwd.back().get());
+            engine.addLink(bwd.back().get());
+        }
+        engine.addComponent(&router);
+    }
+
+    /**
+     * Advance n cycles, logging every occupied symbol that appears
+     * at a lane head (each is visible for exactly one window).
+     */
+    void
+    step(unsigned n = 1)
+    {
+        for (unsigned k = 0; k < n; ++k) {
+            engine.run(1);
+            for (PortIndex b = 0; b < bwd.size(); ++b) {
+                const Symbol s = bwd[b]->headDown();
+                if (s.occupied())
+                    outLog[b].push_back(s);
+            }
+            for (PortIndex p = 0; p < fwd.size(); ++p) {
+                const Symbol s = fwd[p]->headUp();
+                if (s.occupied())
+                    upLog[p].push_back(s);
+            }
+        }
+    }
+
+    /** Current-window head at backward port b's downstream end. */
+    Symbol out(PortIndex b) { return bwd[b]->headDown(); }
+
+    /** Current-window head at forward port p's upstream end. */
+    Symbol up(PortIndex p) { return fwd[p]->headUp(); }
+
+    /** Everything that left backward port b so far. */
+    std::vector<Symbol> &outAll(PortIndex b) { return outLog[b]; }
+
+    /** Everything sent upstream from forward port p so far. */
+    std::vector<Symbol> &upAll(PortIndex p) { return upLog[p]; }
+
+    /** Last symbol of a log, or Empty. */
+    static Symbol
+    last(const std::vector<Symbol> &log)
+    {
+        return log.empty() ? Symbol{} : log.back();
+    }
+
+    /** Drive a symbol into forward port p (as upstream would). */
+    void in(PortIndex p, const Symbol &s) { fwd[p]->pushDown(s); }
+
+    /** Drive a reverse symbol into backward port b. */
+    void rev(PortIndex b, const Symbol &s) { bwd[b]->pushUp(s); }
+
+    /** Which backward port (if any) the connection from p took. */
+    PortIndex
+    takenPort(PortIndex p) const
+    {
+        return router.connectedBackward(p);
+    }
+
+    Engine engine;
+    MetroRouter router;
+    std::vector<std::unique_ptr<Link>> fwd;
+    std::vector<std::unique_ptr<Link>> bwd;
+    std::map<PortIndex, std::vector<Symbol>> outLog;
+    std::map<PortIndex, std::vector<Symbol>> upLog;
+};
+
+RouterParams
+smallParams()
+{
+    RouterParams p;
+    p.width = 8;
+    p.numForward = 4;
+    p.numBackward = 4;
+    p.maxDilation = 2;
+    return p;
+}
+
+RouterConfig
+smallConfig(const RouterParams &p, unsigned dilation = 2)
+{
+    RouterConfig c = RouterConfig::defaults(p);
+    c.dilation = dilation;
+    return c;
+}
+
+Symbol
+hdr(std::uint64_t route, std::uint16_t len, std::uint64_t msg = 1)
+{
+    return Symbol::header(route, len, msg);
+}
+
+TEST(Router, HeaderEstablishesConnectionInRequestedDirection)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params)); // radix 2, d 2
+    f.in(0, hdr(/*route=*/1, /*len=*/1)); // direction 1
+    f.step(2);
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::ConnectedFwd);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    EXPECT_GE(b, 2u); // direction 1 owns ports {2, 3}
+    EXPECT_LE(b, 3u);
+}
+
+TEST(Router, HeaderForwardedWhenRouteBitsRemain)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    RouterFixture f(params, config);
+    // Two route bits: this radix-2 router consumes one; the header
+    // must be forwarded with routePos advanced.
+    f.in(0, hdr(0b10, 2));
+    f.step(3);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    ASSERT_EQ(f.outAll(b).size(), 1u);
+    const Symbol s = f.outAll(b).front();
+    ASSERT_EQ(s.kind, SymbolKind::Header);
+    EXPECT_EQ(s.routePos, 1u);
+    EXPECT_EQ(s.route, 0b10u);
+}
+
+TEST(Router, SwallowStripsHeaderAndDataFollows)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0b1, 1));
+    f.step();
+    f.in(0, Symbol::data(0x55, 1));
+    f.step(3);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    // The header was swallowed; only the data word went downstream.
+    EXPECT_EQ(f.router.counters().get("headerSwallowed"), 1u);
+    EXPECT_GE(f.router.counters().get("wordsForwarded"), 1u);
+}
+
+TEST(Router, NoSwallowForwardsExhaustedHeader)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.swallow.assign(params.numForward, false);
+    RouterFixture f(params, config);
+    f.in(0, hdr(0b1, 1));
+    f.step(3);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    EXPECT_EQ(f.router.counters().get("headerSwallowed"), 0u);
+}
+
+TEST(Router, DataFlowsAtOneWordPerCycle)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1));
+    f.step();
+    for (int k = 0; k < 5; ++k) {
+        f.in(0, Symbol::data(static_cast<Word>(0x10 + k), 1));
+        f.step();
+    }
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    f.step(2); // flush the tail of the stream through
+    // All five words left in order at one word per cycle.
+    std::vector<Word> values;
+    for (const auto &s : f.outAll(b)) {
+        if (s.kind == SymbolKind::Data)
+            values.push_back(s.value);
+    }
+    EXPECT_EQ(values, (std::vector<Word>{0x10, 0x11, 0x12, 0x13,
+                                         0x14}));
+}
+
+TEST(Router, RandomSelectionCoversBothDilatedPorts)
+{
+    std::set<PortIndex> seen;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+        const auto params = smallParams();
+        RouterFixture f(params, smallConfig(params), seed);
+        f.in(0, hdr(0, 1));
+        f.step(2);
+        seen.insert(f.takenPort(0));
+    }
+    EXPECT_EQ(seen, (std::set<PortIndex>{0, 1}));
+}
+
+TEST(Router, TwoRequestsSameDirectionBothGranted)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 1));
+    f.in(1, hdr(0, 1, 2));
+    f.step(2);
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::ConnectedFwd);
+    EXPECT_EQ(f.router.forwardState(1), FwdPortState::ConnectedFwd);
+    EXPECT_NE(f.takenPort(0), f.takenPort(1));
+}
+
+TEST(Router, ThirdRequestBlocksFastReclaim)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 1));
+    f.in(1, hdr(0, 1, 2));
+    f.step(2);
+    f.in(2, hdr(0, 1, 3));
+    f.step(2);
+    // Port 2's request found direction 0 full: fast reclamation
+    // pushes BcbDrop upstream at the allocation tick...
+    EXPECT_EQ(f.router.forwardState(2), FwdPortState::Draining);
+    EXPECT_EQ(f.router.counters().get("blocks"), 1u);
+    EXPECT_EQ(f.router.counters().get("bcbSent"), 1u);
+    // ...visible to upstream one lane-latency later.
+    ASSERT_FALSE(f.upAll(2).empty());
+    EXPECT_EQ(f.upAll(2).back().kind, SymbolKind::BcbDrop);
+    // The source ends its dead stream with Drop; port goes Idle.
+    f.in(2, Symbol::control(SymbolKind::Drop, 3));
+    f.step(2);
+    EXPECT_EQ(f.router.forwardState(2), FwdPortState::Idle);
+}
+
+TEST(Router, DetailedBlockHoldsForTurnThenReportsAndDrops)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.fastReclaim.assign(params.numForward, false);
+    RouterFixture f(params, config);
+    // Fill direction 0.
+    f.in(0, hdr(0, 1, 1));
+    f.in(1, hdr(0, 1, 2));
+    f.step(2);
+    f.in(2, hdr(0, 1, 3));
+    f.step(2);
+    EXPECT_EQ(f.router.forwardState(2), FwdPortState::BlockedWait);
+
+    // Discarded data still accumulates into the status checksum.
+    Crc16 expect;
+    for (int k = 0; k < 3; ++k) {
+        f.in(2, Symbol::data(static_cast<Word>(0x21 + k), 3));
+        expect.update(static_cast<Word>(0x21 + k), params.width);
+        f.step();
+    }
+    f.step(); // let the last word reach the router
+    EXPECT_EQ(f.router.counters().get("blockedDiscard"), 3u);
+
+    f.in(2, Symbol::control(SymbolKind::Turn, 3));
+    f.step(4);
+    ASSERT_GE(f.upAll(2).size(), 2u);
+    const Symbol status = f.upAll(2)[0];
+    ASSERT_EQ(status.kind, SymbolKind::Status);
+    const auto sw = StatusWord::decode(status.value);
+    EXPECT_TRUE(sw.blocked);
+    EXPECT_EQ(sw.checksum, expect.value());
+    EXPECT_EQ(f.upAll(2)[1].kind, SymbolKind::Drop);
+    EXPECT_EQ(f.router.forwardState(2), FwdPortState::Idle);
+}
+
+TEST(Router, TurnForwardsDownstreamAndInjectsStatus)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 9));
+    f.step();
+    f.in(0, Symbol::data(0x42, 9));
+    f.step();
+    f.in(0, Symbol::control(SymbolKind::Turn, 9));
+    f.step(3);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    // The TURN went on downstream...
+    ASSERT_FALSE(f.outAll(b).empty());
+    EXPECT_EQ(f.outAll(b).back().kind, SymbolKind::Turn);
+    // ...and our status went back upstream, ahead of the idles
+    // that hold the reversed connection open.
+    ASSERT_FALSE(f.upAll(0).empty());
+    const Symbol status = f.upAll(0).front();
+    ASSERT_EQ(status.kind, SymbolKind::Status);
+    const auto sw = StatusWord::decode(status.value);
+    EXPECT_FALSE(sw.blocked);
+    Crc16 crc;
+    crc.update(0x42, params.width);
+    EXPECT_EQ(sw.checksum, crc.value());
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::ConnectedRev);
+}
+
+TEST(Router, ReversedConnectionForwardsReplyAndIdlesGaps)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 9));
+    f.step();
+    f.in(0, Symbol::control(SymbolKind::Turn, 9));
+    f.step(2);
+    ASSERT_EQ(f.router.forwardState(0), FwdPortState::ConnectedRev);
+    const auto b = f.takenPort(0);
+
+    // With nothing to forward, the router holds the connection open
+    // with DATA-IDLE.
+    f.step();
+    EXPECT_EQ(f.last(f.upAll(0)).kind, SymbolKind::DataIdle);
+
+    // Reply data flows back.
+    f.rev(b, Symbol::data(0x77, 9));
+    f.step(3);
+    bool saw_reply = false;
+    for (const auto &s : f.upAll(0)) {
+        if (s.kind == SymbolKind::Data && s.value == 0x77)
+            saw_reply = true;
+    }
+    EXPECT_TRUE(saw_reply);
+}
+
+TEST(Router, SecondTurnRestoresForwardFlowWithStatusDownstream)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 9));
+    f.step();
+    f.in(0, Symbol::control(SymbolKind::Turn, 9));
+    f.step(2);
+    const auto b = f.takenPort(0);
+    ASSERT_EQ(f.router.forwardState(0), FwdPortState::ConnectedRev);
+
+    f.rev(b, Symbol::control(SymbolKind::Turn, 9));
+    f.step(3);
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::ConnectedFwd);
+    // The turn continued toward the source...
+    EXPECT_EQ(f.last(f.upAll(0)).kind, SymbolKind::Turn);
+    // ...and a status word went toward the (new) downstream.
+    ASSERT_FALSE(f.outAll(b).empty());
+    EXPECT_EQ(f.outAll(b).back().kind, SymbolKind::Status);
+    EXPECT_EQ(f.router.counters().get("turns"), 2u);
+}
+
+TEST(Router, DropReleasesBothPorts)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 9));
+    f.step(2);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    f.in(0, Symbol::control(SymbolKind::Drop, 9));
+    f.step(3);
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::Idle);
+    EXPECT_FALSE(f.router.backwardBusy(b));
+    EXPECT_EQ(f.last(f.outAll(b)).kind, SymbolKind::Drop);
+    EXPECT_TRUE(f.router.quiescent());
+}
+
+TEST(Router, FreedPortIsReusableNextConnection)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.dilation = 1; // radix 4, one port per direction
+    config.swallow.assign(params.numForward, true);
+    RouterFixture f(params, config);
+    f.in(0, hdr(2, 2, 1)); // direction 2
+    f.step();
+    f.in(0, Symbol::control(SymbolKind::Drop, 1));
+    f.step(2);
+    ASSERT_TRUE(f.router.quiescent());
+    f.in(1, hdr(2, 2, 2)); // same direction from another port
+    f.step(2);
+    EXPECT_EQ(f.router.forwardState(1), FwdPortState::ConnectedFwd);
+    EXPECT_EQ(f.takenPort(1), 2u);
+}
+
+TEST(Router, BcbFromDownstreamReclaimsAndPropagates)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 9));
+    f.step(2);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+
+    f.rev(b, Symbol::control(SymbolKind::BcbDrop, 9));
+    f.step(3);
+    // Backward port released immediately; BCB forwarded upstream;
+    // the port drains the dead stream.
+    EXPECT_FALSE(f.router.backwardBusy(b));
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::Draining);
+    EXPECT_EQ(f.last(f.upAll(0)).kind, SymbolKind::BcbDrop);
+
+    // In-flight data of the dead stream is discarded silently.
+    f.in(0, Symbol::data(0x1, 9));
+    f.step();
+    f.in(0, Symbol::control(SymbolKind::Drop, 9));
+    f.step(2);
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::Idle);
+    EXPECT_GE(f.router.counters().get("drainedWords"), 1u);
+}
+
+TEST(Router, HwConsumesHeaderWordsFromStreamHead)
+{
+    auto params = smallParams();
+    params.headerWords = 2;
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 5));
+    f.step();
+    f.in(0, hdr(0, 1, 5)); // second header word: consumed
+    f.step();
+    f.in(0, Symbol::data(0x3c, 5));
+    f.step(3);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    EXPECT_EQ(f.router.counters().get("headerConsumed"), 2u);
+    // Data follows immediately after the consumed words, and it is
+    // the first thing to leave the router.
+    ASSERT_FALSE(f.outAll(b).empty());
+    EXPECT_EQ(f.outAll(b).front().kind, SymbolKind::Data);
+    EXPECT_EQ(f.outAll(b).front().value, 0x3cu);
+}
+
+TEST(Router, DataIdlePassesThrough)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 5));
+    f.step();
+    f.in(0, Symbol::control(SymbolKind::DataIdle, 5));
+    f.step(3);
+    const auto b = f.takenPort(0);
+    ASSERT_FALSE(f.outAll(b).empty());
+    EXPECT_EQ(f.outAll(b).back().kind, SymbolKind::DataIdle);
+}
+
+TEST(Router, DisabledForwardPortIgnoresHeaders)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.forwardEnabled[1] = false;
+    RouterFixture f(params, config);
+    f.in(1, hdr(0, 1, 5));
+    f.step(3);
+    EXPECT_EQ(f.router.forwardState(1), FwdPortState::Idle);
+    EXPECT_TRUE(f.router.quiescent());
+    EXPECT_EQ(f.router.counters().get("disabledPortDiscard"), 1u);
+}
+
+TEST(Router, DisabledBackwardPortNeverAllocated)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.backwardEnabled[0] = false;
+    RouterFixture f(params, config);
+    for (int k = 0; k < 8; ++k) {
+        f.in(0, hdr(0, 1, 5));
+        f.step();
+        EXPECT_NE(f.takenPort(0), 0u);
+        f.in(0, Symbol::control(SymbolKind::Drop, 5));
+        f.step(2);
+    }
+}
+
+TEST(Router, ScanDisableMidConnectionTearsDown)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 5));
+    f.step(2);
+    ASSERT_EQ(f.router.forwardState(0), FwdPortState::ConnectedFwd);
+    f.router.setForwardEnabled(0, false);
+    EXPECT_TRUE(f.router.quiescent());
+    EXPECT_EQ(f.router.counters().get("scanTeardown"), 1u);
+}
+
+TEST(Router, IdleTimeoutReleasesStuckConnection)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.idleTimeout = 10;
+    RouterFixture f(params, config);
+    f.in(0, hdr(0, 1, 5));
+    f.step(2);
+    ASSERT_EQ(f.router.forwardState(0), FwdPortState::ConnectedFwd);
+    // Upstream goes silent (e.g. its wire died): the watchdog
+    // reclaims the circuit.
+    f.step(15);
+    EXPECT_TRUE(f.router.quiescent());
+    EXPECT_EQ(f.router.counters().get("idleTimeouts"), 1u);
+}
+
+TEST(Router, NoIdleTimeoutWhileTrafficFlows)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.idleTimeout = 4;
+    RouterFixture f(params, config);
+    f.in(0, hdr(0, 1, 5));
+    f.step();
+    for (int k = 0; k < 20; ++k) {
+        f.in(0, Symbol::data(0x1, 5));
+        f.step();
+    }
+    EXPECT_EQ(f.router.forwardState(0), FwdPortState::ConnectedFwd);
+    EXPECT_EQ(f.router.counters().get("idleTimeouts"), 0u);
+}
+
+TEST(Router, DeadRouterIgnoresEverything)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.router.setDead(true);
+    f.in(0, hdr(0, 1, 5));
+    f.step(5);
+    EXPECT_TRUE(f.router.quiescent());
+    for (PortIndex b = 0; b < params.numBackward; ++b)
+        EXPECT_TRUE(f.outAll(b).empty());
+}
+
+TEST(Router, MisrouteScramblesDirections)
+{
+    std::set<PortIndex> seen;
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        const auto params = smallParams();
+        auto config = smallConfig(params);
+        config.dilation = 1;
+        RouterFixture f(params, config, seed);
+        f.router.setMisroute(true);
+        f.in(0, hdr(/*direction=*/3, 2, 5));
+        f.step(2);
+        if (f.takenPort(0) != kInvalidPort)
+            seen.insert(f.takenPort(0));
+    }
+    // A header-decode fault sends connections all over, not only
+    // to the requested direction 3.
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Router, StrayIdleSymbolsCountedNotFatal)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, Symbol::data(0x5, 5)); // data with no connection
+    f.step(2);
+    EXPECT_EQ(f.router.counters().get("idleDiscard"), 1u);
+    EXPECT_TRUE(f.router.quiescent());
+}
+
+TEST(Router, ReleaseBackwardFreesOwningConnection)
+{
+    const auto params = smallParams();
+    RouterFixture f(params, smallConfig(params));
+    f.in(0, hdr(0, 1, 5));
+    f.step(2);
+    const auto b = f.takenPort(0);
+    ASSERT_NE(b, kInvalidPort);
+    f.router.releaseBackward(b);
+    EXPECT_TRUE(f.router.quiescent());
+    EXPECT_EQ(f.router.counters().get("cascadeShutdown"), 1u);
+}
+
+TEST(Router, ConfiguredDilationOneUsesRadixEqualPorts)
+{
+    const auto params = smallParams();
+    auto config = smallConfig(params);
+    config.dilation = 1; // radix 4 on 4 ports
+    RouterFixture f(params, config);
+    for (unsigned dir = 0; dir < 4; ++dir) {
+        f.in(dir % params.numForward, hdr(dir, 2, dir + 1));
+        f.step();
+    }
+    f.step(3);
+    for (PortIndex p = 0; p < 4; ++p) {
+        EXPECT_EQ(f.router.forwardState(p),
+                  FwdPortState::ConnectedFwd);
+        EXPECT_EQ(f.takenPort(p), p); // direction == port
+    }
+}
+
+TEST(Router, ValidatesConfigAgainstParams)
+{
+    auto params = smallParams();
+    auto config = RouterConfig::defaults(params);
+    config.dilation = 8; // exceeds maxDilation = 2
+    EXPECT_EXIT(
+        { MetroRouter r(0, params, config, 1); },
+        ::testing::ExitedWithCode(1), "dilation");
+}
+
+TEST(Router, ParamValidationRejectsNonPowerOfTwoPorts)
+{
+    RouterParams p = smallParams();
+    p.numForward = 3;
+    EXPECT_EXIT({ p.validate(); }, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(Router, ParamValidationRejectsNarrowWidth)
+{
+    RouterParams p = smallParams();
+    p.numBackward = 16;
+    p.maxDilation = 2;
+    p.width = 2; // log2(16) = 4 > 2
+    EXPECT_EXIT({ p.validate(); }, ::testing::ExitedWithCode(1),
+                "log2");
+}
+
+} // namespace
+} // namespace metro

