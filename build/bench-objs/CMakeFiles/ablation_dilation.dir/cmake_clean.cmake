@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dilation"
+  "../bench/ablation_dilation.pdb"
+  "CMakeFiles/ablation_dilation.dir/ablation_dilation.cc.o"
+  "CMakeFiles/ablation_dilation.dir/ablation_dilation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fast_reclaim"
+  "../bench/ablation_fast_reclaim.pdb"
+  "CMakeFiles/ablation_fast_reclaim.dir/ablation_fast_reclaim.cc.o"
+  "CMakeFiles/ablation_fast_reclaim.dir/ablation_fast_reclaim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_random_selection"
+  "../bench/ablation_random_selection.pdb"
+  "CMakeFiles/ablation_random_selection.dir/ablation_random_selection.cc.o"
+  "CMakeFiles/ablation_random_selection.dir/ablation_random_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_random_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/app_speedup_model"
+  "../bench/app_speedup_model.pdb"
+  "CMakeFiles/app_speedup_model.dir/app_speedup_model.cc.o"
+  "CMakeFiles/app_speedup_model.dir/app_speedup_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_speedup_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/blocking_model"
+  "../bench/blocking_model.pdb"
+  "CMakeFiles/blocking_model.dir/blocking_model.cc.o"
+  "CMakeFiles/blocking_model.dir/blocking_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cascade_width"
+  "../bench/cascade_width.pdb"
+  "CMakeFiles/cascade_width.dir/cascade_width.cc.o"
+  "CMakeFiles/cascade_width.dir/cascade_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fattree_locality"
+  "../bench/fattree_locality.pdb"
+  "CMakeFiles/fattree_locality.dir/fattree_locality.cc.o"
+  "CMakeFiles/fattree_locality.dir/fattree_locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

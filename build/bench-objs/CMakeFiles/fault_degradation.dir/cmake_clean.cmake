@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fault_degradation"
+  "../bench/fault_degradation.pdb"
+  "CMakeFiles/fault_degradation.dir/fault_degradation.cc.o"
+  "CMakeFiles/fault_degradation.dir/fault_degradation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

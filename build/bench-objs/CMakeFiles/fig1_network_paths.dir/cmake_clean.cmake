@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_network_paths"
+  "../bench/fig1_network_paths.pdb"
+  "CMakeFiles/fig1_network_paths.dir/fig1_network_paths.cc.o"
+  "CMakeFiles/fig1_network_paths.dir/fig1_network_paths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_network_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

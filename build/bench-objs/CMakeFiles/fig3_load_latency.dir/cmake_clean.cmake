@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_load_latency"
+  "../bench/fig3_load_latency.pdb"
+  "CMakeFiles/fig3_load_latency.dir/fig3_load_latency.cc.o"
+  "CMakeFiles/fig3_load_latency.dir/fig3_load_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_load_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

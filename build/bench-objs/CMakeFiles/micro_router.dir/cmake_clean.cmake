@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_router"
+  "../bench/micro_router.pdb"
+  "CMakeFiles/micro_router.dir/micro_router.cc.o"
+  "CMakeFiles/micro_router.dir/micro_router.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/openloop_saturation"
+  "../bench/openloop_saturation.pdb"
+  "CMakeFiles/openloop_saturation.dir/openloop_saturation.cc.o"
+  "CMakeFiles/openloop_saturation.dir/openloop_saturation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openloop_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pipelining_sweep"
+  "../bench/pipelining_sweep.pdb"
+  "CMakeFiles/pipelining_sweep.dir/pipelining_sweep.cc.o"
+  "CMakeFiles/pipelining_sweep.dir/pipelining_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelining_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

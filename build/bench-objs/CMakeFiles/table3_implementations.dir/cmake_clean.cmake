@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_implementations"
+  "../bench/table3_implementations.pdb"
+  "CMakeFiles/table3_implementations.dir/table3_implementations.cc.o"
+  "CMakeFiles/table3_implementations.dir/table3_implementations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_implementations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

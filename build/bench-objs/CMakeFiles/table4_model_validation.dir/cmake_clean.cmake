@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_model_validation"
+  "../bench/table4_model_validation.pdb"
+  "CMakeFiles/table4_model_validation.dir/table4_model_validation.cc.o"
+  "CMakeFiles/table4_model_validation.dir/table4_model_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_contemporaries"
+  "../bench/table5_contemporaries.pdb"
+  "CMakeFiles/table5_contemporaries.dir/table5_contemporaries.cc.o"
+  "CMakeFiles/table5_contemporaries.dir/table5_contemporaries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_contemporaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_memory_read.dir/remote_memory_read.cpp.o"
+  "CMakeFiles/remote_memory_read.dir/remote_memory_read.cpp.o.d"
+  "remote_memory_read"
+  "remote_memory_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_memory_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

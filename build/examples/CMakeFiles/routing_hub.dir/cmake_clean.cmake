@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_hub.dir/routing_hub.cpp.o"
+  "CMakeFiles/routing_hub.dir/routing_hub.cpp.o.d"
+  "routing_hub"
+  "routing_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

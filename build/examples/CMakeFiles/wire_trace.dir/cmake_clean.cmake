@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_trace.dir/wire_trace.cpp.o"
+  "CMakeFiles/wire_trace.dir/wire_trace.cpp.o.d"
+  "wire_trace"
+  "wire_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/options.cc" "src/CMakeFiles/metro.dir/app/options.cc.o" "gcc" "src/CMakeFiles/metro.dir/app/options.cc.o.d"
+  "/root/repo/src/app/specfile.cc" "src/CMakeFiles/metro.dir/app/specfile.cc.o" "gcc" "src/CMakeFiles/metro.dir/app/specfile.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/metro.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/metro.dir/common/logging.cc.o.d"
+  "/root/repo/src/endpoint/interface.cc" "src/CMakeFiles/metro.dir/endpoint/interface.cc.o" "gcc" "src/CMakeFiles/metro.dir/endpoint/interface.cc.o.d"
+  "/root/repo/src/fault/injector.cc" "src/CMakeFiles/metro.dir/fault/injector.cc.o" "gcc" "src/CMakeFiles/metro.dir/fault/injector.cc.o.d"
+  "/root/repo/src/model/blocking.cc" "src/CMakeFiles/metro.dir/model/blocking.cc.o" "gcc" "src/CMakeFiles/metro.dir/model/blocking.cc.o.d"
+  "/root/repo/src/model/latency.cc" "src/CMakeFiles/metro.dir/model/latency.cc.o" "gcc" "src/CMakeFiles/metro.dir/model/latency.cc.o.d"
+  "/root/repo/src/network/analysis.cc" "src/CMakeFiles/metro.dir/network/analysis.cc.o" "gcc" "src/CMakeFiles/metro.dir/network/analysis.cc.o.d"
+  "/root/repo/src/network/fattree.cc" "src/CMakeFiles/metro.dir/network/fattree.cc.o" "gcc" "src/CMakeFiles/metro.dir/network/fattree.cc.o.d"
+  "/root/repo/src/network/multibutterfly.cc" "src/CMakeFiles/metro.dir/network/multibutterfly.cc.o" "gcc" "src/CMakeFiles/metro.dir/network/multibutterfly.cc.o.d"
+  "/root/repo/src/network/presets.cc" "src/CMakeFiles/metro.dir/network/presets.cc.o" "gcc" "src/CMakeFiles/metro.dir/network/presets.cc.o.d"
+  "/root/repo/src/report/csv.cc" "src/CMakeFiles/metro.dir/report/csv.cc.o" "gcc" "src/CMakeFiles/metro.dir/report/csv.cc.o.d"
+  "/root/repo/src/report/dot.cc" "src/CMakeFiles/metro.dir/report/dot.cc.o" "gcc" "src/CMakeFiles/metro.dir/report/dot.cc.o.d"
+  "/root/repo/src/report/stats_dump.cc" "src/CMakeFiles/metro.dir/report/stats_dump.cc.o" "gcc" "src/CMakeFiles/metro.dir/report/stats_dump.cc.o.d"
+  "/root/repo/src/router/allocator.cc" "src/CMakeFiles/metro.dir/router/allocator.cc.o" "gcc" "src/CMakeFiles/metro.dir/router/allocator.cc.o.d"
+  "/root/repo/src/router/router.cc" "src/CMakeFiles/metro.dir/router/router.cc.o" "gcc" "src/CMakeFiles/metro.dir/router/router.cc.o.d"
+  "/root/repo/src/sim/symbol.cc" "src/CMakeFiles/metro.dir/sim/symbol.cc.o" "gcc" "src/CMakeFiles/metro.dir/sim/symbol.cc.o.d"
+  "/root/repo/src/trace/probe.cc" "src/CMakeFiles/metro.dir/trace/probe.cc.o" "gcc" "src/CMakeFiles/metro.dir/trace/probe.cc.o.d"
+  "/root/repo/src/traffic/experiment.cc" "src/CMakeFiles/metro.dir/traffic/experiment.cc.o" "gcc" "src/CMakeFiles/metro.dir/traffic/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

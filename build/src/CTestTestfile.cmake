@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("router")
+subdirs("network")
+subdirs("endpoint")
+subdirs("traffic")
+subdirs("fault")
+subdirs("model")
+subdirs("trace")
+subdirs("report")
+subdirs("app")
+subdirs("metro")

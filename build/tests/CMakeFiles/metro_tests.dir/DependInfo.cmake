@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cc" "tests/CMakeFiles/metro_tests.dir/test_allocator.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_allocator.cc.o.d"
+  "/root/repo/tests/test_blocking.cc" "tests/CMakeFiles/metro_tests.dir/test_blocking.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_blocking.cc.o.d"
+  "/root/repo/tests/test_cascade.cc" "tests/CMakeFiles/metro_tests.dir/test_cascade.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_cascade.cc.o.d"
+  "/root/repo/tests/test_cascade_network.cc" "tests/CMakeFiles/metro_tests.dir/test_cascade_network.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_cascade_network.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/metro_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_endpoint.cc" "tests/CMakeFiles/metro_tests.dir/test_endpoint.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_endpoint.cc.o.d"
+  "/root/repo/tests/test_fattree.cc" "tests/CMakeFiles/metro_tests.dir/test_fattree.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_fattree.cc.o.d"
+  "/root/repo/tests/test_fault.cc" "tests/CMakeFiles/metro_tests.dir/test_fault.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_fault.cc.o.d"
+  "/root/repo/tests/test_fidelity.cc" "tests/CMakeFiles/metro_tests.dir/test_fidelity.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_fidelity.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/metro_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_model.cc" "tests/CMakeFiles/metro_tests.dir/test_model.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_model.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/metro_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/metro_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/metro_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_router.cc" "tests/CMakeFiles/metro_tests.dir/test_router.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_router.cc.o.d"
+  "/root/repo/tests/test_router_fuzz.cc" "tests/CMakeFiles/metro_tests.dir/test_router_fuzz.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_router_fuzz.cc.o.d"
+  "/root/repo/tests/test_session.cc" "tests/CMakeFiles/metro_tests.dir/test_session.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_session.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/metro_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_soak.cc" "tests/CMakeFiles/metro_tests.dir/test_soak.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_soak.cc.o.d"
+  "/root/repo/tests/test_specfile.cc" "tests/CMakeFiles/metro_tests.dir/test_specfile.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_specfile.cc.o.d"
+  "/root/repo/tests/test_tap.cc" "tests/CMakeFiles/metro_tests.dir/test_tap.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_tap.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/metro_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/metro_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/metro_tests.dir/test_traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/metro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

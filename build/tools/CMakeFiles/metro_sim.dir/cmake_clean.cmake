@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metro_sim.dir/metro_sim.cc.o"
+  "CMakeFiles/metro_sim.dir/metro_sim.cc.o.d"
+  "metro_sim"
+  "metro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
