@@ -22,9 +22,10 @@
 
 #include <cstdio>
 
+#include "app/options.hh"
 #include "network/analysis.hh"
 #include "network/presets.hh"
-#include "traffic/experiment.hh"
+#include "sweep/sweep.hh"
 
 namespace
 {
@@ -57,8 +58,9 @@ butterflySpec(std::uint64_t seed)
     return spec;
 }
 
-ExperimentResult
-saturate(Network &net, TrafficPattern pattern, std::uint64_t seed)
+/** Saturating closed-loop settings shared by every point. */
+ExperimentConfig
+saturateConfig(TrafficPattern pattern, std::uint64_t seed)
 {
     ExperimentConfig cfg;
     cfg.messageWords = 20;
@@ -69,13 +71,13 @@ saturate(Network &net, TrafficPattern pattern, std::uint64_t seed)
     cfg.hotNode = 21;
     cfg.hotFraction = 0.2;
     cfg.seed = seed;
-    return runClosedLoop(net, cfg);
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Dilation ablation: plain butterfly vs the Figure 3 "
                 "multibutterfly (simulated)\n\n");
@@ -96,64 +98,96 @@ main()
                 static_cast<unsigned long long>(
                     countPaths(*multi, m_spec, 0, 63)));
 
+    // Four independent points: both fabrics under saturating
+    // uniform traffic, then both again with a stage-1 router dead.
+    // Each build lambda records connectivity in its own slot.
+    std::vector<unsigned char> connected(4, 0);
+    std::vector<SweepPoint> points(4);
+
+    points[0].label = "butterfly";
+    points[0].config = saturateConfig(TrafficPattern::UniformRandom,
+                                      /*seed=*/3);
+    points[0].build = []() {
+        SweepInstance instance;
+        instance.network = buildMultibutterfly(butterflySpec(41));
+        return instance;
+    };
+
+    points[1].label = "multibutterfly";
+    points[1].config = points[0].config;
+    points[1].build = []() {
+        SweepInstance instance;
+        instance.network = buildMultibutterfly(fig3Spec(41));
+        return instance;
+    };
+
+    points[2].label = "butterfly/hurt";
+    points[2].config = saturateConfig(TrafficPattern::UniformRandom,
+                                      /*seed=*/9);
+    points[2].build = [&connected]() {
+        auto spec = butterflySpec(41);
+        // Bounded retries so unreachable messages resolve.
+        spec.niConfig.maxAttempts = 24;
+        SweepInstance instance;
+        instance.network = buildMultibutterfly(spec);
+        Network &net = *instance.network;
+        net.router(net.routersInStage(1)[3]).setDead(true);
+        connected[2] = allPairsConnected(net, spec) ? 1 : 0;
+        return instance;
+    };
+
+    points[3].label = "multibutterfly/hurt";
+    points[3].config = points[2].config;
+    points[3].build = [&connected]() {
+        const auto spec = fig3Spec(41);
+        SweepInstance instance;
+        instance.network = buildMultibutterfly(spec);
+        Network &net = *instance.network;
+        net.router(net.routersInStage(1)[3]).setDead(true);
+        connected[3] = allPairsConnected(net, spec) ? 1 : 0;
+        return instance;
+    };
+
+    SweepOptions sopts;
+    sopts.threads = threadsFromArgv(argc, argv);
+    const auto sweep = runSweep(points, sopts);
+
     std::printf("— saturating uniform traffic —\n");
     std::printf("%-16s %10s %10s %10s %12s\n", "network", "load",
                 "latency", "p95", "attempts");
-    const auto b_uni = saturate(*butterfly,
-                                TrafficPattern::UniformRandom, 3);
-    const auto m_uni =
-        saturate(*multi, TrafficPattern::UniformRandom, 3);
-    std::printf("%-16s %10.4f %10.1f %10llu %12.3f\n", "butterfly",
-                b_uni.achievedLoad, b_uni.latency.mean(),
-                static_cast<unsigned long long>(
-                    b_uni.latency.percentile(95)),
-                b_uni.attempts.mean());
-    std::printf("%-16s %10.4f %10.1f %10llu %12.3f\n\n",
-                "multibutterfly", m_uni.achievedLoad,
-                m_uni.latency.mean(),
-                static_cast<unsigned long long>(
-                    m_uni.latency.percentile(95)),
-                m_uni.attempts.mean());
-
-    std::printf("— single stage-1 router death under load —\n");
+    for (std::size_t k = 0; k < 2; ++k) {
+        const auto &r = sweep.points[k].result;
+        std::printf("%-16s %10.4f %10.1f %10llu %12.3f\n",
+                    sweep.points[k].label.c_str(), r.achievedLoad,
+                    r.latency.mean(),
+                    static_cast<unsigned long long>(
+                        r.latency.percentile(95)),
+                    r.attempts.mean());
+    }
+    std::printf("\n— single stage-1 router death under load —\n");
     std::printf("%-16s %12s %12s %14s\n", "network", "delivered",
                 "abandoned", "connectivity");
     bool ok = true;
-    {
-        auto hurt = buildMultibutterfly(butterflySpec(41));
-        auto spec = butterflySpec(41);
-        // Bounded retries so unreachable messages resolve.
-        // (Rebuild with the bound; same wiring seed.)
-        spec.niConfig.maxAttempts = 24;
-        hurt = buildMultibutterfly(spec);
-        hurt->router(hurt->routersInStage(1)[3]).setDead(true);
-        const bool connected = allPairsConnected(*hurt, spec);
-        const auto r =
-            saturate(*hurt, TrafficPattern::UniformRandom, 9);
-        std::printf("%-16s %12llu %12llu %14s\n", "butterfly",
+    for (std::size_t k = 2; k < 4; ++k) {
+        const auto &r = sweep.points[k].result;
+        std::printf("%-16s %12llu %12llu %14s\n",
+                    k == 2 ? "butterfly" : "multibutterfly",
                     static_cast<unsigned long long>(
                         r.completedMessages),
                     static_cast<unsigned long long>(
                         r.gaveUpMessages),
-                    connected ? "intact" : "PARTITIONED");
-        // The whole point: a butterfly cannot lose a router.
-        if (connected || r.gaveUpMessages == 0)
+                    connected[k] ? "intact" : "PARTITIONED");
+    }
+    {
+        // The whole point: a butterfly cannot lose a router...
+        const auto &r = sweep.points[2].result;
+        if (connected[2] || r.gaveUpMessages == 0)
             ok = false;
     }
     {
-        auto spec = fig3Spec(41);
-        auto hurt = buildMultibutterfly(spec);
-        hurt->router(hurt->routersInStage(1)[3]).setDead(true);
-        const bool connected = allPairsConnected(*hurt, spec);
-        const auto r =
-            saturate(*hurt, TrafficPattern::UniformRandom, 9);
-        std::printf("%-16s %12llu %12llu %14s\n", "multibutterfly",
-                    static_cast<unsigned long long>(
-                        r.completedMessages),
-                    static_cast<unsigned long long>(
-                        r.gaveUpMessages),
-                    connected ? "intact" : "PARTITIONED");
-        if (!connected || r.gaveUpMessages != 0 ||
+        // ...while the multibutterfly shrugs it off.
+        const auto &r = sweep.points[3].result;
+        if (!connected[3] || r.gaveUpMessages != 0 ||
             r.unresolvedMessages != 0)
             ok = false;
     }

@@ -14,11 +14,12 @@
 
 #include <cstdio>
 
+#include "app/options.hh"
 #include "network/presets.hh"
-#include "traffic/experiment.hh"
+#include "sweep/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace metro;
 
@@ -29,21 +30,35 @@ main()
                 "load", "latency", "p95", "attempts", "blocks",
                 "blockInfo");
 
+    const bool modes[] = {true, false};
+    std::vector<SweepPoint> points;
+    for (bool fast : modes) {
+        SweepPoint point;
+        point.label = fast ? "fast" : "detailed";
+        point.config.messageWords = 20;
+        point.config.warmup = 2000;
+        point.config.measure = 15000;
+        point.config.thinkTime = 0;
+        point.config.seed = 222;
+        point.build = [fast]() {
+            auto spec = fig3Spec(/*seed=*/111);
+            spec.fastReclaim = fast;
+            SweepInstance instance;
+            instance.network = buildMultibutterfly(spec);
+            return instance;
+        };
+        points.push_back(std::move(point));
+    }
+
+    SweepOptions sopts;
+    sopts.threads = threadsFromArgv(argc, argv);
+    const auto sweep = runSweep(points, sopts);
+
     double fast_load = 0, detailed_load = 0;
     double fast_lat = 0, detailed_lat = 0;
-    for (bool fast : {true, false}) {
-        auto spec = fig3Spec(/*seed=*/111);
-        spec.fastReclaim = fast;
-        auto net = buildMultibutterfly(spec);
-
-        ExperimentConfig cfg;
-        cfg.messageWords = 20;
-        cfg.warmup = 2000;
-        cfg.measure = 15000;
-        cfg.thinkTime = 0;
-        cfg.seed = 222;
-        const auto r = runClosedLoop(*net, cfg);
-
+    for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+        const bool fast = modes[k];
+        const auto &r = sweep.points[k].result;
         // In fast mode the source learns only the stage (via the
         // BCB); in detailed mode it gets the blocking router's
         // STATUS word and checksum.

@@ -19,8 +19,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "app/options.hh"
 #include "network/presets.hh"
-#include "traffic/experiment.hh"
+#include "sweep/sweep.hh"
 
 namespace
 {
@@ -49,7 +50,7 @@ corruptPreferredWires(Network &net)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("Ablation: stochastic vs. deterministic output "
                 "selection\n(Figure 3 network; corrupting faults on "
@@ -59,25 +60,40 @@ main()
                 "load", "latency", "attempts", "checksumNak",
                 "gaveUp", "unresolved");
 
+    const bool modes[] = {true, false};
+    std::vector<SweepPoint> points;
+    for (bool random : modes) {
+        SweepPoint point;
+        point.label = random ? "random" : "deterministic";
+        point.config.messageWords = 20;
+        point.config.warmup = 1000;
+        point.config.measure = 10000;
+        point.config.thinkTime = 40;
+        point.config.seed = 654;
+        point.build = [random]() {
+            auto spec = fig3Spec(/*seed=*/321);
+            spec.randomSelection = random;
+            spec.niConfig.maxAttempts = 24; // bound doomed retries
+            SweepInstance instance;
+            instance.network = buildMultibutterfly(spec);
+            const unsigned faulted =
+                corruptPreferredWires(*instance.network);
+            METRO_ASSERT(faulted == 16,
+                         "expected one wire per stage-0 router");
+            return instance;
+        };
+        points.push_back(std::move(point));
+    }
+
+    SweepOptions sopts;
+    sopts.threads = threadsFromArgv(argc, argv);
+    const auto sweep = runSweep(points, sopts);
+
     double random_attempts = 0, det_attempts = 0;
     std::uint64_t det_gaveup = 0, random_gaveup = 0;
-    for (bool random : {true, false}) {
-        auto spec = fig3Spec(/*seed=*/321);
-        spec.randomSelection = random;
-        spec.niConfig.maxAttempts = 24; // bound doomed retries
-        auto net = buildMultibutterfly(spec);
-        const unsigned faulted = corruptPreferredWires(*net);
-        METRO_ASSERT(faulted == 16, "expected one wire per stage-0 "
-                     "router");
-
-        ExperimentConfig cfg;
-        cfg.messageWords = 20;
-        cfg.warmup = 1000;
-        cfg.measure = 10000;
-        cfg.thinkTime = 40;
-        cfg.seed = 654;
-        const auto r = runClosedLoop(*net, cfg);
-
+    for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+        const bool random = modes[k];
+        const auto &r = sweep.points[k].result;
         std::printf("%-14s %10.4f %10.2f %10.3f %12llu %12llu "
                     "%12llu\n",
                     random ? "random" : "deterministic",

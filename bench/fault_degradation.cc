@@ -7,75 +7,176 @@
  *
  * Fault sets are sampled so every endpoint pair remains connected
  * (we measure degradation, not partition); the sweep reports
- * latency, retry, and delivered-load degradation.
+ * latency, retry, and delivered-load degradation. Both sweeps run
+ * through the parallel sweep runner (--threads N).
  */
 
 #include <cstdio>
 
+#include "app/options.hh"
 #include "fault/injector.hh"
 #include "network/analysis.hh"
 #include "network/presets.hh"
-#include "traffic/experiment.hh"
+#include "sweep/sweep.hh"
+
+namespace
+{
+
+using namespace metro;
+
+struct StaticFaults
+{
+    unsigned routers;
+    unsigned links;
+};
+
+/** Build the Figure 3 network with a survivable static fault set
+ *  already applied (faults strike at cycle 0; one warm cycle runs
+ *  so the dead components are dead before traffic starts). */
+SweepInstance
+buildStaticFaulted(StaticFaults faults)
+{
+    const auto spec = fig3Spec(/*seed=*/404);
+    SweepInstance instance;
+    instance.network = buildMultibutterfly(spec);
+
+    auto injector =
+        std::make_unique<FaultInjector>(instance.network.get());
+    if (faults.routers + faults.links > 0) {
+        injector->schedule(sampleSurvivableFaults(
+            *instance.network, spec, faults.routers, faults.links,
+            /*at=*/0,
+            /*seed=*/505 + faults.routers * 31 + faults.links));
+    }
+    instance.network->engine().addComponent(injector.get());
+    instance.extras.push_back(std::move(injector));
+    instance.network->engine().run(1); // apply cycle-0 faults
+    return instance;
+}
+
+/** Build the Figure 3 network with dynamic faults staggered
+ *  through the measurement window. */
+SweepInstance
+buildDynamicFaulted(unsigned n_faults)
+{
+    const auto spec = fig3Spec(606);
+    SweepInstance instance;
+    instance.network = buildMultibutterfly(spec);
+
+    auto injector =
+        std::make_unique<FaultInjector>(instance.network.get());
+    if (n_faults > 0) {
+        // Half router deaths, half link deaths, staggered through
+        // the measurement window.
+        auto events = sampleSurvivableFaults(
+            *instance.network, spec, n_faults / 2,
+            n_faults - n_faults / 2, 0, 909 + n_faults);
+        Cycle strike = 3000;
+        for (auto &e : events) {
+            e.at = strike;
+            strike += 1200;
+        }
+        injector->schedule(events);
+    }
+    instance.network->engine().addComponent(injector.get());
+    instance.extras.push_back(std::move(injector));
+    return instance;
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace metro;
-
     std::printf("Fault degradation on the Figure 3 network "
                 "(64 endpoints, 64 routers, 512 links)\n\n");
+
+    const StaticFaults static_sweeps[] = {
+        {0, 0}, {1, 0},  {2, 0},  {4, 0},  {6, 0}, {0, 8},
+        {0, 16}, {0, 32}, {2, 8}, {4, 16}, {6, 24}};
+    const unsigned dynamic_sweeps[] = {0u, 2u, 4u, 8u};
+    const std::size_t n_static = std::size(static_sweeps);
+    const std::size_t n_dynamic = std::size(dynamic_sweeps);
+
+    // Per-point side channels the inspect hooks fill in (each
+    // point writes only its own slot).
+    std::vector<std::uint64_t> min_paths(n_static, 0);
+    // Not vector<bool>: adjacent elements must be independently
+    // writable from different worker threads.
+    std::vector<unsigned char> duplicated(n_dynamic, 0);
+
+    std::vector<SweepPoint> points;
+    for (std::size_t i = 0; i < n_static; ++i) {
+        const auto faults = static_sweeps[i];
+        SweepPoint point;
+        point.label = "routers=" + std::to_string(faults.routers) +
+                      ",links=" + std::to_string(faults.links);
+        point.config.messageWords = 20;
+        point.config.warmup = 1500;
+        point.config.measure = 12000;
+        point.config.thinkTime = 0;
+        point.config.seed = 808;
+        point.build = [faults]() {
+            return buildStaticFaulted(faults);
+        };
+        // Static faults persist, so post-run connectivity equals
+        // the pre-traffic connectivity the table reports.
+        point.inspect = [&min_paths, i](Network &net,
+                                        const ExperimentResult &) {
+            min_paths[i] =
+                minPathsOverPairs(net, fig3Spec(/*seed=*/404));
+        };
+        points.push_back(std::move(point));
+    }
+    for (std::size_t i = 0; i < n_dynamic; ++i) {
+        const unsigned n_faults = dynamic_sweeps[i];
+        SweepPoint point;
+        point.label = "dynfaults=" + std::to_string(n_faults);
+        point.config.messageWords = 20;
+        point.config.warmup = 1500;
+        point.config.measure = 12000;
+        point.config.thinkTime = 0;
+        point.config.seed = 313;
+        point.build = [n_faults]() {
+            return buildDynamicFaulted(n_faults);
+        };
+        // Exactly-once even with connections severed mid-flight.
+        point.inspect = [&duplicated, i](Network &net,
+                                         const ExperimentResult &) {
+            for (const auto &[id, rec] : net.tracker().all()) {
+                if (rec.deliveredCount > 1)
+                    duplicated[i] = 1;
+            }
+        };
+        points.push_back(std::move(point));
+    }
+
+    SweepOptions sopts;
+    sopts.threads = threadsFromArgv(argc, argv);
+    const auto sweep = runSweep(points, sopts);
+
+    bool healthy = true;
+    double base_load = 0;
 
     std::printf("— static faults (present from cycle 0), saturating "
                 "closed-loop traffic —\n");
     std::printf("%8s %8s %10s %10s %8s %10s %10s %10s\n", "routers",
                 "links", "minPaths", "load", "latency", "p95",
                 "attempts", "unresolved");
-
-    struct Sweep
-    {
-        unsigned routers;
-        unsigned links;
-    };
-    const Sweep sweeps[] = {{0, 0}, {1, 0},  {2, 0},  {4, 0},
-                            {6, 0}, {0, 8},  {0, 16}, {0, 32},
-                            {2, 8}, {4, 16}, {6, 24}};
-
-    bool healthy = true;
-    double base_load = 0;
-    for (const auto &sweep : sweeps) {
-        const auto spec = fig3Spec(/*seed=*/404);
-        auto net = buildMultibutterfly(spec);
-
-        FaultInjector injector(net.get());
-        if (sweep.routers + sweep.links > 0) {
-            injector.schedule(sampleSurvivableFaults(
-                *net, spec, sweep.routers, sweep.links, /*at=*/0,
-                /*seed=*/505 + sweep.routers * 31 + sweep.links));
-        }
-        net->engine().addComponent(&injector);
-        net->engine().run(1); // apply cycle-0 faults
-
-        const auto min_paths = minPathsOverPairs(*net, spec);
-
-        ExperimentConfig cfg;
-        cfg.messageWords = 20;
-        cfg.warmup = 1500;
-        cfg.measure = 12000;
-        cfg.thinkTime = 0;
-        cfg.seed = 808;
-        const auto r = runClosedLoop(*net, cfg);
-
+    for (std::size_t i = 0; i < n_static; ++i) {
+        const auto &s = static_sweeps[i];
+        const auto &r = sweep.points[i].result;
         std::printf("%8u %8u %10llu %10.4f %8.1f %10llu %10.3f "
                     "%10llu\n",
-                    sweep.routers, sweep.links,
-                    static_cast<unsigned long long>(min_paths),
+                    s.routers, s.links,
+                    static_cast<unsigned long long>(min_paths[i]),
                     r.achievedLoad, r.latency.mean(),
                     static_cast<unsigned long long>(
                         r.latency.percentile(95)),
                     r.attempts.mean(),
                     static_cast<unsigned long long>(
                         r.unresolvedMessages));
-        if (sweep.routers == 0 && sweep.links == 0)
+        if (s.routers == 0 && s.links == 0)
             base_load = r.achievedLoad;
         if (r.unresolvedMessages > 0 || r.gaveUpMessages > 0)
             healthy = false;
@@ -90,47 +191,21 @@ main()
                 "—\n");
     std::printf("%8s %10s %10s %10s %10s\n", "faults", "load",
                 "latency", "attempts", "unresolved");
-    for (unsigned n_faults : {0u, 2u, 4u, 8u}) {
-        const auto spec = fig3Spec(606);
-        auto net = buildMultibutterfly(spec);
-        FaultInjector injector(net.get());
-        if (n_faults > 0) {
-            // Half router deaths, half link deaths, staggered
-            // through the measurement window.
-            auto events = sampleSurvivableFaults(
-                *net, spec, n_faults / 2, n_faults - n_faults / 2,
-                0, 909 + n_faults);
-            Cycle strike = 3000;
-            for (auto &e : events) {
-                e.at = strike;
-                strike += 1200;
-            }
-            injector.schedule(events);
-        }
-        net->engine().addComponent(&injector);
-
-        ExperimentConfig cfg;
-        cfg.messageWords = 20;
-        cfg.warmup = 1500;
-        cfg.measure = 12000;
-        cfg.thinkTime = 0;
-        cfg.seed = 313;
-        const auto r = runClosedLoop(*net, cfg);
-        std::printf("%8u %10.4f %10.1f %10.3f %10llu\n", n_faults,
-                    r.achievedLoad, r.latency.mean(),
-                    r.attempts.mean(),
+    for (std::size_t i = 0; i < n_dynamic; ++i) {
+        const auto &r = sweep.points[n_static + i].result;
+        std::printf("%8u %10.4f %10.1f %10.3f %10llu\n",
+                    dynamic_sweeps[i], r.achievedLoad,
+                    r.latency.mean(), r.attempts.mean(),
                     static_cast<unsigned long long>(
                         r.unresolvedMessages));
-        if (r.unresolvedMessages > 0)
+        if (r.unresolvedMessages > 0 || duplicated[i])
             healthy = false;
-
-        // Exactly-once even with connections severed mid-flight.
-        for (const auto &[id, rec] : net->tracker().all()) {
-            if (rec.deliveredCount > 1)
-                healthy = false;
-        }
     }
 
+    std::printf("\n%zu points in %.2f s on %u thread%s\n",
+                sweep.points.size(), sweep.wallSeconds,
+                sweep.threadsUsed,
+                sweep.threadsUsed == 1 ? "" : "s");
     std::printf("\nrobust degradation %s: no message lost or "
                 "duplicated, load degrades gracefully\n",
                 healthy ? "REPRODUCED" : "NOT reproduced");

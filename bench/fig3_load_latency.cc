@@ -16,11 +16,12 @@
 
 #include <cstdio>
 
+#include "app/options.hh"
 #include "network/presets.hh"
-#include "traffic/experiment.hh"
+#include "sweep/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace metro;
 
@@ -37,6 +38,28 @@ main()
                                80,   50,   30,  20,  10,  5,   2,
                                0};
 
+    std::vector<SweepPoint> points;
+    for (unsigned think : thinks) {
+        SweepPoint point;
+        point.label = "think=" + std::to_string(think);
+        point.config.messageWords = 20;
+        point.config.warmup = 2000;
+        point.config.measure = 20000;
+        point.config.thinkTime = think;
+        point.config.seed = 777;
+        point.build = []() {
+            SweepInstance instance;
+            instance.network =
+                buildMultibutterfly(fig3Spec(/*seed=*/2024));
+            return instance;
+        };
+        points.push_back(std::move(point));
+    }
+
+    SweepOptions sopts;
+    sopts.threads = threadsFromArgv(argc, argv);
+    const auto sweep = runSweep(points, sopts);
+
     struct Point
     {
         double load;
@@ -44,19 +67,11 @@ main()
     };
     std::vector<Point> curve;
 
-    for (unsigned think : thinks) {
-        auto net = buildMultibutterfly(fig3Spec(/*seed=*/2024));
-        ExperimentConfig cfg;
-        cfg.messageWords = 20;
-        cfg.warmup = 2000;
-        cfg.measure = 20000;
-        cfg.thinkTime = think;
-        cfg.seed = 777;
-        const auto r = runClosedLoop(*net, cfg);
-
+    for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+        const auto &r = sweep.points[k].result;
         std::printf("%10u %10.4f %10.2f %8llu %8llu %8.0f %10.3f "
                     "%10.4f\n",
-                    think, r.achievedLoad, r.latency.mean(),
+                    thinks[k], r.achievedLoad, r.latency.mean(),
                     static_cast<unsigned long long>(
                         r.latency.median()),
                     static_cast<unsigned long long>(
@@ -65,6 +80,10 @@ main()
                     r.blockRate());
         curve.push_back({r.achievedLoad, r.latency.mean()});
     }
+    std::printf("\n%zu points in %.2f s on %u thread%s\n",
+                sweep.points.size(), sweep.wallSeconds,
+                sweep.threadsUsed,
+                sweep.threadsUsed == 1 ? "" : "s");
 
     // Coarse ASCII rendering of the curve (load on x, mean latency
     // on y) for a quick visual check against the paper's figure.

@@ -11,11 +11,12 @@
 
 #include <cstdio>
 
+#include "app/options.hh"
 #include "network/presets.hh"
-#include "traffic/experiment.hh"
+#include "sweep/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace metro;
 
@@ -23,27 +24,51 @@ main()
     std::printf("(offered = injection probability x 20 words per "
                 "endpoint-cycle)\n\n");
 
-    for (auto pattern : {TrafficPattern::UniformRandom,
-                         TrafficPattern::Hotspot}) {
+    const TrafficPattern patterns[] = {
+        TrafficPattern::UniformRandom, TrafficPattern::Hotspot};
+    const double probs[] = {0.002, 0.005, 0.01, 0.015,
+                            0.02,  0.025, 0.03};
+
+    std::vector<SweepPoint> points;
+    for (auto pattern : patterns) {
+        for (double p : probs) {
+            SweepPoint point;
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%s/inject=%g",
+                          trafficPatternName(pattern), p);
+            point.label = buf;
+            point.mode = SweepMode::Open;
+            point.config.messageWords = 20;
+            point.config.warmup = 1000;
+            point.config.measure = 12000;
+            point.config.drainMax = 200000;
+            point.config.injectProb = p;
+            point.config.pattern = pattern;
+            point.config.hotNode = 21;
+            point.config.hotFraction = 0.3;
+            point.config.seed = 66;
+            point.build = []() {
+                SweepInstance instance;
+                instance.network =
+                    buildMultibutterfly(fig3Spec(55));
+                return instance;
+            };
+            points.push_back(std::move(point));
+        }
+    }
+
+    SweepOptions sopts;
+    sopts.threads = threadsFromArgv(argc, argv);
+    const auto sweep = runSweep(points, sopts);
+
+    std::size_t k = 0;
+    for (auto pattern : patterns) {
         std::printf("— %s traffic —\n",
                     trafficPatternName(pattern));
         std::printf("%10s %10s %10s %10s %12s\n", "offered",
                     "delivered", "latency", "p95", "queueGrowth");
-        for (double p :
-             {0.002, 0.005, 0.01, 0.015, 0.02, 0.025, 0.03}) {
-            auto net = buildMultibutterfly(fig3Spec(55));
-            ExperimentConfig cfg;
-            cfg.messageWords = 20;
-            cfg.warmup = 1000;
-            cfg.measure = 12000;
-            cfg.drainMax = 200000;
-            cfg.injectProb = p;
-            cfg.pattern = pattern;
-            cfg.hotNode = 21;
-            cfg.hotFraction = 0.3;
-            cfg.seed = 66;
-            const auto r = runOpenLoop(*net, cfg);
-
+        for (double p : probs) {
+            const auto &r = sweep.points[k++].result;
             // Queue growth: completions lagging submissions during
             // the window shows up as messages resolved only in the
             // (long) drain phase.
@@ -57,6 +82,10 @@ main()
         }
         std::printf("\n");
     }
+    std::printf("%zu points in %.2f s on %u thread%s\n\n",
+                sweep.points.size(), sweep.wallSeconds,
+                sweep.threadsUsed,
+                sweep.threadsUsed == 1 ? "" : "s");
 
     std::printf("closed-loop Figure 3 saturates near 0.50 load; the "
                 "open loop shows the same\nknee: delivered load "

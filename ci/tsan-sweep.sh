@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 TSan job for the parallel sweep runner.
+#
+# Builds the test suite with -DCMAKE_BUILD_TYPE=RelWithDebInfo and
+# -fsanitize=thread, then runs the sweep determinism tests (which
+# spin up an oversubscribed worker pool) under ThreadSanitizer so
+# any data race in the runner, the per-point build lambdas, or the
+# result collector fails the job.
+#
+# Usage: ci/tsan-sweep.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMETRO_TSAN=ON
+cmake --build "$BUILD" -j "$(nproc)" --target metro_tests
+ctest --test-dir "$BUILD" --output-on-failure -R 'Sweep|ExperimentReset'

@@ -1,6 +1,7 @@
 #include "app/options.hh"
 
 #include "app/specfile.hh"
+#include "app/sweepfile.hh"
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,7 +13,9 @@
 #include "network/presets.hh"
 #include "report/csv.hh"
 #include "report/dot.hh"
+#include "report/json.hh"
 #include "report/stats_dump.hh"
+#include "sweep/sweep.hh"
 #include "traffic/experiment.hh"
 
 namespace metro
@@ -89,6 +92,13 @@ usageText()
         "  --csv                 emit CSV instead of a table\n"
         "  --stats               append router/endpoint statistics\n"
         "  --spec-file=PATH      load a custom multibutterfly spec\n"
+        "  --sweep-file=PATH     run the sweep described by a sweep "
+        "spec\n"
+        "  --threads=N           sweep worker threads (0 = one per "
+        "core)\n"
+        "  --json                emit sweep results as JSON\n"
+        "  --timing              include wall-clock metadata in "
+        "JSON\n"
         "  --dot                 print the topology as Graphviz DOT\n"
         "  --help                this text\n";
 }
@@ -126,6 +136,22 @@ parseOptions(int argc, const char *const *argv, std::string &error)
             if (!want_value())
                 return std::nullopt;
             opts.specFile = value;
+        } else if (key == "--sweep-file") {
+            if (!want_value())
+                return std::nullopt;
+            opts.sweepFile = value;
+        } else if (key == "--json") {
+            opts.json = true;
+        } else if (key == "--timing") {
+            opts.timing = true;
+        } else if (key == "--threads") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --threads";
+                return std::nullopt;
+            }
+            opts.threads = static_cast<unsigned>(v);
+            opts.threadsSet = true;
         } else if (key == "--topology") {
             if (!want_value())
                 return std::nullopt;
@@ -322,6 +348,89 @@ buildTopology(const Options &opts)
 
 } // namespace
 
+unsigned
+threadsFromArgv(int argc, const char *const *argv, unsigned fallback)
+{
+    for (int k = 1; k < argc; ++k) {
+        const std::string arg = argv[k];
+        std::string value;
+        if (arg.rfind("--threads=", 0) == 0)
+            value = arg.substr(10);
+        else if (arg == "--threads" && k + 1 < argc)
+            value = argv[k + 1];
+        else
+            continue;
+        std::uint64_t v;
+        if (!parseUnsigned(value, v))
+            METRO_FATAL("bad --threads value: %s", value.c_str());
+        return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+namespace
+{
+
+/** One CLI sweep point's build recipe: topology plus faults. */
+SweepInstance
+buildInstance(const Options &opts)
+{
+    SweepInstance instance;
+    auto built = buildTopology(opts);
+    instance.network = std::move(built.net);
+    if (opts.routerFaults + opts.linkFaults > 0) {
+        if (!built.mbSpec.has_value())
+            METRO_FATAL("fault sampling requires a multibutterfly "
+                        "topology");
+        auto injector =
+            std::make_unique<FaultInjector>(instance.network.get());
+        injector->schedule(sampleSurvivableFaults(
+            *instance.network, *built.mbSpec, opts.routerFaults,
+            opts.linkFaults, opts.faultCycle, opts.seed ^ 0xFA11));
+        instance.network->engine().addComponent(injector.get());
+        instance.extras.push_back(std::move(injector));
+    }
+    return instance;
+}
+
+/** The --think/--inject lists as sweep points. */
+std::vector<SweepPoint>
+pointsFromOptions(const Options &opts)
+{
+    std::vector<SweepPoint> points;
+    const std::size_t n = opts.mode == LoadMode::Closed
+                              ? opts.thinkTimes.size()
+                              : opts.injectProbs.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        SweepPoint point;
+        point.config.messageWords = opts.messageWords;
+        point.config.warmup = opts.warmup;
+        point.config.measure = opts.measure;
+        point.config.pattern = opts.pattern;
+        point.config.hotNode = opts.hotNode;
+        point.config.hotFraction = opts.hotFraction;
+        point.config.seed = opts.seed;
+        if (opts.mode == LoadMode::Closed) {
+            point.mode = SweepMode::Closed;
+            point.config.thinkTime = opts.thinkTimes[k];
+            point.label =
+                "think=" + std::to_string(opts.thinkTimes[k]);
+        } else {
+            point.mode = SweepMode::Open;
+            point.config.injectProb = opts.injectProbs[k];
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "inject=%g",
+                          opts.injectProbs[k]);
+            point.label = buf;
+        }
+        point.build = [opts]() { return buildInstance(opts); };
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+} // namespace
+
 std::string
 runFromOptions(const Options &opts)
 {
@@ -334,6 +443,29 @@ runFromOptions(const Options &opts)
                                                   : opts.specFile);
     }
 
+    // Sweep-file mode: the file defines the points; CLI --threads
+    // overrides the file's thread count.
+    if (!opts.sweepFile.empty()) {
+        std::string error;
+        auto sweep_file = loadSweepFile(opts.sweepFile, error);
+        if (!sweep_file.has_value())
+            METRO_FATAL("--sweep-file: %s", error.c_str());
+        SweepOptions sopts;
+        sopts.threads =
+            opts.threadsSet ? opts.threads : sweep_file->threads;
+        const auto sweep = runSweep(sweep_file->points, sopts);
+        return opts.json ? sweepJson(sweep, opts.timing)
+                         : sweepCsv(sweep);
+    }
+
+    const auto points = pointsFromOptions(opts);
+    SweepOptions sopts;
+    sopts.threads = opts.threads;
+    const auto sweep = runSweep(points, sopts);
+
+    if (opts.json)
+        return sweepJson(sweep, opts.timing);
+
     CsvWriter csv;
     if (opts.csv)
         csv.row(experimentCsvHeader());
@@ -345,70 +477,16 @@ runFromOptions(const Options &opts)
             << "  label       load   latency    median       p95  "
                "attempts   blockRate\n";
 
-    const auto &sweep_closed = opts.thinkTimes;
-    const auto &sweep_open = opts.injectProbs;
-    const std::size_t points = opts.mode == LoadMode::Closed
-                                   ? sweep_closed.size()
-                                   : sweep_open.size();
-
-    for (std::size_t k = 0; k < points; ++k) {
-        auto built = buildTopology(opts);
-        Network &net = *built.net;
-
-        std::unique_ptr<FaultInjector> injector;
-        if (opts.routerFaults + opts.linkFaults > 0) {
-            if (!built.mbSpec.has_value())
-                METRO_FATAL("fault sampling requires a "
-                            "multibutterfly topology");
-            injector = std::make_unique<FaultInjector>(&net);
-            injector->schedule(sampleSurvivableFaults(
-                net, *built.mbSpec, opts.routerFaults,
-                opts.linkFaults, opts.faultCycle,
-                opts.seed ^ 0xFA11));
-            net.engine().addComponent(injector.get());
-        }
-
-        ExperimentConfig cfg;
-        cfg.messageWords = opts.messageWords;
-        cfg.warmup = opts.warmup;
-        cfg.measure = opts.measure;
-        cfg.pattern = opts.pattern;
-        cfg.hotNode = opts.hotNode;
-        cfg.hotFraction = opts.hotFraction;
-        cfg.seed = opts.seed ^ (0x9e37ULL * (k + 1));
-
-        std::string label;
-        ExperimentResult result;
-        if (opts.mode == LoadMode::Closed) {
-            cfg.thinkTime = sweep_closed[k];
-            label = "think=" + std::to_string(sweep_closed[k]);
-            result = runClosedLoop(net, cfg);
-        } else {
-            cfg.injectProb = sweep_open[k];
-            char buf[32];
-            std::snprintf(buf, sizeof(buf), "inject=%g",
-                          sweep_open[k]);
-            label = buf;
-            result = runOpenLoop(net, cfg);
-        }
-
-        if (injector)
-            net.engine().removeComponent(injector.get());
-
-        if (opts.stats && !opts.csv && k + 1 == points) {
-            out << "\n" << networkHealthSummary(net) << "\n"
-                << stageStatsReport(net) << "\n"
-                << endpointStatsReport(net);
-        }
-
+    for (const auto &p : sweep.points) {
+        const ExperimentResult &result = p.result;
         if (opts.csv) {
-            csv.row(experimentCsvRow(label, result));
+            csv.row(experimentCsvRow(p.label, result));
         } else {
             char line[160];
             std::snprintf(line, sizeof(line),
                           "  %-10s %6.4f %9.2f %9llu %9llu %9.3f "
                           "%11.4f\n",
-                          label.c_str(), result.achievedLoad,
+                          p.label.c_str(), result.achievedLoad,
                           result.latency.mean(),
                           static_cast<unsigned long long>(
                               result.latency.median()),
@@ -418,6 +496,24 @@ runFromOptions(const Options &opts)
                           result.blockRate());
             out << line;
         }
+    }
+
+    // The stats report reads entity counters off a live network, so
+    // re-run the last point on this thread (same derived seed — the
+    // runs are bit-identical) and dump its statistics.
+    if (opts.stats && !opts.csv && !points.empty()) {
+        const auto &last = points.back();
+        SweepInstance instance = last.build();
+        ExperimentConfig cfg = last.config;
+        cfg.seed = sweepDeriveSeed(cfg.seed, points.size() - 1,
+                                   last.replicate);
+        if (last.mode == SweepMode::Closed)
+            runClosedLoop(*instance.network, cfg);
+        else
+            runOpenLoop(*instance.network, cfg);
+        out << "\n" << networkHealthSummary(*instance.network)
+            << "\n" << stageStatsReport(*instance.network) << "\n"
+            << endpointStatsReport(*instance.network);
     }
 
     return opts.csv ? csv.str() : out.str();

@@ -66,9 +66,36 @@ struct Options
     /** Load the topology from a spec file instead of a preset. */
     std::string specFile;
 
+    /** Run a sweep described by a sweep-spec file (see
+     *  app/sweepfile.hh) instead of the --think/--inject lists. */
+    std::string sweepFile;
+
+    /** Worker threads for the sweep runner (0 = hardware). */
+    unsigned threads = 1;
+
+    /** True when --threads was given (overrides the sweep file). */
+    bool threadsSet = false;
+
+    /** Emit sweep results as JSON instead of CSV/table. */
+    bool json = false;
+
+    /** Include wall-clock metadata in JSON output (breaks
+     *  byte-identical comparison across thread counts). */
+    bool timing = false;
+
     /** Emit the topology as Graphviz DOT and exit. */
     bool dot = false;
 };
+
+/**
+ * Parse a bench-style `--threads=N` (or `--threads N`) flag from a
+ * raw argv, ignoring everything else. Returns `fallback` when the
+ * flag is absent; exits with an error message on a malformed value.
+ * Bench binaries use this so their sweeps scale across cores
+ * without each growing a full option parser.
+ */
+unsigned threadsFromArgv(int argc, const char *const *argv,
+                         unsigned fallback = 1);
 
 /**
  * Parse argv. On error returns std::nullopt and fills `error`

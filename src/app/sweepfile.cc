@@ -1,0 +1,333 @@
+#include "app/sweepfile.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "app/specfile.hh"
+#include "network/fattree.hh"
+#include "network/presets.hh"
+#include "traffic/patterns.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "true" || s == "1") {
+        out = true;
+        return true;
+    }
+    if (s == "false" || s == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            parts.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(trim(cur));
+    return parts;
+}
+
+/** The network recipe a sweep file selects (value type, captured
+ *  by every point's build lambda). */
+struct NetworkRecipe
+{
+    enum class Kind : std::uint8_t
+    {
+        Fig3,
+        Fig1,
+        Table32Jr,
+        FatTree,
+        SpecFile,
+    };
+    Kind kind = Kind::Fig3;
+    MultibutterflySpec spec; // SpecFile kind only
+    std::uint64_t seed = 1;
+
+    SweepInstance
+    build() const
+    {
+        SweepInstance instance;
+        switch (kind) {
+          case Kind::Fig3:
+            instance.network = buildMultibutterfly(fig3Spec(seed));
+            break;
+          case Kind::Fig1:
+            instance.network = buildMultibutterfly(fig1Spec(seed));
+            break;
+          case Kind::Table32Jr:
+            instance.network = buildMultibutterfly(
+                table32Spec(RouterParams::metroJr(), seed));
+            break;
+          case Kind::FatTree: {
+            FatTreeSpec ft;
+            ft.levels = 4;
+            ft.seed = seed;
+            instance.network = buildFatTree(ft);
+            break;
+          }
+          case Kind::SpecFile: {
+            MultibutterflySpec s = spec;
+            s.seed = seed;
+            instance.network = buildMultibutterfly(s);
+            break;
+          }
+        }
+        return instance;
+    }
+};
+
+} // namespace
+
+std::optional<SweepFile>
+parseSweepText(const std::string &text, std::string &error,
+               const std::string &base_dir)
+{
+    SweepFile out;
+    NetworkRecipe recipe;
+    ExperimentConfig cfg;
+    SweepMode mode = SweepMode::Closed;
+    std::vector<unsigned> thinks;
+    std::vector<double> injects;
+    unsigned replicates = 1;
+    std::uint64_t base_seed = 1;
+
+    std::istringstream in(text);
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(raw);
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = trim(line.substr(0, hash));
+        if (line.empty())
+            continue;
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            error = "line " + std::to_string(line_no) +
+                    ": expected key = value";
+            return std::nullopt;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        std::uint64_t u = 0;
+        double f = 0.0;
+        bool b = false;
+        auto bad = [&]() {
+            error = "line " + std::to_string(line_no) +
+                    ": bad value for " + key;
+            return std::nullopt;
+        };
+
+        if (key == "topology") {
+            if (value == "fig3")
+                recipe.kind = NetworkRecipe::Kind::Fig3;
+            else if (value == "fig1")
+                recipe.kind = NetworkRecipe::Kind::Fig1;
+            else if (value == "table32jr")
+                recipe.kind = NetworkRecipe::Kind::Table32Jr;
+            else if (value == "fattree")
+                recipe.kind = NetworkRecipe::Kind::FatTree;
+            else
+                return bad();
+        } else if (key == "spec") {
+            const std::string path =
+                base_dir.empty() || value.find('/') == 0
+                    ? value
+                    : base_dir + "/" + value;
+            std::string spec_error;
+            auto spec = loadSpecFile(path, spec_error);
+            if (!spec.has_value()) {
+                error = "line " + std::to_string(line_no) + ": " +
+                        spec_error;
+                return std::nullopt;
+            }
+            recipe.kind = NetworkRecipe::Kind::SpecFile;
+            recipe.spec = *spec;
+        } else if (key == "mode") {
+            if (value == "closed")
+                mode = SweepMode::Closed;
+            else if (value == "open")
+                mode = SweepMode::Open;
+            else
+                return bad();
+        } else if (key == "pattern") {
+            if (value == "uniform")
+                cfg.pattern = TrafficPattern::UniformRandom;
+            else if (value == "hotspot")
+                cfg.pattern = TrafficPattern::Hotspot;
+            else if (value == "transpose")
+                cfg.pattern = TrafficPattern::Transpose;
+            else if (value == "bitreversal")
+                cfg.pattern = TrafficPattern::BitReversal;
+            else if (value == "permutation")
+                cfg.pattern = TrafficPattern::Permutation;
+            else
+                return bad();
+        } else if (key == "think") {
+            thinks.clear();
+            for (const auto &part : splitCommas(value)) {
+                if (!parseU64(part, u))
+                    return bad();
+                thinks.push_back(static_cast<unsigned>(u));
+            }
+        } else if (key == "inject") {
+            injects.clear();
+            for (const auto &part : splitCommas(value)) {
+                if (!parseF64(part, f) || f < 0.0 || f > 1.0)
+                    return bad();
+                injects.push_back(f);
+            }
+        } else if (key == "replicates") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            replicates = static_cast<unsigned>(u);
+        } else if (key == "seed") {
+            if (!parseU64(value, u))
+                return bad();
+            base_seed = u;
+        } else if (key == "messageWords") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.messageWords = static_cast<unsigned>(u);
+        } else if (key == "warmup") {
+            if (!parseU64(value, u))
+                return bad();
+            cfg.warmup = u;
+        } else if (key == "measure") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.measure = u;
+        } else if (key == "drainMax") {
+            if (!parseU64(value, u))
+                return bad();
+            cfg.drainMax = u;
+        } else if (key == "activeFraction") {
+            if (!parseF64(value, f) || f < 0.0 || f > 1.0)
+                return bad();
+            cfg.activeFraction = f;
+        } else if (key == "hotNode") {
+            if (!parseU64(value, u))
+                return bad();
+            cfg.hotNode = static_cast<NodeId>(u);
+        } else if (key == "hotFraction") {
+            if (!parseF64(value, f) || f < 0.0 || f > 1.0)
+                return bad();
+            cfg.hotFraction = f;
+        } else if (key == "requestReply") {
+            if (!parseBool(value, b))
+                return bad();
+            cfg.requestReply = b;
+        } else if (key == "threads") {
+            if (!parseU64(value, u))
+                return bad();
+            out.threads = static_cast<unsigned>(u);
+        } else {
+            error = "line " + std::to_string(line_no) +
+                    ": unknown key: " + key;
+            return std::nullopt;
+        }
+    }
+
+    if (mode == SweepMode::Closed && thinks.empty())
+        thinks = {0};
+    if (mode == SweepMode::Open && injects.empty())
+        injects = {0.01};
+
+    recipe.seed = base_seed;
+    cfg.seed = base_seed;
+
+    const std::size_t values =
+        mode == SweepMode::Closed ? thinks.size() : injects.size();
+    for (std::size_t v = 0; v < values; ++v) {
+        for (unsigned rep = 0; rep < replicates; ++rep) {
+            SweepPoint point;
+            point.mode = mode;
+            point.replicate = rep;
+            point.config = cfg;
+            if (mode == SweepMode::Closed) {
+                point.config.thinkTime = thinks[v];
+                point.label = "think=" + std::to_string(thinks[v]);
+            } else {
+                point.config.injectProb = injects[v];
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "inject=%g",
+                              injects[v]);
+                point.label = buf;
+            }
+            point.build = [recipe]() { return recipe.build(); };
+            out.points.push_back(std::move(point));
+        }
+    }
+    return out;
+}
+
+std::optional<SweepFile>
+loadSweepFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto slash = path.find_last_of('/');
+    const std::string base_dir =
+        slash == std::string::npos ? "" : path.substr(0, slash);
+    return parseSweepText(buffer.str(), error, base_dir);
+}
+
+} // namespace metro

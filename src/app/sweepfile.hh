@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Text-format sweep specifications.
+ *
+ * metro_sim can run a whole experiment sweep — many (network,
+ * experiment config, replicate) points — described by a small
+ * INI-like file:
+ *
+ *     # Figure-3 load sweep, 4 replicates per point
+ *     topology = fig3        # fig3|fig1|table32jr|fattree
+ *     # spec = net.spec      # ...or a multibutterfly spec file
+ *     mode = closed          # closed|open
+ *     pattern = uniform
+ *     think = 2000,200,20,0  # one point per value (closed mode)
+ *     # inject = 0.01,0.02   # one point per value (open mode)
+ *     replicates = 4
+ *     seed = 777             # base seed (see docs/sweep.md)
+ *     messageWords = 20
+ *     warmup = 2000
+ *     measure = 20000
+ *     drainMax = 50000
+ *     activeFraction = 1.0
+ *     hotNode = 0
+ *     hotFraction = 0.25
+ *     requestReply = false
+ *     threads = 8            # default; --threads on the CLI wins
+ *
+ * Unknown keys are errors; omitted keys keep their defaults. Each
+ * point's experiment seed is derived from (seed, point index,
+ * replicate) with sweepDeriveSeed(), so results are independent of
+ * the thread count the sweep runs with.
+ */
+
+#ifndef METRO_APP_SWEEPFILE_HH
+#define METRO_APP_SWEEPFILE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hh"
+
+namespace metro
+{
+
+/** A parsed sweep file: the points plus runner defaults. */
+struct SweepFile
+{
+    std::vector<SweepPoint> points;
+
+    /** Worker threads the file asks for (0 = hardware). */
+    unsigned threads = 1;
+};
+
+/**
+ * Parse a sweep document (the file's contents). Returns nullopt
+ * and fills `error` (with a line number) on malformed input.
+ * @param base_dir directory `spec =` paths are resolved against.
+ */
+std::optional<SweepFile> parseSweepText(const std::string &text,
+                                        std::string &error,
+                                        const std::string &base_dir = "");
+
+/** Read and parse a sweep file from disk. */
+std::optional<SweepFile> loadSweepFile(const std::string &path,
+                                       std::string &error);
+
+} // namespace metro
+
+#endif // METRO_APP_SWEEPFILE_HH

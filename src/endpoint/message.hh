@@ -163,6 +163,14 @@ class MessageTracker
     /** Count of registered messages. */
     std::size_t size() const { return records_.size(); }
 
+    /**
+     * The id the next created message will receive. Ids are handed
+     * out in strictly increasing order, so a harness can snapshot
+     * this value before a run and recognise exactly the messages
+     * submitted after the snapshot (the experiment-reset contract).
+     */
+    std::uint64_t nextId() const { return nextId_; }
+
   private:
     std::uint64_t nextId_ = 1;
     std::unordered_map<std::uint64_t, MessageRecord> records_;

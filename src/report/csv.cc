@@ -30,11 +30,12 @@ fmt(std::uint64_t v)
 std::vector<std::string>
 experimentCsvHeader()
 {
-    return {"label",        "load",       "latencyMean",
-            "latencyMedian", "latencyP95", "latencyMax",
-            "attemptsMean", "blockRate",  "completed",
-            "gaveUp",       "unresolved", "routerBlocks",
-            "routerGrants", "bcbSent",    "retries"};
+    return {"label",        "load",        "networkLoad",
+            "latencyMean",  "latencyMedian", "latencyP95",
+            "latencyMax",   "attemptsMean", "blockRate",
+            "completed",    "gaveUp",      "unresolved",
+            "routerBlocks", "routerGrants", "bcbSent",
+            "retries"};
 }
 
 std::vector<std::string>
@@ -43,6 +44,7 @@ experimentCsvRow(const std::string &label,
 {
     return {label,
             fmt(r.achievedLoad),
+            fmt(r.networkLoad),
             fmt(r.latency.mean()),
             fmt(r.latency.median()),
             fmt(r.latency.percentile(95)),
@@ -56,6 +58,23 @@ experimentCsvRow(const std::string &label,
             fmt(r.routerTotals.get("grants")),
             fmt(r.routerTotals.get("bcbSent")),
             fmt(r.niTotals.get("retries"))};
+}
+
+std::string
+sweepCsv(const SweepResult &sweep)
+{
+    CsvWriter csv;
+    auto header = experimentCsvHeader();
+    header.insert(header.begin() + 1, {"replicate", "seed"});
+    csv.row(header);
+    for (const auto &p : sweep.points) {
+        auto row = experimentCsvRow(p.label, p.result);
+        row.insert(row.begin() + 1,
+                   {fmt(static_cast<std::uint64_t>(p.replicate)),
+                    fmt(p.seed)});
+        csv.row(row);
+    }
+    return csv.str();
 }
 
 std::string

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sweep/sweep.hh"
 #include "traffic/experiment.hh"
 
 namespace metro
@@ -74,6 +75,14 @@ experimentCsvRow(const std::string &label,
 
 /** A latency histogram as its own two-column CSV document. */
 std::string histogramCsv(const Histogram &histogram);
+
+/**
+ * A whole sweep as a CSV document, one row per point in point
+ * order. Contains only deterministic fields (no wall-clock
+ * metadata), so the document is byte-identical regardless of the
+ * thread count the sweep ran with.
+ */
+std::string sweepCsv(const SweepResult &sweep);
 
 } // namespace metro
 

@@ -1,0 +1,121 @@
+#include "report/json.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+emitPoint(std::ostringstream &out, const SweepPointResult &p,
+          bool include_timing)
+{
+    const ExperimentResult &r = p.result;
+    out << "    {\n"
+        << "      \"label\": " << jsonQuote(p.label) << ",\n"
+        << "      \"replicate\": " << p.replicate << ",\n"
+        << "      \"seed\": " << num(p.seed) << ",\n"
+        << "      \"load\": " << num(r.achievedLoad) << ",\n"
+        << "      \"networkLoad\": " << num(r.networkLoad) << ",\n"
+        << "      \"activeEndpoints\": " << r.activeEndpoints
+        << ",\n"
+        << "      \"measuredWords\": " << num(r.measuredWords)
+        << ",\n"
+        << "      \"latencyMean\": " << num(r.latency.mean())
+        << ",\n"
+        << "      \"latencyMedian\": " << num(r.latency.median())
+        << ",\n"
+        << "      \"latencyP95\": " << num(r.latency.percentile(95))
+        << ",\n"
+        << "      \"latencyMax\": " << num(r.latency.max()) << ",\n"
+        << "      \"attemptsMean\": " << num(r.attempts.mean())
+        << ",\n"
+        << "      \"blockRate\": " << num(r.blockRate()) << ",\n"
+        << "      \"measured\": " << num(r.measuredMessages)
+        << ",\n"
+        << "      \"completed\": " << num(r.completedMessages)
+        << ",\n"
+        << "      \"gaveUp\": " << num(r.gaveUpMessages) << ",\n"
+        << "      \"unresolved\": " << num(r.unresolvedMessages);
+    if (include_timing)
+        out << ",\n      \"wallSeconds\": " << num(p.wallSeconds);
+    out << "\n    }";
+}
+
+} // namespace
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+sweepJson(const SweepResult &sweep, bool include_timing)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"metro-sweep-v1\",\n"
+        << "  \"points\": [\n";
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        emitPoint(out, sweep.points[i], include_timing);
+        out << (i + 1 < sweep.points.size() ? ",\n" : "\n");
+    }
+    out << "  ]";
+    if (include_timing) {
+        out << ",\n  \"threads\": " << sweep.threadsUsed
+            << ",\n  \"wallSeconds\": " << num(sweep.wallSeconds);
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+} // namespace metro

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * JSON emission for sweep results.
+ *
+ * The deterministic payload (per-point experiment figures, derived
+ * seeds, point order) is always emitted; wall-clock metadata — the
+ * whole-sweep duration, per-point durations, and the thread count —
+ * is only included when requested, so that result files compared
+ * across `--threads` settings stay byte-identical.
+ *
+ * Numbers are printed with %.17g (doubles) so values round-trip
+ * exactly; the emitter writes keys in a fixed order.
+ */
+
+#ifndef METRO_REPORT_JSON_HH
+#define METRO_REPORT_JSON_HH
+
+#include <string>
+
+#include "sweep/sweep.hh"
+
+namespace metro
+{
+
+/** Escape a string for inclusion in a JSON document (adds the
+ *  surrounding quotes). */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * A whole sweep as a JSON document.
+ * @param include_timing append wall-clock and thread metadata
+ *        (non-deterministic across runs) to the document.
+ */
+std::string sweepJson(const SweepResult &sweep,
+                      bool include_timing = false);
+
+} // namespace metro
+
+#endif // METRO_REPORT_JSON_HH

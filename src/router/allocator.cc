@@ -14,6 +14,10 @@ allocateCrossbar(const std::vector<AllocRequest> &requests,
                  std::uint64_t random_word, bool randomize)
 {
     METRO_ASSERT(dilation > 0, "dilation must be positive");
+    METRO_ASSERT(available.size() % dilation == 0,
+                 "available mask (%zu ports) is not a whole number "
+                 "of dilation-%u groups",
+                 available.size(), dilation);
 
     std::vector<AllocGrant> result(requests.size());
     const unsigned num_directions =

@@ -11,20 +11,46 @@ namespace metro
 namespace
 {
 
-/** Collect per-entity counters into run totals. */
-void
-gatherTotals(Network &net, ExperimentResult &result)
+/**
+ * Cumulative router/NI counters at experiment start. Entity
+ * counters are never reset (probes and health reports read them
+ * across a network's whole lifetime), so per-experiment totals are
+ * computed as deltas against this snapshot.
+ */
+struct CounterBaseline
 {
+    CounterSet routers;
+    CounterSet nis;
+};
+
+CounterBaseline
+snapshotCounters(Network &net)
+{
+    CounterBaseline base;
     for (RouterId r = 0; r < net.numRouters(); ++r) {
         for (const auto &[name, value] :
              net.router(r).counters().all())
-            result.routerTotals.add(name, value);
+            base.routers.add(name, value);
     }
     for (NodeId e = 0; e < net.numEndpoints(); ++e) {
         for (const auto &[name, value] :
              net.endpoint(e).counters().all())
-            result.niTotals.add(name, value);
+            base.nis.add(name, value);
     }
+    return base;
+}
+
+/** Collect this run's counter deltas into the result totals. */
+void
+gatherTotals(Network &net, const CounterBaseline &base,
+             ExperimentResult &result)
+{
+    const CounterBaseline now = snapshotCounters(net);
+    for (const auto &[name, value] : now.routers.all())
+        result.routerTotals.add(name,
+                                value - base.routers.get(name));
+    for (const auto &[name, value] : now.nis.all())
+        result.niTotals.add(name, value - base.nis.get(name));
 }
 
 template <typename DriverT, typename MakeDriver>
@@ -48,6 +74,12 @@ runExperiment(Network &net, const ExperimentConfig &config,
     dcfg.measureTo = measure_to;
     dcfg.stopAt = measure_to;
 
+    // Experiment-reset contract: snapshot the message-id horizon
+    // and the cumulative entity counters so a previous experiment
+    // on this network is invisible to this one's accounting.
+    const std::uint64_t first_id = net.tracker().nextId();
+    const CounterBaseline baseline = snapshotCounters(net);
+
     const auto active = static_cast<unsigned>(
         config.activeFraction * n + 0.5);
     std::vector<std::unique_ptr<DriverT>> drivers;
@@ -59,10 +91,12 @@ runExperiment(Network &net, const ExperimentConfig &config,
 
     engine.run(config.warmup + config.measure);
 
-    // Drain: run until every submitted message resolves.
-    const auto all_resolved = [&net]() {
+    // Drain: run until every message *this experiment* submitted
+    // resolves (messages from earlier runs are already settled and
+    // must not be re-examined).
+    const auto all_resolved = [&net, first_id]() {
         for (const auto &[id, rec] : net.tracker().all()) {
-            if (!rec.succeeded && !rec.gaveUp)
+            if (id >= first_id && !rec.succeeded && !rec.gaveUp)
                 return false;
         }
         return true;
@@ -70,8 +104,11 @@ runExperiment(Network &net, const ExperimentConfig &config,
     engine.runUntil(all_resolved, config.drainMax);
 
     ExperimentResult result;
+    result.activeEndpoints = static_cast<unsigned>(drivers.size());
     std::uint64_t measured_words = 0;
     for (const auto &[id, rec] : net.tracker().all()) {
+        if (id < first_id)
+            continue; // a previous experiment's message
         if (rec.succeeded)
             ++result.completedMessages;
         else if (rec.gaveUp)
@@ -89,14 +126,30 @@ runExperiment(Network &net, const ExperimentConfig &config,
             result.attempts.sample(
                 static_cast<double>(rec.attempts));
             measured_words += config.messageWords;
+            // Request-reply traffic also delivers the reply words
+            // (plus their checksum word) back to the source.
+            if (rec.replyOk)
+                measured_words += rec.reply.size() + 1;
         }
     }
 
+    // Load is normalized to the endpoints actually driving traffic
+    // (the injection capacity in use); networkLoad spreads the same
+    // delivered words over every endpoint. The two coincide when
+    // activeFraction = 1.
+    result.measuredWords = measured_words;
+    const double window = static_cast<double>(config.measure);
     result.achievedLoad =
-        static_cast<double>(measured_words) /
-        (static_cast<double>(config.measure) * n);
+        drivers.empty()
+            ? 0.0
+            : static_cast<double>(measured_words) /
+                  (window * static_cast<double>(drivers.size()));
+    result.networkLoad =
+        n == 0 ? 0.0
+               : static_cast<double>(measured_words) /
+                     (window * static_cast<double>(n));
 
-    gatherTotals(net, result);
+    gatherTotals(net, baseline, result);
 
     // Drivers die with this frame; unhook them from the engine so
     // the network can keep running (or run another experiment).

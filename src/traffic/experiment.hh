@@ -55,12 +55,31 @@ struct ExperimentConfig
     std::uint64_t seed = 12345;
 };
 
-/** Reduced results of one run. */
+/** Reduced results of one run.
+ *
+ * All message counts and counter totals are deltas over this run
+ * only: back-to-back experiments on one Network each report their
+ * own messages and events, never the cumulative history (the
+ * experiment-reset contract; see docs/sweep.md).
+ */
 struct ExperimentResult
 {
-    /** Delivered payload words per cycle per endpoint, as a
-     *  fraction of the one-word-per-cycle injection capacity. */
+    /** Delivered words per cycle per *driving* endpoint, as a
+     *  fraction of the one-word-per-cycle injection capacity.
+     *  Counts forward message words and, for request-reply
+     *  traffic, the reply words delivered back to the source. */
     double achievedLoad = 0.0;
+
+    /** The same delivered-word rate normalized over *all* network
+     *  endpoints (equals achievedLoad when activeFraction = 1). */
+    double networkLoad = 0.0;
+
+    /** Endpoints that ran a driver this experiment. */
+    unsigned activeEndpoints = 0;
+
+    /** Wire words delivered by measured, successful messages
+     *  (message words plus reply words). */
+    std::uint64_t measuredWords = 0;
 
     /** Injection-to-acknowledgment latency over measured,
      *  successful messages, in cycles. */
@@ -74,10 +93,11 @@ struct ExperimentResult
     std::uint64_t gaveUpMessages = 0;
     std::uint64_t unresolvedMessages = 0;
 
-    /** Router-event totals over the whole run. */
+    /** Router-event totals over this experiment (deltas against
+     *  the counter values at experiment start). */
     CounterSet routerTotals;
 
-    /** Endpoint-event totals over the whole run. */
+    /** Endpoint-event totals over this experiment (deltas). */
     CounterSet niTotals;
 
     /** Fraction of allocation requests that blocked. */

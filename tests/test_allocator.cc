@@ -24,6 +24,29 @@ allFree(unsigned o)
     return std::vector<bool>(o, true);
 }
 
+TEST(Allocator, RejectsRaggedPortGroups)
+{
+    // 7 ports cannot form dilation-2 groups; silent truncation here
+    // used to shrink the radix by one and mask the last port group.
+    EXPECT_DEATH(allocateCrossbar({{0, 0}}, allFree(7), 2, 1),
+                 "whole number");
+}
+
+TEST(Allocator, LastPortGroupIsReachable)
+{
+    // Regression for the truncation the assert now rejects: with 8
+    // ports at dilation 2 there are exactly 4 direction groups and
+    // the last one (ports 6/7) must be allocatable.
+    std::set<PortIndex> seen;
+    for (std::uint64_t word = 0; word < 64; ++word) {
+        const auto grants =
+            allocateCrossbar({{0, 3}}, allFree(8), 2, word);
+        ASSERT_TRUE(grants[0].granted());
+        seen.insert(grants[0].backwardPort);
+    }
+    EXPECT_EQ(seen, (std::set<PortIndex>{6, 7}));
+}
+
 TEST(Allocator, SingleRequestGetsPortInItsDirection)
 {
     for (std::uint64_t word = 0; word < 32; ++word) {
