@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the router core and the observability layer.
+#
+# Builds the test suite with gcc's --coverage instrumentation, runs
+# ctest, aggregates line coverage over the translation units of
+# src/router/ and src/obs/ by parsing raw `gcov` output (the
+# container has no gcovr/lcov), and fails if the percentage drops
+# below the checked-in baseline (ci/coverage-baseline.txt, floored
+# at merge time). Raise the baseline when coverage improves; the
+# gate only ever ratchets.
+#
+# Usage:
+#   ci/coverage.sh                    gate against the baseline
+#   ci/coverage.sh --update-baseline  rewrite the baseline file
+#   BUILD=build-cov ci/coverage.sh    override the build directory
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD:-build-cov}"
+BASELINE_FILE="ci/coverage-baseline.txt"
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+    UPDATE=1
+fi
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="--coverage -O0" \
+    -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target metro_tests >/dev/null
+ctest --test-dir "$BUILD" -j "$(nproc)" --output-on-failure >/dev/null
+
+# Gather per-TU "Lines executed:XX.XX% of N" figures. gcov is run
+# from the build tree so it finds the .gcda/.gcno files; -n keeps it
+# from littering .gcov render files.
+total_lines=0
+total_covered=0
+for src in src/router/*.cc src/obs/*.cc; do
+    # The object dir for src/<sub>/x.cc under the src/ target:
+    obj_dir="$BUILD/src/CMakeFiles/metro.dir/$(dirname "${src#src/}")"
+    name="$(basename "$src")"
+    gcda="$obj_dir/$name.gcda"
+    if [[ ! -f "$gcda" ]]; then
+        echo "coverage: missing $gcda (TU never executed?)" >&2
+        exit 1
+    fi
+    report="$(cd "$obj_dir" && gcov -n "$name.gcda" 2>/dev/null)"
+    # Take the block for our file, not its included headers.
+    figures="$(printf '%s\n' "$report" |
+        awk -v f="$src" '
+            /^File/ { keep = index($0, f) > 0 }
+            keep && /^Lines executed/ { print; keep = 0 }')"
+    if [[ -z "$figures" ]]; then
+        echo "coverage: no gcov figures for $src" >&2
+        exit 1
+    fi
+    pct="$(printf '%s\n' "$figures" | sed 's/.*:\([0-9.]*\)%.*/\1/')"
+    lines="$(printf '%s\n' "$figures" | sed 's/.* of //')"
+    covered="$(awk -v p="$pct" -v n="$lines" \
+        'BEGIN { printf "%d", p * n / 100 + 0.5 }')"
+    printf '  %-32s %6s%% of %s\n' "$src" "$pct" "$lines"
+    total_lines=$((total_lines + lines))
+    total_covered=$((total_covered + covered))
+done
+
+coverage="$(awk -v c="$total_covered" -v t="$total_lines" \
+    'BEGIN { printf "%.2f", 100.0 * c / t }')"
+echo "coverage: src/router + src/obs line coverage ${coverage}%" \
+     "(${total_covered}/${total_lines})"
+
+if [[ "$UPDATE" == 1 ]]; then
+    echo "$coverage" > "$BASELINE_FILE"
+    echo "coverage: baseline updated to ${coverage}%"
+    exit 0
+fi
+
+baseline="$(cat "$BASELINE_FILE")"
+ok="$(awk -v c="$coverage" -v b="$baseline" \
+    'BEGIN { print (c + 0.0 >= b + 0.0) ? 1 : 0 }')"
+if [[ "$ok" != 1 ]]; then
+    echo "coverage: FAILED — ${coverage}% is below the baseline" \
+         "${baseline}% (${BASELINE_FILE})" >&2
+    exit 1
+fi
+echo "coverage: OK (baseline ${baseline}%)"

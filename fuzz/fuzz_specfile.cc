@@ -1,0 +1,37 @@
+/**
+ * @file
+ * libFuzzer entry point for the multibutterfly spec-file parser.
+ *
+ * The parser must reject arbitrary bytes with an error message —
+ * never crash, hang, or trip UBSan/ASan. Validation (spec.validate())
+ * is deliberately not called here: it fatal()s by contract on
+ * semantically impossible specs, which is not a parser bug.
+ *
+ * Seed corpus: tests/corpus/specfile/ (replayed as plain ctest
+ * cases by tests/test_parser_fuzz.cc on non-clang toolchains).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "app/specfile.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string text(reinterpret_cast<const char *>(data),
+                           size);
+    std::string error;
+    const auto spec = metro::parseSpecText(text, error);
+    if (spec.has_value()) {
+        // Accepted input must round-trip through the serializer and
+        // parse again (the specToText contract).
+        std::string error2;
+        const auto again =
+            metro::parseSpecText(metro::specToText(*spec), error2);
+        if (!again.has_value())
+            __builtin_trap();
+    }
+    return 0;
+}

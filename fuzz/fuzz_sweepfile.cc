@@ -1,0 +1,29 @@
+/**
+ * @file
+ * libFuzzer entry point for the sweep-file parser.
+ *
+ * Arbitrary bytes must either parse into a bounded sweep (the
+ * parser caps total point count) or be rejected with an error —
+ * never crash or exhaust memory materializing points.
+ *
+ * Seed corpus: tests/corpus/sweepfile/ (replayed as plain ctest
+ * cases by tests/test_parser_fuzz.cc on non-clang toolchains).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "app/sweepfile.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string text(reinterpret_cast<const char *>(data),
+                           size);
+    std::string error;
+    const auto sweep = metro::parseSweepText(text, error);
+    if (!sweep.has_value() && error.empty())
+        __builtin_trap(); // rejection must carry a message
+    return 0;
+}

@@ -5,10 +5,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "fault/injector.hh"
+#include "obs/tracer.hh"
 #include "network/fattree.hh"
 #include "network/presets.hh"
 #include "report/csv.hh"
@@ -99,6 +101,10 @@ usageText()
         "  --json                emit sweep results as JSON\n"
         "  --timing              include wall-clock metadata in "
         "JSON\n"
+        "  --metrics-json        include per-point metrics blobs "
+        "(implies --json)\n"
+        "  --trace-connections=PATH  write a chrome://tracing JSON\n"
+        "                        of the last point's connections\n"
         "  --dot                 print the topology as Graphviz DOT\n"
         "  --help                this text\n";
 }
@@ -144,6 +150,13 @@ parseOptions(int argc, const char *const *argv, std::string &error)
             opts.json = true;
         } else if (key == "--timing") {
             opts.timing = true;
+        } else if (key == "--metrics-json") {
+            opts.metricsJson = true;
+            opts.json = true;
+        } else if (key == "--trace-connections") {
+            if (!want_value())
+                return std::nullopt;
+            opts.traceConnections = value;
         } else if (key == "--threads") {
             std::uint64_t v;
             if (!want_value() || !parseUnsigned(value, v)) {
@@ -429,6 +442,36 @@ pointsFromOptions(const Options &opts)
     return points;
 }
 
+/**
+ * Re-run the last sweep point on this thread with a
+ * ConnectionTracer attached (same derived seed, so the run is
+ * bit-identical to the sweep's) and write the Chrome trace JSON.
+ */
+void
+writeConnectionTrace(const std::vector<SweepPoint> &points,
+                     const std::string &path)
+{
+    if (points.empty())
+        METRO_FATAL("--trace-connections: no sweep points to trace");
+    const auto &last = points.back();
+    SweepInstance instance = last.build();
+    ExperimentConfig cfg = last.config;
+    cfg.seed = sweepDeriveSeed(cfg.seed, points.size() - 1,
+                               last.replicate);
+    ConnectionTracer tracer;
+    attachTracer(*instance.network, tracer);
+    if (last.mode == SweepMode::Closed)
+        runClosedLoop(*instance.network, cfg);
+    else
+        runOpenLoop(*instance.network, cfg);
+    instance.network->engine().removeComponent(&tracer);
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        METRO_FATAL("--trace-connections: cannot open %s",
+                    path.c_str());
+    out << tracer.chromeTraceJson();
+}
+
 } // namespace
 
 std::string
@@ -454,7 +497,11 @@ runFromOptions(const Options &opts)
         sopts.threads =
             opts.threadsSet ? opts.threads : sweep_file->threads;
         const auto sweep = runSweep(sweep_file->points, sopts);
-        return opts.json ? sweepJson(sweep, opts.timing)
+        if (!opts.traceConnections.empty())
+            writeConnectionTrace(sweep_file->points,
+                                 opts.traceConnections);
+        return opts.json ? sweepJson(sweep, opts.timing,
+                                     opts.metricsJson)
                          : sweepCsv(sweep);
     }
 
@@ -463,8 +510,11 @@ runFromOptions(const Options &opts)
     sopts.threads = opts.threads;
     const auto sweep = runSweep(points, sopts);
 
+    if (!opts.traceConnections.empty())
+        writeConnectionTrace(points, opts.traceConnections);
+
     if (opts.json)
-        return sweepJson(sweep, opts.timing);
+        return sweepJson(sweep, opts.timing, opts.metricsJson);
 
     CsvWriter csv;
     if (opts.csv)

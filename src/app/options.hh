@@ -83,6 +83,17 @@ struct Options
      *  byte-identical comparison across thread counts). */
     bool timing = false;
 
+    /** Include each point's metrics blob (word-conservation
+     *  counters, connection histograms) in the output; implies
+     *  --json. Metrics come from simulated events only, so output
+     *  stays byte-identical across thread counts. */
+    bool metricsJson = false;
+
+    /** When non-empty, re-run the last sweep point with a
+     *  ConnectionTracer attached and write a Chrome
+     *  (chrome://tracing) trace JSON to this path. */
+    std::string traceConnections;
+
     /** Emit the topology as Graphviz DOT and exit. */
     bool dot = false;
 };

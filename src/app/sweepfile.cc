@@ -291,6 +291,19 @@ parseSweepText(const std::string &text, std::string &error,
 
     const std::size_t values =
         mode == SweepMode::Closed ? thinks.size() : injects.size();
+
+    // values × replicates points are materialized up front; a bogus
+    // file (huge replicates, a mile-long think list) must fail here
+    // rather than exhaust memory building the point vector.
+    constexpr std::size_t kMaxSweepPoints = 100000;
+    if (replicates > kMaxSweepPoints / values) {
+        error = "sweep too large: " + std::to_string(values) +
+                " values x " + std::to_string(replicates) +
+                " replicates exceeds " +
+                std::to_string(kMaxSweepPoints) + " points";
+        return std::nullopt;
+    }
+
     for (std::size_t v = 0; v < values; ++v) {
         for (unsigned rep = 0; rep < replicates; ++rep) {
             SweepPoint point;

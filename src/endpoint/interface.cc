@@ -18,6 +18,29 @@ NetworkInterface::NetworkInterface(NodeId id, const NiConfig &config,
 }
 
 void
+NetworkInterface::setMetrics(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics == nullptr) {
+        mInjected_ = &scratch_;
+        mDelivered_ = &scratch_;
+        mDiscardEp_ = &scratch_;
+        hSetup_ = &scratchHist_;
+        hTurnRt_ = &scratchHist_;
+        hPathLen_ = &scratchHist_;
+        hAttempts_ = &scratchHist_;
+        return;
+    }
+    mInjected_ = &metrics->counter("words.injected");
+    mDelivered_ = &metrics->counter("words.delivered");
+    mDiscardEp_ = &metrics->counter("words.discarded.endpoint");
+    hSetup_ = &metrics->histogram("conn.setup_latency");
+    hTurnRt_ = &metrics->histogram("conn.turn_roundtrip");
+    hPathLen_ = &metrics->histogram("conn.path_length");
+    hAttempts_ = &metrics->histogram("conn.attempts");
+}
+
+void
 NetworkInterface::addOutPort(Link *link)
 {
     addOutPortGroup({link});
@@ -95,6 +118,9 @@ void
 NetworkInterface::pushGroupDown(const std::vector<Link *> &group,
                                 const Symbol &s)
 {
+    // One logical word per group push, regardless of slice count.
+    if (s.kind == SymbolKind::Data)
+        ++*mInjected_;
     for (unsigned k = 0; k < group.size(); ++k)
         group[k]->pushDown(sliceOf(s, k));
 }
@@ -103,6 +129,8 @@ void
 NetworkInterface::pushGroupUp(const std::vector<Link *> &group,
                               const Symbol &s)
 {
+    if (s.kind == SymbolKind::Data)
+        ++*mInjected_;
     for (unsigned k = 0; k < group.size(); ++k)
         group[k]->pushUp(sliceOf(s, k));
 }
@@ -265,6 +293,9 @@ NetworkInterface::startAttempt(Cycle cycle)
     counters_.add("attempts");
     if (rec.attempts > 1)
         counters_.add("retries");
+    attemptStart_ = cycle;
+    if (observer_ != nullptr)
+        observer_->onAttemptStart(activeMsg_, rec.attempts, cycle);
 
     // Stochastic injection-port choice: with multiple network input
     // ports per endpoint (Figure 1), retries spread over them too.
@@ -286,10 +317,15 @@ void
 NetworkInterface::scheduleRetry(Cycle cycle)
 {
     auto &rec = tracker_->record(activeMsg_);
+    if (observer_ != nullptr)
+        observer_->onAttemptEnd(activeMsg_, false, cycle);
     if (rec.attempts >= config_.maxAttempts) {
         rec.gaveUp = true;
         rec.completeCycle = cycle;
         counters_.add("giveUps");
+        hAttempts_->sample(rec.attempts);
+        if (observer_ != nullptr)
+            observer_->onMessageResolved(activeMsg_, false, cycle);
         activeMsg_ = 0;
         sendState_ = SendState::Idle;
         return;
@@ -315,6 +351,12 @@ NetworkInterface::finishAttempt(Cycle cycle, bool success)
         rec.sessionReplies = sessionReplies_;
         rec.roundsCompleted = roundsAckedOk_;
         counters_.add("successes");
+        hAttempts_->sample(rec.attempts);
+        hPathLen_->sample(statuses_.size());
+        if (observer_ != nullptr) {
+            observer_->onAttemptEnd(activeMsg_, true, cycle);
+            observer_->onMessageResolved(activeMsg_, true, cycle);
+        }
         activeMsg_ = 0;
         sendState_ = SendState::Idle;
     } else {
@@ -358,6 +400,7 @@ NetworkInterface::tickSend(Cycle cycle)
 
     // Watch the reverse lane in Sending and Await alike: the
     // backward control bit can overtake the stream.
+    protocolRead_ = outPort_;
     bool consistent = true;
     const Symbol rsym = readGroupUp(*group, consistent);
     if (!consistent) {
@@ -374,6 +417,10 @@ NetworkInterface::tickSend(Cycle cycle)
             sendState_ = SendState::Abort;
             return; // truncate the stream; Drop goes out next tick
         }
+        // Reverse Data while still streaming forward is debris of a
+        // dead round; it is not captured anywhere.
+        if (rsym.kind == SymbolKind::Data)
+            ++*mDiscardEp_;
         pushGroupDown(*group, stream_[cursor_++]);
         if (cursor_ == stream_.size()) {
             sendState_ = SendState::Await;
@@ -401,16 +448,20 @@ NetworkInterface::tickSend(Cycle cycle)
       case SymbolKind::Ack: {
         ack_ = AckWord::decode(rsym.value);
         ackSeen_ = true;
+        hTurnRt_->sample(cycle - turnSent_);
         if (ack_.ok) {
             auto &rec = tracker_->record(activeMsg_);
-            if (roundIndex_ == 0)
+            if (roundIndex_ == 0) {
                 rec.ackCycle = cycle;
+                hSetup_->sample(cycle - attemptStart_);
+            }
         } else {
             counters_.add("nacks");
         }
         break;
       }
       case SymbolKind::Data:
+        ++*mDelivered_;
         replyWords_.push_back(rsym.value);
         for (unsigned k = 0; k < cascade_; ++k)
             replySliceCrc_[k].update(
@@ -521,6 +572,8 @@ NetworkInterface::handleTurnAtReceiver(RecvPort &port, Cycle cycle)
                 rec->deliverCycle = cycle;
             ++rec->deliveredCount;
             counters_.add("deliveries");
+            if (observer_ != nullptr)
+                observer_->onDelivery(port.msgId, id_, cycle);
             if (deliveryHandler_)
                 deliveryHandler_(*rec);
         }
@@ -600,6 +653,7 @@ NetworkInterface::processReceivedSymbol(RecvPort &port,
         counters_.add("statusAtReceiver");
         break;
       case SymbolKind::Data:
+        ++*mDelivered_;
         port.words.push_back(sym.value);
         for (unsigned k = 0; k < cascade_; ++k)
             port.sliceCrc[k].update(
@@ -694,8 +748,11 @@ NetworkInterface::tickRecv(RecvPort &port, Cycle cycle)
             port.checksumSeen = false;
             port.lastActivity = cycle;
         }
-        if (sym.occupied() && sym.kind != SymbolKind::DataIdle)
+        if (sym.occupied() && sym.kind != SymbolKind::DataIdle) {
             counters_.add("strayAtReceiver");
+            if (sym.kind == SymbolKind::Data)
+                ++*mDiscardEp_;
+        }
         break;
       }
     }
@@ -706,7 +763,23 @@ NetworkInterface::tick(Cycle cycle)
 {
     for (auto &port : in_)
         tickRecv(port, cycle);
+    protocolRead_ = SIZE_MAX;
     tickSend(cycle);
+
+    if (metrics_ != nullptr) {
+        // Word conservation: census the reverse lanes of injection
+        // groups the send logic did not consume this cycle (idle,
+        // backoff, abort, or simply other ports) — Data arriving
+        // there evaporates. peekUp() never touches the fault PRNG,
+        // so the census is invisible to the simulation proper.
+        // Slice 0 stands for the group (one logical word).
+        for (std::size_t g = 0; g < out_.size(); ++g) {
+            if (g == protocolRead_ || out_[g].empty())
+                continue;
+            if (out_[g].front()->peekUp().kind == SymbolKind::Data)
+                ++*mDiscardEp_;
+        }
+    }
 }
 
 } // namespace metro

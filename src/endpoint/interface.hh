@@ -41,6 +41,8 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "endpoint/message.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
 #include "sim/component.hh"
 #include "sim/link.hh"
 
@@ -213,6 +215,19 @@ class NetworkInterface : public Component
     /** Event counters (sends, retries, timeouts, duplicates...). */
     const CounterSet &counters() const { return counters_; }
 
+    /**
+     * Register this endpoint's word-accounting counters and
+     * connection histograms (setup latency, TURN round-trip, path
+     * length, attempts) with a central registry (usually the owning
+     * Network's). nullptr detaches; the registry must outlive the
+     * endpoint.
+     */
+    void setMetrics(MetricsRegistry *metrics);
+
+    /** Install a connection-lifecycle observer (attempt/resolution/
+     *  delivery milestones); nullptr detaches. */
+    void setObserver(ConnObserver *observer) { observer_ = observer; }
+
     /** Number of attached ports. @{ */
     std::size_t numOutPorts() const { return out_.size(); }
     std::size_t numInPorts() const { return in_.size(); }
@@ -319,6 +334,26 @@ class NetworkInterface : public Component
     std::unordered_map<NodeId, std::uint32_t> lastDeliveredSeq_;
 
     CounterSet counters_;
+
+    // --- observability (see setMetrics / setObserver) ---
+    // Without a registry the pointers target the scratch slots, so
+    // the word-accounting hot paths stay branch-free.
+    MetricsRegistry *metrics_ = nullptr;
+    ConnObserver *observer_ = nullptr;
+    std::uint64_t scratch_ = 0;
+    LogHistogram scratchHist_;
+    std::uint64_t *mInjected_ = &scratch_;
+    std::uint64_t *mDelivered_ = &scratch_;
+    std::uint64_t *mDiscardEp_ = &scratch_;
+    LogHistogram *hSetup_ = &scratchHist_;
+    LogHistogram *hTurnRt_ = &scratchHist_;
+    LogHistogram *hPathLen_ = &scratchHist_;
+    LogHistogram *hAttempts_ = &scratchHist_;
+    /** Cycle the current attempt launched (setup-latency base). */
+    Cycle attemptStart_ = 0;
+    /** Out-port group whose reverse lane tickSend consumed this
+     *  tick (unread groups are censused for word conservation). */
+    std::size_t protocolRead_ = SIZE_MAX;
 };
 
 } // namespace metro

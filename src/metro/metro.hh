@@ -34,6 +34,9 @@
 #include "network/multibutterfly.hh"
 #include "network/network.hh"
 #include "network/presets.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "router/allocator.hh"
 #include "router/cascade.hh"
 #include "router/config.hh"
@@ -48,9 +51,11 @@
 #include "trace/probe.hh"
 #include "report/csv.hh"
 #include "report/dot.hh"
+#include "report/json.hh"
 #include "report/stats_dump.hh"
 #include "app/options.hh"
 #include "app/specfile.hh"
+#include "app/sweepfile.hh"
 #include "traffic/drivers.hh"
 #include "traffic/experiment.hh"
 #include "traffic/patterns.hh"

@@ -13,6 +13,7 @@
 #include "common/types.hh"
 #include "endpoint/interface.hh"
 #include "endpoint/message.hh"
+#include "obs/registry.hh"
 #include "router/cascade.hh"
 #include "router/router.hh"
 #include "sim/engine.hh"
@@ -42,6 +43,7 @@ class Network
         auto id = static_cast<RouterId>(routers_.size());
         routers_.push_back(
             std::make_unique<MetroRouter>(id, params, config, seed));
+        routers_.back()->setMetrics(&metrics_);
         return routers_.back().get();
     }
 
@@ -51,6 +53,7 @@ class Network
         auto id = static_cast<NodeId>(endpoints_.size());
         endpoints_.push_back(std::make_unique<NetworkInterface>(
             id, config, &tracker_, seed));
+        endpoints_.back()->setMetrics(&metrics_);
         return endpoints_.back().get();
     }
 
@@ -169,9 +172,51 @@ class Network
         return true;
     }
 
+    /**
+     * The central metrics registry every router and endpoint of
+     * this network registers into (see obs/registry.hh). Live —
+     * counters keep moving while the engine runs; experiments take
+     * snapshots and diff them.
+     */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * A value snapshot of the registry with every per-entity
+     * CounterSet folded in as "router.total.<name>" /
+     * "ni.total.<name>" network-wide sums, so one blob carries the
+     * complete counter state.
+     */
+    MetricsRegistry
+    metricsSnapshot() const
+    {
+        MetricsRegistry snap = metrics_;
+        for (const auto &r : routers_) {
+            for (const auto &[name, v] : r->counters().all())
+                snap.counter("router.total." + name) += v;
+        }
+        for (const auto &e : endpoints_) {
+            for (const auto &[name, v] : e->counters().all())
+                snap.counter("ni.total." + name) += v;
+        }
+        return snap;
+    }
+
+    /** Data words currently in flight across all link lanes
+     *  (passive; see Link::inFlight). */
+    std::uint64_t
+    inFlightDataWords() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &l : links_)
+            n += l->inFlight(SymbolKind::Data);
+        return n;
+    }
+
   private:
     Engine engine_;
     MessageTracker tracker_;
+    MetricsRegistry metrics_;
     std::vector<std::unique_ptr<MetroRouter>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> endpoints_;
     std::vector<std::unique_ptr<Link>> links_;

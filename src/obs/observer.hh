@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Callback interface for connection-lifecycle observers.
+ *
+ * Routers and network interfaces accept one optional ConnObserver
+ * and invoke it at the protocol milestones a wire probe cannot see
+ * by itself (which attempt a header belongs to, whether an
+ * allocation granted or blocked, when the source resolved the
+ * message). The interface deliberately depends on nothing beyond
+ * common/types.hh so that router and endpoint headers can include it
+ * without layering cycles; the concrete ConnectionTracer lives in
+ * obs/tracer.hh.
+ *
+ * All default implementations are no-ops: implementors override
+ * only the milestones they care about.
+ */
+
+#ifndef METRO_OBS_OBSERVER_HH
+#define METRO_OBS_OBSERVER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace metro
+{
+
+class ConnObserver
+{
+  public:
+    virtual ~ConnObserver() = default;
+
+    /** Source NI launches attempt `attempt` (1-based) of `msg`. */
+    virtual void
+    onAttemptStart(std::uint64_t msg, unsigned attempt, Cycle cycle)
+    {
+        (void)msg;
+        (void)attempt;
+        (void)cycle;
+    }
+
+    /** Source NI finished an attempt (ack'd, dropped, or timed out). */
+    virtual void
+    onAttemptEnd(std::uint64_t msg, bool success, Cycle cycle)
+    {
+        (void)msg;
+        (void)success;
+        (void)cycle;
+    }
+
+    /** Source NI resolved the message (delivered or gave up). */
+    virtual void
+    onMessageResolved(std::uint64_t msg, bool success, Cycle cycle)
+    {
+        (void)msg;
+        (void)success;
+        (void)cycle;
+    }
+
+    /** Destination NI accepted the full payload of `msg`. */
+    virtual void
+    onDelivery(std::uint64_t msg, NodeId dest, Cycle cycle)
+    {
+        (void)msg;
+        (void)dest;
+        (void)cycle;
+    }
+
+    /** Router `router` (stage `stage`) granted a backward port. */
+    virtual void
+    onGrant(RouterId router, unsigned stage, std::uint64_t msg,
+            Cycle cycle)
+    {
+        (void)router;
+        (void)stage;
+        (void)msg;
+        (void)cycle;
+    }
+
+    /** Router `router` could not allocate a port (connection blocks). */
+    virtual void
+    onBlock(RouterId router, unsigned stage, std::uint64_t msg,
+            Cycle cycle)
+    {
+        (void)router;
+        (void)stage;
+        (void)msg;
+        (void)cycle;
+    }
+};
+
+} // namespace metro
+
+#endif // METRO_OBS_OBSERVER_HH

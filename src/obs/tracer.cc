@@ -1,0 +1,424 @@
+#include "obs/tracer.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "network/network.hh"
+#include "sim/symbol.hh"
+
+namespace metro
+{
+
+const char *
+connEventKindName(ConnEventKind kind)
+{
+    switch (kind) {
+      case ConnEventKind::Header: return "HEADER";
+      case ConnEventKind::Data: return "DATA";
+      case ConnEventKind::Checksum: return "CHECKSUM";
+      case ConnEventKind::Turn: return "TURN";
+      case ConnEventKind::Status: return "STATUS";
+      case ConnEventKind::Ack: return "ACK";
+      case ConnEventKind::Drop: return "DROP";
+      case ConnEventKind::BcbDrop: return "BCB-DROP";
+      case ConnEventKind::Test: return "TEST";
+      case ConnEventKind::AttemptStart: return "attempt-start";
+      case ConnEventKind::AttemptEnd: return "attempt-end";
+      case ConnEventKind::Resolved: return "resolved";
+      case ConnEventKind::Delivered: return "delivered";
+      case ConnEventKind::Grant: return "grant";
+      case ConnEventKind::Block: return "block";
+    }
+    return "?";
+}
+
+void
+ConnectionTracer::setMetrics(MetricsRegistry *metrics)
+{
+    if (metrics == nullptr) {
+        mEvents_ = &scratch_;
+        mDropped_ = &scratch_;
+        return;
+    }
+    mEvents_ = &metrics->counter("tracer.events");
+    mDropped_ = &metrics->counter("tracer.dropped");
+}
+
+void
+ConnectionTracer::touch(ConnectionSummary &s, Cycle cycle)
+{
+    if (s.firstCycle == kNever || cycle < s.firstCycle)
+        s.firstCycle = cycle;
+    if (cycle > s.lastCycle)
+        s.lastCycle = cycle;
+}
+
+void
+ConnectionTracer::record(const ConnTraceRecord &event)
+{
+    ++recorded_;
+    ++*mEvents_;
+    if (capacity_ == 0) {
+        ++dropped_;
+        ++*mDropped_;
+        return;
+    }
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+        return;
+    }
+    // Full: overwrite the oldest slot.
+    ring_[ringStart_] = event;
+    ringStart_ = (ringStart_ + 1) % capacity_;
+    ++dropped_;
+    ++*mDropped_;
+}
+
+void
+ConnectionTracer::tick(Cycle cycle)
+{
+    for (Link *link : links_) {
+        for (int laneIdx = 0; laneIdx < 2; ++laneIdx) {
+            const Symbol sym =
+                laneIdx == 0 ? link->peekDown() : link->peekUp();
+            // DATA-IDLE keepalives would flood the ring during
+            // reversal waits and carry no lifecycle information.
+            if (!sym.occupied() || sym.kind == SymbolKind::DataIdle ||
+                sym.msgId == 0) {
+                continue;
+            }
+            ConnEventKind kind;
+            switch (sym.kind) {
+              case SymbolKind::Header:
+                kind = ConnEventKind::Header;
+                break;
+              case SymbolKind::Data:
+                kind = ConnEventKind::Data;
+                break;
+              case SymbolKind::Checksum:
+                kind = ConnEventKind::Checksum;
+                break;
+              case SymbolKind::Turn:
+                kind = ConnEventKind::Turn;
+                break;
+              case SymbolKind::Status:
+                kind = ConnEventKind::Status;
+                break;
+              case SymbolKind::Ack:
+                kind = ConnEventKind::Ack;
+                break;
+              case SymbolKind::Drop:
+                kind = ConnEventKind::Drop;
+                break;
+              case SymbolKind::BcbDrop:
+                kind = ConnEventKind::BcbDrop;
+                break;
+              case SymbolKind::Test:
+                kind = ConnEventKind::Test;
+                break;
+              default:
+                continue;
+            }
+            record({cycle, sym.msgId, sym.value, link->id(), kind,
+                    static_cast<std::uint8_t>(laneIdx), 0});
+
+            ConnectionSummary &s = summaries_[sym.msgId];
+            s.msgId = sym.msgId;
+            touch(s, cycle);
+            switch (kind) {
+              case ConnEventKind::Header: ++s.headerHops; break;
+              case ConnEventKind::Data: ++s.dataWords; break;
+              case ConnEventKind::Checksum: ++s.checksums; break;
+              case ConnEventKind::Turn: ++s.turns; break;
+              case ConnEventKind::Status: ++s.statuses; break;
+              case ConnEventKind::Ack: ++s.acks; break;
+              case ConnEventKind::Drop: ++s.drops; break;
+              case ConnEventKind::BcbDrop: ++s.bcbDrops; break;
+              default: break;
+            }
+        }
+    }
+}
+
+void
+ConnectionTracer::onAttemptStart(std::uint64_t msg, unsigned attempt,
+                                 Cycle cycle)
+{
+    record({cycle, msg, 0, 0, ConnEventKind::AttemptStart, 0,
+            static_cast<std::uint16_t>(attempt)});
+    ConnectionSummary &s = summaries_[msg];
+    s.msgId = msg;
+    touch(s, cycle);
+    s.attempts.push_back({attempt, cycle, kNever, false});
+}
+
+void
+ConnectionTracer::onAttemptEnd(std::uint64_t msg, bool success,
+                               Cycle cycle)
+{
+    record({cycle, msg, 0, 0, ConnEventKind::AttemptEnd, 0,
+            static_cast<std::uint16_t>(success ? 1 : 0)});
+    ConnectionSummary &s = summaries_[msg];
+    s.msgId = msg;
+    touch(s, cycle);
+    // Close the most recent open span (attempts end in launch order).
+    for (auto it = s.attempts.rbegin(); it != s.attempts.rend();
+         ++it) {
+        if (it->end == kNever) {
+            it->end = cycle;
+            it->success = success;
+            break;
+        }
+    }
+}
+
+void
+ConnectionTracer::onMessageResolved(std::uint64_t msg, bool success,
+                                    Cycle cycle)
+{
+    record({cycle, msg, 0, 0, ConnEventKind::Resolved, 0,
+            static_cast<std::uint16_t>(success ? 1 : 0)});
+    ConnectionSummary &s = summaries_[msg];
+    s.msgId = msg;
+    touch(s, cycle);
+    s.resolved = true;
+    s.succeeded = success;
+}
+
+void
+ConnectionTracer::onDelivery(std::uint64_t msg, NodeId dest,
+                             Cycle cycle)
+{
+    record({cycle, msg, 0, dest, ConnEventKind::Delivered, 0, 0});
+    ConnectionSummary &s = summaries_[msg];
+    s.msgId = msg;
+    touch(s, cycle);
+    s.delivered = true;
+}
+
+void
+ConnectionTracer::onGrant(RouterId router, unsigned stage,
+                          std::uint64_t msg, Cycle cycle)
+{
+    record({cycle, msg, 0, router, ConnEventKind::Grant, 0,
+            static_cast<std::uint16_t>(stage)});
+    ConnectionSummary &s = summaries_[msg];
+    s.msgId = msg;
+    touch(s, cycle);
+    ++s.grants;
+}
+
+void
+ConnectionTracer::onBlock(RouterId router, unsigned stage,
+                          std::uint64_t msg, Cycle cycle)
+{
+    record({cycle, msg, 0, router, ConnEventKind::Block, 0,
+            static_cast<std::uint16_t>(stage)});
+    ConnectionSummary &s = summaries_[msg];
+    s.msgId = msg;
+    touch(s, cycle);
+    ++s.blocks;
+}
+
+std::vector<ConnTraceRecord>
+ConnectionTracer::events() const
+{
+    std::vector<ConnTraceRecord> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(ringStart_ + i) % ring_.size()]);
+    return out;
+}
+
+namespace
+{
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+ConnectionTracer::chromeTraceJson() const
+{
+    std::string out = "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  ";
+    };
+
+    // One track (tid) per message: a complete slice for the whole
+    // lifecycle plus one per attempt. ts/dur are in simulated cycles
+    // (rendered as microseconds by trace viewers).
+    for (const auto &[msg, s] : summaries_) {
+        const Cycle start = s.firstCycle == kNever ? 0 : s.firstCycle;
+        const Cycle dur =
+            s.lastCycle > start ? s.lastCycle - start : 1;
+        sep();
+        out += "{\"name\": \"msg ";
+        appendU64(out, msg);
+        out += "\", \"cat\": \"conn\", \"ph\": \"X\", \"pid\": 0, "
+               "\"tid\": ";
+        appendU64(out, msg);
+        out += ", \"ts\": ";
+        appendU64(out, start);
+        out += ", \"dur\": ";
+        appendU64(out, dur);
+        out += ", \"args\": {\"headerHops\": ";
+        appendU64(out, s.headerHops);
+        out += ", \"dataWords\": ";
+        appendU64(out, s.dataWords);
+        out += ", \"checksums\": ";
+        appendU64(out, s.checksums);
+        out += ", \"turns\": ";
+        appendU64(out, s.turns);
+        out += ", \"statuses\": ";
+        appendU64(out, s.statuses);
+        out += ", \"acks\": ";
+        appendU64(out, s.acks);
+        out += ", \"drops\": ";
+        appendU64(out, s.drops);
+        out += ", \"bcbDrops\": ";
+        appendU64(out, s.bcbDrops);
+        out += ", \"grants\": ";
+        appendU64(out, s.grants);
+        out += ", \"blocks\": ";
+        appendU64(out, s.blocks);
+        out += ", \"attempts\": ";
+        appendU64(out, s.attempts.size());
+        out += ", \"resolved\": ";
+        out += s.resolved ? "true" : "false";
+        out += ", \"succeeded\": ";
+        out += s.succeeded ? "true" : "false";
+        out += ", \"delivered\": ";
+        out += s.delivered ? "true" : "false";
+        out += "}}";
+
+        for (const AttemptSpan &a : s.attempts) {
+            const Cycle aEnd =
+                a.end == kNever ? s.lastCycle : a.end;
+            const Cycle aDur = aEnd > a.start ? aEnd - a.start : 1;
+            sep();
+            out += "{\"name\": \"attempt ";
+            appendU64(out, a.number);
+            out += "\", \"cat\": \"attempt\", \"ph\": \"X\", "
+                   "\"pid\": 0, \"tid\": ";
+            appendU64(out, msg);
+            out += ", \"ts\": ";
+            appendU64(out, a.start);
+            out += ", \"dur\": ";
+            appendU64(out, aDur);
+            out += ", \"args\": {\"success\": ";
+            out += a.success ? "true" : "false";
+            out += ", \"open\": ";
+            out += a.end == kNever ? "true" : "false";
+            out += "}}";
+        }
+    }
+
+    // Instant events for the protocol milestones still in the ring.
+    for (const ConnTraceRecord &e : events()) {
+        switch (e.kind) {
+          case ConnEventKind::Turn:
+          case ConnEventKind::Ack:
+          case ConnEventKind::Drop:
+          case ConnEventKind::BcbDrop:
+          case ConnEventKind::Grant:
+          case ConnEventKind::Block:
+          case ConnEventKind::Delivered:
+            sep();
+            out += "{\"name\": \"";
+            out += connEventKindName(e.kind);
+            out += "\", \"cat\": \"event\", \"ph\": \"i\", "
+                   "\"s\": \"t\", \"pid\": 0, \"tid\": ";
+            appendU64(out, e.msgId);
+            out += ", \"ts\": ";
+            appendU64(out, e.cycle);
+            out += ", \"args\": {\"ref\": ";
+            appendU64(out, e.ref);
+            out += ", \"extra\": ";
+            appendU64(out, e.extra);
+            out += "}}";
+            break;
+          case ConnEventKind::Status: {
+            const StatusWord sw = StatusWord::decode(e.value);
+            sep();
+            out += "{\"name\": \"STATUS\", \"cat\": \"event\", "
+                   "\"ph\": \"i\", \"s\": \"t\", \"pid\": 0, "
+                   "\"tid\": ";
+            appendU64(out, e.msgId);
+            out += ", \"ts\": ";
+            appendU64(out, e.cycle);
+            out += ", \"args\": {\"router\": ";
+            appendU64(out, sw.router);
+            out += ", \"stage\": ";
+            appendU64(out, sw.stage);
+            out += ", \"blocked\": ";
+            out += sw.blocked ? "true" : "false";
+            out += ", \"checksum\": ";
+            appendU64(out, sw.checksum);
+            out += "}}";
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    out += first ? "]}" : "\n]}";
+    out += "\n";
+    return out;
+}
+
+void
+ConnectionTracer::writeBinary(std::ostream &out) const
+{
+    // Header: magic, version, record size, record count, evictions.
+    // Records are packed little-endian-as-host (the format is a
+    // same-machine soak artifact, not an interchange format).
+    char header[32] = {};
+    std::memcpy(header, kBinaryMagic, sizeof(kBinaryMagic));
+    const std::uint32_t version = 1;
+    const std::uint32_t recordSize = kBinaryRecordSize;
+    const std::uint64_t count = ring_.size();
+    std::memcpy(header + 8, &version, 4);
+    std::memcpy(header + 12, &recordSize, 4);
+    std::memcpy(header + 16, &count, 8);
+    std::memcpy(header + 24, &dropped_, 8);
+    out.write(header, sizeof(header));
+
+    for (const ConnTraceRecord &e : events()) {
+        char rec[kBinaryRecordSize] = {};
+        std::memcpy(rec + 0, &e.cycle, 8);
+        std::memcpy(rec + 8, &e.msgId, 8);
+        std::memcpy(rec + 16, &e.value, 8);
+        std::memcpy(rec + 24, &e.ref, 4);
+        rec[28] = static_cast<char>(e.kind);
+        rec[29] = static_cast<char>(e.lane);
+        std::memcpy(rec + 30, &e.extra, 2);
+        out.write(rec, sizeof(rec));
+    }
+}
+
+void
+attachTracer(Network &net, ConnectionTracer &tracer)
+{
+    for (LinkId l = 0; l < net.numLinks(); ++l)
+        tracer.watch(&net.link(l));
+    for (RouterId r = 0; r < net.numRouters(); ++r)
+        net.router(r).setObserver(&tracer);
+    for (NodeId e = 0; e < net.numEndpoints(); ++e)
+        net.endpoint(e).setObserver(&tracer);
+    tracer.setMetrics(&net.metrics());
+    net.engine().addComponent(&tracer);
+}
+
+} // namespace metro

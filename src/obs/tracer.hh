@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Connection-lifecycle tracer.
+ *
+ * A ConnectionTracer reconstructs full connection lifecycles —
+ * launch, header consumption per stage, data, TURN, STATUS/checksum
+ * words, drop/retry — from two complementary sources:
+ *
+ *   - wire sightings: each tick it passively samples the lanes of
+ *     every watched link (Link::peekDown()/peekUp(), which never
+ *     touch the corruption PRNG) and records occupied symbols that
+ *     carry a message id;
+ *   - protocol callbacks: routers and network interfaces report the
+ *     milestones a wire probe cannot attribute by itself (attempt
+ *     numbers, allocation grant/block, delivery, resolution) through
+ *     the ConnObserver interface.
+ *
+ * Events land in a capacity-bounded ring (oldest evicted, eviction
+ * counted) so soak runs cannot exhaust memory, while per-message
+ * summaries are maintained incrementally and survive ring eviction.
+ *
+ * Exports: Chrome trace-event JSON (load in chrome://tracing or
+ * Perfetto; one track per message, slices per attempt, instants for
+ * TURN/STATUS/ACK/DROP) and a compact 32-byte-per-event binary ring
+ * for soak runs.
+ */
+
+#ifndef METRO_OBS_TRACER_HH
+#define METRO_OBS_TRACER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
+#include "sim/component.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+class Network;
+
+/** What a connection-trace event records. Wire kinds mirror the
+ *  symbol alphabet; the rest are protocol milestones. */
+enum class ConnEventKind : std::uint8_t
+{
+    Header,       ///< routing header seen on a link
+    Data,         ///< payload word seen on a link
+    Checksum,     ///< end-to-end checksum word seen on a link
+    Turn,         ///< connection reversal seen on a link
+    Status,       ///< STATUS word seen on a link (value decodes)
+    Ack,          ///< ACK word seen on a link
+    Drop,         ///< DROP seen on a link
+    BcbDrop,      ///< backward-control-bit reclaim seen on a link
+    Test,         ///< diagnostic TEST word seen on a link
+    AttemptStart, ///< source NI launched an attempt (extra = number)
+    AttemptEnd,   ///< attempt resolved (extra = 1 on success)
+    Resolved,     ///< message resolved at source (extra = 1 on success)
+    Delivered,    ///< destination accepted the payload (ref = dest)
+    Grant,        ///< router allocation granted (ref = router)
+    Block,        ///< router allocation blocked (ref = router)
+};
+
+/** Printable name of a ConnEventKind. */
+const char *connEventKindName(ConnEventKind kind);
+
+/** One fixed-size trace event (packed to 32 bytes on export). */
+struct ConnTraceRecord
+{
+    Cycle cycle = 0;
+    std::uint64_t msgId = 0;
+    std::uint64_t value = 0;       ///< symbol value (wire events)
+    std::uint32_t ref = 0;         ///< LinkId, RouterId or NodeId
+    ConnEventKind kind = ConnEventKind::Header;
+    std::uint8_t lane = 0;         ///< 0 down, 1 up (wire events)
+    std::uint16_t extra = 0;       ///< attempt number / stage / flag
+};
+
+/** One attempt of one message, as seen by the source NI. */
+struct AttemptSpan
+{
+    unsigned number = 0;   ///< 1-based attempt number
+    Cycle start = 0;
+    Cycle end = kNever;    ///< kNever while still open
+    bool success = false;
+};
+
+/**
+ * Incremental per-message lifecycle summary. Wire fields count
+ * sightings (one per link-lane per cycle), i.e. a header crossing
+ * three links counts three headerHops.
+ */
+struct ConnectionSummary
+{
+    std::uint64_t msgId = 0;
+    Cycle firstCycle = kNever;
+    Cycle lastCycle = 0;
+    std::uint64_t headerHops = 0;
+    std::uint64_t dataWords = 0;
+    std::uint64_t checksums = 0;
+    std::uint64_t turns = 0;
+    std::uint64_t statuses = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t bcbDrops = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t blocks = 0;
+    bool resolved = false;
+    bool succeeded = false;
+    bool delivered = false;
+    std::vector<AttemptSpan> attempts;
+};
+
+class ConnectionTracer : public Component, public ConnObserver
+{
+  public:
+    /** Magic bytes opening the binary ring export. */
+    static constexpr char kBinaryMagic[8] = {'M', 'T', 'R', 'C',
+                                             '1', 0,   0,   0};
+    /** Bytes per packed record in the binary export. */
+    static constexpr std::size_t kBinaryRecordSize = 32;
+
+    /** @param capacity ring bound: retain at most this many events
+     *                  (oldest evicted first, evictions counted). */
+    explicit ConnectionTracer(std::size_t capacity = 1u << 16)
+        : Component("tracer"), capacity_(capacity)
+    {}
+
+    /** Watch a link (both lanes). */
+    void watch(Link *link) { links_.push_back(link); }
+
+    /** Surface event/eviction counters through a registry
+     *  ("tracer.events", "tracer.dropped"). */
+    void setMetrics(MetricsRegistry *metrics);
+
+    void tick(Cycle cycle) override;
+
+    /** ConnObserver milestones (routers / NIs call these). @{ */
+    void onAttemptStart(std::uint64_t msg, unsigned attempt,
+                        Cycle cycle) override;
+    void onAttemptEnd(std::uint64_t msg, bool success,
+                      Cycle cycle) override;
+    void onMessageResolved(std::uint64_t msg, bool success,
+                           Cycle cycle) override;
+    void onDelivery(std::uint64_t msg, NodeId dest,
+                    Cycle cycle) override;
+    void onGrant(RouterId router, unsigned stage, std::uint64_t msg,
+                 Cycle cycle) override;
+    void onBlock(RouterId router, unsigned stage, std::uint64_t msg,
+                 Cycle cycle) override;
+    /** @} */
+
+    /** Ring contents, oldest first. */
+    std::vector<ConnTraceRecord> events() const;
+
+    /** Total events recorded (including evicted ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events evicted by the capacity bound. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Lifecycle summaries keyed by message id (survive eviction). */
+    const std::map<std::uint64_t, ConnectionSummary> &
+    summaries() const
+    {
+        return summaries_;
+    }
+
+    /**
+     * Chrome trace-event JSON ({"traceEvents": [...]}): per message
+     * one complete slice plus one slice per attempt (tid = message
+     * id), and instant events for TURN / STATUS / ACK / DROP /
+     * BCB-DROP / grant / block still present in the ring.
+     */
+    std::string chromeTraceJson() const;
+
+    /** Write the packed binary ring (header + 32-byte records). */
+    void writeBinary(std::ostream &out) const;
+
+  private:
+    void record(const ConnTraceRecord &event);
+    void touch(ConnectionSummary &s, Cycle cycle);
+
+    std::size_t capacity_;
+    std::vector<Link *> links_;
+    std::vector<ConnTraceRecord> ring_;
+    std::size_t ringStart_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::map<std::uint64_t, ConnectionSummary> summaries_;
+    std::uint64_t scratch_ = 0;
+    std::uint64_t *mEvents_ = &scratch_;
+    std::uint64_t *mDropped_ = &scratch_;
+};
+
+/**
+ * Convenience: watch every link of `net`, install the tracer as the
+ * connection observer of every router and endpoint, hook it into the
+ * network's metrics registry, and register it with the engine (call
+ * after Network::finalize()).
+ */
+void attachTracer(Network &net, ConnectionTracer &tracer);
+
+} // namespace metro
+
+#endif // METRO_OBS_TRACER_HH

@@ -35,7 +35,8 @@ experimentCsvHeader()
             "latencyMax",   "attemptsMean", "blockRate",
             "completed",    "gaveUp",      "unresolved",
             "routerBlocks", "routerGrants", "bcbSent",
-            "retries"};
+            "retries",      "wordsInjected", "wordsDelivered",
+            "wordsDiscarded", "wordsInFlight"};
 }
 
 std::vector<std::string>
@@ -57,7 +58,13 @@ experimentCsvRow(const std::string &label,
             fmt(r.routerTotals.get("blocks")),
             fmt(r.routerTotals.get("grants")),
             fmt(r.routerTotals.get("bcbSent")),
-            fmt(r.niTotals.get("retries"))};
+            fmt(r.niTotals.get("retries")),
+            fmt(r.metrics.get("words.injected")),
+            fmt(r.metrics.get("words.delivered")),
+            fmt(r.metrics.get("words.discarded.block") +
+                r.metrics.get("words.discarded.router") +
+                r.metrics.get("words.discarded.endpoint")),
+            fmt(r.metrics.get("words.inflight_at_drain"))};
 }
 
 std::string

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/registry.hh"
+
 namespace metro
 {
 
@@ -28,7 +30,7 @@ num(std::uint64_t v)
 
 void
 emitPoint(std::ostringstream &out, const SweepPointResult &p,
-          bool include_timing)
+          bool include_timing, bool include_metrics)
 {
     const ExperimentResult &r = p.result;
     out << "    {\n"
@@ -57,6 +59,9 @@ emitPoint(std::ostringstream &out, const SweepPointResult &p,
         << ",\n"
         << "      \"gaveUp\": " << num(r.gaveUpMessages) << ",\n"
         << "      \"unresolved\": " << num(r.unresolvedMessages);
+    if (include_metrics)
+        out << ",\n      \"metrics\": "
+            << metricsJson(r.metrics, "      ");
     if (include_timing)
         out << ",\n      \"wallSeconds\": " << num(p.wallSeconds);
     out << "\n    }";
@@ -100,13 +105,15 @@ jsonQuote(const std::string &s)
 }
 
 std::string
-sweepJson(const SweepResult &sweep, bool include_timing)
+sweepJson(const SweepResult &sweep, bool include_timing,
+          bool include_metrics)
 {
     std::ostringstream out;
     out << "{\n  \"schema\": \"metro-sweep-v1\",\n"
         << "  \"points\": [\n";
     for (std::size_t i = 0; i < sweep.points.size(); ++i) {
-        emitPoint(out, sweep.points[i], include_timing);
+        emitPoint(out, sweep.points[i], include_timing,
+                  include_metrics);
         out << (i + 1 < sweep.points.size() ? ",\n" : "\n");
     }
     out << "  ]";

@@ -30,9 +30,14 @@ std::string jsonQuote(const std::string &s);
  * A whole sweep as a JSON document.
  * @param include_timing append wall-clock and thread metadata
  *        (non-deterministic across runs) to the document.
+ * @param include_metrics append each point's MetricsRegistry delta
+ *        (counters + histogram summaries). Metrics are derived only
+ *        from simulated events, so documents stay byte-identical
+ *        across `--threads` settings.
  */
 std::string sweepJson(const SweepResult &sweep,
-                      bool include_timing = false);
+                      bool include_timing = false,
+                      bool include_metrics = false);
 
 } // namespace metro
 

@@ -45,6 +45,25 @@ MetroRouter::randomOutputBit(Cycle cycle) const
 }
 
 void
+MetroRouter::setMetrics(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics == nullptr) {
+        mDiscardRouter_ = &scratch_;
+        mDiscardBlock_ = &scratch_;
+        occupancy_ = nullptr;
+        return;
+    }
+    // Word-conservation sinks are network-wide totals; occupancy is
+    // per-router. Slot references stay valid for the registry's
+    // lifetime, so the hot paths below are bare increments.
+    mDiscardRouter_ = &metrics->counter("words.discarded.router");
+    mDiscardBlock_ = &metrics->counter("words.discarded.block");
+    occupancy_ = &metrics->histogram(
+        "router." + std::to_string(id_) + ".occupancy");
+}
+
+void
 MetroRouter::attachForward(PortIndex p, Link *link)
 {
     METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
@@ -169,6 +188,7 @@ MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
 
     // Reverse-lane control first: a backward-control-bit drop from
     // a blocked router downstream reclaims this path segment.
+    bwd_[port.bwd].revRead = true;
     const Symbol rsym = down->headUp();
     if (rsym.kind == SymbolKind::BcbDrop) {
         counters_.add("bcbForwarded");
@@ -183,6 +203,8 @@ MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
         port.link->pushUp(Symbol::control(SymbolKind::BcbDrop,
                                           port.msgId));
         port.state = FwdPortState::Draining;
+        if (sym.kind == SymbolKind::Data)
+            ++*mDiscardRouter_;
         return;
     }
     if (rsym.kind == SymbolKind::Drop) {
@@ -191,10 +213,15 @@ MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
         counters_.add("reverseDropFwd");
         port.link->pushUp(rsym);
         freeConnection(p);
+        if (sym.kind == SymbolKind::Data)
+            ++*mDiscardRouter_;
         return;
     }
-    if (rsym.occupied())
+    if (rsym.occupied()) {
         counters_.add("strayReverseSymbol");
+        if (rsym.kind == SymbolKind::Data)
+            ++*mDiscardRouter_;
+    }
 
     if (sym.occupied())
         port.lastActivity = cycle;
@@ -226,6 +253,8 @@ MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
             // from the stream head.
             --port.consumeLeft;
             counters_.add("headerConsumed");
+            if (sym.kind == SymbolKind::Data)
+                ++*mDiscardRouter_;
         } else {
             down->pushDown(sym);
             counters_.add("wordsForwarded");
@@ -275,8 +304,11 @@ MetroRouter::handleConnectedRev(PortIndex p, const Symbol &sym,
         // discard without refreshing the idle clock so a half-dead
         // connection still times out.
         counters_.add("strayForwardSymbol");
+        if (sym.kind == SymbolKind::Data)
+            ++*mDiscardRouter_;
     }
 
+    bwd_[port.bwd].revRead = true;
     const Symbol rsym = down->headUp();
     if (rsym.occupied())
         port.lastActivity = cycle;
@@ -344,10 +376,13 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
     if (!config_.forwardEnabled[p]) {
         // Disabled port: isolated from normal operation; only scan
         // test patterns are observed (Section 5.1, Scan Support).
-        if (sym.kind == SymbolKind::Test)
+        if (sym.kind == SymbolKind::Test) {
             port.lastTest = sym;
-        else if (sym.occupied())
+        } else if (sym.occupied()) {
             counters_.add("disabledPortDiscard");
+            if (sym.kind == SymbolKind::Data)
+                ++*mDiscardRouter_;
+        }
         return;
     }
 
@@ -388,6 +423,8 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
             // In-flight remains of a fast-reclaimed stream, or a
             // close marker racing a teardown: discard.
             counters_.add("idleDiscard");
+            if (sym.kind == SymbolKind::Data)
+                ++*mDiscardRouter_;
         }
         break;
 
@@ -406,6 +443,7 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
           case SymbolKind::Data:
             port.crc.update(sym.value, params_.width);
             counters_.add("blockedDiscard");
+            ++*mDiscardBlock_;
             break;
           case SymbolKind::Turn:
             // Detailed reply: status (with blocked flag and the
@@ -425,6 +463,10 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
         break;
 
       case FwdPortState::BlockedDrop:
+        // The incoming symbol this cycle (already read) is not
+        // processed; account a Data word so conservation holds.
+        if (sym.kind == SymbolKind::Data)
+            ++*mDiscardBlock_;
         port.link->pushUp(Symbol::control(SymbolKind::Drop,
                                           port.msgId));
         freeConnection(p);
@@ -436,6 +478,8 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
         } else if (sym.occupied()) {
             port.lastActivity = cycle;
             counters_.add("drainedWords");
+            if (sym.kind == SymbolKind::Data)
+                ++*mDiscardRouter_;
         }
         break;
     }
@@ -467,6 +511,9 @@ MetroRouter::runAllocation(const std::vector<PendingRequest> &pending,
 
         if (grant.granted()) {
             counters_.add("grants");
+            if (observer_ != nullptr)
+                observer_->onGrant(id_, stage_, req.header.msgId,
+                                   cycle);
             port.state = FwdPortState::ConnectedFwd;
             port.bwd = grant.backwardPort;
             port.direction = req.direction;
@@ -508,6 +555,9 @@ MetroRouter::runAllocation(const std::vector<PendingRequest> &pending,
             }
         } else {
             counters_.add("blocks");
+            if (observer_ != nullptr)
+                observer_->onBlock(id_, stage_, req.header.msgId,
+                                   cycle);
             port.msgId = req.header.msgId;
             port.direction = req.direction;
             port.lastActivity = cycle;
@@ -539,11 +589,32 @@ MetroRouter::tick(Cycle cycle)
     // guarantees single-push-per-lane.
     const auto avail = availabilitySnapshot();
 
+    for (auto &b : bwd_)
+        b.revRead = false;
+
     std::vector<PendingRequest> pending;
     for (PortIndex p = 0; p < fwd_.size(); ++p)
         processForwardPort(p, cycle, pending);
 
     runAllocation(pending, avail, cycle);
+
+    if (metrics_ != nullptr) {
+        // Word conservation: census the reverse lanes no connection
+        // handler consumed this cycle (freed, never-owned, or
+        // just-granted ports) — Data arriving there evaporates.
+        // peekUp() never touches the fault PRNG, so the census is
+        // invisible to the simulation proper.
+        unsigned busyPorts = 0;
+        for (const auto &b : bwd_) {
+            if (b.busy)
+                ++busyPorts;
+            if (b.link != nullptr && !b.revRead &&
+                b.link->peekUp().kind == SymbolKind::Data) {
+                ++*mDiscardRouter_;
+            }
+        }
+        occupancy_->sample(busyPorts);
+    }
 
     // Off Port Drive Output (Table 2): disabled backward ports with
     // drive enabled hold the wire at DATA-IDLE.

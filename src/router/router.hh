@@ -51,6 +51,8 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/observer.hh"
+#include "obs/registry.hh"
 #include "router/allocator.hh"
 #include "router/config.hh"
 #include "router/params.hh"
@@ -165,6 +167,18 @@ class MetroRouter : public Component
     void setMisroute(bool misroute) { misroute_ = misroute; }
     /** @} */
 
+    /**
+     * Register this router's shared word-accounting counters and
+     * its per-router port-occupancy histogram with a central
+     * registry (usually the owning Network's). Passing nullptr
+     * detaches. The registry must outlive the router.
+     */
+    void setMetrics(MetricsRegistry *metrics);
+
+    /** Install a connection-lifecycle observer (grant/block
+     *  milestones); nullptr detaches. */
+    void setObserver(ConnObserver *observer) { observer_ = observer; }
+
     /** Introspection for tests and monitors. @{ */
     FwdPortState forwardState(PortIndex p) const;
     bool backwardBusy(PortIndex p) const;
@@ -224,6 +238,9 @@ class MetroRouter : public Component
         Link *link = nullptr;
         bool busy = false;
         PortIndex owner = kInvalidPort;
+        /** Reverse lane consumed by a connection handler this tick
+         *  (unread lanes are censused for word conservation). */
+        bool revRead = false;
     };
 
     /** Pending allocation request gathered during the input scan. */
@@ -266,6 +283,16 @@ class MetroRouter : public Component
     std::vector<BwdPort> bwd_;
     std::vector<AllocGrant> lastGrants_;
     CounterSet counters_;
+
+    // Observability: cached registry slots (see setMetrics). When no
+    // registry is attached the pointers target scratch_, keeping the
+    // hot paths branch-free.
+    MetricsRegistry *metrics_ = nullptr;
+    ConnObserver *observer_ = nullptr;
+    std::uint64_t scratch_ = 0;
+    std::uint64_t *mDiscardRouter_ = &scratch_;
+    std::uint64_t *mDiscardBlock_ = &scratch_;
+    LogHistogram *occupancy_ = nullptr;
 };
 
 } // namespace metro

@@ -112,6 +112,33 @@ class Link
         return applyFault(up_.head());
     }
 
+    /**
+     * Passive observation of the B-end arrival: like headDown() but
+     * never draws from the corruption PRNG, so probes and censuses
+     * cannot perturb a faulty simulation. Dead links read Empty (a
+     * severed wire delivers nothing); on Corrupt links the kind is
+     * exact but the value is the pre-corruption payload.
+     */
+    Symbol
+    peekDown() const
+    {
+        return fault_ == LinkFault::Dead ? Symbol{} : down_.head();
+    }
+
+    /** Passive observation of the A-end arrival (see peekDown()). */
+    Symbol
+    peekUp() const
+    {
+        return fault_ == LinkFault::Dead ? Symbol{} : up_.head();
+    }
+
+    /** Symbols of one kind currently in flight across both lanes. */
+    unsigned
+    inFlight(SymbolKind kind) const
+    {
+        return down_.countKind(kind) + up_.countKind(kind);
+    }
+
     /** Advance both lanes by one cycle (engine only). */
     void
     advance()

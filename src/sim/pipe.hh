@@ -81,6 +81,24 @@ class Pipe
         head_ = (head_ + 1) % slots_.size();
     }
 
+    /**
+     * Count in-flight symbols of one kind, including a staged push
+     * not yet committed by advance(). Passive introspection for the
+     * observability layer (in-flight censuses at drain time).
+     */
+    unsigned
+    countKind(SymbolKind kind) const
+    {
+        unsigned n = 0;
+        for (const auto &s : slots_) {
+            if (s.kind == kind)
+                ++n;
+        }
+        if (pushed_ && pending_.kind == kind)
+            ++n;
+        return n;
+    }
+
     /** Clear all in-flight symbols (used by fault injection). */
     void
     flush()

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/registry.hh"
 #include "sim/component.hh"
 #include "sim/link.hh"
 
@@ -90,14 +91,36 @@ class LinkProbe : public Component
         });
     }
 
+    /**
+     * Surface the probe's counters through a central registry as
+     * "probe.observed" / "probe.recorded" / "probe.dropped".
+     * nullptr detaches; the registry must outlive the probe.
+     */
+    void
+    setMetrics(MetricsRegistry *metrics)
+    {
+        if (metrics == nullptr) {
+            mObserved_ = &scratch_;
+            mRecorded_ = &scratch_;
+            mDropped_ = &scratch_;
+            return;
+        }
+        mObserved_ = &metrics->counter("probe.observed");
+        mRecorded_ = &metrics->counter("probe.recorded");
+        mDropped_ = &metrics->counter("probe.dropped");
+    }
+
     void
     tick(Cycle cycle) override
     {
+        // peek, not head: reading a head draws from the corruption
+        // PRNG on faulty links, so a probe using headDown()/headUp()
+        // would perturb the very simulation it observes.
         for (Link *link : links_) {
-            const Symbol down = link->headDown();
+            const Symbol down = link->peekDown();
             if (down.occupied())
                 record({cycle, link->id(), Lane::Down, down});
-            const Symbol up = link->headUp();
+            const Symbol up = link->peekUp();
             if (up.occupied())
                 record({cycle, link->id(), Lane::Up, up});
         }
@@ -138,13 +161,16 @@ class LinkProbe : public Component
     record(const TraceEvent &event)
     {
         ++observed_;
+        ++*mObserved_;
         if (filter_ && !filter_(event))
             return;
         if (events_.size() >= capacity_) {
             events_.erase(events_.begin());
             ++dropped_;
+            ++*mDropped_;
         }
         events_.push_back(event);
+        ++*mRecorded_;
     }
 
     std::size_t capacity_;
@@ -153,6 +179,10 @@ class LinkProbe : public Component
     std::vector<TraceEvent> events_;
     std::uint64_t observed_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t scratch_ = 0;
+    std::uint64_t *mObserved_ = &scratch_;
+    std::uint64_t *mRecorded_ = &scratch_;
+    std::uint64_t *mDropped_ = &scratch_;
 };
 
 } // namespace metro

@@ -79,6 +79,7 @@ runExperiment(Network &net, const ExperimentConfig &config,
     // on this network is invisible to this one's accounting.
     const std::uint64_t first_id = net.tracker().nextId();
     const CounterBaseline baseline = snapshotCounters(net);
+    const MetricsRegistry metrics_base = net.metricsSnapshot();
 
     const auto active = static_cast<unsigned>(
         config.activeFraction * n + 0.5);
@@ -150,6 +151,9 @@ runExperiment(Network &net, const ExperimentConfig &config,
                      (window * static_cast<double>(n));
 
     gatherTotals(net, baseline, result);
+    result.metrics = net.metricsSnapshot().deltaSince(metrics_base);
+    result.metrics.counter("words.inflight_at_drain") =
+        net.inFlightDataWords();
 
     // Drivers die with this frame; unhook them from the engine so
     // the network can keep running (or run another experiment).

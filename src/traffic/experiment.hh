@@ -17,6 +17,7 @@
 
 #include "common/stats.hh"
 #include "network/network.hh"
+#include "obs/registry.hh"
 #include "traffic/patterns.hh"
 
 namespace metro
@@ -99,6 +100,16 @@ struct ExperimentResult
 
     /** Endpoint-event totals over this experiment (deltas). */
     CounterSet niTotals;
+
+    /**
+     * Per-run delta of the network's MetricsRegistry (word
+     * conservation counters, connection histograms, per-router
+     * occupancy), plus "words.inflight_at_drain": Data words still
+     * on link lanes when the drain window closed. Everything is
+     * derived from simulated events only, so the blob is
+     * bit-identical across hosts and sweep thread counts.
+     */
+    MetricsRegistry metrics;
 
     /** Fraction of allocation requests that blocked. */
     double

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Word-conservation invariant property test.
+ *
+ * In a fault-free, cascade-width-1 network every Data word that an
+ * endpoint pushes onto the wire must end up in exactly one bin:
+ * delivered to a destination, discarded by a router (connection
+ * teardown, BCB reclamation, idle discard), discarded because the
+ * connection blocked, discarded at an endpoint (stray words after a
+ * reversal), or still sitting on a link lane when the drain window
+ * closes. The MetricsRegistry counts each bin at the point of
+ * consumption plus an end-of-tick census of unread lane heads, so
+ *
+ *     words.injected == words.delivered
+ *                     + words.discarded.block
+ *                     + words.discarded.router
+ *                     + words.discarded.endpoint
+ *                     + words.inflight_at_drain
+ *
+ * holds exactly — not statistically — across topologies, load
+ * disciplines and protocol options. This test sweeps randomized
+ * combinations of both.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "network/multibutterfly.hh"
+#include "network/presets.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+MbStageSpec
+stage(const RouterParams &params, unsigned radix, unsigned dilation)
+{
+    MbStageSpec s;
+    s.params = params;
+    s.radix = radix;
+    s.dilation = dilation;
+    return s;
+}
+
+MultibutterflySpec
+smallSpec(std::vector<MbStageSpec> stages, unsigned endpoints,
+          unsigned ports)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = endpoints;
+    spec.endpointPorts = ports;
+    spec.stages = std::move(stages);
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 512;
+    spec.niConfig.maxAttempts = 100000;
+    return spec;
+}
+
+/** Valid topologies spanning 1–4 stages, radix 2/4/8, dilation 1/2,
+ *  1 or 2 endpoint ports, and both router widths. */
+std::vector<MultibutterflySpec>
+topologyMenu()
+{
+    const RouterParams jr = RouterParams::metroJr();
+    const RouterParams rn = RouterParams::rn1();
+    std::vector<MultibutterflySpec> menu;
+
+    menu.push_back(fig1Spec(1)); // 3-stage, 16 endpoints
+
+    auto one_port = fig1Spec(1);
+    one_port.endpointPorts = 1;
+    menu.push_back(one_port);
+
+    menu.push_back(table32Spec(jr, 1)); // 4-stage, 32 endpoints
+    menu.push_back(table32Spec(rn, 1)); // 2-stage, 32 endpoints
+
+    menu.push_back(smallSpec({stage(jr, 4, 1)}, 4, 2));
+    menu.push_back(smallSpec({stage(rn, 4, 2)}, 4, 2));
+    menu.push_back(
+        smallSpec({stage(jr, 2, 2), stage(jr, 2, 2)}, 4, 2));
+    return menu;
+}
+
+void
+expectConserved(const ExperimentResult &r, const std::string &ctx)
+{
+    const auto injected = r.metrics.get("words.injected");
+    const auto delivered = r.metrics.get("words.delivered");
+    const auto block = r.metrics.get("words.discarded.block");
+    const auto router = r.metrics.get("words.discarded.router");
+    const auto endpoint = r.metrics.get("words.discarded.endpoint");
+    const auto inflight = r.metrics.get("words.inflight_at_drain");
+    EXPECT_GT(injected, 0u) << ctx;
+    EXPECT_EQ(injected,
+              delivered + block + router + endpoint + inflight)
+        << ctx << "\n  injected=" << injected
+        << " delivered=" << delivered << " block=" << block
+        << " router=" << router << " endpoint=" << endpoint
+        << " inflight=" << inflight;
+    EXPECT_GT(delivered, 0u) << ctx;
+}
+
+TEST(Conservation, HoldsAcrossRandomizedTopologiesAndLoads)
+{
+    std::mt19937_64 rng(0xC0115EED);
+    const auto menu = topologyMenu();
+
+    for (std::size_t iter = 0; iter < 12; ++iter) {
+        MultibutterflySpec spec = menu[iter % menu.size()];
+        spec.seed = rng();
+        spec.fastReclaim = (rng() & 1) != 0;
+        spec.randomSelection = (rng() & 1) != 0;
+        auto net = buildMultibutterfly(spec);
+
+        ExperimentConfig cfg;
+        cfg.seed = rng();
+        cfg.messageWords = 4 + static_cast<unsigned>(rng() % 17);
+        cfg.warmup = 100;
+        cfg.measure = 600;
+        cfg.drainMax = 20000;
+        cfg.thinkTime = static_cast<unsigned>(rng() % 8);
+        cfg.injectProb = 0.02 + 0.0001 * (rng() % 800);
+
+        const bool open = (rng() & 1) != 0;
+        const auto r = open ? runOpenLoop(*net, cfg)
+                            : runClosedLoop(*net, cfg);
+
+        std::string ctx =
+            "iter " + std::to_string(iter) + " (" +
+            std::to_string(spec.stages.size()) + " stages, " +
+            std::to_string(spec.numEndpoints) + " eps, " +
+            (open ? "open" : "closed") +
+            (spec.fastReclaim ? ", fastReclaim" : "") + ")";
+        expectConserved(r, ctx);
+    }
+}
+
+TEST(Conservation, HoldsForRequestReplyTraffic)
+{
+    // Replies reuse the reversed connection: words flow both ways
+    // on the same circuit, exercising the endpoint-side discard and
+    // delivery paths that one-way traffic cannot.
+    std::mt19937_64 rng(0x5EB1CA11);
+    for (std::size_t iter = 0; iter < 3; ++iter) {
+        auto spec = fig1Spec(rng());
+        spec.fastReclaim = (iter & 1) != 0;
+        auto net = buildMultibutterfly(spec);
+
+        ExperimentConfig cfg;
+        cfg.seed = rng();
+        cfg.messageWords = 8;
+        cfg.warmup = 100;
+        cfg.measure = 800;
+        cfg.drainMax = 20000;
+        cfg.thinkTime = 5;
+        cfg.requestReply = true;
+
+        expectConserved(runClosedLoop(*net, cfg),
+                        "request-reply iter " + std::to_string(iter));
+    }
+}
+
+TEST(Conservation, BackToBackExperimentsEachBalance)
+{
+    // The per-run delta accounting must make each experiment balance
+    // on its own even though the underlying counters are cumulative.
+    auto net = buildMultibutterfly(fig1Spec(44));
+    ExperimentConfig cfg;
+    cfg.messageWords = 8;
+    cfg.warmup = 100;
+    cfg.measure = 600;
+    cfg.drainMax = 20000;
+    cfg.thinkTime = 2;
+    cfg.seed = 7;
+    expectConserved(runClosedLoop(*net, cfg), "first run");
+    cfg.seed = 8;
+    expectConserved(runClosedLoop(*net, cfg), "second run");
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Golden wire-trace regression test.
+ *
+ * Builds a fixed 2-stage radix-4/dilation-2 multibutterfly, scripts
+ * one connection, captures every symbol the link probes see, and
+ * compares the formatted event sequence byte-for-byte against a
+ * checked-in golden file. Any change to router arbitration, the
+ * endpoint protocol state machines, link timing, or the trace
+ * formatter shows up as a diff here.
+ *
+ * Rebaselining (after an *intentional* protocol or formatter
+ * change): run the test with METRO_REBASELINE=1 in the environment —
+ * it rewrites tests/golden/wire_trace.txt with the current sequence
+ * and fails once so the refreshed file gets reviewed with the change
+ * that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "network/multibutterfly.hh"
+#include "router/params.hh"
+#include "trace/probe.hh"
+
+namespace metro
+{
+namespace
+{
+
+#ifndef METRO_TEST_DATA_DIR
+#define METRO_TEST_DATA_DIR "."
+#endif
+
+std::string
+goldenPath()
+{
+    return std::string(METRO_TEST_DATA_DIR) +
+           "/golden/wire_trace.txt";
+}
+
+/** 16 endpoints, two stages, both radix 4 and dilation 2 (RN1-style
+ *  8-port routers). Everything about the build is seeded, so the
+ *  wire sequence of a single scripted connection is a constant. */
+std::string
+capturedTrace()
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 16;
+    spec.endpointPorts = 2;
+    spec.stages = {
+        [] {
+            MbStageSpec s;
+            s.params = RouterParams::rn1();
+            s.radix = 4;
+            s.dilation = 2;
+            return s;
+        }(),
+        [] {
+            MbStageSpec s;
+            s.params = RouterParams::rn1();
+            s.radix = 4;
+            s.dilation = 2;
+            return s;
+        }(),
+    };
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 512;
+    spec.niConfig.maxAttempts = 100000;
+    spec.seed = 20260806;
+    auto net = buildMultibutterfly(spec);
+
+    LinkProbe probe;
+    for (LinkId l = 0; l < net->numLinks(); ++l)
+        probe.watch(&net->link(l));
+    net->engine().addComponent(&probe);
+
+    // The scripted connection: endpoint 3 -> 12, three payload
+    // words. Nothing else is in flight, so the run is a pure
+    // function of the build seed.
+    const auto id = net->endpoint(3).send(12, {0x11, 0x22, 0x33});
+    probe.filterMessage(id);
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 2000);
+    net->engine().run(20); // let the closing DROP cross the wire
+
+    std::ostringstream out;
+    for (const auto &e : probe.events())
+        out << formatTraceEvent(e, &net->link(e.link)) << "\n";
+    return out.str();
+}
+
+TEST(GoldenTrace, WireSequenceMatchesCheckedInGolden)
+{
+    const std::string trace = capturedTrace();
+    ASSERT_FALSE(trace.empty());
+
+    if (std::getenv("METRO_REBASELINE") != nullptr) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << trace;
+        FAIL() << "rebaselined " << goldenPath()
+               << "; re-run without METRO_REBASELINE";
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " (run with METRO_REBASELINE=1 to create)";
+    std::stringstream golden;
+    golden << in.rdbuf();
+
+    // Byte-for-byte: the full formatted event sequence is the
+    // contract, not a summary of it.
+    EXPECT_EQ(trace, golden.str())
+        << "wire trace diverged from " << goldenPath()
+        << "\nIf the protocol change is intentional, rebaseline "
+           "with METRO_REBASELINE=1 and review the diff.";
+}
+
+} // namespace
+} // namespace metro

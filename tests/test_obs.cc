@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the observability layer: the metrics registry
+ * (log-scale histograms, named counters, deterministic JSON) and
+ * the connection tracer (lifecycle summaries, Chrome trace export,
+ * binary ring, capacity bound, passivity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "network/presets.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
+
+namespace metro
+{
+namespace
+{
+
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0, pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+TEST(LogHistogram, BucketsArePowersOfTwo)
+{
+    EXPECT_EQ(LogHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketOf(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketOf(2), 2u);
+    EXPECT_EQ(LogHistogram::bucketOf(3), 2u);
+    EXPECT_EQ(LogHistogram::bucketOf(4), 3u);
+    EXPECT_EQ(LogHistogram::bucketOf(1024), 11u);
+    EXPECT_EQ(LogHistogram::bucketOf(~std::uint64_t{0}), 64u);
+    EXPECT_EQ(LogHistogram::bucketFloor(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketFloor(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketFloor(11), 1024u);
+
+    LogHistogram h;
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1006u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(10), 1u); // [512, 1024)
+    EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+    // min/max are bucket floors, not exact extremes.
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 512u);
+}
+
+TEST(LogHistogram, DeltaIsExactAcrossSnapshots)
+{
+    LogHistogram h;
+    h.sample(5);
+    h.sample(70);
+    const LogHistogram base = h;
+    h.sample(5);
+    h.sample(900);
+
+    const LogHistogram d = h.delta(base);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_EQ(d.sum(), 905u);
+    EXPECT_EQ(d.bucket(LogHistogram::bucketOf(5)), 1u);
+    EXPECT_EQ(d.bucket(LogHistogram::bucketOf(900)), 1u);
+    EXPECT_EQ(d.bucket(LogHistogram::bucketOf(70)), 0u);
+}
+
+TEST(MetricsRegistry, CountersHistogramsAndDelta)
+{
+    MetricsRegistry m;
+    auto &c = m.counter("words.injected");
+    c += 3;
+    m.add("words.injected", 2);
+    EXPECT_EQ(m.get("words.injected"), 5u);
+    EXPECT_EQ(m.get("absent"), 0u);
+    m.histogram("lat").sample(4);
+
+    const MetricsRegistry base = m;
+    c += 10;
+    m.histogram("lat").sample(8);
+    m.counter("new.counter") = 7;
+
+    const MetricsRegistry d = m.deltaSince(base);
+    EXPECT_EQ(d.get("words.injected"), 10u);
+    EXPECT_EQ(d.get("new.counter"), 7u);
+    ASSERT_NE(d.findHistogram("lat"), nullptr);
+    EXPECT_EQ(d.findHistogram("lat")->count(), 1u);
+    EXPECT_EQ(d.findHistogram("lat")->sum(), 8u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndSorted)
+{
+    MetricsRegistry a;
+    a.counter("zeta") = 1;
+    a.counter("alpha") = 2;
+    a.histogram("h").sample(3);
+
+    MetricsRegistry b;
+    b.histogram("h").sample(3);
+    b.counter("alpha") = 2;
+    b.counter("zeta") = 1;
+
+    // Same content, different insertion order: identical bytes.
+    EXPECT_EQ(metricsJson(a), metricsJson(b));
+    const std::string doc = metricsJson(a);
+    EXPECT_LT(doc.find("\"alpha\""), doc.find("\"zeta\""));
+    EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+    EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"buckets\""), std::string::npos);
+    EXPECT_EQ(doc.back(), '}'); // no trailing newline
+}
+
+TEST(ConnectionTracer, SummarizesACompleteLifecycle)
+{
+    auto net = buildMultibutterfly(fig1Spec(/*seed=*/21));
+    ConnectionTracer tracer;
+    attachTracer(*net, tracer);
+
+    const auto id = net->endpoint(2).send(9, {0x1, 0x2, 0x3});
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 2000);
+    net->engine().run(20);
+
+    ASSERT_EQ(tracer.summaries().count(id), 1u);
+    const ConnectionSummary &s = tracer.summaries().at(id);
+    EXPECT_TRUE(s.resolved);
+    EXPECT_TRUE(s.succeeded);
+    EXPECT_TRUE(s.delivered);
+    EXPECT_GT(s.headerHops, 0u);
+    EXPECT_GT(s.dataWords, 0u);
+    EXPECT_GT(s.turns, 0u);
+    EXPECT_GT(s.acks, 0u);
+    EXPECT_GT(s.grants, 0u);
+    EXPECT_LE(s.firstCycle, s.lastCycle);
+
+    // One attempt span per ledger attempt, all closed, last one won.
+    ASSERT_EQ(s.attempts.size(), net->tracker().record(id).attempts);
+    for (const AttemptSpan &a : s.attempts)
+        EXPECT_NE(a.end, kNever);
+    EXPECT_TRUE(s.attempts.back().success);
+
+    // The central registry sees the tracer's counters.
+    EXPECT_EQ(net->metrics().get("tracer.events"), tracer.recorded());
+}
+
+TEST(ConnectionTracer, ChromeSlicesMatchTheLedger)
+{
+    auto net = buildMultibutterfly(fig1Spec(/*seed=*/22));
+    ConnectionTracer tracer;
+    attachTracer(*net, tracer);
+
+    std::vector<std::uint64_t> ids;
+    for (NodeId e = 0; e < 6; ++e) {
+        ids.push_back(net->endpoint(e).send(
+            static_cast<NodeId>((e + 8) % 16), {Word(e), 0x7}));
+    }
+    net->engine().runUntil(
+        [&] {
+            for (auto id : ids) {
+                const auto &rec = net->tracker().record(id);
+                if (!rec.succeeded && !rec.gaveUp)
+                    return false;
+            }
+            return true;
+        },
+        5000);
+    net->engine().run(20);
+
+    const std::string json = tracer.chromeTraceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    // One lifecycle slice per ledger entry and one attempt slice
+    // per ledger attempt (the --trace-connections acceptance
+    // contract).
+    std::uint64_t ledger_attempts = 0;
+    for (const auto &[id, rec] : net->tracker().all())
+        ledger_attempts += rec.attempts;
+    EXPECT_EQ(countOccurrences(json, "\"cat\": \"conn\""),
+              net->tracker().size());
+    EXPECT_EQ(countOccurrences(json, "\"cat\": \"attempt\""),
+              ledger_attempts);
+    EXPECT_GT(countOccurrences(json, "\"name\": \"TURN\""), 0u);
+    EXPECT_GT(countOccurrences(json, "\"name\": \"STATUS\""), 0u);
+}
+
+TEST(ConnectionTracer, BinaryExportRoundTrips)
+{
+    auto net = buildMultibutterfly(fig1Spec(/*seed=*/23));
+    ConnectionTracer tracer;
+    attachTracer(*net, tracer);
+    const auto id = net->endpoint(0).send(13, {0xa, 0xb});
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 2000);
+
+    std::ostringstream out(std::ios::binary);
+    tracer.writeBinary(out);
+    const std::string blob = out.str();
+
+    ASSERT_GE(blob.size(), 32u);
+    EXPECT_EQ(std::memcmp(blob.data(), ConnectionTracer::kBinaryMagic,
+                          8),
+              0);
+    std::uint64_t count = 0, dropped = 0;
+    std::memcpy(&count, blob.data() + 16, 8);
+    std::memcpy(&dropped, blob.data() + 24, 8);
+    const auto events = tracer.events();
+    EXPECT_EQ(count, events.size());
+    EXPECT_EQ(dropped, tracer.dropped());
+    ASSERT_EQ(blob.size(),
+              32u + count * ConnectionTracer::kBinaryRecordSize);
+
+    ASSERT_FALSE(events.empty());
+    std::uint64_t cycle = 0, msg = 0;
+    std::memcpy(&cycle, blob.data() + 32, 8);
+    std::memcpy(&msg, blob.data() + 40, 8);
+    EXPECT_EQ(cycle, events.front().cycle);
+    EXPECT_EQ(msg, events.front().msgId);
+}
+
+TEST(ConnectionTracer, RingEvictsOldestAndCountsDrops)
+{
+    auto net = buildMultibutterfly(fig1Spec(/*seed=*/24));
+    ConnectionTracer tracer(/*capacity=*/16);
+    attachTracer(*net, tracer);
+    const auto id =
+        net->endpoint(1).send(6, std::vector<Word>(30, 0x7));
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 2000);
+
+    const auto events = tracer.events();
+    EXPECT_EQ(events.size(), 16u);
+    EXPECT_GT(tracer.dropped(), 0u);
+    EXPECT_EQ(tracer.recorded(), events.size() + tracer.dropped());
+    EXPECT_EQ(net->metrics().get("tracer.dropped"),
+              tracer.dropped());
+
+    // Oldest-first after wraparound, and the oldest events are gone:
+    // the ring starts after the first recorded cycle.
+    for (std::size_t k = 1; k < events.size(); ++k)
+        EXPECT_GE(events[k].cycle, events[k - 1].cycle);
+    ASSERT_EQ(tracer.summaries().count(id), 1u);
+    EXPECT_GT(events.front().cycle,
+              tracer.summaries().at(id).firstCycle);
+
+    // Summaries survive eviction: counts reflect every event, not
+    // just the 16 retained ones.
+    const ConnectionSummary &s = tracer.summaries().at(id);
+    EXPECT_GT(s.dataWords + s.headerHops + s.acks, 16u);
+}
+
+TEST(ConnectionTracer, TracerIsPassive)
+{
+    // Identical runs with and without a tracer produce identical
+    // results (peeks never touch the fault PRNG; callbacks only
+    // record).
+    auto run = [](bool traced) {
+        auto net = buildMultibutterfly(fig1Spec(/*seed=*/25));
+        ConnectionTracer tracer;
+        if (traced)
+            attachTracer(*net, tracer);
+        const auto id =
+            net->endpoint(7).send(2, std::vector<Word>(19, 0x4));
+        net->engine().runUntil(
+            [&] { return net->tracker().record(id).succeeded; },
+            2000);
+        return net->tracker().record(id).latency();
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+} // namespace
+} // namespace metro

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Parser robustness tests for the spec-file and sweep-file formats.
+ *
+ * Replays the seed corpus under tests/corpus/ (the same inputs the
+ * optional libFuzzer harnesses in fuzz/ start from) through
+ * parseSpecText()/parseSweepText() as plain unit tests: every input
+ * must parse or be rejected with an error — never crash, hang, or
+ * blow memory. Inputs named valid_* must parse. Inline cases cover
+ * the classic parser footguns: truncated lines, huge values,
+ * duplicate keys, garbage bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "app/specfile.hh"
+#include "app/sweepfile.hh"
+
+namespace metro
+{
+namespace
+{
+
+#ifndef METRO_TEST_DATA_DIR
+#define METRO_TEST_DATA_DIR "."
+#endif
+
+std::vector<std::filesystem::path>
+corpusFiles(const std::string &subdir)
+{
+    std::vector<std::filesystem::path> files;
+    const auto dir = std::filesystem::path(METRO_TEST_DATA_DIR) /
+                     "corpus" / subdir;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(ParserCorpus, SpecfileSeedsNeverCrash)
+{
+    const auto files = corpusFiles("specfile");
+    ASSERT_FALSE(files.empty());
+    for (const auto &path : files) {
+        std::string error;
+        const auto spec = parseSpecText(slurp(path), error);
+        if (path.filename().string().rfind("valid_", 0) == 0) {
+            EXPECT_TRUE(spec.has_value())
+                << path << ": " << error;
+        } else if (!spec.has_value()) {
+            // Rejection must come with a message.
+            EXPECT_FALSE(error.empty()) << path;
+        }
+    }
+}
+
+TEST(ParserCorpus, SweepfileSeedsNeverCrash)
+{
+    const auto files = corpusFiles("sweepfile");
+    ASSERT_FALSE(files.empty());
+    for (const auto &path : files) {
+        std::string error;
+        const auto sweep = parseSweepText(slurp(path), error);
+        if (path.filename().string().rfind("valid_", 0) == 0) {
+            EXPECT_TRUE(sweep.has_value())
+                << path << ": " << error;
+        } else if (!sweep.has_value()) {
+            EXPECT_FALSE(error.empty()) << path;
+        }
+    }
+}
+
+TEST(ParserFuzz, TruncatedLinesAreRejectedNotCrashed)
+{
+    for (const char *text :
+         {"endpoints", "endpoints =", "= 4", "[", "[stage",
+          "endpoints = 4\nradix"}) {
+        std::string error;
+        const auto spec = parseSpecText(text, error);
+        if (!spec.has_value()) {
+            EXPECT_FALSE(error.empty()) << text;
+        }
+    }
+    for (const char *text :
+         {"think", "think =", "= closed", "mode"}) {
+        std::string error;
+        const auto sweep = parseSweepText(text, error);
+        if (!sweep.has_value()) {
+            EXPECT_FALSE(error.empty()) << text;
+        }
+    }
+}
+
+TEST(ParserFuzz, HugeValuesDoNotOverflowOrExhaustMemory)
+{
+    // A sweep whose point count would be astronomical must fail
+    // fast instead of materializing the point vector.
+    std::string error;
+    const auto sweep = parseSweepText(
+        "think = 1,2,3,4,5,6,7,8,9,10\n"
+        "replicates = 99999999\n",
+        error);
+    EXPECT_FALSE(sweep.has_value());
+    EXPECT_NE(error.find("too large"), std::string::npos);
+
+    // 2^64-ish literals parse (or are rejected) without UB.
+    std::string huge = "endpoints = 18446744073709551615\n";
+    parseSpecText(huge, error);
+    parseSweepText("seed = 18446744073709551615\n", error);
+}
+
+TEST(ParserFuzz, DuplicateKeysLastOneWins)
+{
+    std::string error;
+    const auto spec = parseSpecText(
+        "endpoints = 4\nendpoints = 64\nendpointPorts = 2\n"
+        "[stage]\nradix = 4\nradix = 2\n",
+        error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    EXPECT_EQ(spec->numEndpoints, 64u);
+
+    const auto sweep = parseSweepText(
+        "mode = closed\nmode = open\ninject = 0.05\n", error);
+    ASSERT_TRUE(sweep.has_value()) << error;
+    ASSERT_FALSE(sweep->points.empty());
+}
+
+TEST(ParserFuzz, GarbageBytesAreRejected)
+{
+    std::string garbage;
+    for (int b = 1; b < 256; ++b)
+        garbage += static_cast<char>(b);
+    std::string error;
+    EXPECT_FALSE(parseSpecText(garbage, error).has_value());
+    EXPECT_FALSE(parseSweepText(garbage, error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace metro

@@ -98,6 +98,16 @@ TEST(SweepRunner, ByteIdenticalAcrossThreadCounts)
     // timing metadata (excluded from these documents) may differ.
     EXPECT_EQ(sweepCsv(s1), sweepCsv(s8));
     EXPECT_EQ(sweepJson(s1), sweepJson(s8));
+
+    // The metrics blobs are derived from simulated events only, so
+    // documents that include them stay byte-identical too.
+    const auto m1 = sweepJson(s1, /*include_timing=*/false,
+                              /*include_metrics=*/true);
+    const auto m8 = sweepJson(s8, /*include_timing=*/false,
+                              /*include_metrics=*/true);
+    EXPECT_EQ(m1, m8);
+    EXPECT_NE(m1.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(m1.find("\"words.injected\""), std::string::npos);
 }
 
 TEST(SweepRunner, MatchesADirectRunWithTheDerivedSeed)

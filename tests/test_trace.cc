@@ -109,6 +109,48 @@ TEST(Trace, CapacityBoundDropsOldest)
               probe.events().size() + probe.dropped());
 }
 
+TEST(Trace, CapacityOverflowEvictsOldestAndSurfacesDrops)
+{
+    // Two probes watch the same wires: one unbounded (the reference
+    // stream) and one with a tiny ring that must overflow. The small
+    // probe has to retain exactly the newest events of the reference
+    // stream and surface its evictions through the registry.
+    auto net = buildMultibutterfly(fig1Spec(81));
+    MetricsRegistry metrics;
+    LinkProbe small(/*capacity=*/8);
+    small.setMetrics(&metrics);
+    LinkProbe reference;
+    small.watchAll(allLinks(*net));
+    reference.watchAll(allLinks(*net));
+    net->engine().addComponent(&small);
+    net->engine().addComponent(&reference);
+
+    const auto id =
+        net->endpoint(2).send(11, std::vector<Word>(24, 0x9));
+    net->engine().runUntil(
+        [&] { return net->tracker().record(id).succeeded; }, 1000);
+
+    ASSERT_EQ(small.events().size(), 8u);
+    ASSERT_GT(small.dropped(), 0u);
+    const auto &all = reference.events();
+    ASSERT_GT(all.size(), 8u);
+    for (std::size_t k = 0; k < 8; ++k) {
+        const auto &kept = small.events()[k];
+        const auto &want = all[all.size() - 8 + k];
+        EXPECT_EQ(kept.cycle, want.cycle);
+        EXPECT_EQ(kept.link, want.link);
+        EXPECT_EQ(kept.lane, want.lane);
+        EXPECT_EQ(kept.symbol.kind, want.symbol.kind);
+        EXPECT_EQ(kept.symbol.value, want.symbol.value);
+    }
+
+    // Registry view matches the probe's own accounting.
+    EXPECT_EQ(metrics.get("probe.observed"), small.observed());
+    EXPECT_EQ(metrics.get("probe.dropped"), small.dropped());
+    EXPECT_EQ(metrics.get("probe.recorded"),
+              small.events().size() + small.dropped());
+}
+
 TEST(Trace, ClearResets)
 {
     auto net = buildMultibutterfly(fig3Spec(74));
