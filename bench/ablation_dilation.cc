@@ -107,7 +107,7 @@ main(int argc, char **argv)
     points[0].label = "butterfly";
     points[0].config = saturateConfig(TrafficPattern::UniformRandom,
                                       /*seed=*/3);
-    points[0].build = []() {
+    points[0].build = [](std::uint64_t) {
         SweepInstance instance;
         instance.network = buildMultibutterfly(butterflySpec(41));
         return instance;
@@ -115,7 +115,7 @@ main(int argc, char **argv)
 
     points[1].label = "multibutterfly";
     points[1].config = points[0].config;
-    points[1].build = []() {
+    points[1].build = [](std::uint64_t) {
         SweepInstance instance;
         instance.network = buildMultibutterfly(fig3Spec(41));
         return instance;
@@ -124,7 +124,7 @@ main(int argc, char **argv)
     points[2].label = "butterfly/hurt";
     points[2].config = saturateConfig(TrafficPattern::UniformRandom,
                                       /*seed=*/9);
-    points[2].build = [&connected]() {
+    points[2].build = [&connected](std::uint64_t) {
         auto spec = butterflySpec(41);
         // Bounded retries so unreachable messages resolve.
         spec.niConfig.maxAttempts = 24;
@@ -138,7 +138,7 @@ main(int argc, char **argv)
 
     points[3].label = "multibutterfly/hurt";
     points[3].config = points[2].config;
-    points[3].build = [&connected]() {
+    points[3].build = [&connected](std::uint64_t) {
         const auto spec = fig3Spec(41);
         SweepInstance instance;
         instance.network = buildMultibutterfly(spec);

@@ -40,7 +40,7 @@ main(int argc, char **argv)
         point.config.measure = 15000;
         point.config.thinkTime = 0;
         point.config.seed = 222;
-        point.build = [fast]() {
+        point.build = [fast](std::uint64_t) {
             auto spec = fig3Spec(/*seed=*/111);
             spec.fastReclaim = fast;
             SweepInstance instance;

@@ -70,7 +70,7 @@ main(int argc, char **argv)
         point.config.measure = 10000;
         point.config.thinkTime = 40;
         point.config.seed = 654;
-        point.build = [random]() {
+        point.build = [random](std::uint64_t) {
             auto spec = fig3Spec(/*seed=*/321);
             spec.randomSelection = random;
             spec.niConfig.maxAttempts = 24; // bound doomed retries

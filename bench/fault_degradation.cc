@@ -116,7 +116,7 @@ main(int argc, char **argv)
         point.config.measure = 12000;
         point.config.thinkTime = 0;
         point.config.seed = 808;
-        point.build = [faults]() {
+        point.build = [faults](std::uint64_t) {
             return buildStaticFaulted(faults);
         };
         // Static faults persist, so post-run connectivity equals
@@ -137,7 +137,7 @@ main(int argc, char **argv)
         point.config.measure = 12000;
         point.config.thinkTime = 0;
         point.config.seed = 313;
-        point.build = [n_faults]() {
+        point.build = [n_faults](std::uint64_t) {
             return buildDynamicFaulted(n_faults);
         };
         // Exactly-once even with connections severed mid-flight.

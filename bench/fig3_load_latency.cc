@@ -47,7 +47,7 @@ main(int argc, char **argv)
         point.config.measure = 20000;
         point.config.thinkTime = think;
         point.config.seed = 777;
-        point.build = []() {
+        point.build = [](std::uint64_t) {
             SweepInstance instance;
             instance.network =
                 buildMultibutterfly(fig3Spec(/*seed=*/2024));

@@ -47,7 +47,7 @@ main(int argc, char **argv)
             point.config.hotNode = 21;
             point.config.hotFraction = 0.3;
             point.config.seed = 66;
-            point.build = []() {
+            point.build = [](std::uint64_t) {
                 SweepInstance instance;
                 instance.network =
                     buildMultibutterfly(fig3Spec(55));

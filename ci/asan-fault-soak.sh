@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 ASan/UBSan soak of the fault and diagnosis machinery.
+#
+# Builds the test suite with -fsanitize=address,undefined and runs
+# the fault-injection, fault-campaign, diagnosis/self-healing,
+# watchdog, and word-conservation tests under it. These paths tear
+# down connections mid-stream, scan-disable ports under traffic,
+# and reset half-open receive ports — exactly where use-after-free
+# and uninitialized-read bugs would hide.
+#
+# Usage: ci/asan-fault-soak.sh [build-dir]   (default: build-asan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-asan}"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMETRO_ASAN=ON
+cmake --build "$BUILD" -j "$(nproc)" --target metro_tests
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$BUILD" --output-on-failure \
+        -R 'Diagnosis|RecvWatchdog|FaultInjector|Conservation|ParserCorpus|ParserFuzz'

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * libFuzzer entry point for the fault-file parser.
+ *
+ * Arbitrary bytes must either parse into a bounded fault schedule
+ * (the parser caps event count) or be rejected with an error —
+ * never crash or exhaust memory materializing events.
+ *
+ * Seed corpus: tests/corpus/faultfile/ (replayed as plain ctest
+ * cases by tests/test_parser_fuzz.cc on non-clang toolchains).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "app/faultfile.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string text(reinterpret_cast<const char *>(data),
+                           size);
+    std::string error;
+    const auto faults = metro::parseFaultText(text, error);
+    if (!faults.has_value() && error.empty())
+        __builtin_trap(); // rejection must carry a message
+    return 0;
+}

@@ -1,0 +1,231 @@
+#include "app/faultfile.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace metro
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string>
+splitWords(const std::string &s)
+{
+    std::vector<std::string> words;
+    std::istringstream in(s);
+    std::string w;
+    while (in >> w)
+        words.push_back(w);
+    return words;
+}
+
+bool
+parseKind(const std::string &s, FaultKind &kind, bool &wants_port)
+{
+    wants_port = false;
+    if (s == "linkDead")
+        kind = FaultKind::LinkDead;
+    else if (s == "linkCorrupt")
+        kind = FaultKind::LinkCorrupt;
+    else if (s == "linkHeal")
+        kind = FaultKind::LinkHeal;
+    else if (s == "routerDead")
+        kind = FaultKind::RouterDead;
+    else if (s == "routerHeal")
+        kind = FaultKind::RouterHeal;
+    else if (s == "routerMisroute")
+        kind = FaultKind::RouterMisroute;
+    else if (s == "forwardPortOff") {
+        kind = FaultKind::ForwardPortOff;
+        wants_port = true;
+    } else if (s == "backwardPortOff") {
+        kind = FaultKind::BackwardPortOff;
+        wants_port = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<FaultFile>
+parseFaultText(const std::string &text, std::string &error)
+{
+    FaultFile out;
+
+    // A schedule is meant to be written by hand; a bogus generator
+    // emitting millions of lines must fail, not exhaust memory.
+    constexpr std::size_t kMaxEvents = 100000;
+
+    std::istringstream in(text);
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(raw);
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = trim(line.substr(0, hash));
+        if (line.empty())
+            continue;
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            error = "line " + std::to_string(line_no) +
+                    ": expected key = value";
+            return std::nullopt;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        std::uint64_t u = 0;
+        double f = 0.0;
+        auto bad = [&]() {
+            error = "line " + std::to_string(line_no) +
+                    ": bad value for " + key;
+            return std::nullopt;
+        };
+        auto rate = [&](double &slot) -> bool {
+            if (!parseF64(value, f) || f < 0.0 || f > 1.0)
+                return false;
+            slot = f;
+            return true;
+        };
+
+        if (key == "fault") {
+            const auto words = splitWords(value);
+            FaultEvent event;
+            FaultKind kind = FaultKind::LinkDead;
+            bool wants_port = false;
+            if (words.size() < 3 || words.size() > 4 ||
+                !parseU64(words[0], u))
+                return bad();
+            event.at = u;
+            if (!parseKind(words[1], kind, wants_port)) {
+                error = "line " + std::to_string(line_no) +
+                        ": unknown fault kind: " + words[1];
+                return std::nullopt;
+            }
+            event.kind = kind;
+            if (!parseU64(words[2], u))
+                return bad();
+            event.target = static_cast<std::uint32_t>(u);
+            if (wants_port != (words.size() == 4)) {
+                error = "line " + std::to_string(line_no) + ": " +
+                        words[1] +
+                        (wants_port ? " requires a port operand"
+                                    : " takes no port operand");
+                return std::nullopt;
+            }
+            if (wants_port) {
+                if (!parseU64(words[3], u))
+                    return bad();
+                event.port = static_cast<PortIndex>(u);
+            }
+            if (out.events.size() >= kMaxEvents) {
+                error = "line " + std::to_string(line_no) +
+                        ": too many fault events (max " +
+                        std::to_string(kMaxEvents) + ")";
+                return std::nullopt;
+            }
+            out.events.push_back(event);
+        } else if (key == "linkFailRate") {
+            if (!rate(out.campaign.linkFailRate))
+                return bad();
+        } else if (key == "linkHealRate") {
+            if (!rate(out.campaign.linkHealRate))
+                return bad();
+        } else if (key == "routerFailRate") {
+            if (!rate(out.campaign.routerFailRate))
+                return bad();
+        } else if (key == "routerHealRate") {
+            if (!rate(out.campaign.routerHealRate))
+                return bad();
+        } else if (key == "corruptFraction") {
+            if (!rate(out.campaign.corruptFraction))
+                return bad();
+        } else if (key == "burstRate") {
+            if (!rate(out.campaign.burstRate))
+                return bad();
+        } else if (key == "flakyLinks") {
+            if (!parseU64(value, u) || u > 100000)
+                return bad();
+            out.campaign.flakyLinks = static_cast<unsigned>(u);
+        } else if (key == "flakyPeriod") {
+            if (!parseU64(value, u) || u == 0 || u > 0xffffffffULL)
+                return bad();
+            out.campaign.flakyPeriod = static_cast<unsigned>(u);
+        } else if (key == "burstSize") {
+            if (!parseU64(value, u) || u == 0 || u > 100000)
+                return bad();
+            out.campaign.burstSize = static_cast<unsigned>(u);
+        } else if (key == "start") {
+            if (!parseU64(value, u))
+                return bad();
+            out.campaign.start = u;
+        } else if (key == "stop") {
+            if (!parseU64(value, u))
+                return bad();
+            out.campaign.stop = u;
+        } else {
+            error = "line " + std::to_string(line_no) +
+                    ": unknown key: " + key;
+            return std::nullopt;
+        }
+    }
+
+    if (out.campaign.stop != 0 &&
+        out.campaign.stop <= out.campaign.start) {
+        error = "campaign stop must exceed start (or be 0)";
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<FaultFile>
+loadFaultFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseFaultText(buffer.str(), error);
+}
+
+} // namespace metro

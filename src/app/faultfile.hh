@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Text-format fault schedules and campaign configuration.
+ *
+ * A fault file describes what goes wrong during a run: a static
+ * schedule of discrete fault events, a stochastic campaign, or
+ * both. INI-like, same lexical rules as spec/sweep files:
+ *
+ *     # one scheduled event per `fault =` line:
+ *     #   fault = <cycle> <kind> <target> [port]
+ *     fault = 5000 linkDead 12
+ *     fault = 9000 linkHeal 12
+ *     fault = 5000 forwardPortOff 3 1
+ *
+ *     # stochastic campaign (see src/fault/campaign.hh):
+ *     linkFailRate = 0.0005
+ *     linkHealRate = 0.002
+ *     routerFailRate = 0
+ *     routerHealRate = 0
+ *     corruptFraction = 0.25
+ *     flakyLinks = 2
+ *     flakyPeriod = 4096
+ *     burstRate = 0
+ *     burstSize = 2
+ *     start = 2000
+ *     stop = 0               # 0 = forever
+ *
+ * Event kinds: linkDead linkCorrupt linkHeal routerDead routerHeal
+ * routerMisroute forwardPortOff backwardPortOff (the port-off kinds
+ * require the [port] operand; the others forbid it). Unknown keys
+ * are errors; rates must lie in [0,1].
+ */
+
+#ifndef METRO_APP_FAULTFILE_HH
+#define METRO_APP_FAULTFILE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
+
+namespace metro
+{
+
+/** A parsed fault file: scheduled events plus campaign knobs. */
+struct FaultFile
+{
+    std::vector<FaultEvent> events;
+    CampaignConfig campaign;
+
+    /** True when the file configured any stochastic process. */
+    bool hasCampaign() const { return campaign.active(); }
+};
+
+/**
+ * Parse a fault document (the file's contents). Returns nullopt and
+ * fills `error` (with a line number) on malformed input.
+ */
+std::optional<FaultFile> parseFaultText(const std::string &text,
+                                        std::string &error);
+
+/** Read and parse a fault file from disk. */
+std::optional<FaultFile> loadFaultFile(const std::string &path,
+                                       std::string &error);
+
+} // namespace metro
+
+#endif // METRO_APP_FAULTFILE_HH

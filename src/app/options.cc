@@ -8,7 +8,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "app/faultfile.hh"
 #include "common/logging.hh"
+#include "diag/engine.hh"
+#include "fault/campaign.hh"
 #include "fault/injector.hh"
 #include "obs/tracer.hh"
 #include "network/fattree.hh"
@@ -88,6 +91,10 @@ usageText()
         "  --link-faults=N       dead links (survivable sample)\n"
         "  --fault-cycle=N       cycle the faults strike (default "
         "0)\n"
+        "  --fault-file=PATH     scheduled faults and/or stochastic\n"
+        "                        campaign (see docs/faults.md)\n"
+        "  --diagnosis           attach the online fault-diagnosis\n"
+        "                        and self-healing engine\n"
         "  --hot-node=N          hotspot node (default 0)\n"
         "  --hot-fraction=F      hotspot probability (default "
         "0.25)\n"
@@ -282,6 +289,12 @@ parseOptions(int argc, const char *const *argv, std::string &error)
                 return std::nullopt;
             }
             opts.faultCycle = v;
+        } else if (key == "--fault-file") {
+            if (!want_value())
+                return std::nullopt;
+            opts.faultFile = value;
+        } else if (key == "--diagnosis") {
+            opts.diagnosis = true;
         } else if (key == "--hot-node") {
             std::uint64_t v;
             if (!want_value() || !parseUnsigned(value, v)) {
@@ -384,24 +397,52 @@ threadsFromArgv(int argc, const char *const *argv, unsigned fallback)
 namespace
 {
 
-/** One CLI sweep point's build recipe: topology plus faults. */
+/**
+ * One CLI sweep point's build recipe: topology plus faults. All
+ * stochastic extras (survivable-fault sampling, the campaign) seed
+ * from the point's derived seed, so fault arrivals are invariant
+ * under --threads.
+ */
 SweepInstance
-buildInstance(const Options &opts)
+buildInstance(const Options &opts,
+              const std::optional<FaultFile> &faults,
+              std::uint64_t derived_seed)
 {
     SweepInstance instance;
     auto built = buildTopology(opts);
     instance.network = std::move(built.net);
-    if (opts.routerFaults + opts.linkFaults > 0) {
-        if (!built.mbSpec.has_value())
-            METRO_FATAL("fault sampling requires a multibutterfly "
-                        "topology");
+
+    std::vector<FaultEvent> events;
+    if (opts.routerFaults + opts.linkFaults > 0)
+        events = sampleSurvivableFaults(
+            *instance.network, opts.routerFaults, opts.linkFaults,
+            opts.faultCycle, derived_seed ^ 0xFA11);
+    if (faults.has_value())
+        for (const auto &e : faults->events)
+            events.push_back(e);
+    if (!events.empty()) {
         auto injector =
             std::make_unique<FaultInjector>(instance.network.get());
-        injector->schedule(sampleSurvivableFaults(
-            *instance.network, *built.mbSpec, opts.routerFaults,
-            opts.linkFaults, opts.faultCycle, opts.seed ^ 0xFA11));
+        injector->schedule(events);
         instance.network->engine().addComponent(injector.get());
         instance.extras.push_back(std::move(injector));
+    }
+
+    if (faults.has_value() && faults->hasCampaign()) {
+        auto campaign = std::make_unique<FaultCampaign>(
+            instance.network.get(), faults->campaign,
+            derived_seed ^ 0xCA3);
+        instance.network->engine().addComponent(campaign.get());
+        instance.extras.push_back(std::move(campaign));
+    }
+
+    // The engine must tick last so it sees every diary entry the
+    // endpoints recorded this cycle.
+    if (opts.diagnosis) {
+        auto diag = std::make_unique<DiagnosisEngine>(
+            instance.network.get());
+        instance.network->engine().addComponent(diag.get());
+        instance.extras.push_back(std::move(diag));
     }
     return instance;
 }
@@ -410,6 +451,14 @@ buildInstance(const Options &opts)
 std::vector<SweepPoint>
 pointsFromOptions(const Options &opts)
 {
+    std::optional<FaultFile> faults;
+    if (!opts.faultFile.empty()) {
+        std::string error;
+        faults = loadFaultFile(opts.faultFile, error);
+        if (!faults.has_value())
+            METRO_FATAL("--fault-file: %s", error.c_str());
+    }
+
     std::vector<SweepPoint> points;
     const std::size_t n = opts.mode == LoadMode::Closed
                               ? opts.thinkTimes.size()
@@ -436,7 +485,9 @@ pointsFromOptions(const Options &opts)
                           opts.injectProbs[k]);
             point.label = buf;
         }
-        point.build = [opts]() { return buildInstance(opts); };
+        point.build = [opts, faults](std::uint64_t derived_seed) {
+            return buildInstance(opts, faults, derived_seed);
+        };
         points.push_back(std::move(point));
     }
     return points;
@@ -454,10 +505,10 @@ writeConnectionTrace(const std::vector<SweepPoint> &points,
     if (points.empty())
         METRO_FATAL("--trace-connections: no sweep points to trace");
     const auto &last = points.back();
-    SweepInstance instance = last.build();
     ExperimentConfig cfg = last.config;
     cfg.seed = sweepDeriveSeed(cfg.seed, points.size() - 1,
                                last.replicate);
+    SweepInstance instance = last.build(cfg.seed);
     ConnectionTracer tracer;
     attachTracer(*instance.network, tracer);
     if (last.mode == SweepMode::Closed)
@@ -553,10 +604,10 @@ runFromOptions(const Options &opts)
     // runs are bit-identical) and dump its statistics.
     if (opts.stats && !opts.csv && !points.empty()) {
         const auto &last = points.back();
-        SweepInstance instance = last.build();
         ExperimentConfig cfg = last.config;
         cfg.seed = sweepDeriveSeed(cfg.seed, points.size() - 1,
                                    last.replicate);
+        SweepInstance instance = last.build(cfg.seed);
         if (last.mode == SweepMode::Closed)
             runClosedLoop(*instance.network, cfg);
         else

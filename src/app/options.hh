@@ -56,6 +56,12 @@ struct Options
     unsigned linkFaults = 0;
     Cycle faultCycle = 0;
 
+    /** Fault schedule / campaign file (see app/faultfile.hh). */
+    std::string faultFile;
+
+    /** Attach the online DiagnosisEngine (see src/diag/). */
+    bool diagnosis = false;
+
     NodeId hotNode = 0;
     double hotFraction = 0.25;
 

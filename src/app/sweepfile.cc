@@ -5,7 +5,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "app/faultfile.hh"
 #include "app/specfile.hh"
+#include "diag/engine.hh"
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
 #include "network/fattree.hh"
 #include "network/presets.hh"
 #include "traffic/patterns.hh"
@@ -93,8 +97,14 @@ struct NetworkRecipe
     MultibutterflySpec spec; // SpecFile kind only
     std::uint64_t seed = 1;
 
+    /** Faults the file asked for (fault events + campaign). */
+    std::optional<FaultFile> faults;
+
+    /** Attach the online DiagnosisEngine to every point. */
+    bool diagnosis = false;
+
     SweepInstance
-    build() const
+    build(std::uint64_t derived_seed) const
     {
         SweepInstance instance;
         switch (kind) {
@@ -121,6 +131,29 @@ struct NetworkRecipe
             instance.network = buildMultibutterfly(s);
             break;
           }
+        }
+
+        if (faults.has_value() && !faults->events.empty()) {
+            auto injector = std::make_unique<FaultInjector>(
+                instance.network.get());
+            injector->schedule(faults->events);
+            instance.network->engine().addComponent(injector.get());
+            instance.extras.push_back(std::move(injector));
+        }
+        if (faults.has_value() && faults->hasCampaign()) {
+            auto campaign = std::make_unique<FaultCampaign>(
+                instance.network.get(), faults->campaign,
+                derived_seed ^ 0xCA3);
+            instance.network->engine().addComponent(campaign.get());
+            instance.extras.push_back(std::move(campaign));
+        }
+        // Added last: the engine must see every diary entry the
+        // endpoints recorded this cycle.
+        if (diagnosis) {
+            auto diag = std::make_unique<DiagnosisEngine>(
+                instance.network.get());
+            instance.network->engine().addComponent(diag.get());
+            instance.extras.push_back(std::move(diag));
         }
         return instance;
     }
@@ -196,6 +229,23 @@ parseSweepText(const std::string &text, std::string &error,
             }
             recipe.kind = NetworkRecipe::Kind::SpecFile;
             recipe.spec = *spec;
+        } else if (key == "faults") {
+            const std::string path =
+                base_dir.empty() || value.find('/') == 0
+                    ? value
+                    : base_dir + "/" + value;
+            std::string fault_error;
+            auto faults = loadFaultFile(path, fault_error);
+            if (!faults.has_value()) {
+                error = "line " + std::to_string(line_no) + ": " +
+                        fault_error;
+                return std::nullopt;
+            }
+            recipe.faults = *faults;
+        } else if (key == "diagnosis") {
+            if (!parseBool(value, b))
+                return bad();
+            recipe.diagnosis = b;
         } else if (key == "mode") {
             if (value == "closed")
                 mode = SweepMode::Closed;
@@ -266,6 +316,10 @@ parseSweepText(const std::string &text, std::string &error,
             if (!parseF64(value, f) || f < 0.0 || f > 1.0)
                 return bad();
             cfg.hotFraction = f;
+        } else if (key == "availabilityWindow") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.availabilityWindow = u;
         } else if (key == "requestReply") {
             if (!parseBool(value, b))
                 return bad();
@@ -320,7 +374,9 @@ parseSweepText(const std::string &text, std::string &error,
                               injects[v]);
                 point.label = buf;
             }
-            point.build = [recipe]() { return recipe.build(); };
+            point.build = [recipe](std::uint64_t derived_seed) {
+                return recipe.build(derived_seed);
+            };
             out.points.push_back(std::move(point));
         }
     }

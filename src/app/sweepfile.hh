@@ -9,6 +9,8 @@
  *     # Figure-3 load sweep, 4 replicates per point
  *     topology = fig3        # fig3|fig1|table32jr|fattree
  *     # spec = net.spec      # ...or a multibutterfly spec file
+ *     # faults = net.faults  # fault schedule / campaign file
+ *     # diagnosis = true     # attach the DiagnosisEngine
  *     mode = closed          # closed|open
  *     pattern = uniform
  *     think = 2000,200,20,0  # one point per value (closed mode)

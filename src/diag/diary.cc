@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fault-diary localization logic (see diary.hh for the rules).
+ */
+
+#include "diag/diary.hh"
+
+namespace metro
+{
+
+void
+FaultDiary::suspectInjection(const AttemptEvidence &e,
+                             std::uint8_t weight)
+{
+    SuspectReport r;
+    r.kind = SuspectKind::InjectionLink;
+    r.id = e.src;
+    r.port = e.outPort;
+    r.stage = 0;
+    r.exonerate = false;
+    r.weight = weight;
+    r.cycle = e.cycle;
+    pending_.push_back(r);
+}
+
+void
+FaultDiary::suspectRouterOut(const StatusWord &sw, Cycle cycle,
+                             std::uint8_t weight)
+{
+    // A status without a granted port cannot implicate a link.
+    if (sw.port == kInvalidPort)
+        return;
+    SuspectReport r;
+    r.kind = SuspectKind::RouterOutput;
+    r.id = sw.router;
+    r.port = sw.port;
+    r.stage = sw.stage;
+    r.exonerate = false;
+    r.weight = weight;
+    r.cycle = cycle;
+    pending_.push_back(r);
+}
+
+void
+FaultDiary::record(const AttemptEvidence &e)
+{
+    ++attemptsSeen_;
+
+    if (e.outcome == AttemptOutcome::Success) {
+        // Exonerate every hop the delivered attempt crossed.
+        SuspectReport r;
+        r.kind = SuspectKind::InjectionLink;
+        r.id = e.src;
+        r.port = e.outPort;
+        r.stage = 0;
+        r.exonerate = true;
+        r.weight = 1;
+        r.cycle = e.cycle;
+        pending_.push_back(r);
+        for (const auto &sw : e.statuses) {
+            if (sw.port == kInvalidPort)
+                continue;
+            r.kind = SuspectKind::RouterOutput;
+            r.id = sw.router;
+            r.port = sw.port;
+            r.stage = sw.stage;
+            pending_.push_back(r);
+        }
+        return;
+    }
+
+    // Blocking anywhere on the path means the attempt lost an
+    // allocation race; the path's wires told us nothing.
+    if (e.sawBlocked || e.outcome == AttemptOutcome::BcbDrop ||
+        e.outcome == AttemptOutcome::SliceDisagree ||
+        e.outcome == AttemptOutcome::RoundFail)
+        return;
+
+    switch (e.outcome) {
+      case AttemptOutcome::ReplyTimeout:
+        if (e.statuses.empty())
+            suspectInjection(e, 2);
+        else
+            suspectRouterOut(e.statuses.back(), e.cycle, 2);
+        break;
+
+      case AttemptOutcome::Nack: {
+        // Find the first router whose forwarded-data CRC disagrees
+        // with what the source sent: the wire feeding it corrupted.
+        std::size_t bad = e.statuses.size();
+        for (std::size_t i = 0; i < e.statuses.size(); ++i) {
+            if (e.statuses[i].checksum != e.sentCrc) {
+                bad = i;
+                break;
+            }
+        }
+        if (e.statuses.empty() || bad == 0)
+            suspectInjection(e, 2);
+        else if (bad < e.statuses.size())
+            suspectRouterOut(e.statuses[bad - 1], e.cycle, 2);
+        else
+            // Every router CRC matched: the final hop into the
+            // destination endpoint corrupted the stream.
+            suspectRouterOut(e.statuses.back(), e.cycle, 2);
+        break;
+      }
+
+      case AttemptOutcome::ReplyChecksum:
+        // Reverse-lane corruption: smear weak suspicion over the
+        // whole path and let scoring + probing isolate the wire.
+        suspectInjection(e, 1);
+        for (const auto &sw : e.statuses)
+            suspectRouterOut(sw, e.cycle, 1);
+        break;
+
+      default:
+        break;
+    }
+}
+
+} // namespace metro

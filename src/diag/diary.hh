@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Per-endpoint fault diary: attempt evidence in, suspects out.
+ *
+ * The paper's reliability story (Sections 4 and 6) hinges on the
+ * source being able to *localize* a fault from the evidence each
+ * failed connection attempt already delivers for free: the
+ * stage-ordered STATUS words of the reversal transient (each naming
+ * the reporting router, the backward port it granted, and a CRC of
+ * the data it forwarded), the end-to-end checksum verdict, and the
+ * way the attempt died (backward-control drop vs. silence).
+ *
+ * The diary is the pure-logic half of that loop. Network interfaces
+ * feed it one AttemptEvidence record per finished attempt; it turns
+ * each into zero or more SuspectReport records naming a concrete
+ * link — either an endpoint's injection link or the link out of a
+ * specific router backward port. Successful attempts produce
+ * exonerating reports for every hop they crossed, which is the
+ * counter-evidence the DiagnosisEngine scores suspects against.
+ *
+ * Localization rules (docs/faults.md walks through the derivation):
+ *  - reply timeout, no statuses: the injection link never delivered
+ *    the stream (or the stage-0 router is dead) — suspect the
+ *    injection link the attempt used.
+ *  - reply timeout, statuses from stages 0..k: routers up to stage k
+ *    forwarded the TURN, then the stream vanished — suspect the
+ *    link out of the last reporting router's granted port.
+ *  - destination NACK (end-to-end checksum failure): compare each
+ *    status CRC against the CRC of the data actually sent; the
+ *    first router whose CRC disagrees sits just downstream of the
+ *    corrupting wire — suspect the link feeding it. If every router
+ *    CRC matches, the last hop into the destination corrupted.
+ *  - reply-checksum failure: the reverse lane corrupted somewhere;
+ *    no single hop is implicated, so every hop is weakly suspected
+ *    and scoring/probing must separate the guilty wire.
+ *  - backward-control drop or a blocked STATUS: congestion, not a
+ *    fault — no suspect (blocking is the normal case in METRO).
+ */
+
+#ifndef METRO_DIAG_DIARY_HH
+#define METRO_DIAG_DIARY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/symbol.hh"
+
+namespace metro
+{
+
+/** How a connection attempt ended (failure causes + success). */
+enum class AttemptOutcome : std::uint8_t
+{
+    /** Delivered and positively acknowledged. */
+    Success,
+    /** Backward-control drop: path reclaimed, congestion. */
+    BcbDrop,
+    /** No reply within the reply timeout after sending TURN. */
+    ReplyTimeout,
+    /** Destination reported an end-to-end checksum mismatch. */
+    Nack,
+    /** The reply stream arrived but its checksum failed. */
+    ReplyChecksum,
+    /** Cascaded slices disagreed on the reply. */
+    SliceDisagree,
+    /** Reply round failed for another protocol reason. */
+    RoundFail,
+};
+
+/** Everything the source knows about one finished attempt. */
+struct AttemptEvidence
+{
+    /** Source endpoint. */
+    NodeId src = kInvalidNode;
+
+    /** Intended destination endpoint. */
+    NodeId dest = kInvalidNode;
+
+    /** Cycle the attempt ended. */
+    Cycle cycle = 0;
+
+    /** How the attempt ended. */
+    AttemptOutcome outcome = AttemptOutcome::Success;
+
+    /** Injection-port group the attempt used. */
+    unsigned outPort = 0;
+
+    /** Stage-ordered STATUS words gathered during the reversal. */
+    std::vector<StatusWord> statuses;
+
+    /** True when any status carried the blocked flag. */
+    bool sawBlocked = false;
+
+    /** CRC-16 the source computed over the data it sent. */
+    std::uint16_t sentCrc = 0;
+};
+
+/** Which class of link a suspect report names. */
+enum class SuspectKind : std::uint8_t
+{
+    /** An endpoint's injection link (id = endpoint, port = group). */
+    InjectionLink,
+    /** The link out of a router backward port (id = router). */
+    RouterOutput,
+};
+
+/** One unit of (counter-)evidence against a concrete link. */
+struct SuspectReport
+{
+    SuspectKind kind = SuspectKind::RouterOutput;
+
+    /** Endpoint or router id, per kind. */
+    std::uint32_t id = 0;
+
+    /** Injection group or router backward port, per kind. */
+    PortIndex port = 0;
+
+    /** Stage of the implicated hop (0 for injection links). */
+    std::uint8_t stage = 0;
+
+    /** True: the hop carried a successful attempt (exoneration).
+     *  False: the hop is implicated by a failure. */
+    bool exonerate = false;
+
+    /**
+     * Evidence weight. Strong localizations (timeout past a known
+     * hop, CRC divergence point) carry 2; smeared reverse-path
+     * suspicion carries 1, so one bad wire cannot get its healthy
+     * neighbours masked as quickly as itself.
+     */
+    std::uint8_t weight = 2;
+
+    /** Cycle the evidence was produced. */
+    Cycle cycle = 0;
+};
+
+/**
+ * Accumulates suspect reports from one or more network interfaces.
+ * The DiagnosisEngine drains it once per cycle. Purely mechanical:
+ * no scoring or masking policy lives here.
+ */
+class FaultDiary
+{
+  public:
+    /** Digest one finished attempt into suspect reports. */
+    void record(const AttemptEvidence &evidence);
+
+    /** Take and clear all pending reports. */
+    std::vector<SuspectReport>
+    drain()
+    {
+        std::vector<SuspectReport> out;
+        out.swap(pending_);
+        return out;
+    }
+
+    /** Attempts digested so far (all outcomes). */
+    std::uint64_t attemptsSeen() const { return attemptsSeen_; }
+
+  private:
+    void suspectInjection(const AttemptEvidence &e,
+                          std::uint8_t weight);
+    void suspectRouterOut(const StatusWord &sw, Cycle cycle,
+                          std::uint8_t weight);
+
+    std::vector<SuspectReport> pending_;
+    std::uint64_t attemptsSeen_ = 0;
+};
+
+} // namespace metro
+
+#endif // METRO_DIAG_DIARY_HH

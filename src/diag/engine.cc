@@ -1,0 +1,294 @@
+/**
+ * @file
+ * DiagnosisEngine implementation (policy described in engine.hh).
+ */
+
+#include "diag/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "endpoint/interface.hh"
+#include "network/network.hh"
+#include "obs/registry.hh"
+#include "router/router.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+DiagnosisEngine::DiagnosisEngine(Network *net, DiagConfig config)
+    : Component("diagnosisEngine"), net_(net), config_(config)
+{
+    METRO_ASSERT(net_ != nullptr, "diagnosis needs a network");
+    taps_.reserve(net_->numRouters());
+    for (RouterId r = 0; r < net_->numRouters(); ++r)
+        taps_.emplace_back(&net_->router(r));
+    for (NodeId e = 0; e < net_->numEndpoints(); ++e)
+        net_->endpoint(e).setFaultDiary(&diary_);
+    buildWireMap();
+
+    auto &m = net_->metrics();
+    cSuspects_ = &m.counter("diag.suspects");
+    cExonerations_ = &m.counter("diag.exonerations");
+    cDiagnoses_ = &m.counter("diag.diagnoses");
+    cMasks_ = &m.counter("diag.masks");
+    cFalseMasks_ = &m.counter("diag.false_positive_masks");
+    cProbeReenables_ = &m.counter("diag.probe_reenables");
+    cTrialReenables_ = &m.counter("diag.trial_reenables");
+    cProbes_ = &m.counter("diag.probes");
+    cMaskSkipped_ = &m.counter("diag.mask_skipped");
+    hLocalize_ = &m.histogram("diag.time_to_localize");
+    hMask_ = &m.histogram("diag.time_to_mask");
+}
+
+DiagnosisEngine::~DiagnosisEngine()
+{
+    for (NodeId e = 0; e < net_->numEndpoints(); ++e)
+        net_->endpoint(e).setFaultDiary(nullptr);
+}
+
+std::uint64_t
+DiagnosisEngine::key(SuspectKind kind, std::uint32_t id,
+                     PortIndex port)
+{
+    return (static_cast<std::uint64_t>(kind) << 48) |
+           (static_cast<std::uint64_t>(id) << 16) |
+           static_cast<std::uint64_t>(port & 0xffff);
+}
+
+void
+DiagnosisEngine::buildWireMap()
+{
+    // Resolve each router backward port to the wire it drives and
+    // whatever sits at the far end. Injection links are masked at
+    // the network interface and need no wire entry.
+    for (LinkId l = 0; l < net_->numLinks(); ++l) {
+        Link &link = net_->link(l);
+        const LinkEnd &a = link.endA();
+        const LinkEnd &b = link.endB();
+        if (a.kind != AttachKind::RouterBackward)
+            continue;
+        Wire w;
+        w.link = l;
+        if (b.kind == AttachKind::RouterForward) {
+            w.downRouter = b.id;
+            w.downPort = b.port;
+            w.downIsRouter = true;
+        }
+        wires_[key(SuspectKind::RouterOutput, a.id, a.port)] = w;
+    }
+}
+
+const DiagnosisEngine::Wire *
+DiagnosisEngine::wireFor(SuspectKind kind, std::uint32_t id,
+                         PortIndex port) const
+{
+    auto it = wires_.find(key(kind, id, port));
+    return it == wires_.end() ? nullptr : &it->second;
+}
+
+bool
+DiagnosisEngine::wouldPartition(SuspectKind kind, std::uint32_t id,
+                                PortIndex port) const
+{
+    if (kind == SuspectKind::InjectionLink) {
+        const NetworkInterface &ni = net_->endpoint(id);
+        for (unsigned g = 0; g < ni.outGroups(); ++g)
+            if (g != port && ni.outPortEnabled(g))
+                return false;
+        return true;
+    }
+    // Never disable the last enabled backward port of a direction
+    // group: that direction would become unroutable through this
+    // router instead of merely less dilated.
+    const RouterConfig &cfg = net_->router(id).config();
+    const unsigned d = cfg.dilation;
+    const unsigned dir = port / d;
+    for (unsigned k = 0; k < d; ++k) {
+        const PortIndex p = dir * d + k;
+        if (p != port && p < cfg.backwardEnabled.size() &&
+            cfg.backwardEnabled[p])
+            return false;
+    }
+    return true;
+}
+
+void
+DiagnosisEngine::applyPortState(const Mask &mask, bool enabled)
+{
+    if (mask.kind == SuspectKind::InjectionLink) {
+        net_->endpoint(mask.id).setOutPortEnabled(mask.port, enabled);
+        return;
+    }
+    taps_[mask.id].writeBackwardEnable(mask.port, enabled);
+    if (mask.wire.downIsRouter)
+        taps_[mask.wire.downRouter].writeForwardEnable(
+            mask.wire.downPort, enabled);
+}
+
+void
+DiagnosisEngine::launchProbe(Mask &mask, Cycle cycle)
+{
+    // Nonzero 8-bit pattern, cycling through a prime-sized set so a
+    // stale capture from an earlier probe cannot alias the current
+    // one within any realistic probe sequence.
+    mask.pattern = 1 + (probeNonce_++ % 251);
+    taps_[mask.id].driveTest(mask.port, mask.pattern);
+    mask.awaitingProbe = true;
+    mask.nextAction = cycle +
+                      net_->link(mask.wire.link).downLatency() +
+                      config_.probeMargin;
+    ++*cProbes_;
+}
+
+bool
+DiagnosisEngine::readProbe(const Mask &mask)
+{
+    Word observed = 0;
+    if (!taps_[mask.wire.downRouter].observeTest(mask.wire.downPort,
+                                                 observed))
+        return false;
+    return observed == mask.pattern;
+}
+
+void
+DiagnosisEngine::ingest(const SuspectReport &r, Cycle cycle)
+{
+    const std::uint64_t k = key(r.kind, r.id, r.port);
+    Score &score = scores_[k];
+    if (r.exonerate) {
+        score.good += r.weight;
+        ++*cExonerations_;
+        return;
+    }
+    ++*cSuspects_;
+    // Attempts that began before a mask landed can still fail on
+    // the masked wire; that is not new evidence.
+    if (masked_.count(k))
+        return;
+    if (score.bad == 0)
+        score.firstBad = r.cycle;
+    score.bad += r.weight;
+    if (score.bad >= config_.threshold &&
+        score.bad >= config_.goodFactor * score.good)
+        actOn(r.kind, r.id, r.port, score, cycle);
+}
+
+void
+DiagnosisEngine::actOn(SuspectKind kind, std::uint32_t id,
+                       PortIndex port, const Score &score,
+                       Cycle cycle)
+{
+    if (wouldPartition(kind, id, port)) {
+        ++*cMaskSkipped_;
+        // Wipe the evidence so the skipped suspect does not re-fire
+        // every subsequent failure on the unmaskable wire.
+        scores_[key(kind, id, port)] = Score{};
+        return;
+    }
+
+    ++*cDiagnoses_;
+    hLocalize_->sample(cycle - score.firstBad);
+
+    Mask mask;
+    mask.kind = kind;
+    mask.id = id;
+    mask.port = port;
+    if (kind == SuspectKind::RouterOutput) {
+        const Wire *w = wireFor(kind, id, port);
+        if (w == nullptr) {
+            ++*cMaskSkipped_;
+            scores_[key(kind, id, port)] = Score{};
+            return;
+        }
+        mask.wire = *w;
+    }
+
+    applyPortState(mask, false);
+
+    if (kind == SuspectKind::RouterOutput && mask.wire.downIsRouter) {
+        // Verify over the scan boundary before keeping the mask.
+        mask.verifying = true;
+        launchProbe(mask, cycle);
+    } else {
+        // No router on the far side to observe from: mask on
+        // evidence alone, optimistically re-enable later.
+        ++*cMasks_;
+        hMask_->sample(cycle - score.firstBad);
+        mask.nextAction = cycle + config_.probeInterval;
+    }
+    masked_.emplace(key(kind, id, port), mask);
+}
+
+void
+DiagnosisEngine::service(Mask &mask, Cycle cycle)
+{
+    const std::uint64_t k = key(mask.kind, mask.id, mask.port);
+
+    if (mask.awaitingProbe) {
+        mask.awaitingProbe = false;
+        const bool intact = readProbe(mask);
+        if (mask.verifying) {
+            mask.verifying = false;
+            if (intact) {
+                // Healthy wire: the evidence was congestion noise.
+                applyPortState(mask, true);
+                ++*cFalseMasks_;
+                Score &s = scores_[k];
+                s.bad = 0;
+                s.good = std::max<std::uint64_t>(s.good,
+                                                 config_.threshold);
+                masked_.erase(k);
+                return;
+            }
+            ++*cMasks_;
+            hMask_->sample(cycle - scores_[k].firstBad);
+            mask.nextAction = cycle + config_.probeInterval;
+            return;
+        }
+        if (intact) {
+            // Healed transient: bring the wire back.
+            applyPortState(mask, true);
+            ++*cProbeReenables_;
+            scores_[k] = Score{};
+            masked_.erase(k);
+            return;
+        }
+        mask.nextAction = cycle + config_.probeInterval;
+        return;
+    }
+
+    if (mask.kind == SuspectKind::RouterOutput &&
+        mask.wire.downIsRouter) {
+        launchProbe(mask, cycle);
+        return;
+    }
+
+    // Endpoint-adjacent wire: trial re-enable. A still-faulty wire
+    // re-accumulates evidence from scratch and is re-masked.
+    applyPortState(mask, true);
+    ++*cTrialReenables_;
+    scores_[k] = Score{};
+    masked_.erase(k);
+}
+
+void
+DiagnosisEngine::tick(Cycle cycle)
+{
+    for (const auto &report : diary_.drain())
+        ingest(report, cycle);
+
+    // Collect due keys first: service() mutates masked_.
+    std::vector<std::uint64_t> due;
+    for (const auto &[k, mask] : masked_)
+        if (cycle >= mask.nextAction)
+            due.push_back(k);
+    for (const auto k : due) {
+        auto it = masked_.find(k);
+        if (it != masked_.end())
+            service(it->second, cycle);
+    }
+}
+
+} // namespace metro

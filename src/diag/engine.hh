@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Network-level fault diagnosis and scan-based self-healing.
+ *
+ * Closes the loop the paper leaves between fault *evidence* and
+ * fault *masking* (Sections 4 and 6): network interfaces feed a
+ * shared FaultDiary (diary.hh) with per-attempt evidence; the
+ * DiagnosisEngine scores the resulting suspects against
+ * successful-path counter-evidence, and when a suspect's bad
+ * evidence crosses a confidence threshold it masks the implicated
+ * link through the scan/TAP interface — exactly the "turn the port
+ * off from the test-access port" remedy the paper prescribes, so
+ * later connections never touch the wire.
+ *
+ * Masking policy by link class:
+ *  - Router→router links are verified before the mask is kept: both
+ *    ends' ports are scan-disabled, a boundary Test pattern is
+ *    driven across the wire, and the downstream port's capture
+ *    register is read after the wire latency. A pattern that
+ *    arrives intact means the wire is healthy (the evidence was
+ *    congestion noise): the mask is dropped and counted as a
+ *    false positive. A missing or damaged pattern confirms the
+ *    fault. Masked wires are re-probed every probeInterval cycles;
+ *    a clean pattern re-enables the ports (healed transient).
+ *  - Endpoint-adjacent links (injection and delivery wires) have no
+ *    router on one side to drive/observe from, so they are masked
+ *    on evidence alone and optimistically re-enabled after
+ *    probeInterval cycles; a still-faulty wire immediately
+ *    re-accumulates evidence and is re-masked.
+ *
+ * A mask is skipped (never applied) when it would remove the last
+ * enabled port of a direction group — diagnosis must degrade the
+ * network, not partition it.
+ *
+ * All decisions are driven by evidence already in the simulation;
+ * the engine draws no randomness, so runs remain deterministic and
+ * thread-count-invariant.
+ */
+
+#ifndef METRO_DIAG_ENGINE_HH
+#define METRO_DIAG_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+#include "diag/diary.hh"
+#include "router/tap.hh"
+#include "sim/component.hh"
+
+namespace metro
+{
+
+class Network;
+class Link;
+class LogHistogram;
+
+/** Tunables for the diagnosis/self-healing loop. */
+struct DiagConfig
+{
+    /**
+     * Bad-evidence weight a suspect must accumulate before the
+     * engine acts. With strong localizations weighing 2, the
+     * default demands roughly three independent failed attempts.
+     */
+    std::uint32_t threshold = 6;
+
+    /**
+     * A suspect is only actionable while its bad evidence dominates
+     * its exonerations: bad >= goodFactor * good. Keeps congestion
+     * noise on busy healthy wires from ever crossing the threshold.
+     */
+    std::uint32_t goodFactor = 2;
+
+    /** Cycles between re-probes / trial re-enables of masked links. */
+    Cycle probeInterval = 2048;
+
+    /** Extra margin beyond wire latency before reading a probe. */
+    Cycle probeMargin = 4;
+};
+
+/**
+ * The diagnosis component. Construct after the network is finalized;
+ * registers itself as the fault diary of every endpoint and opens a
+ * Tap on every router. Add to the network's engine so it ticks once
+ * per cycle (after the endpoints, so it sees each cycle's evidence).
+ */
+class DiagnosisEngine : public Component
+{
+  public:
+    DiagnosisEngine(Network *net, DiagConfig config = {});
+    ~DiagnosisEngine() override;
+
+    DiagnosisEngine(const DiagnosisEngine &) = delete;
+    DiagnosisEngine &operator=(const DiagnosisEngine &) = delete;
+
+    void tick(Cycle cycle) override;
+
+    /** The shared diary endpoints report into. */
+    FaultDiary &diary() { return diary_; }
+
+    /** Links currently masked by the engine. */
+    std::size_t maskedLinks() const { return masked_.size(); }
+
+  private:
+    /** Scoreboard entry for one suspect link. */
+    struct Score
+    {
+        std::uint64_t bad = 0;
+        std::uint64_t good = 0;
+        Cycle firstBad = 0;
+    };
+
+    /** Where a suspect's wire leads (resolved from the topology). */
+    struct Wire
+    {
+        LinkId link = kInvalidLink;
+        /** Downstream router forward port, when one exists. */
+        RouterId downRouter = kInvalidRouter;
+        PortIndex downPort = kInvalidPort;
+        bool downIsRouter = false;
+    };
+
+    /** An applied mask awaiting verification, probe, or re-enable. */
+    struct Mask
+    {
+        SuspectKind kind;
+        std::uint32_t id;
+        PortIndex port;
+        Wire wire;
+        Cycle nextAction = 0;
+        Word pattern = 0;
+        bool verifying = false; ///< awaiting first probe readback
+        bool awaitingProbe = false;
+    };
+
+    static std::uint64_t key(SuspectKind kind, std::uint32_t id,
+                             PortIndex port);
+
+    void buildWireMap();
+    const Wire *wireFor(SuspectKind kind, std::uint32_t id,
+                        PortIndex port) const;
+
+    void ingest(const SuspectReport &report, Cycle cycle);
+    void actOn(SuspectKind kind, std::uint32_t id, PortIndex port,
+               const Score &score, Cycle cycle);
+    bool wouldPartition(SuspectKind kind, std::uint32_t id,
+                        PortIndex port) const;
+    void applyPortState(const Mask &mask, bool enabled);
+    void launchProbe(Mask &mask, Cycle cycle);
+    bool readProbe(const Mask &mask);
+    void service(Mask &mask, Cycle cycle);
+
+    Network *net_;
+    DiagConfig config_;
+    FaultDiary diary_;
+    std::vector<Tap> taps_; ///< one per router, indexed by id
+
+    std::map<std::uint64_t, Score> scores_;
+    std::map<std::uint64_t, Wire> wires_;
+    std::map<std::uint64_t, Mask> masked_;
+
+    std::uint64_t probeNonce_ = 0;
+
+    // Registry slots (stable references into net->metrics()).
+    std::uint64_t *cSuspects_;
+    std::uint64_t *cExonerations_;
+    std::uint64_t *cDiagnoses_;
+    std::uint64_t *cMasks_;
+    std::uint64_t *cFalseMasks_;
+    std::uint64_t *cProbeReenables_;
+    std::uint64_t *cTrialReenables_;
+    std::uint64_t *cProbes_;
+    std::uint64_t *cMaskSkipped_;
+    LogHistogram *hLocalize_;
+    LogHistogram *hMask_;
+};
+
+} // namespace metro
+
+#endif // METRO_DIAG_ENGINE_HH

@@ -64,6 +64,15 @@ NetworkInterface::addOutPortGroup(std::vector<Link *> slices)
                  "width %u not divisible into %u slices",
                  config_.width, cascade_);
     out_.push_back(std::move(slices));
+    outPortEnabled_.push_back(true);
+}
+
+void
+NetworkInterface::setOutPortEnabled(unsigned group, bool enabled)
+{
+    METRO_ASSERT(group < out_.size(), "out group %u out of range",
+                 group);
+    outPortEnabled_[group] = enabled;
 }
 
 void
@@ -253,6 +262,8 @@ NetworkInterface::startRound(unsigned round)
     ck.kind = SymbolKind::Checksum;
     ck.value = packedChecksum(data);
     ck.msgId = activeMsg_;
+    if (round == 0)
+        sentChecksum_ = ck.value; // fault-diary CRC evidence
     stream_.push_back(ck);
     stream_.push_back(Symbol::control(SymbolKind::Turn, activeMsg_));
 
@@ -300,9 +311,21 @@ NetworkInterface::startAttempt(Cycle cycle)
     // Stochastic injection-port choice: with multiple network input
     // ports per endpoint (Figure 1), retries spread over them too.
     outPort_ = static_cast<unsigned>(rng_.below(out_.size()));
+    if (!outPortEnabled_[outPort_]) {
+        // Scan-masked group: re-draw among the enabled ones. With
+        // every group masked the original draw stands — the
+        // endpoint must always be able to try something.
+        std::vector<unsigned> enabled;
+        for (unsigned g = 0; g < out_.size(); ++g)
+            if (outPortEnabled_[g])
+                enabled.push_back(g);
+        if (!enabled.empty())
+            outPort_ = enabled[rng_.below(enabled.size())];
+    }
 
     statuses_.clear();
     sawBlockedStatus_ = false;
+    abortCause_ = AttemptOutcome::RoundFail; // conservative default
     roundsAckedOk_ = 0;
     sessionReplies_.clear();
     startRound(0);
@@ -314,9 +337,27 @@ NetworkInterface::startAttempt(Cycle cycle)
 }
 
 void
+NetworkInterface::reportAttempt(Cycle cycle, bool success)
+{
+    if (diary_ == nullptr)
+        return;
+    AttemptEvidence e;
+    e.src = id_;
+    e.dest = tracker_->record(activeMsg_).dest;
+    e.cycle = cycle;
+    e.outcome = success ? AttemptOutcome::Success : abortCause_;
+    e.outPort = outPort_;
+    e.statuses = statuses_;
+    e.sawBlocked = sawBlockedStatus_;
+    e.sentCrc = static_cast<std::uint16_t>(sentChecksum_ & 0xffff);
+    diary_->record(e);
+}
+
+void
 NetworkInterface::scheduleRetry(Cycle cycle)
 {
     auto &rec = tracker_->record(activeMsg_);
+    reportAttempt(cycle, /*success=*/false);
     if (observer_ != nullptr)
         observer_->onAttemptEnd(activeMsg_, false, cycle);
     if (rec.attempts >= config_.maxAttempts) {
@@ -353,6 +394,7 @@ NetworkInterface::finishAttempt(Cycle cycle, bool success)
         counters_.add("successes");
         hAttempts_->sample(rec.attempts);
         hPathLen_->sample(statuses_.size());
+        reportAttempt(cycle, /*success=*/true);
         if (observer_ != nullptr) {
             observer_->onAttemptEnd(activeMsg_, true, cycle);
             observer_->onMessageResolved(activeMsg_, true, cycle);
@@ -407,6 +449,7 @@ NetworkInterface::tickSend(Cycle cycle)
         // Slice streams disagree: a cascade fault escaped the
         // wired-AND. Treat the attempt as corrupted.
         counters_.add("sliceDisagreement");
+        abortCause_ = AttemptOutcome::SliceDisagree;
         sendState_ = SendState::Abort;
         return;
     }
@@ -414,6 +457,7 @@ NetworkInterface::tickSend(Cycle cycle)
     if (sendState_ == SendState::Sending) {
         if (rsym.kind == SymbolKind::BcbDrop) {
             counters_.add("bcbAborts");
+            abortCause_ = AttemptOutcome::BcbDrop;
             sendState_ = SendState::Abort;
             return; // truncate the stream; Drop goes out next tick
         }
@@ -484,13 +528,19 @@ NetworkInterface::tickSend(Cycle cycle)
             if (ok) {
                 ++roundsAckedOk_;
                 sessionReplies_.push_back(replyWords_);
+            } else {
+                abortCause_ = AttemptOutcome::RoundFail;
             }
         } else {
             ok = ackSeen_ && ack_.ok && !sawBlockedStatus_;
+            if (!ok)
+                abortCause_ = AttemptOutcome::Nack;
             if (ok && rec.requestReply) {
                 ok = replyChecksumSeen_ && roundReplyOk();
-                if (!ok)
+                if (!ok) {
                     counters_.add("replyChecksumFail");
+                    abortCause_ = AttemptOutcome::ReplyChecksum;
+                }
             }
         }
         finishAttempt(cycle, ok);
@@ -498,6 +548,7 @@ NetworkInterface::tickSend(Cycle cycle)
       }
       case SymbolKind::BcbDrop:
         counters_.add("bcbAborts");
+        abortCause_ = AttemptOutcome::BcbDrop;
         sendState_ = SendState::Abort;
         return;
       case SymbolKind::Turn: {
@@ -506,6 +557,7 @@ NetworkInterface::tickSend(Cycle cycle)
         const auto &rec = tracker_->record(activeMsg_);
         if (!roundReplyOk() || sawBlockedStatus_) {
             counters_.add("roundFailures");
+            abortCause_ = AttemptOutcome::RoundFail;
             sendState_ = SendState::Abort;
             return;
         }
@@ -531,6 +583,7 @@ NetworkInterface::tickSend(Cycle cycle)
 
     if (cycle - turnSent_ > config_.replyTimeout) {
         counters_.add("replyTimeouts");
+        abortCause_ = AttemptOutcome::ReplyTimeout;
         sendState_ = SendState::Abort;
     }
 }

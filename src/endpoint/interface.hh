@@ -40,6 +40,7 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "diag/diary.hh"
 #include "endpoint/message.hh"
 #include "obs/observer.hh"
 #include "obs/registry.hh"
@@ -228,6 +229,34 @@ class NetworkInterface : public Component
      *  delivery milestones); nullptr detaches. */
     void setObserver(ConnObserver *observer) { observer_ = observer; }
 
+    /**
+     * Attach a fault diary (diag/diary.hh): every finished attempt
+     * is reported with its STATUS evidence so the diagnosis layer
+     * can localize faults. nullptr detaches; the diary must outlive
+     * the endpoint (or be detached first).
+     */
+    void setFaultDiary(FaultDiary *diary) { diary_ = diary; }
+
+    /**
+     * Scan-mask an injection port group: a disabled group is never
+     * chosen for new attempts (the diagnosis layer's remedy for a
+     * faulty injection wire). Re-enabling restores it. When every
+     * group is disabled the masks are ignored — the endpoint must
+     * always be able to try *something*.  @{
+     */
+    void setOutPortEnabled(unsigned group, bool enabled);
+    bool
+    outPortEnabled(unsigned group) const
+    {
+        return outPortEnabled_[group];
+    }
+    unsigned
+    outGroups() const
+    {
+        return static_cast<unsigned>(out_.size());
+    }
+    /** @} */
+
     /** Number of attached ports. @{ */
     std::size_t numOutPorts() const { return out_.size(); }
     std::size_t numInPorts() const { return in_.size(); }
@@ -268,6 +297,8 @@ class NetworkInterface : public Component
     void startRound(unsigned round);
     bool roundReplyOk() const;
     void finishAttempt(Cycle cycle, bool success);
+    /** Hand the finished attempt's evidence to the fault diary. */
+    void reportAttempt(Cycle cycle, bool success);
 
     /** Slicing helpers (cascade() = 1 degenerates to pass-through).
      *  @{ */
@@ -303,6 +334,7 @@ class NetworkInterface : public Component
     SessionHandler sessionHandler_;
 
     std::vector<std::vector<Link *>> out_;
+    std::vector<bool> outPortEnabled_;
     std::vector<RecvPort> in_;
     unsigned cascade_ = 1;
 
@@ -317,6 +349,10 @@ class NetworkInterface : public Component
     Cycle backoffUntil_ = 0;
     std::vector<StatusWord> statuses_;
     bool sawBlockedStatus_ = false;
+    /** How the attempt in flight has (so far) failed. */
+    AttemptOutcome abortCause_ = AttemptOutcome::Success;
+    /** Round-0 checksum word as sent (fault-diary evidence). */
+    Word sentChecksum_ = 0;
     bool ackSeen_ = false;
     AckWord ack_;
     std::vector<Word> replyWords_;
@@ -340,6 +376,7 @@ class NetworkInterface : public Component
     // the word-accounting hot paths stay branch-free.
     MetricsRegistry *metrics_ = nullptr;
     ConnObserver *observer_ = nullptr;
+    FaultDiary *diary_ = nullptr;
     std::uint64_t scratch_ = 0;
     LogHistogram scratchHist_;
     std::uint64_t *mInjected_ = &scratch_;

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * FaultCampaign implementation (process model in campaign.hh).
+ */
+
+#include "fault/campaign.hh"
+
+#include "common/logging.hh"
+#include "network/network.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+/** Bounded rejection sampling: draws per pick stay O(1) so a
+ *  mostly-failed network cannot stall the simulation. */
+constexpr unsigned kPickTries = 8;
+
+} // namespace
+
+FaultCampaign::FaultCampaign(Network *net,
+                             const CampaignConfig &config,
+                             std::uint64_t seed)
+    : Component("faultCampaign"), net_(net), config_(config),
+      rng_(seed ^ 0xCA4Fu)
+{
+    METRO_ASSERT(net_ != nullptr, "campaign needs a network");
+    METRO_ASSERT(config_.corruptFraction >= 0.0 &&
+                 config_.corruptFraction <= 1.0,
+                 "corruptFraction out of [0,1]");
+
+    // Links grouped by the stage of the router they feed, for
+    // correlated bursts.
+    linksIntoStage_.resize(net_->numStages());
+    for (LinkId l = 0; l < net_->numLinks(); ++l) {
+        const LinkEnd &b = net_->link(l).endB();
+        if (b.kind != AttachKind::RouterForward)
+            continue;
+        const unsigned s = net_->router(b.id).stage();
+        if (s < linksIntoStage_.size())
+            linksIntoStage_[s].push_back(l);
+    }
+
+    // Pick the flaky set once, up front (distinct links).
+    for (unsigned k = 0;
+         k < config_.flakyLinks && flaky_.size() < net_->numLinks();
+         ++k) {
+        for (unsigned t = 0; t < kPickTries; ++t) {
+            const LinkId cand = static_cast<LinkId>(
+                rng_.below(net_->numLinks()));
+            bool taken = false;
+            for (const auto &f : flaky_)
+                taken = taken || f.link == cand;
+            if (taken)
+                continue;
+            Flaky f;
+            f.link = cand;
+            f.nextToggle = config_.start + 1 +
+                           rng_.below(2ULL * config_.flakyPeriod + 1);
+            flaky_.push_back(f);
+            break;
+        }
+    }
+
+    auto &m = net_->metrics();
+    cLinkFailures_ = &m.counter("campaign.link_failures");
+    cLinkHeals_ = &m.counter("campaign.link_heals");
+    cRouterFailures_ = &m.counter("campaign.router_failures");
+    cRouterHeals_ = &m.counter("campaign.router_heals");
+    cFlakyToggles_ = &m.counter("campaign.flaky_toggles");
+    cBursts_ = &m.counter("campaign.bursts");
+}
+
+LinkId
+FaultCampaign::pickHealthyLink()
+{
+    for (unsigned t = 0; t < kPickTries; ++t) {
+        const LinkId l =
+            static_cast<LinkId>(rng_.below(net_->numLinks()));
+        if (net_->link(l).fault() != LinkFault::None)
+            continue;
+        bool is_flaky = false;
+        for (const auto &f : flaky_)
+            is_flaky = is_flaky || f.link == l;
+        if (is_flaky)
+            continue; // the flaky process owns that wire
+        return l;
+    }
+    return kInvalidLink;
+}
+
+RouterId
+FaultCampaign::pickAliveRouter()
+{
+    for (unsigned t = 0; t < kPickTries; ++t) {
+        const RouterId r =
+            static_cast<RouterId>(rng_.below(net_->numRouters()));
+        if (!net_->router(r).dead())
+            return r;
+    }
+    return kInvalidRouter;
+}
+
+void
+FaultCampaign::failLink(LinkId l, Cycle)
+{
+    const bool corrupt = rng_.chance(config_.corruptFraction);
+    net_->link(l).setFault(corrupt ? LinkFault::Corrupt
+                                   : LinkFault::Dead);
+    downLinks_.push_back(l);
+    ++*cLinkFailures_;
+}
+
+void
+FaultCampaign::healLink(std::size_t idx)
+{
+    net_->link(downLinks_[idx]).setFault(LinkFault::None);
+    downLinks_[idx] = downLinks_.back();
+    downLinks_.pop_back();
+    ++*cLinkHeals_;
+}
+
+void
+FaultCampaign::tick(Cycle cycle)
+{
+    if (cycle < config_.start)
+        return;
+    if (config_.stop > 0 && cycle >= config_.stop) {
+        // Campaign over: heal everything we broke, exactly once, so
+        // experiments can drain on a healthy network.
+        while (!downLinks_.empty())
+            healLink(0);
+        for (RouterId r : deadRouters_) {
+            net_->router(r).setDead(false);
+            ++*cRouterHeals_;
+        }
+        deadRouters_.clear();
+        for (auto &f : flaky_) {
+            if (f.down) {
+                net_->link(f.link).setFault(LinkFault::None);
+                f.down = false;
+            }
+            f.nextToggle = kNever;
+        }
+        return;
+    }
+
+    // Poisson link arrivals (fail before heal: a wire that fails
+    // this cycle may not heal the same cycle).
+    if (config_.linkFailRate > 0 &&
+        rng_.chance(config_.linkFailRate)) {
+        const LinkId l = pickHealthyLink();
+        if (l != kInvalidLink)
+            failLink(l, cycle);
+    }
+    if (config_.linkHealRate > 0 && !downLinks_.empty() &&
+        rng_.chance(config_.linkHealRate))
+        healLink(rng_.below(downLinks_.size()));
+
+    // Poisson router arrivals.
+    if (config_.routerFailRate > 0 &&
+        rng_.chance(config_.routerFailRate)) {
+        const RouterId r = pickAliveRouter();
+        if (r != kInvalidRouter) {
+            net_->router(r).setDead(true);
+            deadRouters_.push_back(r);
+            ++*cRouterFailures_;
+        }
+    }
+    if (config_.routerHealRate > 0 && !deadRouters_.empty() &&
+        rng_.chance(config_.routerHealRate)) {
+        const std::size_t idx = rng_.below(deadRouters_.size());
+        net_->router(deadRouters_[idx]).setDead(false);
+        deadRouters_[idx] = deadRouters_.back();
+        deadRouters_.pop_back();
+        ++*cRouterHeals_;
+    }
+
+    // Intermittent links.
+    for (auto &f : flaky_) {
+        if (cycle < f.nextToggle)
+            continue;
+        f.down = !f.down;
+        net_->link(f.link).setFault(f.down ? LinkFault::Dead
+                                           : LinkFault::None);
+        f.nextToggle = cycle + 1 +
+                       rng_.below(2ULL * config_.flakyPeriod + 1);
+        ++*cFlakyToggles_;
+    }
+
+    // Correlated stage bursts.
+    if (config_.burstRate > 0 && !linksIntoStage_.empty() &&
+        rng_.chance(config_.burstRate)) {
+        const auto &pool =
+            linksIntoStage_[rng_.below(linksIntoStage_.size())];
+        unsigned killed = 0;
+        for (unsigned t = 0;
+             t < kPickTries * config_.burstSize && !pool.empty() &&
+             killed < config_.burstSize;
+             ++t) {
+            const LinkId l = pool[rng_.below(pool.size())];
+            if (net_->link(l).fault() != LinkFault::None)
+                continue;
+            bool is_flaky = false;
+            for (const auto &f : flaky_)
+                is_flaky = is_flaky || f.link == l;
+            if (is_flaky)
+                continue;
+            failLink(l, cycle);
+            ++killed;
+        }
+        if (killed > 0)
+            ++*cBursts_;
+    }
+}
+
+} // namespace metro

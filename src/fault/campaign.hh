@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Stochastic fault campaigns: sustained fault arrival processes.
+ *
+ * Static fault-event lists (injector.hh) answer "how does the
+ * network perform with k faults"; the graceful-degradation story
+ * needs the harder question — how it performs while faults keep
+ * *arriving and healing*. A FaultCampaign drives the injector's
+ * fault model as a stochastic process:
+ *
+ *  - Poisson link and router failures (per-cycle Bernoulli arrivals,
+ *    which is the discrete-time Poisson process), each paired with
+ *    an exponential-ish heal process over the currently-down set;
+ *  - intermittent ("flaky") links that toggle dead/healthy on
+ *    random half-periods — the transient faults the diagnosis
+ *    layer's probe re-enables exist for;
+ *  - correlated stage bursts: a random stage loses several links at
+ *    once (a shared cable bundle or neighboring-chip failure).
+ *
+ * All randomness comes from one seeded generator owned by the
+ * campaign. Experiments derive that seed from the sweep point's
+ * derived seed, so a campaign is reproducible and thread-count
+ * invariant, and never perturbs the traffic or router PRNG streams.
+ *
+ * The campaign only ever fails healthy targets it later heals
+ * itself; it never touches faults injected by other actors (static
+ * schedules, tests), so the two compose.
+ */
+
+#ifndef METRO_FAULT_CAMPAIGN_HH
+#define METRO_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "sim/component.hh"
+
+namespace metro
+{
+
+class Network;
+
+/** Rates and shape of one stochastic fault campaign. */
+struct CampaignConfig
+{
+    /** Per-cycle probability that one healthy link fails. */
+    double linkFailRate = 0.0;
+
+    /** Per-cycle probability that one campaign-downed link heals. */
+    double linkHealRate = 0.0;
+
+    /** Per-cycle probability that one alive router dies. */
+    double routerFailRate = 0.0;
+
+    /** Per-cycle probability that one campaign-dead router heals. */
+    double routerHealRate = 0.0;
+
+    /** Fraction of link failures that corrupt instead of sever. */
+    double corruptFraction = 0.0;
+
+    /** Number of intermittently failing links. */
+    unsigned flakyLinks = 0;
+
+    /** Mean half-period of a flaky link's toggle, in cycles. */
+    unsigned flakyPeriod = 4096;
+
+    /** Per-cycle probability of a correlated stage burst. */
+    double burstRate = 0.0;
+
+    /** Links killed (into one random stage) per burst. */
+    unsigned burstSize = 2;
+
+    /** Active window: [start, stop); stop = 0 means "forever". */
+    Cycle start = 0;
+    Cycle stop = 0;
+
+    /** True when any stochastic process is configured. */
+    bool
+    active() const
+    {
+        return linkFailRate > 0 || routerFailRate > 0 ||
+               flakyLinks > 0 || burstRate > 0;
+    }
+};
+
+/**
+ * The campaign driver. Construct after the network is built, add to
+ * the engine; it draws its arrivals each tick. Counters land in the
+ * network's metrics registry under "campaign.*".
+ */
+class FaultCampaign : public Component
+{
+  public:
+    FaultCampaign(Network *net, const CampaignConfig &config,
+                  std::uint64_t seed);
+
+    void tick(Cycle cycle) override;
+
+    /** Links currently failed by this campaign. */
+    std::size_t downLinks() const { return downLinks_.size(); }
+
+    /** Routers currently dead by this campaign's hand. */
+    std::size_t deadRouters() const { return deadRouters_.size(); }
+
+  private:
+    struct Flaky
+    {
+        LinkId link = kInvalidLink;
+        Cycle nextToggle = 0;
+        bool down = false;
+    };
+
+    void failLink(LinkId l, Cycle cycle);
+    void healLink(std::size_t idx);
+    LinkId pickHealthyLink();
+    RouterId pickAliveRouter();
+
+    Network *net_;
+    CampaignConfig config_;
+    Xoshiro256 rng_;
+
+    /** Links into each stage, for correlated bursts. */
+    std::vector<std::vector<LinkId>> linksIntoStage_;
+
+    std::vector<LinkId> downLinks_;
+    std::vector<RouterId> deadRouters_;
+    std::vector<Flaky> flaky_;
+
+    std::uint64_t *cLinkFailures_;
+    std::uint64_t *cLinkHeals_;
+    std::uint64_t *cRouterFailures_;
+    std::uint64_t *cRouterHeals_;
+    std::uint64_t *cFlakyToggles_;
+    std::uint64_t *cBursts_;
+};
+
+} // namespace metro
+
+#endif // METRO_FAULT_CAMPAIGN_HH

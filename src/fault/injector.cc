@@ -57,6 +57,20 @@ sampleSurvivableFaults(Network &net, const MultibutterflySpec &spec,
                        Cycle at, std::uint64_t seed,
                        unsigned max_tries)
 {
+    (void)spec; // the network's own path oracle is authoritative
+    return sampleSurvivableFaults(net, router_faults, link_faults,
+                                  at, seed, max_tries);
+}
+
+std::vector<FaultEvent>
+sampleSurvivableFaults(Network &net, unsigned router_faults,
+                       unsigned link_faults, Cycle at,
+                       std::uint64_t seed, unsigned max_tries)
+{
+    METRO_ASSERT(net.hasPathOracle(),
+                 "survivable fault sampling needs a topology with a "
+                 "structural path oracle (multibutterfly or fat "
+                 "tree); this network installed none");
     Xoshiro256 rng(seed);
 
     for (unsigned attempt = 0; attempt < max_tries; ++attempt) {
@@ -88,7 +102,7 @@ sampleSurvivableFaults(Network &net, const MultibutterflySpec &spec,
             else
                 net.link(e.target).setFault(LinkFault::Dead);
         }
-        const bool ok = allPairsConnected(net, spec);
+        const bool ok = allPairsConnected(net);
         for (const auto &e : events) {
             if (e.kind == FaultKind::RouterDead)
                 net.router(e.target).setDead(false);

@@ -89,12 +89,22 @@ class FaultInjector : public Component
 
 /**
  * Sample a set of router/link faults that provably leaves every
- * endpoint pair connected (checked with the structural path
- * counter), so degradation experiments measure performance rather
- * than partition. Resamples up to `max_tries` times.
+ * endpoint pair connected (checked with the network's structural
+ * path oracle — Network::countUsablePaths), so degradation
+ * experiments measure performance rather than partition. Works on
+ * any topology whose builder installed a path oracle (multibutterfly
+ * and fat tree both do); fails fast with a clear message on one that
+ * did not. Resamples up to `max_tries` times.
  *
  * @param at  the cycle the sampled faults should strike
  */
+std::vector<FaultEvent>
+sampleSurvivableFaults(Network &net, unsigned router_faults,
+                       unsigned link_faults, Cycle at,
+                       std::uint64_t seed, unsigned max_tries = 64);
+
+/** Back-compat shim: the spec is no longer consulted (the network's
+ *  own path oracle is); kept so existing callers compile. */
 std::vector<FaultEvent>
 sampleSurvivableFaults(Network &net, const MultibutterflySpec &spec,
                        unsigned router_faults, unsigned link_faults,

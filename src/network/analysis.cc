@@ -53,6 +53,69 @@ usableRouter(Network &net, RouterId id, PortIndex fwd_port)
     return !r.dead() && r.config().forwardEnabled[fwd_port];
 }
 
+/** Paths from src's injection links into first-stage routers. */
+std::unordered_map<RouterId, std::uint64_t>
+injectionFrontier(Network &net, NodeId src)
+{
+    std::unordered_map<RouterId, std::uint64_t> frontier;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        Link &link = net.link(l);
+        if (link.endA().kind != AttachKind::Endpoint ||
+            link.endA().id != src)
+            continue;
+        if (link.endB().kind != AttachKind::RouterForward)
+            continue;
+        if (link.fault() == LinkFault::Dead)
+            continue;
+        if (!usableRouter(net, link.endB().id, link.endB().port))
+            continue;
+        frontier[link.endB().id] += 1;
+    }
+    return frontier;
+}
+
+/**
+ * One direction-constrained expansion step shared by the walkers:
+ * every frontier router fans out over the dilated port group of
+ * `dir`, skipping disabled ports, dead links, and dead routers.
+ * Endpoint arrivals matching `dest` accumulate into `delivered`.
+ */
+std::unordered_map<RouterId, std::uint64_t>
+expandFrontier(Network &net,
+               const std::unordered_map<std::uint64_t, Hop> &adj,
+               const std::unordered_map<RouterId, std::uint64_t>
+                   &frontier,
+               unsigned dir, NodeId dest, std::uint64_t &delivered)
+{
+    std::unordered_map<RouterId, std::uint64_t> next;
+    for (const auto &[rid, count] : frontier) {
+        MetroRouter &router = net.router(rid);
+        const unsigned dilation = router.config().dilation;
+        for (unsigned k = 0; k < dilation; ++k) {
+            const PortIndex b = dir * dilation + k;
+            if (!router.config().backwardEnabled[b])
+                continue;
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(rid) << 16) | b;
+            auto it = adj.find(key);
+            if (it == adj.end())
+                continue;
+            const Hop &hop = it->second;
+            if (hop.link->fault() == LinkFault::Dead)
+                continue;
+            if (hop.toEndpoint) {
+                if (hop.id == dest)
+                    delivered += count;
+            } else {
+                if (!usableRouter(net, hop.id, hop.port))
+                    continue;
+                next[hop.id] += count;
+            }
+        }
+    }
+    return next;
+}
+
 } // namespace
 
 std::uint64_t
@@ -78,51 +141,46 @@ countPaths(Network &net, const MultibutterflySpec &spec, NodeId src,
 
     // Seed: paths into stage-0 routers from the source's injection
     // links.
-    std::unordered_map<RouterId, std::uint64_t> frontier;
-    for (LinkId l = 0; l < net.numLinks(); ++l) {
-        Link &link = net.link(l);
-        if (link.endA().kind != AttachKind::Endpoint ||
-            link.endA().id != src)
-            continue;
-        if (link.endB().kind != AttachKind::RouterForward)
-            continue;
-        if (link.fault() == LinkFault::Dead)
-            continue;
-        if (!usableRouter(net, link.endB().id, link.endB().port))
-            continue;
-        frontier[link.endB().id] += 1;
-    }
+    auto frontier = injectionFrontier(net, src);
 
     std::uint64_t delivered = 0;
-    for (std::size_t s = 0; s < radices.size(); ++s) {
-        const unsigned dir = digits[s];
-        std::unordered_map<RouterId, std::uint64_t> next;
-        for (const auto &[rid, count] : frontier) {
-            MetroRouter &router = net.router(rid);
-            const unsigned dilation = router.config().dilation;
-            for (unsigned k = 0; k < dilation; ++k) {
-                const PortIndex b = dir * dilation + k;
-                if (!router.config().backwardEnabled[b])
-                    continue;
-                const std::uint64_t key =
-                    (static_cast<std::uint64_t>(rid) << 16) | b;
-                auto it = adj.find(key);
-                if (it == adj.end())
-                    continue;
-                const Hop &hop = it->second;
-                if (hop.link->fault() == LinkFault::Dead)
-                    continue;
-                if (hop.toEndpoint) {
-                    if (hop.id == dest)
-                        delivered += count;
-                } else {
-                    if (!usableRouter(net, hop.id, hop.port))
-                        continue;
-                    next[hop.id] += count;
-                }
-            }
+    for (std::size_t s = 0; s < radices.size(); ++s)
+        frontier = expandFrontier(net, adj, frontier, digits[s],
+                                  dest, delivered);
+    return delivered;
+}
+
+std::uint64_t
+countFatTreePaths(Network &net, const FatTreeSpec &spec, NodeId src,
+                  NodeId dest)
+{
+    if (src == dest || src >= spec.numEndpoints() ||
+        dest >= spec.numEndpoints())
+        return 0;
+    const auto adj = buildAdjacency(net);
+
+    // Mirror fatTreeRoute(): climb to the lowest common ancestor
+    // level, turn down there, then descend on dest's address bits.
+    unsigned anc = 1;
+    while ((src >> anc) != (dest >> anc))
+        ++anc;
+    const unsigned hops = 2 * anc - 1;
+
+    auto frontier = injectionFrontier(net, src);
+
+    std::uint64_t delivered = 0;
+    for (unsigned h = 0; h < hops; ++h) {
+        unsigned dir;
+        if (h + 1 < anc) {
+            dir = 2; // up
+        } else if (h + 1 == anc) {
+            dir = (dest >> (anc - 1)) & 1; // peak turns down
+        } else {
+            const unsigned j = anc - (h + 1 - anc); // anc-1 .. 1
+            dir = (dest >> (j - 1)) & 1;
         }
-        frontier = std::move(next);
+        frontier =
+            expandFrontier(net, adj, frontier, dir, dest, delivered);
     }
     return delivered;
 }
@@ -151,6 +209,37 @@ minPathsOverPairs(Network &net, const MultibutterflySpec &spec)
                 continue;
             min_paths =
                 std::min(min_paths, countPaths(net, spec, s, d));
+        }
+    }
+    return min_paths;
+}
+
+bool
+allPairsConnected(Network &net)
+{
+    const auto n = static_cast<NodeId>(net.numEndpoints());
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            if (net.countUsablePaths(s, d) == 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+minPathsOverPairs(Network &net)
+{
+    std::uint64_t min_paths = ~0ULL;
+    const auto n = static_cast<NodeId>(net.numEndpoints());
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            min_paths =
+                std::min(min_paths, net.countUsablePaths(s, d));
         }
     }
     return min_paths;

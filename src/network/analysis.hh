@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "network/fattree.hh"
 #include "network/multibutterfly.hh"
 #include "network/network.hh"
 
@@ -28,15 +29,33 @@ std::uint64_t countPaths(Network &net, const MultibutterflySpec &spec,
                          NodeId src, NodeId dest);
 
 /**
+ * Fat-tree counterpart of countPaths(): usable paths along the
+ * deterministic up/peak/down route (fatTreeRoute), with the per-hop
+ * dilation fan-out as the path multiplicity.
+ */
+std::uint64_t countFatTreePaths(Network &net, const FatTreeSpec &spec,
+                                NodeId src, NodeId dest);
+
+/**
  * True when every endpoint pair retains at least one usable path.
  */
 bool allPairsConnected(Network &net, const MultibutterflySpec &spec);
+
+/**
+ * Topology-generic variant: queries the network's installed path
+ * oracle (Network::countUsablePaths); fatal when the topology
+ * installed none.
+ */
+bool allPairsConnected(Network &net);
 
 /**
  * Minimum over all endpoint pairs of the usable path count.
  */
 std::uint64_t minPathsOverPairs(Network &net,
                                 const MultibutterflySpec &spec);
+
+/** Oracle-backed variant of minPathsOverPairs(). */
+std::uint64_t minPathsOverPairs(Network &net);
 
 } // namespace metro
 

@@ -7,6 +7,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "network/analysis.hh"
 
 namespace metro
 {
@@ -327,6 +328,12 @@ buildFatTree(const FatTreeSpec &spec)
     }
 
     net->setStages(std::move(stages));
+    // Structural path oracle for generic fault sampling and
+    // degradation analysis (see Network::countUsablePaths).
+    net->setPathOracle(
+        [raw = net.get(), spec](NodeId src, NodeId dest) {
+            return countFatTreePaths(*raw, spec, src, dest);
+        });
     net->finalize();
     return net;
 }

@@ -7,6 +7,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "network/analysis.hh"
 
 namespace metro
 {
@@ -434,6 +435,12 @@ buildMultibutterfly(const MultibutterflySpec &spec)
     }
 
     net->setStages(std::move(stage_ids));
+    // Structural path oracle: generic fault sampling / degradation
+    // code counts usable paths without knowing the topology.
+    net->setPathOracle(
+        [raw = net.get(), spec](NodeId src, NodeId dest) {
+            return countPaths(*raw, spec, src, dest);
+        });
     net->finalize();
     return net;
 }

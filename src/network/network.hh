@@ -7,6 +7,7 @@
 #ifndef METRO_NETWORK_NETWORK_HH
 #define METRO_NETWORK_NETWORK_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -98,8 +99,13 @@ class Network
             engine_.addComponent(c.get());
         for (auto &e : endpoints_)
             engine_.addComponent(e.get());
-        for (auto &l : links_)
+        for (auto &l : links_) {
+            // Wire deaths destroy in-flight words; charge them to
+            // a conservation bin (see the identity in docs).
+            l->setWireDiscardCounter(
+                &metrics_.counter("words.discarded.wire"));
             engine_.addLink(l.get());
+        }
         finalized_ = true;
     }
     /** @} */
@@ -202,6 +208,41 @@ class Network
         return snap;
     }
 
+    /**
+     * Topology-specific usable-path counting (the structural oracle
+     * behind survivable fault sampling and degradation analysis).
+     * Builders install a function that counts the distinct src→dest
+     * paths avoiding dead routers, dead links, and disabled ports;
+     * generic code queries it without knowing the topology. @{
+     */
+    using PathOracle =
+        std::function<std::uint64_t(NodeId src, NodeId dest)>;
+
+    void setPathOracle(PathOracle oracle)
+    {
+        pathOracle_ = std::move(oracle);
+    }
+
+    bool hasPathOracle() const
+    {
+        return static_cast<bool>(pathOracle_);
+    }
+
+    /** Usable src→dest paths right now. Fatal when the topology
+     *  installed no oracle — a silent 0 would make survivable
+     *  sampling accept disconnecting fault sets. */
+    std::uint64_t
+    countUsablePaths(NodeId src, NodeId dest) const
+    {
+        METRO_ASSERT(hasPathOracle(),
+                     "topology installed no path oracle: "
+                     "usable-path counting (fault sampling, "
+                     "degradation analysis) is not supported on "
+                     "this network");
+        return pathOracle_(src, dest);
+    }
+    /** @} */
+
     /** Data words currently in flight across all link lanes
      *  (passive; see Link::inFlight). */
     std::uint64_t
@@ -222,6 +263,7 @@ class Network
     std::vector<std::unique_ptr<Link>> links_;
     std::vector<std::unique_ptr<CascadeGroup>> cascades_;
     std::vector<std::vector<RouterId>> stages_;
+    PathOracle pathOracle_;
     bool finalized_ = false;
 };
 

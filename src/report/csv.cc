@@ -25,6 +25,15 @@ fmt(std::uint64_t v)
     return buf;
 }
 
+/** Mean cycles from first bad evidence to mask (0 when the run had
+ *  no diagnosis engine, or it never masked anything). */
+double
+timeToMaskMean(const ExperimentResult &r)
+{
+    const auto *h = r.metrics.findHistogram("diag.time_to_mask");
+    return h == nullptr ? 0.0 : h->mean();
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -36,7 +45,8 @@ experimentCsvHeader()
             "completed",    "gaveUp",      "unresolved",
             "routerBlocks", "routerGrants", "bcbSent",
             "retries",      "wordsInjected", "wordsDelivered",
-            "wordsDiscarded", "wordsInFlight"};
+            "wordsDiscarded", "wordsInFlight",
+            "availability", "timeToMaskMean", "diagMasks"};
 }
 
 std::vector<std::string>
@@ -64,7 +74,10 @@ experimentCsvRow(const std::string &label,
             fmt(r.metrics.get("words.discarded.block") +
                 r.metrics.get("words.discarded.router") +
                 r.metrics.get("words.discarded.endpoint")),
-            fmt(r.metrics.get("words.inflight_at_drain"))};
+            fmt(r.metrics.get("words.inflight_at_drain")),
+            fmt(r.availability),
+            fmt(timeToMaskMean(r)),
+            fmt(r.metrics.get("diag.masks"))};
 }
 
 std::string

@@ -58,7 +58,19 @@ emitPoint(std::ostringstream &out, const SweepPointResult &p,
         << "      \"completed\": " << num(r.completedMessages)
         << ",\n"
         << "      \"gaveUp\": " << num(r.gaveUpMessages) << ",\n"
-        << "      \"unresolved\": " << num(r.unresolvedMessages);
+        << "      \"unresolved\": " << num(r.unresolvedMessages)
+        << ",\n"
+        << "      \"availability\": " << num(r.availability) << ",\n"
+        << "      \"availabilityWindows\": "
+        << num(r.availabilityWindows) << ",\n"
+        << "      \"timeToMaskMean\": "
+        << num([&r]() {
+               const auto *h =
+                   r.metrics.findHistogram("diag.time_to_mask");
+               return h == nullptr ? 0.0 : h->mean();
+           }())
+        << ",\n"
+        << "      \"diagMasks\": " << num(r.metrics.get("diag.masks"));
     if (include_metrics)
         out << ",\n      \"metrics\": "
             << metricsJson(r.metrics, "      ");

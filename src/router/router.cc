@@ -127,6 +127,7 @@ MetroRouter::makeStatus(const FwdPort &port, bool blocked) const
     sw.stage = stage_;
     sw.blocked = blocked;
     sw.checksum = port.crc.value();
+    sw.port = port.bwd;
     Symbol s;
     s.kind = SymbolKind::Status;
     s.value = sw.encode();
@@ -581,8 +582,25 @@ void
 MetroRouter::tick(Cycle cycle)
 {
     lastGrants_.clear();
-    if (dead_)
+    if (dead_) {
+        if (metrics_ != nullptr) {
+            // A dead router consumes nothing: census the Data
+            // words arriving on its lanes this cycle so the
+            // conservation identity survives router failures.
+            // peekDown()/peekUp() never touch the fault PRNG.
+            for (const auto &f : fwd_) {
+                if (f.link != nullptr &&
+                    f.link->peekDown().kind == SymbolKind::Data)
+                    ++*mDiscardRouter_;
+            }
+            for (const auto &b : bwd_) {
+                if (b.link != nullptr &&
+                    b.link->peekUp().kind == SymbolKind::Data)
+                    ++*mDiscardRouter_;
+            }
+        }
         return;
+    }
 
     // Snapshot availability before any teardown this cycle: a port
     // freed in cycle t accepts new connections from t+1, which also

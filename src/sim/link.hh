@@ -143,6 +143,27 @@ class Link
     void
     advance()
     {
+        // A severed wire delivers nothing — neither the words in
+        // flight at death nor anything streamed into it afterwards.
+        // Each Data word is charged exactly once, as it falls off
+        // the pipe exit unread, keeping the conservation identity
+        // exact. Two one-cycle corrections keep the charge aligned
+        // with what readers saw in this cycle's phase 1: the
+        // death-cycle head is skipped (its reader consumed and
+        // accounted it before the fault landed), and the
+        // heal-cycle head is still charged (its reader saw Empty
+        // before the heal landed).
+        const bool census =
+            (fault_ == LinkFault::Dead && !freshDeath_) ||
+            freshHeal_;
+        if (census && wireDiscards_ != nullptr) {
+            if (down_.head().kind == SymbolKind::Data)
+                ++*wireDiscards_;
+            if (up_.head().kind == SymbolKind::Data)
+                ++*wireDiscards_;
+        }
+        freshDeath_ = false;
+        freshHeal_ = false;
         down_.advance();
         up_.advance();
     }
@@ -157,17 +178,28 @@ class Link
     LinkFault fault() const { return fault_; }
 
     /**
-     * Set the fault mode. Entering Dead also flushes in-flight
-     * symbols (a severed wire delivers nothing).
+     * Set the fault mode. A Dead link delivers nothing: readers
+     * and peeks see Empty, and the in-flight symbols drain off the
+     * pipe exits unread over the next few cycles (charged to the
+     * wire-discard counter in advance()).
      */
     void
     setFault(LinkFault fault)
     {
+        const bool was_dead = fault_ == LinkFault::Dead;
         fault_ = fault;
-        if (fault == LinkFault::Dead) {
-            down_.flush();
-            up_.flush();
-        }
+        if (fault == LinkFault::Dead && !was_dead)
+            freshDeath_ = true;
+        if (fault != LinkFault::Dead && was_dead)
+            freshHeal_ = true;
+    }
+
+    /** Where to charge Data words destroyed by a link death
+     *  ("words.discarded.wire"; wired by Network::finalize). */
+    void
+    setWireDiscardCounter(std::uint64_t *counter)
+    {
+        wireDiscards_ = counter;
     }
 
   private:
@@ -183,10 +215,14 @@ class Link
             // Flip a random low bit of the payload of value-bearing
             // words; control tokens pass (their encodings are
             // heavily redundant in hardware). Corrupting payload is
-            // what the end-to-end checksum must catch.
+            // what the end-to-end checksum must catch. Test patterns
+            // are value-bearing too — a scan probe across a corrupt
+            // wire must observe a damaged pattern, or diagnosis
+            // could never confirm the fault.
             if (s.kind == SymbolKind::Data ||
                 s.kind == SymbolKind::Checksum ||
-                s.kind == SymbolKind::Header) {
+                s.kind == SymbolKind::Header ||
+                s.kind == SymbolKind::Test) {
                 s.value ^= 1ULL << faultRng_.below(8);
             }
             return s;
@@ -201,6 +237,11 @@ class Link
     Pipe up_;
     LinkFault fault_ = LinkFault::None;
     Xoshiro256 faultRng_;
+    std::uint64_t *wireDiscards_ = nullptr;
+    /** Died this cycle: its head was read before the fault. */
+    bool freshDeath_ = false;
+    /** Healed this cycle: its head still read Empty this cycle. */
+    bool freshHeal_ = false;
 };
 
 } // namespace metro

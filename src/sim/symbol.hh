@@ -142,12 +142,28 @@ struct StatusWord
     /** CRC-16 of the forward words the router passed. */
     std::uint16_t checksum = 0;
 
+    /**
+     * Backward port the router granted for this connection, or
+     * kInvalidPort when none was granted (blocked before a grant).
+     * This is the paper's fault-localization hook: combined with the
+     * stage-ordered arrival of status words it tells the source the
+     * exact output link each reporting router drove, so a timeout or
+     * checksum break between two statuses implicates one link.
+     */
+    PortIndex port = kInvalidPort;
+
+    /** Wire encoding of the no-port sentinel (6-bit field). */
+    static constexpr Word kPortMask = 0x3f;
+
     /** Pack into a channel word. */
     Word
     encode() const
     {
+        const Word p =
+            port == kInvalidPort ? kPortMask : (port & kPortMask);
         return (static_cast<Word>(router) << 32) |
                (static_cast<Word>(stage) << 24) |
+               (p << 17) |
                (static_cast<Word>(blocked ? 1 : 0) << 16) |
                static_cast<Word>(checksum);
     }
@@ -159,6 +175,9 @@ struct StatusWord
         StatusWord s;
         s.router = static_cast<RouterId>(w >> 32);
         s.stage = static_cast<std::uint8_t>((w >> 24) & 0xff);
+        const Word p = (w >> 17) & kPortMask;
+        s.port = p == kPortMask ? kInvalidPort
+                                : static_cast<PortIndex>(p);
         s.blocked = ((w >> 16) & 1) != 0;
         s.checksum = static_cast<std::uint16_t>(w & 0xffff);
         return s;

@@ -45,7 +45,7 @@ runPoint(const SweepPoint &point, std::uint64_t index)
         sweepDeriveSeed(point.config.seed, index, point.replicate);
 
     const auto t0 = std::chrono::steady_clock::now();
-    SweepInstance instance = point.build();
+    SweepInstance instance = point.build(out.seed);
     METRO_ASSERT(instance.network != nullptr,
                  "sweep point %llu (%s) built no network",
                  static_cast<unsigned long long>(index),

@@ -86,8 +86,14 @@ struct SweepPoint
 
     SweepMode mode = SweepMode::Closed;
 
-    /** Construct this point's isolated simulation instance. */
-    std::function<SweepInstance()> build;
+    /**
+     * Construct this point's isolated simulation instance. Receives
+     * the point's *derived* seed (the one the experiment will run
+     * with), so anything stochastic the builder attaches — fault
+     * sampling, campaigns — derives from it and stays invariant
+     * under thread count and schedule.
+     */
+    std::function<SweepInstance(std::uint64_t derived_seed)> build;
 
     /**
      * Optional post-run hook, called on the worker thread with the

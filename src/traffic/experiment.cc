@@ -106,10 +106,31 @@ runExperiment(Network &net, const ExperimentConfig &config,
 
     ExperimentResult result;
     result.activeEndpoints = static_cast<unsigned>(drivers.size());
+
+    // Delivered-message availability: slice the measurement window
+    // into availabilityWindow-sized pieces and mark each piece that
+    // saw at least one delivery.
+    const Cycle avail_w =
+        config.availabilityWindow == 0 ? config.measure
+                                       : config.availabilityWindow;
+    const std::uint64_t n_windows =
+        config.measure == 0
+            ? 0
+            : (config.measure + avail_w - 1) / avail_w;
+    std::vector<bool> window_alive(n_windows, false);
+
     std::uint64_t measured_words = 0;
     for (const auto &[id, rec] : net.tracker().all()) {
         if (id < first_id)
             continue; // a previous experiment's message
+        if (rec.deliverCycle != kNever &&
+            rec.deliverCycle >= measure_from &&
+            rec.deliverCycle < measure_to) {
+            const std::uint64_t w =
+                (rec.deliverCycle - measure_from) / avail_w;
+            if (w < n_windows)
+                window_alive[w] = true;
+        }
         if (rec.succeeded)
             ++result.completedMessages;
         else if (rec.gaveUp)
@@ -149,6 +170,15 @@ runExperiment(Network &net, const ExperimentConfig &config,
         n == 0 ? 0.0
                : static_cast<double>(measured_words) /
                      (window * static_cast<double>(n));
+
+    result.availabilityWindows = n_windows;
+    std::uint64_t alive = 0;
+    for (const bool w : window_alive)
+        alive += w ? 1 : 0;
+    result.availability =
+        n_windows == 0 ? 0.0
+                       : static_cast<double>(alive) /
+                             static_cast<double>(n_windows);
 
     gatherTotals(net, baseline, result);
     result.metrics = net.metricsSnapshot().deltaSince(metrics_base);

@@ -53,6 +53,10 @@ struct ExperimentConfig
 
     bool requestReply = false;
 
+    /** Window length (cycles) for the delivered-message
+     *  availability metric; see ExperimentResult::availability. */
+    Cycle availabilityWindow = 1024;
+
     std::uint64_t seed = 12345;
 };
 
@@ -93,6 +97,18 @@ struct ExperimentResult
     std::uint64_t completedMessages = 0;
     std::uint64_t gaveUpMessages = 0;
     std::uint64_t unresolvedMessages = 0;
+
+    /**
+     * Delivered-message availability: the fraction of
+     * availabilityWindow-sized slices of the measurement window in
+     * which at least one message was delivered. 1.0 on a healthy
+     * network under load; dips measure how long faults (and the
+     * time to diagnose and mask them) starve delivery.
+     */
+    double availability = 0.0;
+
+    /** Number of availability windows the metric averaged over. */
+    std::uint64_t availabilityWindows = 0;
 
     /** Router-event totals over this experiment (deltas against
      *  the counter values at experiment start). */

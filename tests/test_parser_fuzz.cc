@@ -19,6 +19,7 @@
 #include <sstream>
 #include <vector>
 
+#include "app/faultfile.hh"
 #include "app/specfile.hh"
 #include "app/sweepfile.hh"
 
@@ -86,6 +87,70 @@ TEST(ParserCorpus, SweepfileSeedsNeverCrash)
     }
 }
 
+TEST(ParserCorpus, FaultfileSeedsNeverCrash)
+{
+    const auto files = corpusFiles("faultfile");
+    ASSERT_FALSE(files.empty());
+    for (const auto &path : files) {
+        std::string error;
+        const auto faults = parseFaultText(slurp(path), error);
+        if (path.filename().string().rfind("valid_", 0) == 0) {
+            EXPECT_TRUE(faults.has_value())
+                << path << ": " << error;
+        } else if (!faults.has_value()) {
+            EXPECT_FALSE(error.empty()) << path;
+        }
+    }
+}
+
+TEST(ParserFuzz, FaultfileRejectsMalformedEvents)
+{
+    for (const char *text :
+         {"fault", "fault =", "fault = 100", "fault = 100 linkDead",
+          "fault = 100 linkDead 4 1", "fault = 100 forwardPortOff 4",
+          "fault = x linkDead 4", "fault = 100 linkDead x",
+          "linkFailRate = -0.1", "linkFailRate = 2",
+          "flakyPeriod = 0", "burstSize = 0",
+          "start = 100\nstop = 50\n"}) {
+        std::string error;
+        const auto faults = parseFaultText(text, error);
+        EXPECT_FALSE(faults.has_value()) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(ParserFuzz, FaultfileParsesScheduleAndCampaign)
+{
+    std::string error;
+    const auto faults = parseFaultText(
+        "fault = 5000 linkDead 12\n"
+        "fault = 5000 forwardPortOff 7 1\n"
+        "linkFailRate = 0.001\nlinkHealRate = 0.01\n"
+        "flakyLinks = 2\nstart = 100\n",
+        error);
+    ASSERT_TRUE(faults.has_value()) << error;
+    ASSERT_EQ(faults->events.size(), 2u);
+    EXPECT_EQ(faults->events[0].kind, FaultKind::LinkDead);
+    EXPECT_EQ(faults->events[0].at, 5000u);
+    EXPECT_EQ(faults->events[0].target, 12u);
+    EXPECT_EQ(faults->events[1].kind, FaultKind::ForwardPortOff);
+    EXPECT_EQ(faults->events[1].port, 1u);
+    EXPECT_TRUE(faults->hasCampaign());
+    EXPECT_EQ(faults->campaign.flakyLinks, 2u);
+    EXPECT_EQ(faults->campaign.start, 100u);
+}
+
+TEST(ParserFuzz, FaultfileEventCountIsBounded)
+{
+    // A generator gone haywire must fail fast, not OOM.
+    std::string text;
+    for (int k = 0; k < 100001; ++k)
+        text += "fault = 1 linkDead 0\n";
+    std::string error;
+    EXPECT_FALSE(parseFaultText(text, error).has_value());
+    EXPECT_NE(error.find("too many"), std::string::npos);
+}
+
 TEST(ParserFuzz, TruncatedLinesAreRejectedNotCrashed)
 {
     for (const char *text :
@@ -149,6 +214,7 @@ TEST(ParserFuzz, GarbageBytesAreRejected)
     std::string error;
     EXPECT_FALSE(parseSpecText(garbage, error).has_value());
     EXPECT_FALSE(parseSweepText(garbage, error).has_value());
+    EXPECT_FALSE(parseFaultText(garbage, error).has_value());
     EXPECT_FALSE(error.empty());
 }
 

@@ -36,7 +36,7 @@ smallSweep()
             point.config.measure = 1000;
             point.config.thinkTime = think;
             point.config.seed = 77;
-            point.build = []() {
+            point.build = [](std::uint64_t) {
                 SweepInstance instance;
                 instance.network =
                     buildMultibutterfly(fig1Spec(/*seed=*/5));
