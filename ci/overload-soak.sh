@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Overload soak for the retry subsystem under ThreadSanitizer.
+#
+# Builds with -DMETRO_TSAN=ON (same cache layout as tsan-sweep.sh —
+# the build dir is shared by default so the two jobs reuse one
+# compile), then:
+#   1. runs the retry/backoff/admission/aging tests, including the
+#      per-policy thread-count determinism sweep, under TSan;
+#   2. runs the congestion_collapse bench across an oversubscribed
+#      worker pool, which both soaks the parallel sweep runner past
+#      saturation and enforces the stability criterion (>= 80% of
+#      peak goodput at 2x the saturating injection rate with
+#      exponential backoff + retry budget).
+#
+# Usage: ci/overload-soak.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMETRO_TSAN=ON
+cmake --build "$BUILD" -j "$(nproc)" \
+    --target metro_tests congestion_collapse
+ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'Backoff|Retry|Admission|InflightGate'
+"$BUILD"/bench/congestion_collapse --threads="$(nproc)"

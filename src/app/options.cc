@@ -98,6 +98,28 @@ usageText()
         "  --hot-node=N          hotspot node (default 0)\n"
         "  --hot-fraction=F      hotspot probability (default "
         "0.25)\n"
+        "  --retry-policy=uniform|exponential|aimd\n"
+        "                        endpoint backoff discipline "
+        "(default uniform)\n"
+        "  --backoff-min=N       backoff window lower bound, "
+        "cycles\n"
+        "  --backoff-max=N       backoff window upper bound, "
+        "cycles\n"
+        "  --backoff-cap=N       exponential/aimd window cap, "
+        "cycles\n"
+        "  --retry-jitter        decorrelated jitter "
+        "(exponential)\n"
+        "  --retry-budget=F      retry tokens granted per success "
+        "(0 = off)\n"
+        "  --retry-budget-cap=F  retry token-bucket capacity\n"
+        "  --send-queue-limit=N  shed sends beyond this queue depth "
+        "(0 = off)\n"
+        "  --inflight-limit=N    network-wide active-message gate "
+        "(0 = off)\n"
+        "  --age-clamp=N         clamp backoff for messages older "
+        "than N cycles\n"
+        "  --age-starve=N        budget bypass + starvation count "
+        "past N cycles\n"
         "  --csv                 emit CSV instead of a table\n"
         "  --stats               append router/endpoint statistics\n"
         "  --spec-file=PATH      load a custom multibutterfly spec\n"
@@ -310,8 +332,95 @@ parseOptions(int argc, const char *const *argv, std::string &error)
                 return std::nullopt;
             }
             opts.hotFraction = v;
+        } else if (key == "--retry-policy") {
+            BackoffPolicyKind kind;
+            if (!want_value() ||
+                !parseBackoffPolicyKind(value, kind)) {
+                error = "bad --retry-policy: expected uniform, "
+                        "exponential, or aimd";
+                return std::nullopt;
+            }
+            opts.retry.kind = kind;
+        } else if (key == "--backoff-min") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --backoff-min";
+                return std::nullopt;
+            }
+            opts.retry.backoffMin = static_cast<unsigned>(v);
+        } else if (key == "--backoff-max") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --backoff-max";
+                return std::nullopt;
+            }
+            opts.retry.backoffMax = static_cast<unsigned>(v);
+        } else if (key == "--backoff-cap") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --backoff-cap";
+                return std::nullopt;
+            }
+            opts.retry.backoffCap = static_cast<unsigned>(v);
+        } else if (key == "--retry-jitter") {
+            opts.retry.decorrelatedJitter = true;
+        } else if (key == "--retry-budget") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 0.0) {
+                error = "bad --retry-budget";
+                return std::nullopt;
+            }
+            opts.retry.retryBudget = v;
+        } else if (key == "--retry-budget-cap") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 1.0) {
+                error = "bad --retry-budget-cap";
+                return std::nullopt;
+            }
+            opts.retry.retryBudgetCap = v;
+        } else if (key == "--send-queue-limit") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --send-queue-limit";
+                return std::nullopt;
+            }
+            opts.retry.sendQueueLimit = static_cast<unsigned>(v);
+        } else if (key == "--inflight-limit") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --inflight-limit";
+                return std::nullopt;
+            }
+            opts.retry.inflightLimit = static_cast<unsigned>(v);
+        } else if (key == "--age-clamp") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --age-clamp";
+                return std::nullopt;
+            }
+            opts.retry.ageClamp = v;
+        } else if (key == "--age-starve") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --age-starve";
+                return std::nullopt;
+            }
+            opts.retry.ageStarve = v;
         } else {
             error = "unknown option: " + key;
+            return std::nullopt;
+        }
+    }
+    if (opts.retry.any()) {
+        // Reject inconsistent retry flags here, with a parser-grade
+        // message, rather than letting the NI constructor assert
+        // mid-build (e.g. --backoff-min=9 --backoff-max=2 would
+        // otherwise wrap the window span).
+        RetryPolicyConfig merged;
+        opts.retry.apply(merged);
+        const std::string verr = validateRetryPolicy(merged);
+        if (!verr.empty()) {
+            error = verr;
             return std::nullopt;
         }
     }
@@ -338,6 +447,7 @@ buildTopology(const Options &opts)
         if (!spec.has_value())
             METRO_FATAL("--spec-file: %s", error.c_str());
         spec->seed = opts.seed;
+        opts.retry.apply(spec->niConfig.retry);
         built.net = buildMultibutterfly(*spec);
         built.mbSpec = *spec;
         return built;
@@ -345,18 +455,21 @@ buildTopology(const Options &opts)
     switch (opts.topology) {
       case Topology::Fig3: {
         auto spec = fig3Spec(opts.seed);
+        opts.retry.apply(spec.niConfig.retry);
         built.net = buildMultibutterfly(spec);
         built.mbSpec = spec;
         break;
       }
       case Topology::Fig1: {
         auto spec = fig1Spec(opts.seed);
+        opts.retry.apply(spec.niConfig.retry);
         built.net = buildMultibutterfly(spec);
         built.mbSpec = spec;
         break;
       }
       case Topology::Table32Jr: {
         auto spec = table32Spec(RouterParams::metroJr(), opts.seed);
+        opts.retry.apply(spec.niConfig.retry);
         built.net = buildMultibutterfly(spec);
         built.mbSpec = spec;
         break;
@@ -365,6 +478,7 @@ buildTopology(const Options &opts)
         FatTreeSpec spec;
         spec.levels = 4;
         spec.seed = opts.seed;
+        opts.retry.apply(spec.niConfig.retry);
         built.net = buildFatTree(spec);
         break;
       }

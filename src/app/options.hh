@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "retry/policy.hh"
 #include "traffic/patterns.hh"
 
 namespace metro
@@ -102,6 +103,12 @@ struct Options
 
     /** Emit the topology as Graphviz DOT and exit. */
     bool dot = false;
+
+    /** Retry-policy overrides (--retry-policy, --backoff-*,
+     *  --retry-budget, --send-queue-limit, --inflight-limit,
+     *  --age-*): applied on top of whatever retry config the
+     *  selected preset or spec file carries. */
+    RetryOverrides retry;
 };
 
 /**

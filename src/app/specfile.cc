@@ -44,6 +44,16 @@ parseBool(const std::string &s, bool &out)
     return false;
 }
 
+bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
 } // namespace
 
 std::optional<MultibutterflySpec>
@@ -134,6 +144,63 @@ parseSpecText(const std::string &text, std::string &error)
                     return bad();
                 spec.niConfig.maxAttempts =
                     static_cast<unsigned>(u);
+            } else if (key == "retryPolicy") {
+                BackoffPolicyKind kind;
+                if (!parseBackoffPolicyKind(value, kind))
+                    return bad();
+                spec.niConfig.retry.kind = kind;
+            } else if (key == "backoffMin") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.backoffMin =
+                    static_cast<unsigned>(u);
+            } else if (key == "backoffMax") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.backoffMax =
+                    static_cast<unsigned>(u);
+            } else if (key == "backoffCap") {
+                if (!parseU64(value, u) || u == 0)
+                    return bad();
+                spec.niConfig.retry.backoffCap =
+                    static_cast<unsigned>(u);
+            } else if (key == "retryJitter") {
+                if (!parseBool(value, b))
+                    return bad();
+                spec.niConfig.retry.decorrelatedJitter = b;
+            } else if (key == "aimdDecrease") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.aimdDecrease =
+                    static_cast<unsigned>(u);
+            } else if (key == "retryBudget") {
+                double f;
+                if (!parseF64(value, f) || f < 0.0)
+                    return bad();
+                spec.niConfig.retry.retryBudget = f;
+            } else if (key == "retryBudgetCap") {
+                double f;
+                if (!parseF64(value, f) || f < 1.0)
+                    return bad();
+                spec.niConfig.retry.retryBudgetCap = f;
+            } else if (key == "sendQueueLimit") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.sendQueueLimit =
+                    static_cast<unsigned>(u);
+            } else if (key == "inflightLimit") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.inflightLimit =
+                    static_cast<unsigned>(u);
+            } else if (key == "ageClamp") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.ageClamp = u;
+            } else if (key == "ageStarve") {
+                if (!parseU64(value, u))
+                    return bad();
+                spec.niConfig.retry.ageStarve = u;
             } else {
                 error = "line " + std::to_string(line_no) +
                         ": unknown network key: " + key;
@@ -197,6 +264,12 @@ parseSpecText(const std::string &text, std::string &error)
         error = "spec has no [stage] sections";
         return std::nullopt;
     }
+    const std::string retry_err =
+        validateRetryPolicy(spec.niConfig.retry);
+    if (!retry_err.empty()) {
+        error = retry_err;
+        return std::nullopt;
+    }
     return spec;
 }
 
@@ -231,6 +304,24 @@ specToText(const MultibutterflySpec &spec)
         << "routerIdleTimeout = " << spec.routerIdleTimeout << "\n"
         << "replyTimeout = " << spec.niConfig.replyTimeout << "\n"
         << "maxAttempts = " << spec.niConfig.maxAttempts << "\n";
+    const RetryPolicyConfig &retry = spec.niConfig.retry;
+    char fbuf[40];
+    out << "retryPolicy = " << backoffPolicyKindName(retry.kind)
+        << "\n"
+        << "backoffMin = " << retry.backoffMin << "\n"
+        << "backoffMax = " << retry.backoffMax << "\n"
+        << "backoffCap = " << retry.backoffCap << "\n"
+        << "retryJitter = "
+        << (retry.decorrelatedJitter ? "true" : "false") << "\n"
+        << "aimdDecrease = " << retry.aimdDecrease << "\n";
+    std::snprintf(fbuf, sizeof(fbuf), "%.17g", retry.retryBudget);
+    out << "retryBudget = " << fbuf << "\n";
+    std::snprintf(fbuf, sizeof(fbuf), "%.17g", retry.retryBudgetCap);
+    out << "retryBudgetCap = " << fbuf << "\n"
+        << "sendQueueLimit = " << retry.sendQueueLimit << "\n"
+        << "inflightLimit = " << retry.inflightLimit << "\n"
+        << "ageClamp = " << retry.ageClamp << "\n"
+        << "ageStarve = " << retry.ageStarve << "\n";
     for (const auto &st : spec.stages) {
         out << "\n[stage]\n"
             << "radix = " << st.radix << "\n"

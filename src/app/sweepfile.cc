@@ -97,6 +97,10 @@ struct NetworkRecipe
     MultibutterflySpec spec; // SpecFile kind only
     std::uint64_t seed = 1;
 
+    /** Retry-policy overrides applied on top of the topology's
+     *  own retry config (a spec file's, or the defaults). */
+    RetryOverrides retry;
+
     /** Faults the file asked for (fault events + campaign). */
     std::optional<FaultFile> faults;
 
@@ -108,26 +112,36 @@ struct NetworkRecipe
     {
         SweepInstance instance;
         switch (kind) {
-          case Kind::Fig3:
-            instance.network = buildMultibutterfly(fig3Spec(seed));
+          case Kind::Fig3: {
+            auto s = fig3Spec(seed);
+            retry.apply(s.niConfig.retry);
+            instance.network = buildMultibutterfly(s);
             break;
-          case Kind::Fig1:
-            instance.network = buildMultibutterfly(fig1Spec(seed));
+          }
+          case Kind::Fig1: {
+            auto s = fig1Spec(seed);
+            retry.apply(s.niConfig.retry);
+            instance.network = buildMultibutterfly(s);
             break;
-          case Kind::Table32Jr:
-            instance.network = buildMultibutterfly(
-                table32Spec(RouterParams::metroJr(), seed));
+          }
+          case Kind::Table32Jr: {
+            auto s = table32Spec(RouterParams::metroJr(), seed);
+            retry.apply(s.niConfig.retry);
+            instance.network = buildMultibutterfly(s);
             break;
+          }
           case Kind::FatTree: {
             FatTreeSpec ft;
             ft.levels = 4;
             ft.seed = seed;
+            retry.apply(ft.niConfig.retry);
             instance.network = buildFatTree(ft);
             break;
           }
           case Kind::SpecFile: {
             MultibutterflySpec s = spec;
             s.seed = seed;
+            retry.apply(s.niConfig.retry);
             instance.network = buildMultibutterfly(s);
             break;
           }
@@ -173,6 +187,12 @@ parseSweepText(const std::string &text, std::string &error,
     std::vector<double> injects;
     unsigned replicates = 1;
     std::uint64_t base_seed = 1;
+
+    // `retryPolicy = a,b,...` adds a sweep axis: the point list is
+    // the cross product of load values × replicates × policies, and
+    // each point's label gains a " policy=<name>" suffix so curves
+    // separate in the CSV/JSON.
+    std::vector<BackoffPolicyKind> policy_axis;
 
     std::istringstream in(text);
     std::string raw;
@@ -328,6 +348,58 @@ parseSweepText(const std::string &text, std::string &error,
             if (!parseU64(value, u))
                 return bad();
             out.threads = static_cast<unsigned>(u);
+        } else if (key == "retryPolicy") {
+            policy_axis.clear();
+            for (const auto &part : splitCommas(value)) {
+                BackoffPolicyKind kind;
+                if (!parseBackoffPolicyKind(part, kind))
+                    return bad();
+                policy_axis.push_back(kind);
+            }
+        } else if (key == "backoffMin") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.backoffMin = static_cast<unsigned>(u);
+        } else if (key == "backoffMax") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.backoffMax = static_cast<unsigned>(u);
+        } else if (key == "backoffCap") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            recipe.retry.backoffCap = static_cast<unsigned>(u);
+        } else if (key == "retryJitter") {
+            if (!parseBool(value, b))
+                return bad();
+            recipe.retry.decorrelatedJitter = b;
+        } else if (key == "aimdDecrease") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.aimdDecrease = static_cast<unsigned>(u);
+        } else if (key == "retryBudget") {
+            if (!parseF64(value, f) || f < 0.0)
+                return bad();
+            recipe.retry.retryBudget = f;
+        } else if (key == "retryBudgetCap") {
+            if (!parseF64(value, f) || f < 1.0)
+                return bad();
+            recipe.retry.retryBudgetCap = f;
+        } else if (key == "sendQueueLimit") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.sendQueueLimit = static_cast<unsigned>(u);
+        } else if (key == "inflightLimit") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.inflightLimit = static_cast<unsigned>(u);
+        } else if (key == "ageClamp") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.ageClamp = u;
+        } else if (key == "ageStarve") {
+            if (!parseU64(value, u))
+                return bad();
+            recipe.retry.ageStarve = u;
         } else {
             error = "line " + std::to_string(line_no) +
                     ": unknown key: " + key;
@@ -343,41 +415,86 @@ parseSweepText(const std::string &text, std::string &error,
     recipe.seed = base_seed;
     cfg.seed = base_seed;
 
+    // Each policy-axis value (or the single implicit recipe) must
+    // merge into a usable retry config; reject the file up front
+    // rather than asserting inside a worker thread mid-sweep.
+    {
+        std::vector<RetryOverrides> variants;
+        if (policy_axis.empty()) {
+            variants.push_back(recipe.retry);
+        } else {
+            for (BackoffPolicyKind kind : policy_axis) {
+                RetryOverrides o = recipe.retry;
+                o.kind = kind;
+                variants.push_back(o);
+            }
+        }
+        for (const auto &o : variants) {
+            RetryPolicyConfig merged =
+                recipe.kind == NetworkRecipe::Kind::SpecFile
+                    ? recipe.spec.niConfig.retry
+                    : RetryPolicyConfig{};
+            o.apply(merged);
+            const std::string verr = validateRetryPolicy(merged);
+            if (!verr.empty()) {
+                error = verr;
+                return std::nullopt;
+            }
+        }
+    }
+
     const std::size_t values =
         mode == SweepMode::Closed ? thinks.size() : injects.size();
+    const std::size_t policies =
+        policy_axis.empty() ? 1 : policy_axis.size();
 
-    // values × replicates points are materialized up front; a bogus
-    // file (huge replicates, a mile-long think list) must fail here
-    // rather than exhaust memory building the point vector.
+    // values × replicates × policies points are materialized up
+    // front; a bogus file (huge replicates, a mile-long think list)
+    // must fail here rather than exhaust memory building the point
+    // vector.
     constexpr std::size_t kMaxSweepPoints = 100000;
-    if (replicates > kMaxSweepPoints / values) {
+    if (replicates > kMaxSweepPoints / values / policies) {
         error = "sweep too large: " + std::to_string(values) +
                 " values x " + std::to_string(replicates) +
-                " replicates exceeds " +
+                " replicates x " + std::to_string(policies) +
+                " policies exceeds " +
                 std::to_string(kMaxSweepPoints) + " points";
         return std::nullopt;
     }
 
-    for (std::size_t v = 0; v < values; ++v) {
-        for (unsigned rep = 0; rep < replicates; ++rep) {
-            SweepPoint point;
-            point.mode = mode;
-            point.replicate = rep;
-            point.config = cfg;
-            if (mode == SweepMode::Closed) {
-                point.config.thinkTime = thinks[v];
-                point.label = "think=" + std::to_string(thinks[v]);
-            } else {
-                point.config.injectProb = injects[v];
-                char buf[32];
-                std::snprintf(buf, sizeof(buf), "inject=%g",
-                              injects[v]);
-                point.label = buf;
+    for (std::size_t pk = 0; pk < policies; ++pk) {
+        NetworkRecipe point_recipe = recipe;
+        std::string policy_suffix;
+        if (!policy_axis.empty()) {
+            point_recipe.retry.kind = policy_axis[pk];
+            policy_suffix =
+                std::string(" policy=") +
+                backoffPolicyKindName(policy_axis[pk]);
+        }
+        for (std::size_t v = 0; v < values; ++v) {
+            for (unsigned rep = 0; rep < replicates; ++rep) {
+                SweepPoint point;
+                point.mode = mode;
+                point.replicate = rep;
+                point.config = cfg;
+                if (mode == SweepMode::Closed) {
+                    point.config.thinkTime = thinks[v];
+                    point.label =
+                        "think=" + std::to_string(thinks[v]);
+                } else {
+                    point.config.injectProb = injects[v];
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), "inject=%g",
+                                  injects[v]);
+                    point.label = buf;
+                }
+                point.label += policy_suffix;
+                point.build =
+                    [point_recipe](std::uint64_t derived_seed) {
+                        return point_recipe.build(derived_seed);
+                    };
+                out.points.push_back(std::move(point));
             }
-            point.build = [recipe](std::uint64_t derived_seed) {
-                return recipe.build(derived_seed);
-            };
-            out.points.push_back(std::move(point));
         }
     }
     return out;

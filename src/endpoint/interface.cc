@@ -15,6 +15,12 @@ NetworkInterface::NetworkInterface(NodeId id, const NiConfig &config,
       rng_(seed ^ (0xabcdef12345ULL + id))
 {
     METRO_ASSERT(tracker_ != nullptr, "tracker required");
+    const std::string err = validateRetryPolicy(config_.retry);
+    METRO_ASSERT(err.empty(), "endpoint %u retry config: %s", id_,
+                 err.c_str());
+    policy_ = makeBackoffPolicy(config_.retry);
+    budget_.configure(config_.retry.retryBudget,
+                      config_.retry.retryBudgetCap);
 }
 
 void
@@ -25,19 +31,27 @@ NetworkInterface::setMetrics(MetricsRegistry *metrics)
         mInjected_ = &scratch_;
         mDelivered_ = &scratch_;
         mDiscardEp_ = &scratch_;
+        mSubmitted_ = &scratch_;
+        mAdmitted_ = &scratch_;
+        mShedAdm_ = &scratch_;
         hSetup_ = &scratchHist_;
         hTurnRt_ = &scratchHist_;
         hPathLen_ = &scratchHist_;
         hAttempts_ = &scratchHist_;
+        hGiveUp_ = &scratchHist_;
         return;
     }
     mInjected_ = &metrics->counter("words.injected");
     mDelivered_ = &metrics->counter("words.delivered");
     mDiscardEp_ = &metrics->counter("words.discarded.endpoint");
+    mSubmitted_ = &metrics->counter("words.submitted");
+    mAdmitted_ = &metrics->counter("words.admitted");
+    mShedAdm_ = &metrics->counter("words.shed.admission");
     hSetup_ = &metrics->histogram("conn.setup_latency");
     hTurnRt_ = &metrics->histogram("conn.turn_roundtrip");
     hPathLen_ = &metrics->histogram("conn.path_length");
     hAttempts_ = &metrics->histogram("conn.attempts");
+    hGiveUp_ = &metrics->histogram("conn.giveup_latency");
 }
 
 void
@@ -208,11 +222,31 @@ NetworkInterface::send(NodeId dest, std::vector<Word> payload,
                      static_cast<unsigned long long>(w),
                      config_.width);
     }
+    // A message's wire footprint is its payload plus the checksum
+    // word (what injection admission is bounding).
+    const std::uint64_t words = payload.size() + 1;
     const std::uint64_t id =
         tracker_->create(id_, dest, std::move(payload), nextSequence_++,
                          request_reply, /*now=*/kNever);
-    queue_.push_back(id);
     counters_.add("submitted");
+    *mSubmitted_ += words;
+    if (config_.retry.sendQueueLimit > 0 &&
+        queue_.size() >= config_.retry.sendQueueLimit) {
+        // Admission control: shed at the source boundary. The
+        // message resolves immediately (gaveUp) without touching
+        // the wire, so the shed words land in their own
+        // conservation bin: submitted == admitted + shed.
+        auto &rec = tracker_->record(id);
+        rec.gaveUp = true;
+        rec.shedAdmission = true;
+        rec.submitCycle = lastCycle_;
+        rec.completeCycle = lastCycle_;
+        counters_.add("admissionSheds");
+        *mShedAdm_ += words;
+        return id;
+    }
+    *mAdmitted_ += words;
+    queue_.push_back(id);
     return id;
 }
 
@@ -227,13 +261,27 @@ NetworkInterface::sendSession(NodeId dest,
                          "session word exceeds channel width");
         }
     }
+    const std::uint64_t words = rounds.front().size() + 1;
     const std::uint64_t id =
         tracker_->create(id_, dest, rounds.front(), nextSequence_++,
                          /*request_reply=*/true, kNever);
     tracker_->record(id).sessionRounds = std::move(rounds);
-    queue_.push_back(id);
     counters_.add("submitted");
     counters_.add("sessionsSubmitted");
+    *mSubmitted_ += words;
+    if (config_.retry.sendQueueLimit > 0 &&
+        queue_.size() >= config_.retry.sendQueueLimit) {
+        auto &rec = tracker_->record(id);
+        rec.gaveUp = true;
+        rec.shedAdmission = true;
+        rec.submitCycle = lastCycle_;
+        rec.completeCycle = lastCycle_;
+        counters_.add("admissionSheds");
+        *mShedAdm_ += words;
+        return id;
+    }
+    *mAdmitted_ += words;
+    queue_.push_back(id);
     return id;
 }
 
@@ -302,7 +350,9 @@ NetworkInterface::startAttempt(Cycle cycle)
     auto &rec = tracker_->record(activeMsg_);
     ++rec.attempts;
     counters_.add("attempts");
-    if (rec.attempts > 1)
+    if (rec.attempts == 1)
+        prevBackoff_ = 0; // fresh message: no previous delay
+    else
         counters_.add("retries");
     attemptStart_ = cycle;
     if (observer_ != nullptr)
@@ -360,23 +410,94 @@ NetworkInterface::scheduleRetry(Cycle cycle)
     reportAttempt(cycle, /*success=*/false);
     if (observer_ != nullptr)
         observer_->onAttemptEnd(activeMsg_, false, cycle);
+    // Congestion signal: a blocked STATUS or a backward-control-bit
+    // drop means the path was contended — as opposed to corruption
+    // or a timeout, which point at faults. AIMD feeds on the
+    // distinction.
+    const bool congested = sawBlockedStatus_ ||
+                           abortCause_ == AttemptOutcome::BcbDrop;
+    policy_->onOutcome(/*success=*/false, congested);
     if (rec.attempts >= config_.maxAttempts) {
         rec.gaveUp = true;
         rec.completeCycle = cycle;
         counters_.add("giveUps");
         hAttempts_->sample(rec.attempts);
+        hGiveUp_->sample(cycle - rec.submitCycle);
         if (observer_ != nullptr)
             observer_->onMessageResolved(activeMsg_, false, cycle);
+        releaseGate();
         activeMsg_ = 0;
         sendState_ = SendState::Idle;
         return;
     }
-    const auto span = config_.backoffMax - config_.backoffMin;
-    const auto wait =
-        config_.backoffMin +
-        (span > 0 ? static_cast<unsigned>(rng_.below(span + 1)) : 0);
+    BackoffContext ctx;
+    ctx.attempt = rec.attempts;
+    ctx.congested = congested;
+    ctx.messageAge = cycle - rec.submitCycle;
+    ctx.prevDelay = prevBackoff_;
+    Cycle wait = policy_->nextDelay(ctx, rng_);
+    // Aging, first threshold: an old message's backoff is clamped
+    // to the minimum so it keeps contending for the network.
+    const auto &rp = config_.retry;
+    if (rp.ageClamp > 0 && ctx.messageAge >= rp.ageClamp &&
+        wait > rp.backoffMin) {
+        wait = rp.backoffMin;
+        counters_.add("backoffClamps");
+    }
+    prevBackoff_ = wait;
     backoffUntil_ = cycle + 1 + wait;
     sendState_ = SendState::Backoff;
+}
+
+bool
+NetworkInterface::admitRetry(MessageRecord &rec, Cycle cycle)
+{
+    // First attempts are always free: the budget bounds *retry*
+    // traffic relative to offered load, not offered load itself.
+    if (rec.attempts == 0 || !budget_.enabled())
+        return true;
+    const auto &rp = config_.retry;
+    if (rp.ageStarve > 0 && cycle - rec.submitCycle >= rp.ageStarve) {
+        // Aging, second threshold: a starving message bypasses the
+        // budget entirely, so an empty bucket can never wedge a
+        // sender forever (the liveness escape validateRetryPolicy
+        // insists on).
+        if (!rec.starved) {
+            rec.starved = true;
+            counters_.add("starvations");
+        }
+        return true;
+    }
+    if (budget_.tryConsume())
+        return true;
+    counters_.add("budgetDenials");
+    return false;
+}
+
+void
+NetworkInterface::parkActive(const MessageRecord &rec, Cycle cycle)
+{
+    // Old messages escalate to head-of-queue; younger parked
+    // retries requeue behind fresh traffic, whose free first
+    // attempts both make progress and refill the budget.
+    const auto &rp = config_.retry;
+    if (rp.ageClamp > 0 && cycle - rec.submitCycle >= rp.ageClamp)
+        queue_.push_front(activeMsg_);
+    else
+        queue_.push_back(activeMsg_);
+    counters_.add("retriesParked");
+    releaseGate();
+    activeMsg_ = 0;
+    sendState_ = SendState::Idle;
+}
+
+void
+NetworkInterface::releaseGate()
+{
+    if (gateHeld_) {
+        gate_->release();
+        gateHeld_ = false;
+    }
 }
 
 void
@@ -394,11 +515,14 @@ NetworkInterface::finishAttempt(Cycle cycle, bool success)
         counters_.add("successes");
         hAttempts_->sample(rec.attempts);
         hPathLen_->sample(statuses_.size());
+        policy_->onOutcome(/*success=*/true, /*congested=*/false);
+        budget_.onSuccess();
         reportAttempt(cycle, /*success=*/true);
         if (observer_ != nullptr) {
             observer_->onAttemptEnd(activeMsg_, true, cycle);
             observer_->onMessageResolved(activeMsg_, true, cycle);
         }
+        releaseGate();
         activeMsg_ = 0;
         sendState_ = SendState::Idle;
     } else {
@@ -414,11 +538,26 @@ NetworkInterface::tickSend(Cycle cycle)
     if (sendState_ == SendState::Idle) {
         if (queue_.empty())
             return;
+        // Global in-flight-attempts gate (admission control): a
+        // message activates only when a slot is free. Endpoints
+        // tick in fixed engine order, so acquisition stays
+        // deterministic.
+        if (gate_ != nullptr && !gate_->tryAcquire()) {
+            counters_.add("gateDeferrals");
+            return;
+        }
+        gateHeld_ = gate_ != nullptr;
         activeMsg_ = queue_.front();
         queue_.pop_front();
         auto &rec = tracker_->record(activeMsg_);
         if (rec.submitCycle == kNever)
             rec.submitCycle = cycle;
+        if (!admitRetry(rec, cycle)) {
+            // A budget-parked retry popped while the bucket is
+            // still dry: park it again and free the cycle.
+            parkActive(rec, cycle);
+            return;
+        }
         startAttempt(cycle);
         // fall through into Sending below to emit the first word
     }
@@ -426,10 +565,14 @@ NetworkInterface::tickSend(Cycle cycle)
     const std::vector<Link *> *group = &out_[outPort_];
 
     if (sendState_ == SendState::Backoff) {
-        if (cycle >= backoffUntil_)
-            startAttempt(cycle);
-        else
+        if (cycle < backoffUntil_)
             return;
+        auto &rec = tracker_->record(activeMsg_);
+        if (!admitRetry(rec, cycle)) {
+            parkActive(rec, cycle);
+            return;
+        }
+        startAttempt(cycle);
         group = &out_[outPort_]; // port re-chosen by startAttempt
     }
 
@@ -814,6 +957,7 @@ NetworkInterface::tickRecv(RecvPort &port, Cycle cycle)
 void
 NetworkInterface::tick(Cycle cycle)
 {
+    lastCycle_ = cycle;
     for (auto &port : in_)
         tickRecv(port, cycle);
     protocolRead_ = SIZE_MAX;

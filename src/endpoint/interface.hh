@@ -44,6 +44,7 @@
 #include "endpoint/message.hh"
 #include "obs/observer.hh"
 #include "obs/registry.hh"
+#include "retry/policy.hh"
 #include "sim/component.hh"
 #include "sim/link.hh"
 
@@ -72,10 +73,11 @@ struct NiConfig
     /** Give up after this many connection attempts. */
     unsigned maxAttempts = 64;
 
-    /** Random retry backoff range, in cycles. @{ */
-    unsigned backoffMin = 0;
-    unsigned backoffMax = 7;
-    /** @} */
+    /** Retry policy: backoff discipline (and its window), retry
+     *  budget, admission control, anti-starvation aging. Defaults
+     *  reproduce the original uniform [0, 7] backoff bit-exactly
+     *  (see retry/policy.hh). */
+    RetryPolicyConfig retry;
 
     /** Watchdog: cycles to wait after TURN for the connection to
      *  resolve before aborting the attempt. */
@@ -230,6 +232,18 @@ class NetworkInterface : public Component
     void setObserver(ConnObserver *observer) { observer_ = observer; }
 
     /**
+     * Share the network-wide in-flight-attempts gate (injection
+     * admission control): a queued message is only activated when a
+     * slot is free, and holds it until it resolves or is
+     * budget-parked. nullptr detaches; the gate must outlive the
+     * endpoint. Builders wire this when retry.inflightLimit > 0.
+     */
+    void setInflightGate(InflightGate *gate) { gate_ = gate; }
+
+    /** Retry-budget tokens currently available (tests/diagnostics). */
+    double retryBudgetTokens() const { return budget_.tokens(); }
+
+    /**
      * Attach a fault diary (diag/diary.hh): every finished attempt
      * is reported with its STATUS evidence so the diagnosis layer
      * can localize faults. nullptr detaches; the diary must outlive
@@ -318,6 +332,11 @@ class NetworkInterface : public Component
                          bool &consistent) const;
     /** @} */
     void scheduleRetry(Cycle cycle);
+    /** Budget/aging check before a retry attempt launches. */
+    bool admitRetry(MessageRecord &rec, Cycle cycle);
+    /** Re-queue a budget-denied retry (head-of-queue when old). */
+    void parkActive(const MessageRecord &rec, Cycle cycle);
+    void releaseGate();
     void tickSend(Cycle cycle);
     void tickRecv(RecvPort &port, Cycle cycle);
     void processReceivedSymbol(RecvPort &port, const Symbol &sym,
@@ -328,6 +347,8 @@ class NetworkInterface : public Component
     NiConfig config_;
     MessageTracker *tracker_;
     Xoshiro256 rng_;
+    std::unique_ptr<BackoffPolicy> policy_;
+    RetryBudget budget_;
     RouteFunction routeFn_;
     ReplyHandler replyHandler_;
     DeliveryHandler deliveryHandler_;
@@ -347,6 +368,14 @@ class NetworkInterface : public Component
     std::size_t cursor_ = 0;
     Cycle turnSent_ = 0;
     Cycle backoffUntil_ = 0;
+    /** Last delay the policy chose for the active message
+     *  (decorrelated-jitter input; reset per message). */
+    Cycle prevBackoff_ = 0;
+    /** Latest cycle tick() saw (timestamps admission sheds, which
+     *  happen inside send() where no cycle is passed). */
+    Cycle lastCycle_ = 0;
+    InflightGate *gate_ = nullptr;
+    bool gateHeld_ = false;
     std::vector<StatusWord> statuses_;
     bool sawBlockedStatus_ = false;
     /** How the attempt in flight has (so far) failed. */
@@ -382,10 +411,14 @@ class NetworkInterface : public Component
     std::uint64_t *mInjected_ = &scratch_;
     std::uint64_t *mDelivered_ = &scratch_;
     std::uint64_t *mDiscardEp_ = &scratch_;
+    std::uint64_t *mSubmitted_ = &scratch_;
+    std::uint64_t *mAdmitted_ = &scratch_;
+    std::uint64_t *mShedAdm_ = &scratch_;
     LogHistogram *hSetup_ = &scratchHist_;
     LogHistogram *hTurnRt_ = &scratchHist_;
     LogHistogram *hPathLen_ = &scratchHist_;
     LogHistogram *hAttempts_ = &scratchHist_;
+    LogHistogram *hGiveUp_ = &scratchHist_;
     /** Cycle the current attempt launched (setup-latency base). */
     Cycle attemptStart_ = 0;
     /** Out-port group whose reverse lane tickSend consumed this

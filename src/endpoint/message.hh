@@ -74,6 +74,15 @@ struct MessageRecord
     bool succeeded = false;
     bool gaveUp = false;
 
+    /** Anti-starvation: crossed the ageStarve threshold (bypassed
+     *  the retry budget) at least once. */
+    bool starved = false;
+
+    /** Shed by injection admission control: the bounded send queue
+     *  was full, the message never entered it (gaveUp is also set —
+     *  the message is resolved without any wire activity). */
+    bool shedAdmission = false;
+
     /** STATUS words collected on the final (successful or last)
      *  attempt, in network-stage order. */
     std::vector<StatusWord> statuses;

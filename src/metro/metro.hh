@@ -37,6 +37,7 @@
 #include "obs/observer.hh"
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
+#include "retry/policy.hh"
 #include "router/allocator.hh"
 #include "router/cascade.hh"
 #include "router/config.hh"

@@ -205,8 +205,13 @@ buildFatTree(const FatTreeSpec &spec)
     ni_config.width = spec.params.width;
 
     // Endpoints.
-    for (NodeId e = 0; e < n; ++e)
-        net->addEndpoint(ni_config, subSeed(spec.seed, 0x100 + e));
+    for (NodeId e = 0; e < n; ++e) {
+        auto *ni =
+            net->addEndpoint(ni_config, subSeed(spec.seed, 0x100 + e));
+        if (ni_config.retry.inflightLimit > 0)
+            ni->setInflightGate(net->inflightGate(
+                ni_config.retry.inflightLimit));
+    }
 
     // Routers, level by level; stage index = level - 1.
     // grid[l][c] = router ids of cluster c at level l.

@@ -268,6 +268,9 @@ buildMultibutterfly(const MultibutterflySpec &spec)
     for (NodeId e = 0; e < spec.numEndpoints; ++e) {
         auto *ni = net->addEndpoint(ni_config, subSeed(spec.seed,
                                                        0x1000 + e));
+        if (ni_config.retry.inflightLimit > 0)
+            ni->setInflightGate(net->inflightGate(
+                ni_config.retry.inflightLimit));
         const auto &first = spec.stages.front();
         for (unsigned k = 0; k < spec.endpointPorts; ++k) {
             std::vector<Link *> slices;

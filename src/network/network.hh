@@ -86,6 +86,20 @@ class Network
         stages_ = std::move(stages);
     }
 
+    /**
+     * The network-wide in-flight-attempts gate (injection admission
+     * control; see retry/policy.hh). Created on first call with the
+     * given limit; builders hand it to every endpoint whose retry
+     * config sets inflightLimit > 0.
+     */
+    InflightGate *
+    inflightGate(unsigned limit)
+    {
+        if (!inflightGate_)
+            inflightGate_ = std::make_unique<InflightGate>(limit);
+        return inflightGate_.get();
+    }
+
     /** Register all objects with the engine. Call exactly once. */
     void
     finalize()
@@ -263,6 +277,7 @@ class Network
     std::vector<std::unique_ptr<Link>> links_;
     std::vector<std::unique_ptr<CascadeGroup>> cascades_;
     std::vector<std::vector<RouterId>> stages_;
+    std::unique_ptr<InflightGate> inflightGate_;
     PathOracle pathOracle_;
     bool finalized_ = false;
 };

@@ -34,6 +34,15 @@ timeToMaskMean(const ExperimentResult &r)
     return h == nullptr ? 0.0 : h->mean();
 }
 
+/** Mean submit→abandon latency of gave-up messages (0 when
+ *  nothing gave up). */
+double
+giveUpLatencyMean(const ExperimentResult &r)
+{
+    const auto *h = r.metrics.findHistogram("conn.giveup_latency");
+    return h == nullptr ? 0.0 : h->mean();
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -46,7 +55,10 @@ experimentCsvHeader()
             "routerBlocks", "routerGrants", "bcbSent",
             "retries",      "wordsInjected", "wordsDelivered",
             "wordsDiscarded", "wordsInFlight",
-            "availability", "timeToMaskMean", "diagMasks"};
+            "availability", "timeToMaskMean", "diagMasks",
+            "attemptsP99",  "maxMsgAge",     "jainGoodput",
+            "giveUpLatencyMean", "shedWords", "starvations",
+            "budgetDenials"};
 }
 
 std::vector<std::string>
@@ -77,7 +89,14 @@ experimentCsvRow(const std::string &label,
             fmt(r.metrics.get("words.inflight_at_drain")),
             fmt(r.availability),
             fmt(timeToMaskMean(r)),
-            fmt(r.metrics.get("diag.masks"))};
+            fmt(r.metrics.get("diag.masks")),
+            fmt(r.attemptsAll.percentile(99)),
+            fmt(static_cast<std::uint64_t>(r.maxMessageAge)),
+            fmt(r.jainGoodput),
+            fmt(giveUpLatencyMean(r)),
+            fmt(r.metrics.get("words.shed.admission")),
+            fmt(r.niTotals.get("starvations")),
+            fmt(r.niTotals.get("budgetDenials"))};
 }
 
 std::string

@@ -70,7 +70,26 @@ emitPoint(std::ostringstream &out, const SweepPointResult &p,
                return h == nullptr ? 0.0 : h->mean();
            }())
         << ",\n"
-        << "      \"diagMasks\": " << num(r.metrics.get("diag.masks"));
+        << "      \"diagMasks\": " << num(r.metrics.get("diag.masks"))
+        << ",\n"
+        << "      \"attemptsP99\": "
+        << num(r.attemptsAll.percentile(99)) << ",\n"
+        << "      \"maxMsgAge\": "
+        << num(static_cast<std::uint64_t>(r.maxMessageAge)) << ",\n"
+        << "      \"jainGoodput\": " << num(r.jainGoodput) << ",\n"
+        << "      \"giveUpLatencyMean\": "
+        << num([&r]() {
+               const auto *h =
+                   r.metrics.findHistogram("conn.giveup_latency");
+               return h == nullptr ? 0.0 : h->mean();
+           }())
+        << ",\n"
+        << "      \"shedWords\": "
+        << num(r.metrics.get("words.shed.admission")) << ",\n"
+        << "      \"starvations\": "
+        << num(r.niTotals.get("starvations")) << ",\n"
+        << "      \"budgetDenials\": "
+        << num(r.niTotals.get("budgetDenials"));
     if (include_metrics)
         out << ",\n      \"metrics\": "
             << metricsJson(r.metrics, "      ");

@@ -1,0 +1,256 @@
+#include "retry/policy.hh"
+
+#include <cstdio>
+
+namespace metro
+{
+
+const char *
+backoffPolicyKindName(BackoffPolicyKind kind)
+{
+    switch (kind) {
+      case BackoffPolicyKind::Uniform:
+        return "uniform";
+      case BackoffPolicyKind::Exponential:
+        return "exponential";
+      case BackoffPolicyKind::Aimd:
+        return "aimd";
+    }
+    return "unknown";
+}
+
+bool
+parseBackoffPolicyKind(const std::string &name,
+                       BackoffPolicyKind &out)
+{
+    if (name == "uniform") {
+        out = BackoffPolicyKind::Uniform;
+        return true;
+    }
+    if (name == "exponential") {
+        out = BackoffPolicyKind::Exponential;
+        return true;
+    }
+    if (name == "aimd") {
+        out = BackoffPolicyKind::Aimd;
+        return true;
+    }
+    return false;
+}
+
+std::string
+validateRetryPolicy(const RetryPolicyConfig &config)
+{
+    if (config.backoffMin > config.backoffMax)
+        return "backoffMin (" + std::to_string(config.backoffMin) +
+               ") exceeds backoffMax (" +
+               std::to_string(config.backoffMax) +
+               "): the backoff window is empty";
+    if (config.backoffCap == 0)
+        return "backoffCap must be > 0";
+    if (config.retryBudget < 0.0)
+        return "retryBudget must be >= 0";
+    if (config.retryBudget > 0.0) {
+        if (config.retryBudgetCap < 1.0)
+            return "retryBudgetCap must be >= 1 when a retry "
+                   "budget is enabled";
+        if (config.ageStarve == 0)
+            return "retryBudget requires ageStarve > 0: the "
+                   "starvation escape is what keeps a sender with "
+                   "an empty bucket live";
+    }
+    if (config.ageClamp > 0 && config.ageStarve > 0 &&
+        config.ageStarve < config.ageClamp)
+        return "ageStarve (" + std::to_string(config.ageStarve) +
+               ") must be >= ageClamp (" +
+               std::to_string(config.ageClamp) + ")";
+    return "";
+}
+
+namespace
+{
+
+/** The original fixed-window draw, bit-exact: when the span is
+ *  zero no random number is consumed at all, so default-configured
+ *  endpoints replay pre-existing seeds unchanged. */
+class UniformBackoff final : public BackoffPolicy
+{
+  public:
+    explicit UniformBackoff(const RetryPolicyConfig &config)
+        : config_(config)
+    {
+    }
+
+    Cycle
+    nextDelay(const BackoffContext &, Xoshiro256 &rng) override
+    {
+        const unsigned span =
+            config_.backoffMax - config_.backoffMin;
+        return config_.backoffMin +
+               (span > 0 ? static_cast<unsigned>(rng.below(span + 1))
+                         : 0);
+    }
+
+    BackoffPolicyKind
+    kind() const override
+    {
+        return BackoffPolicyKind::Uniform;
+    }
+
+  private:
+    RetryPolicyConfig config_;
+};
+
+/** Binary exponential backoff with a cap; attempt 1 draws from the
+ *  same window as the uniform policy, each further attempt doubles
+ *  the span. With decorrelated jitter, later draws come from
+ *  [min, 3 × previous delay) instead (AWS-style), which spreads
+ *  synchronized colliders apart faster than doubling alone. */
+class ExponentialBackoff final : public BackoffPolicy
+{
+  public:
+    explicit ExponentialBackoff(const RetryPolicyConfig &config)
+        : config_(config)
+    {
+    }
+
+    Cycle
+    nextDelay(const BackoffContext &ctx, Xoshiro256 &rng) override
+    {
+        const Cycle base =
+            config_.backoffMax - config_.backoffMin + 1;
+        const Cycle cap = config_.backoffCap;
+        Cycle span;
+        if (config_.decorrelatedJitter && ctx.prevDelay > 0) {
+            span = std::min<Cycle>(cap, 3 * ctx.prevDelay);
+        } else {
+            const unsigned shift =
+                ctx.attempt > 0 ? ctx.attempt - 1 : 0;
+            span = shift >= 20 ? cap
+                               : std::min<Cycle>(cap, base << shift);
+        }
+        if (span == 0)
+            span = 1;
+        return config_.backoffMin + rng.below(span);
+    }
+
+    BackoffPolicyKind
+    kind() const override
+    {
+        return BackoffPolicyKind::Exponential;
+    }
+
+  private:
+    RetryPolicyConfig config_;
+};
+
+/** Additive-increase/multiplicative-decrease inverted onto the
+ *  delay window: a congestion-signaled failure (blocked STATUS or
+ *  BCB drop) doubles the per-endpoint window, a success shrinks it
+ *  by aimdDecrease; each delay is a uniform draw over the current
+ *  window so colliding endpoints still decorrelate. Non-congestion
+ *  failures (corruption, timeouts) leave the window alone — they
+ *  indicate faults, not load. */
+class AimdBackoff final : public BackoffPolicy
+{
+  public:
+    explicit AimdBackoff(const RetryPolicyConfig &config)
+        : config_(config),
+          window_(std::max(1u, config.backoffMax - config.backoffMin))
+    {
+    }
+
+    Cycle
+    nextDelay(const BackoffContext &, Xoshiro256 &rng) override
+    {
+        return config_.backoffMin + rng.below(window_ + 1);
+    }
+
+    void
+    onOutcome(bool success, bool congested) override
+    {
+        const Cycle floor =
+            std::max<Cycle>(1, config_.backoffMax -
+                                   config_.backoffMin);
+        if (success) {
+            window_ = window_ > floor + config_.aimdDecrease
+                          ? window_ - config_.aimdDecrease
+                          : floor;
+        } else if (congested) {
+            window_ =
+                std::min<Cycle>(config_.backoffCap, window_ * 2);
+        }
+    }
+
+    BackoffPolicyKind
+    kind() const override
+    {
+        return BackoffPolicyKind::Aimd;
+    }
+
+    Cycle window() const { return window_; }
+
+  private:
+    RetryPolicyConfig config_;
+    Cycle window_;
+};
+
+} // namespace
+
+std::unique_ptr<BackoffPolicy>
+makeBackoffPolicy(const RetryPolicyConfig &config)
+{
+    switch (config.kind) {
+      case BackoffPolicyKind::Exponential:
+        return std::make_unique<ExponentialBackoff>(config);
+      case BackoffPolicyKind::Aimd:
+        return std::make_unique<AimdBackoff>(config);
+      case BackoffPolicyKind::Uniform:
+        break;
+    }
+    return std::make_unique<UniformBackoff>(config);
+}
+
+bool
+RetryOverrides::any() const
+{
+    return kind.has_value() || backoffMin.has_value() ||
+           backoffMax.has_value() || backoffCap.has_value() ||
+           decorrelatedJitter.has_value() ||
+           aimdDecrease.has_value() || retryBudget.has_value() ||
+           retryBudgetCap.has_value() ||
+           sendQueueLimit.has_value() ||
+           inflightLimit.has_value() || ageClamp.has_value() ||
+           ageStarve.has_value();
+}
+
+void
+RetryOverrides::apply(RetryPolicyConfig &config) const
+{
+    if (kind)
+        config.kind = *kind;
+    if (backoffMin)
+        config.backoffMin = *backoffMin;
+    if (backoffMax)
+        config.backoffMax = *backoffMax;
+    if (backoffCap)
+        config.backoffCap = *backoffCap;
+    if (decorrelatedJitter)
+        config.decorrelatedJitter = *decorrelatedJitter;
+    if (aimdDecrease)
+        config.aimdDecrease = *aimdDecrease;
+    if (retryBudget)
+        config.retryBudget = *retryBudget;
+    if (retryBudgetCap)
+        config.retryBudgetCap = *retryBudgetCap;
+    if (sendQueueLimit)
+        config.sendQueueLimit = *sendQueueLimit;
+    if (inflightLimit)
+        config.inflightLimit = *inflightLimit;
+    if (ageClamp)
+        config.ageClamp = *ageClamp;
+    if (ageStarve)
+        config.ageStarve = *ageStarve;
+}
+
+} // namespace metro

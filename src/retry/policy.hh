@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Overload-robust source retry policies.
+ *
+ * METRO pushes congestion handling onto the endpoints: a blocked
+ * connection is dropped and retried over a randomly re-selected
+ * path (Section 4), so the *retry policy* — not the router — decides
+ * whether the network degrades gracefully or congestion-collapses
+ * past saturation. This subsystem makes that policy pluggable:
+ *
+ *  - BackoffPolicy — how long to wait between attempts. `uniform`
+ *    reproduces the original fixed [backoffMin, backoffMax] draw
+ *    bit-exactly (it is the default, so existing seeds replay
+ *    unchanged); `exponential` doubles the window per attempt up to
+ *    a cap, optionally with decorrelated jitter; `aimd` keeps a
+ *    per-endpoint delay window that grows multiplicatively on
+ *    congestion signals (blocked STATUS / backward-control-bit
+ *    drop) and shrinks additively on success.
+ *  - RetryBudget — a token bucket refilled by successes, so retry
+ *    traffic cannot exceed a configured multiple of goodput.
+ *  - Admission control — a bounded send queue (sheds counted into
+ *    the `words.shed.admission` conservation bin) plus an optional
+ *    network-wide InflightGate bounding concurrently active
+ *    messages.
+ *  - Anti-starvation aging — past `ageClamp` a message's backoff is
+ *    clamped to the minimum and parked retries escalate to
+ *    head-of-queue; past `ageStarve` it bypasses the retry budget
+ *    entirely (counted as a `starvations` event).
+ *
+ * Everything is deterministic: policies draw only from the owning
+ * endpoint's PRNG, and the gate is acquired in the engine's fixed
+ * endpoint tick order.
+ */
+
+#ifndef METRO_RETRY_POLICY_HH
+#define METRO_RETRY_POLICY_HH
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace metro
+{
+
+/** Selectable backoff disciplines. */
+enum class BackoffPolicyKind : std::uint8_t
+{
+    Uniform,     ///< fixed window (original behavior, bit-exact)
+    Exponential, ///< binary exponential, capped, optional jitter
+    Aimd,        ///< delay window: congestion ×2, success −1
+};
+
+/** Lower-case policy name ("uniform", "exponential", "aimd"). */
+const char *backoffPolicyKindName(BackoffPolicyKind kind);
+
+/** Parse a policy name; false on an unknown one. */
+bool parseBackoffPolicyKind(const std::string &name,
+                            BackoffPolicyKind &out);
+
+/** Retry-policy knobs of one endpoint (NiConfig::retry). The
+ *  defaults reproduce the original uniform backoff with no budget,
+ *  no admission control, and no aging — bit-exact with seeds
+ *  recorded before this subsystem existed. */
+struct RetryPolicyConfig
+{
+    BackoffPolicyKind kind = BackoffPolicyKind::Uniform;
+
+    /** Base random backoff window, in cycles (all policies). @{ */
+    unsigned backoffMin = 0;
+    unsigned backoffMax = 7;
+    /** @} */
+
+    /** Exponential/AIMD: the delay window never exceeds this many
+     *  cycles. */
+    unsigned backoffCap = 4096;
+
+    /** Exponential only: decorrelated jitter — each delay is drawn
+     *  from [backoffMin, 3 × previous delay) instead of the doubled
+     *  window, de-synchronizing colliding senders. */
+    bool decorrelatedJitter = false;
+
+    /** AIMD only: additive decrease applied to the delay window per
+     *  successful message. */
+    unsigned aimdDecrease = 2;
+
+    /**
+     * Retry budget: tokens granted per successful message (a token
+     * bucket capped at retryBudgetCap; every retry attempt consumes
+     * one token, first attempts are free). 0 disables the budget.
+     * With a budget enabled, ageStarve must be > 0: the starvation
+     * escape is the liveness guarantee that an empty bucket cannot
+     * wedge a sender forever.
+     */
+    double retryBudget = 0.0;
+
+    /** Token-bucket capacity (and initial fill). */
+    double retryBudgetCap = 16.0;
+
+    /** Admission control: bound on queued-but-unstarted messages;
+     *  send() beyond it sheds the message (counted, never enters
+     *  the wire accounting). 0 = unbounded. */
+    unsigned sendQueueLimit = 0;
+
+    /** Network-wide bound on concurrently active messages (0 = no
+     *  gate). Builders create one shared InflightGate per network
+     *  when any endpoint asks for it. */
+    unsigned inflightLimit = 0;
+
+    /** Aging, first threshold: a message older than this many
+     *  cycles has its backoff clamped to backoffMin and, when
+     *  budget-parked, re-queues at the head. 0 = off. */
+    Cycle ageClamp = 0;
+
+    /** Aging, second threshold: a message older than this bypasses
+     *  the retry budget (counted once as a starvation). 0 = off. */
+    Cycle ageStarve = 0;
+};
+
+/** Validate a config. Returns "" when usable, else a message
+ *  suitable for a parser error. */
+std::string validateRetryPolicy(const RetryPolicyConfig &config);
+
+/** Per-attempt inputs to a backoff decision. */
+struct BackoffContext
+{
+    /** Attempts completed so far for this message (≥ 1). */
+    unsigned attempt = 1;
+
+    /** The failed attempt saw a congestion signal (blocked STATUS
+     *  or backward-control-bit drop) rather than corruption or a
+     *  timeout. */
+    bool congested = false;
+
+    /** Cycles since the message was activated. */
+    Cycle messageAge = 0;
+
+    /** The previous delay chosen for this message (0 on the first
+     *  retry) — decorrelated jitter feeds on it. */
+    Cycle prevDelay = 0;
+};
+
+/**
+ * A backoff discipline. One instance per endpoint; stateful
+ * policies (AIMD) keep their window here. Draws come only from the
+ * owning endpoint's PRNG, passed in by reference, so schedules are
+ * a pure function of the seed.
+ */
+class BackoffPolicy
+{
+  public:
+    virtual ~BackoffPolicy() = default;
+
+    /** Cycles to wait before the next attempt. */
+    virtual Cycle nextDelay(const BackoffContext &ctx,
+                            Xoshiro256 &rng) = 0;
+
+    /** Feed the outcome of a resolved attempt (success after any
+     *  attempt, or a failed attempt with its congestion signal). */
+    virtual void
+    onOutcome(bool success, bool congested)
+    {
+        (void)success;
+        (void)congested;
+    }
+
+    virtual BackoffPolicyKind kind() const = 0;
+};
+
+/** Build the policy an endpoint's config selects. */
+std::unique_ptr<BackoffPolicy>
+makeBackoffPolicy(const RetryPolicyConfig &config);
+
+/**
+ * Per-endpoint retry token bucket. Successes deposit `refill`
+ * tokens (capped); each retry attempt withdraws one. Disabled
+ * (refill = 0) it admits everything and touches no state.
+ */
+class RetryBudget
+{
+  public:
+    void
+    configure(double refill, double cap)
+    {
+        refill_ = refill;
+        cap_ = cap;
+        tokens_ = cap;
+    }
+
+    bool enabled() const { return refill_ > 0.0; }
+
+    /** Withdraw one token; false when the bucket is dry. */
+    bool
+    tryConsume()
+    {
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    /** Deposit the per-success refill. */
+    void
+    onSuccess()
+    {
+        tokens_ = std::min(cap_, tokens_ + refill_);
+    }
+
+    double tokens() const { return tokens_; }
+
+  private:
+    double refill_ = 0.0;
+    double cap_ = 0.0;
+    double tokens_ = 0.0;
+};
+
+/**
+ * Network-wide bound on concurrently active messages (the global
+ * in-flight-attempts gate of injection admission control). Owned by
+ * the Network, shared by its endpoints; acquisition order follows
+ * the engine's fixed endpoint tick order, so runs stay
+ * deterministic. Not thread-safe — sweep points never share one.
+ */
+class InflightGate
+{
+  public:
+    explicit InflightGate(unsigned limit) : limit_(limit) {}
+
+    bool
+    tryAcquire()
+    {
+        if (active_ >= limit_)
+            return false;
+        ++active_;
+        return true;
+    }
+
+    void
+    release()
+    {
+        if (active_ > 0)
+            --active_;
+    }
+
+    unsigned active() const { return active_; }
+    unsigned limit() const { return limit_; }
+
+  private:
+    unsigned limit_;
+    unsigned active_ = 0;
+};
+
+/**
+ * Partial retry-config overrides, as parsed from the CLI or a sweep
+ * file: only the fields the user named are applied on top of
+ * whatever base config the topology (preset or spec file) carries.
+ */
+struct RetryOverrides
+{
+    std::optional<BackoffPolicyKind> kind;
+    std::optional<unsigned> backoffMin;
+    std::optional<unsigned> backoffMax;
+    std::optional<unsigned> backoffCap;
+    std::optional<bool> decorrelatedJitter;
+    std::optional<unsigned> aimdDecrease;
+    std::optional<double> retryBudget;
+    std::optional<double> retryBudgetCap;
+    std::optional<unsigned> sendQueueLimit;
+    std::optional<unsigned> inflightLimit;
+    std::optional<Cycle> ageClamp;
+    std::optional<Cycle> ageStarve;
+
+    /** True when any field was set. */
+    bool any() const;
+
+    /** Apply the set fields onto `config`. */
+    void apply(RetryPolicyConfig &config) const;
+};
+
+} // namespace metro
+
+#endif // METRO_RETRY_POLICY_HH

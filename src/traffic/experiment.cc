@@ -1,5 +1,6 @@
 #include "traffic/experiment.hh"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -120,6 +121,9 @@ runExperiment(Network &net, const ExperimentConfig &config,
     std::vector<bool> window_alive(n_windows, false);
 
     std::uint64_t measured_words = 0;
+    // Per-driving-endpoint goodput words (drivers attach to
+    // endpoints 0..active-1), for the Jain fairness index.
+    std::vector<double> ep_words(drivers.size(), 0.0);
     for (const auto &[id, rec] : net.tracker().all()) {
         if (id < first_id)
             continue; // a previous experiment's message
@@ -143,17 +147,44 @@ runExperiment(Network &net, const ExperimentConfig &config,
         if (!in_window)
             continue;
         ++result.measuredMessages;
+        // Tail/fairness accounting sees every resolved message —
+        // give-ups included, so abandoning senders stay visible.
+        if (rec.succeeded || rec.gaveUp) {
+            result.attemptsAll.sample(rec.attempts);
+            if (rec.completeCycle != kNever &&
+                rec.completeCycle >= rec.submitCycle)
+                result.maxMessageAge =
+                    std::max(result.maxMessageAge,
+                             rec.completeCycle - rec.submitCycle);
+        }
         if (rec.succeeded) {
             result.latency.sample(rec.latency());
             result.attempts.sample(
                 static_cast<double>(rec.attempts));
-            measured_words += config.messageWords;
+            std::uint64_t msg_words = config.messageWords;
             // Request-reply traffic also delivers the reply words
             // (plus their checksum word) back to the source.
             if (rec.replyOk)
-                measured_words += rec.reply.size() + 1;
+                msg_words += rec.reply.size() + 1;
+            measured_words += msg_words;
+            if (rec.src < ep_words.size())
+                ep_words[rec.src] +=
+                    static_cast<double>(msg_words);
         }
     }
+
+    // Jain fairness index over the driving endpoints' goodput.
+    double ep_sum = 0.0;
+    double ep_sumsq = 0.0;
+    for (double w : ep_words) {
+        ep_sum += w;
+        ep_sumsq += w * w;
+    }
+    result.jainGoodput =
+        ep_sum > 0.0
+            ? ep_sum * ep_sum /
+                  (static_cast<double>(ep_words.size()) * ep_sumsq)
+            : 0.0;
 
     // Load is normalized to the endpoints actually driving traffic
     // (the injection capacity in use); networkLoad spreads the same

@@ -93,6 +93,20 @@ struct ExperimentResult
     /** Connection attempts per successful message. */
     Summary attempts;
 
+    /** Attempts per *resolved* measured message — give-ups
+     *  included, so tail queries (p99) see the unlucky senders the
+     *  success-only Summary hides. */
+    Histogram attemptsAll;
+
+    /** Largest submit→resolve age over measured resolved messages
+     *  (give-ups included), in cycles. */
+    Cycle maxMessageAge = 0;
+
+    /** Jain fairness index over per-driving-endpoint goodput words:
+     *  (Σx)² / (n·Σx²). 1.0 = perfectly fair; 0 when nothing was
+     *  delivered. */
+    double jainGoodput = 0.0;
+
     std::uint64_t measuredMessages = 0;
     std::uint64_t completedMessages = 0;
     std::uint64_t gaveUpMessages = 0;

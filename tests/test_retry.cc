@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests for the overload-robust retry subsystem (src/retry/):
+ * backoff policies (bit-exactness of the uniform default,
+ * exponential growth and cap, decorrelated jitter, AIMD window
+ * response), retry budgets, injection admission control (bounded
+ * send queue + in-flight gate) with its conservation identity,
+ * anti-starvation aging, config validation, and determinism of the
+ * whole stack across seeds and sweep thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "app/sweepfile.hh"
+#include "network/presets.hh"
+#include "report/csv.hh"
+#include "report/json.hh"
+#include "retry/policy.hh"
+#include "sweep/sweep.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Backoff policies
+// ---------------------------------------------------------------
+
+TEST(BackoffPolicy, NamesRoundTrip)
+{
+    for (auto kind :
+         {BackoffPolicyKind::Uniform, BackoffPolicyKind::Exponential,
+          BackoffPolicyKind::Aimd}) {
+        BackoffPolicyKind parsed;
+        ASSERT_TRUE(parseBackoffPolicyKind(
+            backoffPolicyKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    BackoffPolicyKind parsed;
+    EXPECT_FALSE(parseBackoffPolicyKind("fibonacci", parsed));
+}
+
+// The uniform policy must reproduce the pre-subsystem draw
+// bit-exactly: delay = min + rng.below(max - min + 1), and — the
+// subtle part — *no* RNG draw at all when the window is a point.
+// Seeds recorded before the refactor replay unchanged only if both
+// hold.
+TEST(BackoffPolicy, UniformIsBitExactWithTheLegacyDraw)
+{
+    RetryPolicyConfig cfg;
+    cfg.backoffMin = 3;
+    cfg.backoffMax = 11;
+    auto policy = makeBackoffPolicy(cfg);
+
+    Xoshiro256 rng(42), legacy(42);
+    BackoffContext ctx;
+    for (unsigned a = 1; a <= 64; ++a) {
+        ctx.attempt = a;
+        const Cycle got = policy->nextDelay(ctx, rng);
+        const Cycle want = 3 + legacy.below(11 - 3 + 1);
+        EXPECT_EQ(got, want) << "attempt " << a;
+    }
+}
+
+TEST(BackoffPolicy, UniformPointWindowDrawsNothing)
+{
+    RetryPolicyConfig cfg;
+    cfg.backoffMin = 5;
+    cfg.backoffMax = 5;
+    auto policy = makeBackoffPolicy(cfg);
+
+    Xoshiro256 rng(7), untouched(7);
+    BackoffContext ctx;
+    for (unsigned a = 1; a <= 8; ++a) {
+        ctx.attempt = a;
+        EXPECT_EQ(policy->nextDelay(ctx, rng), 5u);
+    }
+    // The generator state never advanced.
+    EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(BackoffPolicy, ExponentialWindowDoublesAndCaps)
+{
+    RetryPolicyConfig cfg;
+    cfg.kind = BackoffPolicyKind::Exponential;
+    cfg.backoffMin = 2;
+    cfg.backoffMax = 5; // base window 4
+    cfg.backoffCap = 64;
+    auto policy = makeBackoffPolicy(cfg);
+
+    Xoshiro256 rng(9);
+    BackoffContext ctx;
+    for (unsigned a = 1; a <= 12; ++a) {
+        ctx.attempt = a;
+        ctx.prevDelay = 0; // no jitter configured anyway
+        const Cycle d = policy->nextDelay(ctx, rng);
+        const Cycle span =
+            std::min<Cycle>(64, Cycle{4} << (a - 1));
+        EXPECT_GE(d, 2u) << "attempt " << a;
+        EXPECT_LT(d, 2 + span) << "attempt " << a;
+    }
+    // Far past the cap (shift would overflow): still bounded.
+    ctx.attempt = 40;
+    for (int k = 0; k < 100; ++k) {
+        const Cycle d = policy->nextDelay(ctx, rng);
+        EXPECT_GE(d, 2u);
+        EXPECT_LT(d, 2u + 64u);
+    }
+}
+
+TEST(BackoffPolicy, DecorrelatedJitterFeedsOnThePreviousDelay)
+{
+    RetryPolicyConfig cfg;
+    cfg.kind = BackoffPolicyKind::Exponential;
+    cfg.backoffMin = 1;
+    cfg.backoffMax = 4;
+    cfg.backoffCap = 1000;
+    cfg.decorrelatedJitter = true;
+    auto policy = makeBackoffPolicy(cfg);
+
+    Xoshiro256 rng(11);
+    BackoffContext ctx;
+    ctx.attempt = 5;
+    ctx.prevDelay = 40;
+    for (int k = 0; k < 200; ++k) {
+        const Cycle d = policy->nextDelay(ctx, rng);
+        EXPECT_GE(d, 1u);
+        EXPECT_LT(d, 1u + 3u * 40u);
+    }
+}
+
+TEST(BackoffPolicy, AimdGrowsOnCongestionShrinksOnSuccess)
+{
+    RetryPolicyConfig cfg;
+    cfg.kind = BackoffPolicyKind::Aimd;
+    cfg.backoffMin = 0;
+    cfg.backoffMax = 4; // initial (and floor) window 4
+    cfg.backoffCap = 64;
+    cfg.aimdDecrease = 2;
+    auto policy = makeBackoffPolicy(cfg);
+
+    Xoshiro256 rng(13);
+    BackoffContext ctx;
+
+    auto max_delay = [&](int draws) {
+        Cycle mx = 0;
+        for (int k = 0; k < draws; ++k)
+            mx = std::max(mx, policy->nextDelay(ctx, rng));
+        return mx;
+    };
+
+    // Initial window: delays stay within [0, 4].
+    EXPECT_LE(max_delay(200), 4u);
+
+    // Three congested failures: window 4 -> 8 -> 16 -> 32.
+    for (int k = 0; k < 3; ++k)
+        policy->onOutcome(/*success=*/false, /*congested=*/true);
+    const Cycle grown = max_delay(400);
+    EXPECT_GT(grown, 4u);
+    EXPECT_LE(grown, 32u);
+
+    // A non-congested failure (fault evidence) leaves it alone.
+    policy->onOutcome(/*success=*/false, /*congested=*/false);
+    EXPECT_LE(max_delay(400), 32u);
+
+    // Successes walk it back down to the floor.
+    for (int k = 0; k < 20; ++k)
+        policy->onOutcome(/*success=*/true, /*congested=*/false);
+    EXPECT_LE(max_delay(200), 4u);
+}
+
+// Same seed, same config => the schedule is identical, draw for
+// draw, for every policy kind.
+TEST(BackoffPolicy, SchedulesAreAPureFunctionOfTheSeed)
+{
+    for (auto kind :
+         {BackoffPolicyKind::Uniform, BackoffPolicyKind::Exponential,
+          BackoffPolicyKind::Aimd}) {
+        RetryPolicyConfig cfg;
+        cfg.kind = kind;
+        cfg.backoffCap = 128;
+        cfg.decorrelatedJitter = true;
+        auto pa = makeBackoffPolicy(cfg);
+        auto pb = makeBackoffPolicy(cfg);
+        Xoshiro256 ra(123), rb(123);
+        Cycle prev_a = 0, prev_b = 0;
+        for (unsigned a = 1; a <= 40; ++a) {
+            BackoffContext ca, cb;
+            ca.attempt = cb.attempt = a;
+            ca.congested = cb.congested = (a % 3 == 0);
+            ca.prevDelay = prev_a;
+            cb.prevDelay = prev_b;
+            prev_a = pa->nextDelay(ca, ra);
+            prev_b = pb->nextDelay(cb, rb);
+            ASSERT_EQ(prev_a, prev_b)
+                << backoffPolicyKindName(kind) << " attempt " << a;
+            pa->onOutcome(false, ca.congested);
+            pb->onOutcome(false, cb.congested);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------
+
+TEST(RetryConfig, ValidationCatchesTheFootguns)
+{
+    RetryPolicyConfig ok;
+    EXPECT_EQ(validateRetryPolicy(ok), "");
+
+    // The classic unsigned-underflow hazard: min > max used to wrap
+    // the window span to ~2^32 cycles. Now it's a parse error.
+    RetryPolicyConfig wrap;
+    wrap.backoffMin = 9;
+    wrap.backoffMax = 2;
+    const std::string err = validateRetryPolicy(wrap);
+    EXPECT_NE(err.find("backoffMin"), std::string::npos);
+    EXPECT_NE(err.find("9"), std::string::npos);
+    EXPECT_NE(err.find("2"), std::string::npos);
+
+    RetryPolicyConfig cap0;
+    cap0.backoffCap = 0;
+    EXPECT_NE(validateRetryPolicy(cap0), "");
+
+    RetryPolicyConfig negb;
+    negb.retryBudget = -1.0;
+    EXPECT_NE(validateRetryPolicy(negb), "");
+
+    // A budget without the starvation escape could wedge a sender
+    // forever (empty bucket, empty queue, closed-loop driver
+    // stalled on completion): rejected.
+    RetryPolicyConfig nostarve;
+    nostarve.retryBudget = 1.0;
+    nostarve.ageStarve = 0;
+    EXPECT_NE(validateRetryPolicy(nostarve), "");
+    nostarve.ageStarve = 500;
+    EXPECT_EQ(validateRetryPolicy(nostarve), "");
+
+    // ageStarve (the harder escalation) below ageClamp is
+    // backwards.
+    RetryPolicyConfig order;
+    order.ageClamp = 1000;
+    order.ageStarve = 100;
+    EXPECT_NE(validateRetryPolicy(order), "");
+}
+
+// ---------------------------------------------------------------
+// RetryBudget / InflightGate units
+// ---------------------------------------------------------------
+
+TEST(RetryBudget, TokenBucketSemantics)
+{
+    RetryBudget b;
+    EXPECT_FALSE(b.enabled());
+    EXPECT_TRUE(b.tryConsume() || true); // disabled: callers skip it
+
+    b.configure(/*refill=*/1.5, /*cap=*/2.0);
+    EXPECT_TRUE(b.enabled());
+    EXPECT_DOUBLE_EQ(b.tokens(), 2.0); // starts full
+    EXPECT_TRUE(b.tryConsume());
+    EXPECT_TRUE(b.tryConsume());
+    EXPECT_FALSE(b.tryConsume()); // dry
+    b.onSuccess();
+    EXPECT_DOUBLE_EQ(b.tokens(), 1.5);
+    b.onSuccess();
+    EXPECT_DOUBLE_EQ(b.tokens(), 2.0); // capped
+}
+
+TEST(InflightGate, BoundsAndReleases)
+{
+    InflightGate gate(2);
+    EXPECT_TRUE(gate.tryAcquire());
+    EXPECT_TRUE(gate.tryAcquire());
+    EXPECT_FALSE(gate.tryAcquire());
+    EXPECT_EQ(gate.active(), 2u);
+    gate.release();
+    EXPECT_TRUE(gate.tryAcquire());
+    gate.release();
+    gate.release();
+    gate.release(); // over-release is clamped, not wrapped
+    EXPECT_EQ(gate.active(), 0u);
+}
+
+TEST(RetryOverrides, AppliesOnlyTheSetFields)
+{
+    RetryOverrides o;
+    EXPECT_FALSE(o.any());
+    o.kind = BackoffPolicyKind::Aimd;
+    o.backoffMax = 31;
+    o.retryBudget = 2.0;
+    EXPECT_TRUE(o.any());
+
+    RetryPolicyConfig base;
+    base.backoffMin = 4;
+    base.ageStarve = 900;
+    o.apply(base);
+    EXPECT_EQ(base.kind, BackoffPolicyKind::Aimd);
+    EXPECT_EQ(base.backoffMax, 31u);
+    EXPECT_DOUBLE_EQ(base.retryBudget, 2.0);
+    EXPECT_EQ(base.backoffMin, 4u);  // untouched
+    EXPECT_EQ(base.ageStarve, 900u); // untouched
+}
+
+// ---------------------------------------------------------------
+// Admission control on a live network
+// ---------------------------------------------------------------
+
+TEST(Admission, BoundedSendQueueShedsAndConserves)
+{
+    auto spec = fig1Spec(5);
+    spec.niConfig.retry.sendQueueLimit = 2;
+    auto net = buildMultibutterfly(spec);
+
+    auto &ni = net->endpoint(0);
+    std::vector<std::uint64_t> ids;
+    for (int k = 0; k < 10; ++k)
+        ids.push_back(ni.send(9, {0x01, 0x02, 0x03}));
+
+    // 2 admitted, 8 shed at the source boundary.
+    EXPECT_EQ(ni.counters().get("admissionSheds"), 8u);
+    unsigned shed = 0;
+    for (auto id : ids) {
+        const auto &rec = net->tracker().record(id);
+        if (rec.shedAdmission) {
+            ++shed;
+            EXPECT_TRUE(rec.gaveUp);
+        }
+    }
+    EXPECT_EQ(shed, 8u);
+
+    net->engine().run(3000);
+    // Admitted messages go through normally.
+    for (auto id : ids) {
+        const auto &rec = net->tracker().record(id);
+        EXPECT_TRUE(rec.succeeded || rec.shedAdmission);
+    }
+
+    // The admission identity — shed words never touch the wire
+    // identity, they balance against submissions instead.
+    const auto m = net->metricsSnapshot();
+    EXPECT_EQ(m.get("words.submitted"), 10u * 4u);
+    EXPECT_EQ(m.get("words.shed.admission"), 8u * 4u);
+    EXPECT_EQ(m.get("words.submitted"),
+              m.get("words.admitted") +
+                  m.get("words.shed.admission"));
+    // Wire conservation still closes without the shed words.
+    EXPECT_EQ(m.get("words.injected"),
+              m.get("words.delivered") +
+                  m.get("words.discarded.block") +
+                  m.get("words.discarded.router") +
+                  m.get("words.discarded.endpoint") +
+                  net->inFlightDataWords());
+}
+
+TEST(Admission, InflightGateBoundsActiveMessages)
+{
+    auto spec = fig1Spec(6);
+    spec.niConfig.retry.inflightLimit = 2;
+    auto net = buildMultibutterfly(spec);
+
+    // Every endpoint submits at once; only two can be active.
+    for (NodeId e = 0; e < net->numEndpoints(); ++e)
+        net->endpoint(e).send((e + 5) % net->numEndpoints(),
+                              {0x1, 0x2});
+    net->engine().run(2);
+    unsigned sending = 0;
+    std::uint64_t deferrals = 0;
+    for (NodeId e = 0; e < net->numEndpoints(); ++e) {
+        if (!net->endpoint(e).sendIdle() &&
+            net->endpoint(e).queueDepth() == 0)
+            ++sending;
+        deferrals += net->endpoint(e).counters().get("gateDeferrals");
+    }
+    EXPECT_LE(sending, 2u);
+    EXPECT_GT(deferrals, 0u);
+
+    // The gate drains: everything completes eventually.
+    net->engine().run(20000);
+    for (const auto &[id, rec] : net->tracker().all())
+        EXPECT_TRUE(rec.succeeded) << "message " << id;
+}
+
+// ---------------------------------------------------------------
+// Budget + aging under overload
+// ---------------------------------------------------------------
+
+TEST(RetryBudgetOverload, DeniesRetriesButStaysLive)
+{
+    auto spec = fig1Spec(7);
+    auto &retry = spec.niConfig.retry;
+    retry.kind = BackoffPolicyKind::Exponential;
+    retry.backoffCap = 256;
+    retry.retryBudget = 0.5;
+    retry.retryBudgetCap = 2.0;
+    retry.ageClamp = 400;
+    retry.ageStarve = 1200;
+    retry.sendQueueLimit = 8;
+    auto net = buildMultibutterfly(spec);
+
+    ExperimentConfig cfg;
+    cfg.messageWords = 8;
+    cfg.warmup = 200;
+    cfg.measure = 1500;
+    cfg.injectProb = 0.2; // far past saturation
+    cfg.drainMax = 300000;
+    cfg.seed = 23;
+    const auto r = runOpenLoop(*net, cfg);
+
+    // Overload drove the bucket dry...
+    EXPECT_GT(r.niTotals.get("budgetDenials"), 0u);
+    EXPECT_GT(r.niTotals.get("retriesParked"), 0u);
+    // ...but aging kept every sender live: nothing wedged.
+    EXPECT_EQ(r.unresolvedMessages, 0u);
+    EXPECT_GT(r.completedMessages, 0u);
+    // Old messages had their backoff clamped.
+    EXPECT_GT(r.niTotals.get("backoffClamps"), 0u);
+    // The give-up histogram only fills when maxAttempts is hit;
+    // under admission control sheds resolve instantly instead.
+    EXPECT_GT(r.metrics.get("words.shed.admission"), 0u);
+}
+
+// ---------------------------------------------------------------
+// Determinism across thread counts, per policy (sweep-file axis)
+// ---------------------------------------------------------------
+
+TEST(RetrySweep, PolicyAxisIsByteIdenticalAcrossThreadCounts)
+{
+    const char *text = R"(topology = fig1
+mode = open
+inject = 0.03, 0.12
+retryPolicy = uniform, exponential, aimd
+backoffCap = 256
+retryJitter = true
+retryBudget = 1
+retryBudgetCap = 8
+ageClamp = 500
+ageStarve = 1500
+sendQueueLimit = 8
+messageWords = 8
+warmup = 200
+measure = 800
+seed = 31
+)";
+    std::string error;
+    const auto file = parseSweepText(text, error);
+    ASSERT_TRUE(file.has_value()) << error;
+    // 2 injects x 3 policies, labels carry the policy suffix.
+    ASSERT_EQ(file->points.size(), 6u);
+    EXPECT_EQ(file->points[0].label, "inject=0.03 policy=uniform");
+    EXPECT_EQ(file->points[5].label, "inject=0.12 policy=aimd");
+
+    SweepOptions serial;
+    serial.threads = 1;
+    const auto s1 = runSweep(file->points, serial);
+    SweepOptions parallel;
+    parallel.threads = 4;
+    const auto s4 = runSweep(file->points, parallel);
+
+    EXPECT_EQ(sweepCsv(s1), sweepCsv(s4));
+    EXPECT_EQ(sweepJson(s1), sweepJson(s4));
+    const auto m1 = sweepJson(s1, false, /*include_metrics=*/true);
+    const auto m4 = sweepJson(s4, false, /*include_metrics=*/true);
+    EXPECT_EQ(m1, m4);
+
+    // The new tail/fairness columns made it into both documents.
+    EXPECT_NE(sweepCsv(s1).find("attemptsP99"), std::string::npos);
+    EXPECT_NE(sweepCsv(s1).find("jainGoodput"), std::string::npos);
+    EXPECT_NE(m1.find("\"shedWords\""), std::string::npos);
+    EXPECT_NE(m1.find("\"words.shed.admission\""),
+              std::string::npos);
+}
+
+TEST(RetrySweep, FileValidationRejectsBadRetryConfigs)
+{
+    std::string error;
+    EXPECT_FALSE(
+        parseSweepText("retryPolicy = fibonacci\n", error)
+            .has_value());
+
+    EXPECT_FALSE(parseSweepText(
+                     "backoffMin = 9\nbackoffMax = 2\n", error)
+                     .has_value());
+    EXPECT_NE(error.find("backoffMin"), std::string::npos);
+
+    // Budget without the starvation escape: rejected at parse time
+    // for every axis value.
+    EXPECT_FALSE(
+        parseSweepText(
+            "retryPolicy = uniform, exponential\nretryBudget = 1\n",
+            error)
+            .has_value());
+}
+
+// ---------------------------------------------------------------
+// Stability: exponential+budget holds goodput past saturation
+// ---------------------------------------------------------------
+
+TEST(RetryStability, ExponentialWithBudgetHoldsGoodputAt2xSaturation)
+{
+    RetryPolicyConfig retry;
+    retry.kind = BackoffPolicyKind::Exponential;
+    retry.backoffCap = 512;
+    retry.decorrelatedJitter = true;
+    retry.retryBudget = 1.0;
+    retry.retryBudgetCap = 8.0;
+    retry.ageClamp = 2000;
+    retry.ageStarve = 6000;
+    retry.sendQueueLimit = 32;
+
+    const double probs[] = {0.05, 0.10, 0.20};
+    std::vector<SweepPoint> points;
+    for (double p : probs) {
+        SweepPoint point;
+        point.label = "inject=" + std::to_string(p);
+        point.mode = SweepMode::Open;
+        point.config.messageWords = 8;
+        point.config.warmup = 300;
+        point.config.measure = 2000;
+        point.config.drainMax = 300000;
+        point.config.injectProb = p;
+        point.config.seed = 99;
+        point.build = [retry](std::uint64_t) {
+            auto spec = fig1Spec(77);
+            spec.niConfig.retry = retry;
+            SweepInstance instance;
+            instance.network = buildMultibutterfly(spec);
+            return instance;
+        };
+        points.push_back(std::move(point));
+    }
+    const auto sweep = runSweep(points, {});
+
+    double peak = 0.0;
+    std::size_t peak_idx = 0;
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        const double g = sweep.points[i].result.achievedLoad;
+        if (g > peak) {
+            peak = g;
+            peak_idx = i;
+        }
+    }
+    ASSERT_GT(peak, 0.0);
+    const std::size_t at2x =
+        std::min(peak_idx + 1, sweep.points.size() - 1);
+    const double held = sweep.points[at2x].result.achievedLoad;
+    EXPECT_GE(held, 0.8 * peak)
+        << "goodput collapsed: peak " << peak << " at inject="
+        << probs[peak_idx] << ", held only " << held
+        << " at inject=" << probs[at2x];
+}
+
+} // namespace
+} // namespace metro

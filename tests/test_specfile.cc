@@ -122,6 +122,63 @@ TEST(SpecFile, RejectsMalformedInput)
     EXPECT_NE(error.find("unknown stage key"), std::string::npos);
 }
 
+// Regression: backoffMin > backoffMax used to slip through to the
+// endpoint, where the unsigned window span wrapped to ~2^32 cycles
+// (the classic `backoffMax - backoffMin` underflow). The parser now
+// rejects it with a message naming both bounds.
+TEST(SpecFile, RejectsInvertedBackoffWindow)
+{
+    std::string error;
+    const auto spec = parseSpecText(
+        "endpoints = 16\nbackoffMin = 9\nbackoffMax = 2\n"
+        "[stage]\nradix = 4\ndilation = 2\nnumForward = 8\n"
+        "numBackward = 8\nmaxDilation = 2\nwidth = 8\n",
+        error);
+    EXPECT_FALSE(spec.has_value());
+    EXPECT_NE(error.find("backoffMin"), std::string::npos);
+    EXPECT_NE(error.find("9"), std::string::npos);
+    EXPECT_NE(error.find("2"), std::string::npos);
+}
+
+TEST(SpecFile, RetryKeysParseAndRoundTrip)
+{
+    auto original = fig1Spec(12);
+    auto &retry = original.niConfig.retry;
+    retry.kind = BackoffPolicyKind::Exponential;
+    retry.backoffMin = 1;
+    retry.backoffMax = 15;
+    retry.backoffCap = 512;
+    retry.decorrelatedJitter = true;
+    retry.aimdDecrease = 3;
+    retry.retryBudget = 1.5;
+    retry.retryBudgetCap = 9.0;
+    retry.sendQueueLimit = 24;
+    retry.inflightLimit = 6;
+    retry.ageClamp = 700;
+    retry.ageStarve = 2100;
+
+    std::string error;
+    const auto reparsed =
+        parseSpecText(specToText(original), error);
+    ASSERT_TRUE(reparsed.has_value()) << error;
+    const auto &r = reparsed->niConfig.retry;
+    EXPECT_EQ(r.kind, BackoffPolicyKind::Exponential);
+    EXPECT_EQ(r.backoffMin, 1u);
+    EXPECT_EQ(r.backoffMax, 15u);
+    EXPECT_EQ(r.backoffCap, 512u);
+    EXPECT_TRUE(r.decorrelatedJitter);
+    EXPECT_EQ(r.aimdDecrease, 3u);
+    EXPECT_DOUBLE_EQ(r.retryBudget, 1.5);
+    EXPECT_DOUBLE_EQ(r.retryBudgetCap, 9.0);
+    EXPECT_EQ(r.sendQueueLimit, 24u);
+    EXPECT_EQ(r.inflightLimit, 6u);
+    EXPECT_EQ(r.ageClamp, 700u);
+    EXPECT_EQ(r.ageStarve, 2100u);
+
+    // Serializing the reparsed spec reproduces the text exactly.
+    EXPECT_EQ(specToText(original), specToText(*reparsed));
+}
+
 TEST(SpecFile, CommentsAndBlanksIgnored)
 {
     std::string error;
