@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Engine-performance smoke: guard the quiescence scheduler's
+# committed baseline.
+#
+# Builds Release, runs tools/bench_baseline (three Figure 3
+# workloads — saturated, idle-heavy low-load, statically faulted —
+# each with the scheduler off and on), and compares the fresh
+# scheduled-mode cycles/sec against the committed baseline
+# (BENCH_engine.json at the repo root). Any scenario more than 30%
+# below the committed number fails the job; the tool also fails
+# itself when the scheduler skips no ticks on an idle-heavy
+# workload (a broken wakeup protocol masquerading as a slowdown).
+#
+# Usage: ci/bench-smoke.sh [build-dir]   (default: build-bench)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-bench}"
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)" --target bench_baseline
+
+"$BUILD"/tools/bench_baseline \
+    --check BENCH_engine.json \
+    --tolerance 0.30

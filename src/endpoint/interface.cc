@@ -77,6 +77,9 @@ NetworkInterface::addOutPortGroup(std::vector<Link *> slices)
     METRO_ASSERT(config_.width % cascade_ == 0,
                  "width %u not divisible into %u slices",
                  config_.width, cascade_);
+    // Injection: we push down / read the reverse lane (A end).
+    for (Link *l : slices)
+        l->setWakeA(this);
     out_.push_back(std::move(slices));
     outPortEnabled_.push_back(true);
 }
@@ -86,6 +89,7 @@ NetworkInterface::setOutPortEnabled(unsigned group, bool enabled)
 {
     METRO_ASSERT(group < out_.size(), "out group %u out of range",
                  group);
+    wake(); // reconfiguration, like the router scan hooks
     outPortEnabled_[group] = enabled;
 }
 
@@ -97,6 +101,9 @@ NetworkInterface::addInPortGroup(std::vector<Link *> slices)
         cascade_ = static_cast<unsigned>(slices.size());
     METRO_ASSERT(slices.size() == cascade_,
                  "mixed cascade widths on endpoint %u", id_);
+    // Delivery: we read the down lane / push replies up (B end).
+    for (Link *l : slices)
+        l->setWakeB(this);
     RecvPort port;
     port.links = std::move(slices);
     port.sliceCrc.resize(cascade_);
@@ -216,6 +223,10 @@ std::uint64_t
 NetworkInterface::send(NodeId dest, std::vector<Word> payload,
                        bool request_reply)
 {
+    // New work for the send machine: leave quiescence first, so
+    // lastCycle_ (which timestamps same-cycle admission sheds
+    // below) is restored before anything reads it.
+    wake();
     for (Word w : payload) {
         METRO_ASSERT((w & ~lowMask(config_.width)) == 0,
                      "payload word %llx exceeds channel width %u",
@@ -254,6 +265,7 @@ std::uint64_t
 NetworkInterface::sendSession(NodeId dest,
                               std::vector<std::vector<Word>> rounds)
 {
+    wake(); // see send()
     METRO_ASSERT(!rounds.empty(), "session needs at least one round");
     for (const auto &round : rounds) {
         for (Word w : round) {
@@ -952,6 +964,45 @@ NetworkInterface::tickRecv(RecvPort &port, Cycle cycle)
         break;
       }
     }
+}
+
+bool
+NetworkInterface::canSleep() const
+{
+    // The send machine must be drained (no active attempt, no
+    // backoff clock running, nothing queued), every receiver idle,
+    // and every attached lane fast-pathed — an active link could
+    // deliver a symbol (or debris the reverse-lane census must
+    // see) any cycle.
+    if (sendState_ != SendState::Idle || !queue_.empty())
+        return false;
+    for (const auto &port : in_) {
+        if (port.state != RecvState::Idle)
+            return false;
+        for (const Link *l : port.links) {
+            if (l->active())
+                return false;
+        }
+    }
+    for (const auto &group : out_) {
+        for (const Link *l : group) {
+            if (l->active())
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+NetworkInterface::syncSkipped(Cycle from, Cycle upto)
+{
+    (void)from;
+    // Restore the "latest cycle tick() saw" clock to what an
+    // eagerly-ticked idle instance would hold, so admission sheds
+    // stamped inside send() before our next tick carry the right
+    // cycle.
+    if (upto > 0)
+        lastCycle_ = upto - 1;
 }
 
 void

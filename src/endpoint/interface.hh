@@ -307,6 +307,11 @@ class NetworkInterface : public Component
         unsigned round = 0;
     };
 
+    /** Quiescence hooks (see sim/component.hh). @{ */
+    bool canSleep() const override;
+    void syncSkipped(Cycle from, Cycle upto) override;
+    /** @} */
+
     void startAttempt(Cycle cycle);
     void startRound(unsigned round);
     bool roundReplyOk() const;

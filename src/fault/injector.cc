@@ -21,6 +21,13 @@ FaultInjector::tick(Cycle cycle)
 void
 FaultInjector::apply(const FaultEvent &event)
 {
+    // Every mutator below participates in the engine's wakeup
+    // protocol: Link::setFault reactivates a fast-pathed link (so
+    // the death census in Link::advance() runs and charges draining
+    // words to words.discarded.wire) and wakes both end components;
+    // the router hooks wake a sleeping router *before* mutating it.
+    // Faults therefore land identically whether or not the target
+    // was quiescent when the event fired.
     switch (event.kind) {
       case FaultKind::LinkDead:
         net_->link(event.target).setFault(LinkFault::Dead);

@@ -204,13 +204,22 @@ class Network
     /**
      * A value snapshot of the registry with every per-entity
      * CounterSet folded in as "router.total.<name>" /
-     * "ni.total.<name>" network-wide sums, so one blob carries the
-     * complete counter state.
+     * "ni.total.<name>" network-wide sums, plus the engine's
+     * scheduler counters ("engine.ticks_skipped" /
+     * "engine.links_fastpathed"), so one blob carries the complete
+     * counter state. Non-const: sleeping components first catch up
+     * their skipped-cycle metrics samples (Engine::syncStats) so
+     * quiescence scheduling stays invisible to every consumer of
+     * the snapshot.
      */
     MetricsRegistry
-    metricsSnapshot() const
+    metricsSnapshot()
     {
+        engine_.syncStats();
         MetricsRegistry snap = metrics_;
+        snap.counter("engine.ticks_skipped") = engine_.ticksSkipped();
+        snap.counter("engine.links_fastpathed") =
+            engine_.linksFastpathed();
         for (const auto &r : routers_) {
             for (const auto &[name, v] : r->counters().all())
                 snap.counter("router.total." + name) += v;

@@ -51,6 +51,17 @@ class LogHistogram
         sum_ += value;
     }
 
+    /** Record the same value n times in O(1) — exactly equivalent
+     *  to n sample(value) calls (used by the quiescence scheduler's
+     *  skipped-cycle catch-up; see MetroRouter::syncSkipped). */
+    void
+    sample(std::uint64_t value, std::uint64_t n)
+    {
+        buckets_[bucketOf(value)] += n;
+        count_ += n;
+        sum_ += value * n;
+    }
+
     /** Bucket index a value falls into. */
     static unsigned
     bucketOf(std::uint64_t value)

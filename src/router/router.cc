@@ -68,6 +68,9 @@ MetroRouter::attachForward(PortIndex p, Link *link)
 {
     METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
     fwd_[p].link = link;
+    // A forward port reads the link's down lane: the router sits at
+    // the B end and must wake when anything is pushed toward it.
+    link->setWakeB(this);
 }
 
 void
@@ -75,6 +78,8 @@ MetroRouter::attachBackward(PortIndex p, Link *link)
 {
     METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
     bwd_[p].link = link;
+    // A backward port reads the link's up lane (A end).
+    link->setWakeA(this);
 }
 
 unsigned
@@ -649,6 +654,7 @@ void
 MetroRouter::setForwardEnabled(PortIndex p, bool enabled)
 {
     METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    wake();
     if (!enabled)
         teardownPort(p);
     config_.forwardEnabled[p] = enabled;
@@ -658,6 +664,7 @@ void
 MetroRouter::setBackwardEnabled(PortIndex p, bool enabled)
 {
     METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    wake();
     if (!enabled && bwd_[p].busy)
         teardownPort(bwd_[p].owner);
     config_.backwardEnabled[p] = enabled;
@@ -667,12 +674,14 @@ void
 MetroRouter::setFastReclaim(PortIndex p, bool fast)
 {
     METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    wake();
     config_.fastReclaim[p] = fast;
 }
 
 void
 MetroRouter::setDilation(unsigned dilation)
 {
+    wake();
     RouterConfig next = config_;
     next.dilation = dilation;
     next.validate(params_);
@@ -699,6 +708,50 @@ MetroRouter::connectedBackward(PortIndex fwd) const
     METRO_ASSERT(fwd < fwd_.size(), "forward port %u out of range",
                  fwd);
     return fwd_[fwd].bwd;
+}
+
+bool
+MetroRouter::canSleep() const
+{
+    // Any attached active link may deliver a symbol (or, dead with
+    // words still draining, needs its exit census observed): stay
+    // awake until every lane is fast-pathed.
+    for (const auto &f : fwd_) {
+        if (f.link != nullptr && f.link->active())
+            return false;
+    }
+    for (const auto &b : bwd_) {
+        if (b.link != nullptr && b.link->active())
+            return false;
+    }
+    // A dead router's tick is a pure peek census — a no-op on
+    // drained lanes regardless of connection state left behind.
+    if (dead_)
+        return true;
+    if (!quiescent())
+        return false;
+    // Off Port Drive (Table 2) pushes DATA-IDLE every tick. The
+    // check cannot be replaced by "the driven link is active": a
+    // wake between the drive becoming effective and our next tick
+    // (e.g. setBackwardEnabled(false)) would otherwise re-sleep us
+    // before the first DATA-IDLE ever goes out.
+    for (PortIndex b = 0; b < bwd_.size(); ++b) {
+        if (!config_.backwardEnabled[b] && config_.offPortDrive[b] &&
+            bwd_[b].link != nullptr && !bwd_[b].busy)
+            return false;
+    }
+    return true;
+}
+
+void
+MetroRouter::syncSkipped(Cycle from, Cycle upto)
+{
+    // An eagerly-ticked quiescent router samples its (zero) busy
+    // backward-port count every cycle; a dead one samples nothing.
+    // Catch up in one batch so the per-router occupancy histogram
+    // is bit-identical with the scheduler on and off.
+    if (metrics_ != nullptr && !dead_ && upto > from)
+        occupancy_->sample(0, upto - from);
 }
 
 bool

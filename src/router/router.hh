@@ -160,11 +160,24 @@ class MetroRouter : public Component
      * Fault hooks for the fault-tolerance experiments. A dead
      * router ignores all traffic. A misrouting router decodes
      * corrupted directions (random), modelling header-decode
-     * faults; used by the cascade consistency tests. @{
+     * faults; used by the cascade consistency tests. Both wake a
+     * sleeping router *before* mutating, so the skipped-cycle
+     * catch-up (syncSkipped) accounts with the state that actually
+     * held during the sleep. @{
      */
-    void setDead(bool dead) { dead_ = dead; }
+    void
+    setDead(bool dead)
+    {
+        wake();
+        dead_ = dead;
+    }
     bool dead() const { return dead_; }
-    void setMisroute(bool misroute) { misroute_ = misroute; }
+    void
+    setMisroute(bool misroute)
+    {
+        wake();
+        misroute_ = misroute;
+    }
     /** @} */
 
     /**
@@ -250,6 +263,11 @@ class MetroRouter : public Component
         unsigned direction;
         Symbol header;
     };
+
+    /** Quiescence hooks (see sim/component.hh). @{ */
+    bool canSleep() const override;
+    void syncSkipped(Cycle from, Cycle upto) override;
+    /** @} */
 
     void processForwardPort(PortIndex p, Cycle cycle,
                             std::vector<PendingRequest> &pending);

@@ -1,6 +1,7 @@
 /**
  * @file
- * Base class for clocked simulation components.
+ * Base class for clocked simulation components, plus the scheduler
+ * interface the quiescence-aware engine implements.
  */
 
 #ifndef METRO_SIM_COMPONENT_HH
@@ -13,6 +14,24 @@
 namespace metro
 {
 
+class Component;
+
+/**
+ * The wakeup side of the engine's activity protocol (implemented by
+ * Engine; see engine.hh). Split out so components and links can
+ * request wakeups without a header cycle.
+ */
+class Scheduler
+{
+  public:
+    /** Resume ticking a sleeping component. Idempotent: waking an
+     *  awake component is a no-op. */
+    virtual void wakeComponent(Component *component) = 0;
+
+  protected:
+    ~Scheduler() = default;
+};
+
 /**
  * Anything ticked by the engine: routers, endpoints, fault
  * injectors, monitors.
@@ -20,6 +39,18 @@ namespace metro
  * The timing contract (see Pipe) lets components be ticked in any
  * order: a component may only read lane heads and push onto lane
  * tails, never observe another component's same-cycle writes.
+ *
+ * Quiescence protocol (see docs/simulator.md): a component may
+ * override canSleep() to report that its next tick would be a
+ * no-op; the engine then stops ticking it until something calls
+ * wake() — a link one of its lanes attaches to (on any push), a
+ * peer handing it work (e.g. a driver calling
+ * NetworkInterface::send), or a reconfiguration/fault mutator.
+ * Wakes are conservative: extra wakes are always safe, a *missed*
+ * wake is a simulation bug. canSleep() must therefore be
+ * state-complete — true only when every per-tick effect (including
+ * metrics sampling, handled by syncSkipped) is provably absent
+ * until an explicit wake.
  */
 class Component
 {
@@ -36,8 +67,53 @@ class Component
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
+  protected:
+    /** Ask the scheduler to resume ticking this component. Safe
+     *  (and a no-op) when no engine registered it. */
+    void
+    wake()
+    {
+        if (sched_ != nullptr)
+            sched_->wakeComponent(this);
+    }
+
+    /**
+     * True when the next tick would be a no-op given that every
+     * attached link stays drained — the engine may skip this
+     * component until wake(). Must not rely on "I was just ticked":
+     * the engine re-evaluates it after wakes that precede the next
+     * tick (see MetroRouter::canSleep's off-port-drive check).
+     */
+    virtual bool canSleep() const { return false; }
+
+    /**
+     * Account for the skipped cycles [from, upto) on wakeup, before
+     * the component is ticked again — e.g. the per-tick metrics
+     * samples an eagerly-ticked quiescent instance would have
+     * emitted (MetroRouter's zero occupancy samples), or "last
+     * cycle seen" timestamps (NetworkInterface::lastCycle_).
+     * Called with the state that held *during* the sleep: mutators
+     * wake before mutating.
+     */
+    virtual void
+    syncSkipped(Cycle from, Cycle upto)
+    {
+        (void)from;
+        (void)upto;
+    }
+
   private:
+    friend class Engine;
+    friend class Link;
+
     std::string name_;
+    /** Engine this component is registered with (wake target). */
+    Scheduler *sched_ = nullptr;
+    /** Scheduler state (owned by the engine). @{ */
+    bool schedAsleep_ = false;
+    Cycle wakeAt_ = 0;
+    Cycle sleptFrom_ = 0;
+    /** @} */
 };
 
 } // namespace metro

@@ -10,6 +10,20 @@
  *            read lane heads and push lane tails only);
  *   phase 2: advance every link, making this cycle's pushes visible
  *            after their lane latencies elapse.
+ *
+ * Quiescence scheduling (on by default; see docs/simulator.md): the
+ * common case at Figure 3's low-to-moderate loads is a router with
+ * no connection reading only Empty lane heads, and a link whose
+ * both lanes are drained. Ticking the former and advancing the
+ * latter are no-ops, so the engine skips them — components that
+ * report canSleep() stop being ticked until something wake()s them
+ * (a push into an attached link, a peer handing them work, or a
+ * reconfiguration/fault mutator), and drained links stop being
+ * advanced (rotating an all-Empty ring is unobservable) until the
+ * next push. Skipping is *exact*, not approximate: the golden
+ * wire-trace and both word-conservation identities are
+ * byte-/bit-identical with the scheduler on and off (regression:
+ * tests/test_quiesce.cc).
  */
 
 #ifndef METRO_SIM_ENGINE_HH
@@ -18,6 +32,8 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -32,13 +48,16 @@ namespace metro
  * are owned by the network object(s); the engine holds non-owning
  * pointers and guarantees ticking order semantics.
  */
-class Engine
+class Engine : public Scheduler
 {
   public:
     /** Register a component to be ticked each cycle. */
     void
     addComponent(Component *component)
     {
+        component->sched_ = this;
+        component->schedAsleep_ = false;
+        component->wakeAt_ = 0;
         components_.push_back(component);
     }
 
@@ -56,20 +75,135 @@ class Engine
     void
     removeComponent(Component *component)
     {
-        std::erase(components_, component);
+        removeComponents({&component, 1});
+    }
+
+    /**
+     * Unregister a batch of components in one pass. Removing n
+     * drivers one by one is O(active·n) (each removal rescans the
+     * component list); experiment teardown hands the whole batch
+     * over instead.
+     */
+    void
+    removeComponents(std::span<Component *const> victims)
+    {
+        if (victims.empty())
+            return;
+        const std::unordered_set<Component *> gone(victims.begin(),
+                                                   victims.end());
+        std::erase_if(components_, [&gone](Component *c) {
+            if (gone.count(c) == 0)
+                return false;
+            c->sched_ = nullptr;
+            c->schedAsleep_ = false;
+            return true;
+        });
     }
 
     /** The cycle about to be executed (0 before any run). */
     Cycle now() const { return now_; }
 
+    /**
+     * Enable/disable quiescence scheduling (default on). Disabling
+     * wakes every sleeper and reactivates every link, restoring the
+     * original eager loop exactly.
+     */
+    void
+    setQuiescence(bool on)
+    {
+        quiesce_ = on;
+        if (!on) {
+            for (auto *c : components_)
+                wakeComponent(c);
+            for (auto *l : links_)
+                l->activate();
+        }
+    }
+
+    /** Quiescence scheduling state. */
+    bool quiescence() const { return quiesce_; }
+
+    /** Component ticks elided by the scheduler (monotone). */
+    std::uint64_t ticksSkipped() const { return ticksSkipped_; }
+
+    /** Link advances elided by the all-Empty fast path (monotone). */
+    std::uint64_t linksFastpathed() const { return linksFastpathed_; }
+
+    /**
+     * Resume ticking a sleeping component (Scheduler interface;
+     * Component::wake and Link::activate route here). The component
+     * first accounts for its skipped interval via syncSkipped —
+     * with wakes that land mid-cycle the current cycle counts as
+     * skipped too (an eager instance would have ticked it before
+     * the waker ran, quiescent, to the same effect), so it resumes
+     * at now+1; wakes between cycles resume at now.
+     */
+    void
+    wakeComponent(Component *component) override
+    {
+        if (!component->schedAsleep_)
+            return;
+        component->schedAsleep_ = false;
+        const Cycle resume = stepping_ ? now_ + 1 : now_;
+        component->wakeAt_ = resume;
+        component->syncSkipped(component->sleptFrom_, resume);
+    }
+
+    /**
+     * Bring every sleeper's skipped-cycle accounting (per-tick
+     * metrics samples) up to date *without* waking anyone — called
+     * before metric snapshots so skipping stays invisible to the
+     * observability layer.
+     */
+    void
+    syncStats()
+    {
+        for (auto *c : components_) {
+            if (c->schedAsleep_ && now_ > c->sleptFrom_) {
+                c->syncSkipped(c->sleptFrom_, now_);
+                c->sleptFrom_ = now_;
+            }
+        }
+    }
+
     /** Execute exactly one cycle. */
     void
     step()
     {
-        for (auto *c : components_)
+        stepping_ = true;
+        for (auto *c : components_) {
+            // wakeAt_ guards a mid-cycle wake: the cycle it lands
+            // in was already accounted as skipped, so the component
+            // must not also tick in it.
+            if (c->schedAsleep_ || now_ < c->wakeAt_) {
+                ++ticksSkipped_;
+                continue;
+            }
             c->tick(now_);
-        for (auto *l : links_)
+        }
+        for (auto *l : links_) {
+            if (!l->active()) {
+                ++linksFastpathed_;
+                continue;
+            }
             l->advance();
+        }
+        stepping_ = false;
+        if (quiesce_) {
+            // Sleep evaluation, links first: component canSleep()
+            // implementations require their attached links to be
+            // fast-pathed (drained) before they may sleep.
+            for (auto *l : links_) {
+                if (l->active() && l->canSleepNow())
+                    l->deactivate();
+            }
+            for (auto *c : components_) {
+                if (!c->schedAsleep_ && c->canSleep()) {
+                    c->schedAsleep_ = true;
+                    c->sleptFrom_ = now_ + 1;
+                }
+            }
+        }
         ++now_;
     }
 
@@ -100,6 +234,10 @@ class Engine
     std::vector<Component *> components_;
     std::vector<Link *> links_;
     Cycle now_ = 0;
+    bool quiesce_ = true;
+    bool stepping_ = false;
+    std::uint64_t ticksSkipped_ = 0;
+    std::uint64_t linksFastpathed_ = 0;
 };
 
 } // namespace metro

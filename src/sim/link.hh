@@ -32,6 +32,7 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "sim/component.hh"
 #include "sim/pipe.hh"
 
 namespace metro
@@ -93,10 +94,22 @@ class Link
     const LinkEnd &endB() const { return endB_; }
 
     /** Push a symbol toward B (used by the A-side component). */
-    void pushDown(const Symbol &s) { down_.push(s); }
+    void
+    pushDown(const Symbol &s)
+    {
+        down_.push(s);
+        if (!active_)
+            activate();
+    }
 
     /** Push a symbol toward A (used by the B-side component). */
-    void pushUp(const Symbol &s) { up_.push(s); }
+    void
+    pushUp(const Symbol &s)
+    {
+        up_.push(s);
+        if (!active_)
+            activate();
+    }
 
     /** Read the symbol arriving at the B end this cycle. */
     Symbol
@@ -192,6 +205,10 @@ class Link
             freshDeath_ = true;
         if (fault != LinkFault::Dead && was_dead)
             freshHeal_ = true;
+        // A fault lands on a fast-pathed link: reactivate it so the
+        // death census in advance() runs (and both end components
+        // observe the new behaviour from their next tick on).
+        activate();
     }
 
     /** Where to charge Data words destroyed by a link death
@@ -201,6 +218,51 @@ class Link
     {
         wireDiscards_ = counter;
     }
+
+    /**
+     * Activity protocol (see docs/simulator.md). A link starts
+     * active; the engine fast-paths it (skips advance()) once both
+     * lanes drain, and any push — or a setFault — reactivates it,
+     * waking the components attached to its two ends so they see
+     * the arriving symbols. Builders register the end components
+     * via setWakeA/setWakeB; a link with no wake targets (unit
+     * tests drive Pipes/Links by hand) just tracks the flag. @{
+     */
+    bool active() const { return active_; }
+
+    /** Both lanes drained and no fault edge pending: advance() is
+     *  unobservable until the next push. */
+    bool
+    canSleepNow() const
+    {
+        return down_.occupied() == 0 && up_.occupied() == 0 &&
+               !freshDeath_ && !freshHeal_;
+    }
+
+    /** Engine only: stop advancing this link until reactivation. */
+    void deactivate() { active_ = false; }
+
+    /** Mark active and wake both end components. Idempotent on the
+     *  flag but always delivers the wakes (wakes are cheap no-ops
+     *  on awake components, and a missed wake is a bug). */
+    void
+    activate()
+    {
+        active_ = true;
+        if (wakeA_ != nullptr)
+            wakeA_->wake();
+        if (wakeB_ != nullptr)
+            wakeB_->wake();
+    }
+
+    /** Component to wake when this link goes active (A end: the
+     *  pushDown-er / headUp reader). */
+    void setWakeA(Component *c) { wakeA_ = c; }
+
+    /** Component to wake when this link goes active (B end: the
+     *  headDown reader / pushUp-er). */
+    void setWakeB(Component *c) { wakeB_ = c; }
+    /** @} */
 
   private:
     Symbol
@@ -242,6 +304,11 @@ class Link
     bool freshDeath_ = false;
     /** Healed this cycle: its head still read Empty this cycle. */
     bool freshHeal_ = false;
+    /** Activity flag (see activate()); starts active, the engine's
+     *  first sleep evaluation fast-paths drained links. */
+    bool active_ = true;
+    Component *wakeA_ = nullptr;
+    Component *wakeB_ = nullptr;
 };
 
 } // namespace metro

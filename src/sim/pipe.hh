@@ -67,6 +67,8 @@ class Pipe
         METRO_ASSERT(!pushed_, "double push into pipe in one cycle");
         pending_ = s;
         pushed_ = true;
+        if (s.kind != SymbolKind::Empty)
+            ++occupied_;
     }
 
     /** Rotate the ring: called once per cycle by the engine. */
@@ -76,10 +78,20 @@ class Pipe
         // The slot just consumed as head is refilled with this
         // cycle's push; it resurfaces as head after exactly
         // `latency` advances.
+        if (slots_[head_].kind != SymbolKind::Empty)
+            --occupied_;
         slots_[head_] = pushed_ ? pending_ : Symbol{};
         pushed_ = false;
         head_ = (head_ + 1) % slots_.size();
     }
+
+    /**
+     * Non-Empty symbols in flight, including a staged push. While
+     * this is 0 every advance() is pure head rotation of an
+     * all-Empty ring — unobservable, which is what lets the engine
+     * fast-path drained lanes (see Link::canSleepNow).
+     */
+    unsigned occupied() const { return occupied_; }
 
     /**
      * Count in-flight symbols of one kind, including a staged push
@@ -106,6 +118,7 @@ class Pipe
         for (auto &s : slots_)
             s = Symbol{};
         pushed_ = false;
+        occupied_ = 0;
     }
 
   private:
@@ -113,6 +126,7 @@ class Pipe
     std::size_t head_;
     Symbol pending_;
     bool pushed_ = false;
+    unsigned occupied_ = 0;
 };
 
 } // namespace metro

@@ -159,12 +159,17 @@ runExperiment(Network &net, const ExperimentConfig &config,
         }
         if (rec.succeeded) {
             result.latency.sample(rec.latency());
-            result.attempts.sample(
-                static_cast<double>(rec.attempts));
+            result.attempts.sample(rec.attempts);
             std::uint64_t msg_words = config.messageWords;
             // Request-reply traffic also delivers the reply words
-            // (plus their checksum word) back to the source.
-            if (rec.replyOk)
+            // (plus their checksum word) back to the source — but
+            // only when the reply resolved inside the measurement
+            // window. A reply landing during the drain phase is
+            // divided by the same fixed window length, which would
+            // inflate achievedLoad (and the Jain index) at high
+            // latency.
+            if (rec.replyOk && rec.completeCycle != kNever &&
+                rec.completeCycle < measure_to)
                 msg_words += rec.reply.size() + 1;
             measured_words += msg_words;
             if (rec.src < ep_words.size())
@@ -172,6 +177,19 @@ runExperiment(Network &net, const ExperimentConfig &config,
                     static_cast<double>(msg_words);
         }
     }
+
+    // Both attempt histograms sample the same resolved messages
+    // when nobody gave up (attemptsAll additionally sees give-ups);
+    // a count mismatch means the two sampling sites drifted apart.
+    METRO_ASSERT(result.gaveUpMessages != 0 ||
+                     result.attempts.count() ==
+                         result.attemptsAll.count(),
+                 "attempts histograms disagree on a give-up-free "
+                 "run: %llu (success-only) vs %llu (all)",
+                 static_cast<unsigned long long>(
+                     result.attempts.count()),
+                 static_cast<unsigned long long>(
+                     result.attemptsAll.count()));
 
     // Jain fairness index over the driving endpoints' goodput.
     double ep_sum = 0.0;
@@ -218,8 +236,13 @@ runExperiment(Network &net, const ExperimentConfig &config,
 
     // Drivers die with this frame; unhook them from the engine so
     // the network can keep running (or run another experiment).
+    // One batched pass: per-driver removal would rescan the
+    // component list each time, O(active²) per sweep point.
+    std::vector<Component *> done;
+    done.reserve(drivers.size());
     for (auto &d : drivers)
-        engine.removeComponent(d.get());
+        done.push_back(d.get());
+    engine.removeComponents(done);
 
     return result;
 }

@@ -90,8 +90,11 @@ struct ExperimentResult
      *  successful messages, in cycles. */
     Histogram latency;
 
-    /** Connection attempts per successful message. */
-    Summary attempts;
+    /** Connection attempts per successful message. Samples the raw
+     *  integer attempt counts, exactly like attemptsAll below —
+     *  the two must agree on count for give-up-free runs (asserted
+     *  by the harness). */
+    Histogram attempts;
 
     /** Attempts per *resolved* measured message — give-ups
      *  included, so tail queries (p99) see the unlucky senders the

@@ -271,11 +271,54 @@ TEST(ExperimentLoad, RequestReplyTrafficCountsReplyWords)
 
     const std::uint64_t successes = r.latency.count();
     ASSERT_GT(successes, 0u);
-    // Every measured success delivered its 8 message words plus at
-    // least the reply checksum word back to the source.
-    EXPECT_GE(r.measuredWords, successes * 9);
+    // Every measured success delivered its 8 message words; those
+    // whose reply also resolved inside the window add at least the
+    // reply checksum word back to the source. (Replies landing in
+    // the drain phase are not window throughput — see the
+    // regression below.)
+    EXPECT_GT(r.measuredWords, successes * 8);
     EXPECT_GT(r.achievedLoad,
               static_cast<double>(successes * 8) / (1500.0 * 16.0));
+}
+
+TEST(ExperimentLoad, DrainPhaseRepliesAreNotWindowThroughput)
+{
+    // Drain-heavy config: the window is barely two flight times
+    // long, so a good fraction of the request-reply round trips
+    // submitted near its end resolve only during the drain phase.
+    // Those reply words used to be credited to measuredWords (and
+    // divided by the fixed window length), inflating achievedLoad
+    // at high latency.
+    auto net = buildMultibutterfly(fig1Spec(/*seed=*/9));
+    ExperimentConfig cfg;
+    cfg.messageWords = 8;
+    cfg.warmup = 100;
+    cfg.measure = 60;
+    cfg.thinkTime = 0;
+    cfg.requestReply = true;
+    cfg.seed = 13;
+    const auto r = runClosedLoop(*net, cfg);
+
+    // Recompute the window's words from the ledger: in-window
+    // submissions deliver their 8 message words; only replies that
+    // resolved before the window closed add reply.size() + 1.
+    const Cycle measure_from = cfg.warmup;
+    const Cycle measure_to = cfg.warmup + cfg.measure;
+    std::uint64_t expect = 0;
+    std::uint64_t drained_replies = 0;
+    for (const auto &[id, rec] : net->tracker().all()) {
+        if (!rec.succeeded || rec.submitCycle < measure_from ||
+            rec.submitCycle >= measure_to)
+            continue;
+        expect += cfg.messageWords;
+        if (rec.replyOk && rec.completeCycle < measure_to)
+            expect += rec.reply.size() + 1;
+        else if (rec.replyOk)
+            ++drained_replies;
+    }
+    ASSERT_GT(drained_replies, 0u)
+        << "config no longer drain-heavy; shrink the window";
+    EXPECT_EQ(r.measuredWords, expect);
 }
 
 } // namespace

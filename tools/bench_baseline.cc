@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Committed engine-performance baseline runner.
+ *
+ * Measures the simulation engine's cycles-per-second on three
+ * representative Figure 3 workloads — saturated closed-loop traffic
+ * (the micro_router steady state), the idle-heavy low-load point of
+ * the fig3 load–latency sweep (think time 2000), and a statically
+ * faulted network from the fault_degradation sweep — each with the
+ * quiescence scheduler off (the original eager loop) and on. The
+ * result is written as JSON; the checked-in copy (BENCH_engine.json
+ * at the repo root) is the committed baseline that ci/bench-smoke.sh
+ * compares fresh runs against.
+ *
+ * Usage:
+ *   bench_baseline [--out FILE] [--check FILE] [--tolerance T]
+ *                  [--cycles N] [--reps R]
+ *
+ *   --out FILE      also write the JSON to FILE
+ *   --check FILE    compare the scheduled-mode cycles/sec of this
+ *                   run against the baseline in FILE; exit nonzero
+ *                   when any scenario regressed by more than T
+ *   --tolerance T   allowed fractional regression (default 0.30)
+ *   --cycles N      timed cycles per repetition (default 15000)
+ *   --reps R        repetitions, best-of (default 3)
+ *
+ * Wall-clock timing is inherently machine-dependent; the speedup
+ * column (scheduler on vs off on the same host, same run) and the
+ * ticks-skipped counters are the portable part of the baseline, and
+ * --check compares only against a baseline produced on a comparable
+ * host (CI regenerates its own when the committed one is from
+ * different hardware).
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hh"
+#include "network/presets.hh"
+#include "traffic/drivers.hh"
+
+namespace
+{
+
+using namespace metro;
+
+struct Scenario
+{
+    const char *name;
+    unsigned thinkTime;     ///< closed-loop think time (cycles)
+    unsigned routerFaults;  ///< static survivable faults at cycle 0
+    unsigned linkFaults;
+};
+
+const Scenario kScenarios[] = {
+    // micro_router's BM_SaturatedNetworkCycle steady state: every
+    // endpoint driving flat out. The scheduler finds little to skip
+    // here; this scenario guards against hot-path overhead.
+    {"micro_saturated", 0, 0, 0},
+    // The low-load end of fig3_load_latency (think=2000): routers
+    // are overwhelmingly quiescent, the scheduler's headline case.
+    {"fig3_low_load", 2000, 0, 0},
+    // fault_degradation's heavier static point: dead routers and
+    // links leave permanently skippable regions under load.
+    {"fault_degradation", 0, 4, 16},
+};
+
+struct Measurement
+{
+    double cyclesPerSec = 0.0;
+    std::uint64_t ticksSkipped = 0;
+    std::uint64_t linksFastpathed = 0;
+};
+
+/** Run one scenario in one scheduler mode; best-of-reps timing. */
+Measurement
+runScenario(const Scenario &s, bool quiesce, Cycle cycles,
+            unsigned reps)
+{
+    auto net = buildMultibutterfly(fig3Spec(1));
+    net->engine().setQuiescence(quiesce);
+
+    FaultInjector injector(net.get());
+    if (s.routerFaults + s.linkFaults > 0) {
+        injector.schedule(sampleSurvivableFaults(
+            *net, s.routerFaults, s.linkFaults, /*at=*/0,
+            /*seed=*/505));
+        net->engine().addComponent(&injector);
+    }
+
+    DestinationGenerator dests(TrafficPattern::UniformRandom, 64, 3);
+    DriverConfig dcfg;
+    dcfg.messageWords = 20;
+    std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+    for (NodeId e = 0; e < 64; ++e) {
+        drivers.push_back(std::make_unique<ClosedLoopDriver>(
+            &net->endpoint(e), &dests, dcfg, s.thinkTime, 100 + e));
+        net->engine().addComponent(drivers.back().get());
+    }
+    net->engine().run(2000); // steady state; cycle-0 faults applied
+
+    Measurement m;
+    const std::uint64_t skip0 = net->engine().ticksSkipped();
+    const std::uint64_t fast0 = net->engine().linksFastpathed();
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        net->engine().run(cycles);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (secs > 0.0)
+            best = std::max(best,
+                            static_cast<double>(cycles) / secs);
+    }
+    m.cyclesPerSec = best;
+    m.ticksSkipped = net->engine().ticksSkipped() - skip0;
+    m.linksFastpathed = net->engine().linksFastpathed() - fast0;
+    return m;
+}
+
+std::uint64_t
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+/**
+ * Minimal extractor for the one field --check needs: the number
+ * following `"sched_cycles_per_sec":` inside the scenario object
+ * named `name`. Returns a negative value when absent. Kept naive on
+ * purpose so the CI smoke script needs no JSON tooling.
+ */
+double
+schedCpsFromJson(const std::string &json, const std::string &name)
+{
+    const std::string tag = "\"name\": \"" + name + "\"";
+    const auto at = json.find(tag);
+    if (at == std::string::npos)
+        return -1.0;
+    const std::string key = "\"sched_cycles_per_sec\": ";
+    const auto k = json.find(key, at);
+    if (k == std::string::npos)
+        return -1.0;
+    return std::strtod(json.c_str() + k + key.size(), nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string check_path;
+    double tolerance = 0.30;
+    Cycle cycles = 15000;
+    unsigned reps = 3;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        const auto next = [&]() -> const char * {
+            if (a + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++a];
+        };
+        if (arg == "--out")
+            out_path = next();
+        else if (arg == "--check")
+            check_path = next();
+        else if (arg == "--tolerance")
+            tolerance = std::strtod(next(), nullptr);
+        else if (arg == "--cycles")
+            cycles = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--reps")
+            reps = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"schema\": \"metro-bench-engine-v1\",\n"
+         << "  \"network\": \"fig3 (64 endpoints, 64 routers)\",\n"
+         << "  \"cycles_per_rep\": " << cycles << ",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"scenarios\": [\n";
+
+    bool ok = true;
+    for (std::size_t i = 0; i < std::size(kScenarios); ++i) {
+        const auto &s = kScenarios[i];
+        std::fprintf(stderr, "running %-18s eager...", s.name);
+        const Measurement eager =
+            runScenario(s, /*quiesce=*/false, cycles, reps);
+        std::fprintf(stderr, " scheduled...\n");
+        const Measurement sched =
+            runScenario(s, /*quiesce=*/true, cycles, reps);
+
+        const double speedup =
+            eager.cyclesPerSec > 0.0
+                ? sched.cyclesPerSec / eager.cyclesPerSec
+                : 0.0;
+        json << "    {\n"
+             << "      \"name\": \"" << s.name << "\",\n"
+             << "      \"eager_cycles_per_sec\": "
+             << static_cast<std::uint64_t>(eager.cyclesPerSec)
+             << ",\n"
+             << "      \"sched_cycles_per_sec\": "
+             << static_cast<std::uint64_t>(sched.cyclesPerSec)
+             << ",\n"
+             << "      \"speedup\": "
+             << static_cast<std::uint64_t>(speedup * 100) / 100.0
+             << ",\n"
+             << "      \"ticks_skipped\": " << sched.ticksSkipped
+             << ",\n"
+             << "      \"links_fastpathed\": "
+             << sched.linksFastpathed << "\n"
+             << "    }" << (i + 1 < std::size(kScenarios) ? "," : "")
+             << "\n";
+
+        // The scheduler must engage on every scenario with idle
+        // capacity; a zero here means the wakeup protocol broke.
+        if (s.thinkTime > 0 && sched.ticksSkipped == 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s skipped no ticks with the "
+                         "scheduler on\n",
+                         s.name);
+            ok = false;
+        }
+    }
+
+    json << "  ],\n"
+         << "  \"peak_rss_kb\": " << peakRssKb() << "\n"
+         << "}\n";
+
+    const std::string blob = json.str();
+    std::fputs(blob.c_str(), stdout);
+    if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        out << blob;
+    }
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         check_path.c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string baseline = buf.str();
+        for (const auto &s : kScenarios) {
+            const double committed =
+                schedCpsFromJson(baseline, s.name);
+            const double fresh = schedCpsFromJson(blob, s.name);
+            if (committed <= 0.0) {
+                std::fprintf(stderr,
+                             "baseline %s lacks scenario %s\n",
+                             check_path.c_str(), s.name);
+                ok = false;
+                continue;
+            }
+            const double floor = committed * (1.0 - tolerance);
+            std::fprintf(stderr,
+                         "check %-18s committed %.0f  fresh %.0f  "
+                         "floor %.0f  %s\n",
+                         s.name, committed, fresh, floor,
+                         fresh >= floor ? "ok" : "REGRESSED");
+            if (fresh < floor)
+                ok = false;
+        }
+    }
+
+    return ok ? 0 : 1;
+}
