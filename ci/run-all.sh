@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The CI entry point: every gating job in one command.
+#
+# Runs, in order:
+#   1. the tier-1 build + test suite (Release),
+#   2. the engine-performance smoke against the committed baseline
+#      (ci/bench-smoke.sh — catches hot-path regressions and a
+#      broken scheduler wakeup protocol),
+#   3. the ThreadSanitizer sweep job (ci/tsan-sweep.sh),
+#   4. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
+#
+# Pass --quick to run only the tier-1 suite and the bench smoke
+# (the sanitizer jobs rebuild the world and dominate wall clock).
+#
+# Usage: ci/run-all.sh [--quick]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
+
+echo "==> tier-1: build + ctest"
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci -j "$(nproc)"
+ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
+
+echo "==> bench smoke (committed baseline: BENCH_engine.json)"
+ci/bench-smoke.sh build-ci
+
+if [[ "$QUICK" == "0" ]]; then
+    echo "==> tsan sweep"
+    ci/tsan-sweep.sh
+    echo "==> asan fault soak"
+    ci/asan-fault-soak.sh
+fi
+
+echo "==> all CI jobs passed"

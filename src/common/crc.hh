@@ -13,6 +13,7 @@
 #ifndef METRO_COMMON_CRC_HH
 #define METRO_COMMON_CRC_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -48,16 +49,36 @@ class Crc16
     std::uint16_t value() const { return crc_; }
 
   private:
+    /** Per-byte transition table (the bit-serial fold of each byte
+     *  value, precomputed): checksums land on every forwarded word
+     *  of every hop, so the fold is a single table step. Values are
+     *  identical to the bit loop it replaces. */
+    static constexpr std::array<std::uint16_t, 256>
+    makeTable()
+    {
+        std::array<std::uint16_t, 256> t{};
+        for (unsigned i = 0; i < 256; ++i) {
+            auto c = static_cast<std::uint16_t>(i << 8);
+            for (int b = 0; b < 8; ++b) {
+                if (c & 0x8000)
+                    c = static_cast<std::uint16_t>((c << 1) ^
+                                                   0x1021);
+                else
+                    c = static_cast<std::uint16_t>(c << 1);
+            }
+            t[i] = c;
+        }
+        return t;
+    }
+
     void
     updateByte(std::uint8_t byte)
     {
-        crc_ ^= static_cast<std::uint16_t>(byte) << 8;
-        for (int i = 0; i < 8; ++i) {
-            if (crc_ & 0x8000)
-                crc_ = static_cast<std::uint16_t>((crc_ << 1) ^ 0x1021);
-            else
-                crc_ = static_cast<std::uint16_t>(crc_ << 1);
-        }
+        static constexpr std::array<std::uint16_t, 256> kTable =
+            makeTable();
+        crc_ = static_cast<std::uint16_t>(
+            (crc_ << 8) ^
+            kTable[((crc_ >> 8) ^ byte) & 0xff]);
     }
 
     std::uint16_t crc_ = 0xffff;

@@ -21,6 +21,15 @@ NetworkInterface::NetworkInterface(NodeId id, const NiConfig &config,
     policy_ = makeBackoffPolicy(config_.retry);
     budget_.configure(config_.retry.retryBudget,
                       config_.retry.retryBudgetCap);
+    markSleepable();
+    cSubmitted_ = &counters_.slot("submitted");
+    cAttempts_ = &counters_.slot("attempts");
+    cRetries_ = &counters_.slot("retries");
+    cSuccesses_ = &counters_.slot("successes");
+    cFailedAttempts_ = &counters_.slot("failedAttempts");
+    cDeliveries_ = &counters_.slot("deliveries");
+    cBlockedStatuses_ = &counters_.slot("blockedStatuses");
+    cBcbAborts_ = &counters_.slot("bcbAborts");
 }
 
 void
@@ -201,6 +210,22 @@ Symbol
 NetworkInterface::readGroupUp(const std::vector<Link *> &group,
                               bool &consistent) const
 {
+    if (cascade_ == 1) {
+        // Degenerate single-slice group: the assembleSlices masking
+        // applied directly, with no per-call slice vector.
+        consistent = true;
+        // Drained lane: the head slot is exactly Symbol{} (vacated
+        // slots are reset) and no fault mode alters an Empty, so
+        // skip materializing it.
+        if (group.front()->upOccupied() == 0)
+            return Symbol{};
+        Symbol s = group.front()->headUp();
+        if (s.kind == SymbolKind::Data)
+            s.value &= lowMask(sliceWidth());
+        else if (s.kind == SymbolKind::Checksum)
+            s.value &= 0xffff;
+        return s;
+    }
     std::vector<Symbol> slices;
     slices.reserve(group.size());
     for (Link *l : group)
@@ -212,6 +237,17 @@ Symbol
 NetworkInterface::readGroupDown(const std::vector<Link *> &group,
                                 bool &consistent) const
 {
+    if (cascade_ == 1) {
+        consistent = true;
+        if (group.front()->downOccupied() == 0)
+            return Symbol{};
+        Symbol s = group.front()->headDown();
+        if (s.kind == SymbolKind::Data)
+            s.value &= lowMask(sliceWidth());
+        else if (s.kind == SymbolKind::Checksum)
+            s.value &= 0xffff;
+        return s;
+    }
     std::vector<Symbol> slices;
     slices.reserve(group.size());
     for (Link *l : group)
@@ -239,7 +275,7 @@ NetworkInterface::send(NodeId dest, std::vector<Word> payload,
     const std::uint64_t id =
         tracker_->create(id_, dest, std::move(payload), nextSequence_++,
                          request_reply, /*now=*/kNever);
-    counters_.add("submitted");
+    ++*cSubmitted_;
     *mSubmitted_ += words;
     if (config_.retry.sendQueueLimit > 0 &&
         queue_.size() >= config_.retry.sendQueueLimit) {
@@ -278,7 +314,7 @@ NetworkInterface::sendSession(NodeId dest,
         tracker_->create(id_, dest, rounds.front(), nextSequence_++,
                          /*request_reply=*/true, kNever);
     tracker_->record(id).sessionRounds = std::move(rounds);
-    counters_.add("submitted");
+    ++*cSubmitted_;
     counters_.add("sessionsSubmitted");
     *mSubmitted_ += words;
     if (config_.retry.sendQueueLimit > 0 &&
@@ -361,11 +397,11 @@ NetworkInterface::startAttempt(Cycle cycle)
 
     auto &rec = tracker_->record(activeMsg_);
     ++rec.attempts;
-    counters_.add("attempts");
+    ++*cAttempts_;
     if (rec.attempts == 1)
         prevBackoff_ = 0; // fresh message: no previous delay
     else
-        counters_.add("retries");
+        ++*cRetries_;
     attemptStart_ = cycle;
     if (observer_ != nullptr)
         observer_->onAttemptStart(activeMsg_, rec.attempts, cycle);
@@ -524,7 +560,7 @@ NetworkInterface::finishAttempt(Cycle cycle, bool success)
         rec.replyOk = rec.requestReply;
         rec.sessionReplies = sessionReplies_;
         rec.roundsCompleted = roundsAckedOk_;
-        counters_.add("successes");
+        ++*cSuccesses_;
         hAttempts_->sample(rec.attempts);
         hPathLen_->sample(statuses_.size());
         policy_->onOutcome(/*success=*/true, /*congested=*/false);
@@ -538,7 +574,7 @@ NetworkInterface::finishAttempt(Cycle cycle, bool success)
         activeMsg_ = 0;
         sendState_ = SendState::Idle;
     } else {
-        counters_.add("failedAttempts");
+        ++*cFailedAttempts_;
         scheduleRetry(cycle);
     }
 }
@@ -611,7 +647,7 @@ NetworkInterface::tickSend(Cycle cycle)
 
     if (sendState_ == SendState::Sending) {
         if (rsym.kind == SymbolKind::BcbDrop) {
-            counters_.add("bcbAborts");
+            ++*cBcbAborts_;
             abortCause_ = AttemptOutcome::BcbDrop;
             sendState_ = SendState::Abort;
             return; // truncate the stream; Drop goes out next tick
@@ -640,7 +676,7 @@ NetworkInterface::tickSend(Cycle cycle)
         statuses_.push_back(sw);
         if (sw.blocked) {
             sawBlockedStatus_ = true;
-            counters_.add("blockedStatuses");
+            ++*cBlockedStatuses_;
         }
         break;
       }
@@ -702,7 +738,7 @@ NetworkInterface::tickSend(Cycle cycle)
         return;
       }
       case SymbolKind::BcbDrop:
-        counters_.add("bcbAborts");
+        ++*cBcbAborts_;
         abortCause_ = AttemptOutcome::BcbDrop;
         sendState_ = SendState::Abort;
         return;
@@ -779,7 +815,7 @@ NetworkInterface::handleTurnAtReceiver(RecvPort &port, Cycle cycle)
             if (rec->deliverCycle == kNever)
                 rec->deliverCycle = cycle;
             ++rec->deliveredCount;
-            counters_.add("deliveries");
+            ++*cDeliveries_;
             if (observer_ != nullptr)
                 observer_->onDelivery(port.msgId, id_, cycle);
             if (deliveryHandler_)

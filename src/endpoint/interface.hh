@@ -312,6 +312,14 @@ class NetworkInterface : public Component
     void syncSkipped(Cycle from, Cycle upto) override;
     /** @} */
 
+    /** Type-segregated dispatch (see Engine): endpoints registered
+     *  consecutively tick through one devirtualized loop. */
+    BatchTickFn
+    batchTickFn() const override
+    {
+        return &Component::batchTickOf<NetworkInterface>;
+    }
+
     void startAttempt(Cycle cycle);
     void startRound(unsigned round);
     bool roundReplyOk() const;
@@ -404,6 +412,19 @@ class NetworkInterface : public Component
     std::unordered_map<NodeId, std::uint32_t> lastDeliveredSeq_;
 
     CounterSet counters_;
+
+    /** Interned hot-path counter slots (CounterSet::slot): the
+     *  per-attempt/per-delivery events that fire constantly at
+     *  saturation skip the string + map lookup of add(). @{ */
+    std::uint64_t *cSubmitted_;
+    std::uint64_t *cAttempts_;
+    std::uint64_t *cRetries_;
+    std::uint64_t *cSuccesses_;
+    std::uint64_t *cFailedAttempts_;
+    std::uint64_t *cDeliveries_;
+    std::uint64_t *cBlockedStatuses_;
+    std::uint64_t *cBcbAborts_;
+    /** @} */
 
     // --- observability (see setMetrics / setObserver) ---
     // Without a registry the pointers target the scratch slots, so

@@ -63,8 +63,11 @@ class Network
             std::uint64_t fault_seed)
     {
         auto id = static_cast<LinkId>(links_.size());
+        // Lanes are allocated out of the network-wide arena in link
+        // creation order, so the engine's advance pass streams
+        // through one flat slot array (see sim/arena.hh).
         links_.push_back(std::make_unique<Link>(
-            id, down_latency, up_latency, fault_seed));
+            id, down_latency, up_latency, fault_seed, &arena_));
         return links_.back().get();
     }
 
@@ -277,10 +280,17 @@ class Network
         return n;
     }
 
+    /** The flat lane arena every link's lanes live in. */
+    LaneArena &arena() { return arena_; }
+    const LaneArena &arena() const { return arena_; }
+
   private:
     Engine engine_;
     MessageTracker tracker_;
     MetricsRegistry metrics_;
+    /** Declared before links_: lanes must outlive the links that
+     *  index into them. */
+    LaneArena arena_;
     std::vector<std::unique_ptr<MetroRouter>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> endpoints_;
     std::vector<std::unique_ptr<Link>> links_;

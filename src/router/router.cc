@@ -31,8 +31,49 @@ MetroRouter::MetroRouter(RouterId id, const RouterParams &params,
 {
     params_.validate();
     config_.validate(params_);
-    fwd_.resize(params_.numForward);
-    bwd_.resize(params_.numBackward);
+    const std::size_t nf = params_.numForward;
+    const std::size_t nb = params_.numBackward;
+    fLink_.resize(nf, nullptr);
+    fState_.resize(nf, FwdPortState::Idle);
+    fBwd_.resize(nf, kInvalidPort);
+    fConsumeLeft_.resize(nf, 0);
+    fPosAfter_.resize(nf, 0);
+    fSwallowFirst_.resize(nf, 0);
+    fFirstHeaderDone_.resize(nf, 0);
+    fCrc_.resize(nf);
+    fDirection_.resize(nf, 0);
+    fLastActivity_.resize(nf, 0);
+    fMsgId_.resize(nf, 0);
+    fLastTest_.resize(nf);
+    bLink_.resize(nb, nullptr);
+    bBusy_.resize(nb, 0);
+    bOwner_.resize(nb, kInvalidPort);
+    bRevRead_.resize(nb, 0);
+    availScratch_.resize(nb, false);
+    pendingScratch_.reserve(nf);
+    markSleepable();
+    refreshOffPortDrive();
+
+    cBcbForwarded_ = &counters_.slot("bcbForwarded");
+    cReverseDropFwd_ = &counters_.slot("reverseDropFwd");
+    cStrayReverseSymbol_ = &counters_.slot("strayReverseSymbol");
+    cHeaderConsumed_ = &counters_.slot("headerConsumed");
+    cHeaderSwallowed_ = &counters_.slot("headerSwallowed");
+    cWordsForwarded_ = &counters_.slot("wordsForwarded");
+    cTurns_ = &counters_.slot("turns");
+    cDrops_ = &counters_.slot("drops");
+    cStrayForwardSymbol_ = &counters_.slot("strayForwardSymbol");
+    cAbortDrops_ = &counters_.slot("abortDrops");
+    cIdleDiscard_ = &counters_.slot("idleDiscard");
+    cIdleTimeouts_ = &counters_.slot("idleTimeouts");
+    cBlockedDiscard_ = &counters_.slot("blockedDiscard");
+    cBlockedReplies_ = &counters_.slot("blockedReplies");
+    cDrainedWords_ = &counters_.slot("drainedWords");
+    cDisabledPortDiscard_ = &counters_.slot("disabledPortDiscard");
+    cRequests_ = &counters_.slot("requests");
+    cGrants_ = &counters_.slot("grants");
+    cBlocks_ = &counters_.slot("blocks");
+    cBcbSent_ = &counters_.slot("bcbSent");
 }
 
 bool
@@ -66,8 +107,8 @@ MetroRouter::setMetrics(MetricsRegistry *metrics)
 void
 MetroRouter::attachForward(PortIndex p, Link *link)
 {
-    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
-    fwd_[p].link = link;
+    METRO_ASSERT(p < fLink_.size(), "forward port %u out of range", p);
+    fLink_[p] = link;
     // A forward port reads the link's down lane: the router sits at
     // the B end and must wake when anything is pushed toward it.
     link->setWakeB(this);
@@ -76,8 +117,9 @@ MetroRouter::attachForward(PortIndex p, Link *link)
 void
 MetroRouter::attachBackward(PortIndex p, Link *link)
 {
-    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
-    bwd_[p].link = link;
+    METRO_ASSERT(p < bLink_.size(), "backward port %u out of range", p);
+    bLink_[p] = link;
+    availDirty_ = true;
     // A backward port reads the link's up lane (A end).
     link->setWakeA(this);
 }
@@ -109,106 +151,114 @@ MetroRouter::extractDirection(const Symbol &header, Cycle cycle)
         (header.route >> header.routePos) & lowMask(bits));
 }
 
-std::vector<bool>
-MetroRouter::availabilitySnapshot() const
+void
+MetroRouter::refreshOffPortDrive()
 {
-    std::vector<bool> avail(bwd_.size(), false);
-    for (std::size_t b = 0; b < bwd_.size(); ++b) {
+    offPortDriveArmed_ = false;
+    for (std::size_t b = 0; b < bLink_.size(); ++b) {
+        if (!config_.backwardEnabled[b] && config_.offPortDrive[b])
+            offPortDriveArmed_ = true;
+    }
+}
+
+void
+MetroRouter::fillAvailability()
+{
+    // Refills the persistent scratch in place (no allocation).
+    for (std::size_t b = 0; b < bLink_.size(); ++b) {
         // Only the first backwardPortsUsed ports participate in
         // this network position (e.g. a dilation-1 radix-4 use of
         // an 8-output component wires only 4 outputs).
-        avail[b] = b < config_.backwardPortsUsed &&
-                   config_.backwardEnabled[b] && !bwd_[b].busy &&
-                   bwd_[b].link != nullptr;
+        availScratch_[b] = b < config_.backwardPortsUsed &&
+                           config_.backwardEnabled[b] && !bBusy_[b] &&
+                           bLink_[b] != nullptr;
     }
-    return avail;
 }
 
 Symbol
-MetroRouter::makeStatus(const FwdPort &port, bool blocked) const
+MetroRouter::makeStatus(PortIndex p, bool blocked) const
 {
     StatusWord sw;
     sw.router = id_;
     sw.stage = stage_;
     sw.blocked = blocked;
-    sw.checksum = port.crc.value();
-    sw.port = port.bwd;
+    sw.checksum = fCrc_[p].value();
+    sw.port = fBwd_[p];
     Symbol s;
     s.kind = SymbolKind::Status;
     s.value = sw.encode();
-    s.msgId = port.msgId;
+    s.msgId = fMsgId_[p];
     return s;
 }
 
 void
 MetroRouter::pushStatusUp(PortIndex p, bool blocked)
 {
-    fwd_[p].link->pushUp(makeStatus(fwd_[p], blocked));
+    fLink_[p]->pushUp(makeStatus(p, blocked));
 }
 
 void
 MetroRouter::pushStatusDown(PortIndex p, bool blocked)
 {
-    auto &port = fwd_[p];
-    METRO_ASSERT(port.bwd != kInvalidPort, "status down w/o bwd port");
-    bwd_[port.bwd].link->pushDown(makeStatus(port, blocked));
+    METRO_ASSERT(fBwd_[p] != kInvalidPort, "status down w/o bwd port");
+    bLink_[fBwd_[p]]->pushDown(makeStatus(p, blocked));
 }
 
 void
 MetroRouter::freeConnection(PortIndex p)
 {
-    auto &port = fwd_[p];
-    if (port.bwd != kInvalidPort) {
-        bwd_[port.bwd].busy = false;
-        bwd_[port.bwd].owner = kInvalidPort;
-        port.bwd = kInvalidPort;
+    if (fBwd_[p] != kInvalidPort) {
+        bBusy_[fBwd_[p]] = 0;
+        bOwner_[fBwd_[p]] = kInvalidPort;
+        fBwd_[p] = kInvalidPort;
+        availDirty_ = true;
     }
-    port.state = FwdPortState::Idle;
-    port.consumeLeft = 0;
-    port.firstHeaderDone = false;
-    port.swallowFirst = false;
+    fState_[p] = FwdPortState::Idle;
+    fConsumeLeft_[p] = 0;
+    fFirstHeaderDone_[p] = 0;
+    fSwallowFirst_[p] = 0;
 }
 
 void
 MetroRouter::teardownPort(PortIndex p)
 {
-    if (fwd_[p].state != FwdPortState::Idle) {
+    if (fState_[p] != FwdPortState::Idle) {
         counters_.add("scanTeardown");
         freeConnection(p);
     }
 }
 
 void
-MetroRouter::forwardHeader(FwdPort &port, Symbol sym)
+MetroRouter::forwardHeader(PortIndex p, Symbol sym)
 {
-    sym.routePos = port.posAfter;
-    bwd_[port.bwd].link->pushDown(sym);
+    sym.routePos = fPosAfter_[p];
+    bLink_[fBwd_[p]]->pushDown(sym);
 }
 
 void
 MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
                                 Cycle cycle)
 {
-    auto &port = fwd_[p];
-    Link *down = bwd_[port.bwd].link;
+    Link *down = bLink_[fBwd_[p]];
 
     // Reverse-lane control first: a backward-control-bit drop from
     // a blocked router downstream reclaims this path segment.
-    bwd_[port.bwd].revRead = true;
+    bRevRead_[fBwd_[p]] = 1;
     const Symbol rsym = down->headUp();
     if (rsym.kind == SymbolKind::BcbDrop) {
-        counters_.add("bcbForwarded");
-        port.lastActivity = cycle;
+        ++*cBcbForwarded_;
+        fLastActivity_[p] = cycle;
         // Releasing the crosspoint makes the downstream channel go
         // undriven; the draining router below sees its stream end.
         // Model that with an explicit Drop down the old port.
-        down->pushDown(Symbol::control(SymbolKind::Drop, port.msgId));
-        bwd_[port.bwd].busy = false;
-        bwd_[port.bwd].owner = kInvalidPort;
-        port.bwd = kInvalidPort;
-        port.link->pushUp(Symbol::control(SymbolKind::BcbDrop,
-                                          port.msgId));
-        port.state = FwdPortState::Draining;
+        down->pushDown(Symbol::control(SymbolKind::Drop, fMsgId_[p]));
+        bBusy_[fBwd_[p]] = 0;
+        bOwner_[fBwd_[p]] = kInvalidPort;
+        fBwd_[p] = kInvalidPort;
+        availDirty_ = true;
+        fLink_[p]->pushUp(Symbol::control(SymbolKind::BcbDrop,
+                                          fMsgId_[p]));
+        fState_[p] = FwdPortState::Draining;
         if (sym.kind == SymbolKind::Data)
             ++*mDiscardRouter_;
         return;
@@ -216,54 +266,54 @@ MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
     if (rsym.kind == SymbolKind::Drop) {
         // Downstream cleanup (e.g. idle timeout there): release and
         // inform upstream.
-        counters_.add("reverseDropFwd");
-        port.link->pushUp(rsym);
+        ++*cReverseDropFwd_;
+        fLink_[p]->pushUp(rsym);
         freeConnection(p);
         if (sym.kind == SymbolKind::Data)
             ++*mDiscardRouter_;
         return;
     }
     if (rsym.occupied()) {
-        counters_.add("strayReverseSymbol");
+        ++*cStrayReverseSymbol_;
         if (rsym.kind == SymbolKind::Data)
             ++*mDiscardRouter_;
     }
 
     if (sym.occupied())
-        port.lastActivity = cycle;
+        fLastActivity_[p] = cycle;
 
     switch (sym.kind) {
       case SymbolKind::Empty:
         break;
       case SymbolKind::Header:
-        if (port.consumeLeft > 0) {
-            --port.consumeLeft;
-            counters_.add("headerConsumed");
-        } else if (!port.firstHeaderDone && port.swallowFirst) {
-            port.firstHeaderDone = true;
-            counters_.add("headerSwallowed");
+        if (fConsumeLeft_[p] > 0) {
+            --fConsumeLeft_[p];
+            ++*cHeaderConsumed_;
+        } else if (!fFirstHeaderDone_[p] && fSwallowFirst_[p]) {
+            fFirstHeaderDone_[p] = 1;
+            ++*cHeaderSwallowed_;
         } else {
-            port.firstHeaderDone = true;
-            forwardHeader(port, sym);
+            fFirstHeaderDone_[p] = 1;
+            forwardHeader(p, sym);
         }
         break;
       case SymbolKind::Data:
-        port.crc.update(sym.value, params_.width);
+        fCrc_[p].update(sym.value, params_.width);
         [[fallthrough]];
       case SymbolKind::Checksum:
       case SymbolKind::DataIdle:
       case SymbolKind::Ack:
       case SymbolKind::Test:
-        if (port.consumeLeft > 0) {
+        if (fConsumeLeft_[p] > 0) {
             // Pipelined connection setup consumes words blindly
             // from the stream head.
-            --port.consumeLeft;
-            counters_.add("headerConsumed");
+            --fConsumeLeft_[p];
+            ++*cHeaderConsumed_;
             if (sym.kind == SymbolKind::Data)
                 ++*mDiscardRouter_;
         } else {
             down->pushDown(sym);
-            counters_.add("wordsForwarded");
+            ++*cWordsForwarded_;
         }
         break;
       case SymbolKind::Turn:
@@ -271,17 +321,17 @@ MetroRouter::handleConnectedFwd(PortIndex p, const Symbol &sym,
         // newly-reversed stream, and flip direction.
         down->pushDown(sym);
         pushStatusUp(p, false);
-        counters_.add("turns");
-        port.state = FwdPortState::ConnectedRev;
+        ++*cTurns_;
+        fState_[p] = FwdPortState::ConnectedRev;
         break;
       case SymbolKind::Drop:
         down->pushDown(sym);
         freeConnection(p);
-        counters_.add("drops");
+        ++*cDrops_;
         break;
       case SymbolKind::Status:
       case SymbolKind::BcbDrop:
-        counters_.add("strayForwardSymbol");
+        ++*cStrayForwardSymbol_;
         break;
     }
 }
@@ -290,9 +340,8 @@ void
 MetroRouter::handleConnectedRev(PortIndex p, const Symbol &sym,
                                 Cycle cycle)
 {
-    auto &port = fwd_[p];
-    Link *down = bwd_[port.bwd].link;
-    Link *up = port.link;
+    Link *down = bLink_[fBwd_[p]];
+    Link *up = fLink_[p];
 
     // The forward lane should be quiet while reversed — except for
     // a Drop: the source-responsible endpoint aborts a connection
@@ -300,7 +349,7 @@ MetroRouter::handleConnectedRev(PortIndex p, const Symbol &sym,
     // side. Honour the abort: free this segment and pass the Drop
     // on so the rest of the path unwinds too.
     if (sym.kind == SymbolKind::Drop) {
-        counters_.add("abortDrops");
+        ++*cAbortDrops_;
         down->pushDown(sym);
         freeConnection(p);
         return;
@@ -309,26 +358,26 @@ MetroRouter::handleConnectedRev(PortIndex p, const Symbol &sym,
         // Anything else is in-flight debris of a dead attempt;
         // discard without refreshing the idle clock so a half-dead
         // connection still times out.
-        counters_.add("strayForwardSymbol");
+        ++*cStrayForwardSymbol_;
         if (sym.kind == SymbolKind::Data)
             ++*mDiscardRouter_;
     }
 
-    bwd_[port.bwd].revRead = true;
+    bRevRead_[fBwd_[p]] = 1;
     const Symbol rsym = down->headUp();
     if (rsym.occupied())
-        port.lastActivity = cycle;
+        fLastActivity_[p] = cycle;
 
     switch (rsym.kind) {
       case SymbolKind::Empty:
         // Hold the connection open through reversal-transient and
         // variable-delay gaps (Section 5.1, Data Idle).
-        up->pushUp(Symbol::control(SymbolKind::DataIdle, port.msgId));
+        up->pushUp(Symbol::control(SymbolKind::DataIdle, fMsgId_[p]));
         break;
       case SymbolKind::Data:
-        port.crc.update(rsym.value, params_.width);
+        fCrc_[p].update(rsym.value, params_.width);
         up->pushUp(rsym);
-        counters_.add("wordsForwarded");
+        ++*cWordsForwarded_;
         break;
       case SymbolKind::DataIdle:
       case SymbolKind::Checksum:
@@ -339,53 +388,61 @@ MetroRouter::handleConnectedRev(PortIndex p, const Symbol &sym,
         up->pushUp(rsym);
         if (rsym.kind != SymbolKind::DataIdle &&
             rsym.kind != SymbolKind::Status)
-            counters_.add("wordsForwarded");
+            ++*cWordsForwarded_;
         break;
       case SymbolKind::Turn:
         // Turn back toward the forward direction: forward the TURN
         // upstream, inject our status toward the new downstream.
         up->pushUp(rsym);
         pushStatusDown(p, false);
-        counters_.add("turns");
-        port.state = FwdPortState::ConnectedFwd;
+        ++*cTurns_;
+        fState_[p] = FwdPortState::ConnectedFwd;
         break;
       case SymbolKind::Drop:
         up->pushUp(rsym);
         freeConnection(p);
-        counters_.add("drops");
+        ++*cDrops_;
         break;
       case SymbolKind::BcbDrop:
         // A connection can block downstream after we reversed only
         // in exotic race conditions; reclaim identically (see the
         // ConnectedFwd case for the Drop-down rationale).
-        counters_.add("bcbForwarded");
-        down->pushDown(Symbol::control(SymbolKind::Drop, port.msgId));
-        bwd_[port.bwd].busy = false;
-        bwd_[port.bwd].owner = kInvalidPort;
-        port.bwd = kInvalidPort;
-        up->pushUp(Symbol::control(SymbolKind::BcbDrop, port.msgId));
-        port.state = FwdPortState::Draining;
+        ++*cBcbForwarded_;
+        down->pushDown(Symbol::control(SymbolKind::Drop, fMsgId_[p]));
+        bBusy_[fBwd_[p]] = 0;
+        bOwner_[fBwd_[p]] = kInvalidPort;
+        fBwd_[p] = kInvalidPort;
+        availDirty_ = true;
+        up->pushUp(Symbol::control(SymbolKind::BcbDrop, fMsgId_[p]));
+        fState_[p] = FwdPortState::Draining;
         break;
     }
 }
 
 void
-MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
-                                std::vector<PendingRequest> &pending)
+MetroRouter::processForwardPort(PortIndex p, Cycle cycle)
 {
-    auto &port = fwd_[p];
-    if (port.link == nullptr)
+    if (fLink_[p] == nullptr)
         return;
 
-    const Symbol sym = port.link->headDown();
+    // The common case by far: an idle port whose input lane holds
+    // nothing. The head is necessarily Empty (so there is nothing
+    // to observe, discard, or connect) and the idle-timeout path
+    // only applies to non-Idle states — skip before materializing
+    // the symbol.
+    if (fState_[p] == FwdPortState::Idle &&
+        fLink_[p]->downOccupied() == 0)
+        return;
+
+    const Symbol sym = fLink_[p]->headDown();
 
     if (!config_.forwardEnabled[p]) {
         // Disabled port: isolated from normal operation; only scan
         // test patterns are observed (Section 5.1, Scan Support).
         if (sym.kind == SymbolKind::Test) {
-            port.lastTest = sym;
+            fLastTest_[p] = sym;
         } else if (sym.occupied()) {
-            counters_.add("disabledPortDiscard");
+            ++*cDisabledPortDiscard_;
             if (sym.kind == SymbolKind::Data)
                 ++*mDiscardRouter_;
         }
@@ -393,21 +450,21 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
     }
 
     // Idle-timeout cleanup (simulator extension; see RouterConfig).
-    if (config_.idleTimeout > 0 && port.state != FwdPortState::Idle &&
+    if (config_.idleTimeout > 0 && fState_[p] != FwdPortState::Idle &&
         !sym.occupied() &&
-        cycle - port.lastActivity > config_.idleTimeout) {
-        counters_.add("idleTimeouts");
+        cycle - fLastActivity_[p] > config_.idleTimeout) {
+        ++*cIdleTimeouts_;
         const auto drop =
-            Symbol::control(SymbolKind::Drop, port.msgId);
-        switch (port.state) {
+            Symbol::control(SymbolKind::Drop, fMsgId_[p]);
+        switch (fState_[p]) {
           case FwdPortState::ConnectedFwd:
           case FwdPortState::ConnectedRev:
-            bwd_[port.bwd].link->pushDown(drop);
-            port.link->pushUp(drop);
+            bLink_[fBwd_[p]]->pushDown(drop);
+            fLink_[p]->pushUp(drop);
             break;
           case FwdPortState::BlockedWait:
           case FwdPortState::BlockedDrop:
-            port.link->pushUp(drop);
+            fLink_[p]->pushUp(drop);
             break;
           case FwdPortState::Draining:
           case FwdPortState::Idle:
@@ -417,18 +474,18 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
         return;
     }
 
-    switch (port.state) {
+    switch (fState_[p]) {
       case FwdPortState::Idle:
         if (sym.kind == SymbolKind::Header) {
             PendingRequest req;
             req.fwd = p;
             req.direction = extractDirection(sym, cycle);
             req.header = sym;
-            pending.push_back(req);
+            pendingScratch_.push_back(req);
         } else if (sym.occupied()) {
             // In-flight remains of a fast-reclaimed stream, or a
             // close marker racing a teardown: discard.
-            counters_.add("idleDiscard");
+            ++*cIdleDiscard_;
             if (sym.kind == SymbolKind::Data)
                 ++*mDiscardRouter_;
         }
@@ -444,26 +501,26 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
 
       case FwdPortState::BlockedWait:
         if (sym.occupied())
-            port.lastActivity = cycle;
+            fLastActivity_[p] = cycle;
         switch (sym.kind) {
           case SymbolKind::Data:
-            port.crc.update(sym.value, params_.width);
-            counters_.add("blockedDiscard");
+            fCrc_[p].update(sym.value, params_.width);
+            ++*cBlockedDiscard_;
             ++*mDiscardBlock_;
             break;
           case SymbolKind::Turn:
             // Detailed reply: status (with blocked flag and the
             // checksum of everything received) then teardown.
             pushStatusUp(p, true);
-            port.state = FwdPortState::BlockedDrop;
-            counters_.add("blockedReplies");
+            fState_[p] = FwdPortState::BlockedDrop;
+            ++*cBlockedReplies_;
             break;
           case SymbolKind::Drop:
             freeConnection(p);
             break;
           default:
             if (sym.occupied())
-                counters_.add("blockedDiscard");
+                ++*cBlockedDiscard_;
             break;
         }
         break;
@@ -473,8 +530,8 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
         // processed; account a Data word so conservation holds.
         if (sym.kind == SymbolKind::Data)
             ++*mDiscardBlock_;
-        port.link->pushUp(Symbol::control(SymbolKind::Drop,
-                                          port.msgId));
+        fLink_[p]->pushUp(Symbol::control(SymbolKind::Drop,
+                                          fMsgId_[p]));
         freeConnection(p);
         break;
 
@@ -482,8 +539,8 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
         if (sym.kind == SymbolKind::Drop) {
             freeConnection(p);
         } else if (sym.occupied()) {
-            port.lastActivity = cycle;
-            counters_.add("drainedWords");
+            fLastActivity_[p] = cycle;
+            ++*cDrainedWords_;
             if (sym.kind == SymbolKind::Data)
                 ++*mDiscardRouter_;
         }
@@ -492,92 +549,91 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle,
 }
 
 void
-MetroRouter::runAllocation(const std::vector<PendingRequest> &pending,
-                           const std::vector<bool> &avail_snapshot,
-                           Cycle cycle)
+MetroRouter::runAllocation(Cycle cycle)
 {
-    if (pending.empty())
+    if (pendingScratch_.empty())
         return;
 
     std::vector<AllocRequest> requests;
-    requests.reserve(pending.size());
-    for (const auto &req : pending)
+    requests.reserve(pendingScratch_.size());
+    for (const auto &req : pendingScratch_)
         requests.push_back({req.fwd, req.direction});
 
     lastGrants_ = allocateCrossbar(
-        requests, avail_snapshot, config_.dilation,
+        requests, availScratch_, config_.dilation,
         randomSource_->wordForCycle(cycle),
         config_.randomSelection);
 
-    for (std::size_t k = 0; k < pending.size(); ++k) {
-        const auto &req = pending[k];
+    for (std::size_t k = 0; k < pendingScratch_.size(); ++k) {
+        const auto &req = pendingScratch_[k];
         const auto &grant = lastGrants_[k];
-        auto &port = fwd_[req.fwd];
-        counters_.add("requests");
+        const PortIndex p = req.fwd;
+        ++*cRequests_;
 
         if (grant.granted()) {
-            counters_.add("grants");
+            ++*cGrants_;
             if (observer_ != nullptr)
                 observer_->onGrant(id_, stage_, req.header.msgId,
                                    cycle);
-            port.state = FwdPortState::ConnectedFwd;
-            port.bwd = grant.backwardPort;
-            port.direction = req.direction;
-            port.msgId = req.header.msgId;
-            port.crc.reset();
-            port.lastActivity = cycle;
-            bwd_[grant.backwardPort].busy = true;
-            bwd_[grant.backwardPort].owner = req.fwd;
+            fState_[p] = FwdPortState::ConnectedFwd;
+            fBwd_[p] = grant.backwardPort;
+            fDirection_[p] = req.direction;
+            fMsgId_[p] = req.header.msgId;
+            fCrc_[p].reset();
+            fLastActivity_[p] = cycle;
+            bBusy_[grant.backwardPort] = 1;
+            bOwner_[grant.backwardPort] = req.fwd;
+            availDirty_ = true;
 
             const unsigned bits = directionBits();
-            port.posAfter =
+            fPosAfter_[p] =
                 static_cast<std::uint16_t>(req.header.routePos + bits);
 
             if (params_.headerWords > 0) {
                 // Pipelined setup: this word plus hw-1 more are
                 // consumed from the stream head.
-                port.consumeLeft = params_.headerWords - 1;
-                port.firstHeaderDone = true;
-                port.swallowFirst = false;
-                counters_.add("headerConsumed");
+                fConsumeLeft_[p] = params_.headerWords - 1;
+                fFirstHeaderDone_[p] = 1;
+                fSwallowFirst_[p] = 0;
+                ++*cHeaderConsumed_;
             } else {
-                port.consumeLeft = 0;
-                port.firstHeaderDone = false;
+                fConsumeLeft_[p] = 0;
+                fFirstHeaderDone_[p] = 0;
                 const unsigned w = params_.width;
                 const unsigned word_end =
                     (req.header.routePos / w + 1) * w;
                 const unsigned limit = std::min<unsigned>(
                     word_end, req.header.routeLen);
-                port.swallowFirst = config_.swallow[req.fwd] &&
-                                    port.posAfter >= limit;
+                fSwallowFirst_[p] = config_.swallow[req.fwd] &&
+                                    fPosAfter_[p] >= limit;
                 // Route the first header word right now.
-                if (port.swallowFirst) {
-                    port.firstHeaderDone = true;
-                    counters_.add("headerSwallowed");
+                if (fSwallowFirst_[p]) {
+                    fFirstHeaderDone_[p] = 1;
+                    ++*cHeaderSwallowed_;
                 } else {
-                    port.firstHeaderDone = true;
-                    forwardHeader(port, req.header);
+                    fFirstHeaderDone_[p] = 1;
+                    forwardHeader(p, req.header);
                 }
             }
         } else {
-            counters_.add("blocks");
+            ++*cBlocks_;
             if (observer_ != nullptr)
                 observer_->onBlock(id_, stage_, req.header.msgId,
                                    cycle);
-            port.msgId = req.header.msgId;
-            port.direction = req.direction;
-            port.lastActivity = cycle;
+            fMsgId_[p] = req.header.msgId;
+            fDirection_[p] = req.direction;
+            fLastActivity_[p] = cycle;
             if (config_.fastReclaim[req.fwd]) {
                 // Fast path reclamation: immediately propagate the
                 // backward control bit; resources here are never
                 // held.
-                counters_.add("bcbSent");
-                port.link->pushUp(Symbol::control(SymbolKind::BcbDrop,
-                                                  port.msgId));
-                port.state = FwdPortState::Draining;
+                ++*cBcbSent_;
+                fLink_[p]->pushUp(Symbol::control(SymbolKind::BcbDrop,
+                                                  fMsgId_[p]));
+                fState_[p] = FwdPortState::Draining;
             } else {
-                port.crc.reset();
-                port.state = FwdPortState::BlockedWait;
+                fCrc_[p].reset();
+                fState_[p] = FwdPortState::BlockedWait;
             }
         }
     }
@@ -592,15 +648,15 @@ MetroRouter::tick(Cycle cycle)
             // A dead router consumes nothing: census the Data
             // words arriving on its lanes this cycle so the
             // conservation identity survives router failures.
-            // peekDown()/peekUp() never touch the fault PRNG.
-            for (const auto &f : fwd_) {
-                if (f.link != nullptr &&
-                    f.link->peekDown().kind == SymbolKind::Data)
+            // Kind-only peeks never touch the fault PRNG.
+            for (const auto *l : fLink_) {
+                if (l != nullptr &&
+                    l->peekKindDown() == SymbolKind::Data)
                     ++*mDiscardRouter_;
             }
-            for (const auto &b : bwd_) {
-                if (b.link != nullptr &&
-                    b.link->peekUp().kind == SymbolKind::Data)
+            for (const auto *l : bLink_) {
+                if (l != nullptr &&
+                    l->peekKindUp() == SymbolKind::Data)
                     ++*mDiscardRouter_;
             }
         }
@@ -609,17 +665,21 @@ MetroRouter::tick(Cycle cycle)
 
     // Snapshot availability before any teardown this cycle: a port
     // freed in cycle t accepts new connections from t+1, which also
-    // guarantees single-push-per-lane.
-    const auto avail = availabilitySnapshot();
+    // guarantees single-push-per-lane. Mid-tick mutations only mark
+    // the snapshot dirty, so the refill here reproduces exactly the
+    // start-of-cycle state an every-tick refill saw.
+    if (availDirty_) {
+        fillAvailability();
+        availDirty_ = false;
+    }
 
-    for (auto &b : bwd_)
-        b.revRead = false;
+    std::fill(bRevRead_.begin(), bRevRead_.end(), 0);
 
-    std::vector<PendingRequest> pending;
-    for (PortIndex p = 0; p < fwd_.size(); ++p)
-        processForwardPort(p, cycle, pending);
+    pendingScratch_.clear();
+    for (PortIndex p = 0; p < fLink_.size(); ++p)
+        processForwardPort(p, cycle);
 
-    runAllocation(pending, avail, cycle);
+    runAllocation(cycle);
 
     if (metrics_ != nullptr) {
         // Word conservation: census the reverse lanes no connection
@@ -628,11 +688,11 @@ MetroRouter::tick(Cycle cycle)
         // peekUp() never touches the fault PRNG, so the census is
         // invisible to the simulation proper.
         unsigned busyPorts = 0;
-        for (const auto &b : bwd_) {
-            if (b.busy)
+        for (std::size_t b = 0; b < bLink_.size(); ++b) {
+            if (bBusy_[b])
                 ++busyPorts;
-            if (b.link != nullptr && !b.revRead &&
-                b.link->peekUp().kind == SymbolKind::Data) {
+            if (bLink_[b] != nullptr && !bRevRead_[b] &&
+                bLink_[b]->peekKindUp() == SymbolKind::Data) {
                 ++*mDiscardRouter_;
             }
         }
@@ -640,12 +700,16 @@ MetroRouter::tick(Cycle cycle)
     }
 
     // Off Port Drive Output (Table 2): disabled backward ports with
-    // drive enabled hold the wire at DATA-IDLE.
-    for (PortIndex b = 0; b < bwd_.size(); ++b) {
-        if (!config_.backwardEnabled[b] && config_.offPortDrive[b] &&
-            bwd_[b].link != nullptr && !bwd_[b].busy) {
-            bwd_[b].link->pushDown(
-                Symbol::control(SymbolKind::DataIdle));
+    // drive enabled hold the wire at DATA-IDLE. Armed only while
+    // some disabled port has drive configured (rare).
+    if (offPortDriveArmed_) {
+        for (PortIndex b = 0; b < bLink_.size(); ++b) {
+            if (!config_.backwardEnabled[b] &&
+                config_.offPortDrive[b] && bLink_[b] != nullptr &&
+                !bBusy_[b]) {
+                bLink_[b]->pushDown(
+                    Symbol::control(SymbolKind::DataIdle));
+            }
         }
     }
 }
@@ -653,7 +717,7 @@ MetroRouter::tick(Cycle cycle)
 void
 MetroRouter::setForwardEnabled(PortIndex p, bool enabled)
 {
-    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    METRO_ASSERT(p < fLink_.size(), "forward port %u out of range", p);
     wake();
     if (!enabled)
         teardownPort(p);
@@ -663,17 +727,19 @@ MetroRouter::setForwardEnabled(PortIndex p, bool enabled)
 void
 MetroRouter::setBackwardEnabled(PortIndex p, bool enabled)
 {
-    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    METRO_ASSERT(p < bLink_.size(), "backward port %u out of range", p);
     wake();
-    if (!enabled && bwd_[p].busy)
-        teardownPort(bwd_[p].owner);
+    if (!enabled && bBusy_[p])
+        teardownPort(bOwner_[p]);
     config_.backwardEnabled[p] = enabled;
+    availDirty_ = true;
+    refreshOffPortDrive();
 }
 
 void
 MetroRouter::setFastReclaim(PortIndex p, bool fast)
 {
-    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
+    METRO_ASSERT(p < fLink_.size(), "forward port %u out of range", p);
     wake();
     config_.fastReclaim[p] = fast;
 }
@@ -686,28 +752,30 @@ MetroRouter::setDilation(unsigned dilation)
     next.dilation = dilation;
     next.validate(params_);
     config_ = next;
+    availDirty_ = true;
+    refreshOffPortDrive();
 }
 
 FwdPortState
 MetroRouter::forwardState(PortIndex p) const
 {
-    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
-    return fwd_[p].state;
+    METRO_ASSERT(p < fLink_.size(), "forward port %u out of range", p);
+    return fState_[p];
 }
 
 bool
 MetroRouter::backwardBusy(PortIndex p) const
 {
-    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
-    return bwd_[p].busy;
+    METRO_ASSERT(p < bLink_.size(), "backward port %u out of range", p);
+    return bBusy_[p] != 0;
 }
 
 PortIndex
 MetroRouter::connectedBackward(PortIndex fwd) const
 {
-    METRO_ASSERT(fwd < fwd_.size(), "forward port %u out of range",
+    METRO_ASSERT(fwd < fLink_.size(), "forward port %u out of range",
                  fwd);
-    return fwd_[fwd].bwd;
+    return fBwd_[fwd];
 }
 
 bool
@@ -716,12 +784,12 @@ MetroRouter::canSleep() const
     // Any attached active link may deliver a symbol (or, dead with
     // words still draining, needs its exit census observed): stay
     // awake until every lane is fast-pathed.
-    for (const auto &f : fwd_) {
-        if (f.link != nullptr && f.link->active())
+    for (const auto *l : fLink_) {
+        if (l != nullptr && l->active())
             return false;
     }
-    for (const auto &b : bwd_) {
-        if (b.link != nullptr && b.link->active())
+    for (const auto *l : bLink_) {
+        if (l != nullptr && l->active())
             return false;
     }
     // A dead router's tick is a pure peek census — a no-op on
@@ -735,9 +803,9 @@ MetroRouter::canSleep() const
     // wake between the drive becoming effective and our next tick
     // (e.g. setBackwardEnabled(false)) would otherwise re-sleep us
     // before the first DATA-IDLE ever goes out.
-    for (PortIndex b = 0; b < bwd_.size(); ++b) {
+    for (PortIndex b = 0; b < bLink_.size(); ++b) {
         if (!config_.backwardEnabled[b] && config_.offPortDrive[b] &&
-            bwd_[b].link != nullptr && !bwd_[b].busy)
+            bLink_[b] != nullptr && !bBusy_[b])
             return false;
     }
     return true;
@@ -757,12 +825,12 @@ MetroRouter::syncSkipped(Cycle from, Cycle upto)
 bool
 MetroRouter::quiescent() const
 {
-    for (const auto &p : fwd_) {
-        if (p.state != FwdPortState::Idle)
+    for (const auto state : fState_) {
+        if (state != FwdPortState::Idle)
             return false;
     }
-    for (const auto &b : bwd_) {
-        if (b.busy)
+    for (const auto busy : bBusy_) {
+        if (busy)
             return false;
     }
     return true;
@@ -771,35 +839,35 @@ MetroRouter::quiescent() const
 Symbol
 MetroRouter::lastTestSymbol(PortIndex p) const
 {
-    METRO_ASSERT(p < fwd_.size(), "forward port %u out of range", p);
-    return fwd_[p].lastTest;
+    METRO_ASSERT(p < fLink_.size(), "forward port %u out of range", p);
+    return fLastTest_[p];
 }
 
 void
 MetroRouter::driveTestSymbol(PortIndex p, const Symbol &s)
 {
-    METRO_ASSERT(p < bwd_.size(), "backward port %u out of range", p);
+    METRO_ASSERT(p < bLink_.size(), "backward port %u out of range", p);
     METRO_ASSERT(!config_.backwardEnabled[p],
                  "test drive requires a disabled port");
-    METRO_ASSERT(bwd_[p].link != nullptr, "port %u unattached", p);
-    bwd_[p].link->pushDown(s);
+    METRO_ASSERT(bLink_[p] != nullptr, "port %u unattached", p);
+    bLink_[p]->pushDown(s);
 }
 
 void
 MetroRouter::releaseBackward(PortIndex b)
 {
-    METRO_ASSERT(b < bwd_.size(), "backward port %u out of range", b);
-    if (bwd_[b].busy) {
+    METRO_ASSERT(b < bLink_.size(), "backward port %u out of range", b);
+    if (bBusy_[b]) {
         counters_.add("cascadeShutdown");
-        freeConnection(bwd_[b].owner);
+        freeConnection(bOwner_[b]);
     }
 }
 
 void
 MetroRouter::shutdownAllConnections()
 {
-    for (PortIndex p = 0; p < fwd_.size(); ++p) {
-        if (fwd_[p].state != FwdPortState::Idle) {
+    for (PortIndex p = 0; p < fLink_.size(); ++p) {
+        if (fState_[p] != FwdPortState::Idle) {
             counters_.add("cascadeShutdown");
             freeConnection(p);
         }

@@ -224,38 +224,6 @@ class MetroRouter : public Component
     void releaseBackward(PortIndex b);
 
   private:
-    struct FwdPort
-    {
-        Link *link = nullptr;
-        FwdPortState state = FwdPortState::Idle;
-        PortIndex bwd = kInvalidPort;
-        /** hw words still to consume from the stream head. */
-        unsigned consumeLeft = 0;
-        /** routePos to stamp on forwarded header words. */
-        std::uint16_t posAfter = 0;
-        /** swallow: strip the leading header word. */
-        bool swallowFirst = false;
-        /** true until the stream's first header was handled. */
-        bool firstHeaderDone = false;
-        /** CRC over Data words forwarded on this connection. */
-        Crc16 crc;
-        /** requested logical direction (diagnostics). */
-        unsigned direction = 0;
-        Cycle lastActivity = 0;
-        std::uint64_t msgId = 0;
-        Symbol lastTest;
-    };
-
-    struct BwdPort
-    {
-        Link *link = nullptr;
-        bool busy = false;
-        PortIndex owner = kInvalidPort;
-        /** Reverse lane consumed by a connection handler this tick
-         *  (unread lanes are censused for word conservation). */
-        bool revRead = false;
-    };
-
     /** Pending allocation request gathered during the input scan. */
     struct PendingRequest
     {
@@ -269,24 +237,30 @@ class MetroRouter : public Component
     void syncSkipped(Cycle from, Cycle upto) override;
     /** @} */
 
-    void processForwardPort(PortIndex p, Cycle cycle,
-                            std::vector<PendingRequest> &pending);
+    /** Type-segregated dispatch (see Engine): routers registered
+     *  consecutively tick through one devirtualized loop. */
+    BatchTickFn
+    batchTickFn() const override
+    {
+        return &Component::batchTickOf<MetroRouter>;
+    }
+
+    void processForwardPort(PortIndex p, Cycle cycle);
     void handleConnectedFwd(PortIndex p, const Symbol &sym,
                             Cycle cycle);
     void handleConnectedRev(PortIndex p, const Symbol &sym,
                             Cycle cycle);
-    void runAllocation(const std::vector<PendingRequest> &pending,
-                       const std::vector<bool> &avail_snapshot,
-                       Cycle cycle);
-    void forwardHeader(FwdPort &port, Symbol sym);
+    void runAllocation(Cycle cycle);
+    void forwardHeader(PortIndex p, Symbol sym);
     void pushStatusUp(PortIndex p, bool blocked);
     void pushStatusDown(PortIndex p, bool blocked);
-    Symbol makeStatus(const FwdPort &port, bool blocked) const;
+    Symbol makeStatus(PortIndex p, bool blocked) const;
     void freeConnection(PortIndex p);
     void teardownPort(PortIndex p);
     unsigned directionBits() const;
     unsigned extractDirection(const Symbol &header, Cycle cycle);
-    std::vector<bool> availabilitySnapshot() const;
+    void fillAvailability();
+    void refreshOffPortDrive();
 
     RouterId id_;
     RouterParams params_;
@@ -297,10 +271,87 @@ class MetroRouter : public Component
     std::shared_ptr<RandomSource> randomSource_;
     RandomSource randomOutput_;
     Xoshiro256 misrouteRng_;
-    std::vector<FwdPort> fwd_;
-    std::vector<BwdPort> bwd_;
+
+    /**
+     * Per-port connection state, structure-of-arrays: the tick loop
+     * walks ports field by field (the state scan touches fState_ and
+     * fLink_ only for idle ports), so each array stays hot instead
+     * of striding over one big per-port record. All forward arrays
+     * are indexed by forward-port number, backward arrays by
+     * backward-port number; sizes are fixed at construction. @{
+     */
+    std::vector<Link *> fLink_;
+    std::vector<FwdPortState> fState_;
+    std::vector<PortIndex> fBwd_;
+    /** hw words still to consume from the stream head. */
+    std::vector<std::uint32_t> fConsumeLeft_;
+    /** routePos to stamp on forwarded header words. */
+    std::vector<std::uint16_t> fPosAfter_;
+    /** swallow: strip the leading header word. */
+    std::vector<std::uint8_t> fSwallowFirst_;
+    /** true until the stream's first header was handled. */
+    std::vector<std::uint8_t> fFirstHeaderDone_;
+    /** CRC over Data words forwarded per connection. */
+    std::vector<Crc16> fCrc_;
+    /** requested logical direction (diagnostics). */
+    std::vector<std::uint32_t> fDirection_;
+    std::vector<Cycle> fLastActivity_;
+    std::vector<std::uint64_t> fMsgId_;
+    /** Last Test symbol observed while the port was disabled. */
+    std::vector<Symbol> fLastTest_;
+
+    std::vector<Link *> bLink_;
+    std::vector<std::uint8_t> bBusy_;
+    std::vector<PortIndex> bOwner_;
+    /** Reverse lane consumed by a connection handler this tick
+     *  (unread lanes are censused for word conservation). */
+    std::vector<std::uint8_t> bRevRead_;
+    /** @} */
+
+    /** Per-tick scratch, allocated once (the former per-tick
+     *  vector allocations were a measured hot spot). @{ */
+    std::vector<bool> availScratch_;
+    std::vector<PendingRequest> pendingScratch_;
+    /** @} */
+
+    /** availScratch_ needs refilling: some availability input
+     *  (bBusy_, backwardEnabled, an attached link) changed since
+     *  the last fill. Mutations mid-tick leave this cycle's
+     *  snapshot stale on purpose — a port freed in cycle t accepts
+     *  new connections from t+1. */
+    bool availDirty_ = true;
+
+    /** Some disabled backward port has off-port drive enabled, so
+     *  the per-tick DATA-IDLE drive loop must run (recomputed on
+     *  the rare enable/disable reconfigurations). */
+    bool offPortDriveArmed_ = false;
+
     std::vector<AllocGrant> lastGrants_;
     CounterSet counters_;
+
+    /** Interned hot-path counter slots (CounterSet::slot): bare
+     *  increments instead of per-event string + map lookup. @{ */
+    std::uint64_t *cBcbForwarded_;
+    std::uint64_t *cReverseDropFwd_;
+    std::uint64_t *cStrayReverseSymbol_;
+    std::uint64_t *cHeaderConsumed_;
+    std::uint64_t *cHeaderSwallowed_;
+    std::uint64_t *cWordsForwarded_;
+    std::uint64_t *cTurns_;
+    std::uint64_t *cDrops_;
+    std::uint64_t *cStrayForwardSymbol_;
+    std::uint64_t *cAbortDrops_;
+    std::uint64_t *cIdleDiscard_;
+    std::uint64_t *cIdleTimeouts_;
+    std::uint64_t *cBlockedDiscard_;
+    std::uint64_t *cBlockedReplies_;
+    std::uint64_t *cDrainedWords_;
+    std::uint64_t *cDisabledPortDiscard_;
+    std::uint64_t *cRequests_;
+    std::uint64_t *cGrants_;
+    std::uint64_t *cBlocks_;
+    std::uint64_t *cBcbSent_;
+    /** @} */
 
     // Observability: cached registry slots (see setMetrics). When no
     // registry is attached the pointers target scratch_, keeping the

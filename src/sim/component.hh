@@ -1,13 +1,17 @@
 /**
  * @file
  * Base class for clocked simulation components, plus the scheduler
- * interface the quiescence-aware engine implements.
+ * interface the quiescence-aware engine implements and the batched
+ * tick protocol the engine's type-segregated loops use.
  */
 
 #ifndef METRO_SIM_COMPONENT_HH
 #define METRO_SIM_COMPONENT_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -30,6 +34,24 @@ class Scheduler
 
   protected:
     ~Scheduler() = default;
+};
+
+/**
+ * Per-cycle state threaded through the engine's batched tick loops
+ * (see Component::BatchTickFn). Carries the cycle, accumulates the
+ * scheduler's skipped-tick count, and — when quiescence scheduling
+ * is on — collects the components whose end-of-cycle sleep
+ * evaluation is worth running (candidate-driven sleep eval: only
+ * components ticked this cycle with every attached link drained,
+ * plus those whose last active link drains in the advance phase,
+ * are examined; see engine.hh).
+ */
+struct TickContext
+{
+    Cycle cycle = 0;
+    std::uint64_t skipped = 0;
+    /** Null when quiescence scheduling is off. */
+    std::vector<Component *> *sleepCandidates = nullptr;
 };
 
 /**
@@ -64,6 +86,31 @@ class Component
     /** Advance one clock cycle. */
     virtual void tick(Cycle cycle) = 0;
 
+    /**
+     * Batched tick entry point. The engine groups
+     * registration-order-contiguous runs of components that report
+     * the same function here and makes one call per run, so a
+     * homogeneous run (64 routers, 64 endpoints, 64 drivers) pays
+     * one indirect call total and the per-component dispatch inside
+     * the run is non-virtual (see batchTickOf). The default is a
+     * shared virtual-dispatch loop, correct for any component.
+     *
+     * Contract for implementations: per component, honour the
+     * scheduler skip (shouldTick), call the concrete tick, then
+     * offer the component as a sleep candidate (noteTicked) —
+     * exactly what batchTickOf<T> does.
+     */
+    using BatchTickFn = void (*)(Component *const *items,
+                                 std::size_t n, TickContext &ctx);
+
+    /** The batched tick loop for this component's concrete class.
+     *  Override to `return &batchTickOf<ConcreteClass>;`. */
+    virtual BatchTickFn
+    batchTickFn() const
+    {
+        return &genericBatchTick;
+    }
+
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
@@ -87,6 +134,14 @@ class Component
     virtual bool canSleep() const { return false; }
 
     /**
+     * Classes that override canSleep() must call this in their
+     * constructor: only marked components enter the engine's
+     * candidate-driven sleep evaluation (everything else is known
+     * to never sleep and is never examined).
+     */
+    void markSleepable() { sleepable_ = true; }
+
+    /**
      * Account for the skipped cycles [from, upto) on wakeup, before
      * the component is ticked again — e.g. the per-tick metrics
      * samples an eagerly-ticked quiescent instance would have
@@ -102,18 +157,89 @@ class Component
         (void)upto;
     }
 
+    /** Scheduler gate used by batch tick loops: false while the
+     *  component sleeps or a mid-cycle wake already accounted this
+     *  cycle as skipped (wakeAt_). */
+    static bool
+    shouldTick(const Component *c, const TickContext &ctx)
+    {
+        return !c->schedAsleep_ && ctx.cycle >= c->wakeAt_;
+    }
+
+    /**
+     * Offer a just-ticked component to the end-of-cycle sleep
+     * evaluation. Only sleepable components whose attached links
+     * are all inactive are worth a canSleep() call — an active link
+     * vetoes sleep in every canSleep() implementation (each
+     * registers itself as wake target of exactly the links it
+     * checks, so schedActiveLinks_ is that veto, counted). Missing
+     * a candidate is always observationally identical (canSleep()
+     * true means the next tick produces exactly the samples
+     * syncSkipped would); it can only delay the skipping.
+     */
+    static void
+    noteTicked(Component *c, TickContext &ctx)
+    {
+        if (ctx.sleepCandidates != nullptr && c->sleepable_ &&
+            c->schedActiveLinks_ == 0)
+            ctx.sleepCandidates->push_back(c);
+    }
+
+    /**
+     * The batched tick loop for a concrete component class: one
+     * function call per *run*, and the per-component call is
+     * qualified (devirtualized, inlinable).
+     */
+    template <typename T>
+    static void
+    batchTickOf(Component *const *items, std::size_t n,
+                TickContext &ctx)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            auto *c = static_cast<T *>(items[i]);
+            if (!shouldTick(c, ctx)) {
+                ++ctx.skipped;
+                continue;
+            }
+            c->T::tick(ctx.cycle);
+            noteTicked(c, ctx);
+        }
+    }
+
   private:
     friend class Engine;
     friend class Link;
 
+    /** Fallback batch loop: virtual dispatch per component. */
+    static void
+    genericBatchTick(Component *const *items, std::size_t n,
+                     TickContext &ctx)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            Component *c = items[i];
+            if (!shouldTick(c, ctx)) {
+                ++ctx.skipped;
+                continue;
+            }
+            c->tick(ctx.cycle);
+            noteTicked(c, ctx);
+        }
+    }
+
     std::string name_;
     /** Engine this component is registered with (wake target). */
     Scheduler *sched_ = nullptr;
+    /** Overrides canSleep() (see markSleepable). */
+    bool sleepable_ = false;
     /** Scheduler state (owned by the engine). @{ */
     bool schedAsleep_ = false;
     Cycle wakeAt_ = 0;
     Cycle sleptFrom_ = 0;
     /** @} */
+    /** Attached links currently active (maintained by Link on
+     *  activate/deactivate/attach): the counted form of the
+     *  link-activity veto every canSleep() starts with. */
+    std::uint32_t schedActiveLinks_ = 0;
 };
 
 } // namespace metro

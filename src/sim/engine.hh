@@ -8,8 +8,21 @@
  *
  *   phase 1: tick every component (order-independent — components
  *            read lane heads and push lane tails only);
- *   phase 2: advance every link, making this cycle's pushes visible
- *            after their lane latencies elapse.
+ *   phase 2: advance every lane, making this cycle's pushes visible
+ *            after their lane latencies elapse. This is not a
+ *            per-link loop: links register their arena, and the
+ *            engine makes one batched pass per arena over the flat
+ *            per-lane control arrays (LaneArena::advanceAll) —
+ *            for a network, one pass over one arena.
+ *
+ * Dispatch is type-segregated: components registered consecutively
+ * with the same concrete class (routers, then endpoints, then
+ * drivers — the order builders and experiments naturally produce)
+ * form contiguous runs, and phase 1 makes one indirect call per
+ * run; inside a run the per-component tick is non-virtual (see
+ * Component::batchTickOf). The runs partition the registration
+ * list in order, so the global tick order is exactly the
+ * registration order, same as a flat virtual loop.
  *
  * Quiescence scheduling (on by default; see docs/simulator.md): the
  * common case at Figure 3's low-to-moderate loads is a router with
@@ -24,6 +37,22 @@
  * wire-trace and both word-conservation identities are
  * byte-/bit-identical with the scheduler on and off (regression:
  * tests/test_quiesce.cc).
+ *
+ * Sleep evaluation is candidate-driven: instead of re-scanning
+ * every link and every component after each cycle (which made the
+ * scheduler a measured net loss at saturation, where nothing can
+ * ever sleep), the end-of-cycle pass examines only (a) components
+ * ticked this cycle whose attached links are all inactive
+ * (collected inline by the batch tick loops via noteTicked) and
+ * (b) components whose last active link drained in this cycle's
+ * advance phase. Anything else provably cannot newly satisfy
+ * canSleep(): its own state did not change this cycle, and every
+ * canSleep() implementation is vetoed by any active attached link.
+ * Missing a candidate would merely delay a sleep (observationally
+ * identical — canSleep() true means the skipped ticks produce
+ * exactly what syncSkipped accounts); sleeping a non-candidate is
+ * impossible since candidates are a superset of the components
+ * whose canSleep() input changed.
  */
 
 #ifndef METRO_SIM_ENGINE_HH
@@ -59,13 +88,37 @@ class Engine : public Scheduler
         component->schedAsleep_ = false;
         component->wakeAt_ = 0;
         components_.push_back(component);
+        // Extend the current homogeneous run or open a new one.
+        const auto fn = component->batchTickFn();
+        if (!runs_.empty() && runs_.back().fn == fn)
+            ++runs_.back().count;
+        else
+            runs_.push_back({fn, components_.size() - 1, 1});
     }
 
-    /** Register a link to be advanced each cycle. */
+    /**
+     * Register a link to be advanced each cycle. The engine groups
+     * links by the LaneArena their lanes live in (one shared arena
+     * per network; a private one per standalone link) and advances
+     * each arena with one batched pass, so it records here which
+     * link owns which lane for the link-level sleep evaluation.
+     */
     void
     addLink(Link *link)
     {
         links_.push_back(link);
+        ArenaGroup &g = groupFor(link->laneArena());
+        if (g.laneOwner.size() < g.arena->lanes())
+            g.laneOwner.resize(g.arena->lanes(), nullptr);
+        for (const LaneId lane : {link->downLane(), link->upLane()}) {
+            g.laneOwner[lane] = link;
+            g.arena->setFrozen(lane, false);
+        }
+        // The batched advance only re-reports lanes whose state
+        // changed, so evaluate this link's first sleep verdict
+        // explicitly at the end of the current/next cycle (it may
+        // arrive already drained and eligible to sleep right away).
+        pendingLinkEval_.push_back(link);
     }
 
     /**
@@ -83,6 +136,12 @@ class Engine : public Scheduler
      * drivers one by one is O(active·n) (each removal rescans the
      * component list); experiment teardown hands the whole batch
      * over instead.
+     *
+     * A victim that is asleep first accounts its skipped tail
+     * (syncSkipped up to the cycle it would next have been ticked
+     * in), so e.g. occupancy histograms match an eagerly-ticked
+     * instance removed at the same moment; its wake state is reset
+     * so re-registration with any engine starts clean.
      */
     void
     removeComponents(std::span<Component *const> victims)
@@ -91,13 +150,64 @@ class Engine : public Scheduler
             return;
         const std::unordered_set<Component *> gone(victims.begin(),
                                                    victims.end());
-        std::erase_if(components_, [&gone](Component *c) {
+        const Cycle upto = stepping_ ? now_ + 1 : now_;
+        std::erase_if(components_, [&](Component *c) {
             if (gone.count(c) == 0)
                 return false;
+            if (c->schedAsleep_ && upto > c->sleptFrom_)
+                c->syncSkipped(c->sleptFrom_, upto);
             c->sched_ = nullptr;
             c->schedAsleep_ = false;
+            c->wakeAt_ = 0;
+            c->sleptFrom_ = 0;
             return true;
         });
+        rebuildRuns();
+    }
+
+    /** Unregister a link (see removeLinks). */
+    void
+    removeLink(Link *link)
+    {
+        removeLinks({&link, 1});
+    }
+
+    /**
+     * Unregister a batch of links in one pass, mirroring
+     * removeComponents — without it, tearing a network down while
+     * the engine persists leaves dangling Link* behind. The links
+     * themselves are untouched (still owned by their network);
+     * their wake attachments keep maintaining the end components'
+     * active-link counts, so those components' sleep evaluation
+     * stays exact.
+     */
+    void
+    removeLinks(std::span<Link *const> victims)
+    {
+        if (victims.empty())
+            return;
+        const std::unordered_set<Link *> gone(victims.begin(),
+                                              victims.end());
+        std::erase_if(links_, [&gone](Link *l) {
+            return gone.count(l) != 0;
+        });
+        // Freeze the victims' lanes: the batched advance skips them
+        // outright (a removed link's symbols stay frozen in flight,
+        // exactly as when each link was advanced individually), and
+        // frozen lanes do not count as fast-pathed.
+        std::erase_if(pendingLinkEval_, [&gone](Link *l) {
+            return gone.count(l) != 0;
+        });
+        for (Link *l : victims) {
+            ArenaGroup *g = findGroup(l->laneArena());
+            if (g == nullptr)
+                continue;
+            for (const LaneId lane : {l->downLane(), l->upLane()}) {
+                g->arena->setFrozen(lane, true);
+                if (lane < g->laneOwner.size())
+                    g->laneOwner[lane] = nullptr;
+            }
+        }
     }
 
     /** The cycle about to be executed (0 before any run). */
@@ -117,6 +227,12 @@ class Engine : public Scheduler
                 wakeComponent(c);
             for (auto *l : links_)
                 l->activate();
+        } else {
+            // Re-entering lazy mode: idle links sit on untouched
+            // drained lanes the batched advance will never
+            // re-report, so seed one explicit evaluation of every
+            // registered link.
+            pendingLinkEval_.assign(links_.begin(), links_.end());
         }
     }
 
@@ -171,34 +287,74 @@ class Engine : public Scheduler
     step()
     {
         stepping_ = true;
-        for (auto *c : components_) {
-            // wakeAt_ guards a mid-cycle wake: the cycle it lands
-            // in was already accounted as skipped, so the component
-            // must not also tick in it.
-            if (c->schedAsleep_ || now_ < c->wakeAt_) {
-                ++ticksSkipped_;
-                continue;
-            }
-            c->tick(now_);
+        TickContext ctx;
+        ctx.cycle = now_;
+        if (quiesce_) {
+            sleepCandidates_.clear();
+            ctx.sleepCandidates = &sleepCandidates_;
         }
-        for (auto *l : links_) {
-            if (!l->active()) {
-                ++linksFastpathed_;
-                continue;
+        Component *const *base = components_.data();
+        for (const auto &run : runs_)
+            run.fn(base + run.begin, run.count, ctx);
+        ticksSkipped_ += ctx.skipped;
+
+        // Phase 2: one batched pass per arena over the flat lane
+        // arrays (LaneArena::advanceAll); sleeping links' lanes are
+        // skipped inside the pass and accounted here (two lanes per
+        // link). Lane order within an arena is link-creation order,
+        // observationally interchangeable with the registration
+        // order the per-link loop used: lanes only interact through
+        // the components that read and push them in phase 1.
+        if (quiesce_) {
+            // Sleep evaluation folds in, links before components:
+            // component canSleep() implementations require their
+            // attached links to be fast-pathed (drained) first.
+            // advanceAll reports the lanes whose sleep eligibility
+            // may have changed (newly drained, or drained with a
+            // push/census step this cycle) — an untouched drained
+            // lane's verdict cannot differ from last cycle's; a
+            // deactivation that drops an end component's last
+            // active link surfaces that component as a sleep
+            // candidate (it cannot have been collected in phase 1 —
+            // its link was still active then).
+            for (ArenaGroup &g : arenaGroups_) {
+                linksFastpathed_ += g.arena->sleepingLanes() / 2;
+                drained_.clear();
+                g.arena->advanceAll(&drained_);
+                for (const LaneId lane : drained_) {
+                    Link *l = g.laneOwner[lane];
+                    if (l != nullptr && l->active() &&
+                        l->canSleepNow()) {
+                        l->deactivate();
+                        noteQuietEnd(l->wakeA());
+                        noteQuietEnd(l->wakeB());
+                    }
+                }
             }
-            l->advance();
+            // Freshly registered links get one explicit verdict
+            // (their lanes may never surface from advanceAll).
+            if (!pendingLinkEval_.empty()) {
+                for (Link *l : pendingLinkEval_) {
+                    if (l->active() && l->canSleepNow()) {
+                        l->deactivate();
+                        noteQuietEnd(l->wakeA());
+                        noteQuietEnd(l->wakeB());
+                    }
+                }
+                pendingLinkEval_.clear();
+            }
+        } else {
+            pendingLinkEval_.clear();
+            for (ArenaGroup &g : arenaGroups_) {
+                linksFastpathed_ += g.arena->sleepingLanes() / 2;
+                g.arena->advanceAll(nullptr);
+            }
         }
         stepping_ = false;
         if (quiesce_) {
-            // Sleep evaluation, links first: component canSleep()
-            // implementations require their attached links to be
-            // fast-pathed (drained) before they may sleep.
-            for (auto *l : links_) {
-                if (l->active() && l->canSleepNow())
-                    l->deactivate();
-            }
-            for (auto *c : components_) {
-                if (!c->schedAsleep_ && c->canSleep()) {
+            for (auto *c : sleepCandidates_) {
+                if (!c->schedAsleep_ && c->schedActiveLinks_ == 0 &&
+                    c->canSleep()) {
                     c->schedAsleep_ = true;
                     c->sleptFrom_ = now_ + 1;
                 }
@@ -231,8 +387,76 @@ class Engine : public Scheduler
     }
 
   private:
+    /** A registration-order-contiguous run of components sharing
+     *  one batch tick function (one concrete class, or a stretch
+     *  of generic-dispatch components). */
+    struct TickRun
+    {
+        Component::BatchTickFn fn;
+        std::size_t begin;
+        std::size_t count;
+    };
+
+    void
+    rebuildRuns()
+    {
+        runs_.clear();
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            const auto fn = components_[i]->batchTickFn();
+            if (!runs_.empty() && runs_.back().fn == fn)
+                ++runs_.back().count;
+            else
+                runs_.push_back({fn, i, 1});
+        }
+    }
+
+    /** A link just deactivated: its end component is a sleep
+     *  candidate once no other attached link is active. */
+    void
+    noteQuietEnd(Component *c)
+    {
+        if (c != nullptr && c->sleepable_ &&
+            c->schedActiveLinks_ == 0)
+            sleepCandidates_.push_back(c);
+    }
+
+    /** One arena's links, for the batched advance: which registered
+     *  link owns each lane (null for frozen/unregistered lanes). */
+    struct ArenaGroup
+    {
+        LaneArena *arena;
+        std::vector<Link *> laneOwner;
+    };
+
+    ArenaGroup &
+    groupFor(LaneArena *arena)
+    {
+        for (ArenaGroup &g : arenaGroups_) {
+            if (g.arena == arena)
+                return g;
+        }
+        arenaGroups_.push_back({arena, {}});
+        return arenaGroups_.back();
+    }
+
+    ArenaGroup *
+    findGroup(LaneArena *arena)
+    {
+        for (ArenaGroup &g : arenaGroups_) {
+            if (g.arena == arena)
+                return &g;
+        }
+        return nullptr;
+    }
+
     std::vector<Component *> components_;
+    std::vector<TickRun> runs_;
     std::vector<Link *> links_;
+    std::vector<ArenaGroup> arenaGroups_;
+    std::vector<LaneId> drained_;
+    /** Links awaiting their first sleep evaluation (see addLink). */
+    std::vector<Link *> pendingLinkEval_;
+    std::vector<Component *> sleepCandidates_;
     Cycle now_ = 0;
     bool quiesce_ = true;
     bool stepping_ = false;

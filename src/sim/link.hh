@@ -20,6 +20,11 @@
  * turn delay, vtd). A lane of latency L delivers a symbol pushed in
  * cycle t to the reader in cycle t + L.
  *
+ * Lane storage lives in a LaneArena (see arena.hh). Networks hand
+ * every link the shared network-wide arena so the engine's advance
+ * pass streams through one flat slot array; a standalone link (unit
+ * tests) owns a private arena and behaves identically.
+ *
  * Links also host fault state (dead / corrupting lanes) for the
  * fault-tolerance experiments.
  */
@@ -28,12 +33,13 @@
 #define METRO_SIM_LINK_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "sim/arena.hh"
 #include "sim/component.hh"
-#include "sim/pipe.hh"
 
 namespace metro
 {
@@ -65,8 +71,8 @@ enum class LinkFault : std::uint8_t
 };
 
 /**
- * A bidirectional link: two lanes plus attachment metadata and
- * fault state.
+ * A bidirectional link: two arena lanes plus attachment metadata
+ * and fault state.
  */
 class Link
 {
@@ -76,11 +82,22 @@ class Link
      * @param down_lat  A→B lane latency (driver dp + wire vtd), ≥ 1
      * @param up_lat    B→A lane latency, ≥ 1
      * @param fault_seed seed for the corruption PRNG
+     * @param arena     lane storage to allocate from (the owning
+     *                  network's); nullptr gives the link a private
+     *                  arena (standalone/unit-test use)
      */
     Link(LinkId id, unsigned down_lat, unsigned up_lat,
-         std::uint64_t fault_seed = 1)
-        : id_(id), down_(down_lat), up_(up_lat), faultRng_(fault_seed)
-    {}
+         std::uint64_t fault_seed = 1, LaneArena *arena = nullptr)
+        : id_(id), faultRng_(fault_seed)
+    {
+        if (arena == nullptr) {
+            ownArena_ = std::make_unique<LaneArena>();
+            arena = ownArena_.get();
+        }
+        arena_ = arena;
+        down_ = arena_->allocate(down_lat);
+        up_ = arena_->allocate(up_lat);
+    }
 
     /** Network-unique identifier. */
     LinkId id() const { return id_; }
@@ -97,7 +114,7 @@ class Link
     void
     pushDown(const Symbol &s)
     {
-        down_.push(s);
+        arena_->push(down_, s);
         if (!active_)
             activate();
     }
@@ -106,7 +123,7 @@ class Link
     void
     pushUp(const Symbol &s)
     {
-        up_.push(s);
+        arena_->push(up_, s);
         if (!active_)
             activate();
     }
@@ -115,14 +132,14 @@ class Link
     Symbol
     headDown()
     {
-        return applyFault(down_.head());
+        return applyFault(arena_->head(down_));
     }
 
     /** Read the symbol arriving at the A end this cycle. */
     Symbol
     headUp()
     {
-        return applyFault(up_.head());
+        return applyFault(arena_->head(up_));
     }
 
     /**
@@ -135,57 +152,81 @@ class Link
     Symbol
     peekDown() const
     {
-        return fault_ == LinkFault::Dead ? Symbol{} : down_.head();
+        return fault_ == LinkFault::Dead ? Symbol{}
+                                         : arena_->head(down_);
     }
 
     /** Passive observation of the A-end arrival (see peekDown()). */
     Symbol
     peekUp() const
     {
-        return fault_ == LinkFault::Dead ? Symbol{} : up_.head();
+        return fault_ == LinkFault::Dead ? Symbol{}
+                                         : arena_->head(up_);
     }
+
+    /**
+     * Kind-only observations for hot per-cycle polls (censuses,
+     * idle-port checks): corruption never changes a symbol's kind
+     * and Empty never draws from the PRNG, so the kind is exact and
+     * draw-free without materializing the symbol. @{
+     */
+    SymbolKind
+    peekKindDown() const
+    {
+        return fault_ == LinkFault::Dead ? SymbolKind::Empty
+                                         : arena_->headKind(down_);
+    }
+
+    SymbolKind
+    peekKindUp() const
+    {
+        return fault_ == LinkFault::Dead ? SymbolKind::Empty
+                                         : arena_->headKind(up_);
+    }
+
+    /** Symbols in flight per lane (0 means the reader will see
+     *  Empty; lets pollers skip the read entirely). */
+    unsigned downOccupied() const { return arena_->occupied(down_); }
+    unsigned upOccupied() const { return arena_->occupied(up_); }
+    /** @} */
 
     /** Symbols of one kind currently in flight across both lanes. */
     unsigned
     inFlight(SymbolKind kind) const
     {
-        return down_.countKind(kind) + up_.countKind(kind);
+        return arena_->countKind(down_, kind) +
+               arena_->countKind(up_, kind);
     }
 
-    /** Advance both lanes by one cycle (engine only). */
+    /**
+     * Advance both lanes by one cycle. The engine no longer calls
+     * this per link — its phase 2 is LaneArena::advanceAll, one
+     * batched pass over the shared arena — but hand-driven links
+     * (unit tests, standalone harnesses) step through the exact
+     * same per-lane machinery, fault census included.
+     */
     void
     advance()
     {
-        // A severed wire delivers nothing — neither the words in
-        // flight at death nor anything streamed into it afterwards.
-        // Each Data word is charged exactly once, as it falls off
-        // the pipe exit unread, keeping the conservation identity
-        // exact. Two one-cycle corrections keep the charge aligned
-        // with what readers saw in this cycle's phase 1: the
-        // death-cycle head is skipped (its reader consumed and
-        // accounted it before the fault landed), and the
-        // heal-cycle head is still charged (its reader saw Empty
-        // before the heal landed).
-        const bool census =
-            (fault_ == LinkFault::Dead && !freshDeath_) ||
-            freshHeal_;
-        if (census && wireDiscards_ != nullptr) {
-            if (down_.head().kind == SymbolKind::Data)
-                ++*wireDiscards_;
-            if (up_.head().kind == SymbolKind::Data)
-                ++*wireDiscards_;
-        }
-        freshDeath_ = false;
-        freshHeal_ = false;
-        down_.advance();
-        up_.advance();
+        arena_->censusStep(down_);
+        arena_->censusStep(up_);
+        arena_->advance(down_);
+        arena_->advance(up_);
     }
 
     /** A→B lane latency in cycles. */
-    unsigned downLatency() const { return down_.latency(); }
+    unsigned downLatency() const { return arena_->latency(down_); }
 
     /** B→A lane latency in cycles. */
-    unsigned upLatency() const { return up_.latency(); }
+    unsigned upLatency() const { return arena_->latency(up_); }
+
+    /** Clear both lanes' in-flight symbols (fault injection). */
+    void
+    flush()
+    {
+        arena_->flush(down_);
+        arena_->flush(up_);
+    }
 
     /** Current fault mode. */
     LinkFault fault() const { return fault_; }
@@ -199,15 +240,26 @@ class Link
     void
     setFault(LinkFault fault)
     {
+        // A severed wire delivers nothing — neither the words in
+        // flight at death nor anything streamed into it afterwards.
+        // Each Data word is charged exactly once, as it falls off
+        // the pipe exit unread, keeping the conservation identity
+        // exact; the per-lane census state machine (LaneCensus)
+        // carries the two one-cycle corrections that keep the
+        // charge aligned with what readers saw in phase 1.
         const bool was_dead = fault_ == LinkFault::Dead;
         fault_ = fault;
-        if (fault == LinkFault::Dead && !was_dead)
-            freshDeath_ = true;
-        if (fault != LinkFault::Dead && was_dead)
-            freshHeal_ = true;
+        const bool now_dead = fault == LinkFault::Dead;
+        if (now_dead && !was_dead) {
+            arena_->setCensus(down_, LaneCensus::DeadPending);
+            arena_->setCensus(up_, LaneCensus::DeadPending);
+        } else if (!now_dead && was_dead) {
+            arena_->setCensus(down_, LaneCensus::HealCharge);
+            arena_->setCensus(up_, LaneCensus::HealCharge);
+        }
         // A fault lands on a fast-pathed link: reactivate it so the
-        // death census in advance() runs (and both end components
-        // observe the new behaviour from their next tick on).
+        // death census runs (and both end components observe the
+        // new behaviour from their next tick on).
         activate();
     }
 
@@ -216,7 +268,7 @@ class Link
     void
     setWireDiscardCounter(std::uint64_t *counter)
     {
-        wireDiscards_ = counter;
+        arena_->setWireDiscardCounter(counter);
     }
 
     /**
@@ -226,7 +278,11 @@ class Link
      * waking the components attached to its two ends so they see
      * the arriving symbols. Builders register the end components
      * via setWakeA/setWakeB; a link with no wake targets (unit
-     * tests drive Pipes/Links by hand) just tracks the flag. @{
+     * tests drive Pipes/Links by hand) just tracks the flag.
+     * Activity transitions also maintain each wake target's
+     * active-link count (Component::schedActiveLinks_), the cheap
+     * veto the engine's candidate-driven sleep evaluation filters
+     * on. @{
      */
     bool active() const { return active_; }
 
@@ -235,12 +291,27 @@ class Link
     bool
     canSleepNow() const
     {
-        return down_.occupied() == 0 && up_.occupied() == 0 &&
-               !freshDeath_ && !freshHeal_;
+        return arena_->occupied(down_) == 0 &&
+               arena_->occupied(up_) == 0 &&
+               !arena_->censusEdgePending(down_) &&
+               !arena_->censusEdgePending(up_);
     }
 
-    /** Engine only: stop advancing this link until reactivation. */
-    void deactivate() { active_ = false; }
+    /** Engine only: stop advancing this link until reactivation.
+     *  Pauses both arena lanes so advanceAll skips them. */
+    void
+    deactivate()
+    {
+        if (!active_)
+            return;
+        active_ = false;
+        arena_->setPaused(down_, true);
+        arena_->setPaused(up_, true);
+        if (wakeA_ != nullptr)
+            --wakeA_->schedActiveLinks_;
+        if (wakeB_ != nullptr)
+            --wakeB_->schedActiveLinks_;
+    }
 
     /** Mark active and wake both end components. Idempotent on the
      *  flag but always delivers the wakes (wakes are cheap no-ops
@@ -248,7 +319,15 @@ class Link
     void
     activate()
     {
-        active_ = true;
+        if (!active_) {
+            active_ = true;
+            arena_->setPaused(down_, false);
+            arena_->setPaused(up_, false);
+            if (wakeA_ != nullptr)
+                ++wakeA_->schedActiveLinks_;
+            if (wakeB_ != nullptr)
+                ++wakeB_->schedActiveLinks_;
+        }
         if (wakeA_ != nullptr)
             wakeA_->wake();
         if (wakeB_ != nullptr)
@@ -257,11 +336,43 @@ class Link
 
     /** Component to wake when this link goes active (A end: the
      *  pushDown-er / headUp reader). */
-    void setWakeA(Component *c) { wakeA_ = c; }
+    void
+    setWakeA(Component *c)
+    {
+        if (active_) {
+            if (wakeA_ != nullptr)
+                --wakeA_->schedActiveLinks_;
+            if (c != nullptr)
+                ++c->schedActiveLinks_;
+        }
+        wakeA_ = c;
+    }
 
     /** Component to wake when this link goes active (B end: the
      *  headDown reader / pushUp-er). */
-    void setWakeB(Component *c) { wakeB_ = c; }
+    void
+    setWakeB(Component *c)
+    {
+        if (active_) {
+            if (wakeB_ != nullptr)
+                --wakeB_->schedActiveLinks_;
+            if (c != nullptr)
+                ++c->schedActiveLinks_;
+        }
+        wakeB_ = c;
+    }
+
+    /** Registered wake targets (engine: candidate collection when a
+     *  link deactivates mid-advance). @{ */
+    Component *wakeA() const { return wakeA_; }
+    Component *wakeB() const { return wakeB_; }
+    /** @} */
+    /** @} */
+
+    /** Arena coordinates (engine: batched advance registration). @{ */
+    LaneArena *laneArena() const { return arena_; }
+    LaneId downLane() const { return down_; }
+    LaneId upLane() const { return up_; }
     /** @} */
 
   private:
@@ -295,17 +406,16 @@ class Link
     LinkId id_;
     LinkEnd endA_;
     LinkEnd endB_;
-    Pipe down_;
-    Pipe up_;
+    /** Lane storage: the owning network's arena, or ownArena_. */
+    LaneArena *arena_ = nullptr;
+    std::unique_ptr<LaneArena> ownArena_;
+    LaneId down_ = 0;
+    LaneId up_ = 0;
     LinkFault fault_ = LinkFault::None;
     Xoshiro256 faultRng_;
-    std::uint64_t *wireDiscards_ = nullptr;
-    /** Died this cycle: its head was read before the fault. */
-    bool freshDeath_ = false;
-    /** Healed this cycle: its head still read Empty this cycle. */
-    bool freshHeal_ = false;
     /** Activity flag (see activate()); starts active, the engine's
-     *  first sleep evaluation fast-paths drained links. */
+     *  first sleep evaluation fast-paths drained links. Mirrored
+     *  into the arena's per-lane pause bits for advanceAll. */
     bool active_ = true;
     Component *wakeA_ = nullptr;
     Component *wakeB_ = nullptr;

@@ -8,22 +8,28 @@
  * register); larger latencies model wire pipelining — the paper's
  * "variable turn delay" treats each inter-router wire as an integral
  * number of pipeline registers (Section 5.1).
+ *
+ * Storage lives in a LaneArena (see arena.hh) — the flat
+ * structure-of-arrays backing every lane of a network shares. Pipe
+ * is the standalone single-lane convenience over a private arena:
+ * unit tests and ad-hoc harnesses construct Pipes directly; the
+ * simulation proper (Link, Network) allocates lanes straight out of
+ * the network-wide arena so the engine's advance pass streams
+ * through contiguous memory.
  */
 
 #ifndef METRO_SIM_PIPE_HH
 #define METRO_SIM_PIPE_HH
 
-#include <vector>
-
-#include "common/logging.hh"
+#include "sim/arena.hh"
 #include "sim/symbol.hh"
 
 namespace metro
 {
 
 /**
- * Ring buffer of symbols providing a push-at-tail / read-at-head
- * interface with a compile-time-unknown but fixed latency.
+ * One symbol lane providing a push-at-tail / read-at-head interface
+ * with a compile-time-unknown but fixed latency.
  *
  * Usage discipline per cycle: any number of head() reads, at most
  * one push(), then exactly one advance() issued by the engine after
@@ -36,54 +42,30 @@ class Pipe
   public:
     /** @param latency cycles from push to visibility; must be ≥ 1. */
     explicit Pipe(unsigned latency = 1)
-        : slots_(latency), head_(0)
-    {
-        METRO_ASSERT(latency >= 1, "pipe latency must be >= 1");
-    }
+        : lane_(arena_.allocate(latency))
+    {}
 
     /** Latency in cycles. */
-    unsigned latency() const
-    {
-        return static_cast<unsigned>(slots_.size());
-    }
+    unsigned latency() const { return arena_.latency(lane_); }
 
     /**
      * The symbol that was pushed latency() cycles ago. Returned by
      * value: push() may legally overwrite the head slot in the same
      * cycle (components read inputs before writing outputs).
      */
-    Symbol head() const { return slots_[head_]; }
+    Symbol head() const { return arena_.head(lane_); }
 
     /**
      * Occupy this cycle's input slot. At most one push per cycle;
      * pushing twice in one cycle is a simulator bug. The pushed
-     * value is staged and only committed into the ring by
-     * advance(), so same-cycle readers — regardless of component
-     * tick order — never observe it.
+     * value is staged and only committed by advance(), so
+     * same-cycle readers — regardless of component tick order —
+     * never observe it.
      */
-    void
-    push(const Symbol &s)
-    {
-        METRO_ASSERT(!pushed_, "double push into pipe in one cycle");
-        pending_ = s;
-        pushed_ = true;
-        if (s.kind != SymbolKind::Empty)
-            ++occupied_;
-    }
+    void push(const Symbol &s) { arena_.push(lane_, s); }
 
     /** Rotate the ring: called once per cycle by the engine. */
-    void
-    advance()
-    {
-        // The slot just consumed as head is refilled with this
-        // cycle's push; it resurfaces as head after exactly
-        // `latency` advances.
-        if (slots_[head_].kind != SymbolKind::Empty)
-            --occupied_;
-        slots_[head_] = pushed_ ? pending_ : Symbol{};
-        pushed_ = false;
-        head_ = (head_ + 1) % slots_.size();
-    }
+    void advance() { arena_.advance(lane_); }
 
     /**
      * Non-Empty symbols in flight, including a staged push. While
@@ -91,7 +73,7 @@ class Pipe
      * all-Empty ring — unobservable, which is what lets the engine
      * fast-path drained lanes (see Link::canSleepNow).
      */
-    unsigned occupied() const { return occupied_; }
+    unsigned occupied() const { return arena_.occupied(lane_); }
 
     /**
      * Count in-flight symbols of one kind, including a staged push
@@ -101,32 +83,15 @@ class Pipe
     unsigned
     countKind(SymbolKind kind) const
     {
-        unsigned n = 0;
-        for (const auto &s : slots_) {
-            if (s.kind == kind)
-                ++n;
-        }
-        if (pushed_ && pending_.kind == kind)
-            ++n;
-        return n;
+        return arena_.countKind(lane_, kind);
     }
 
     /** Clear all in-flight symbols (used by fault injection). */
-    void
-    flush()
-    {
-        for (auto &s : slots_)
-            s = Symbol{};
-        pushed_ = false;
-        occupied_ = 0;
-    }
+    void flush() { arena_.flush(lane_); }
 
   private:
-    std::vector<Symbol> slots_;
-    std::size_t head_;
-    Symbol pending_;
-    bool pushed_ = false;
-    unsigned occupied_ = 0;
+    LaneArena arena_;
+    LaneId lane_;
 };
 
 } // namespace metro

@@ -122,6 +122,13 @@ class ClosedLoopDriver : public Component
     }
 
   private:
+    /** Type-segregated dispatch (see Engine). */
+    BatchTickFn
+    batchTickFn() const override
+    {
+        return &Component::batchTickOf<ClosedLoopDriver>;
+    }
+
     NetworkInterface *ni_;
     const DestinationGenerator *dests_;
     DriverConfig config_;
@@ -178,6 +185,13 @@ class OpenLoopDriver : public Component
     }
 
   private:
+    /** Type-segregated dispatch (see Engine). */
+    BatchTickFn
+    batchTickFn() const override
+    {
+        return &Component::batchTickOf<OpenLoopDriver>;
+    }
+
     NetworkInterface *ni_;
     const DestinationGenerator *dests_;
     DriverConfig config_;

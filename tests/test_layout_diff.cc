@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Data-layout differential regression test.
+ *
+ * The hot-path overhaul (flat lane arena, SoA router ports,
+ * type-segregated batch ticking, candidate-driven sleep
+ * evaluation) must be a pure re-layout: no observable — wire
+ * trace, message ledger, metrics — may differ from the original
+ * per-object implementation. The golden digests checked in under
+ * tests/golden/ were captured from the pre-overhaul per-object
+ * code running the exact scenarios below (a fig3 closed-loop
+ * workload under a scripted fault campaign, two seeds), so this
+ * test is a frozen differential against the old path: any layout
+ * change that perturbs behaviour shows up as a digest mismatch.
+ *
+ * Rebaselining (after an *intentional* protocol change — never for
+ * a layout-only change): METRO_REBASELINE=1 rewrites the golden
+ * files and fails once so the refresh is reviewed alongside the
+ * change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/injector.hh"
+#include "network/multibutterfly.hh"
+#include "network/presets.hh"
+#include "trace/probe.hh"
+#include "traffic/experiment.hh"
+
+namespace metro
+{
+namespace
+{
+
+#ifndef METRO_TEST_DATA_DIR
+#define METRO_TEST_DATA_DIR "."
+#endif
+
+std::string
+goldenPath(std::uint64_t seed)
+{
+    std::ostringstream p;
+    p << METRO_TEST_DATA_DIR << "/golden/layout_fig3_seed" << std::hex
+      << seed << ".txt";
+    return p.str();
+}
+
+/** FNV-1a 64-bit digest (stable, dependency-free). */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * One deterministic fig3 scenario: the full 64-endpoint Figure 3
+ * network, closed-loop request-reply traffic on every endpoint, and
+ * a scripted fault campaign covering the mutators the layout
+ * machinery must survive — link deaths/heals, a corrupt spell,
+ * router death/heal, and scan port-disables. Returns the complete
+ * observable state, serialized.
+ */
+std::string
+runScenario(std::uint64_t seed)
+{
+    auto spec = fig3Spec(seed);
+    // Faults may orphan destinations for a while; bound the retries
+    // so every message resolves inside the drain window.
+    spec.niConfig.maxAttempts = 60;
+    auto net = buildMultibutterfly(spec);
+
+    LinkProbe probe(1u << 20);
+    for (LinkId l = 0; l < net->numLinks(); ++l)
+        probe.watch(&net->link(l));
+    net->engine().addComponent(&probe);
+
+    FaultInjector injector(net.get());
+    const auto link = [&](std::uint64_t k) {
+        return static_cast<std::uint32_t>(k % net->numLinks());
+    };
+    const auto router = [&](std::uint64_t k) {
+        return static_cast<std::uint32_t>(k % net->numRouters());
+    };
+    injector.schedule({
+        {250, FaultKind::LinkDead, link(seed), kInvalidPort},
+        {300, FaultKind::LinkCorrupt, link(seed + 17), kInvalidPort},
+        {450, FaultKind::RouterDead, router(seed + 5), kInvalidPort},
+        {650, FaultKind::LinkHeal, link(seed), kInvalidPort},
+        {700, FaultKind::LinkHeal, link(seed + 17), kInvalidPort},
+        {850, FaultKind::RouterHeal, router(seed + 5), kInvalidPort},
+        {1000, FaultKind::ForwardPortOff, router(seed + 7), 1},
+        {1050, FaultKind::BackwardPortOff, router(seed + 11), 2},
+        {1200, FaultKind::LinkDead, link(seed + 23), kInvalidPort},
+        {1500, FaultKind::LinkHeal, link(seed + 23), kInvalidPort},
+    });
+    net->engine().addComponent(&injector);
+
+    const MetricsRegistry base = net->metricsSnapshot();
+
+    ExperimentConfig cfg;
+    cfg.messageWords = 12;
+    cfg.warmup = 100;
+    cfg.measure = 1500;
+    cfg.thinkTime = 200;
+    cfg.requestReply = true;
+    cfg.seed = seed;
+    runClosedLoop(*net, cfg);
+
+    // Idle coda: everything drains and goes quiescent; the layout
+    // machinery must account the quiet tail exactly too.
+    net->engine().run(2000);
+
+    EXPECT_EQ(probe.dropped(), 0u) << "probe capacity too small for "
+                                      "a byte-exact comparison";
+
+    std::ostringstream trace;
+    for (const auto &e : probe.events())
+        trace << formatTraceEvent(e, &net->link(e.link)) << "\n";
+
+    std::ostringstream ledger;
+    for (const auto &[id, rec] : net->tracker().all()) {
+        ledger << id << " src" << rec.src << " dst" << rec.dest
+               << " sub" << rec.submitCycle << " inj"
+               << rec.injectCycle << " del" << rec.deliverCycle
+               << " ack" << rec.ackCycle << " cmp"
+               << rec.completeCycle << " att" << rec.attempts
+               << " ok" << rec.succeeded << " gu" << rec.gaveUp
+               << "\n";
+    }
+
+    // Engine scheduler counters are layout/schedule dependent by
+    // design; everything else must match the old path bit for bit.
+    const MetricsRegistry delta =
+        net->metricsSnapshot().deltaSince(base);
+    MetricsRegistry stripped;
+    for (const auto &[name, v] : delta.counters()) {
+        if (name.rfind("engine.", 0) != 0)
+            stripped.counter(name) = v;
+    }
+    for (const auto &[name, h] : delta.histograms())
+        stripped.histogram(name).merge(h);
+
+    std::ostringstream out;
+    out << "schema layout-diff-v1\n"
+        << "trace_fnv " << std::hex << fnv1a(trace.str()) << "\n"
+        << "ledger_fnv " << fnv1a(ledger.str()) << std::dec << "\n"
+        << "metrics\n"
+        << metricsJson(stripped) << "\n";
+    return out.str();
+}
+
+class LayoutDifferential
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LayoutDifferential, MatchesPerObjectGolden)
+{
+    const std::uint64_t seed = GetParam();
+    const std::string fresh = runScenario(seed);
+    const std::string path = goldenPath(seed);
+
+    if (std::getenv("METRO_REBASELINE") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << fresh;
+        FAIL() << "golden rebaselined to " << path
+               << "; review the diff and rerun without "
+                  "METRO_REBASELINE";
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " (generate with METRO_REBASELINE=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), fresh)
+        << "observables diverged from the per-object golden — the "
+           "layout overhaul changed behaviour";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig3Campaign, LayoutDifferential,
+                         ::testing::Values(0xA11CEULL, 0xB0B5ULL));
+
+} // namespace
+} // namespace metro

@@ -188,5 +188,50 @@ TEST(Quiescence, DisabledSchedulerElidesNothing)
     EXPECT_EQ(net->engine().linksFastpathed(), 0u);
 }
 
+TEST(Quiescence, RemoveWhileAsleepSyncsSkippedTail)
+{
+    auto net = buildMultibutterfly(fig1Spec(5));
+    net->engine().run(300); // idle network: every router sleeps
+    auto &hist = net->metrics().histogram("router.0.occupancy");
+    // Asleep, so the per-tick zero-occupancy samples lag behind.
+    ASSERT_LT(hist.count(), net->engine().now());
+
+    // Removing the sleeper must account the skipped tail first —
+    // an eagerly-ticked quiescent router removed at the same moment
+    // would have sampled zero occupancy every cycle.
+    Component *victim = &net->router(0);
+    net->engine().removeComponents({&victim, 1});
+    EXPECT_EQ(hist.count(), net->engine().now());
+
+    // And reset the wake state: re-registration starts clean — the
+    // router ticks, re-sleeps, and stays exactly accountable.
+    net->engine().addComponent(&net->router(0));
+    net->engine().run(50);
+    net->metricsSnapshot(); // syncStats catches up current sleepers
+    EXPECT_EQ(hist.count(), net->engine().now());
+}
+
+TEST(Quiescence, RemoveLinksBatchedStopsAdvancing)
+{
+    Engine engine;
+    Link a(0, 2, 2), b(1, 2, 2), c(2, 2, 2);
+    engine.addLink(&a);
+    engine.addLink(&b);
+    engine.addLink(&c);
+    a.pushDown(Symbol::data(0x11, 1));
+    b.pushDown(Symbol::data(0x22, 2));
+    c.pushDown(Symbol::data(0x33, 3));
+
+    Link *victims[] = {&a, &b};
+    engine.removeLinks(victims);
+    engine.run(2);
+
+    // The removed links froze mid-flight; the survivor delivered.
+    EXPECT_EQ(a.headDown().kind, SymbolKind::Empty);
+    EXPECT_EQ(b.headDown().kind, SymbolKind::Empty);
+    EXPECT_EQ(c.headDown().kind, SymbolKind::Data);
+    EXPECT_EQ(c.headDown().value, 0x33u);
+}
+
 } // namespace
 } // namespace metro
