@@ -7,7 +7,10 @@
 #      (ci/bench-smoke.sh — catches hot-path regressions and a
 #      broken scheduler wakeup protocol),
 #   3. the ThreadSanitizer sweep job (ci/tsan-sweep.sh),
-#   4. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
+#   4. the ThreadSanitizer engine job (ci/tsan-engine.sh — the
+#      sharded parallel engine's byte-identity suite and saturated
+#      soak; shares the sanitizer build with the sweep job),
+#   5. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
 #
 # Pass --quick to run only the tier-1 suite and the bench smoke
 # (the sanitizer jobs rebuild the world and dominate wall clock).
@@ -33,6 +36,8 @@ ci/bench-smoke.sh build-ci
 if [[ "$QUICK" == "0" ]]; then
     echo "==> tsan sweep"
     ci/tsan-sweep.sh
+    echo "==> tsan engine"
+    ci/tsan-engine.sh
     echo "==> asan fault soak"
     ci/asan-fault-soak.sh
 fi

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 TSan job for the sharded parallel engine.
+#
+# Builds the test suite with -DCMAKE_BUILD_TYPE=RelWithDebInfo and
+# -fsanitize=thread (the METRO_TSAN toggle), then runs the shard
+# suite — the byte-identity property tests, the plan-structure
+# tests, the mid-campaign removal test, and the saturated
+# multi-thread soak (which keeps every worker contending on shared
+# boundary lanes) — plus the thread-parameterized quiescence
+# equivalence tests, under ThreadSanitizer. Any unsynchronized
+# access in the tick pool, the deferred-activation exchange, the
+# chunked phase-2 commit, or the scratch-metrics flush fails the
+# job.
+#
+# Usage: ci/tsan-engine.sh [build-dir]   (default: build-tsan)
+# (Shares build-tsan with ci/tsan-sweep.sh by default: same
+# toolchain flags, one sanitizer build.)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMETRO_TSAN=ON
+cmake --build "$BUILD" -j "$(nproc)" --target metro_tests
+ctest --test-dir "$BUILD" --output-on-failure \
+    -R 'Shard|QuiescenceAtThreads'

@@ -127,6 +127,10 @@ usageText()
         "spec\n"
         "  --threads=N           sweep worker threads (0 = one per "
         "core)\n"
+        "  --engine-threads=N    engine worker threads per instance "
+        "(0 = one\n"
+        "                        per core); output is byte-identical "
+        "at every N\n"
         "  --json                emit sweep results as JSON\n"
         "  --timing              include wall-clock metadata in "
         "JSON\n"
@@ -194,6 +198,14 @@ parseOptions(int argc, const char *const *argv, std::string &error)
             }
             opts.threads = static_cast<unsigned>(v);
             opts.threadsSet = true;
+        } else if (key == "--engine-threads") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --engine-threads";
+                return std::nullopt;
+            }
+            opts.engineThreads = static_cast<unsigned>(v);
+            opts.engineThreadsSet = true;
         } else if (key == "--topology") {
             if (!want_value())
                 return std::nullopt;
@@ -661,6 +673,9 @@ runFromOptions(const Options &opts)
         SweepOptions sopts;
         sopts.threads =
             opts.threadsSet ? opts.threads : sweep_file->threads;
+        sopts.engineThreads = opts.engineThreadsSet
+                                  ? opts.engineThreads
+                                  : sweep_file->engineThreads;
         const auto sweep = runSweep(sweep_file->points, sopts);
         if (!opts.traceConnections.empty())
             writeConnectionTrace(sweep_file->points,
@@ -673,6 +688,7 @@ runFromOptions(const Options &opts)
     const auto points = pointsFromOptions(opts);
     SweepOptions sopts;
     sopts.threads = opts.threads;
+    sopts.engineThreads = opts.engineThreads;
     const auto sweep = runSweep(points, sopts);
 
     if (!opts.traceConnections.empty())

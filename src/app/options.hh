@@ -83,6 +83,15 @@ struct Options
     /** True when --threads was given (overrides the sweep file). */
     bool threadsSet = false;
 
+    /** Engine worker threads per simulation instance (sharded
+     *  parallel stepping; 0 = hardware). Output stays
+     *  byte-identical at every value. */
+    unsigned engineThreads = 1;
+
+    /** True when --engine-threads was given (overrides the sweep
+     *  file). */
+    bool engineThreadsSet = false;
+
     /** Emit sweep results as JSON instead of CSV/table. */
     bool json = false;
 

@@ -348,6 +348,10 @@ parseSweepText(const std::string &text, std::string &error,
             if (!parseU64(value, u))
                 return bad();
             out.threads = static_cast<unsigned>(u);
+        } else if (key == "engineThreads") {
+            if (!parseU64(value, u))
+                return bad();
+            out.engineThreads = static_cast<unsigned>(u);
         } else if (key == "retryPolicy") {
             policy_axis.clear();
             for (const auto &part : splitCommas(value)) {

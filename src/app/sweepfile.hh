@@ -26,6 +26,8 @@
  *     hotFraction = 0.25
  *     requestReply = false
  *     threads = 8            # default; --threads on the CLI wins
+ *     engineThreads = 4      # engine threads per instance;
+ *                            # --engine-threads on the CLI wins
  *
  * Unknown keys are errors; omitted keys keep their defaults. Each
  * point's experiment seed is derived from (seed, point index,
@@ -52,6 +54,10 @@ struct SweepFile
 
     /** Worker threads the file asks for (0 = hardware). */
     unsigned threads = 1;
+
+    /** Engine worker threads per instance (0 = hardware). Results
+     *  are byte-identical at every value (see sweep/sweep.hh). */
+    unsigned engineThreads = 1;
 };
 
 /**

@@ -37,30 +37,97 @@ NetworkInterface::setMetrics(MetricsRegistry *metrics)
 {
     metrics_ = metrics;
     if (metrics == nullptr) {
-        mInjected_ = &scratch_;
-        mDelivered_ = &scratch_;
-        mDiscardEp_ = &scratch_;
-        mSubmitted_ = &scratch_;
-        mAdmitted_ = &scratch_;
-        mShedAdm_ = &scratch_;
-        hSetup_ = &scratchHist_;
-        hTurnRt_ = &scratchHist_;
-        hPathLen_ = &scratchHist_;
-        hAttempts_ = &scratchHist_;
-        hGiveUp_ = &scratchHist_;
-        return;
+        real_ = {&scratch_,     &scratch_,     &scratch_,
+                 &scratch_,     &scratch_,     &scratch_,
+                 &scratchHist_, &scratchHist_, &scratchHist_,
+                 &scratchHist_, &scratchHist_};
+    } else {
+        real_ = {&metrics->counter("words.injected"),
+                 &metrics->counter("words.delivered"),
+                 &metrics->counter("words.discarded.endpoint"),
+                 &metrics->counter("words.submitted"),
+                 &metrics->counter("words.admitted"),
+                 &metrics->counter("words.shed.admission"),
+                 &metrics->histogram("conn.setup_latency"),
+                 &metrics->histogram("conn.turn_roundtrip"),
+                 &metrics->histogram("conn.path_length"),
+                 &metrics->histogram("conn.attempts"),
+                 &metrics->histogram("conn.giveup_latency")};
     }
-    mInjected_ = &metrics->counter("words.injected");
-    mDelivered_ = &metrics->counter("words.delivered");
-    mDiscardEp_ = &metrics->counter("words.discarded.endpoint");
-    mSubmitted_ = &metrics->counter("words.submitted");
-    mAdmitted_ = &metrics->counter("words.admitted");
-    mShedAdm_ = &metrics->counter("words.shed.admission");
-    hSetup_ = &metrics->histogram("conn.setup_latency");
-    hTurnRt_ = &metrics->histogram("conn.turn_roundtrip");
-    hPathLen_ = &metrics->histogram("conn.path_length");
-    hAttempts_ = &metrics->histogram("conn.attempts");
-    hGiveUp_ = &metrics->histogram("conn.giveup_latency");
+    bindMetricSlots();
+}
+
+void
+NetworkInterface::bindMetricSlots()
+{
+    // The registry slots are shared across endpoints, so while
+    // parallel phase-1 runs the hot pointers aim at per-endpoint
+    // scratch instead; Engine::syncStats folds it back.
+    if (concMetrics_) {
+        mInjected_ = &concInjected_;
+        mDelivered_ = &concDelivered_;
+        mDiscardEp_ = &concDiscardEp_;
+        mSubmitted_ = &concSubmitted_;
+        mAdmitted_ = &concAdmitted_;
+        mShedAdm_ = &concShedAdm_;
+        hSetup_ = &concSetup_;
+        hTurnRt_ = &concTurnRt_;
+        hPathLen_ = &concPathLen_;
+        hAttempts_ = &concAttempts_;
+        hGiveUp_ = &concGiveUp_;
+    } else {
+        mInjected_ = real_.injected;
+        mDelivered_ = real_.delivered;
+        mDiscardEp_ = real_.discardEp;
+        mSubmitted_ = real_.submitted;
+        mAdmitted_ = real_.admitted;
+        mShedAdm_ = real_.shedAdm;
+        hSetup_ = real_.setup;
+        hTurnRt_ = real_.turnRt;
+        hPathLen_ = real_.pathLen;
+        hAttempts_ = real_.attempts;
+        hGiveUp_ = real_.giveUp;
+    }
+}
+
+void
+NetworkInterface::setConcurrentMetrics(bool on)
+{
+    if (on == concMetrics_)
+        return;
+    concMetrics_ = on;
+    if (!on)
+        flushConcurrentMetrics();
+    bindMetricSlots();
+}
+
+void
+NetworkInterface::flushConcurrentMetrics()
+{
+    const auto flushCounter = [](std::uint64_t *to,
+                                 std::uint64_t &from) {
+        if (from != 0) {
+            *to += from;
+            from = 0;
+        }
+    };
+    const auto flushHist = [](LogHistogram *to, LogHistogram &from) {
+        if (from.count() != 0) {
+            to->merge(from);
+            from.reset();
+        }
+    };
+    flushCounter(real_.injected, concInjected_);
+    flushCounter(real_.delivered, concDelivered_);
+    flushCounter(real_.discardEp, concDiscardEp_);
+    flushCounter(real_.submitted, concSubmitted_);
+    flushCounter(real_.admitted, concAdmitted_);
+    flushCounter(real_.shedAdm, concShedAdm_);
+    flushHist(real_.setup, concSetup_);
+    flushHist(real_.turnRt, concTurnRt_);
+    flushHist(real_.pathLen, concPathLen_);
+    flushHist(real_.attempts, concAttempts_);
+    flushHist(real_.giveUp, concGiveUp_);
 }
 
 void
@@ -216,8 +283,13 @@ NetworkInterface::readGroupUp(const std::vector<Link *> &group,
         consistent = true;
         // Drained lane: the head slot is exactly Symbol{} (vacated
         // slots are reset) and no fault mode alters an Empty, so
-        // skip materializing it.
-        if (group.front()->upOccupied() == 0)
+        // skip materializing it.  Test the head kind, not occupancy:
+        // occupancy counts same-cycle staged pushes (torn reads under
+        // a cross-shard writer), whereas the head is frozen for the
+        // whole eval phase.  Draw-for-draw identical to headUp(): an
+        // Empty head yields Symbol{} under every fault mode without
+        // consuming a corruption draw.
+        if (group.front()->peekKindUp() == SymbolKind::Empty)
             return Symbol{};
         Symbol s = group.front()->headUp();
         if (s.kind == SymbolKind::Data)
@@ -239,7 +311,8 @@ NetworkInterface::readGroupDown(const std::vector<Link *> &group,
 {
     if (cascade_ == 1) {
         consistent = true;
-        if (group.front()->downOccupied() == 0)
+        // Head-kind test, not occupancy — see readGroupUp.
+        if (group.front()->peekKindDown() == SymbolKind::Empty)
             return Symbol{};
         Symbol s = group.front()->headDown();
         if (s.kind == SymbolKind::Data)

@@ -161,8 +161,17 @@ class NetworkInterface : public Component
     /** Install the topology's route computation. */
     void setRouteFunction(RouteFunction fn) { routeFn_ = std::move(fn); }
 
-    /** Install the request-reply application callback. */
-    void setReplyHandler(ReplyHandler fn) { replyHandler_ = std::move(fn); }
+    /** Install the request-reply application callback. Handlers
+     *  may touch shared state, so a handler-bearing endpoint is
+     *  pinned to the sharded engine's serial section (same for the
+     *  session/delivery callbacks, the observer, the gate and the
+     *  diary below — each setter invalidates the shard plan). */
+    void
+    setReplyHandler(ReplyHandler fn)
+    {
+        replyHandler_ = std::move(fn);
+        notePlanChange();
+    }
 
     /** Install the multi-turn session callback (invoked once per
      *  arriving round; at-least-once on session retry, so handlers
@@ -171,6 +180,7 @@ class NetworkInterface : public Component
     setSessionHandler(SessionHandler fn)
     {
         sessionHandler_ = std::move(fn);
+        notePlanChange();
     }
 
     /** Install a callback invoked on each first-time delivery. */
@@ -178,6 +188,7 @@ class NetworkInterface : public Component
     setDeliveryHandler(DeliveryHandler fn)
     {
         deliveryHandler_ = std::move(fn);
+        notePlanChange();
     }
 
     /**
@@ -227,9 +238,40 @@ class NetworkInterface : public Component
      */
     void setMetrics(MetricsRegistry *metrics);
 
+    /**
+     * Parallel-safety verdict (see Component): an endpoint tick is
+     * confined to per-endpoint state and its attached lanes unless
+     * something shared is wired in — an observer, a fault diary,
+     * the network-wide in-flight gate, or an application callback
+     * (reply/session/delivery handler, each free to touch whatever
+     * it likes). Tracker record fields are split by writer (source
+     * side vs destination side), so plain tracker updates stay
+     * safe.
+     */
+    bool
+    parallelTickSafe() const override
+    {
+        return observer_ == nullptr && diary_ == nullptr &&
+               gate_ == nullptr && !replyHandler_ &&
+               !sessionHandler_ && !deliveryHandler_;
+    }
+
+    /** Redirect the shared registry slots (conservation counters,
+     *  connection histograms) to per-endpoint scratch for parallel
+     *  phase-1 (see Component::setConcurrentMetrics). */
+    void setConcurrentMetrics(bool on) override;
+
+    /** Fold the scratch back into the shared registry slots. */
+    void flushConcurrentMetrics() override;
+
     /** Install a connection-lifecycle observer (attempt/resolution/
      *  delivery milestones); nullptr detaches. */
-    void setObserver(ConnObserver *observer) { observer_ = observer; }
+    void
+    setObserver(ConnObserver *observer)
+    {
+        observer_ = observer;
+        notePlanChange();
+    }
 
     /**
      * Share the network-wide in-flight-attempts gate (injection
@@ -238,7 +280,12 @@ class NetworkInterface : public Component
      * budget-parked. nullptr detaches; the gate must outlive the
      * endpoint. Builders wire this when retry.inflightLimit > 0.
      */
-    void setInflightGate(InflightGate *gate) { gate_ = gate; }
+    void
+    setInflightGate(InflightGate *gate)
+    {
+        gate_ = gate;
+        notePlanChange();
+    }
 
     /** Retry-budget tokens currently available (tests/diagnostics). */
     double retryBudgetTokens() const { return budget_.tokens(); }
@@ -249,7 +296,12 @@ class NetworkInterface : public Component
      * can localize faults. nullptr detaches; the diary must outlive
      * the endpoint (or be detached first).
      */
-    void setFaultDiary(FaultDiary *diary) { diary_ = diary; }
+    void
+    setFaultDiary(FaultDiary *diary)
+    {
+        diary_ = diary;
+        notePlanChange();
+    }
 
     /**
      * Scan-mask an injection port group: a disabled group is never
@@ -445,6 +497,49 @@ class NetworkInterface : public Component
     LogHistogram *hPathLen_ = &scratchHist_;
     LogHistogram *hAttempts_ = &scratchHist_;
     LogHistogram *hGiveUp_ = &scratchHist_;
+
+    /**
+     * Concurrent-metrics mode (see setConcurrentMetrics): the
+     * registry targets of the shared slots above, plus the
+     * per-endpoint scratch the hot pointers swap to while parallel
+     * phase-1 runs (flushed back in registration order by
+     * Engine::syncStats; adds and merges commute, so the folded
+     * values are thread-count invariant). @{
+     */
+    bool concMetrics_ = false;
+    struct SharedSlots
+    {
+        std::uint64_t *injected;
+        std::uint64_t *delivered;
+        std::uint64_t *discardEp;
+        std::uint64_t *submitted;
+        std::uint64_t *admitted;
+        std::uint64_t *shedAdm;
+        LogHistogram *setup;
+        LogHistogram *turnRt;
+        LogHistogram *pathLen;
+        LogHistogram *attempts;
+        LogHistogram *giveUp;
+    };
+    SharedSlots real_{&scratch_,     &scratch_,     &scratch_,
+                      &scratch_,     &scratch_,     &scratch_,
+                      &scratchHist_, &scratchHist_, &scratchHist_,
+                      &scratchHist_, &scratchHist_};
+    std::uint64_t concInjected_ = 0;
+    std::uint64_t concDelivered_ = 0;
+    std::uint64_t concDiscardEp_ = 0;
+    std::uint64_t concSubmitted_ = 0;
+    std::uint64_t concAdmitted_ = 0;
+    std::uint64_t concShedAdm_ = 0;
+    LogHistogram concSetup_;
+    LogHistogram concTurnRt_;
+    LogHistogram concPathLen_;
+    LogHistogram concAttempts_;
+    LogHistogram concGiveUp_;
+    /** Rebind the hot pointers to real_ or the scratch per the
+     *  current mode. */
+    void bindMetricSlots();
+    /** @} */
     /** Cycle the current attempt launched (setup-latency base). */
     Cycle attemptStart_ = 0;
     /** Out-port group whose reverse lane tickSend consumed this

@@ -74,6 +74,45 @@ fig3Spec(std::uint64_t seed)
 }
 
 MultibutterflySpec
+mb1024Spec(std::uint64_t seed)
+{
+    MultibutterflySpec spec;
+    spec.numEndpoints = 1024;
+    spec.endpointPorts = 2;
+    spec.seed = seed;
+
+    // Same router implementations as fig3Spec, four dilation-2
+    // stages and a dilation-1 finish: 4^5 = 1024 endpoints.
+    RouterParams wide;
+    wide.width = 8;
+    wide.numForward = 8;
+    wide.numBackward = 8;
+    wide.maxDilation = 2;
+
+    RouterParams narrow;
+    narrow.width = 8;
+    narrow.numForward = 4;
+    narrow.numBackward = 4;
+    narrow.maxDilation = 2;
+
+    MbStageSpec s0;
+    s0.params = wide;
+    s0.radix = 4;
+    s0.dilation = 2;
+
+    MbStageSpec last;
+    last.params = narrow;
+    last.radix = 4;
+    last.dilation = 1;
+
+    spec.stages = {s0, s0, s0, s0, last};
+    spec.routerIdleTimeout = 4096;
+    spec.niConfig.replyTimeout = 2048;
+    spec.niConfig.maxAttempts = 100000;
+    return spec;
+}
+
+MultibutterflySpec
 table32Spec(const RouterParams &params, std::uint64_t seed)
 {
     MultibutterflySpec spec;

@@ -44,6 +44,15 @@ MultibutterflySpec fig3Spec(std::uint64_t seed = 1);
 MultibutterflySpec table32Spec(const RouterParams &params,
                                std::uint64_t seed = 1);
 
+/**
+ * A 1024-endpoint, 5-stage radix-4 scale-up of the Figure-3
+ * network (4^5 = 1024): the first four stages dilation-2, the last
+ * dilation-1, same router widths and endpoint config as fig3Spec.
+ * Not a paper instance — the large-scale workload used by the
+ * parallel-engine benchmarks and soak tests.
+ */
+MultibutterflySpec mb1024Spec(std::uint64_t seed = 1);
+
 } // namespace metro
 
 #endif // METRO_NETWORK_PRESETS_HH

@@ -90,18 +90,55 @@ MetroRouter::setMetrics(MetricsRegistry *metrics)
 {
     metrics_ = metrics;
     if (metrics == nullptr) {
-        mDiscardRouter_ = &scratch_;
-        mDiscardBlock_ = &scratch_;
+        realDiscardRouter_ = &scratch_;
+        realDiscardBlock_ = &scratch_;
         occupancy_ = nullptr;
-        return;
+    } else {
+        // Word-conservation sinks are network-wide totals;
+        // occupancy is per-router. Slot references stay valid for
+        // the registry's lifetime, so the hot paths are bare
+        // increments.
+        realDiscardRouter_ =
+            &metrics->counter("words.discarded.router");
+        realDiscardBlock_ =
+            &metrics->counter("words.discarded.block");
+        occupancy_ = &metrics->histogram(
+            "router." + std::to_string(id_) + ".occupancy");
     }
-    // Word-conservation sinks are network-wide totals; occupancy is
-    // per-router. Slot references stay valid for the registry's
-    // lifetime, so the hot paths below are bare increments.
-    mDiscardRouter_ = &metrics->counter("words.discarded.router");
-    mDiscardBlock_ = &metrics->counter("words.discarded.block");
-    occupancy_ = &metrics->histogram(
-        "router." + std::to_string(id_) + ".occupancy");
+    // The hot pointers honour the concurrent-metrics mode: the
+    // registry slots are shared across routers, so parallel
+    // phase-1 increments go to per-router scratch instead.
+    mDiscardRouter_ =
+        concMetrics_ ? &concDiscardRouter_ : realDiscardRouter_;
+    mDiscardBlock_ =
+        concMetrics_ ? &concDiscardBlock_ : realDiscardBlock_;
+}
+
+void
+MetroRouter::setConcurrentMetrics(bool on)
+{
+    if (on == concMetrics_)
+        return;
+    concMetrics_ = on;
+    if (!on)
+        flushConcurrentMetrics();
+    mDiscardRouter_ =
+        concMetrics_ ? &concDiscardRouter_ : realDiscardRouter_;
+    mDiscardBlock_ =
+        concMetrics_ ? &concDiscardBlock_ : realDiscardBlock_;
+}
+
+void
+MetroRouter::flushConcurrentMetrics()
+{
+    if (concDiscardRouter_ != 0) {
+        *realDiscardRouter_ += concDiscardRouter_;
+        concDiscardRouter_ = 0;
+    }
+    if (concDiscardBlock_ != 0) {
+        *realDiscardBlock_ += concDiscardBlock_;
+        concDiscardBlock_ = 0;
+    }
 }
 
 void
@@ -425,13 +462,18 @@ MetroRouter::processForwardPort(PortIndex p, Cycle cycle)
     if (fLink_[p] == nullptr)
         return;
 
-    // The common case by far: an idle port whose input lane holds
-    // nothing. The head is necessarily Empty (so there is nothing
-    // to observe, discard, or connect) and the idle-timeout path
-    // only applies to non-Idle states — skip before materializing
-    // the symbol.
+    // The common case by far: an idle port whose arriving head is
+    // Empty (so there is nothing to observe, discard, or connect)
+    // — the idle-timeout path only applies to non-Idle states, so
+    // skip before materializing the symbol. The check reads the
+    // head's kind, not the lane occupancy: occupancy counts staged
+    // same-cycle pushes, which another shard may be writing
+    // concurrently, while the head slot is frozen for the whole of
+    // phase 1. An Empty head under Corrupt draws nothing from the
+    // fault PRNG, and a Dead link's head reads Empty, so skipping
+    // on kind is draw-for-draw identical to reading the symbol.
     if (fState_[p] == FwdPortState::Idle &&
-        fLink_[p]->downOccupied() == 0)
+        fLink_[p]->peekKindDown() == SymbolKind::Empty)
         return;
 
     const Symbol sym = fLink_[p]->headDown();

@@ -118,6 +118,11 @@ class MetroRouter : public Component
     setRandomSource(std::shared_ptr<RandomSource> source)
     {
         randomSource_ = std::move(source);
+        // The stream is (potentially) shared now: members of a
+        // cascade group must consume it in registration order, so
+        // this router is pinned to the serial tick section.
+        sharedRandom_ = true;
+        notePlanChange();
     }
 
     /** The random-input stream in use. */
@@ -189,8 +194,37 @@ class MetroRouter : public Component
     void setMetrics(MetricsRegistry *metrics);
 
     /** Install a connection-lifecycle observer (grant/block
-     *  milestones); nullptr detaches. */
-    void setObserver(ConnObserver *observer) { observer_ = observer; }
+     *  milestones); nullptr detaches. An observed router leaves the
+     *  sharded engine's parallel section (the observer is shared
+     *  mutable state), so the shard plan is invalidated. */
+    void
+    setObserver(ConnObserver *observer)
+    {
+        observer_ = observer;
+        notePlanChange();
+    }
+
+    /**
+     * Parallel-safety verdict (see Component): a router tick reads
+     * its attached lane heads, pushes its attached lane tails and
+     * mutates only per-router state — *unless* an observer is
+     * watching (shared callback) or the random source is shared
+     * across a cascade group (draw order must follow registration
+     * order, which only the serial section preserves).
+     */
+    bool
+    parallelTickSafe() const override
+    {
+        return observer_ == nullptr && !sharedRandom_;
+    }
+
+    /** Redirect the shared conservation counters (router/block
+     *  discards) to per-router scratch for parallel phase-1 (see
+     *  Component::setConcurrentMetrics). */
+    void setConcurrentMetrics(bool on) override;
+
+    /** Fold the scratch back into the shared registry slots. */
+    void flushConcurrentMetrics() override;
 
     /** Introspection for tests and monitors. @{ */
     FwdPortState forwardState(PortIndex p) const;
@@ -362,6 +396,23 @@ class MetroRouter : public Component
     std::uint64_t *mDiscardRouter_ = &scratch_;
     std::uint64_t *mDiscardBlock_ = &scratch_;
     LogHistogram *occupancy_ = nullptr;
+
+    /** Replaced random source may be cascade-shared (pins the
+     *  router to the serial section; see setRandomSource). */
+    bool sharedRandom_ = false;
+
+    /**
+     * Concurrent-metrics mode (see setConcurrentMetrics): the
+     * registry targets of the two shared conservation counters,
+     * and the per-router scratch the hot pointers are swapped to
+     * while parallel phase-1 runs. @{
+     */
+    bool concMetrics_ = false;
+    std::uint64_t *realDiscardRouter_ = &scratch_;
+    std::uint64_t *realDiscardBlock_ = &scratch_;
+    std::uint64_t concDiscardRouter_ = 0;
+    std::uint64_t concDiscardBlock_ = 0;
+    /** @} */
 };
 
 } // namespace metro

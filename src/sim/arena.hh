@@ -169,13 +169,29 @@ class LaneArena
     void
     advanceAll(std::vector<LaneId> *drained)
     {
-        const auto n = static_cast<LaneId>(base_.size());
-        for (LaneId lane = 0; lane < n; ++lane) {
+        advanceRange(0, static_cast<LaneId>(base_.size()), drained,
+                     wireDiscards_);
+    }
+
+    /**
+     * advanceAll over the lane sub-range [begin, end) only, with
+     * the wire-discard charges routed into `discards` instead of
+     * the arena-wide counter. This is the sharded engine's phase-2
+     * unit: disjoint ranges touch disjoint per-lane state, so
+     * chunks advance concurrently, each accumulating its census
+     * charges privately for a fixed-order fold at the barrier.
+     */
+    void
+    advanceRange(LaneId begin, LaneId end,
+                 std::vector<LaneId> *drained,
+                 std::uint64_t *discards)
+    {
+        for (LaneId lane = begin; lane < end; ++lane) {
             const std::uint8_t f = flags_[lane];
             if (f & (kLanePaused | kLaneFrozen))
                 continue;
             if (f & kCensusMask)
-                censusStep(lane);
+                censusStepTo(lane, discards);
             if (occupied_[lane] == 0) {
                 // Every slot is Empty and any staged push is Empty
                 // too (a non-Empty push would have raised the
@@ -283,24 +299,7 @@ class LaneArena
     void
     censusStep(LaneId lane)
     {
-        switch (census(lane)) {
-          case LaneCensus::None:
-            break;
-          case LaneCensus::DeadPending:
-            // Death cycle: the head was consumed (and accounted) by
-            // its reader before the fault landed; skip one charge.
-            setCensus(lane, LaneCensus::DeadCharge);
-            break;
-          case LaneCensus::DeadCharge:
-            chargeHead(lane);
-            break;
-          case LaneCensus::HealCharge:
-            // Heal cycle: the head still read Empty in phase 1;
-            // charge it once more, then the lane is healthy.
-            chargeHead(lane);
-            setCensus(lane, LaneCensus::None);
-            break;
-        }
+        censusStepTo(lane, wireDiscards_);
     }
 
     /** Where to charge Data words destroyed by a link death
@@ -310,6 +309,10 @@ class LaneArena
     {
         wireDiscards_ = counter;
     }
+
+    /** The arena-wide wire-discard counter (the sharded engine
+     *  folds per-chunk census charges into it at the barrier). */
+    std::uint64_t *wireDiscardCounter() const { return wireDiscards_; }
     /** @} */
 
     /** Count in-flight symbols of one kind, including a staged
@@ -353,11 +356,34 @@ class LaneArena
     }
 
     void
-    chargeHead(LaneId lane)
+    censusStepTo(LaneId lane, std::uint64_t *discards)
     {
-        if (wireDiscards_ != nullptr &&
+        switch (census(lane)) {
+          case LaneCensus::None:
+            break;
+          case LaneCensus::DeadPending:
+            // Death cycle: the head was consumed (and accounted) by
+            // its reader before the fault landed; skip one charge.
+            setCensus(lane, LaneCensus::DeadCharge);
+            break;
+          case LaneCensus::DeadCharge:
+            chargeHead(lane, discards);
+            break;
+          case LaneCensus::HealCharge:
+            // Heal cycle: the head still read Empty in phase 1;
+            // charge it once more, then the lane is healthy.
+            chargeHead(lane, discards);
+            setCensus(lane, LaneCensus::None);
+            break;
+        }
+    }
+
+    void
+    chargeHead(LaneId lane, std::uint64_t *discards)
+    {
+        if (discards != nullptr &&
             slots_[head_[lane]].kind == SymbolKind::Data)
-            ++*wireDiscards_;
+            ++*discards;
     }
 
     /** The flat word arena: every lane's slots, back to back. */

@@ -32,6 +32,15 @@ class Scheduler
      *  awake component is a no-op. */
     virtual void wakeComponent(Component *component) = 0;
 
+    /**
+     * A component's parallel-safety inputs changed (an observer or
+     * handler was attached, a random source was shared, a link
+     * fault landed): the engine's shard plan, if any, is stale and
+     * must be rebuilt before the next parallel cycle. No-op for
+     * schedulers without one.
+     */
+    virtual void invalidateShardPlan() {}
+
   protected:
     ~Scheduler() = default;
 };
@@ -111,6 +120,41 @@ class Component
         return &genericBatchTick;
     }
 
+    /**
+     * True when tick() touches only this component's own state and
+     * the heads/tails of its attached lanes — the contract that lets
+     * the sharded engine run it concurrently with other
+     * parallel-safe components (see engine.hh). Must be false
+     * whenever the tick can call out into shared mutable state: an
+     * observer, a handler, a shared random source, a network-wide
+     * gate or diary. The engine re-reads this on every shard-plan
+     * rebuild, so the verdict may change at runtime (report the
+     * change via notePlanChange()). Default: not safe — only
+     * classes audited for the contract opt in.
+     */
+    virtual bool parallelTickSafe() const { return false; }
+
+    /**
+     * Concurrent-metrics mode (sharded engine only). On: the
+     * component must redirect every metric slot it shares with
+     * other components (registry counters/histograms several
+     * components resolve to the same node) into private scratch,
+     * so parallel phase-1 ticks never write a shared location.
+     * Off: restore direct writes, flushing any scratch first.
+     * Per-component-exclusive slots are unaffected. Default: no
+     * shared slots, nothing to do.
+     */
+    virtual void setConcurrentMetrics(bool on) { (void)on; }
+
+    /**
+     * Fold this component's metric scratch into the shared slots
+     * (fixed engine-driven order; counter adds and histogram merges
+     * commute, so the folded totals are thread-count invariant).
+     * Called by Engine::syncStats() before every snapshot and on
+     * mode changes/removal. Must leave the scratch empty.
+     */
+    virtual void flushConcurrentMetrics() {}
+
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
@@ -122,6 +166,16 @@ class Component
     {
         if (sched_ != nullptr)
             sched_->wakeComponent(this);
+    }
+
+    /** Tell the scheduler this component's parallelTickSafe()
+     *  verdict may have changed (call from every setter that
+     *  attaches/detaches shared state). */
+    void
+    notePlanChange()
+    {
+        if (sched_ != nullptr)
+            sched_->invalidateShardPlan();
     }
 
     /**
@@ -240,6 +294,10 @@ class Component
      *  activate/deactivate/attach): the counted form of the
      *  link-activity veto every canSleep() starts with. */
     std::uint32_t schedActiveLinks_ = 0;
+    /** Shard index in the engine's current parallel plan (engine
+     *  owned; kNoShard for serially-ticked components). */
+    static constexpr std::uint32_t kNoShard = 0xffffffffu;
+    std::uint32_t shard_ = kNoShard;
 };
 
 } // namespace metro

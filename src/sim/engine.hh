@@ -53,6 +53,41 @@
  * exactly what syncSkipped accounts); sleeping a non-candidate is
  * impossible since candidates are a superset of the components
  * whose canSleep() input changed.
+ *
+ * Sharded parallel execution (setThreads(n), n > 1; see
+ * docs/simulator.md for the full protocol): phase 1 is split into a
+ * parallel section and a serial section. Components whose tick
+ * honours the parallel contract (Component::parallelTickSafe —
+ * routers and network interfaces without observers, handlers or
+ * shared random sources) are partitioned into up to n *shards* —
+ * contiguous sub-ranges of the registration order, cut at the
+ * topology's stage boundaries when the network provides hints
+ * (setShardHints) — and ticked concurrently on a persistent worker
+ * pool. Everything else (drivers, probes, injectors, cascade
+ * groups, and the dynamically *pinned* ends of corrupt links, which
+ * share the link's corruption PRNG) ticks in the serial section, in
+ * registration order. Phase 1's contract — read lane heads, push
+ * lane tails, never observe a same-cycle write — is exactly what
+ * makes any tick order (including a concurrent one) equivalent, so
+ * the split is byte-identical to the serial loop. The cross-thread
+ * side effects a tick can have are funnelled through two deferred,
+ * fixed-order channels replayed at the phase barrier: link
+ * activations (with their wakes; a wake applied at the barrier is
+ * byte-equivalent to one applied mid-phase, since mid-cycle wakes
+ * always resume at now+1 and count the cycle skipped) and the
+ * skipped-tick / sleep-candidate tallies (per-shard accumulation,
+ * folded in shard order; sums and histogram merges commute, so
+ * every engine counter and metric is thread-count invariant).
+ * Shared metric slots are redirected to per-component scratch for
+ * the duration (Component::setConcurrentMetrics) and folded back in
+ * registration order by syncStats(). Phase 2 reuses the same pool
+ * over contiguous, even-aligned lane ranges of the arena
+ * (LaneArena::advanceRange) with per-chunk census charges and
+ * drained-lane reports folded at the barrier in chunk order —
+ * ascending lane order, identical to the serial pass. Quiescence
+ * composes: a shard all of whose members sleep *parks* — the cycle
+ * is accounted in bulk and no worker is dispatched for it.
+ * setThreads(1) (the default) runs the untouched serial loop.
  */
 
 #ifndef METRO_SIM_ENGINE_HH
@@ -62,12 +97,15 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
 #include "sim/component.hh"
 #include "sim/link.hh"
+#include "sim/pool.hh"
 
 namespace metro
 {
@@ -87,6 +125,9 @@ class Engine : public Scheduler
         component->sched_ = this;
         component->schedAsleep_ = false;
         component->wakeAt_ = 0;
+        component->shard_ = Component::kNoShard;
+        if (threads_ > 1)
+            component->setConcurrentMetrics(true);
         components_.push_back(component);
         // Extend the current homogeneous run or open a new one.
         const auto fn = component->batchTickFn();
@@ -94,6 +135,7 @@ class Engine : public Scheduler
             ++runs_.back().count;
         else
             runs_.push_back({fn, components_.size() - 1, 1});
+        planDirty_ = true;
     }
 
     /**
@@ -107,6 +149,7 @@ class Engine : public Scheduler
     addLink(Link *link)
     {
         links_.push_back(link);
+        link->setPlanDirtyFlag(&planDirty_);
         ArenaGroup &g = groupFor(link->laneArena());
         if (g.laneOwner.size() < g.arena->lanes())
             g.laneOwner.resize(g.arena->lanes(), nullptr);
@@ -119,6 +162,7 @@ class Engine : public Scheduler
         // explicitly at the end of the current/next cycle (it may
         // arrive already drained and eligible to sleep right away).
         pendingLinkEval_.push_back(link);
+        planDirty_ = true;
     }
 
     /**
@@ -141,7 +185,11 @@ class Engine : public Scheduler
      * (syncSkipped up to the cycle it would next have been ticked
      * in), so e.g. occupancy histograms match an eagerly-ticked
      * instance removed at the same moment; its wake state is reset
-     * so re-registration with any engine starts clean.
+     * so re-registration with any engine starts clean. Under the
+     * sharded engine a victim also folds back its metric scratch
+     * and leaves concurrent-metrics mode, and the shard plan is
+     * rebuilt before the next parallel cycle (stale shards are
+     * never ticked — removal mid-campaign is safe).
      */
     void
     removeComponents(std::span<Component *const> victims)
@@ -156,13 +204,17 @@ class Engine : public Scheduler
                 return false;
             if (c->schedAsleep_ && upto > c->sleptFrom_)
                 c->syncSkipped(c->sleptFrom_, upto);
+            if (threads_ > 1)
+                c->setConcurrentMetrics(false);
             c->sched_ = nullptr;
             c->schedAsleep_ = false;
             c->wakeAt_ = 0;
             c->sleptFrom_ = 0;
+            c->shard_ = Component::kNoShard;
             return true;
         });
         rebuildRuns();
+        planDirty_ = true;
     }
 
     /** Unregister a link (see removeLinks). */
@@ -199,6 +251,7 @@ class Engine : public Scheduler
             return gone.count(l) != 0;
         });
         for (Link *l : victims) {
+            l->setPlanDirtyFlag(nullptr);
             ArenaGroup *g = findGroup(l->laneArena());
             if (g == nullptr)
                 continue;
@@ -208,6 +261,7 @@ class Engine : public Scheduler
                     g->laneOwner[lane] = nullptr;
             }
         }
+        planDirty_ = true;
     }
 
     /** The cycle about to be executed (0 before any run). */
@@ -239,11 +293,128 @@ class Engine : public Scheduler
     /** Quiescence scheduling state. */
     bool quiescence() const { return quiesce_; }
 
+    /**
+     * Set the phase-1/phase-2 worker count (1 = the serial loop,
+     * the default; 0 = one per hardware thread). Simulation output
+     * is byte-identical at every thread count — threading trades
+     * wall clock only, never results (regression:
+     * tests/test_shard.cc).
+     */
+    void
+    setThreads(unsigned n)
+    {
+        if (n == 0) {
+            n = std::thread::hardware_concurrency();
+            if (n == 0)
+                n = 1;
+        }
+        if (n == threads_)
+            return;
+        const bool wasParallel = threads_ > 1;
+        threads_ = n;
+        const bool nowParallel = threads_ > 1;
+        planDirty_ = true;
+        if (wasParallel != nowParallel) {
+            // Entering parallel execution redirects shared metric
+            // slots to per-component scratch; leaving it folds the
+            // scratch back and restores direct writes.
+            for (Component *c : components_)
+                c->setConcurrentMetrics(nowParallel);
+        }
+        pool_.resize(nowParallel ? threads_ - 1 : 0);
+    }
+
+    /** Current worker count (1 = serial). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Preferred shard cut points, in registration order — the
+     * first component of each topology stage (and of the endpoint
+     * block), provided by Network::finalize. The planner cuts
+     * shards only at hints whenever that yields enough shards, so
+     * cross-shard lanes are exactly the stage-boundary links.
+     */
+    void
+    setShardHints(std::vector<Component *> hints)
+    {
+        shardHints_ = std::move(hints);
+        planDirty_ = true;
+    }
+
     /** Component ticks elided by the scheduler (monotone). */
     std::uint64_t ticksSkipped() const { return ticksSkipped_; }
 
     /** Link advances elided by the all-Empty fast path (monotone). */
     std::uint64_t linksFastpathed() const { return linksFastpathed_; }
+
+    /**
+     * Shard-plan introspection (tests, diagnostics). Valid with
+     * threads() > 1; rebuilds a stale plan on entry. @{
+     */
+
+    /** Shards in the current plan (0 when serial). */
+    std::size_t
+    shardCount()
+    {
+        if (threads_ <= 1)
+            return 0;
+        if (planDirty_)
+            rebuildPlan();
+        return shards_.size();
+    }
+
+    /** Components in shard k. */
+    std::size_t
+    shardMembers(std::size_t k)
+    {
+        return shards_.at(k).members;
+    }
+
+    /** Registration-order sub-ranges [begin, begin+count) that make
+     *  up shard k. */
+    std::vector<std::pair<std::size_t, std::size_t>>
+    shardSlices(std::size_t k)
+    {
+        std::vector<std::pair<std::size_t, std::size_t>> out;
+        for (const TickRun &sl : shards_.at(k).slices)
+            out.emplace_back(sl.begin, sl.count);
+        return out;
+    }
+
+    /** Every member of shard k is asleep: the next cycle parks the
+     *  shard (bulk-accounted, no worker dispatched). */
+    bool
+    shardParked(std::size_t k)
+    {
+        return shards_.at(k).awake == 0;
+    }
+
+    /** Shard this component ticks in (-1: serial section). */
+    int
+    shardOf(const Component *c)
+    {
+        if (threads_ > 1 && planDirty_)
+            rebuildPlan();
+        return c->shard_ == Component::kNoShard
+                   ? -1
+                   : static_cast<int>(c->shard_);
+    }
+
+    /** Cumulative shard-cycles parked (monotone; scheduling
+     *  telemetry, deliberately not part of metric snapshots — it
+     *  depends on the thread count, which results must not). */
+    std::uint64_t shardCyclesParked() const
+    {
+        return shardCyclesParked_;
+    }
+
+    /** Registration list access (tests map entities to indices). */
+    std::size_t scheduledCount() const { return components_.size(); }
+    Component *scheduledComponent(std::size_t i) const
+    {
+        return components_[i];
+    }
+    /** @} */
 
     /**
      * Resume ticking a sleeping component (Scheduler interface;
@@ -252,7 +423,10 @@ class Engine : public Scheduler
      * with wakes that land mid-cycle the current cycle counts as
      * skipped too (an eager instance would have ticked it before
      * the waker ran, quiescent, to the same effect), so it resumes
-     * at now+1; wakes between cycles resume at now.
+     * at now+1; wakes between cycles resume at now. This is what
+     * makes the sharded engine's deferred wake application exact:
+     * delivering a phase-1 wake at the phase barrier instead of
+     * mid-phase lands in the same cycle with the same arguments.
      */
     void
     wakeComponent(Component *component) override
@@ -260,16 +434,26 @@ class Engine : public Scheduler
         if (!component->schedAsleep_)
             return;
         component->schedAsleep_ = false;
+        if (component->shard_ != Component::kNoShard &&
+            component->shard_ < shards_.size())
+            ++shards_[component->shard_].awake;
         const Cycle resume = stepping_ ? now_ + 1 : now_;
         component->wakeAt_ = resume;
         component->syncSkipped(component->sleptFrom_, resume);
     }
 
+    /** A component's parallel-safety inputs changed: rebuild the
+     *  shard plan before the next parallel cycle. */
+    void invalidateShardPlan() override { planDirty_ = true; }
+
     /**
      * Bring every sleeper's skipped-cycle accounting (per-tick
      * metrics samples) up to date *without* waking anyone — called
      * before metric snapshots so skipping stays invisible to the
-     * observability layer.
+     * observability layer. Under the sharded engine this also folds
+     * every component's metric scratch back into the shared slots,
+     * in registration order (counter adds and histogram merges
+     * commute, so the folded values are thread-count invariant).
      */
     void
     syncStats()
@@ -280,87 +464,20 @@ class Engine : public Scheduler
                 c->sleptFrom_ = now_;
             }
         }
+        if (threads_ > 1) {
+            for (auto *c : components_)
+                c->flushConcurrentMetrics();
+        }
     }
 
     /** Execute exactly one cycle. */
     void
     step()
     {
-        stepping_ = true;
-        TickContext ctx;
-        ctx.cycle = now_;
-        if (quiesce_) {
-            sleepCandidates_.clear();
-            ctx.sleepCandidates = &sleepCandidates_;
-        }
-        Component *const *base = components_.data();
-        for (const auto &run : runs_)
-            run.fn(base + run.begin, run.count, ctx);
-        ticksSkipped_ += ctx.skipped;
-
-        // Phase 2: one batched pass per arena over the flat lane
-        // arrays (LaneArena::advanceAll); sleeping links' lanes are
-        // skipped inside the pass and accounted here (two lanes per
-        // link). Lane order within an arena is link-creation order,
-        // observationally interchangeable with the registration
-        // order the per-link loop used: lanes only interact through
-        // the components that read and push them in phase 1.
-        if (quiesce_) {
-            // Sleep evaluation folds in, links before components:
-            // component canSleep() implementations require their
-            // attached links to be fast-pathed (drained) first.
-            // advanceAll reports the lanes whose sleep eligibility
-            // may have changed (newly drained, or drained with a
-            // push/census step this cycle) — an untouched drained
-            // lane's verdict cannot differ from last cycle's; a
-            // deactivation that drops an end component's last
-            // active link surfaces that component as a sleep
-            // candidate (it cannot have been collected in phase 1 —
-            // its link was still active then).
-            for (ArenaGroup &g : arenaGroups_) {
-                linksFastpathed_ += g.arena->sleepingLanes() / 2;
-                drained_.clear();
-                g.arena->advanceAll(&drained_);
-                for (const LaneId lane : drained_) {
-                    Link *l = g.laneOwner[lane];
-                    if (l != nullptr && l->active() &&
-                        l->canSleepNow()) {
-                        l->deactivate();
-                        noteQuietEnd(l->wakeA());
-                        noteQuietEnd(l->wakeB());
-                    }
-                }
-            }
-            // Freshly registered links get one explicit verdict
-            // (their lanes may never surface from advanceAll).
-            if (!pendingLinkEval_.empty()) {
-                for (Link *l : pendingLinkEval_) {
-                    if (l->active() && l->canSleepNow()) {
-                        l->deactivate();
-                        noteQuietEnd(l->wakeA());
-                        noteQuietEnd(l->wakeB());
-                    }
-                }
-                pendingLinkEval_.clear();
-            }
-        } else {
-            pendingLinkEval_.clear();
-            for (ArenaGroup &g : arenaGroups_) {
-                linksFastpathed_ += g.arena->sleepingLanes() / 2;
-                g.arena->advanceAll(nullptr);
-            }
-        }
-        stepping_ = false;
-        if (quiesce_) {
-            for (auto *c : sleepCandidates_) {
-                if (!c->schedAsleep_ && c->schedActiveLinks_ == 0 &&
-                    c->canSleep()) {
-                    c->schedAsleep_ = true;
-                    c->sleptFrom_ = now_ + 1;
-                }
-            }
-        }
-        ++now_;
+        if (threads_ > 1)
+            stepParallel();
+        else
+            stepSerial();
     }
 
     /** Execute `cycles` cycles. */
@@ -397,6 +514,253 @@ class Engine : public Scheduler
         std::size_t count;
     };
 
+    /**
+     * One parallel shard: the registration-order slices it ticks,
+     * plus its per-cycle effect buffers. The buffers are written
+     * only by the worker running the shard during phase 1 and read
+     * only at the barrier, in shard order — the fixed-order
+     * reduction that keeps counters and candidate processing
+     * deterministic. alignas keeps neighbouring shards' hot
+     * counters off one cache line.
+     */
+    struct alignas(64) Shard
+    {
+        std::vector<TickRun> slices;
+        std::size_t members = 0;
+        /** Members currently awake; 0 parks the shard. Maintained
+         *  serially (wakes and sleep transitions never run inside
+         *  the parallel phase). */
+        std::size_t awake = 0;
+        /** Per-cycle effects (worker-private until the barrier). @{ */
+        std::uint64_t skipped = 0;
+        std::vector<Component *> candidates;
+        std::vector<Link *> activations;
+        /** @} */
+    };
+
+    /** The serial engine's cycle (threads() == 1): the exact
+     *  pre-sharding loop. */
+    void
+    stepSerial()
+    {
+        stepping_ = true;
+        TickContext ctx;
+        ctx.cycle = now_;
+        if (quiesce_) {
+            sleepCandidates_.clear();
+            ctx.sleepCandidates = &sleepCandidates_;
+        }
+        Component *const *base = components_.data();
+        for (const auto &run : runs_)
+            run.fn(base + run.begin, run.count, ctx);
+        ticksSkipped_ += ctx.skipped;
+
+        // Phase 2: one batched pass per arena over the flat lane
+        // arrays (LaneArena::advanceAll); sleeping links' lanes are
+        // skipped inside the pass and accounted here (two lanes per
+        // link). Lane order within an arena is link-creation order,
+        // observationally interchangeable with the registration
+        // order the per-link loop used: lanes only interact through
+        // the components that read and push them in phase 1.
+        if (quiesce_) {
+            // Sleep evaluation folds in, links before components:
+            // component canSleep() implementations require their
+            // attached links to be fast-pathed (drained) first.
+            // advanceAll reports the lanes whose sleep eligibility
+            // may have changed (newly drained, or drained with a
+            // push/census step this cycle) — an untouched drained
+            // lane's verdict cannot differ from last cycle's; a
+            // deactivation that drops an end component's last
+            // active link surfaces that component as a sleep
+            // candidate (it cannot have been collected in phase 1 —
+            // its link was still active then).
+            for (ArenaGroup &g : arenaGroups_) {
+                linksFastpathed_ += g.arena->sleepingLanes() / 2;
+                drained_.clear();
+                g.arena->advanceAll(&drained_);
+                for (const LaneId lane : drained_)
+                    evalDrainedLane(g, lane);
+            }
+        } else {
+            for (ArenaGroup &g : arenaGroups_) {
+                linksFastpathed_ += g.arena->sleepingLanes() / 2;
+                g.arena->advanceAll(nullptr);
+            }
+        }
+        finishCycle();
+    }
+
+    /**
+     * The sharded cycle (threads() > 1). Structure (see the file
+     * comment for why each hand-off preserves byte identity):
+     *
+     *   1a. parallel shards tick on the pool (parked shards are
+     *       bulk-accounted instead);
+     *   1b. barrier: per-shard effects fold in shard order —
+     *       skipped tallies, deferred link activations (wakes),
+     *       sleep candidates;
+     *   1c. serial section: non-parallel-safe components tick in
+     *       registration order, activations inline;
+     *    2. lane advance, chunked across the pool for arenas with
+     *       enough live lanes; census charges and drained reports
+     *       fold at the barrier in chunk order (= ascending lane
+     *       order, the serial pass's order).
+     */
+    void
+    stepParallel()
+    {
+        if (planDirty_)
+            rebuildPlan();
+        stepping_ = true;
+        if (quiesce_)
+            sleepCandidates_.clear();
+
+        // 1a. Parallel shards.
+        liveShards_.clear();
+        for (Shard &s : shards_) {
+            if (s.awake == 0) {
+                // Parked: every member sleeps, so the tick pass
+                // would only count skips — account them in bulk.
+                ticksSkipped_ += s.members;
+                ++shardCyclesParked_;
+                continue;
+            }
+            s.skipped = 0;
+            s.candidates.clear();
+            s.activations.clear();
+            liveShards_.push_back(&s);
+        }
+        if (liveShards_.size() == 1)
+            runShard(*liveShards_.front());
+        else if (!liveShards_.empty())
+            pool_.run(static_cast<unsigned>(liveShards_.size()),
+                      &shardTask, this);
+
+        // 1b. Barrier: fold per-shard effects in shard order.
+        for (Shard *s : liveShards_) {
+            ticksSkipped_ += s->skipped;
+            for (Link *l : s->activations)
+                l->activate();
+            if (quiesce_)
+                sleepCandidates_.insert(sleepCandidates_.end(),
+                                        s->candidates.begin(),
+                                        s->candidates.end());
+        }
+
+        // 1c. Serial section, registration order.
+        {
+            TickContext ctx;
+            ctx.cycle = now_;
+            if (quiesce_)
+                ctx.sleepCandidates = &sleepCandidates_;
+            Component *const *base = components_.data();
+            for (const TickRun &run : serialRuns_)
+                run.fn(base + run.begin, run.count, ctx);
+            ticksSkipped_ += ctx.skipped;
+        }
+
+        // 2. Advance, chunked where worthwhile.
+        for (ArenaGroup &g : arenaGroups_) {
+            linksFastpathed_ += g.arena->sleepingLanes() / 2;
+            if (g.chunks.size() > 1 &&
+                g.arena->lanes() - g.arena->sleepingLanes() >=
+                    kMinLanesForChunkedAdvance) {
+                curGroup_ = &g;
+                pool_.run(static_cast<unsigned>(g.chunks.size()),
+                          &chunkTask, this);
+                curGroup_ = nullptr;
+                std::uint64_t *wire = g.arena->wireDiscardCounter();
+                for (LaneChunk &ch : g.chunks) {
+                    if (wire != nullptr)
+                        *wire += ch.discards;
+                    for (const LaneId lane : ch.drained)
+                        evalDrainedLane(g, lane);
+                }
+            } else {
+                drained_.clear();
+                g.arena->advanceAll(quiesce_ ? &drained_ : nullptr);
+                for (const LaneId lane : drained_)
+                    evalDrainedLane(g, lane);
+            }
+        }
+        finishCycle();
+    }
+
+    /** Shared cycle tail: pending link evaluations, the candidate
+     *  sleep pass (with shard awake accounting), clock advance. */
+    void
+    finishCycle()
+    {
+        if (quiesce_) {
+            // Freshly registered links get one explicit verdict
+            // (their lanes may never surface from the advance).
+            if (!pendingLinkEval_.empty()) {
+                for (Link *l : pendingLinkEval_) {
+                    if (l->active() && l->canSleepNow()) {
+                        l->deactivate();
+                        noteQuietEnd(l->wakeA());
+                        noteQuietEnd(l->wakeB());
+                    }
+                }
+                pendingLinkEval_.clear();
+            }
+        } else {
+            pendingLinkEval_.clear();
+        }
+        stepping_ = false;
+        if (quiesce_) {
+            for (auto *c : sleepCandidates_) {
+                if (!c->schedAsleep_ && c->schedActiveLinks_ == 0 &&
+                    c->canSleep()) {
+                    c->schedAsleep_ = true;
+                    c->sleptFrom_ = now_ + 1;
+                    if (c->shard_ != Component::kNoShard &&
+                        c->shard_ < shards_.size())
+                        --shards_[c->shard_].awake;
+                }
+            }
+        }
+        ++now_;
+    }
+
+    /** Run one shard's slices (worker or caller thread). Effects
+     *  that must not race — activations/wakes — are recorded in the
+     *  shard's buffers via the thread-local deferral hook. */
+    void
+    runShard(Shard &s)
+    {
+        TickContext ctx;
+        ctx.cycle = now_;
+        if (quiesce_)
+            ctx.sleepCandidates = &s.candidates;
+        detail::tlsDeferredActivations = &s.activations;
+        Component *const *base = components_.data();
+        for (const TickRun &sl : s.slices)
+            sl.fn(base + sl.begin, sl.count, ctx);
+        detail::tlsDeferredActivations = nullptr;
+        s.skipped = ctx.skipped;
+    }
+
+    static void
+    shardTask(void *ctx, unsigned k)
+    {
+        auto *e = static_cast<Engine *>(ctx);
+        e->runShard(*e->liveShards_[k]);
+    }
+
+    static void
+    chunkTask(void *ctx, unsigned k)
+    {
+        auto *e = static_cast<Engine *>(ctx);
+        ArenaGroup &g = *e->curGroup_;
+        LaneChunk &ch = g.chunks[k];
+        ch.discards = 0;
+        ch.drained.clear();
+        g.arena->advanceRange(ch.begin, ch.end,
+                              e->quiesce_ ? &ch.drained : nullptr,
+                              &ch.discards);
+    }
+
     void
     rebuildRuns()
     {
@@ -410,6 +774,226 @@ class Engine : public Scheduler
         }
     }
 
+    /**
+     * Rebuild the shard plan from the current component list, hint
+     * list, thread count and link faults. Deterministic: the plan
+     * is a pure function of those inputs, so any two runs that
+     * reach a cycle with the same simulation state shard it the
+     * same way. Steps:
+     *
+     *   1. pin the end components of corrupt links (their reads
+     *      draw from the link's shared corruption PRNG, so they
+     *      must stay in the serial section to keep draw order);
+     *   2. walk the registration list once, sending non-parallel
+     *      components to the serial runs and slicing the parallel
+     *      ones into hint-aligned groups;
+     *   3. while there are fewer groups than threads, halve the
+     *      largest (stage-alignment yields to occupancy only when
+     *      the topology gave too few stages);
+     *   4. one shard per group when they fit, else pack consecutive
+     *      groups into ≤ threads balanced shards (cuts stay on
+     *      group, i.e. hint, boundaries);
+     *   5. assign shard ids and awake counts; carve each arena's
+     *      lanes into even-aligned chunks for phase 2.
+     */
+    void
+    rebuildPlan()
+    {
+        planDirty_ = false;
+
+        pinned_.clear();
+        for (Link *l : links_) {
+            if (l->fault() == LinkFault::Corrupt) {
+                if (l->wakeA() != nullptr)
+                    pinned_.insert(l->wakeA());
+                if (l->wakeB() != nullptr)
+                    pinned_.insert(l->wakeB());
+            }
+        }
+        const std::unordered_set<const Component *> hints(
+            shardHints_.begin(), shardHints_.end());
+
+        struct PlanGroup
+        {
+            std::vector<TickRun> slices;
+            std::size_t members = 0;
+        };
+        std::vector<PlanGroup> groups;
+        serialRuns_.clear();
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            Component *c = components_[i];
+            const auto fn = c->batchTickFn();
+            if (!c->parallelTickSafe() || pinned_.count(c) != 0) {
+                c->shard_ = Component::kNoShard;
+                if (!serialRuns_.empty() &&
+                    serialRuns_.back().fn == fn &&
+                    serialRuns_.back().begin +
+                            serialRuns_.back().count ==
+                        i)
+                    ++serialRuns_.back().count;
+                else
+                    serialRuns_.push_back({fn, i, 1});
+                continue;
+            }
+            if (groups.empty() || hints.count(c) != 0)
+                groups.emplace_back();
+            PlanGroup &gp = groups.back();
+            if (!gp.slices.empty() && gp.slices.back().fn == fn &&
+                gp.slices.back().begin + gp.slices.back().count == i)
+                ++gp.slices.back().count;
+            else
+                gp.slices.push_back({fn, i, 1});
+            ++gp.members;
+            ++total;
+        }
+
+        while (groups.size() < threads_) {
+            std::size_t big = 0;
+            for (std::size_t i = 1; i < groups.size(); ++i) {
+                if (groups[i].members > groups[big].members)
+                    big = i;
+            }
+            if (groups.empty() || groups[big].members < 2)
+                break;
+            PlanGroup &gp = groups[big];
+            const std::size_t keep = gp.members / 2;
+            PlanGroup tail;
+            std::vector<TickRun> kept;
+            std::size_t acc = 0;
+            for (const TickRun &sl : gp.slices) {
+                if (acc >= keep) {
+                    tail.slices.push_back(sl);
+                    tail.members += sl.count;
+                } else if (acc + sl.count <= keep) {
+                    kept.push_back(sl);
+                    acc += sl.count;
+                } else {
+                    const std::size_t first = keep - acc;
+                    kept.push_back({sl.fn, sl.begin, first});
+                    acc = keep;
+                    tail.slices.push_back(
+                        {sl.fn, sl.begin + first, sl.count - first});
+                    tail.members += sl.count - first;
+                }
+            }
+            gp.slices = std::move(kept);
+            gp.members = keep;
+            groups.insert(groups.begin() +
+                              static_cast<std::ptrdiff_t>(big) + 1,
+                          std::move(tail));
+        }
+
+        shards_.clear();
+        if (groups.size() <= threads_) {
+            for (PlanGroup &gp : groups) {
+                if (gp.members == 0)
+                    continue;
+                shards_.emplace_back();
+                shards_.back().slices = std::move(gp.slices);
+                shards_.back().members = gp.members;
+            }
+        } else {
+            std::size_t cum = 0;
+            for (PlanGroup &gp : groups) {
+                if (gp.members == 0)
+                    continue;
+                if (shards_.empty() ||
+                    (shards_.size() < threads_ &&
+                     cum * threads_ >= total * shards_.size()))
+                    shards_.emplace_back();
+                Shard &s = shards_.back();
+                for (const TickRun &sl : gp.slices) {
+                    if (!s.slices.empty() &&
+                        s.slices.back().fn == sl.fn &&
+                        s.slices.back().begin +
+                                s.slices.back().count ==
+                            sl.begin)
+                        s.slices.back().count += sl.count;
+                    else
+                        s.slices.push_back(sl);
+                }
+                s.members += gp.members;
+                cum += gp.members;
+            }
+        }
+
+        for (std::size_t k = 0; k < shards_.size(); ++k) {
+            Shard &s = shards_[k];
+            s.awake = 0;
+            for (const TickRun &sl : s.slices) {
+                for (std::size_t i = sl.begin;
+                     i < sl.begin + sl.count; ++i) {
+                    components_[i]->shard_ =
+                        static_cast<std::uint32_t>(k);
+                    if (!components_[i]->schedAsleep_)
+                        ++s.awake;
+                }
+            }
+        }
+
+        for (ArenaGroup &g : arenaGroups_)
+            rebuildChunks(g);
+    }
+
+    /** One arena's links, for the batched advance: which registered
+     *  link owns each lane (null for frozen/unregistered lanes),
+     *  plus the phase-2 chunk carve-up with per-chunk fold buffers
+     *  (written by one worker each, read at the barrier). */
+    struct LaneChunk
+    {
+        LaneId begin = 0;
+        LaneId end = 0;
+        std::uint64_t discards = 0;
+        std::vector<LaneId> drained;
+    };
+
+    struct ArenaGroup
+    {
+        LaneArena *arena;
+        std::vector<Link *> laneOwner;
+        std::vector<LaneChunk> chunks;
+    };
+
+    /** Sleep-evaluate one freshly drained lane's link (phase-2
+     *  fold; identical on the serial and sharded paths). */
+    void
+    evalDrainedLane(ArenaGroup &g, LaneId lane)
+    {
+        Link *l = g.laneOwner[lane];
+        if (l != nullptr && l->active() && l->canSleepNow()) {
+            l->deactivate();
+            noteQuietEnd(l->wakeA());
+            noteQuietEnd(l->wakeB());
+        }
+    }
+
+    /** Carve [0, lanes) into ≤ threads even-aligned contiguous
+     *  chunks (a link's two lanes stay together). */
+    void
+    rebuildChunks(ArenaGroup &g)
+    {
+        g.chunks.clear();
+        const auto lanes = static_cast<LaneId>(g.arena->lanes());
+        if (lanes == 0 || threads_ <= 1)
+            return;
+        const LaneId pairs = lanes / 2;
+        LaneId start = 0;
+        for (unsigned k = 0; k < threads_ && start < lanes; ++k) {
+            LaneId end =
+                k + 1 == threads_
+                    ? lanes
+                    : static_cast<LaneId>(
+                          (pairs * (k + 1) / threads_) * 2);
+            if (end <= start)
+                continue;
+            g.chunks.push_back({start, end, 0, {}});
+            start = end;
+        }
+        if (!g.chunks.empty())
+            g.chunks.back().end = lanes;
+    }
+
     /** A link just deactivated: its end component is a sleep
      *  candidate once no other attached link is active. */
     void
@@ -420,14 +1004,6 @@ class Engine : public Scheduler
             sleepCandidates_.push_back(c);
     }
 
-    /** One arena's links, for the batched advance: which registered
-     *  link owns each lane (null for frozen/unregistered lanes). */
-    struct ArenaGroup
-    {
-        LaneArena *arena;
-        std::vector<Link *> laneOwner;
-    };
-
     ArenaGroup &
     groupFor(LaneArena *arena)
     {
@@ -435,7 +1011,7 @@ class Engine : public Scheduler
             if (g.arena == arena)
                 return g;
         }
-        arenaGroups_.push_back({arena, {}});
+        arenaGroups_.push_back({arena, {}, {}});
         return arenaGroups_.back();
     }
 
@@ -448,6 +1024,11 @@ class Engine : public Scheduler
         }
         return nullptr;
     }
+
+    /** Below this many live lanes, a chunked advance costs more in
+     *  dispatch than it wins (the serial pass is two streaming
+     *  array walks); small or mostly-sleeping arenas stay serial. */
+    static constexpr std::size_t kMinLanesForChunkedAdvance = 64;
 
     std::vector<Component *> components_;
     std::vector<TickRun> runs_;
@@ -462,6 +1043,19 @@ class Engine : public Scheduler
     bool stepping_ = false;
     std::uint64_t ticksSkipped_ = 0;
     std::uint64_t linksFastpathed_ = 0;
+
+    /** Sharded execution state. @{ */
+    unsigned threads_ = 1;
+    bool planDirty_ = true;
+    std::vector<Component *> shardHints_;
+    std::vector<Shard> shards_;
+    std::vector<TickRun> serialRuns_;
+    std::vector<Shard *> liveShards_;
+    std::unordered_set<Component *> pinned_;
+    ArenaGroup *curGroup_ = nullptr;
+    TickPool pool_;
+    std::uint64_t shardCyclesParked_ = 0;
+    /** @} */
 };
 
 } // namespace metro

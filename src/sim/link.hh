@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/random.hh"
 #include "common/types.hh"
@@ -69,6 +70,24 @@ enum class LinkFault : std::uint8_t
     Dead,     ///< delivers nothing (broken wire)
     Corrupt,  ///< randomly flips payload bits of delivered words
 };
+
+class Link;
+
+namespace detail
+{
+/**
+ * Sharded-engine activation deferral (see engine.hh). During a
+ * parallel phase-1 the waking side of Link::activate() — sleeping-
+ * lane counters, the far end's active-link count, the scheduler
+ * wake — must not run concurrently, so pushes into inactive links
+ * record the link here (each worker points this at its shard's
+ * private list) and the engine applies the activations in fixed
+ * shard order at the phase barrier. Null (the default) means
+ * activate inline — the serial engine's exact behaviour.
+ */
+inline thread_local std::vector<Link *> *tlsDeferredActivations =
+    nullptr;
+} // namespace detail
 
 /**
  * A bidirectional link: two arena lanes plus attachment metadata
@@ -116,7 +135,7 @@ class Link
     {
         arena_->push(down_, s);
         if (!active_)
-            activate();
+            activateFromPush();
     }
 
     /** Push a symbol toward A (used by the B-side component). */
@@ -125,7 +144,7 @@ class Link
     {
         arena_->push(up_, s);
         if (!active_)
-            activate();
+            activateFromPush();
     }
 
     /** Read the symbol arriving at the B end this cycle. */
@@ -261,6 +280,10 @@ class Link
         // death census runs (and both end components observe the
         // new behaviour from their next tick on).
         activate();
+        // Corrupt ends must tick serially (they share the link's
+        // corruption PRNG); tell the engine its shard plan is stale.
+        if (planDirty_ != nullptr)
+            *planDirty_ = true;
     }
 
     /** Where to charge Data words destroyed by a link death
@@ -375,7 +398,31 @@ class Link
     LaneId upLane() const { return up_; }
     /** @} */
 
+    /** Engine only: where setFault reports that the shard plan went
+     *  stale (null for links outside a sharded engine). */
+    void setPlanDirtyFlag(bool *flag) { planDirty_ = flag; }
+
   private:
+    /**
+     * Activation on the push path: inline in serial execution,
+     * recorded for the barrier when a worker registered a deferral
+     * list. Deferral is byte-equivalent to the inline wake: a
+     * mid-cycle wake resumes the sleeper at now+1 and counts the
+     * current cycle as skipped whether it is delivered during
+     * phase 1 or at the phase barrier (see Engine::wakeComponent),
+     * and the unpause/active-link bookkeeping is only read after
+     * the barrier. Both ends may record the same link (dup): the
+     * flag transition is idempotent and wakes are no-ops on awake
+     * components, exactly as with two same-cycle pushes serially.
+     */
+    void
+    activateFromPush()
+    {
+        if (detail::tlsDeferredActivations != nullptr)
+            detail::tlsDeferredActivations->push_back(this);
+        else
+            activate();
+    }
     Symbol
     applyFault(Symbol s)
     {
@@ -419,6 +466,7 @@ class Link
     bool active_ = true;
     Component *wakeA_ = nullptr;
     Component *wakeB_ = nullptr;
+    bool *planDirty_ = nullptr;
 };
 
 } // namespace metro

@@ -31,7 +31,8 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 
 /** Run one point on the calling thread. */
 SweepPointResult
-runPoint(const SweepPoint &point, std::uint64_t index)
+runPoint(const SweepPoint &point, std::uint64_t index,
+         unsigned engine_threads)
 {
     METRO_ASSERT(static_cast<bool>(point.build),
                  "sweep point %llu (%s) has no build function",
@@ -50,6 +51,10 @@ runPoint(const SweepPoint &point, std::uint64_t index)
                  "sweep point %llu (%s) built no network",
                  static_cast<unsigned long long>(index),
                  point.label.c_str());
+    // Parallel engine stepping is a pure throughput knob: results
+    // are byte-identical at every engine thread count.
+    if (engine_threads != 1)
+        instance.network->engine().setThreads(engine_threads);
 
     ExperimentConfig cfg = point.config;
     cfg.seed = out.seed;
@@ -110,7 +115,8 @@ runSweep(const std::vector<SweepPoint> &points,
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            sweep.points[i] = runPoint(points[i], i);
+            sweep.points[i] =
+                runPoint(points[i], i, options.engineThreads);
         }
     };
 

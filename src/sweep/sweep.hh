@@ -125,6 +125,13 @@ struct SweepOptions
 {
     /** Worker threads; 0 means one per hardware thread. */
     unsigned threads = 1;
+
+    /** Engine worker threads per simulation instance (sharded
+     *  parallel stepping; 0 means one per hardware thread). The
+     *  engine's determinism guarantee keeps every result — metrics
+     *  blobs included — byte-identical at every value, so this is
+     *  purely a throughput knob. */
+    unsigned engineThreads = 1;
 };
 
 /** An ordered sweep outcome plus whole-sweep timing metadata. */

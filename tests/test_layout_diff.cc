@@ -26,6 +26,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "fault/injector.hh"
 #include "network/multibutterfly.hh"
@@ -72,13 +73,16 @@ fnv1a(const std::string &bytes)
  * observable state, serialized.
  */
 std::string
-runScenario(std::uint64_t seed)
+runScenario(std::uint64_t seed, unsigned engine_threads)
 {
     auto spec = fig3Spec(seed);
     // Faults may orphan destinations for a while; bound the retries
     // so every message resolves inside the drain window.
     spec.niConfig.maxAttempts = 60;
     auto net = buildMultibutterfly(spec);
+    // The sharded parallel engine must reproduce the same frozen
+    // per-object goldens at every thread count.
+    net->engine().setThreads(engine_threads);
 
     LinkProbe probe(1u << 20);
     for (LinkId l = 0; l < net->numLinks(); ++l)
@@ -161,16 +165,20 @@ runScenario(std::uint64_t seed)
 }
 
 class LayoutDifferential
-    : public ::testing::TestWithParam<std::uint64_t>
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned>>
 {};
 
 TEST_P(LayoutDifferential, MatchesPerObjectGolden)
 {
-    const std::uint64_t seed = GetParam();
-    const std::string fresh = runScenario(seed);
+    const std::uint64_t seed = std::get<0>(GetParam());
+    const unsigned threads = std::get<1>(GetParam());
+    const std::string fresh = runScenario(seed, threads);
     const std::string path = goldenPath(seed);
 
     if (std::getenv("METRO_REBASELINE") != nullptr) {
+        ASSERT_EQ(threads, 1u)
+            << "rebaseline goldens from the serial engine only";
         std::ofstream out(path, std::ios::binary);
         ASSERT_TRUE(out) << "cannot write " << path;
         out << fresh;
@@ -189,8 +197,10 @@ TEST_P(LayoutDifferential, MatchesPerObjectGolden)
            "layout overhaul changed behaviour";
 }
 
-INSTANTIATE_TEST_SUITE_P(Fig3Campaign, LayoutDifferential,
-                         ::testing::Values(0xA11CEULL, 0xB0B5ULL));
+INSTANTIATE_TEST_SUITE_P(
+    Fig3Campaign, LayoutDifferential,
+    ::testing::Combine(::testing::Values(0xA11CEULL, 0xB0B5ULL),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
 
 } // namespace
 } // namespace metro

@@ -47,7 +47,8 @@ struct Outcome
  * scan port-disables.
  */
 Outcome
-runScenario(bool quiesce, std::uint64_t seed)
+runScenario(bool quiesce, std::uint64_t seed,
+            unsigned engine_threads = 1)
 {
     auto spec = fig1Spec(seed);
     // Faults may orphan destinations for a while; bound the retries
@@ -55,6 +56,7 @@ runScenario(bool quiesce, std::uint64_t seed)
     spec.niConfig.maxAttempts = 60;
     auto net = buildMultibutterfly(spec);
     net->engine().setQuiescence(quiesce);
+    net->engine().setThreads(engine_threads);
 
     LinkProbe probe(1u << 20);
     for (LinkId l = 0; l < net->numLinks(); ++l)
@@ -139,12 +141,20 @@ runScenario(bool quiesce, std::uint64_t seed)
     return out;
 }
 
-TEST(Quiescence, SchedulerIsObservationallyEquivalent)
+/** The equivalence must hold at every engine thread count — the
+ *  sharded engine (sim/engine.hh) promises scheduling *and*
+ *  parallelism are both invisible to every observable. */
+class QuiescenceAtThreads
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(QuiescenceAtThreads, SchedulerIsObservationallyEquivalent)
 {
+    const unsigned threads = GetParam();
     for (std::uint64_t seed : {0x51ceULL, 0xd0d0ULL}) {
         SCOPED_TRACE("seed " + std::to_string(seed));
         const Outcome eager = runScenario(false, seed);
-        const Outcome lazy = runScenario(true, seed);
+        const Outcome lazy = runScenario(true, seed, threads);
 
         // The scheduler must actually have engaged (else this test
         // proves nothing) while the eager run elided nothing.
@@ -158,6 +168,9 @@ TEST(Quiescence, SchedulerIsObservationallyEquivalent)
         EXPECT_EQ(eager.metrics, lazy.metrics);
     }
 }
+
+INSTANTIATE_TEST_SUITE_P(EngineThreads, QuiescenceAtThreads,
+                         ::testing::Values(1u, 2u, 4u, 8u));
 
 TEST(Quiescence, IdleNetworkSleepsAndWakesOnSend)
 {

@@ -7,9 +7,12 @@
  * (the micro_router steady state), the idle-heavy low-load point of
  * the fig3 load–latency sweep (think time 2000), and a statically
  * faulted network from the fault_degradation sweep — each with the
- * quiescence scheduler off (the original eager loop) and on. The
- * result is written as JSON; the checked-in copy (BENCH_engine.json
- * at the repo root) is the committed baseline that ci/bench-smoke.sh
+ * quiescence scheduler off (the original eager loop) and on; plus
+ * the sharded parallel engine on a saturated 1024-endpoint,
+ * 5-stage network (mb1024Spec) at 1, 2 and 4 engine threads,
+ * reporting the 4-thread/1-thread scaling ratio. The result is
+ * written as JSON; the checked-in copy (BENCH_engine.json at the
+ * repo root) is the committed baseline that ci/bench-smoke.sh
  * compares fresh runs against.
  *
  * Usage:
@@ -42,6 +45,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/injector.hh"
@@ -128,6 +132,47 @@ runScenario(const Scenario &s, bool quiesce, Cycle cycles,
     return m;
 }
 
+/**
+ * The parallel-engine scenario: mb1024 (1024 endpoints, 1280
+ * routers over 5 stages) saturated closed-loop, quiescence on,
+ * stepping with `threads` engine workers. Separate from
+ * runScenario because the interesting axis here is the worker
+ * count, not the scheduler mode.
+ */
+Measurement
+runParallelScenario(unsigned threads, Cycle cycles, unsigned reps)
+{
+    auto net = buildMultibutterfly(mb1024Spec(1));
+    net->engine().setThreads(threads);
+
+    const auto n = static_cast<NodeId>(net->numEndpoints());
+    DestinationGenerator dests(TrafficPattern::UniformRandom, n, 3);
+    DriverConfig dcfg;
+    dcfg.messageWords = 20;
+    std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+    for (NodeId e = 0; e < n; ++e) {
+        drivers.push_back(std::make_unique<ClosedLoopDriver>(
+            &net->endpoint(e), &dests, dcfg, /*think=*/0, 100 + e));
+        net->engine().addComponent(drivers.back().get());
+    }
+    net->engine().run(500); // steady state
+
+    Measurement m;
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        net->engine().run(cycles);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (secs > 0.0)
+            best = std::max(best,
+                            static_cast<double>(cycles) / secs);
+    }
+    m.cyclesPerSec = best;
+    return m;
+}
+
 std::uint64_t
 peakRssKb()
 {
@@ -143,6 +188,18 @@ peakRssKb()
  * named `name`. Returns a negative value when absent. Kept naive on
  * purpose so the CI smoke script needs no JSON tooling.
  */
+/** The number following `"key":` anywhere in the blob (the
+ *  parallel section's keys are unique). Negative when absent. */
+double
+numberForKey(const std::string &json, const std::string &key)
+{
+    const std::string tag = "\"" + key + "\": ";
+    const auto at = json.find(tag);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(json.c_str() + at + tag.size(), nullptr);
+}
+
 double
 schedCpsFromJson(const std::string &json, const std::string &name)
 {
@@ -250,7 +307,37 @@ main(int argc, char **argv)
         }
     }
 
+    // The sharded-engine scaling scenario. mb1024 carries ~20x the
+    // per-cycle work of fig3; fewer timed cycles keep the total
+    // bench time in the same ballpark.
+    const Cycle pcycles = std::max<Cycle>(cycles / 10, 300);
+    const unsigned hw = std::thread::hardware_concurrency();
+    double pcps[3] = {0.0, 0.0, 0.0};
+    const unsigned pthreads[3] = {1, 2, 4};
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::fprintf(stderr, "running engine_parallel t%u...\n",
+                     pthreads[i]);
+        pcps[i] =
+            runParallelScenario(pthreads[i], pcycles, reps)
+                .cyclesPerSec;
+    }
+    const double scaling = pcps[0] > 0.0 ? pcps[2] / pcps[0] : 0.0;
+
     json << "  ],\n"
+         << "  \"parallel\": {\n"
+         << "    \"network\": \"mb1024 (1024 endpoints, 1280 "
+            "routers, 5 stages)\",\n"
+         << "    \"cycles_per_rep\": " << pcycles << ",\n"
+         << "    \"hardware_threads\": " << hw << ",\n"
+         << "    \"parallel_t1_cycles_per_sec\": "
+         << static_cast<std::uint64_t>(pcps[0]) << ",\n"
+         << "    \"parallel_t2_cycles_per_sec\": "
+         << static_cast<std::uint64_t>(pcps[1]) << ",\n"
+         << "    \"parallel_t4_cycles_per_sec\": "
+         << static_cast<std::uint64_t>(pcps[2]) << ",\n"
+         << "    \"parallel_scaling_t4\": "
+         << static_cast<std::uint64_t>(scaling * 100) / 100.0 << "\n"
+         << "  },\n"
          << "  \"peak_rss_kb\": " << peakRssKb() << "\n"
          << "}\n";
 
@@ -310,6 +397,40 @@ main(int argc, char **argv)
                          ? "ok" : "REGRESSED");
         if (saturatedSpeedup < kSaturatedFloor)
             ok = false;
+
+        // The single-thread parallel engine runs the untouched
+        // serial loop; hold it to the committed baseline like any
+        // other scenario (older baselines lack the key — skip).
+        const double committed_t1 =
+            numberForKey(baseline, "parallel_t1_cycles_per_sec");
+        if (committed_t1 > 0.0) {
+            const double floor = committed_t1 * (1.0 - tolerance);
+            std::fprintf(stderr,
+                         "check %-18s committed %.0f  fresh %.0f  "
+                         "floor %.0f  %s\n",
+                         "engine_parallel_t1", committed_t1,
+                         pcps[0], floor,
+                         pcps[0] >= floor ? "ok" : "REGRESSED");
+            if (pcps[0] < floor)
+                ok = false;
+        }
+
+        // Parallel scaling: >= 2x at 4 threads, but only where 4
+        // hardware threads exist — on smaller hosts (CI containers
+        // are often 1-2 cores) the ratio is recorded, not enforced.
+        if (hw >= 4) {
+            std::fprintf(stderr,
+                         "check %-18s t4/t1 %.2f  floor 2.00  %s\n",
+                         "engine_parallel", scaling,
+                         scaling >= 2.0 ? "ok" : "REGRESSED");
+            if (scaling < 2.0)
+                ok = false;
+        } else {
+            std::fprintf(stderr,
+                         "check engine_parallel: t4/t1 %.2f "
+                         "recorded only (%u hardware threads < 4)\n",
+                         scaling, hw);
+        }
     }
 
     return ok ? 0 : 1;
