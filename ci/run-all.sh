@@ -6,14 +6,18 @@
 #   2. the engine-performance smoke against the committed baseline
 #      (ci/bench-smoke.sh — catches hot-path regressions and a
 #      broken scheduler wakeup protocol),
-#   3. the ThreadSanitizer sweep job (ci/tsan-sweep.sh),
-#   4. the ThreadSanitizer engine job (ci/tsan-engine.sh — the
+#   3. the serve soak smoke (ci/soak-smoke.sh — CLI-level
+#      checkpoint/restore byte identity under a fault campaign
+#      with concurrent planned maintenance),
+#   4. the ThreadSanitizer sweep job (ci/tsan-sweep.sh),
+#   5. the ThreadSanitizer engine job (ci/tsan-engine.sh — the
 #      sharded parallel engine's byte-identity suite and saturated
 #      soak; shares the sanitizer build with the sweep job),
-#   5. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
+#   6. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
 #
-# Pass --quick to run only the tier-1 suite and the bench smoke
-# (the sanitizer jobs rebuild the world and dominate wall clock).
+# Pass --quick to run only the tier-1 suite, the bench smoke, and
+# the serve soak (the sanitizer jobs rebuild the world and
+# dominate wall clock).
 #
 # Usage: ci/run-all.sh [--quick]
 
@@ -32,6 +36,9 @@ ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
 
 echo "==> bench smoke (committed baseline: BENCH_engine.json)"
 ci/bench-smoke.sh build-ci
+
+echo "==> serve soak smoke (checkpoint/restore byte identity)"
+ci/soak-smoke.sh build-ci
 
 if [[ "$QUICK" == "0" ]]; then
     echo "==> tsan sweep"

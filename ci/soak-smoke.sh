@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Serve-mode soak smoke: checkpoint/restore byte identity at the
+# CLI level, under a concurrent stochastic fault campaign.
+#
+# Runs the same serve scenario three ways:
+#   1. one uninterrupted run, streaming windowed metrics JSONL;
+#   2. the same run cut at a mid-run checkpoint (the process exits
+#      at the checkpoint boundary, simulating a shutdown);
+#   3. a fresh process restoring that checkpoint and serving the
+#      remainder.
+# The concatenation of (2)+(3)'s window streams must be
+# byte-for-byte identical to (1)'s, and again when the restored
+# process runs with a different --engine-threads. Window records
+# carry every nonzero counter delta, and the serve loop asserts
+# both word-conservation identities at every window boundary, so a
+# byte-equal diff is a full end-to-end state check.
+#
+# Usage: ci/soak-smoke.sh [build-dir]   (default: build-ci)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-ci}"
+SIM="$BUILD/tools/metro_sim"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$SIM" ]]; then
+    cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD" -j "$(nproc)" --target metro_sim
+fi
+
+# A live campaign: link churn with corruption plus flaky links,
+# active from cycle 1000 onward — the drain/restore paths must hold
+# up while the fault surface keeps moving.
+cat > "$WORK/campaign.fault" <<'EOF'
+linkFailRate = 0.0008
+linkHealRate = 0.008
+corruptFraction = 0.25
+flakyLinks = 2
+flakyPeriod = 512
+start = 1000
+EOF
+
+FLAGS=(--topology=fig1 --serve --window=1024 --think=200
+       --fault-file="$WORK/campaign.fault"
+       --maintain=2@4096+4096)
+TOTAL=24576
+CUT=12288
+
+echo "==> serve soak: uninterrupted reference ($TOTAL cycles)"
+"$SIM" "${FLAGS[@]}" --serve-cycles="$TOTAL" > "$WORK/full.jsonl"
+
+echo "==> serve soak: run to checkpoint at $CUT, then exit"
+"$SIM" "${FLAGS[@]}" --serve-cycles="$CUT" \
+    --checkpoint-out="$WORK/cut.ckpt" --checkpoint-at="$CUT" \
+    > "$WORK/pre.jsonl"
+
+echo "==> serve soak: restore and serve the remainder"
+"$SIM" "${FLAGS[@]}" --serve-cycles="$TOTAL" \
+    --restore="$WORK/cut.ckpt" > "$WORK/post.jsonl"
+
+cat "$WORK/pre.jsonl" "$WORK/post.jsonl" > "$WORK/resumed.jsonl"
+if ! diff -q "$WORK/full.jsonl" "$WORK/resumed.jsonl" > /dev/null
+then
+    echo "FAIL: resumed window stream diverges from uninterrupted"
+    diff "$WORK/full.jsonl" "$WORK/resumed.jsonl" | head -20
+    exit 1
+fi
+echo "    resumed stream byte-identical"
+
+echo "==> serve soak: restore across engine thread counts"
+for T in 2 4; do
+    "$SIM" "${FLAGS[@]}" --serve-cycles="$TOTAL" \
+        --engine-threads="$T" --restore="$WORK/cut.ckpt" \
+        > "$WORK/post-t$T.jsonl"
+    if ! diff -q "$WORK/post.jsonl" "$WORK/post-t$T.jsonl" \
+        > /dev/null
+    then
+        echo "FAIL: restore under --engine-threads=$T diverges"
+        exit 1
+    fi
+done
+echo "    cross-thread restores byte-identical"
+
+echo "==> serve soak passed"

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * libFuzzer entry point for the checkpoint deserializer.
+ *
+ * A checkpoint restores into a *live* simulation instance, so a
+ * hostile or corrupted file is the highest-risk input the serve
+ * path takes: every count is attacker-controlled and most fields
+ * index into engine structures. restoreCheckpointBytes must reject
+ * arbitrary bytes with an error — never crash, assert, index out
+ * of range, or allocate unbounded memory.
+ *
+ * The target instance is built once and reused: a failed restore
+ * may leave it partially overwritten, which is exactly the state a
+ * real process would be in, and later iterations must still be
+ * safe against it. The digest is read back out of the input's own
+ * header so fuzzing reaches past the header check into the tagged
+ * sections.
+ *
+ * Seed corpus: tests/corpus/checkpoint/ (replayed as plain ctest
+ * cases by tests/test_checkpoint_fuzz.cc on non-clang toolchains).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "network/multibutterfly.hh"
+#include "network/presets.hh"
+#include "serve/checkpoint.hh"
+#include "traffic/drivers.hh"
+#include "traffic/patterns.hh"
+
+namespace
+{
+
+struct Target
+{
+    std::unique_ptr<metro::Network> net;
+    std::unique_ptr<metro::DestinationGenerator> dests;
+    std::vector<std::unique_ptr<metro::ClosedLoopDriver>> drivers;
+    metro::CheckpointParticipants parts;
+
+    Target()
+    {
+        net = metro::buildMultibutterfly(metro::fig1Spec(1));
+        const auto n =
+            static_cast<unsigned>(net->numEndpoints());
+        dests = std::make_unique<metro::DestinationGenerator>(
+            metro::TrafficPattern::UniformRandom, n, 0x77, 0,
+            0.25);
+        metro::DriverConfig dcfg;
+        dcfg.messageWords = 8;
+        for (unsigned e = 0; e < n; ++e) {
+            drivers.push_back(
+                std::make_unique<metro::ClosedLoopDriver>(
+                    &net->endpoint(e), dests.get(), dcfg, 150,
+                    0x5151ULL * (e + 1)));
+            net->engine().addComponent(drivers.back().get());
+        }
+        parts.net = net.get();
+        for (auto &d : drivers)
+            parts.closedDrivers.push_back(d.get());
+    }
+};
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    static Target target;
+    // Mirror the digest the input claims (header offset 8) so the
+    // compatibility gate passes and the section decoders fuzz.
+    std::uint64_t digest = 0;
+    if (size >= 16)
+        for (int b = 0; b < 8; ++b)
+            digest |= static_cast<std::uint64_t>(data[8 + b])
+                      << (8 * b);
+    std::vector<std::uint8_t> blob;
+    metro::restoreCheckpointBytes(data, size, digest, target.parts,
+                                  &blob);
+    return 0;
+}

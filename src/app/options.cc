@@ -20,7 +20,10 @@
 #include "report/dot.hh"
 #include "report/json.hh"
 #include "report/stats_dump.hh"
+#include "serve/service.hh"
+#include "serve/signal.hh"
 #include "sweep/sweep.hh"
+#include "traffic/drivers.hh"
 #include "traffic/experiment.hh"
 
 namespace metro
@@ -139,6 +142,22 @@ usageText()
         "  --trace-connections=PATH  write a chrome://tracing JSON\n"
         "                        of the last point's connections\n"
         "  --dot                 print the topology as Graphviz DOT\n"
+        "  --serve               service mode: run one instance in\n"
+        "                        windows, stream JSONL metric deltas\n"
+        "  --serve-cycles=N      absolute cycle to stop serving at\n"
+        "                        (0 = run until SIGINT/SIGTERM)\n"
+        "  --window=N            cycles per metrics window (default "
+        "1024)\n"
+        "  --checkpoint-out=PATH write a checkpoint here (at\n"
+        "                        --checkpoint-at, and on SIGINT)\n"
+        "  --checkpoint-at=N     boundary cycle for the one-shot "
+        "checkpoint\n"
+        "  --restore=PATH        resume from a checkpoint (same "
+        "config\n"
+        "                        required; --engine-threads may "
+        "differ)\n"
+        "  --maintain=R@S+D      drain router R at cycle S, keep it\n"
+        "                        disabled D cycles (repeatable)\n"
         "  --help                this text\n";
 }
 
@@ -418,6 +437,45 @@ parseOptions(int argc, const char *const *argv, std::string &error)
                 return std::nullopt;
             }
             opts.retry.ageStarve = v;
+        } else if (key == "--serve") {
+            opts.serve = true;
+        } else if (key == "--serve-cycles") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --serve-cycles";
+                return std::nullopt;
+            }
+            opts.serveCycles = v;
+        } else if (key == "--window") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --window";
+                return std::nullopt;
+            }
+            opts.window = v;
+        } else if (key == "--checkpoint-out") {
+            if (!want_value())
+                return std::nullopt;
+            opts.checkpointOut = value;
+        } else if (key == "--checkpoint-at") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --checkpoint-at";
+                return std::nullopt;
+            }
+            opts.checkpointAt = v;
+        } else if (key == "--restore") {
+            if (!want_value())
+                return std::nullopt;
+            opts.restorePath = value;
+        } else if (key == "--maintain") {
+            MaintenanceOp op;
+            if (!want_value() || !parseMaintenanceOp(value, op)) {
+                error = "bad --maintain: expected "
+                        "ROUTER@START+DURATION";
+                return std::nullopt;
+            }
+            opts.maintain.push_back(value);
         } else {
             error = "unknown option: " + key;
             return std::nullopt;
@@ -520,8 +578,71 @@ threadsFromArgv(int argc, const char *const *argv, unsigned fallback)
     return fallback;
 }
 
+std::string
+canonicalConfigString(const Options &opts)
+{
+    std::ostringstream s;
+    s << "topology=" << static_cast<int>(opts.topology) << '\n'
+      << "spec=" << opts.specFile << '\n'
+      << "mode=" << static_cast<int>(opts.mode) << '\n'
+      << "pattern=" << static_cast<int>(opts.pattern) << '\n'
+      << "messageWords=" << opts.messageWords << '\n'
+      << "seed=" << opts.seed << '\n'
+      << "routerFaults=" << opts.routerFaults << '\n'
+      << "linkFaults=" << opts.linkFaults << '\n'
+      << "faultCycle=" << opts.faultCycle << '\n'
+      << "faultFile=" << opts.faultFile << '\n'
+      << "diagnosis=" << (opts.diagnosis ? 1 : 0) << '\n'
+      << "hotNode=" << opts.hotNode << '\n'
+      << "hotFraction=" << opts.hotFraction << '\n';
+    if (opts.mode == LoadMode::Closed)
+        s << "think=" << opts.thinkTimes[0] << '\n';
+    else
+        s << "inject=" << opts.injectProbs[0] << '\n';
+
+    const auto opt = [&s](const char *name, const auto &field) {
+        s << name << '=';
+        if (field.has_value())
+            s << *field;
+        else
+            s << '~';
+        s << '\n';
+    };
+    const RetryOverrides &r = opts.retry;
+    s << "retry.kind=";
+    if (r.kind.has_value())
+        s << static_cast<int>(*r.kind);
+    else
+        s << '~';
+    s << '\n';
+    opt("retry.backoffMin", r.backoffMin);
+    opt("retry.backoffMax", r.backoffMax);
+    opt("retry.backoffCap", r.backoffCap);
+    opt("retry.decorrelatedJitter", r.decorrelatedJitter);
+    opt("retry.aimdDecrease", r.aimdDecrease);
+    opt("retry.retryBudget", r.retryBudget);
+    opt("retry.retryBudgetCap", r.retryBudgetCap);
+    opt("retry.sendQueueLimit", r.sendQueueLimit);
+    opt("retry.inflightLimit", r.inflightLimit);
+    opt("retry.ageClamp", r.ageClamp);
+    opt("retry.ageStarve", r.ageStarve);
+
+    s << "window=" << opts.window << '\n';
+    for (const auto &m : opts.maintain)
+        s << "maintain=" << m << '\n';
+    return s.str();
+}
+
 namespace
 {
+
+/** Typed views of a SweepInstance's extras, for checkpointing. */
+struct InstanceExtras
+{
+    FaultInjector *injector = nullptr;
+    FaultCampaign *campaign = nullptr;
+    DiagnosisEngine *diagnosis = nullptr;
+};
 
 /**
  * One CLI sweep point's build recipe: topology plus faults. All
@@ -532,7 +653,8 @@ namespace
 SweepInstance
 buildInstance(const Options &opts,
               const std::optional<FaultFile> &faults,
-              std::uint64_t derived_seed)
+              std::uint64_t derived_seed,
+              InstanceExtras *extras_out = nullptr)
 {
     SweepInstance instance;
     auto built = buildTopology(opts);
@@ -551,6 +673,8 @@ buildInstance(const Options &opts,
             std::make_unique<FaultInjector>(instance.network.get());
         injector->schedule(events);
         instance.network->engine().addComponent(injector.get());
+        if (extras_out != nullptr)
+            extras_out->injector = injector.get();
         instance.extras.push_back(std::move(injector));
     }
 
@@ -559,6 +683,8 @@ buildInstance(const Options &opts,
             instance.network.get(), faults->campaign,
             derived_seed ^ 0xCA3);
         instance.network->engine().addComponent(campaign.get());
+        if (extras_out != nullptr)
+            extras_out->campaign = campaign.get();
         instance.extras.push_back(std::move(campaign));
     }
 
@@ -568,6 +694,8 @@ buildInstance(const Options &opts,
         auto diag = std::make_unique<DiagnosisEngine>(
             instance.network.get());
         instance.network->engine().addComponent(diag.get());
+        if (extras_out != nullptr)
+            extras_out->diagnosis = diag.get();
         instance.extras.push_back(std::move(diag));
     }
     return instance;
@@ -649,6 +777,113 @@ writeConnectionTrace(const std::vector<SweepPoint> &points,
     out << tracer.chromeTraceJson();
 }
 
+/**
+ * Service mode: one long-lived instance, every endpoint driven,
+ * windowed metric deltas streamed to stdout as JSON lines. See
+ * docs/operations.md.
+ */
+std::string
+runServe(const Options &opts)
+{
+    std::optional<FaultFile> faults;
+    if (!opts.faultFile.empty()) {
+        std::string error;
+        faults = loadFaultFile(opts.faultFile, error);
+        if (!faults.has_value())
+            METRO_FATAL("--fault-file: %s", error.c_str());
+    }
+
+    InstanceExtras extras;
+    SweepInstance instance =
+        buildInstance(opts, faults, opts.seed, &extras);
+    Network &net = *instance.network;
+    Engine &engine = net.engine();
+
+    const auto n = static_cast<unsigned>(net.numEndpoints());
+    DestinationGenerator dests(opts.pattern, n, opts.seed ^ 0x77,
+                               opts.hotNode, opts.hotFraction);
+    DriverConfig dcfg;
+    dcfg.messageWords = opts.messageWords;
+    // stopAt stays kNever: serve runs until stopped, not drained.
+
+    // Same per-endpoint seed derivation as the experiment runner so
+    // serve traffic matches a sweep point with the same options.
+    std::vector<std::unique_ptr<ClosedLoopDriver>> closed;
+    std::vector<std::unique_ptr<OpenLoopDriver>> open;
+    for (unsigned e = 0; e < n; ++e) {
+        if (opts.mode == LoadMode::Closed) {
+            closed.push_back(std::make_unique<ClosedLoopDriver>(
+                &net.endpoint(e), &dests, dcfg, opts.thinkTimes[0],
+                opts.seed ^ (0x5151ULL * (e + 1))));
+            engine.addComponent(closed.back().get());
+        } else {
+            open.push_back(std::make_unique<OpenLoopDriver>(
+                &net.endpoint(e), &dests, dcfg, opts.injectProbs[0],
+                opts.seed ^ (0x7272ULL * (e + 1))));
+            engine.addComponent(open.back().get());
+        }
+    }
+
+    if (opts.engineThreads != 1)
+        engine.setThreads(opts.engineThreads);
+
+    ServeConfig scfg;
+    scfg.window = opts.window;
+    scfg.runCycles = opts.serveCycles;
+    scfg.configDigest = checkpointDigest(canonicalConfigString(opts));
+    scfg.checkpointOut = opts.checkpointOut;
+    scfg.checkpointAt = opts.checkpointAt;
+    for (const auto &text : opts.maintain) {
+        MaintenanceOp op;
+        if (!parseMaintenanceOp(text, op))
+            METRO_FATAL("bad --maintain value: %s", text.c_str());
+        scfg.maintenance.push_back(op);
+    }
+
+    CheckpointParticipants parts;
+    parts.net = &net;
+    for (auto &d : closed)
+        parts.closedDrivers.push_back(d.get());
+    for (auto &d : open)
+        parts.openDrivers.push_back(d.get());
+    parts.injector = extras.injector;
+    parts.campaign = extras.campaign;
+    parts.diagnosis = extras.diagnosis;
+
+    ServiceRunner runner(scfg, parts);
+    runner.setEmitter([](const std::string &line) {
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    });
+
+    if (!opts.restorePath.empty()) {
+        const std::string err =
+            runner.restoreFromFile(opts.restorePath);
+        if (!err.empty())
+            METRO_FATAL("--restore: %s", err.c_str());
+    }
+
+    const std::string violation =
+        runner.run([] { return requestedStop(); });
+    if (!violation.empty())
+        METRO_FATAL("serve: %s", violation.c_str());
+
+    // Interrupted (SIGINT/SIGTERM): persist a final checkpoint so
+    // the operator can resume. A clean --serve-cycles completion
+    // must NOT overwrite the one-shot mid-run checkpoint.
+    if (requestedStop() && !opts.checkpointOut.empty()) {
+        const std::string err =
+            runner.checkpointToFile(opts.checkpointOut);
+        if (!err.empty())
+            METRO_FATAL("--checkpoint-out: %s", err.c_str());
+    }
+
+    if (opts.metricsJson)
+        return metricsJson(net.metricsSnapshot()) + "\n";
+    return "";
+}
+
 } // namespace
 
 std::string
@@ -663,6 +898,9 @@ runFromOptions(const Options &opts)
                                                   : opts.specFile);
     }
 
+    if (opts.serve)
+        return runServe(opts);
+
     // Sweep-file mode: the file defines the points; CLI --threads
     // overrides the file's thread count.
     if (!opts.sweepFile.empty()) {
@@ -676,6 +914,7 @@ runFromOptions(const Options &opts)
         sopts.engineThreads = opts.engineThreadsSet
                                   ? opts.engineThreads
                                   : sweep_file->engineThreads;
+        sopts.stopRequested = [] { return requestedStop(); };
         const auto sweep = runSweep(sweep_file->points, sopts);
         if (!opts.traceConnections.empty())
             writeConnectionTrace(sweep_file->points,
@@ -689,6 +928,7 @@ runFromOptions(const Options &opts)
     SweepOptions sopts;
     sopts.threads = opts.threads;
     sopts.engineThreads = opts.engineThreads;
+    sopts.stopRequested = [] { return requestedStop(); };
     const auto sweep = runSweep(points, sopts);
 
     if (!opts.traceConnections.empty())
@@ -709,6 +949,8 @@ runFromOptions(const Options &opts)
                "attempts   blockRate\n";
 
     for (const auto &p : sweep.points) {
+        if (p.skipped)
+            continue;
         const ExperimentResult &result = p.result;
         if (opts.csv) {
             csv.row(experimentCsvRow(p.label, result));

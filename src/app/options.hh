@@ -118,7 +118,39 @@ struct Options
      *  --age-*): applied on top of whatever retry config the
      *  selected preset or spec file carries. */
     RetryOverrides retry;
+
+    /** Service mode (see docs/operations.md): run one long-lived
+     *  instance in fixed windows, stream per-window metric deltas
+     *  as JSON lines, checkpoint/restore, planned maintenance. @{ */
+    bool serve = false;
+
+    /** Absolute cycle to stop serving at (0 = until SIGINT). */
+    Cycle serveCycles = 0;
+
+    /** Cycles per metrics window. */
+    Cycle window = 1024;
+
+    /** One-shot checkpoint: path + boundary cycle. */
+    std::string checkpointOut;
+    Cycle checkpointAt = 0;
+
+    /** Restore simulation + serve state from this checkpoint. */
+    std::string restorePath;
+
+    /** Planned maintenance ops, raw "ROUTER@START+DURATION". */
+    std::vector<std::string> maintain;
+    /** @} */
 };
+
+/**
+ * The canonical configuration string the checkpoint digest is
+ * computed over. Includes everything that shapes the simulation
+ * (topology, seed, traffic, faults, retry, serve window and
+ * maintenance plan) and deliberately EXCLUDES thread counts —
+ * restoring into a different --engine-threads is supported and
+ * byte-identical.
+ */
+std::string canonicalConfigString(const Options &opts);
 
 /**
  * Parse a bench-style `--threads=N` (or `--threads N`) flag from a

@@ -48,6 +48,9 @@ class Crc16
     /** The current CRC value. */
     std::uint16_t value() const { return crc_; }
 
+    /** Overwrite the accumulator (checkpoint restore). */
+    void setValue(std::uint16_t value) { crc_ = value; }
+
   private:
     /** Per-byte transition table (the bit-serial fold of each byte
      *  value, precomputed): checksums land on every forwarded word

@@ -107,6 +107,26 @@ class Xoshiro256
     /** A single random bit. */
     bool bit() { return (next() & 1) != 0; }
 
+    /**
+     * Raw generator state, for checkpoint/restore: the four state
+     * words fully determine the stream, so a save/restore pair
+     * resumes the draw sequence exactly where it left off. @{
+     */
+    void
+    stateWords(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    void
+    setStateWords(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+    /** @} */
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -159,6 +159,8 @@ class FaultDiary
     std::uint64_t attemptsSeen() const { return attemptsSeen_; }
 
   private:
+    friend class CheckpointIO;
+
     void suspectInjection(const AttemptEvidence &e,
                           std::uint8_t weight);
     void suspectRouterOut(const StatusWord &sw, Cycle cycle,

@@ -104,6 +104,8 @@ class DiagnosisEngine : public Component
     std::size_t maskedLinks() const { return masked_.size(); }
 
   private:
+    friend class CheckpointIO;
+
     /** Scoreboard entry for one suspect link. */
     struct Score
     {

@@ -329,6 +329,8 @@ class NetworkInterface : public Component
     /** @} */
 
   private:
+    friend class CheckpointIO;
+
     enum class SendState : std::uint8_t
     {
         Idle,

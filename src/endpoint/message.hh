@@ -181,6 +181,8 @@ class MessageTracker
     std::uint64_t nextId() const { return nextId_; }
 
   private:
+    friend class CheckpointIO;
+
     std::uint64_t nextId_ = 1;
     std::unordered_map<std::uint64_t, MessageRecord> records_;
 };

@@ -105,6 +105,8 @@ class FaultCampaign : public Component
     std::size_t deadRouters() const { return deadRouters_.size(); }
 
   private:
+    friend class CheckpointIO;
+
     struct Flaky
     {
         LinkId link = kInvalidLink;

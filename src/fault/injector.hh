@@ -80,6 +80,8 @@ class FaultInjector : public Component
     std::uint64_t applied() const { return applied_; }
 
   private:
+    friend class CheckpointIO;
+
     void apply(const FaultEvent &event);
 
     Network *net_;

@@ -296,6 +296,8 @@ class Network
     const LaneArena &arena() const { return arena_; }
 
   private:
+    friend class CheckpointIO;
+
     Engine engine_;
     MessageTracker tracker_;
     MetricsRegistry metrics_;

@@ -144,6 +144,8 @@ class LogHistogram
     }
 
   private:
+    friend class CheckpointIO;
+
     std::uint64_t buckets_[kBuckets] = {};
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;

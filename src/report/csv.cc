@@ -107,6 +107,8 @@ sweepCsv(const SweepResult &sweep)
     header.insert(header.begin() + 1, {"replicate", "seed"});
     csv.row(header);
     for (const auto &p : sweep.points) {
+        if (p.skipped)
+            continue;
         auto row = experimentCsvRow(p.label, p.result);
         row.insert(row.begin() + 1,
                    {fmt(static_cast<std::uint64_t>(p.replicate)),

@@ -142,12 +142,18 @@ sweepJson(const SweepResult &sweep, bool include_timing,
     std::ostringstream out;
     out << "{\n  \"schema\": \"metro-sweep-v1\",\n"
         << "  \"points\": [\n";
-    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
-        emitPoint(out, sweep.points[i], include_timing,
-                  include_metrics);
-        out << (i + 1 < sweep.points.size() ? ",\n" : "\n");
+    // Points a stopped sweep never ran carry no data; leave them
+    // out rather than emitting all-zero rows.
+    bool first = true;
+    for (const auto &point : sweep.points) {
+        if (point.skipped)
+            continue;
+        if (!first)
+            out << ",\n";
+        first = false;
+        emitPoint(out, point, include_timing, include_metrics);
     }
-    out << "  ]";
+    out << (first ? "  ]" : "\n  ]");
     if (include_timing) {
         out << ",\n  \"threads\": " << sweep.threadsUsed
             << ",\n  \"wallSeconds\": " << num(sweep.wallSeconds);

@@ -190,6 +190,14 @@ class AimdBackoff final : public BackoffPolicy
 
     Cycle window() const { return window_; }
 
+    std::uint64_t checkpointState() const override { return window_; }
+
+    void
+    restoreCheckpointState(std::uint64_t state) override
+    {
+        window_ = state;
+    }
+
   private:
     RetryPolicyConfig config_;
     Cycle window_;

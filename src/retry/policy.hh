@@ -168,6 +168,18 @@ class BackoffPolicy
     }
 
     virtual BackoffPolicyKind kind() const = 0;
+
+    /**
+     * Opaque dynamic-state word for checkpointing. Stateless
+     * policies (uniform, exponential) have nothing to save and keep
+     * the defaults; AIMD saves its delay window. @{
+     */
+    virtual std::uint64_t checkpointState() const { return 0; }
+    virtual void restoreCheckpointState(std::uint64_t state)
+    {
+        (void)state;
+    }
+    /** @} */
 };
 
 /** Build the policy an endpoint's config selects. */
@@ -212,6 +224,8 @@ class RetryBudget
     double tokens() const { return tokens_; }
 
   private:
+    friend class CheckpointIO;
+
     double refill_ = 0.0;
     double cap_ = 0.0;
     double tokens_ = 0.0;
@@ -249,6 +263,8 @@ class InflightGate
     unsigned limit() const { return limit_; }
 
   private:
+    friend class CheckpointIO;
+
     unsigned limit_;
     unsigned active_ = 0;
 };

@@ -103,6 +103,8 @@ class CascadeGroup : public Component
     }
 
   private:
+    friend class CheckpointIO;
+
     std::vector<MetroRouter *> members_;
     std::uint64_t containments_ = 0;
 };

@@ -258,6 +258,8 @@ class MetroRouter : public Component
     void releaseBackward(PortIndex b);
 
   private:
+    friend class CheckpointIO;
+
     /** Pending allocation request gathered during the input scan. */
     struct PendingRequest
     {

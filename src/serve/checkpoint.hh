@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Checkpoint/restore of full simulation state.
+ *
+ * Design (gem5-style): a checkpoint does NOT carry the topology.
+ * The restoring process rebuilds the same instance from the same
+ * options/seed (guarded by a config digest) and the checkpoint then
+ * overwrites every piece of *dynamic* state — lane arena slots and
+ * flags, router SoA port state, endpoint protocol/retry state, PRNG
+ * streams, the message ledger, metric counters, scheduler
+ * sleep/wake state, fault-campaign and diagnosis state — in the
+ * fixed registration/creation order both processes share. Restore
+ * then re-derives everything cached or thread-count-dependent (the
+ * shard plan, per-shard awake counts, link wake counts, arena
+ * sleeping-lane tallies, router availability snapshots), which is
+ * what makes a restored run byte-identical to the uninterrupted one
+ * at *any* engine thread count, including one different from the
+ * saving process's.
+ *
+ * Format: little-endian binary, magic + version + config digest +
+ * cycle, then tagged sections. Every variable-length read is
+ * bounds-checked (see stateio.hh); a malformed file yields an error
+ * string, never UB — the deserializer is a libFuzzer target.
+ */
+
+#ifndef METRO_SERVE_CHECKPOINT_HH
+#define METRO_SERVE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metro
+{
+
+class Network;
+class ClosedLoopDriver;
+class OpenLoopDriver;
+class FaultInjector;
+class FaultCampaign;
+class DiagnosisEngine;
+
+/** Checkpoint file format version (bump on layout changes). */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** "MTR0" little-endian. */
+constexpr std::uint32_t kCheckpointMagic = 0x3052544du;
+
+/**
+ * Everything a checkpoint covers. `net` is required; the extras are
+ * optional but must match between save and restore (a checkpoint
+ * taken with a campaign cannot restore into an instance without
+ * one — presence is recorded per section). `harnessBlob` is an
+ * opaque byte string the caller (the serve runner) round-trips for
+ * its own state: window index, previous metrics snapshot,
+ * maintenance phase machines.
+ */
+struct CheckpointParticipants
+{
+    Network *net = nullptr;
+    std::vector<ClosedLoopDriver *> closedDrivers;
+    std::vector<OpenLoopDriver *> openDrivers;
+    FaultInjector *injector = nullptr;
+    FaultCampaign *campaign = nullptr;
+    DiagnosisEngine *diagnosis = nullptr;
+};
+
+/** FNV-1a over a canonical config string: save and restore must
+ *  agree on it or restore refuses. Callers building the string must
+ *  exclude engine-thread counts (restoring into a different thread
+ *  count is supported and byte-identical). */
+std::uint64_t checkpointDigest(const std::string &canonical);
+
+/** Serialize to bytes. Flushes scheduler stats first (syncStats),
+ *  so call only between cycles — in practice at a window boundary,
+ *  where the uninterrupted run takes the same snapshot. */
+std::vector<std::uint8_t>
+saveCheckpointBytes(std::uint64_t config_digest,
+                    const CheckpointParticipants &parts,
+                    const std::vector<std::uint8_t> &harness_blob = {});
+
+/**
+ * Restore from bytes into a freshly built, finalized instance (same
+ * topology/options/seed as the saver). Returns "" on success, else
+ * an error message; on error the instance state is unspecified and
+ * must be discarded. `harness_blob`, when non-null, receives the
+ * saved harness section.
+ */
+std::string
+restoreCheckpointBytes(const std::uint8_t *data, std::size_t size,
+                       std::uint64_t config_digest,
+                       const CheckpointParticipants &parts,
+                       std::vector<std::uint8_t> *harness_blob =
+                           nullptr);
+
+/** File wrappers. Return "" on success, else an error message. @{ */
+std::string
+writeCheckpointFile(const std::string &path,
+                    std::uint64_t config_digest,
+                    const CheckpointParticipants &parts,
+                    const std::vector<std::uint8_t> &harness_blob =
+                        {});
+
+std::string
+readCheckpointFile(const std::string &path,
+                   std::uint64_t config_digest,
+                   const CheckpointParticipants &parts,
+                   std::vector<std::uint8_t> *harness_blob = nullptr);
+/** @} */
+
+} // namespace metro
+
+#endif // METRO_SERVE_CHECKPOINT_HH

@@ -1,0 +1,539 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "endpoint/interface.hh"
+#include "network/network.hh"
+#include "router/tap.hh"
+#include "serve/stateio.hh"
+#include "sim/engine.hh"
+#include "sim/link.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (counter names are identifiers, but
+ *  stay robust anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+phaseName(std::uint8_t phase)
+{
+    switch (phase) {
+      case 0:
+        return "pending";
+      case 1:
+        return "draining";
+      case 2:
+        return "disabled";
+      case 3:
+        return "reenabling";
+      default:
+        return "done";
+    }
+}
+
+} // namespace
+
+bool
+parseMaintenanceOp(const std::string &text, MaintenanceOp &op)
+{
+    const auto at = text.find('@');
+    const auto plus = text.find('+', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || plus == std::string::npos ||
+        at == 0 || plus <= at + 1 || plus + 1 >= text.size())
+        return false;
+    char *end = nullptr;
+    const std::string r = text.substr(0, at);
+    const std::string s = text.substr(at + 1, plus - at - 1);
+    const std::string d = text.substr(plus + 1);
+    op.router =
+        static_cast<RouterId>(std::strtoull(r.c_str(), &end, 10));
+    if (end == nullptr || *end != '\0')
+        return false;
+    op.start = std::strtoull(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    op.duration = std::strtoull(d.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+std::string
+conservationViolation(const Network &net,
+                      const MetricsRegistry &snapshot)
+{
+    const auto injected = snapshot.get("words.injected");
+    const auto delivered = snapshot.get("words.delivered");
+    const auto block = snapshot.get("words.discarded.block");
+    const auto router = snapshot.get("words.discarded.router");
+    const auto endpoint = snapshot.get("words.discarded.endpoint");
+    const auto wire = snapshot.get("words.discarded.wire");
+    const auto inflight = net.inFlightDataWords();
+    if (injected !=
+        delivered + block + router + endpoint + wire + inflight) {
+        return "wire conservation violated: injected=" +
+               std::to_string(injected) +
+               " != delivered=" + std::to_string(delivered) +
+               " + block=" + std::to_string(block) +
+               " + router=" + std::to_string(router) +
+               " + endpoint=" + std::to_string(endpoint) +
+               " + wire=" + std::to_string(wire) +
+               " + inflight=" + std::to_string(inflight);
+    }
+    const auto submitted = snapshot.get("words.submitted");
+    const auto admitted = snapshot.get("words.admitted");
+    const auto shed = snapshot.get("words.shed.admission");
+    if (submitted != admitted + shed) {
+        return "admission conservation violated: submitted=" +
+               std::to_string(submitted) +
+               " != admitted=" + std::to_string(admitted) +
+               " + shed=" + std::to_string(shed);
+    }
+    return "";
+}
+
+ServiceRunner::ServiceRunner(const ServeConfig &config,
+                             CheckpointParticipants parts)
+    : config_(config), parts_(std::move(parts))
+{
+    METRO_ASSERT(parts_.net != nullptr, "serve needs a network");
+    METRO_ASSERT(config_.window > 0, "window must be positive");
+    ops_.resize(config_.maintenance.size());
+    prev_ = parts_.net->metricsSnapshot();
+}
+
+void
+ServiceRunner::setEmitter(std::function<void(const std::string &)> emit)
+{
+    emit_ = std::move(emit);
+}
+
+bool
+ServiceRunner::routerDrained(RouterId r) const
+{
+    Network &net = *parts_.net;
+    if (!net.router(r).quiescent())
+        return false;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        const Link &link = net.link(l);
+        const auto touches = [r](const LinkEnd &e) {
+            return (e.kind == AttachKind::RouterForward ||
+                    e.kind == AttachKind::RouterBackward) &&
+                   e.id == r;
+        };
+        if (!touches(link.endA()) && !touches(link.endB()))
+            continue;
+        if (link.downOccupied() != 0 || link.upOccupied() != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+ServiceRunner::beginDrain(const MaintenanceOp &op, OpState &st)
+{
+    Network &net = *parts_.net;
+    st.feeders.clear();
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        const LinkEnd &b = net.link(l).endB();
+        if (b.kind != AttachKind::RouterForward || b.id != op.router)
+            continue;
+        const LinkEnd &a = net.link(l).endA();
+        OpState::Feeder f;
+        if (a.kind == AttachKind::RouterBackward) {
+            f.fromRouter = true;
+            f.id = a.id;
+            f.port = a.port;
+            f.prevEnabled =
+                net.router(a.id).config().backwardEnabled[a.port];
+        } else if (a.kind == AttachKind::Endpoint) {
+            f.fromRouter = false;
+            f.id = a.id;
+            f.port = a.subPort; // injection-port group index
+            f.prevEnabled = net.endpoint(a.id).outPortEnabled(a.subPort);
+        } else {
+            continue;
+        }
+        // Cascade slices of one endpoint group can land on several
+        // routers; one disable covers them all.
+        const auto dup = std::find_if(
+            st.feeders.begin(), st.feeders.end(),
+            [&f](const OpState::Feeder &g) {
+                return g.fromRouter == f.fromRouter && g.id == f.id &&
+                       g.port == f.port;
+            });
+        if (dup != st.feeders.end())
+            continue;
+        st.feeders.push_back(f);
+        if (f.fromRouter)
+            Tap(&net.router(f.id))
+                .writeBackwardEnable(f.port, false);
+        else
+            net.endpoint(f.id).setOutPortEnabled(f.port, false);
+    }
+}
+
+void
+ServiceRunner::disableRouter(const MaintenanceOp &op, OpState &st)
+{
+    Network &net = *parts_.net;
+    MetroRouter &rt = net.router(op.router);
+    Tap tap(&rt);
+    const RouterConfig &cfg = rt.config();
+    st.savedForward.assign(cfg.forwardEnabled.size(), 0);
+    st.savedBackward.assign(cfg.backwardEnabled.size(), 0);
+    for (std::size_t p = 0; p < st.savedForward.size(); ++p)
+        st.savedForward[p] = cfg.forwardEnabled[p] ? 1 : 0;
+    for (std::size_t p = 0; p < st.savedBackward.size(); ++p)
+        st.savedBackward[p] = cfg.backwardEnabled[p] ? 1 : 0;
+    for (PortIndex p = 0;
+         p < static_cast<PortIndex>(st.savedForward.size()); ++p)
+        tap.writeForwardEnable(p, false);
+    for (PortIndex p = 0;
+         p < static_cast<PortIndex>(st.savedBackward.size()); ++p)
+        tap.writeBackwardEnable(p, false);
+}
+
+bool
+ServiceRunner::stepReenable(const MaintenanceOp &op, OpState &st)
+{
+    Network &net = *parts_.net;
+    const std::uint64_t nB = st.savedBackward.size();
+    const std::uint64_t nF = st.savedForward.size();
+    if (st.reenableCursor < nB + nF) {
+        Tap tap(&net.router(op.router));
+        if (st.reenableCursor < nB) {
+            // Reverse of disable order: last-disabled first.
+            const auto p = static_cast<PortIndex>(
+                nB - 1 - st.reenableCursor);
+            tap.writeBackwardEnable(p, st.savedBackward[p] != 0);
+        } else {
+            const auto p = static_cast<PortIndex>(
+                nF - 1 - (st.reenableCursor - nB));
+            tap.writeForwardEnable(p, st.savedForward[p] != 0);
+        }
+        ++st.reenableCursor;
+        return false;
+    }
+    // All router ports back; release the feeders in one go.
+    for (const OpState::Feeder &f : st.feeders) {
+        if (f.fromRouter)
+            Tap(&net.router(f.id))
+                .writeBackwardEnable(f.port, f.prevEnabled);
+        else
+            net.endpoint(f.id).setOutPortEnabled(f.port,
+                                                 f.prevEnabled);
+    }
+    return true;
+}
+
+void
+ServiceRunner::maintenanceTick(Cycle now)
+{
+    for (std::size_t k = 0; k < ops_.size(); ++k) {
+        const MaintenanceOp &op = config_.maintenance[k];
+        OpState &st = ops_[k];
+        switch (st.phase) {
+          case OpState::Phase::Pending:
+            if (now >= op.start) {
+                beginDrain(op, st);
+                st.phase = OpState::Phase::Draining;
+            }
+            break;
+          case OpState::Phase::Draining:
+            if (routerDrained(op.router)) {
+                disableRouter(op, st);
+                st.phase = OpState::Phase::Disabled;
+            }
+            break;
+          case OpState::Phase::Disabled:
+            if (now >= op.start + op.duration) {
+                st.reenableCursor = 0;
+                st.phase = OpState::Phase::Reenabling;
+                // First rolling step happens this boundary.
+                if (stepReenable(op, st))
+                    st.phase = OpState::Phase::Done;
+            }
+            break;
+          case OpState::Phase::Reenabling:
+            if (stepReenable(op, st))
+                st.phase = OpState::Phase::Done;
+            break;
+          case OpState::Phase::Done:
+            break;
+        }
+    }
+}
+
+std::string
+ServiceRunner::windowJson(Cycle now, const MetricsRegistry &delta,
+                          std::uint64_t inflight) const
+{
+    std::string out = "{\"window\":" + std::to_string(windowIndex_) +
+                      ",\"cycle\":" + std::to_string(now) +
+                      ",\"inflight\":" + std::to_string(inflight);
+    if (!ops_.empty()) {
+        out += ",\"maintenance\":[";
+        for (std::size_t k = 0; k < ops_.size(); ++k) {
+            if (k > 0)
+                out += ",";
+            out += "{\"router\":" +
+                   std::to_string(config_.maintenance[k].router) +
+                   ",\"phase\":\"" +
+                   phaseName(
+                       static_cast<std::uint8_t>(ops_[k].phase)) +
+                   "\"}";
+        }
+        out += "]";
+    }
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : delta.counters()) {
+        if (value == 0)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) +
+               "\":" + std::to_string(value);
+    }
+    out += "}}";
+    return out;
+}
+
+std::vector<std::uint8_t>
+ServiceRunner::harnessBlob() const
+{
+    StateWriter w;
+    w.u64(windowIndex_);
+    w.u8(checkpointDone_ ? 1 : 0);
+    w.u64(ops_.size());
+    for (const OpState &st : ops_) {
+        w.u8(static_cast<std::uint8_t>(st.phase));
+        w.u64(st.reenableCursor);
+        w.u64(st.feeders.size());
+        for (const OpState::Feeder &f : st.feeders) {
+            w.u8(f.fromRouter ? 1 : 0);
+            w.u32(f.id);
+            w.u32(f.port);
+            w.u8(f.prevEnabled ? 1 : 0);
+        }
+        w.u64(st.savedForward.size());
+        for (std::uint8_t v : st.savedForward)
+            w.u8(v);
+        w.u64(st.savedBackward.size());
+        for (std::uint8_t v : st.savedBackward)
+            w.u8(v);
+    }
+    return w.take();
+}
+
+std::string
+ServiceRunner::applyHarnessBlob(const std::vector<std::uint8_t> &blob)
+{
+    Network &net = *parts_.net;
+    StateReader r(blob.data(), blob.size());
+    const std::uint64_t windowIndex = r.u64();
+    const bool checkpointDone = r.u8() != 0;
+    const std::uint64_t nOps = r.count(10);
+    if (r.ok() && nOps != ops_.size())
+        r.fail("maintenance op count mismatch (same --maintain "
+               "flags required on restore)");
+    if (!r.ok())
+        return r.error();
+    std::vector<OpState> ops(nOps);
+    for (std::size_t k = 0; k < nOps; ++k) {
+        OpState &st = ops[k];
+        const std::uint8_t phase = r.u8();
+        st.reenableCursor = r.u64();
+        const std::uint64_t nFeeders = r.count(10);
+        if (!r.ok())
+            return r.error();
+        if (phase > static_cast<std::uint8_t>(OpState::Phase::Done))
+            return "invalid maintenance phase";
+        st.phase = static_cast<OpState::Phase>(phase);
+        st.feeders.resize(nFeeders);
+        for (OpState::Feeder &f : st.feeders) {
+            f.fromRouter = r.u8() != 0;
+            f.id = r.u32();
+            f.port = r.u32();
+            f.prevEnabled = r.u8() != 0;
+            if (!r.ok())
+                return r.error();
+            if (f.fromRouter) {
+                if (f.id >= net.numRouters() ||
+                    f.port >= net.router(f.id)
+                                  .config()
+                                  .backwardEnabled.size())
+                    return "maintenance feeder out of range";
+            } else {
+                if (f.id >= net.numEndpoints() ||
+                    f.port >= net.endpoint(f.id).numOutPorts())
+                    return "maintenance feeder out of range";
+            }
+        }
+        const std::uint64_t nFwd = r.count(1);
+        if (!r.ok())
+            return r.error();
+        st.savedForward.resize(nFwd);
+        for (auto &v : st.savedForward)
+            v = r.u8();
+        const std::uint64_t nBwd = r.count(1);
+        if (!r.ok())
+            return r.error();
+        st.savedBackward.resize(nBwd);
+        for (auto &v : st.savedBackward)
+            v = r.u8();
+        const MaintenanceOp &op = config_.maintenance[k];
+        if (op.router >= net.numRouters())
+            return "maintenance router out of range";
+        const RouterConfig &cfg = net.router(op.router).config();
+        const bool sizesOk =
+            (nFwd == 0 || nFwd == cfg.forwardEnabled.size()) &&
+            (nBwd == 0 || nBwd == cfg.backwardEnabled.size());
+        if (!sizesOk)
+            return "maintenance saved-enable size mismatch";
+        if (st.reenableCursor > nFwd + nBwd)
+            return "maintenance re-enable cursor out of range";
+    }
+    if (!r.ok())
+        return r.error();
+    windowIndex_ = windowIndex;
+    checkpointDone_ = checkpointDone;
+    ops_ = std::move(ops);
+    return "";
+}
+
+std::string
+ServiceRunner::restoreFromBytes(const std::uint8_t *data,
+                                std::size_t size)
+{
+    std::vector<std::uint8_t> blob;
+    const std::string err = restoreCheckpointBytes(
+        data, size, config_.configDigest, parts_, &blob);
+    if (!err.empty())
+        return err;
+    if (!blob.empty()) {
+        const std::string herr = applyHarnessBlob(blob);
+        if (!herr.empty())
+            return herr;
+    } else {
+        // Checkpoint taken outside serve mode: derive the window
+        // index from the clock (serve always starts at cycle 0).
+        windowIndex_ =
+            parts_.net->engine().now() / config_.window;
+    }
+    // The boundary snapshot is a pure function of restored state;
+    // recomputing it reproduces the saver's byte-for-byte.
+    prev_ = parts_.net->metricsSnapshot();
+    return "";
+}
+
+std::string
+ServiceRunner::restoreFromFile(const std::string &path)
+{
+    std::vector<std::uint8_t> blob;
+    const std::string err = readCheckpointFile(
+        path, config_.configDigest, parts_, &blob);
+    if (!err.empty())
+        return err;
+    if (!blob.empty()) {
+        const std::string herr = applyHarnessBlob(blob);
+        if (!herr.empty())
+            return herr;
+    } else {
+        windowIndex_ =
+            parts_.net->engine().now() / config_.window;
+    }
+    prev_ = parts_.net->metricsSnapshot();
+    return "";
+}
+
+std::string
+ServiceRunner::checkpointToFile(const std::string &path)
+{
+    return writeCheckpointFile(path, config_.configDigest, parts_,
+                               harnessBlob());
+}
+
+std::string
+ServiceRunner::run(const std::function<bool()> &stop_requested)
+{
+    Network &net = *parts_.net;
+    Engine &eng = net.engine();
+    for (;;) {
+        if (stop_requested && stop_requested())
+            return "";
+        if (config_.runCycles != 0 && eng.now() >= config_.runCycles)
+            return "";
+        Cycle target = eng.now() + config_.window;
+        if (config_.runCycles != 0)
+            target = std::min(target, config_.runCycles);
+        eng.run(target - eng.now());
+        const Cycle now = eng.now();
+
+        maintenanceTick(now);
+
+        const MetricsRegistry snap = net.metricsSnapshot();
+        const std::string violation =
+            conservationViolation(net, snap);
+        if (!violation.empty())
+            return "window " + std::to_string(windowIndex_) +
+                   " (cycle " + std::to_string(now) +
+                   "): " + violation;
+        if (emit_)
+            emit_(windowJson(now, snap.deltaSince(prev_),
+                             net.inFlightDataWords()));
+        prev_ = snap;
+        ++windowIndex_;
+
+        if (!checkpointDone_ && config_.checkpointAt != 0 &&
+            !config_.checkpointOut.empty() &&
+            now >= config_.checkpointAt) {
+            // Mark done *before* serializing so the restored run
+            // does not write the checkpoint again.
+            checkpointDone_ = true;
+            const std::string err =
+                checkpointToFile(config_.checkpointOut);
+            if (!err.empty())
+                return err;
+        }
+    }
+}
+
+} // namespace metro

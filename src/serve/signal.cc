@@ -1,0 +1,46 @@
+#include "serve/signal.hh"
+
+#include <csignal>
+
+namespace metro
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+stopHandler(int)
+{
+    g_stop = 1;
+}
+
+} // namespace
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, stopHandler);
+    std::signal(SIGTERM, stopHandler);
+}
+
+bool
+requestedStop()
+{
+    return g_stop != 0;
+}
+
+void
+requestStop()
+{
+    g_stop = 1;
+}
+
+void
+clearStopFlag()
+{
+    g_stop = 0;
+}
+
+} // namespace metro

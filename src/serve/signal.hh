@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Async-signal-safe stop flag for SIGINT/SIGTERM.
+ *
+ * The serve loop (and the sweep scheduler) poll requestedStop()
+ * between windows / sweep points; the CLI installs the handlers once
+ * at startup. Everything the handler touches is a single
+ * volatile sig_atomic_t, the only thing POSIX lets a handler write.
+ */
+
+#ifndef METRO_SERVE_SIGNAL_HH
+#define METRO_SERVE_SIGNAL_HH
+
+namespace metro
+{
+
+/** Install SIGINT/SIGTERM handlers that latch the stop flag.
+ *  Idempotent; safe to call more than once. */
+void installStopHandlers();
+
+/** True once SIGINT or SIGTERM has been received (or requestStop()
+ *  called). */
+bool requestedStop();
+
+/** Latch the stop flag programmatically (tests, embedders). */
+void requestStop();
+
+/** Clear the flag (tests only; real runs exit after stopping). */
+void clearStopFlag();
+
+} // namespace metro
+
+#endif // METRO_SERVE_SIGNAL_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Little-endian binary state serialization for checkpoints.
+ *
+ * StateWriter appends fixed-width little-endian fields to a growable
+ * byte buffer; StateReader walks one, refusing to read past the end.
+ * Every variable-length read is bounds-checked against the remaining
+ * bytes *before* any allocation, so a truncated or hostile
+ * checkpoint (the fuzz target feeds arbitrary bytes) can neither
+ * over-read nor provoke a huge allocation. After any failed read the
+ * reader is poisoned: all further reads return zero values and ok()
+ * stays false, so deserializers can run straight-line and check once
+ * at the end (or at section boundaries).
+ */
+
+#ifndef METRO_SERVE_STATEIO_HH
+#define METRO_SERVE_STATEIO_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace metro
+{
+
+/** Append-only little-endian field writer. */
+class StateWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** IEEE-754 bit pattern (doubles here come only from token
+     *  buckets; the bit pattern round-trips exactly). */
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Length-prefixed raw bytes. */
+    void
+    blob(const std::vector<std::uint8_t> &b)
+    {
+        u64(b.size());
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian field reader over borrowed bytes. */
+class StateReader
+{
+  public:
+    StateReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    const std::string &error() const { return error_; }
+
+    /** Poison the reader with a deserialization error. Only the
+     *  first error is retained (it names the root cause). */
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why;
+        }
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1, "u8"))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!need(2, "u16"))
+            return 0;
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4, "u32"))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8, "u64"))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    /**
+     * An element count whose payload needs at least
+     * `min_bytes_per_elem` bytes each: rejected before allocation
+     * when the remaining bytes cannot possibly hold it. The guard is
+     * what keeps fuzzed counts from turning into multi-gigabyte
+     * resize() calls.
+     */
+    std::uint64_t
+    count(std::size_t min_bytes_per_elem)
+    {
+        const std::uint64_t n = u64();
+        if (!ok_)
+            return 0;
+        const std::uint64_t per =
+            min_bytes_per_elem == 0 ? 1 : min_bytes_per_elem;
+        if (n > remaining() / per) {
+            fail("element count exceeds remaining bytes");
+            return 0;
+        }
+        return n;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = count(1);
+        if (!ok_)
+            return {};
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<std::uint8_t>
+    blob()
+    {
+        const std::uint64_t n = count(1);
+        if (!ok_)
+            return {};
+        std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+        pos_ += n;
+        return b;
+    }
+
+  private:
+    bool
+    need(std::size_t n, const char *what)
+    {
+        if (!ok_)
+            return false;
+        if (remaining() < n) {
+            fail(std::string("truncated checkpoint: short read of ") +
+                 what);
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace metro
+
+#endif // METRO_SERVE_STATEIO_HH

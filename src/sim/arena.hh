@@ -341,6 +341,8 @@ class LaneArena
     }
 
   private:
+    friend class CheckpointIO;
+
     /** Flag-byte layout: scheduling bits plus the 2-bit census. @{ */
     static constexpr std::uint8_t kLanePaused = 1u << 0;
     static constexpr std::uint8_t kLaneFrozen = 1u << 1;

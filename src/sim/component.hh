@@ -263,6 +263,7 @@ class Component
   private:
     friend class Engine;
     friend class Link;
+    friend class CheckpointIO;
 
     /** Fallback batch loop: virtual dispatch per component. */
     static void

@@ -504,6 +504,8 @@ class Engine : public Scheduler
     }
 
   private:
+    friend class CheckpointIO;
+
     /** A registration-order-contiguous run of components sharing
      *  one batch tick function (one concrete class, or a stretch
      *  of generic-dispatch components). */

@@ -403,6 +403,8 @@ class Link
     void setPlanDirtyFlag(bool *flag) { planDirty_ = flag; }
 
   private:
+    friend class CheckpointIO;
+
     /**
      * Activation on the push path: inline in serial execution,
      * recorded for the barrier when a worker registered a deferral

@@ -87,6 +87,14 @@ runSweep(const std::vector<SweepPoint> &points,
 {
     SweepResult sweep;
     sweep.points.resize(points.size());
+    // Pre-mark every slot skipped; a worker overwrites its slot
+    // with the real result, so whatever is still marked after the
+    // join is exactly the unclaimed tail of a stopped sweep.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        sweep.points[i].label = points[i].label;
+        sweep.points[i].replicate = points[i].replicate;
+        sweep.points[i].skipped = true;
+    }
 
     unsigned threads = options.threads;
     if (threads == 0) {
@@ -111,6 +119,13 @@ runSweep(const std::vector<SweepPoint> &points,
     std::atomic<std::size_t> cursor{0};
     auto worker = [&]() {
         for (;;) {
+            if (options.stopRequested && options.stopRequested()) {
+                // Park the cursor past the end so other workers
+                // stop claiming too, then bail.
+                cursor.store(points.size(),
+                             std::memory_order_relaxed);
+                return;
+            }
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())

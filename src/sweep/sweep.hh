@@ -115,6 +115,10 @@ struct SweepPointResult
 
     ExperimentResult result;
 
+    /** True when the sweep was stopped before this point ran (see
+     *  SweepOptions::stopRequested); `result` is default-valued. */
+    bool skipped = false;
+
     /** Wall-clock seconds this point took (timing metadata; kept
      *  out of deterministic report payloads). */
     double wallSeconds = 0.0;
@@ -132,6 +136,12 @@ struct SweepOptions
      *  blobs included — byte-identical at every value, so this is
      *  purely a throughput knob. */
     unsigned engineThreads = 1;
+
+    /** Polled before each worker claims its next point; returning
+     *  true stops the sweep gracefully (in-flight points finish,
+     *  unclaimed points come back with `skipped` set). The CLI
+     *  wires this to the SIGINT/SIGTERM flag. */
+    std::function<bool()> stopRequested;
 };
 
 /** An ordered sweep outcome plus whole-sweep timing metadata. */

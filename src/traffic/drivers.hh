@@ -122,6 +122,8 @@ class ClosedLoopDriver : public Component
     }
 
   private:
+    friend class CheckpointIO;
+
     /** Type-segregated dispatch (see Engine). */
     BatchTickFn
     batchTickFn() const override
@@ -185,6 +187,8 @@ class OpenLoopDriver : public Component
     }
 
   private:
+    friend class CheckpointIO;
+
     /** Type-segregated dispatch (see Engine). */
     BatchTickFn
     batchTickFn() const override

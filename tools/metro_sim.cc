@@ -6,11 +6,19 @@
  *   metro_sim --topology=fig3 --think=2000,200,20,0
  *   metro_sim --topology=fig1 --mode=open --inject=0.005,0.02 --csv
  *   metro_sim --topology=fig3 --router-faults=4 --fault-cycle=5000
+ *   metro_sim --topology=fig1 --serve --window=1024 \
+ *       --checkpoint-out=ckpt.metro --checkpoint-at=8192
+ *
+ * SIGINT/SIGTERM request a graceful stop: sweeps finish in-flight
+ * points and report what completed; serve mode stops at the next
+ * window boundary, flushing the metrics stream and (with
+ * --checkpoint-out) a final resumable checkpoint.
  */
 
 #include <cstdio>
 
 #include "app/options.hh"
+#include "serve/signal.hh"
 
 int
 main(int argc, char **argv)
@@ -26,6 +34,11 @@ main(int argc, char **argv)
         std::fputs(metro::usageText().c_str(), stdout);
         return 0;
     }
+    metro::installStopHandlers();
     std::fputs(metro::runFromOptions(*opts).c_str(), stdout);
+    if (metro::requestedStop()) {
+        std::fflush(stdout);
+        return 130;
+    }
     return 0;
 }
