@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Deterministic crash-injection torture harness for the supervised
+# serve path.
+#
+# One reference scenario (fig1, live fault campaign, a planned
+# maintenance drain, periodic durable checkpoints) is run once
+# uninterrupted, then repeatedly under `--supervise` with a fault
+# injected at a swept crash point:
+#
+#   - crash (abort()) at exact window/checkpoint boundaries,
+#     mid-window, and mid-maintenance-drain (--crash-at-cycle);
+#   - a stall (hung child, no heartbeat) caught by the watchdog
+#     (--stall-at-cycle);
+#   - a crash mid-checkpoint-write after K bytes, including K past
+#     the payload size = crash after the write but before the
+#     atomic rename (METRO_CRASH_AT_WRITE_BYTE).
+#
+# After each supervised run, the `{"supervisor":...}` marker lines
+# are stripped and the remaining stream — every window record plus
+# the final cumulative metrics blob (--metrics-json), which carries
+# the full conservation counters and connection ledger state — must
+# be BYTE-IDENTICAL to the uninterrupted reference. The sweep runs
+# at --engine-threads 1 and 4: recovery must be exact regardless of
+# parallelism on either side of the crash.
+#
+# Pass --quick to run one crash point per injection mode at one
+# thread count.
+#
+# Usage: ci/crash-torture.sh [build-dir] [--quick]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="build-ci"
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) BUILD="$arg" ;;
+    esac
+done
+SIM="$BUILD/tools/metro_sim"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$SIM" ]]; then
+    cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD" -j "$(nproc)" --target metro_sim
+fi
+
+cat > "$WORK/campaign.fault" <<'EOF'
+linkFailRate = 0.0008
+linkHealRate = 0.008
+corruptFraction = 0.25
+flakyLinks = 2
+flakyPeriod = 512
+start = 1000
+EOF
+
+# Window 1024, checkpoints every 4096, maintenance drain of router 2
+# from 4096 for 4096 cycles — so crash points can land inside the
+# drain/disabled/re-enable phases.
+FLAGS=(--topology=fig1 --serve --window=1024 --think=200
+       --fault-file="$WORK/campaign.fault"
+       --maintain=2@4096+4096 --metrics-json)
+TOTAL=24576
+EVERY=4096
+
+run_reference() { # threads -> reference stream on stdout
+    "$SIM" "${FLAGS[@]}" --serve-cycles="$TOTAL" \
+        --engine-threads="$1"
+}
+
+run_supervised() { # threads store-base injection-args...
+    local threads="$1" base="$2"
+    shift 2
+    "$SIM" "${FLAGS[@]}" --serve-cycles="$TOTAL" \
+        --engine-threads="$threads" \
+        --checkpoint-out="$base" --checkpoint-every="$EVERY" \
+        --supervise --restart-backoff-ms=10 "$@"
+}
+
+check() { # name reference-file actual-file
+    local name="$1" ref="$2" got="$3"
+    if ! grep -cq '^{"supervisor":"restart"' "$got"; then
+        echo "FAIL[$name]: supervisor recorded no restart"
+        exit 1
+    fi
+    grep -v '^{"supervisor"' "$got" > "$got.clean"
+    if ! diff -q "$ref" "$got.clean" > /dev/null; then
+        echo "FAIL[$name]: recovered stream diverges from reference"
+        diff "$ref" "$got.clean" | head -10
+        exit 1
+    fi
+    echo "    ok: $name"
+}
+
+if [[ "$QUICK" == "1" ]]; then
+    THREAD_SET=(1)
+    # One exact-boundary crash, one stall, one mid-checkpoint-write.
+    CRASH_CYCLES=(8192)
+    STALL_CYCLES=(9000)
+    WRITE_BYTES=(65536)
+else
+    THREAD_SET=(1 4)
+    # Boundaries (4096 = window+checkpoint, 6144 = window boundary
+    # inside the drain), mid-window points (5000 mid-drain, 9001,
+    # 17003), and a late boundary (23552).
+    CRASH_CYCLES=(4096 5000 6144 9001 12288 17003 23552)
+    STALL_CYCLES=(7000 20480)
+    # 100 = crash near the start of the temp-file write; 65536 =
+    # mid-write; 99999999 >= payload size = crash after the full
+    # write but before the rename.
+    WRITE_BYTES=(100 65536 99999999)
+fi
+
+for T in "${THREAD_SET[@]}"; do
+    echo "==> crash torture: reference run (threads=$T)"
+    run_reference "$T" > "$WORK/ref-t$T.jsonl"
+
+    for C in "${CRASH_CYCLES[@]}"; do
+        N="t$T-crash-$C"
+        run_supervised "$T" "$WORK/$N.ckpt" \
+            --crash-at-cycle="$C" > "$WORK/$N.jsonl" 2> /dev/null
+        check "$N" "$WORK/ref-t$T.jsonl" "$WORK/$N.jsonl"
+    done
+
+    for C in "${STALL_CYCLES[@]}"; do
+        N="t$T-stall-$C"
+        run_supervised "$T" "$WORK/$N.ckpt" \
+            --stall-at-cycle="$C" --stall-timeout-ms=1500 \
+            > "$WORK/$N.jsonl" 2> /dev/null
+        check "$N" "$WORK/ref-t$T.jsonl" "$WORK/$N.jsonl"
+    done
+
+    for K in "${WRITE_BYTES[@]}"; do
+        N="t$T-write-$K"
+        METRO_CRASH_AT_WRITE_BYTE="$K" \
+            run_supervised "$T" "$WORK/$N.ckpt" \
+            > "$WORK/$N.jsonl" 2> /dev/null
+        check "$N" "$WORK/ref-t$T.jsonl" "$WORK/$N.jsonl"
+    done
+done
+
+# The SLO aggregator must digest a supervised stream: restarts count
+# against availability, and the latency percentiles parse.
+if [[ -x "$BUILD/tools/slo_report" ]]; then
+    echo "==> crash torture: slo_report over a recovered stream"
+    LAST="$WORK/t${THREAD_SET[-1]}-write-${WRITE_BYTES[-1]}.jsonl"
+    "$BUILD/tools/slo_report" "$LAST" > "$WORK/slo.json"
+    grep -q '"restarts":1' "$WORK/slo.json" || {
+        echo "FAIL: slo_report did not count the restart"
+        cat "$WORK/slo.json"
+        exit 1
+    }
+    cat "$WORK/slo.json"
+fi
+
+echo "==> crash torture passed"

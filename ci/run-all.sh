@@ -9,15 +9,18 @@
 #   3. the serve soak smoke (ci/soak-smoke.sh — CLI-level
 #      checkpoint/restore byte identity under a fault campaign
 #      with concurrent planned maintenance),
-#   4. the ThreadSanitizer sweep job (ci/tsan-sweep.sh),
-#   5. the ThreadSanitizer engine job (ci/tsan-engine.sh — the
+#   4. the crash-injection torture sweep (ci/crash-torture.sh —
+#      supervised crash/stall/mid-checkpoint-write recovery must
+#      reproduce the uninterrupted stream byte-for-byte),
+#   5. the ThreadSanitizer sweep job (ci/tsan-sweep.sh),
+#   6. the ThreadSanitizer engine job (ci/tsan-engine.sh — the
 #      sharded parallel engine's byte-identity suite and saturated
 #      soak; shares the sanitizer build with the sweep job),
-#   6. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
+#   7. the AddressSanitizer fault soak (ci/asan-fault-soak.sh).
 #
-# Pass --quick to run only the tier-1 suite, the bench smoke, and
-# the serve soak (the sanitizer jobs rebuild the world and
-# dominate wall clock).
+# Pass --quick to run only the tier-1 suite, the bench smoke, the
+# serve soak, and a one-point-per-mode torture subset (the
+# sanitizer jobs rebuild the world and dominate wall clock).
 #
 # Usage: ci/run-all.sh [--quick]
 
@@ -39,6 +42,14 @@ ci/bench-smoke.sh build-ci
 
 echo "==> serve soak smoke (checkpoint/restore byte identity)"
 ci/soak-smoke.sh build-ci
+
+if [[ "$QUICK" == "1" ]]; then
+    echo "==> crash torture (quick subset)"
+    ci/crash-torture.sh build-ci --quick
+else
+    echo "==> crash torture (full sweep)"
+    ci/crash-torture.sh build-ci
+fi
 
 if [[ "$QUICK" == "0" ]]; then
     echo "==> tsan sweep"

@@ -16,6 +16,12 @@
  * header so fuzzing reaches past the header check into the tagged
  * sections.
  *
+ * Each input restores twice: once verbatim (exercising the
+ * integrity-footer gate, which rejects almost every mutation), and
+ * once with a freshly computed valid footer appended (so mutations
+ * keep reaching the header check and section decoders behind the
+ * gate).
+ *
  * Seed corpus: tests/corpus/checkpoint/ (replayed as plain ctest
  * cases by tests/test_checkpoint_fuzz.cc on non-clang toolchains).
  */
@@ -80,5 +86,14 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     std::vector<std::uint8_t> blob;
     metro::restoreCheckpointBytes(data, size, digest, target.parts,
                                   &blob);
+
+    // Pass 2: same bytes blessed with a valid footer, so the
+    // mutation lands on the section decoders instead of dying at
+    // the checksum.
+    std::vector<std::uint8_t> blessed(data, data + size);
+    metro::appendCheckpointFooter(blessed);
+    blob.clear();
+    metro::restoreCheckpointBytes(blessed.data(), blessed.size(),
+                                  digest, target.parts, &blob);
     return 0;
 }

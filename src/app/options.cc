@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "app/faultfile.hh"
 #include "common/logging.hh"
 #include "diag/engine.hh"
@@ -22,6 +24,7 @@
 #include "report/stats_dump.hh"
 #include "serve/service.hh"
 #include "serve/signal.hh"
+#include "serve/supervisor.hh"
 #include "sweep/sweep.hh"
 #include "traffic/drivers.hh"
 #include "traffic/experiment.hh"
@@ -158,6 +161,29 @@ usageText()
         "differ)\n"
         "  --maintain=R@S+D      drain router R at cycle S, keep it\n"
         "                        disabled D cycles (repeatable)\n"
+        "  --checkpoint-every=N  durable checkpoint every N cycles "
+        "into the\n"
+        "                        retention store rooted at "
+        "--checkpoint-out\n"
+        "  --checkpoint-keep=N   checkpoints retained in the store "
+        "(default 3)\n"
+        "  --restore-auto        resume from the newest valid "
+        "checkpoint in\n"
+        "                        the store (fresh start if empty)\n"
+        "  --supervise           run serve in a watched child; "
+        "restart it\n"
+        "                        from the store on crash or stall\n"
+        "  --restart-budget=N    restarts before giving up (default "
+        "8)\n"
+        "  --stall-timeout-ms=N  no-progress deadline before SIGKILL "
+        "(default\n"
+        "                        30000)\n"
+        "  --restart-backoff-ms=N  crash-loop backoff base (default "
+        "100)\n"
+        "  --crash-at-cycle=N    torture harness: abort() at engine "
+        "cycle N\n"
+        "  --stall-at-cycle=N    torture harness: hang at engine "
+        "cycle N\n"
         "  --help                this text\n";
 }
 
@@ -165,6 +191,12 @@ std::optional<Options>
 parseOptions(int argc, const char *const *argv, std::string &error)
 {
     Options opts;
+    // --supervise re-execs the binary with the same arguments, so
+    // keep the raw command line around verbatim.
+    if (argc > 0)
+        opts.exePath = argv[0];
+    for (int k = 1; k < argc; ++k)
+        opts.rawArgs.push_back(argv[k]);
     for (int k = 1; k < argc; ++k) {
         const std::string arg = argv[k];
         const auto eq = arg.find('=');
@@ -468,6 +500,59 @@ parseOptions(int argc, const char *const *argv, std::string &error)
             if (!want_value())
                 return std::nullopt;
             opts.restorePath = value;
+        } else if (key == "--restore-auto") {
+            opts.restoreAuto = true;
+        } else if (key == "--checkpoint-every") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --checkpoint-every";
+                return std::nullopt;
+            }
+            opts.checkpointEvery = v;
+        } else if (key == "--checkpoint-keep") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --checkpoint-keep";
+                return std::nullopt;
+            }
+            opts.checkpointKeep = static_cast<unsigned>(v);
+        } else if (key == "--supervise") {
+            opts.supervise = true;
+        } else if (key == "--restart-budget") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --restart-budget";
+                return std::nullopt;
+            }
+            opts.restartBudget = static_cast<unsigned>(v);
+        } else if (key == "--stall-timeout-ms") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --stall-timeout-ms";
+                return std::nullopt;
+            }
+            opts.stallTimeoutMs = v;
+        } else if (key == "--restart-backoff-ms") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --restart-backoff-ms";
+                return std::nullopt;
+            }
+            opts.restartBackoffMs = v;
+        } else if (key == "--crash-at-cycle") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --crash-at-cycle";
+                return std::nullopt;
+            }
+            opts.crashAtCycle = v;
+        } else if (key == "--stall-at-cycle") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --stall-at-cycle";
+                return std::nullopt;
+            }
+            opts.stallAtCycle = v;
         } else if (key == "--maintain") {
             MaintenanceOp op;
             if (!want_value() || !parseMaintenanceOp(value, op)) {
@@ -493,6 +578,37 @@ parseOptions(int argc, const char *const *argv, std::string &error)
             error = verr;
             return std::nullopt;
         }
+    }
+    if (opts.checkpointEvery != 0 && opts.checkpointOut.empty()) {
+        error = "--checkpoint-every requires --checkpoint-out "
+                "(the store's base path)";
+        return std::nullopt;
+    }
+    if (opts.restoreAuto && opts.checkpointEvery == 0) {
+        error = "--restore-auto requires --checkpoint-every "
+                "(the retention store)";
+        return std::nullopt;
+    }
+    if (opts.restoreAuto && !opts.restorePath.empty()) {
+        error = "--restore-auto and --restore are mutually "
+                "exclusive";
+        return std::nullopt;
+    }
+    if (opts.supervise) {
+        if (!opts.serve) {
+            error = "--supervise requires --serve";
+            return std::nullopt;
+        }
+        if (opts.checkpointEvery == 0) {
+            error = "--supervise requires --checkpoint-every (crash "
+                    "recovery needs a checkpoint store)";
+            return std::nullopt;
+        }
+    }
+    if ((opts.crashAtCycle != 0 || opts.stallAtCycle != 0) &&
+        !opts.serve) {
+        error = "--crash-at-cycle/--stall-at-cycle require --serve";
+        return std::nullopt;
     }
     return opts;
 }
@@ -833,6 +949,10 @@ runServe(const Options &opts)
     scfg.configDigest = checkpointDigest(canonicalConfigString(opts));
     scfg.checkpointOut = opts.checkpointOut;
     scfg.checkpointAt = opts.checkpointAt;
+    scfg.checkpointEvery = opts.checkpointEvery;
+    scfg.checkpointKeep = opts.checkpointKeep;
+    scfg.crashAtCycle = opts.crashAtCycle;
+    scfg.stallAtCycle = opts.stallAtCycle;
     for (const auto &text : opts.maintain) {
         MaintenanceOp op;
         if (!parseMaintenanceOp(text, op))
@@ -862,6 +982,30 @@ runServe(const Options &opts)
             runner.restoreFromFile(opts.restorePath);
         if (!err.empty())
             METRO_FATAL("--restore: %s", err.c_str());
+    } else if (opts.restoreAuto) {
+        bool restored = false;
+        const std::string err = runner.restoreFromStore(restored);
+        if (!err.empty())
+            METRO_FATAL("--restore-auto: %s", err.c_str());
+        // An empty (or fully-corrupt) store is a fresh start, not
+        // an error: the first supervised child has no history.
+    }
+
+    // Supervised children report window-boundary progress into the
+    // watchdog's heartbeat pipe.
+    if (const char *hb = std::getenv("METRO_HEARTBEAT_FD")) {
+        const int fd = std::atoi(hb);
+        if (fd > 0) {
+            runner.setHeartbeat([fd](Cycle now) {
+                char buf[32];
+                const int n = std::snprintf(
+                    buf, sizeof(buf), "%llu\n",
+                    static_cast<unsigned long long>(now));
+                if (::write(fd, buf, static_cast<size_t>(n)) < 0) {
+                    // Supervisor gone; nothing useful to do.
+                }
+            });
+        }
     }
 
     const std::string violation =
@@ -871,10 +1015,14 @@ runServe(const Options &opts)
 
     // Interrupted (SIGINT/SIGTERM): persist a final checkpoint so
     // the operator can resume. A clean --serve-cycles completion
-    // must NOT overwrite the one-shot mid-run checkpoint.
+    // must NOT overwrite the one-shot mid-run checkpoint. In store
+    // mode the final checkpoint goes into the retention store like
+    // every periodic one.
     if (requestedStop() && !opts.checkpointOut.empty()) {
         const std::string err =
-            runner.checkpointToFile(opts.checkpointOut);
+            opts.checkpointEvery != 0
+                ? runner.checkpointToStore()
+                : runner.checkpointToFile(opts.checkpointOut);
         if (!err.empty())
             METRO_FATAL("--checkpoint-out: %s", err.c_str());
     }
@@ -885,6 +1033,18 @@ runServe(const Options &opts)
 }
 
 } // namespace
+
+int
+runSupervisedFromOptions(const Options &opts)
+{
+    SupervisorConfig cfg;
+    cfg.exe = opts.exePath;
+    cfg.args = opts.rawArgs;
+    cfg.restartBudget = opts.restartBudget;
+    cfg.stallTimeoutMs = opts.stallTimeoutMs;
+    cfg.backoffBaseMs = opts.restartBackoffMs;
+    return runSupervisor(cfg);
+}
 
 std::string
 runFromOptions(const Options &opts)

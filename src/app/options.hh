@@ -139,6 +139,40 @@ struct Options
 
     /** Planned maintenance ops, raw "ROUTER@START+DURATION". */
     std::vector<std::string> maintain;
+
+    /** Periodic durable checkpoints into the retention store
+     *  rooted at checkpointOut: every N cycles, keeping the last
+     *  K (see serve/store.hh). 0 = one-shot mode only. @{ */
+    Cycle checkpointEvery = 0;
+    unsigned checkpointKeep = 3;
+    /** @} */
+
+    /** Resume from the newest valid checkpoint in the retention
+     *  store (supervisor restarts use this; fresh start when the
+     *  store is empty). */
+    bool restoreAuto = false;
+
+    /** Deterministic crash injection for the torture harness:
+     *  abort() / hang exactly when the engine clock reaches this
+     *  cycle (0 = off). @{ */
+    Cycle crashAtCycle = 0;
+    Cycle stallAtCycle = 0;
+    /** @} */
+    /** @} */
+
+    /** Watchdog supervision (see serve/supervisor.hh): run the
+     *  serve loop in a child, restart it from the newest valid
+     *  checkpoint on crash or stall. @{ */
+    bool supervise = false;
+    unsigned restartBudget = 8;
+    std::uint64_t stallTimeoutMs = 30000;
+    std::uint64_t restartBackoffMs = 100;
+    /** @} */
+
+    /** argv[0] and argv[1..], verbatim: --supervise re-execs the
+     *  binary with the supervisor-only flags stripped. @{ */
+    std::string exePath;
+    std::vector<std::string> rawArgs;
     /** @} */
 };
 
@@ -177,6 +211,14 @@ std::string usageText();
  * return the rendered report (table or CSV).
  */
 std::string runFromOptions(const Options &options);
+
+/**
+ * --supervise entry point: build a SupervisorConfig from the parsed
+ * options (exePath + rawArgs) and run the watchdog loop. Returns
+ * the process exit code. The caller dispatches here INSTEAD of
+ * runFromOptions.
+ */
+int runSupervisedFromOptions(const Options &options);
 
 } // namespace metro
 

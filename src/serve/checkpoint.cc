@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "diag/engine.hh"
 #include "endpoint/interface.hh"
@@ -1489,6 +1493,57 @@ checkpointDigest(const std::string &canonical)
     return h;
 }
 
+std::uint64_t
+checkpointChecksum(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t k = 0; k < size; ++k) {
+        h ^= data[k];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+appendCheckpointFooter(std::vector<std::uint8_t> &bytes)
+{
+    const std::uint64_t len = bytes.size();
+    const std::uint64_t sum =
+        checkpointChecksum(bytes.data(), bytes.size());
+    StateWriter w;
+    w.u64(len);
+    w.u64(sum);
+    w.u32(kCheckpointFooterMagic);
+    const auto &footer = w.buffer();
+    bytes.insert(bytes.end(), footer.begin(), footer.end());
+}
+
+std::string
+verifyCheckpointFooter(const std::uint8_t *data, std::size_t size,
+                       std::size_t *payload_size)
+{
+    if (size < kCheckpointFooterSize)
+        return "checkpoint shorter than its integrity footer";
+    const std::uint8_t *foot = data + size - kCheckpointFooterSize;
+    StateReader r(foot, kCheckpointFooterSize);
+    const std::uint64_t len = r.u64();
+    const std::uint64_t sum = r.u64();
+    const std::uint32_t magic = r.u32();
+    if (magic != kCheckpointFooterMagic)
+        return "checkpoint footer magic missing (truncated file, "
+               "or a pre-footer v1 checkpoint)";
+    if (len != size - kCheckpointFooterSize)
+        return "checkpoint footer length mismatch: footer says " +
+               std::to_string(len) + " payload bytes, file has " +
+               std::to_string(size - kCheckpointFooterSize);
+    if (sum != checkpointChecksum(data, len))
+        return "checkpoint footer checksum mismatch (corrupted "
+               "file)";
+    if (payload_size != nullptr)
+        *payload_size = len;
+    return "";
+}
+
 std::vector<std::uint8_t>
 saveCheckpointBytes(std::uint64_t config_digest,
                     const CheckpointParticipants &parts,
@@ -1496,7 +1551,9 @@ saveCheckpointBytes(std::uint64_t config_digest,
 {
     StateWriter w;
     CheckpointIO::save(w, config_digest, parts, harness_blob);
-    return w.take();
+    std::vector<std::uint8_t> bytes = w.take();
+    appendCheckpointFooter(bytes);
+    return bytes;
 }
 
 std::string
@@ -1505,9 +1562,54 @@ restoreCheckpointBytes(const std::uint8_t *data, std::size_t size,
                        const CheckpointParticipants &parts,
                        std::vector<std::uint8_t> *harness_blob)
 {
-    StateReader r(data, size);
+    // Whole-file integrity first: nothing below may run against a
+    // truncated or bit-flipped file.
+    std::size_t payload = 0;
+    const std::string ferr =
+        verifyCheckpointFooter(data, size, &payload);
+    if (!ferr.empty())
+        return ferr;
+    StateReader r(data, payload);
     return CheckpointIO::restore(r, config_digest, parts,
                                  harness_blob);
+}
+
+namespace
+{
+
+/** One-shot write-fault injection state (see
+ *  setCheckpointWriteFault / METRO_CRASH_AT_WRITE_BYTE). */
+long long g_writeFaultBytes = -1;
+bool g_writeFaultAborts = false;
+bool g_writeFaultEnvChecked = false;
+
+/** Arm the abort-mode fault from the environment, once. */
+void
+armWriteFaultFromEnv()
+{
+    if (g_writeFaultEnvChecked)
+        return;
+    g_writeFaultEnvChecked = true;
+    const char *env = std::getenv("METRO_CRASH_AT_WRITE_BYTE");
+    if (env == nullptr || *env == '\0')
+        return;
+    char *end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 0) {
+        g_writeFaultBytes = v;
+        g_writeFaultAborts = true;
+    }
+}
+
+} // namespace
+
+void
+setCheckpointWriteFault(long long max_bytes, bool abort_process)
+{
+    g_writeFaultBytes = max_bytes;
+    g_writeFaultAborts = abort_process;
+    // A programmatic setting overrides (and suppresses) the env.
+    g_writeFaultEnvChecked = true;
 }
 
 std::string
@@ -1518,15 +1620,99 @@ writeCheckpointFile(const std::string &path,
 {
     const std::vector<std::uint8_t> bytes =
         saveCheckpointBytes(config_digest, parts, harness_blob);
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    return writeCheckpointBytesDurably(path, bytes);
+}
+
+std::string
+writeCheckpointBytesDurably(const std::string &path,
+                            const std::vector<std::uint8_t> &bytes)
+{
+    armWriteFaultFromEnv();
+    const std::string tmp = path + ".tmp";
+
+    // Never expose a partial file at the final path: write the
+    // whole payload to <path>.tmp, fsync it, and only then rename
+    // over the target. rename(2) is atomic within a filesystem, so
+    // a crash at ANY point here leaves either the old checkpoint or
+    // the new one — plus at worst a stale .tmp the next write
+    // overwrites.
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
-        return "cannot open checkpoint file for writing: " + path;
+        return "cannot open checkpoint temp file for writing: " +
+               tmp;
+
+    std::size_t toWrite = bytes.size();
+    bool injectedFault = false;
+    if (g_writeFaultBytes >= 0 &&
+        static_cast<unsigned long long>(g_writeFaultBytes) <
+            bytes.size()) {
+        toWrite = static_cast<std::size_t>(g_writeFaultBytes);
+        injectedFault = true;
+    }
+
     const std::size_t written =
-        bytes.empty() ? 0
-                      : std::fwrite(bytes.data(), 1, bytes.size(), f);
+        toWrite == 0 ? 0 : std::fwrite(bytes.data(), 1, toWrite, f);
+
+    if (injectedFault) {
+        const bool aborts = g_writeFaultAborts;
+        g_writeFaultBytes = -1; // one-shot
+        if (aborts) {
+            // Crash injection: die mid-write, partial .tmp on disk,
+            // final path untouched. fflush first so the truncation
+            // is actually visible to the post-mortem.
+            std::fflush(f);
+            std::fprintf(stderr,
+                         "metro_sim: injected crash after %zu "
+                         "checkpoint bytes (%s)\n",
+                         toWrite, tmp.c_str());
+            std::fflush(stderr);
+            std::abort();
+        }
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return "short write to checkpoint temp file: " + tmp;
+    }
+
+    const bool writeOk = written == bytes.size();
+    const bool flushOk = std::fflush(f) == 0;
+    const bool syncOk = writeOk && flushOk &&
+                        ::fsync(::fileno(f)) == 0;
     const int rc = std::fclose(f);
-    if (written != bytes.size() || rc != 0)
-        return "short write to checkpoint file: " + path;
+    if (!writeOk || !flushOk || !syncOk || rc != 0) {
+        // Unlink the partial temp file rather than leaving a
+        // corrupt checkpoint behind (the final path was never
+        // touched).
+        std::remove(tmp.c_str());
+        return "short write to checkpoint temp file: " + tmp;
+    }
+
+    if (g_writeFaultBytes >= 0 && g_writeFaultAborts) {
+        // K >= payload size: the injected crash lands after the
+        // payload is durable but BEFORE the rename — the classic
+        // "checkpoint written but not installed" window.
+        g_writeFaultBytes = -1;
+        std::fprintf(stderr,
+                     "metro_sim: injected crash before checkpoint "
+                     "rename (%s)\n",
+                     tmp.c_str());
+        std::fflush(stderr);
+        std::abort();
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return "cannot rename checkpoint into place: " + path;
+    }
+
+    // Make the rename itself durable: fsync the directory entry.
+    std::string dir = path;
+    const auto slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
     return "";
 }
 

@@ -40,11 +40,19 @@ class FaultInjector;
 class FaultCampaign;
 class DiagnosisEngine;
 
-/** Checkpoint file format version (bump on layout changes). */
-constexpr std::uint32_t kCheckpointVersion = 1;
+/** Checkpoint file format version (bump on layout changes).
+ *  v2 added the whole-file integrity footer. */
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 /** "MTR0" little-endian. */
 constexpr std::uint32_t kCheckpointMagic = 0x3052544du;
+
+/** "MTRF" little-endian — last 4 bytes of every checkpoint. */
+constexpr std::uint32_t kCheckpointFooterMagic = 0x4652544du;
+
+/** Bytes the integrity footer occupies at the end of a checkpoint:
+ *  u64 payload length + u64 FNV-1a checksum + u32 footer magic. */
+constexpr std::size_t kCheckpointFooterSize = 20;
 
 /**
  * Everything a checkpoint covers. `net` is required; the extras are
@@ -71,6 +79,42 @@ struct CheckpointParticipants
  *  count is supported and byte-identical). */
 std::uint64_t checkpointDigest(const std::string &canonical);
 
+/** FNV-1a over raw bytes (the footer checksum). */
+std::uint64_t checkpointChecksum(const std::uint8_t *data,
+                                 std::size_t size);
+
+/** Append the whole-file integrity footer over everything already
+ *  in `bytes`. saveCheckpointBytes does this itself; exposed so the
+ *  fuzz harness and corpus tooling can build footer-valid inputs. */
+void appendCheckpointFooter(std::vector<std::uint8_t> &bytes);
+
+/**
+ * Verify the trailing integrity footer: footer magic present, the
+ * recorded payload length matches the file size, and the FNV-1a
+ * checksum over the payload matches. Runs before ANY section
+ * parsing, so a checkpoint truncated at any byte — or bit-flipped
+ * anywhere — is rejected without touching the target instance.
+ * Returns "" and fills `payload_size` (size minus footer) on
+ * success, else an error message.
+ */
+std::string verifyCheckpointFooter(const std::uint8_t *data,
+                                   std::size_t size,
+                                   std::size_t *payload_size);
+
+/**
+ * Test/fault-injection hook for the durable write path: when
+ * `max_bytes` is non-negative, the next writeCheckpointFile stops
+ * after writing that many payload bytes to the temporary file and
+ * either fails the write (abort_process == false: the partial temp
+ * file is unlinked and an error returned, the final path is never
+ * touched) or aborts the process mid-write (abort_process == true:
+ * what the METRO_CRASH_AT_WRITE_BYTE environment variable arms —
+ * the torture harness's crash-during-checkpoint injection). Pass -1
+ * to clear. The hook is one-shot: it clears itself when it fires.
+ */
+void setCheckpointWriteFault(long long max_bytes,
+                             bool abort_process);
+
 /** Serialize to bytes. Flushes scheduler stats first (syncStats),
  *  so call only between cycles — in practice at a window boundary,
  *  where the uninterrupted run takes the same snapshot. */
@@ -93,7 +137,17 @@ restoreCheckpointBytes(const std::uint8_t *data, std::size_t size,
                        std::vector<std::uint8_t> *harness_blob =
                            nullptr);
 
-/** File wrappers. Return "" on success, else an error message. @{ */
+/**
+ * File wrappers. Return "" on success, else an error message.
+ *
+ * writeCheckpointFile is crash-safe: it writes to `<path>.tmp`,
+ * fsyncs, and atomically renames onto `path` (then fsyncs the
+ * containing directory), so no reader ever observes a partial
+ * checkpoint at the final path — a crash mid-write leaves at worst
+ * a stale `.tmp` and the previous checkpoint intact. On any write
+ * failure the partial temporary file is unlinked.
+ * @{
+ */
 std::string
 writeCheckpointFile(const std::string &path,
                     std::uint64_t config_digest,
@@ -107,6 +161,13 @@ readCheckpointFile(const std::string &path,
                    const CheckpointParticipants &parts,
                    std::vector<std::uint8_t> *harness_blob = nullptr);
 /** @} */
+
+/** The tmp+fsync+rename write path writeCheckpointFile uses, for
+ *  already-serialized bytes (the retention store writes through
+ *  this too). Returns "" on success. */
+std::string
+writeCheckpointBytesDurably(const std::string &path,
+                            const std::vector<std::uint8_t> &bytes);
 
 } // namespace metro
 

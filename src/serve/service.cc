@@ -1,7 +1,10 @@
 #include "serve/service.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+
+#include <unistd.h>
 
 #include "endpoint/interface.hh"
 #include "network/network.hh"
@@ -135,12 +138,27 @@ ServiceRunner::ServiceRunner(const ServeConfig &config,
     METRO_ASSERT(config_.window > 0, "window must be positive");
     ops_.resize(config_.maintenance.size());
     prev_ = parts_.net->metricsSnapshot();
+    nextCheckpointAt_ = config_.checkpointEvery;
+    if (config_.checkpointEvery > 0 &&
+        !config_.checkpointOut.empty()) {
+        store_ = std::make_unique<CheckpointStore>(
+            config_.checkpointOut, config_.checkpointKeep);
+        // A malformed manifest is surfaced on first store use, not
+        // here (constructors cannot return errors).
+        storeLoadError_ = store_->load();
+    }
 }
 
 void
 ServiceRunner::setEmitter(std::function<void(const std::string &)> emit)
 {
     emit_ = std::move(emit);
+}
+
+void
+ServiceRunner::setHeartbeat(std::function<void(Cycle)> heartbeat)
+{
+    heartbeat_ = std::move(heartbeat);
 }
 
 bool
@@ -332,7 +350,35 @@ ServiceRunner::windowJson(Cycle now, const MetricsRegistry &delta,
         out += "\"" + jsonEscape(name) +
                "\":" + std::to_string(value);
     }
-    out += "}}";
+    out += "}";
+    // This window's histogram deltas (occupied buckets only) — the
+    // SLO aggregator computes per-window latency percentiles from
+    // these. Deterministic: std::map order, simulated values only.
+    bool firstHist = true;
+    for (const auto &[name, h] : delta.histograms()) {
+        if (h.count() == 0)
+            continue;
+        out += firstHist ? ",\"hist\":{" : ",";
+        firstHist = false;
+        out += "\"" + jsonEscape(name) +
+               "\":{\"n\":" + std::to_string(h.count()) +
+               ",\"sum\":" + std::to_string(h.sum()) + ",\"b\":[";
+        bool firstBucket = true;
+        for (unsigned k = 0; k < LogHistogram::kBuckets; ++k) {
+            if (h.bucket(k) == 0)
+                continue;
+            if (!firstBucket)
+                out += ",";
+            firstBucket = false;
+            out += "[" +
+                   std::to_string(LogHistogram::bucketFloor(k)) +
+                   "," + std::to_string(h.bucket(k)) + "]";
+        }
+        out += "]}";
+    }
+    if (!firstHist)
+        out += "}";
+    out += "}";
     return out;
 }
 
@@ -342,6 +388,7 @@ ServiceRunner::harnessBlob() const
     StateWriter w;
     w.u64(windowIndex_);
     w.u8(checkpointDone_ ? 1 : 0);
+    w.u64(nextCheckpointAt_);
     w.u64(ops_.size());
     for (const OpState &st : ops_) {
         w.u8(static_cast<std::uint8_t>(st.phase));
@@ -370,6 +417,7 @@ ServiceRunner::applyHarnessBlob(const std::vector<std::uint8_t> &blob)
     StateReader r(blob.data(), blob.size());
     const std::uint64_t windowIndex = r.u64();
     const bool checkpointDone = r.u8() != 0;
+    const Cycle nextCheckpointAt = r.u64();
     const std::uint64_t nOps = r.count(10);
     if (r.ok() && nOps != ops_.size())
         r.fail("maintenance op count mismatch (same --maintain "
@@ -435,6 +483,11 @@ ServiceRunner::applyHarnessBlob(const std::vector<std::uint8_t> &blob)
         return r.error();
     windowIndex_ = windowIndex;
     checkpointDone_ = checkpointDone;
+    // The saver advanced its schedule *before* serializing, so this
+    // is the next due cycle from the restore point onward (the
+    // saver's own checkpointEvery wins over ours only in the blob's
+    // absence — i.e. never; same flags are required on restore).
+    nextCheckpointAt_ = nextCheckpointAt;
     ops_ = std::move(ops);
     return "";
 }
@@ -492,6 +545,58 @@ ServiceRunner::checkpointToFile(const std::string &path)
 }
 
 std::string
+ServiceRunner::checkpointToStore()
+{
+    if (store_ == nullptr)
+        return "periodic checkpointing not configured "
+               "(--checkpoint-every with --checkpoint-out)";
+    if (!storeLoadError_.empty())
+        return storeLoadError_;
+    return store_->write(parts_.net->engine().now(),
+                         saveCheckpointBytes(config_.configDigest,
+                                             parts_,
+                                             harnessBlob()));
+}
+
+std::string
+ServiceRunner::restoreFromStore(bool &restored)
+{
+    restored = false;
+    if (store_ == nullptr)
+        return "periodic checkpointing not configured "
+               "(--checkpoint-every with --checkpoint-out)";
+    if (!storeLoadError_.empty())
+        return storeLoadError_;
+    for (const auto &entry : store_->entries()) {
+        std::vector<std::uint8_t> bytes;
+        std::string err = store_->read(entry, bytes);
+        if (err.empty())
+            err = verifyCheckpointFooter(bytes.data(), bytes.size(),
+                                         nullptr);
+        if (!err.empty()) {
+            // Fall back to the next-newest retained checkpoint: a
+            // torn or bit-flipped file must not take the service
+            // down when an older valid recovery point exists.
+            std::fprintf(stderr,
+                         "metro_sim: skipping checkpoint %s: %s\n",
+                         store_->pathOf(entry).c_str(),
+                         err.c_str());
+            continue;
+        }
+        // Footer-valid: restore for real. A failure past this
+        // point may have partially overwritten the instance, so it
+        // is a hard error, not a fallback.
+        err = restoreFromBytes(bytes.data(), bytes.size());
+        if (!err.empty())
+            return "restoring " + store_->pathOf(entry) + ": " +
+                   err;
+        restored = true;
+        return "";
+    }
+    return "";
+}
+
+std::string
 ServiceRunner::run(const std::function<bool()> &stop_requested)
 {
     Network &net = *parts_.net;
@@ -504,7 +609,44 @@ ServiceRunner::run(const std::function<bool()> &stop_requested)
         Cycle target = eng.now() + config_.window;
         if (config_.runCycles != 0)
             target = std::min(target, config_.runCycles);
-        eng.run(target - eng.now());
+
+        // Deterministic fault injection: cut the engine run at the
+        // injected cycle so the crash/stall lands exactly there —
+        // mid-window, at a boundary, or mid-maintenance-drain. A
+        // cycle the clock is already past (restored beyond it) is
+        // inert.
+        const Cycle before = eng.now();
+        Cycle cut = target;
+        if (config_.stallAtCycle > before &&
+            config_.stallAtCycle <= cut)
+            cut = config_.stallAtCycle;
+        if (config_.crashAtCycle > before &&
+            config_.crashAtCycle <= cut)
+            cut = config_.crashAtCycle;
+        eng.run(cut - before);
+        if (config_.crashAtCycle != 0 &&
+            eng.now() == config_.crashAtCycle) {
+            std::fprintf(stderr,
+                         "metro_sim: injected crash at cycle %llu\n",
+                         static_cast<unsigned long long>(
+                             eng.now()));
+            std::fflush(stderr);
+            std::abort();
+        }
+        if (config_.stallAtCycle != 0 &&
+            eng.now() == config_.stallAtCycle) {
+            // Hang without exiting or heartbeating: the stalled-
+            // child shape the supervisor's watchdog must catch and
+            // SIGKILL.
+            std::fprintf(stderr,
+                         "metro_sim: injected stall at cycle "
+                         "%llu\n",
+                         static_cast<unsigned long long>(
+                             eng.now()));
+            std::fflush(stderr);
+            for (;;)
+                ::pause();
+        }
         const Cycle now = eng.now();
 
         maintenanceTick(now);
@@ -521,6 +663,23 @@ ServiceRunner::run(const std::function<bool()> &stop_requested)
                              net.inFlightDataWords()));
         prev_ = snap;
         ++windowIndex_;
+
+        if (heartbeat_)
+            heartbeat_(now);
+
+        if (store_ != nullptr && config_.checkpointEvery != 0 &&
+            now >= nextCheckpointAt_) {
+            // Advance the schedule *before* serializing (same
+            // reasoning as checkpointDone_): the restored run must
+            // next checkpoint where the uninterrupted one would
+            // have, not re-write this one.
+            nextCheckpointAt_ =
+                (now / config_.checkpointEvery + 1) *
+                config_.checkpointEvery;
+            const std::string err = checkpointToStore();
+            if (!err.empty())
+                return err;
+        }
 
         if (!checkpointDone_ && config_.checkpointAt != 0 &&
             !config_.checkpointOut.empty() &&

@@ -34,12 +34,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
 #include "obs/registry.hh"
 #include "serve/checkpoint.hh"
+#include "serve/store.hh"
 
 namespace metro
 {
@@ -83,6 +85,33 @@ struct ServeConfig
     std::string checkpointOut;
     Cycle checkpointAt = 0;
 
+    /**
+     * Periodic checkpoints: when non-zero, write a checkpoint into
+     * the keep-last-N retention store under `checkpointOut` (files
+     * `<path>.<seq>` + `<path>.manifest`, see serve/store.hh) at
+     * the first window boundary at or after every multiple of this
+     * many cycles. This is what makes a supervised service
+     * restartable.
+     */
+    Cycle checkpointEvery = 0;
+
+    /** Retention depth of the periodic-checkpoint store. */
+    unsigned checkpointKeep = 3;
+
+    /**
+     * Deterministic crash injection (torture harness): abort() the
+     * process the moment the engine clock reaches this cycle — mid
+     * window, at a boundary, or mid-maintenance, wherever it lands.
+     * 0 = off.
+     */
+    Cycle crashAtCycle = 0;
+
+    /** Deterministic stall injection: stop making progress (and
+     *  stop heartbeating) at this cycle without exiting, so the
+     *  supervisor's stall watchdog has something to catch. 0 =
+     *  off. */
+    Cycle stallAtCycle = 0;
+
     std::vector<MaintenanceOp> maintenance;
 };
 
@@ -109,6 +138,11 @@ class ServiceRunner
      *  test vector). Unset = windows are not emitted. */
     void setEmitter(std::function<void(const std::string &)> emit);
 
+    /** Called with the engine clock at every window boundary, after
+     *  the window record is emitted — the liveness signal the
+     *  supervisor's stall watchdog consumes. */
+    void setHeartbeat(std::function<void(Cycle)> heartbeat);
+
     /** Restore simulation + runner state from a checkpoint file (or
      *  raw bytes). Returns "" on success. Must be called before
      *  run(), on a freshly built instance. @{ */
@@ -122,6 +156,25 @@ class ServiceRunner
      *  returns, or from the emitter callback. Returns "" on
      *  success. */
     std::string checkpointToFile(const std::string &path);
+
+    /** Write a checkpoint into the retention store now (requires
+     *  checkpointEvery > 0 and a checkpointOut base). Returns ""
+     *  on success. */
+    std::string checkpointToStore();
+
+    /**
+     * Restore from the newest checkpoint in the retention store
+     * whose integrity footer verifies, falling back entry by entry
+     * past truncated or corrupted ones (each skip is logged to
+     * stderr). An empty store is not an error: `restored` stays
+     * false and the run starts fresh — the supervisor's dedupe
+     * makes that correct, just slower. Returns "" on success.
+     */
+    std::string restoreFromStore(bool &restored);
+
+    /** The retention store, when periodic checkpoints are
+     *  configured (else nullptr). */
+    const CheckpointStore *store() const { return store_.get(); }
 
     /**
      * Run windows until the stop predicate returns true, the
@@ -188,9 +241,16 @@ class ServiceRunner
     ServeConfig config_;
     CheckpointParticipants parts_;
     std::function<void(const std::string &)> emit_;
+    std::function<void(Cycle)> heartbeat_;
     MetricsRegistry prev_;
     std::uint64_t windowIndex_ = 0;
     bool checkpointDone_ = false;
+    /** Next multiple-of-checkpointEvery cycle a periodic checkpoint
+     *  is due at (rides in the harness blob so a restored run keeps
+     *  the schedule). */
+    Cycle nextCheckpointAt_ = 0;
+    std::unique_ptr<CheckpointStore> store_;
+    std::string storeLoadError_;
     std::vector<OpState> ops_;
 };
 

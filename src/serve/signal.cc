@@ -2,6 +2,8 @@
 
 #include <csignal>
 
+#include <unistd.h>
+
 namespace metro
 {
 
@@ -9,11 +11,18 @@ namespace
 {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_signals = 0;
 
 extern "C" void
 stopHandler(int)
 {
     g_stop = 1;
+    // A second SIGINT/SIGTERM means "now": the graceful path
+    // latched the flag already, and if the drain (or anything
+    // else) is hung, the operator must still be able to kill the
+    // process from the keyboard. _exit is async-signal-safe.
+    if (++g_signals >= 2)
+        ::_exit(130);
 }
 
 } // namespace
@@ -21,8 +30,28 @@ stopHandler(int)
 void
 installStopHandlers()
 {
-    std::signal(SIGINT, stopHandler);
-    std::signal(SIGTERM, stopHandler);
+    // sigaction, not std::signal: defined semantics on every POSIX
+    // host (no SysV reset-to-default race losing the second
+    // signal), an explicit mask, and no SA_RESTART — a stop signal
+    // should interrupt blocking reads, not resume them.
+    struct sigaction sa = {};
+    sa.sa_handler = stopHandler;
+    sigemptyset(&sa.sa_mask);
+    // Block the sibling signal while handling one: the two share
+    // g_signals.
+    sigaddset(&sa.sa_mask, SIGINT);
+    sigaddset(&sa.sa_mask, SIGTERM);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    // Serve children write heartbeats and window records into
+    // supervisor pipes; a dead supervisor must surface as a write
+    // error, not a SIGPIPE kill.
+    struct sigaction ign = {};
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    sigaction(SIGPIPE, &ign, nullptr);
 }
 
 bool
@@ -41,6 +70,7 @@ void
 clearStopFlag()
 {
     g_stop = 0;
+    g_signals = 0;
 }
 
 } // namespace metro

@@ -4,8 +4,14 @@
  *
  * The serve loop (and the sweep scheduler) poll requestedStop()
  * between windows / sweep points; the CLI installs the handlers once
- * at startup. Everything the handler touches is a single
- * volatile sig_atomic_t, the only thing POSIX lets a handler write.
+ * at startup. Everything the handlers touch is volatile
+ * sig_atomic_t, the only thing POSIX lets a handler write.
+ *
+ * The first SIGINT/SIGTERM latches the flag for a graceful stop
+ * (finish the window, write the final checkpoint). A SECOND one
+ * _exit(130)s immediately — a hung drain must not make the process
+ * unkillable from the keyboard. SIGPIPE is ignored so supervised
+ * children see write errors, not kills, when the supervisor dies.
  */
 
 #ifndef METRO_SERVE_SIGNAL_HH
@@ -14,8 +20,8 @@
 namespace metro
 {
 
-/** Install SIGINT/SIGTERM handlers that latch the stop flag.
- *  Idempotent; safe to call more than once. */
+/** Install the handlers above via sigaction. Idempotent; safe to
+ *  call more than once. */
 void installStopHandlers();
 
 /** True once SIGINT or SIGTERM has been received (or requestStop()

@@ -1,0 +1,117 @@
+#include "serve/store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "serve/checkpoint.hh"
+
+namespace metro
+{
+
+CheckpointStore::CheckpointStore(std::string base, unsigned keep)
+    : base_(std::move(base)), keep_(keep == 0 ? 1 : keep)
+{
+    const auto slash = base_.find_last_of('/');
+    dir_ = slash == std::string::npos ? std::string(".")
+                                      : base_.substr(0, slash);
+}
+
+std::string
+CheckpointStore::pathOf(const CheckpointStoreEntry &entry) const
+{
+    return dir_ + "/" + entry.file;
+}
+
+std::string
+CheckpointStore::load()
+{
+    entries_.clear();
+    std::ifstream in(manifestPath());
+    if (!in)
+        return ""; // no manifest yet: an empty store
+    std::string line;
+    if (!std::getline(in, line) ||
+        line != "metro-checkpoint-manifest v1")
+        return "unrecognized checkpoint manifest header: " +
+               manifestPath();
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        CheckpointStoreEntry e;
+        if (!(fields >> e.seq >> e.cycle >> e.file))
+            return "malformed checkpoint manifest line: " + line;
+        entries_.push_back(std::move(e));
+    }
+    // Newest first, whatever order the file had.
+    std::sort(entries_.begin(), entries_.end(),
+              [](const CheckpointStoreEntry &a,
+                 const CheckpointStoreEntry &b) {
+                  return a.seq > b.seq;
+              });
+    return "";
+}
+
+std::string
+CheckpointStore::write(Cycle cycle,
+                       const std::vector<std::uint8_t> &bytes)
+{
+    const std::uint64_t seq =
+        entries_.empty() ? 0 : entries_.front().seq + 1;
+
+    CheckpointStoreEntry e;
+    e.seq = seq;
+    e.cycle = cycle;
+    {
+        const auto slash = base_.find_last_of('/');
+        const std::string stem = slash == std::string::npos
+                                     ? base_
+                                     : base_.substr(slash + 1);
+        e.file = stem + "." + std::to_string(seq);
+    }
+
+    // Checkpoint file first (atomic, fsynced), manifest second:
+    // a crash between the two leaves an orphan checkpoint file the
+    // manifest does not name — harmless — never a manifest naming
+    // a file that is not fully on disk.
+    const std::string werr =
+        writeCheckpointBytesDurably(pathOf(e), bytes);
+    if (!werr.empty())
+        return werr;
+
+    entries_.insert(entries_.begin(), e);
+
+    // Rotate: unlink everything beyond the retention depth.
+    while (entries_.size() > keep_) {
+        std::remove(pathOf(entries_.back()).c_str());
+        entries_.pop_back();
+    }
+
+    std::string manifest = "metro-checkpoint-manifest v1\n";
+    for (const auto &kept : entries_)
+        manifest += std::to_string(kept.seq) + " " +
+                    std::to_string(kept.cycle) + " " + kept.file +
+                    "\n";
+    std::vector<std::uint8_t> mbytes(manifest.begin(),
+                                     manifest.end());
+    return writeCheckpointBytesDurably(manifestPath(), mbytes);
+}
+
+std::string
+CheckpointStore::read(const CheckpointStoreEntry &entry,
+                      std::vector<std::uint8_t> &out) const
+{
+    std::ifstream in(pathOf(entry), std::ios::binary);
+    if (!in)
+        return "cannot open checkpoint file: " + pathOf(entry);
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    if (in.bad())
+        return "read error on checkpoint file: " + pathOf(entry);
+    return "";
+}
+
+} // namespace metro

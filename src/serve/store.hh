@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Keep-last-N checkpoint retention with a manifest.
+ *
+ * A CheckpointStore manages a rotating family of checkpoint files
+ * under one base path: checkpoints land at `<base>.<seq>` (seq
+ * monotonically increasing across process restarts), and a text
+ * manifest at `<base>.manifest` lists the retained entries newest
+ * first. Every file — checkpoints and the manifest itself — is
+ * written via the tmp+fsync+atomic-rename path, so a crash at any
+ * point leaves the store readable: either the manifest names the
+ * new checkpoint (which is fully on disk, having been renamed
+ * first) or it still names only the old ones.
+ *
+ * Restore walks the manifest newest-first and takes the first
+ * entry whose whole-file integrity footer verifies (see
+ * verifyCheckpointFooter): a truncated or bit-flipped newest
+ * checkpoint — e.g. from a crash that beat the fsync, or disk
+ * corruption — falls back to the previous valid one instead of
+ * killing the service.
+ *
+ * Manifest format (line-oriented, '#' comments ignored):
+ *
+ *     metro-checkpoint-manifest v1
+ *     <seq> <cycle> <filename>
+ *     ...
+ *
+ * Filenames are relative to the base path's directory.
+ */
+
+#ifndef METRO_SERVE_STORE_HH
+#define METRO_SERVE_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace metro
+{
+
+/** One retained checkpoint, as recorded in the manifest. */
+struct CheckpointStoreEntry
+{
+    std::uint64_t seq = 0;
+    Cycle cycle = 0;
+    std::string file; ///< path relative to the store directory
+};
+
+class CheckpointStore
+{
+  public:
+    /** `base` is the path stem (files are `<base>.<seq>`, manifest
+     *  `<base>.manifest`); `keep` is the retention depth (>= 1). */
+    CheckpointStore(std::string base, unsigned keep);
+
+    /** Read the manifest if one exists. A missing manifest is an
+     *  empty store, not an error. Returns "" on success. */
+    std::string load();
+
+    /** Durably write a new checkpoint, rotate out entries beyond
+     *  the retention depth, and rewrite the manifest. Returns "" on
+     *  success. */
+    std::string write(Cycle cycle,
+                      const std::vector<std::uint8_t> &bytes);
+
+    /** Retained entries, newest first. */
+    const std::vector<CheckpointStoreEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Slurp one retained checkpoint's bytes. Returns "" on
+     *  success. */
+    std::string read(const CheckpointStoreEntry &entry,
+                     std::vector<std::uint8_t> &out) const;
+
+    /** Absolute-ish path of an entry's checkpoint file. */
+    std::string pathOf(const CheckpointStoreEntry &entry) const;
+
+    std::string manifestPath() const { return base_ + ".manifest"; }
+
+  private:
+    std::string base_;
+    std::string dir_; ///< directory part of base_ ("." when bare)
+    unsigned keep_;
+    std::vector<CheckpointStoreEntry> entries_; ///< newest first
+};
+
+} // namespace metro
+
+#endif // METRO_SERVE_STORE_HH

@@ -1,0 +1,401 @@
+#include "serve/supervisor.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/signal.hh"
+
+namespace metro
+{
+
+namespace
+{
+
+std::uint64_t
+monotonicMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** True if arg is a supervisor-only flag the child must not see. */
+bool
+isSupervisorFlag(const std::string &a)
+{
+    return a == "--supervise" || a.rfind("--restart-budget", 0) == 0 ||
+           a.rfind("--stall-timeout-ms", 0) == 0 ||
+           a.rfind("--restart-backoff-ms", 0) == 0;
+}
+
+/** True if arg is a one-shot crash-injection flag, or a restore
+ *  request superseded by the supervisor's own --restore-auto;
+ *  stripped from RESTARTED children only. */
+bool
+isFirstRunOnlyFlag(const std::string &a)
+{
+    return a.rfind("--crash-at-cycle", 0) == 0 ||
+           a.rfind("--stall-at-cycle", 0) == 0 ||
+           a.rfind("--restore", 0) == 0;
+}
+
+std::vector<std::string>
+childArgs(const SupervisorConfig &config, bool restart)
+{
+    std::vector<std::string> out;
+    out.reserve(config.args.size() + 1);
+    for (const std::string &a : config.args) {
+        if (isSupervisorFlag(a))
+            continue;
+        if (restart && isFirstRunOnlyFlag(a))
+            continue;
+        out.push_back(a);
+    }
+    if (restart)
+        out.push_back("--restore-auto");
+    return out;
+}
+
+/** Parse the sequence number out of a window record, i.e. a line
+ *  beginning {"window":N. Returns false for every other line. */
+bool
+parseWindowSeq(const std::string &line, std::uint64_t *seq)
+{
+    static const char prefix[] = "{\"window\":";
+    const size_t plen = sizeof(prefix) - 1;
+    if (line.compare(0, plen, prefix) != 0)
+        return false;
+    size_t i = plen;
+    if (i >= line.size() || line[i] < '0' || line[i] > '9')
+        return false;
+    std::uint64_t v = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        ++i;
+    }
+    *seq = v;
+    return true;
+}
+
+/** Write all of buf to fd, retrying on EINTR / short writes. */
+void
+writeFull(int fd, const char *buf, size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::write(fd, buf, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // our own stdout is gone; nothing left to do
+        }
+        buf += static_cast<size_t>(n);
+        len -= static_cast<size_t>(n);
+    }
+}
+
+/** Shared stream state across child incarnations. */
+struct StreamState
+{
+    /** Next window sequence number not yet forwarded. */
+    std::uint64_t nextSeq = 0;
+
+    /** Set while recovering: crash detection time, cleared (and
+     *  sampled into the MTTR sum) by the first NEW window record
+     *  after the restart. */
+    std::uint64_t downSinceMs = 0;
+    std::uint64_t downtimeSumMs = 0;
+    unsigned downtimeSamples = 0;
+};
+
+/** Forward one complete child line, deduplicating re-emitted
+ *  windows after a restore. */
+void
+handleLine(const std::string &line, StreamState *st)
+{
+    std::uint64_t seq = 0;
+    if (parseWindowSeq(line, &seq)) {
+        if (seq < st->nextSeq)
+            return; // replay of an already-forwarded window
+        st->nextSeq = seq + 1;
+        if (st->downSinceMs != 0) {
+            st->downtimeSumMs += monotonicMs() - st->downSinceMs;
+            st->downtimeSamples += 1;
+            st->downSinceMs = 0;
+        }
+    }
+    std::string out = line;
+    out.push_back('\n');
+    writeFull(STDOUT_FILENO, out.data(), out.size());
+}
+
+struct ChildOutcome
+{
+    bool stalled = false;
+    int status = 0; // waitpid status
+};
+
+/**
+ * Pump the child's stdout and heartbeat pipes until both close
+ * (child exited) or the stall deadline passes (child SIGKILLed).
+ * Forwards SIGINT/SIGTERM received by the supervisor to the child
+ * so the graceful-stop path still drains through us.
+ */
+ChildOutcome
+pumpChild(pid_t pid, int outFd, int hbFd, const SupervisorConfig &config,
+          StreamState *st)
+{
+    ChildOutcome outcome;
+    std::string pending;
+    bool outOpen = true;
+    bool hbOpen = true;
+    bool stopForwarded = false;
+    std::uint64_t lastProgressMs = monotonicMs();
+
+    while (outOpen || hbOpen) {
+        if (requestedStop() && !stopForwarded) {
+            ::kill(pid, SIGTERM);
+            stopForwarded = true;
+            lastProgressMs = monotonicMs(); // grant a fresh drain window
+        }
+
+        struct pollfd fds[2];
+        nfds_t nfds = 0;
+        int outIdx = -1;
+        int hbIdx = -1;
+        if (outOpen) {
+            outIdx = static_cast<int>(nfds);
+            fds[nfds].fd = outFd;
+            fds[nfds].events = POLLIN;
+            ++nfds;
+        }
+        if (hbOpen) {
+            hbIdx = static_cast<int>(nfds);
+            fds[nfds].fd = hbFd;
+            fds[nfds].events = POLLIN;
+            ++nfds;
+        }
+
+        // Short poll slices keep the loop responsive to the stop
+        // flag even when the child is silent.
+        const int sliceMs = 100;
+        const int n = ::poll(fds, nfds, sliceMs);
+        if (n < 0 && errno != EINTR)
+            break;
+
+        char buf[4096];
+        if (n > 0 && outIdx >= 0 && (fds[outIdx].revents & (POLLIN | POLLHUP))) {
+            const ssize_t got = ::read(outFd, buf, sizeof(buf));
+            if (got <= 0) {
+                outOpen = false;
+            } else {
+                lastProgressMs = monotonicMs();
+                pending.append(buf, static_cast<size_t>(got));
+                size_t nl;
+                while ((nl = pending.find('\n')) != std::string::npos) {
+                    handleLine(pending.substr(0, nl), st);
+                    pending.erase(0, nl + 1);
+                }
+            }
+        }
+        if (n > 0 && hbIdx >= 0 && (fds[hbIdx].revents & (POLLIN | POLLHUP))) {
+            const ssize_t got = ::read(hbFd, buf, sizeof(buf));
+            if (got <= 0)
+                hbOpen = false;
+            else
+                lastProgressMs = monotonicMs();
+        }
+
+        if (!outcome.stalled &&
+            monotonicMs() - lastProgressMs >= config.stallTimeoutMs) {
+            // No window record and no heartbeat for the whole
+            // deadline: the child is wedged. SIGKILL and keep
+            // draining until the pipes close.
+            ::kill(pid, SIGKILL);
+            outcome.stalled = true;
+        }
+    }
+
+    // An unterminated trailing fragment is a record the child died
+    // inside; dropping it is what makes the stream replayable. A
+    // cleanly-exited child always ends its output with a newline,
+    // so flushing the remainder there is only a safety net.
+    while (::waitpid(pid, &outcome.status, 0) < 0 && errno == EINTR) {
+    }
+    const bool cleanExit = !outcome.stalled && WIFEXITED(outcome.status);
+    if (cleanExit && !pending.empty())
+        handleLine(pending, st);
+    return outcome;
+}
+
+/** Emit a {"supervisor":...} marker record on the merged stream. */
+void
+emitMarker(const char *json, size_t len)
+{
+    writeFull(STDOUT_FILENO, json, len);
+}
+
+/** Sleep for the crash-loop backoff, in slices so a stop request
+ *  still interrupts promptly. */
+void
+backoffSleep(std::uint64_t ms)
+{
+    while (ms > 0 && !requestedStop()) {
+        const std::uint64_t slice = ms < 50 ? ms : 50;
+        ::usleep(static_cast<useconds_t>(slice * 1000));
+        ms -= slice;
+    }
+}
+
+} // namespace
+
+int
+runSupervisor(const SupervisorConfig &config)
+{
+    installStopHandlers();
+
+    StreamState st;
+    unsigned restarts = 0;
+    char marker[256];
+
+    for (;;) {
+        const bool restart = restarts > 0;
+        int outPipe[2];
+        int hbPipe[2];
+        if (::pipe(outPipe) != 0 || ::pipe(hbPipe) != 0) {
+            std::fprintf(stderr, "metro_sim: supervisor: pipe: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "metro_sim: supervisor: fork: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+        if (pid == 0) {
+            // Child: stdout into the capture pipe, heartbeat fd
+            // advertised via the environment, supervisor-only (and,
+            // on restart, one-shot injection) flags stripped.
+            ::dup2(outPipe[1], STDOUT_FILENO);
+            ::close(outPipe[0]);
+            ::close(outPipe[1]);
+            ::close(hbPipe[0]);
+            char fdBuf[16];
+            std::snprintf(fdBuf, sizeof(fdBuf), "%d", hbPipe[1]);
+            ::setenv("METRO_HEARTBEAT_FD", fdBuf, 1);
+            if (restart)
+                ::unsetenv("METRO_CRASH_AT_WRITE_BYTE");
+
+            const std::vector<std::string> args = childArgs(config, restart);
+            std::vector<char *> argv;
+            argv.reserve(args.size() + 2);
+            argv.push_back(const_cast<char *>(config.exe.c_str()));
+            for (const std::string &a : args)
+                argv.push_back(const_cast<char *>(a.c_str()));
+            argv.push_back(nullptr);
+            ::execvp(config.exe.c_str(), argv.data());
+            std::fprintf(stderr, "metro_sim: supervisor: exec %s: %s\n",
+                         config.exe.c_str(), std::strerror(errno));
+            ::_exit(127);
+        }
+
+        // Parent.
+        ::close(outPipe[1]);
+        ::close(hbPipe[1]);
+        const ChildOutcome out =
+            pumpChild(pid, outPipe[0], hbPipe[0], config, &st);
+        ::close(outPipe[0]);
+        ::close(hbPipe[0]);
+
+        const bool exited = !out.stalled && WIFEXITED(out.status);
+        const int exitCode = exited ? WEXITSTATUS(out.status) : -1;
+        if (exited && (exitCode == 0 || exitCode == 130)) {
+            // Clean completion (or graceful operator stop).
+            const int n = std::snprintf(
+                marker, sizeof(marker),
+                "{\"supervisor\":\"summary\",\"restarts\":%u,"
+                "\"recoveries\":%u,\"mttr_ms\":%" PRIu64 "}\n",
+                restarts, st.downtimeSamples,
+                st.downtimeSamples != 0
+                    ? st.downtimeSumMs / st.downtimeSamples
+                    : 0);
+            emitMarker(marker, static_cast<size_t>(n));
+            return exitCode;
+        }
+
+        const char *reason = out.stalled ? "stall"
+                             : exited    ? "exit"
+                                         : "signal";
+        const int detail = out.stalled ? 0
+                           : exited    ? exitCode
+                                       : WTERMSIG(out.status);
+        st.downSinceMs = monotonicMs();
+
+        if (requestedStop()) {
+            // The operator is stopping the service; a child that
+            // died on the way out is not worth restarting.
+            const int n = std::snprintf(
+                marker, sizeof(marker),
+                "{\"supervisor\":\"summary\",\"restarts\":%u,"
+                "\"recoveries\":%u,\"mttr_ms\":%" PRIu64 "}\n",
+                restarts, st.downtimeSamples,
+                st.downtimeSamples != 0
+                    ? st.downtimeSumMs / st.downtimeSamples
+                    : 0);
+            emitMarker(marker, static_cast<size_t>(n));
+            return 130;
+        }
+        if (exited && exitCode == 127) {
+            // exec itself failed; restarting cannot help.
+            std::fprintf(stderr,
+                         "metro_sim: supervisor: child exec failed; "
+                         "not restarting\n");
+            return 1;
+        }
+        if (restarts >= config.restartBudget) {
+            const int n = std::snprintf(
+                marker, sizeof(marker),
+                "{\"supervisor\":\"giveup\",\"restarts\":%u,"
+                "\"reason\":\"%s\",\"detail\":%d}\n",
+                restarts, reason, detail);
+            emitMarker(marker, static_cast<size_t>(n));
+            std::fprintf(stderr,
+                         "metro_sim: supervisor: restart budget (%u) "
+                         "exhausted\n",
+                         config.restartBudget);
+            return 1;
+        }
+
+        restarts += 1;
+        const unsigned shift = restarts - 1 < 20 ? restarts - 1 : 20;
+        std::uint64_t backoff = config.backoffBaseMs << shift;
+        if (backoff > config.backoffCapMs || backoff < config.backoffBaseMs)
+            backoff = config.backoffCapMs;
+        const int n = std::snprintf(
+            marker, sizeof(marker),
+            "{\"supervisor\":\"restart\",\"n\":%u,\"reason\":\"%s\","
+            "\"detail\":%d,\"backoff_ms\":%" PRIu64
+            ",\"next_window\":%" PRIu64 "}\n",
+            restarts, reason, detail, backoff, st.nextSeq);
+        emitMarker(marker, static_cast<size_t>(n));
+        backoffSleep(backoff);
+        if (requestedStop())
+            return 130;
+    }
+}
+
+} // namespace metro

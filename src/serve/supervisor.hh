@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Watchdog supervisor for the serve loop.
+ *
+ * `metro_sim --supervise` runs the serve loop in a CHILD process
+ * (fork/exec of the same binary with the supervisor-only flags
+ * stripped) and watches it through two pipes:
+ *
+ *  - the child's stdout, carrying the window JSONL stream, which
+ *    the supervisor forwards to its own stdout;
+ *  - a heartbeat pipe (fd passed via METRO_HEARTBEAT_FD), into
+ *    which the child writes the engine clock at every window
+ *    boundary.
+ *
+ * Two failure shapes are detected and recovered:
+ *
+ *  - crash-exit: the child dies (non-zero exit or a signal, e.g.
+ *    the torture harness's injected abort());
+ *  - stall: neither pipe shows progress within the stall deadline
+ *    (e.g. a hung drain); the child is SIGKILLed.
+ *
+ * Recovery re-execs the child with `--restore-auto`, so it resumes
+ * from the newest checkpoint in the retention store whose
+ * integrity footer verifies (crash-injection flags and the
+ * METRO_CRASH_AT_WRITE_BYTE environment variable are stripped from
+ * restarted children: injected faults are one-shot). Restarts are
+ * paced by exponential backoff and bounded by a restart budget —
+ * a genuine crash loop must not spin forever.
+ *
+ * Exactly-once window stream: the restored child re-emits every
+ * window since its checkpoint, so the supervisor forwards a window
+ * record only when its "window" sequence number is the next one
+ * not yet forwarded, and drops an unterminated partial line when a
+ * child dies mid-write. The supervised stream is therefore
+ * byte-identical to an uninterrupted run's — modulo the
+ * `{"supervisor":...}` marker records it interleaves (one per
+ * restart, one final summary), which carry restart counts and
+ * MTTR and are trivially filterable.
+ */
+
+#ifndef METRO_SERVE_SUPERVISOR_HH
+#define METRO_SERVE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metro
+{
+
+/** Settings for runSupervisor (CLI: --supervise and friends). */
+struct SupervisorConfig
+{
+    /** Binary to fork/exec (the CLI passes its own argv[0]). */
+    std::string exe;
+
+    /** Raw child arguments (the supervisor's argv[1..]; the
+     *  supervisor-only and, on restarts, crash-injection flags are
+     *  filtered out here). */
+    std::vector<std::string> args;
+
+    /** Restarts allowed before giving up. */
+    unsigned restartBudget = 8;
+
+    /** No window record AND no heartbeat for this long = stalled
+     *  child, SIGKILL + restart. */
+    std::uint64_t stallTimeoutMs = 30000;
+
+    /** Crash-loop backoff: restart n waits
+     *  min(cap, base * 2^(n-1)) milliseconds. @{ */
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffCapMs = 10000;
+    /** @} */
+};
+
+/**
+ * Supervise serve children until one completes cleanly (exit 0, or
+ * 130 after a graceful SIGINT/SIGTERM stop), the restart budget is
+ * exhausted, or the operator stops the supervisor itself. Returns
+ * the process exit code: the clean child's code, or 1 on budget
+ * exhaustion / exec failure.
+ */
+int runSupervisor(const SupervisorConfig &config);
+
+} // namespace metro
+
+#endif // METRO_SERVE_SUPERVISOR_HH

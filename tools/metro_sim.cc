@@ -34,6 +34,8 @@ main(int argc, char **argv)
         std::fputs(metro::usageText().c_str(), stdout);
         return 0;
     }
+    if (opts->supervise)
+        return metro::runSupervisedFromOptions(*opts);
     metro::installStopHandlers();
     std::fputs(metro::runFromOptions(*opts).c_str(), stdout);
     if (metro::requestedStop()) {

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * slo_report — availability and latency SLOs from a serve-mode
+ * window stream.
+ *
+ * Reads the JSONL emitted by `metro_sim --serve` (directly, or the
+ * merged stream a supervisor produced — `{"supervisor":...}` marker
+ * records are understood, not skipped) and prints one JSON object:
+ *
+ *  - availability: the fraction of delivering windows. A window is
+ *    UNAVAILABLE when its delivered-words delta is zero while
+ *    demand existed (words were injected that window, or
+ *    connections were in flight at the boundary). Every supervisor
+ *    restart additionally counts one penalty window against
+ *    availability — the deduped stream hides the re-simulated
+ *    windows, but the outage was real.
+ *  - connection-setup latency percentiles (p50/p99/p999), from the
+ *    summed per-window `conn.setup_latency` histogram deltas, in
+ *    cycles at log2-bucket-floor resolution, plus the worst single
+ *    window's p99 — tail latency SLOs are per-window promises, not
+ *    whole-run averages.
+ *  - restart count and mean time to recovery, from the supervisor
+ *    markers.
+ *
+ * Usage: slo_report [FILE]   (no FILE = stdin)
+ */
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Find `"key":` in a JSON line and parse the unsigned that
+ *  follows. Good enough for the machine-generated window records;
+ *  not a general JSON parser. */
+bool
+findU64(const std::string &line, const char *key, std::uint64_t *out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const auto at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    size_t i = at + needle.size();
+    if (i >= line.size() || line[i] < '0' || line[i] > '9')
+        return false;
+    std::uint64_t v = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+        v = v * 10 + static_cast<std::uint64_t>(line[i++] - '0');
+    *out = v;
+    return true;
+}
+
+/** One log2 histogram as (bucket floor, count) pairs. */
+using Buckets = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+/** Parse `"name":{"n":..,"sum":..,"b":[[floor,count],...]}` out of
+ *  the line's "hist" object. */
+bool
+findHistBuckets(const std::string &line, const char *name,
+                Buckets *out)
+{
+    const std::string needle = std::string("\"") + name + "\":{";
+    const auto at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const auto b = line.find("\"b\":[", at);
+    if (b == std::string::npos)
+        return false;
+    size_t i = b + 5;
+    while (i < line.size() && line[i] == '[') {
+        ++i;
+        std::uint64_t floor = 0, count = 0;
+        while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+            floor = floor * 10 + (line[i++] - '0');
+        if (i >= line.size() || line[i] != ',')
+            return false;
+        ++i;
+        while (i < line.size() && line[i] >= '0' && line[i] <= '9')
+            count = count * 10 + (line[i++] - '0');
+        if (i >= line.size() || line[i] != ']')
+            return false;
+        ++i;
+        out->emplace_back(floor, count);
+        if (i < line.size() && line[i] == ',')
+            ++i;
+    }
+    return true;
+}
+
+/** Smallest bucket floor at which the cumulative count reaches
+ *  q per-mille of the total (the registry's percentile rule). */
+std::uint64_t
+percentile(const Buckets &sorted, std::uint64_t total,
+           unsigned permille)
+{
+    if (total == 0)
+        return 0;
+    // ceil(total * permille / 1000)
+    const std::uint64_t need =
+        (total * permille + 999) / 1000;
+    std::uint64_t cum = 0;
+    for (const auto &bucket : sorted) {
+        cum += bucket.second;
+        if (cum >= need)
+            return bucket.first;
+    }
+    return sorted.empty() ? 0 : sorted.back().first;
+}
+
+/** Merge bucket deltas into an accumulator keyed by floor (floors
+ *  arrive sorted, so a merge walk suffices). */
+void
+mergeBuckets(Buckets *acc, const Buckets &add)
+{
+    Buckets out;
+    size_t i = 0, j = 0;
+    while (i < acc->size() || j < add.size()) {
+        if (j >= add.size() ||
+            (i < acc->size() && (*acc)[i].first < add[j].first))
+            out.push_back((*acc)[i++]);
+        else if (i >= acc->size() ||
+                 add[j].first < (*acc)[i].first)
+            out.push_back(add[j++]);
+        else {
+            out.emplace_back((*acc)[i].first,
+                             (*acc)[i].second + add[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    *acc = std::move(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::FILE *in = stdin;
+    if (argc > 2 ||
+        (argc == 2 && std::strcmp(argv[1], "--help") == 0)) {
+        std::fprintf(stderr, "usage: slo_report [FILE]\n");
+        return 2;
+    }
+    if (argc == 2) {
+        in = std::fopen(argv[1], "r");
+        if (in == nullptr) {
+            std::fprintf(stderr, "slo_report: cannot open %s\n",
+                         argv[1]);
+            return 1;
+        }
+    }
+
+    std::uint64_t windows = 0;
+    std::uint64_t unavailable = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t mttrMs = 0;
+    bool sawSummary = false;
+    Buckets latency;
+    std::uint64_t latencyTotal = 0;
+    std::uint64_t worstWindowP99 = 0;
+
+    std::string line;
+    char buf[1 << 16];
+    while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+        line.assign(buf);
+        // Long lines: keep reading until the newline.
+        while (!line.empty() && line.back() != '\n' &&
+               std::fgets(buf, sizeof(buf), in) != nullptr)
+            line.append(buf);
+
+        if (line.rfind("{\"supervisor\":\"restart\"", 0) == 0) {
+            restarts += 1;
+            continue;
+        }
+        if (line.rfind("{\"supervisor\":\"summary\"", 0) == 0) {
+            findU64(line, "mttr_ms", &mttrMs);
+            std::uint64_t r = 0;
+            if (findU64(line, "restarts", &r) && r > restarts)
+                restarts = r;
+            sawSummary = true;
+            continue;
+        }
+        if (line.rfind("{\"window\":", 0) != 0)
+            continue;
+
+        windows += 1;
+        std::uint64_t delivered = 0, injected = 0, inflight = 0;
+        findU64(line, "words.delivered", &delivered);
+        findU64(line, "words.injected", &injected);
+        findU64(line, "inflight", &inflight);
+        if (delivered == 0 && (injected > 0 || inflight > 0))
+            unavailable += 1;
+
+        Buckets wb;
+        if (findHistBuckets(line, "conn.setup_latency", &wb)) {
+            std::uint64_t wn = 0;
+            for (const auto &bucket : wb)
+                wn += bucket.second;
+            const std::uint64_t p99 = percentile(wb, wn, 990);
+            if (p99 > worstWindowP99)
+                worstWindowP99 = p99;
+            mergeBuckets(&latency, wb);
+            latencyTotal += wn;
+        }
+    }
+    if (in != stdin)
+        std::fclose(in);
+
+    (void)sawSummary;
+    // Each restart is one penalty window: real wall-clock outage
+    // the deduped stream cannot show.
+    const std::uint64_t denom = windows + restarts;
+    const std::uint64_t avail =
+        windows >= unavailable ? windows - unavailable : 0;
+    const double availability =
+        denom == 0 ? 1.0
+                   : static_cast<double>(avail) /
+                         static_cast<double>(denom);
+
+    std::printf(
+        "{\"windows\":%" PRIu64 ",\"unavailable_windows\":%" PRIu64
+        ",\"restart_penalty_windows\":%" PRIu64
+        ",\"availability\":%.6f,\"restarts\":%" PRIu64
+        ",\"mttr_ms\":%" PRIu64
+        ",\"setup_latency\":{\"count\":%" PRIu64
+        ",\"p50\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
+        ",\"worst_window_p99\":%" PRIu64 "}}\n",
+        windows, unavailable, restarts, availability, restarts,
+        mttrMs, latencyTotal, percentile(latency, latencyTotal, 500),
+        percentile(latency, latencyTotal, 990),
+        percentile(latency, latencyTotal, 999), worstWindowP99);
+    return 0;
+}
