@@ -10,7 +10,11 @@
 #      worker pool, which both soaks the parallel sweep runner past
 #      saturation and enforces the stability criterion (>= 80% of
 #      peak goodput at 2x the saturating injection rate with
-#      exponential backoff + retry budget).
+#      exponential backoff + retry budget);
+#   3. drives one bursty-MMPP overload point with heavy-tailed
+#      (bounded-Pareto) message sizes and RPC fan-out through the
+#      CLI — the service-level workload path under TSan at 4x the
+#      saturating rate.
 #
 # Usage: ci/overload-soak.sh [build-dir]   (default: build-tsan)
 
@@ -23,7 +27,15 @@ cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMETRO_TSAN=ON
 cmake --build "$BUILD" -j "$(nproc)" \
-    --target metro_tests congestion_collapse
+    --target metro_tests congestion_collapse metro_sim
 ctest --test-dir "$BUILD" --output-on-failure \
-    -R 'Backoff|Retry|Admission|InflightGate'
+    -R 'Backoff|Retry|Admission|InflightGate|Workload'
 "$BUILD"/bench/congestion_collapse --threads="$(nproc)"
+"$BUILD"/tools/metro_sim --topology=fig1 --mode=open \
+    --inject=0.16 --process=mmpp --burst-ratio=8 \
+    --size-dist=pareto --size-min=4 --size-max=64 \
+    --fanout=2 --class-mix=0.7,0.2,0.1 \
+    --retry-policy=exponential --retry-budget=1 \
+    --age-clamp=2000 --age-starve=6000 \
+    --warmup=500 --measure=8000 \
+    --engine-threads="$(nproc)" --csv

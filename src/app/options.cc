@@ -82,12 +82,45 @@ usageText()
         "\n"
         "usage: metro_sim [options]\n"
         "  --topology=fig3|fig1|table32jr|fattree   (default fig3)\n"
-        "  --mode=closed|open                       (default closed)\n"
+        "  --mode=closed|open|session               (default closed)\n"
         "  --pattern=uniform|hotspot|transpose|bitreversal|"
         "permutation\n"
         "  --think=N[,N...]      closed-loop think-time sweep\n"
         "  --inject=P[,P...]     open-loop injection-probability "
         "sweep\n"
+        "  --process=bernoulli|onoff|mmpp\n"
+        "                        open-loop injection process "
+        "(default bernoulli)\n"
+        "  --burst-on=N          mean ON/high-state dwell, cycles "
+        "(default 64)\n"
+        "  --burst-off=N         mean OFF/low-state dwell, cycles "
+        "(default 192)\n"
+        "  --burst-ratio=F       MMPP high:low rate ratio (default "
+        "8)\n"
+        "  --size-dist=fixed|pareto  message-size distribution "
+        "(default fixed)\n"
+        "  --size-min=N          bounded-Pareto min words (default "
+        "4)\n"
+        "  --size-max=N          bounded-Pareto max words (default "
+        "64)\n"
+        "  --size-alpha=F        Pareto shape (default 1.5)\n"
+        "  --fanout=K            RPC fan-out: K request-reply legs "
+        "per request,\n"
+        "                        complete when all reply (default "
+        "1)\n"
+        "  --class-mix=F[,F...]  traffic-class fractions, sum 1 "
+        "(max 4 classes)\n"
+        "  --session-rate=R[,R...]  session-mode arrival-rate "
+        "sweep\n"
+        "  --session-requests=N  requests per session (default 8)\n"
+        "  --session-gap=N       mean intra-session gap, cycles "
+        "(default 32)\n"
+        "  --session-max-active=N  live-session cap per endpoint "
+        "(default 4096)\n"
+        "  --diurnal-period=N    diurnal load period, cycles (0 = "
+        "flat)\n"
+        "  --diurnal-amplitude=F diurnal modulation depth in [0,1] "
+        "(default 0.5)\n"
         "  --message-words=N     words per message incl. checksum "
         "(default 20)\n"
         "  --warmup=N            warmup cycles (default 2000)\n"
@@ -279,6 +312,8 @@ parseOptions(int argc, const char *const *argv, std::string &error)
                 opts.mode = LoadMode::Closed;
             else if (value == "open")
                 opts.mode = LoadMode::Open;
+            else if (value == "session")
+                opts.mode = LoadMode::Session;
             else {
                 error = "unknown mode: " + value;
                 return std::nullopt;
@@ -325,6 +360,128 @@ parseOptions(int argc, const char *const *argv, std::string &error)
                 }
                 opts.injectProbs.push_back(v);
             }
+        } else if (key == "--process") {
+            if (!want_value() ||
+                !parseInjectionKind(value, opts.process.kind)) {
+                error = "bad --process: expected bernoulli, onoff, "
+                        "or mmpp";
+                return std::nullopt;
+            }
+        } else if (key == "--burst-on") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 1.0) {
+                error = "bad --burst-on";
+                return std::nullopt;
+            }
+            opts.process.burstOn = v;
+        } else if (key == "--burst-off") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 1.0) {
+                error = "bad --burst-off";
+                return std::nullopt;
+            }
+            opts.process.burstOff = v;
+        } else if (key == "--burst-ratio") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 1.0) {
+                error = "bad --burst-ratio";
+                return std::nullopt;
+            }
+            opts.process.burstRatio = v;
+        } else if (key == "--size-dist") {
+            if (!want_value() ||
+                !parseSizeDist(value, opts.size.dist)) {
+                error = "bad --size-dist: expected fixed or pareto";
+                return std::nullopt;
+            }
+        } else if (key == "--size-min") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --size-min";
+                return std::nullopt;
+            }
+            opts.size.minWords = static_cast<unsigned>(v);
+        } else if (key == "--size-max") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --size-max";
+                return std::nullopt;
+            }
+            opts.size.maxWords = static_cast<unsigned>(v);
+        } else if (key == "--size-alpha") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v <= 0.0) {
+                error = "bad --size-alpha";
+                return std::nullopt;
+            }
+            opts.size.alpha = v;
+        } else if (key == "--fanout") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --fanout";
+                return std::nullopt;
+            }
+            opts.fanout = static_cast<unsigned>(v);
+        } else if (key == "--class-mix") {
+            if (!want_value())
+                return std::nullopt;
+            opts.classMix.clear();
+            for (const auto &part : splitCommas(value)) {
+                double v;
+                if (!parseDouble(part, v)) {
+                    error = "bad --class-mix value: " + part;
+                    return std::nullopt;
+                }
+                opts.classMix.push_back(v);
+            }
+        } else if (key == "--session-rate") {
+            if (!want_value())
+                return std::nullopt;
+            opts.sessionRates.clear();
+            for (const auto &part : splitCommas(value)) {
+                double v;
+                if (!parseDouble(part, v) || v < 0.0 || v > 1.0) {
+                    error = "bad --session-rate value: " + part;
+                    return std::nullopt;
+                }
+                opts.sessionRates.push_back(v);
+            }
+        } else if (key == "--session-requests") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --session-requests";
+                return std::nullopt;
+            }
+            opts.session.requests = static_cast<unsigned>(v);
+        } else if (key == "--session-gap") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --session-gap";
+                return std::nullopt;
+            }
+            opts.session.gap = static_cast<unsigned>(v);
+        } else if (key == "--session-max-active") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v) || v == 0) {
+                error = "bad --session-max-active";
+                return std::nullopt;
+            }
+            opts.session.maxActive = static_cast<unsigned>(v);
+        } else if (key == "--diurnal-period") {
+            std::uint64_t v;
+            if (!want_value() || !parseUnsigned(value, v)) {
+                error = "bad --diurnal-period";
+                return std::nullopt;
+            }
+            opts.session.diurnalPeriod = v;
+        } else if (key == "--diurnal-amplitude") {
+            double v;
+            if (!want_value() || !parseDouble(value, v) || v < 0.0 ||
+                v > 1.0) {
+                error = "bad --diurnal-amplitude";
+                return std::nullopt;
+            }
+            opts.session.diurnalAmplitude = v;
         } else if (key == "--message-words") {
             std::uint64_t v;
             if (!want_value() || !parseUnsigned(value, v) || v == 0) {
@@ -579,6 +736,53 @@ parseOptions(int argc, const char *const *argv, std::string &error)
             return std::nullopt;
         }
     }
+    {
+        // Workload-knob cross-checks (the same validator the sweep
+        // file uses): catch hotNode outside the preset topology,
+        // bogus class mixes, impossible fan-outs. A spec file's
+        // endpoint count is unknown until build time; 0 skips the
+        // size-dependent checks.
+        unsigned n = 0;
+        if (opts.specFile.empty()) {
+            switch (opts.topology) {
+              case Topology::Fig3: n = 64; break;
+              case Topology::Fig1: n = 16; break;
+              case Topology::Table32Jr: n = 32; break;
+              case Topology::FatTree: n = 16; break;
+            }
+        }
+        ExperimentConfig cfg;
+        cfg.messageWords = opts.messageWords;
+        cfg.pattern = opts.pattern;
+        cfg.hotNode = opts.hotNode;
+        cfg.hotFraction = opts.hotFraction;
+        cfg.process = opts.process;
+        cfg.size = opts.size;
+        cfg.fanout = opts.fanout;
+        cfg.classMix = opts.classMix;
+        cfg.session = opts.session;
+        for (double p : opts.injectProbs) {
+            cfg.injectProb = p;
+            const std::string werr = validateExperimentConfig(cfg, n);
+            if (!werr.empty()) {
+                error = werr;
+                return std::nullopt;
+            }
+        }
+        for (double r : opts.sessionRates) {
+            cfg.session.rate = r;
+            const std::string werr = validateExperimentConfig(cfg, n);
+            if (!werr.empty()) {
+                error = werr;
+                return std::nullopt;
+            }
+        }
+    }
+    if (opts.serve && opts.mode == LoadMode::Session) {
+        error = "--serve does not support --mode=session yet "
+                "(session drivers are not checkpointable)";
+        return std::nullopt;
+    }
     if (opts.checkpointEvery != 0 && opts.checkpointOut.empty()) {
         error = "--checkpoint-every requires --checkpoint-out "
                 "(the store's base path)";
@@ -713,8 +917,29 @@ canonicalConfigString(const Options &opts)
       << "hotFraction=" << opts.hotFraction << '\n';
     if (opts.mode == LoadMode::Closed)
         s << "think=" << opts.thinkTimes[0] << '\n';
-    else
+    else if (opts.mode == LoadMode::Open)
         s << "inject=" << opts.injectProbs[0] << '\n';
+    else
+        s << "sessionRate=" << opts.sessionRates[0] << '\n';
+    s << "process=" << static_cast<int>(opts.process.kind) << '\n'
+      << "burstOn=" << opts.process.burstOn << '\n'
+      << "burstOff=" << opts.process.burstOff << '\n'
+      << "burstRatio=" << opts.process.burstRatio << '\n'
+      << "sizeDist=" << static_cast<int>(opts.size.dist) << '\n'
+      << "sizeMin=" << opts.size.minWords << '\n'
+      << "sizeMax=" << opts.size.maxWords << '\n'
+      << "sizeAlpha=" << opts.size.alpha << '\n'
+      << "fanout=" << opts.fanout << '\n';
+    s << "classMix=";
+    for (std::size_t k = 0; k < opts.classMix.size(); ++k)
+        s << (k ? "," : "") << opts.classMix[k];
+    s << '\n'
+      << "sessionRequests=" << opts.session.requests << '\n'
+      << "sessionGap=" << opts.session.gap << '\n'
+      << "sessionMaxActive=" << opts.session.maxActive << '\n'
+      << "diurnalPeriod=" << opts.session.diurnalPeriod << '\n'
+      << "diurnalAmplitude=" << opts.session.diurnalAmplitude
+      << '\n';
 
     const auto opt = [&s](const char *name, const auto &field) {
         s << name << '=';
@@ -832,7 +1057,9 @@ pointsFromOptions(const Options &opts)
     std::vector<SweepPoint> points;
     const std::size_t n = opts.mode == LoadMode::Closed
                               ? opts.thinkTimes.size()
-                              : opts.injectProbs.size();
+                          : opts.mode == LoadMode::Open
+                              ? opts.injectProbs.size()
+                              : opts.sessionRates.size();
     for (std::size_t k = 0; k < n; ++k) {
         SweepPoint point;
         point.config.messageWords = opts.messageWords;
@@ -842,17 +1069,28 @@ pointsFromOptions(const Options &opts)
         point.config.hotNode = opts.hotNode;
         point.config.hotFraction = opts.hotFraction;
         point.config.seed = opts.seed;
+        point.config.process = opts.process;
+        point.config.size = opts.size;
+        point.config.fanout = opts.fanout;
+        point.config.classMix = opts.classMix;
+        point.config.session = opts.session;
+        char buf[32];
         if (opts.mode == LoadMode::Closed) {
             point.mode = SweepMode::Closed;
             point.config.thinkTime = opts.thinkTimes[k];
             point.label =
                 "think=" + std::to_string(opts.thinkTimes[k]);
-        } else {
+        } else if (opts.mode == LoadMode::Open) {
             point.mode = SweepMode::Open;
             point.config.injectProb = opts.injectProbs[k];
-            char buf[32];
             std::snprintf(buf, sizeof(buf), "inject=%g",
                           opts.injectProbs[k]);
+            point.label = buf;
+        } else {
+            point.mode = SweepMode::Session;
+            point.config.session.rate = opts.sessionRates[k];
+            std::snprintf(buf, sizeof(buf), "session=%g",
+                          opts.sessionRates[k]);
             point.label = buf;
         }
         point.build = [opts, faults](std::uint64_t derived_seed) {
@@ -883,8 +1121,10 @@ writeConnectionTrace(const std::vector<SweepPoint> &points,
     attachTracer(*instance.network, tracer);
     if (last.mode == SweepMode::Closed)
         runClosedLoop(*instance.network, cfg);
-    else
+    else if (last.mode == SweepMode::Open)
         runOpenLoop(*instance.network, cfg);
+    else
+        runSessionLoop(*instance.network, cfg);
     instance.network->engine().removeComponent(&tracer);
     std::ofstream out(path, std::ios::binary);
     if (!out)
@@ -920,6 +1160,10 @@ runServe(const Options &opts)
                                opts.hotNode, opts.hotFraction);
     DriverConfig dcfg;
     dcfg.messageWords = opts.messageWords;
+    dcfg.process = opts.process;
+    dcfg.size = opts.size;
+    dcfg.fanout = opts.fanout;
+    dcfg.classMix = opts.classMix;
     // stopAt stays kNever: serve runs until stopped, not drained.
 
     // Same per-endpoint seed derivation as the experiment runner so

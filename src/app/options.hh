@@ -15,6 +15,7 @@
 
 #include "retry/policy.hh"
 #include "traffic/patterns.hh"
+#include "traffic/process.hh"
 
 namespace metro
 {
@@ -31,8 +32,9 @@ enum class Topology : std::uint8_t
 /** Traffic loop discipline. */
 enum class LoadMode : std::uint8_t
 {
-    Closed, ///< stall-on-completion + think time
-    Open,   ///< Bernoulli injection
+    Closed,  ///< stall-on-completion + think time
+    Open,    ///< injection-process driven (Bernoulli/onoff/MMPP)
+    Session, ///< open-loop session arrivals (traffic/session.hh)
 };
 
 /** Parsed command line. */
@@ -47,6 +49,25 @@ struct Options
 
     /** Open-loop injection probabilities to sweep. */
     std::vector<double> injectProbs = {0.01};
+
+    /** Session-mode arrival rates to sweep. */
+    std::vector<double> sessionRates = {0.002};
+
+    /** Open-loop injection-process shape (--process,
+     *  --burst-on/off/ratio). */
+    InjectionProcessConfig process;
+
+    /** Message-size distribution (--size-dist/min/max/alpha). */
+    MessageSizeConfig size;
+
+    /** RPC fan-out width (--fanout; 1 = plain messages). */
+    unsigned fanout = 1;
+
+    /** Traffic-class mix (--class-mix=f0,f1,...). */
+    std::vector<double> classMix;
+
+    /** Session-model knobs (--session-*, --diurnal-*). */
+    SessionModelConfig session;
 
     unsigned messageWords = 20;
     Cycle warmup = 2000;

@@ -97,6 +97,21 @@ struct NetworkRecipe
     MultibutterflySpec spec; // SpecFile kind only
     std::uint64_t seed = 1;
 
+    /** Endpoint count of the selected topology, for parse-time
+     *  validation of hotNode/fanout. */
+    unsigned
+    numEndpoints() const
+    {
+        switch (kind) {
+          case Kind::Fig3: return 64;
+          case Kind::Fig1: return 16;
+          case Kind::Table32Jr: return 32;
+          case Kind::FatTree: return 16;
+          case Kind::SpecFile: return spec.numEndpoints;
+        }
+        return 0;
+    }
+
     /** Retry-policy overrides applied on top of the topology's
      *  own retry config (a spec file's, or the defaults). */
     RetryOverrides retry;
@@ -185,14 +200,17 @@ parseSweepText(const std::string &text, std::string &error,
     SweepMode mode = SweepMode::Closed;
     std::vector<unsigned> thinks;
     std::vector<double> injects;
+    std::vector<double> session_rates;
     unsigned replicates = 1;
     std::uint64_t base_seed = 1;
 
     // `retryPolicy = a,b,...` adds a sweep axis: the point list is
     // the cross product of load values × replicates × policies, and
     // each point's label gains a " policy=<name>" suffix so curves
-    // separate in the CSV/JSON.
+    // separate in the CSV/JSON. `process = a,b,...` is the same for
+    // injection processes (" process=<name>" suffix).
     std::vector<BackoffPolicyKind> policy_axis;
+    std::vector<InjectionKind> process_axis;
 
     std::istringstream in(text);
     std::string raw;
@@ -271,6 +289,8 @@ parseSweepText(const std::string &text, std::string &error,
                 mode = SweepMode::Closed;
             else if (value == "open")
                 mode = SweepMode::Open;
+            else if (value == "session")
+                mode = SweepMode::Session;
             else
                 return bad();
         } else if (key == "pattern") {
@@ -344,6 +364,79 @@ parseSweepText(const std::string &text, std::string &error,
             if (!parseBool(value, b))
                 return bad();
             cfg.requestReply = b;
+        } else if (key == "process") {
+            process_axis.clear();
+            for (const auto &part : splitCommas(value)) {
+                InjectionKind kind;
+                if (!parseInjectionKind(part, kind))
+                    return bad();
+                process_axis.push_back(kind);
+            }
+        } else if (key == "burstOn") {
+            if (!parseF64(value, f) || f < 1.0)
+                return bad();
+            cfg.process.burstOn = f;
+        } else if (key == "burstOff") {
+            if (!parseF64(value, f) || f < 1.0)
+                return bad();
+            cfg.process.burstOff = f;
+        } else if (key == "burstRatio") {
+            if (!parseF64(value, f) || f < 1.0)
+                return bad();
+            cfg.process.burstRatio = f;
+        } else if (key == "sizeDist") {
+            if (!parseSizeDist(value, cfg.size.dist))
+                return bad();
+        } else if (key == "sizeMin") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.size.minWords = static_cast<unsigned>(u);
+        } else if (key == "sizeMax") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.size.maxWords = static_cast<unsigned>(u);
+        } else if (key == "sizeAlpha") {
+            if (!parseF64(value, f) || f <= 0.0)
+                return bad();
+            cfg.size.alpha = f;
+        } else if (key == "fanout") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.fanout = static_cast<unsigned>(u);
+        } else if (key == "classMix") {
+            cfg.classMix.clear();
+            for (const auto &part : splitCommas(value)) {
+                if (!parseF64(part, f))
+                    return bad();
+                cfg.classMix.push_back(f);
+            }
+        } else if (key == "sessionRate") {
+            session_rates.clear();
+            for (const auto &part : splitCommas(value)) {
+                if (!parseF64(part, f) || f < 0.0 || f > 1.0)
+                    return bad();
+                session_rates.push_back(f);
+            }
+        } else if (key == "sessionRequests") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.session.requests = static_cast<unsigned>(u);
+        } else if (key == "sessionGap") {
+            if (!parseU64(value, u))
+                return bad();
+            cfg.session.gap = static_cast<unsigned>(u);
+        } else if (key == "sessionMaxActive") {
+            if (!parseU64(value, u) || u == 0)
+                return bad();
+            cfg.session.maxActive = static_cast<unsigned>(u);
+        } else if (key == "diurnalPeriod") {
+            if (!parseU64(value, u))
+                return bad();
+            cfg.session.diurnalPeriod = u;
+        } else if (key == "diurnalAmplitude") {
+            if (!parseF64(value, f) || f < 0.0 || f > 1.0)
+                return bad();
+            cfg.session.diurnalAmplitude = f;
         } else if (key == "threads") {
             if (!parseU64(value, u))
                 return bad();
@@ -415,9 +508,23 @@ parseSweepText(const std::string &text, std::string &error,
         thinks = {0};
     if (mode == SweepMode::Open && injects.empty())
         injects = {0.01};
+    if (mode == SweepMode::Session && session_rates.empty())
+        session_rates = {0.002};
 
     recipe.seed = base_seed;
     cfg.seed = base_seed;
+
+    // Workload-knob validation (the validateRetryPolicy pattern):
+    // reject nonsense at parse time, not mid-sweep. The session
+    // rate axis is checked per value below.
+    {
+        const std::string werr = validateExperimentConfig(
+            cfg, recipe.numEndpoints());
+        if (!werr.empty()) {
+            error = werr;
+            return std::nullopt;
+        }
+    }
 
     // Each policy-axis value (or the single implicit recipe) must
     // merge into a usable retry config; reject the file up front
@@ -447,21 +554,28 @@ parseSweepText(const std::string &text, std::string &error,
         }
     }
 
-    const std::size_t values =
-        mode == SweepMode::Closed ? thinks.size() : injects.size();
+    const std::size_t values = mode == SweepMode::Closed
+                                   ? thinks.size()
+                               : mode == SweepMode::Open
+                                   ? injects.size()
+                                   : session_rates.size();
     const std::size_t policies =
         policy_axis.empty() ? 1 : policy_axis.size();
+    const std::size_t processes =
+        process_axis.empty() ? 1 : process_axis.size();
 
-    // values × replicates × policies points are materialized up
-    // front; a bogus file (huge replicates, a mile-long think list)
-    // must fail here rather than exhaust memory building the point
-    // vector.
+    // values × replicates × policies × processes points are
+    // materialized up front; a bogus file (huge replicates, a
+    // mile-long think list) must fail here rather than exhaust
+    // memory building the point vector.
     constexpr std::size_t kMaxSweepPoints = 100000;
-    if (replicates > kMaxSweepPoints / values / policies) {
+    if (replicates >
+        kMaxSweepPoints / values / policies / processes) {
         error = "sweep too large: " + std::to_string(values) +
                 " values x " + std::to_string(replicates) +
                 " replicates x " + std::to_string(policies) +
-                " policies exceeds " +
+                " policies x " + std::to_string(processes) +
+                " processes exceeds " +
                 std::to_string(kMaxSweepPoints) + " points";
         return std::nullopt;
     }
@@ -475,29 +589,49 @@ parseSweepText(const std::string &text, std::string &error,
                 std::string(" policy=") +
                 backoffPolicyKindName(policy_axis[pk]);
         }
-        for (std::size_t v = 0; v < values; ++v) {
-            for (unsigned rep = 0; rep < replicates; ++rep) {
-                SweepPoint point;
-                point.mode = mode;
-                point.replicate = rep;
-                point.config = cfg;
-                if (mode == SweepMode::Closed) {
-                    point.config.thinkTime = thinks[v];
-                    point.label =
-                        "think=" + std::to_string(thinks[v]);
-                } else {
-                    point.config.injectProb = injects[v];
+        for (std::size_t px = 0; px < processes; ++px) {
+            std::string process_suffix;
+            if (!process_axis.empty()) {
+                process_suffix =
+                    std::string(" process=") +
+                    injectionKindName(process_axis[px]);
+            }
+            for (std::size_t v = 0; v < values; ++v) {
+                for (unsigned rep = 0; rep < replicates; ++rep) {
+                    SweepPoint point;
+                    point.mode = mode;
+                    point.replicate = rep;
+                    point.config = cfg;
+                    if (!process_axis.empty()) {
+                        point.config.process.kind =
+                            process_axis[px];
+                    }
                     char buf[32];
-                    std::snprintf(buf, sizeof(buf), "inject=%g",
-                                  injects[v]);
-                    point.label = buf;
+                    if (mode == SweepMode::Closed) {
+                        point.config.thinkTime = thinks[v];
+                        point.label =
+                            "think=" + std::to_string(thinks[v]);
+                    } else if (mode == SweepMode::Open) {
+                        point.config.injectProb = injects[v];
+                        std::snprintf(buf, sizeof(buf),
+                                      "inject=%g", injects[v]);
+                        point.label = buf;
+                    } else {
+                        point.config.session.rate =
+                            session_rates[v];
+                        std::snprintf(buf, sizeof(buf),
+                                      "session=%g",
+                                      session_rates[v]);
+                        point.label = buf;
+                    }
+                    point.label += policy_suffix;
+                    point.label += process_suffix;
+                    point.build =
+                        [point_recipe](std::uint64_t derived_seed) {
+                            return point_recipe.build(derived_seed);
+                        };
+                    out.points.push_back(std::move(point));
                 }
-                point.label += policy_suffix;
-                point.build =
-                    [point_recipe](std::uint64_t derived_seed) {
-                        return point_recipe.build(derived_seed);
-                    };
-                out.points.push_back(std::move(point));
             }
         }
     }

@@ -330,7 +330,7 @@ NetworkInterface::readGroupDown(const std::vector<Link *> &group,
 
 std::uint64_t
 NetworkInterface::send(NodeId dest, std::vector<Word> payload,
-                       bool request_reply)
+                       bool request_reply, const SendMeta &meta)
 {
     // New work for the send machine: leave quiescence first, so
     // lastCycle_ (which timestamps same-cycle admission sheds
@@ -348,6 +348,15 @@ NetworkInterface::send(NodeId dest, std::vector<Word> payload,
     const std::uint64_t id =
         tracker_->create(id_, dest, std::move(payload), nextSequence_++,
                          request_reply, /*now=*/kNever);
+    {
+        auto &rec = tracker_->record(id);
+        rec.trafficClass = meta.trafficClass;
+        rec.rpcFanout = meta.rpcFanout;
+        // rpcGroup 0 on a fan-out leg marks the group head: its own
+        // id names the group for the remaining legs.
+        if (meta.rpcFanout > 0)
+            rec.rpcGroup = meta.rpcGroup ? meta.rpcGroup : id;
+    }
     ++*cSubmitted_;
     *mSubmitted_ += words;
     if (config_.retry.sendQueueLimit > 0 &&

@@ -96,6 +96,22 @@ struct NiConfig
     unsigned interWordGap = 0;
 };
 
+/** Workload metadata a driver can attach to a message at send
+ *  time; recorded on the MessageRecord for per-class SLO and RPC
+ *  fan-out accounting. Defaults mean "untagged, not in a group". */
+struct SendMeta
+{
+    /** Traffic class (< kTrafficClasses). */
+    std::uint8_t trafficClass = 0;
+
+    /** RPC group id: 0 on the group's first leg (the record's own
+     *  id becomes the group id), the first leg's id on the rest. */
+    std::uint64_t rpcGroup = 0;
+
+    /** Group width K; 0 = not part of a fan-out group. */
+    std::uint16_t rpcFanout = 0;
+};
+
 /** A reply produced by the receive-side application callback. */
 struct ReplySpec
 {
@@ -196,7 +212,8 @@ class NetworkInterface : public Component
      * Payload words must fit in `width` bits each.
      */
     std::uint64_t send(NodeId dest, std::vector<Word> payload,
-                       bool request_reply = false);
+                       bool request_reply = false,
+                       const SendMeta &meta = {});
 
     /**
      * Queue a multi-turn session (Section 5.1): the connection is

@@ -100,6 +100,19 @@ struct MessageRecord
     unsigned roundsCompleted = 0;
     /** @} */
 
+    /** Traffic class for per-class SLO reporting (< kTrafficClasses;
+     *  0 for untagged traffic). */
+    std::uint8_t trafficClass = 0;
+
+    /** RPC fan-out group: the id of the group's first leg, or 0 for
+     *  messages outside any group. The first leg's rpcGroup is its
+     *  own id. A group with fan-out K completes only when all K
+     *  legs complete. @{ */
+    std::uint64_t rpcGroup = 0;
+    /** Group width K (set on every leg; 0 = not part of a group). */
+    std::uint16_t rpcFanout = 0;
+    /** @} */
+
     /** Injection-to-acknowledgment latency (paper's metric). */
     Cycle
     latency() const

@@ -48,7 +48,8 @@ giveUpLatencyMean(const ExperimentResult &r)
 std::vector<std::string>
 experimentCsvHeader()
 {
-    return {"label",        "load",        "networkLoad",
+    std::vector<std::string> header = {
+            "label",        "load",        "networkLoad",
             "latencyMean",  "latencyMedian", "latencyP95",
             "latencyMax",   "attemptsMean", "blockRate",
             "completed",    "gaveUp",      "unresolved",
@@ -59,13 +60,28 @@ experimentCsvHeader()
             "attemptsP99",  "maxMsgAge",     "jainGoodput",
             "giveUpLatencyMean", "shedWords", "starvations",
             "budgetDenials"};
+    // Per-class SLO columns (fixed set so every run has the same
+    // schema; classes without traffic report zeros).
+    for (unsigned c = 0; c < kTrafficClasses; ++c) {
+        const std::string p = "c" + std::to_string(c);
+        header.push_back(p + "P50");
+        header.push_back(p + "P99");
+        header.push_back(p + "P999");
+        header.push_back(p + "Goodput");
+        header.push_back(p + "Completed");
+        header.push_back(p + "GaveUp");
+    }
+    header.push_back("rpcGroups");
+    header.push_back("rpcGroupsCompleted");
+    header.push_back("rpcLatencyP99");
+    return header;
 }
 
 std::vector<std::string>
 experimentCsvRow(const std::string &label,
                  const ExperimentResult &r)
 {
-    return {label,
+    std::vector<std::string> row = {label,
             fmt(r.achievedLoad),
             fmt(r.networkLoad),
             fmt(r.latency.mean()),
@@ -97,6 +113,18 @@ experimentCsvRow(const std::string &label,
             fmt(r.metrics.get("words.shed.admission")),
             fmt(r.niTotals.get("starvations")),
             fmt(r.niTotals.get("budgetDenials"))};
+    for (const auto &slo : r.classes) {
+        row.push_back(fmt(slo.latency.percentile(50)));
+        row.push_back(fmt(slo.latency.percentile(99)));
+        row.push_back(fmt(slo.latency.percentile(99.9)));
+        row.push_back(fmt(slo.goodput));
+        row.push_back(fmt(slo.completed));
+        row.push_back(fmt(slo.gaveUp));
+    }
+    row.push_back(fmt(r.rpcGroups));
+    row.push_back(fmt(r.rpcGroupsCompleted));
+    row.push_back(fmt(r.rpcLatency.percentile(99)));
+    return row;
 }
 
 std::string

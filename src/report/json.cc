@@ -89,7 +89,25 @@ emitPoint(std::ostringstream &out, const SweepPointResult &p,
         << "      \"starvations\": "
         << num(r.niTotals.get("starvations")) << ",\n"
         << "      \"budgetDenials\": "
-        << num(r.niTotals.get("budgetDenials"));
+        << num(r.niTotals.get("budgetDenials")) << ",\n"
+        << "      \"classes\": [";
+    for (unsigned c = 0; c < kTrafficClasses; ++c) {
+        const ClassSlo &slo = r.classes[c];
+        out << (c == 0 ? "\n" : ",\n")
+            << "        {\"class\": " << c << ", \"p50\": "
+            << num(slo.latency.percentile(50)) << ", \"p99\": "
+            << num(slo.latency.percentile(99)) << ", \"p999\": "
+            << num(slo.latency.percentile(99.9)) << ", \"goodput\": "
+            << num(slo.goodput) << ", \"completed\": "
+            << num(slo.completed) << ", \"gaveUp\": "
+            << num(slo.gaveUp) << "}";
+    }
+    out << "\n      ],\n"
+        << "      \"rpcGroups\": " << num(r.rpcGroups) << ",\n"
+        << "      \"rpcGroupsCompleted\": "
+        << num(r.rpcGroupsCompleted) << ",\n"
+        << "      \"rpcLatencyP99\": "
+        << num(r.rpcLatency.percentile(99));
     if (include_metrics)
         out << ",\n      \"metrics\": "
             << metricsJson(r.metrics, "      ");

@@ -810,6 +810,9 @@ CheckpointIO::saveTracker(StateWriter &w, const MessageTracker &t)
         for (const auto &round : rec->sessionReplies)
             putWords(w, round);
         w.u32(rec->roundsCompleted);
+        w.u8(rec->trafficClass);
+        w.u64(rec->rpcGroup);
+        w.u32(rec->rpcFanout);
     }
 }
 
@@ -863,6 +866,9 @@ CheckpointIO::restoreTracker(StateReader &r, MessageTracker &t)
         for (auto &round : rec.sessionReplies)
             getWords(r, round);
         rec.roundsCompleted = r.u32();
+        rec.trafficClass = r.u8();
+        rec.rpcGroup = r.u64();
+        rec.rpcFanout = static_cast<std::uint16_t>(r.u32());
         if (!r.ok())
             return;
         const std::uint64_t id = rec.id;
@@ -1138,6 +1144,7 @@ CheckpointIO::save(StateWriter &w, std::uint64_t digest,
     w.u64(parts.openDrivers.size());
     for (const OpenLoopDriver *d : parts.openDrivers) {
         putRng(w, d->rng_);
+        w.u8(d->process_.phaseOn() ? 1 : 0);
         w.u64(d->submitted_);
         w.u64(d->ids_.size());
         for (std::uint64_t id : d->ids_)
@@ -1338,6 +1345,7 @@ CheckpointIO::restore(StateReader &r, std::uint64_t digest,
         return r.error();
     for (OpenLoopDriver *d : parts.openDrivers) {
         getRng(r, d->rng_);
+        d->process_.setPhaseOn(r.u8() != 0);
         d->submitted_ = r.u64();
         const std::uint64_t nIds = r.count(8);
         if (!r.ok())

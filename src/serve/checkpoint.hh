@@ -41,8 +41,10 @@ class FaultCampaign;
 class DiagnosisEngine;
 
 /** Checkpoint file format version (bump on layout changes).
- *  v2 added the whole-file integrity footer. */
-constexpr std::uint32_t kCheckpointVersion = 2;
+ *  v2 added the whole-file integrity footer; v3 added the workload
+ *  fields (trafficClass/rpcGroup/rpcFanout per ledger record, the
+ *  open-loop driver's injection-process phase). */
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 /** "MTR0" little-endian. */
 constexpr std::uint32_t kCheckpointMagic = 0x3052544du;

@@ -58,9 +58,17 @@ runPoint(const SweepPoint &point, std::uint64_t index,
 
     ExperimentConfig cfg = point.config;
     cfg.seed = out.seed;
-    out.result = point.mode == SweepMode::Closed
-                     ? runClosedLoop(*instance.network, cfg)
-                     : runOpenLoop(*instance.network, cfg);
+    switch (point.mode) {
+      case SweepMode::Closed:
+        out.result = runClosedLoop(*instance.network, cfg);
+        break;
+      case SweepMode::Open:
+        out.result = runOpenLoop(*instance.network, cfg);
+        break;
+      case SweepMode::Session:
+        out.result = runSessionLoop(*instance.network, cfg);
+        break;
+    }
     if (point.inspect)
         point.inspect(*instance.network, out.result);
     out.wallSeconds = secondsSince(t0);

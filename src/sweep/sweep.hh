@@ -44,8 +44,9 @@ namespace metro
 /** Traffic loop discipline of one sweep point. */
 enum class SweepMode : std::uint8_t
 {
-    Closed, ///< stall-on-completion + think time
-    Open,   ///< Bernoulli injection
+    Closed,  ///< stall-on-completion + think time
+    Open,    ///< injection-process driven (Bernoulli/onoff/MMPP)
+    Session, ///< open-loop session arrivals (traffic/session.hh)
 };
 
 /**

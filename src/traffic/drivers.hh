@@ -7,9 +7,16 @@
  * thinks for a configurable time before the next message. Sweeping
  * the think time sweeps the applied network load.
  *
- * OpenLoopDriver injects with a fixed per-cycle Bernoulli
- * probability regardless of completion (offered-load experiments,
- * saturation studies).
+ * OpenLoopDriver injects on an InjectionProcess (Bernoulli, on/off
+ * bursty, or 2-state MMPP — see traffic/process.hh) regardless of
+ * completion (offered-load experiments, saturation studies).
+ *
+ * Both drivers share issueRequest(): one submission according to
+ * the workload knobs in DriverConfig — destination pattern, traffic
+ * class, message-size distribution, and RPC fan-out (K legs that
+ * complete as a group). The RNG draw order inside a submission is
+ * fixed (dest, class, size, payload — per leg) so per-endpoint
+ * streams stay reproducible regardless of engine sharding.
  */
 
 #ifndef METRO_TRAFFIC_DRIVERS_HH
@@ -24,6 +31,7 @@
 #include "endpoint/interface.hh"
 #include "sim/component.hh"
 #include "traffic/patterns.hh"
+#include "traffic/process.hh"
 
 namespace metro
 {
@@ -33,7 +41,10 @@ struct DriverConfig
 {
     /** Data words per message INCLUDING the checksum word (the
      *  paper's 20-byte messages are "a 4-word cache-line including
-     *  checksum": 20 words on an 8-bit channel). */
+     *  checksum": 20 words on an 8-bit channel). Must be >= 1
+     *  (validated at parse time). With size.dist != Fixed this is
+     *  only the label/legacy size; per-message sizes come from the
+     *  distribution. */
     unsigned messageWords = 20;
 
     /** Mark messages submitted outside [measureFrom, measureTo) so
@@ -47,7 +58,90 @@ struct DriverConfig
 
     /** Request-reply traffic instead of plain messages. */
     bool requestReply = false;
+
+    /** Open-loop injection-process shape (Bernoulli default is
+     *  bit-exact with the original fixed-rate driver). */
+    InjectionProcessConfig process;
+
+    /** Message-size distribution (Fixed default draws nothing and
+     *  uses messageWords). */
+    MessageSizeConfig size;
+
+    /** RPC fan-out: each logical request sends K request-reply legs
+     *  to K distinct destinations and completes only when all legs
+     *  complete. 1 = plain messages (default, bit-exact). */
+    unsigned fanout = 1;
+
+    /** Traffic-class mix (fraction per class, summing to 1). Empty
+     *  or single-entry = everything class 0, no draw. */
+    std::vector<double> classMix;
 };
+
+/**
+ * Submit one logical request from `ni` according to `config`:
+ * a single message, or K fan-out legs sharing a traffic class and
+ * an RPC group. Appends tracker ids to `ids` and bumps `submitted`
+ * once per *logical* request (a K-leg fan-out counts once).
+ *
+ * Draw order per leg: destination, [class], [size], payload words.
+ * The bracketed draws only happen when the respective knob is
+ * non-default, so a default-configured call replays the original
+ * driver stream bit for bit.
+ */
+inline void
+issueRequest(NetworkInterface *ni, const DestinationGenerator *dests,
+             const DriverConfig &config, Xoshiro256 &rng,
+             std::vector<std::uint64_t> &ids, std::uint64_t &submitted)
+{
+    const unsigned legs = config.fanout > 1 ? config.fanout : 1;
+    SendMeta meta;
+    meta.rpcFanout =
+        legs > 1 ? static_cast<std::uint16_t>(legs) : 0;
+
+    std::vector<NodeId> used;
+    for (unsigned leg = 0; leg < legs; ++leg) {
+        NodeId dest = dests->pick(ni->nodeId(), rng);
+        if (legs > 1) {
+            // Fan-out legs go to K *distinct* endpoints: re-pick a
+            // bounded number of times, then fall back to a
+            // deterministic linear probe (no unbounded RNG use).
+            bool taken = false;
+            for (unsigned tries = 0; tries < 16; ++tries) {
+                taken = false;
+                for (NodeId u : used)
+                    taken = taken || u == dest;
+                if (!taken)
+                    break;
+                dest = dests->pick(ni->nodeId(), rng);
+            }
+            while (true) {
+                taken = dest == ni->nodeId();
+                for (NodeId u : used)
+                    taken = taken || u == dest;
+                if (!taken)
+                    break;
+                dest = (dest + 1) % dests->size();
+            }
+            used.push_back(dest);
+        }
+        if (leg == 0)
+            meta.trafficClass = drawTrafficClass(config.classMix, rng);
+        const unsigned words =
+            drawMessageWords(config.size, config.messageWords, rng);
+        std::vector<Word> payload(words - 1);
+        for (auto &w : payload)
+            w = rng.next() & lowMask(ni->width());
+        // Fan-out legs are always request-reply: the group is only
+        // complete when every leg's reply lands.
+        const bool want_reply = legs > 1 || config.requestReply;
+        const auto id =
+            ni->send(dest, std::move(payload), want_reply, meta);
+        ids.push_back(id);
+        if (leg == 0 && legs > 1)
+            meta.rpcGroup = id; // remaining legs join the head's group
+    }
+    ++submitted;
+}
 
 /**
  * Closed-loop (stall-on-completion) driver for one endpoint.
@@ -100,16 +194,7 @@ class ClosedLoopDriver : public Component
         if (cycle < nextSubmit_)
             return;
 
-        const NodeId dest = dests_->pick(ni_->nodeId(), rng_);
-        std::vector<Word> payload(config_.messageWords > 0
-                                      ? config_.messageWords - 1
-                                      : 0);
-        for (auto &w : payload)
-            w = rng_.next() & lowMask(ni_->width());
-        const auto id =
-            ni_->send(dest, std::move(payload), config_.requestReply);
-        ids_.push_back(id);
-        ++submitted_;
+        issueRequest(ni_, dests_, config_, rng_, ids_, submitted_);
     }
 
     /** Messages submitted so far. */
@@ -143,8 +228,9 @@ class ClosedLoopDriver : public Component
 };
 
 /**
- * Open-loop Bernoulli driver for one endpoint. Messages queue in
- * the NI when injection falls behind.
+ * Open-loop driver for one endpoint: an InjectionProcess decides
+ * each cycle whether to inject. Messages queue in the NI when
+ * injection falls behind.
  */
 class OpenLoopDriver : public Component
 {
@@ -155,7 +241,8 @@ class OpenLoopDriver : public Component
                    std::uint64_t seed)
         : Component("odriver" + std::to_string(ni->nodeId())),
           ni_(ni), dests_(dests), config_(config),
-          injectProb_(inject_prob), rng_(seed)
+          injectProb_(inject_prob), rng_(seed),
+          process_(config.process, inject_prob)
     {}
 
     void
@@ -163,18 +250,9 @@ class OpenLoopDriver : public Component
     {
         if (cycle >= config_.stopAt)
             return;
-        if (!rng_.chance(injectProb_))
+        if (!process_.step(rng_))
             return;
-        const NodeId dest = dests_->pick(ni_->nodeId(), rng_);
-        std::vector<Word> payload(config_.messageWords > 0
-                                      ? config_.messageWords - 1
-                                      : 0);
-        for (auto &w : payload)
-            w = rng_.next() & lowMask(ni_->width());
-        const auto id =
-            ni_->send(dest, std::move(payload), config_.requestReply);
-        ids_.push_back(id);
-        ++submitted_;
+        issueRequest(ni_, dests_, config_, rng_, ids_, submitted_);
     }
 
     /** Messages submitted so far. */
@@ -201,6 +279,7 @@ class OpenLoopDriver : public Component
     DriverConfig config_;
     double injectProb_;
     Xoshiro256 rng_;
+    InjectionProcess process_;
     std::uint64_t submitted_ = 0;
     std::vector<std::uint64_t> ids_;
 };

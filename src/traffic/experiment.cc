@@ -1,10 +1,13 @@
 #include "traffic/experiment.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "traffic/drivers.hh"
+#include "traffic/session.hh"
 
 namespace metro
 {
@@ -66,6 +69,10 @@ runExperiment(Network &net, const ExperimentConfig &config,
     DriverConfig dcfg;
     dcfg.messageWords = config.messageWords;
     dcfg.requestReply = config.requestReply;
+    dcfg.process = config.process;
+    dcfg.size = config.size;
+    dcfg.fanout = config.fanout;
+    dcfg.classMix = config.classMix;
 
     Engine &engine = net.engine();
     const Cycle start = engine.now();
@@ -124,9 +131,32 @@ runExperiment(Network &net, const ExperimentConfig &config,
     // Per-driving-endpoint goodput words (drivers attach to
     // endpoints 0..active-1), for the Jain fairness index.
     std::vector<double> ep_words(drivers.size(), 0.0);
+    // RPC fan-out groups: leg rollup keyed by the group id (the
+    // head leg's message id). An ordered map keeps reduction order
+    // deterministic regardless of tracker hashing.
+    struct RpcGroup
+    {
+        Cycle firstSubmit = kNever;
+        Cycle lastComplete = 0;
+        unsigned legs = 0;
+        unsigned succeeded = 0;
+        unsigned fanout = 0;
+    };
+    std::map<std::uint64_t, RpcGroup> rpc_groups;
     for (const auto &[id, rec] : net.tracker().all()) {
         if (id < first_id)
             continue; // a previous experiment's message
+        if (rec.rpcFanout > 0 && rec.rpcGroup != 0) {
+            auto &g = rpc_groups[rec.rpcGroup];
+            g.firstSubmit = std::min(g.firstSubmit, rec.submitCycle);
+            if (rec.completeCycle != kNever)
+                g.lastComplete =
+                    std::max(g.lastComplete, rec.completeCycle);
+            ++g.legs;
+            if (rec.succeeded && rec.replyOk)
+                ++g.succeeded;
+            g.fanout = rec.rpcFanout;
+        }
         if (rec.deliverCycle != kNever &&
             rec.deliverCycle >= measure_from &&
             rec.deliverCycle < measure_to) {
@@ -147,6 +177,8 @@ runExperiment(Network &net, const ExperimentConfig &config,
         if (!in_window)
             continue;
         ++result.measuredMessages;
+        const unsigned tc =
+            rec.trafficClass < kTrafficClasses ? rec.trafficClass : 0;
         // Tail/fairness accounting sees every resolved message —
         // give-ups included, so abandoning senders stay visible.
         if (rec.succeeded || rec.gaveUp) {
@@ -157,10 +189,15 @@ runExperiment(Network &net, const ExperimentConfig &config,
                     std::max(result.maxMessageAge,
                              rec.completeCycle - rec.submitCycle);
         }
+        if (rec.gaveUp && !rec.succeeded)
+            ++result.classes[tc].gaveUp;
         if (rec.succeeded) {
             result.latency.sample(rec.latency());
             result.attempts.sample(rec.attempts);
-            std::uint64_t msg_words = config.messageWords;
+            // Per-message wire footprint: with a size distribution
+            // the payload length varies per message, so read it off
+            // the record instead of the fixed config value.
+            std::uint64_t msg_words = rec.payload.size() + 1;
             // Request-reply traffic also delivers the reply words
             // (plus their checksum word) back to the source — but
             // only when the reply resolved inside the measurement
@@ -175,6 +212,26 @@ runExperiment(Network &net, const ExperimentConfig &config,
             if (rec.src < ep_words.size())
                 ep_words[rec.src] +=
                     static_cast<double>(msg_words);
+            auto &slo = result.classes[tc];
+            slo.latency.sample(rec.latency());
+            ++slo.completed;
+            slo.goodputWords += msg_words;
+        }
+    }
+
+    // RPC fan-out groups: a group is measured when its first leg
+    // was submitted inside the window; it completed when every one
+    // of its K legs succeeded with a reply. Group latency spans
+    // first-leg submit to last-leg completion.
+    for (const auto &[gid, g] : rpc_groups) {
+        if (g.firstSubmit < measure_from ||
+            g.firstSubmit >= measure_to)
+            continue;
+        ++result.rpcGroups;
+        if (g.fanout > 0 && g.legs == g.fanout &&
+            g.succeeded == g.fanout) {
+            ++result.rpcGroupsCompleted;
+            result.rpcLatency.sample(g.lastComplete - g.firstSubmit);
         }
     }
 
@@ -219,6 +276,14 @@ runExperiment(Network &net, const ExperimentConfig &config,
         n == 0 ? 0.0
                : static_cast<double>(measured_words) /
                      (window * static_cast<double>(n));
+
+    for (auto &slo : result.classes) {
+        slo.goodput =
+            drivers.empty()
+                ? 0.0
+                : static_cast<double>(slo.goodputWords) /
+                      (window * static_cast<double>(drivers.size()));
+    }
 
     result.availabilityWindows = n_windows;
     std::uint64_t alive = 0;
@@ -275,6 +340,96 @@ runOpenLoop(Network &net, const ExperimentConfig &config)
                 ni, dests, dcfg, config.injectProb,
                 config.seed ^ (0x7272ULL * (e + 1)));
         });
+}
+
+ExperimentResult
+runSessionLoop(Network &net, const ExperimentConfig &config)
+{
+    return runExperiment<SessionDriver>(
+        net, config,
+        [&config](NetworkInterface *ni,
+                  const DestinationGenerator *dests,
+                  const DriverConfig &dcfg, unsigned e) {
+            return std::make_unique<SessionDriver>(
+                ni, dests, dcfg, config.session,
+                config.seed ^ (0x9393ULL * (e + 1)));
+        });
+}
+
+std::string
+validateExperimentConfig(const ExperimentConfig &config,
+                         unsigned num_endpoints)
+{
+    const auto fmt = [](const char *f, double v) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), f, v);
+        return std::string(buf);
+    };
+    if (config.messageWords == 0)
+        return "messageWords must be >= 1 (the checksum word)";
+    if (config.injectProb < 0.0 || config.injectProb > 1.0)
+        return fmt("inject probability %g outside [0, 1]",
+                   config.injectProb);
+    if (config.activeFraction < 0.0 || config.activeFraction > 1.0)
+        return fmt("activeFraction %g outside [0, 1]",
+                   config.activeFraction);
+    if (config.hotFraction < 0.0 || config.hotFraction > 1.0)
+        return fmt("hotFraction %g outside [0, 1]",
+                   config.hotFraction);
+    if (config.pattern == TrafficPattern::Hotspot &&
+        num_endpoints > 0 && config.hotNode >= num_endpoints) {
+        return fmt("hotNode %g >= number of endpoints",
+                   static_cast<double>(config.hotNode));
+    }
+    if (config.process.burstOn < 1.0)
+        return fmt("burstOn %g must be >= 1 cycle",
+                   config.process.burstOn);
+    if (config.process.burstOff < 1.0)
+        return fmt("burstOff %g must be >= 1 cycle",
+                   config.process.burstOff);
+    if (config.process.burstRatio < 1.0)
+        return fmt("burstRatio %g must be >= 1",
+                   config.process.burstRatio);
+    if (config.size.dist == SizeDist::Pareto) {
+        if (config.size.minWords < 1)
+            return "sizeMin must be >= 1 word";
+        if (config.size.minWords > config.size.maxWords)
+            return "sizeMin exceeds sizeMax";
+        if (config.size.alpha <= 0.0)
+            return fmt("sizeAlpha %g must be > 0",
+                       config.size.alpha);
+    }
+    if (config.fanout < 1)
+        return "fanout must be >= 1";
+    if (config.fanout > 64)
+        return "fanout > 64 is unsupported";
+    if (num_endpoints > 0 && config.fanout > num_endpoints - 1)
+        return "fanout exceeds the number of possible destinations";
+    if (!config.classMix.empty()) {
+        if (config.classMix.size() > kTrafficClasses)
+            return "classMix has more than 4 classes";
+        double sum = 0.0;
+        for (double f : config.classMix) {
+            if (f < 0.0 || f > 1.0)
+                return fmt("classMix fraction %g outside [0, 1]", f);
+            sum += f;
+        }
+        if (sum < 1.0 - 1e-6 || sum > 1.0 + 1e-6)
+            return fmt("classMix fractions sum to %g, not 1", sum);
+    }
+    if (config.session.rate < 0.0 || config.session.rate > 1.0)
+        return fmt("sessionRate %g outside [0, 1]",
+                   config.session.rate);
+    if (config.session.requests < 1)
+        return "sessionRequests must be >= 1";
+    if (config.session.diurnalAmplitude < 0.0 ||
+        config.session.diurnalAmplitude > 1.0) {
+        return fmt("diurnalAmplitude %g outside [0, 1]",
+                   config.session.diurnalAmplitude);
+    }
+    if (config.session.maxActive < 1)
+        return "sessionMaxActive must be >= 1";
+    return "";
 }
 
 } // namespace metro

@@ -12,13 +12,16 @@
 #ifndef METRO_TRAFFIC_EXPERIMENT_HH
 #define METRO_TRAFFIC_EXPERIMENT_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "network/network.hh"
 #include "obs/registry.hh"
 #include "traffic/patterns.hh"
+#include "traffic/process.hh"
 
 namespace metro
 {
@@ -53,11 +56,48 @@ struct ExperimentConfig
 
     bool requestReply = false;
 
+    /** Open-loop injection-process shape (Bernoulli = bit-exact
+     *  with the legacy fixed-rate driver). */
+    InjectionProcessConfig process;
+
+    /** Message-size distribution (Fixed = messageWords exactly). */
+    MessageSizeConfig size;
+
+    /** RPC fan-out width K (1 = plain messages). */
+    unsigned fanout = 1;
+
+    /** Traffic-class mix (≤ kTrafficClasses fractions summing to
+     *  1). Empty = all class 0, no extra RNG draw. */
+    std::vector<double> classMix;
+
+    /** Session-model knobs (mode=session runs only). */
+    SessionModelConfig session;
+
     /** Window length (cycles) for the delivered-message
      *  availability metric; see ExperimentResult::availability. */
     Cycle availabilityWindow = 1024;
 
     std::uint64_t seed = 12345;
+};
+
+/** Per-traffic-class SLO rollup (latency percentiles + goodput).
+ *  Class 0 carries all untagged traffic. */
+struct ClassSlo
+{
+    /** Latency over this class's measured successful messages. */
+    Histogram latency;
+
+    /** Measured messages of this class that succeeded / gave up. @{ */
+    std::uint64_t completed = 0;
+    std::uint64_t gaveUp = 0;
+    /** @} */
+
+    /** Wire words this class delivered inside the window. */
+    std::uint64_t goodputWords = 0;
+
+    /** goodputWords normalized like achievedLoad (per driving
+     *  endpoint per cycle). */
+    double goodput = 0.0;
 };
 
 /** Reduced results of one run.
@@ -127,6 +167,20 @@ struct ExperimentResult
     /** Number of availability windows the metric averaged over. */
     std::uint64_t availabilityWindows = 0;
 
+    /** Per-class SLO rollups (all traffic is class 0 unless a
+     *  classMix is configured). */
+    std::array<ClassSlo, kTrafficClasses> classes;
+
+    /** RPC fan-out groups whose head leg was submitted in the
+     *  window / those whose every leg completed. @{ */
+    std::uint64_t rpcGroups = 0;
+    std::uint64_t rpcGroupsCompleted = 0;
+    /** @} */
+
+    /** Group latency (first-leg submit → last-leg completion) over
+     *  measured fully-completed fan-out groups. */
+    Histogram rpcLatency;
+
     /** Router-event totals over this experiment (deltas against
      *  the counter values at experiment start). */
     CounterSet routerTotals;
@@ -162,6 +216,19 @@ ExperimentResult runClosedLoop(Network &net,
 /** Run an open-loop experiment on a finalized network. */
 ExperimentResult runOpenLoop(Network &net,
                              const ExperimentConfig &config);
+
+/** Run a session-model experiment on a finalized network. */
+ExperimentResult runSessionLoop(Network &net,
+                                const ExperimentConfig &config);
+
+/**
+ * Validate workload knobs (the validateRetryPolicy pattern): empty
+ * string = valid, else a human-readable reason. `num_endpoints` = 0
+ * skips the network-size-dependent checks (spec-file topologies
+ * whose size is unknown at parse time).
+ */
+std::string validateExperimentConfig(const ExperimentConfig &config,
+                                     unsigned num_endpoints);
 
 } // namespace metro
 

@@ -27,15 +27,20 @@ enum class TrafficPattern : std::uint8_t
 {
     /** Uniformly random destination != source. */
     UniformRandom,
-    /** With probability `hotFraction`, the hotspot node; else
-     *  uniform. Models a contended service/home node. */
+    /** With probability exactly `hotFraction`, the hotspot node;
+     *  else uniform over the remaining endpoints (never self, never
+     *  the hotspot on the uniform branch — so the injected hotspot
+     *  fraction equals the configured one from every non-hot
+     *  source). The hotspot itself sends uniformly. Models a
+     *  contended service/home node. */
     Hotspot,
     /** dest = source with upper/lower halves of the node-id bits
      *  exchanged (matrix transpose). */
     Transpose,
     /** dest = bit-reversed source id. */
     BitReversal,
-    /** A fixed random permutation chosen at construction. */
+    /** A fixed random derangement chosen at construction (a cyclic
+     *  permutation, so no source maps to itself). */
     Permutation,
 };
 
@@ -82,12 +87,21 @@ class DestinationGenerator
                          "bit-permutation patterns require a "
                          "power-of-two network");
         }
+        if (pattern == TrafficPattern::Hotspot) {
+            METRO_ASSERT(hot_node < n_,
+                         "hotspot node outside the network");
+        }
         if (pattern == TrafficPattern::Permutation) {
             perm_.resize(n_);
             std::iota(perm_.begin(), perm_.end(), 0);
             Xoshiro256 rng(seed);
-            for (std::size_t k = perm_.size(); k > 1; --k)
-                std::swap(perm_[k - 1], perm_[rng.below(k)]);
+            // Sattolo's algorithm: a uniform random *cyclic*
+            // permutation, hence a derangement — no source is its
+            // own destination, so pick() never needs a fallback
+            // draw (a plain Fisher-Yates shuffle leaves fixed
+            // points that silently degraded to uniform picks).
+            for (std::size_t k = perm_.size() - 1; k >= 1; --k)
+                std::swap(perm_[k], perm_[rng.below(k)]);
         }
     }
 
@@ -98,10 +112,29 @@ class DestinationGenerator
         switch (pattern_) {
           case TrafficPattern::UniformRandom:
             return uniformNotSelf(src, rng);
-          case TrafficPattern::Hotspot:
-            if (src != hotNode_ && rng.chance(hotFraction_))
+          case TrafficPattern::Hotspot: {
+            // Per-source offered-load contract: every non-hot
+            // source addresses the hotspot with probability exactly
+            // hotFraction_; the remaining 1 - hotFraction_ goes
+            // uniformly to the other n-2 endpoints (excluding both
+            // self and the hotspot, so the uniform branch cannot
+            // inflate the hotspot's share). The hotspot itself has
+            // no self-traffic to redirect and sends uniformly.
+            // Draw counts match the old code (coin + one uniform),
+            // keeping per-endpoint RNG streams aligned.
+            if (src == hotNode_)
+                return uniformNotSelf(src, rng);
+            if (rng.chance(hotFraction_) || n_ == 2)
                 return hotNode_;
-            return uniformNotSelf(src, rng);
+            NodeId d = static_cast<NodeId>(rng.below(n_ - 2));
+            const NodeId lo = src < hotNode_ ? src : hotNode_;
+            const NodeId hi = src < hotNode_ ? hotNode_ : src;
+            if (d >= lo)
+                ++d;
+            if (d >= hi)
+                ++d;
+            return d;
+          }
           case TrafficPattern::Transpose: {
             const unsigned bits = log2Floor(n_);
             const unsigned half = bits / 2;
@@ -125,14 +158,17 @@ class DestinationGenerator
             return dest;
           }
           case TrafficPattern::Permutation: {
-            NodeId dest = perm_[src % n_];
-            if (dest == src)
-                return uniformNotSelf(src, rng);
+            const NodeId dest = perm_[src % n_];
+            METRO_ASSERT(dest != src,
+                         "permutation must be a derangement");
             return dest;
           }
         }
         return uniformNotSelf(src, rng);
     }
+
+    /** Network size this generator draws over. */
+    unsigned size() const { return n_; }
 
   private:
     NodeId

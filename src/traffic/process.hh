@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Service-level workload building blocks: injection processes,
+ * message-size distributions, traffic classes, and the session
+ * model configuration.
+ *
+ * The booksim-style next tier beyond fixed-rate injection
+ * (ROADMAP item 4): an OpenLoopDriver no longer has to be a
+ * memoryless Bernoulli source — it can dwell in correlated ON/OFF
+ * bursts or modulate between two Poisson rates (MMPP), message
+ * sizes can follow a bounded Pareto (heavy tails), and every
+ * message carries a traffic class for per-class SLO reporting.
+ *
+ * Determinism contract: every draw comes from the caller's own
+ * per-endpoint RNG stream in a fixed order, so all of these
+ * compose with the engine's byte-identity guarantee (PR 7). The
+ * default configuration of each knob draws NOTHING extra — a
+ * default-configured driver is bit-exact with the pre-workload
+ * code paths.
+ */
+
+#ifndef METRO_TRAFFIC_PROCESS_HH
+#define METRO_TRAFFIC_PROCESS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace metro
+{
+
+/** Traffic classes a message can be tagged with (fixed-width so
+ *  reports have a stable column set). */
+constexpr unsigned kTrafficClasses = 4;
+
+/** Supported open-loop injection processes. */
+enum class InjectionKind : std::uint8_t
+{
+    /** Independent per-cycle coin flip — bit-exact with the
+     *  original OpenLoopDriver (one RNG draw per cycle). */
+    Bernoulli,
+    /** On/off bursty source: geometric dwell times in an ON state
+     *  (injecting at an elevated rate) and a silent OFF state.
+     *  Long-run mean rate equals the configured injectProb. */
+    OnOff,
+    /** 2-state Markov-modulated process: both states inject, at a
+     *  high and a low Poisson rate (ratio burstRatio), with
+     *  geometric dwell times. Long-run mean equals injectProb. */
+    Mmpp,
+};
+
+/** Human-readable process name. */
+inline const char *
+injectionKindName(InjectionKind k)
+{
+    switch (k) {
+      case InjectionKind::Bernoulli: return "bernoulli";
+      case InjectionKind::OnOff: return "onoff";
+      case InjectionKind::Mmpp: return "mmpp";
+    }
+    return "?";
+}
+
+/** Parse a process name; returns false on unknown input. */
+inline bool
+parseInjectionKind(const std::string &s, InjectionKind &out)
+{
+    if (s == "bernoulli")
+        out = InjectionKind::Bernoulli;
+    else if (s == "onoff")
+        out = InjectionKind::OnOff;
+    else if (s == "mmpp")
+        out = InjectionKind::Mmpp;
+    else
+        return false;
+    return true;
+}
+
+/** Injection-process shape knobs (the rate itself is the driver's
+ *  injectProb; these only shape its correlation structure). */
+struct InjectionProcessConfig
+{
+    InjectionKind kind = InjectionKind::Bernoulli;
+
+    /** Mean dwell time in the bursting (ON / high-rate) state,
+     *  cycles. @{ */
+    double burstOn = 64.0;
+    /** Mean dwell time in the quiet (OFF / low-rate) state. */
+    double burstOff = 192.0;
+    /** @} */
+
+    /** MMPP high-state : low-state rate ratio. */
+    double burstRatio = 8.0;
+};
+
+/**
+ * Per-driver injection-process state machine. step() is called
+ * once per cycle and answers "inject now?".
+ *
+ * Draw discipline (fixed, so streams are reproducible):
+ * Bernoulli draws exactly one chance() per cycle — the original
+ * OpenLoopDriver stream, bit for bit. OnOff draws the injection
+ * coin only while ON, then one state-transition coin per cycle.
+ * MMPP draws one injection coin and one transition coin per cycle.
+ */
+class InjectionProcess
+{
+  public:
+    InjectionProcess() = default;
+
+    /** @param rate long-run mean injections per cycle. */
+    InjectionProcess(const InjectionProcessConfig &config,
+                     double rate)
+        : kind_(config.kind)
+    {
+        const double on = config.burstOn < 1.0 ? 1.0 : config.burstOn;
+        const double off =
+            config.burstOff < 1.0 ? 1.0 : config.burstOff;
+        pExitOn_ = 1.0 / on;
+        pExitOff_ = 1.0 / off;
+        const double fracOn = on / (on + off);
+        switch (kind_) {
+          case InjectionKind::Bernoulli:
+            pOn_ = pOff_ = rate;
+            break;
+          case InjectionKind::OnOff:
+            // All the load is carried by the ON state; scale its
+            // rate up so the long-run mean stays `rate`.
+            pOn_ = clampProb(rate / fracOn);
+            pOff_ = 0.0;
+            break;
+          case InjectionKind::Mmpp: {
+            // rate = fracOn * (ratio * low) + (1 - fracOn) * low
+            const double ratio =
+                config.burstRatio < 1.0 ? 1.0 : config.burstRatio;
+            const double low =
+                rate / (fracOn * ratio + (1.0 - fracOn));
+            pOff_ = clampProb(low);
+            pOn_ = clampProb(ratio * low);
+            break;
+          }
+        }
+    }
+
+    /** One cycle: should the driver inject? */
+    bool
+    step(Xoshiro256 &rng)
+    {
+        if (kind_ == InjectionKind::Bernoulli)
+            return rng.chance(pOn_);
+        bool fire = false;
+        if (kind_ == InjectionKind::Mmpp || on_)
+            fire = rng.chance(on_ ? pOn_ : pOff_);
+        if (rng.chance(on_ ? pExitOn_ : pExitOff_))
+            on_ = !on_;
+        return fire;
+    }
+
+    /** Burst-phase flag, for checkpointing. @{ */
+    bool phaseOn() const { return on_; }
+    void setPhaseOn(bool on) { on_ = on; }
+    /** @} */
+
+  private:
+    static double
+    clampProb(double p)
+    {
+        return p > 1.0 ? 1.0 : (p < 0.0 ? 0.0 : p);
+    }
+
+    InjectionKind kind_ = InjectionKind::Bernoulli;
+    double pOn_ = 0.0;
+    double pOff_ = 0.0;
+    double pExitOn_ = 0.0;
+    double pExitOff_ = 0.0;
+    /** Start every source in the quiet state: burst onsets then
+     *  decorrelate across endpoints through their distinct RNG
+     *  streams rather than phase-locking at cycle 0. */
+    bool on_ = false;
+};
+
+/** Supported message-size distributions. */
+enum class SizeDist : std::uint8_t
+{
+    /** Every message is exactly messageWords long (no RNG draw —
+     *  bit-exact with the fixed-size code path). */
+    Fixed,
+    /** Bounded Pareto over [minWords, maxWords]: most messages are
+     *  small, a heavy tail is huge (RPC reality). One uniform draw
+     *  per message. */
+    Pareto,
+};
+
+/** Human-readable size-distribution name. */
+inline const char *
+sizeDistName(SizeDist d)
+{
+    switch (d) {
+      case SizeDist::Fixed: return "fixed";
+      case SizeDist::Pareto: return "pareto";
+    }
+    return "?";
+}
+
+/** Parse a size-distribution name; false on unknown input. */
+inline bool
+parseSizeDist(const std::string &s, SizeDist &out)
+{
+    if (s == "fixed")
+        out = SizeDist::Fixed;
+    else if (s == "pareto")
+        out = SizeDist::Pareto;
+    else
+        return false;
+    return true;
+}
+
+/** Message-size distribution knobs (words INCLUDING the checksum
+ *  word, like messageWords). */
+struct MessageSizeConfig
+{
+    SizeDist dist = SizeDist::Fixed;
+
+    /** Bounded-Pareto support [minWords, maxWords]. @{ */
+    unsigned minWords = 4;
+    unsigned maxWords = 64;
+    /** @} */
+
+    /** Pareto shape (smaller = heavier tail; 1 < alpha < 2 has
+     *  infinite variance on the unbounded support). */
+    double alpha = 1.5;
+};
+
+/**
+ * Draw one message's size in words. Fixed returns `fixed_words`
+ * without touching the RNG; Pareto inverts the bounded-Pareto CDF
+ * on one uniform draw.
+ */
+inline unsigned
+drawMessageWords(const MessageSizeConfig &config,
+                 unsigned fixed_words, Xoshiro256 &rng)
+{
+    if (config.dist == SizeDist::Fixed)
+        return fixed_words;
+    const double lo = static_cast<double>(config.minWords);
+    const double hi = static_cast<double>(config.maxWords);
+    if (config.minWords >= config.maxWords)
+        return config.minWords;
+    const double a = config.alpha;
+    const double u = rng.uniform();
+    // Bounded-Pareto inverse CDF: F(x) = (1 - (L/x)^a) / (1 - (L/H)^a).
+    const double tail = 1.0 - std::pow(lo / hi, a);
+    const double x = lo / std::pow(1.0 - u * tail, 1.0 / a);
+    auto words = static_cast<unsigned>(x);
+    if (words < config.minWords)
+        words = config.minWords;
+    if (words > config.maxWords)
+        words = config.maxWords;
+    return words;
+}
+
+/**
+ * Draw a message's traffic class from a mix of fractions (one per
+ * class, summing to 1). An empty or single-entry mix is class 0
+ * for everything and draws nothing — bit-exact with untagged
+ * traffic.
+ */
+inline std::uint8_t
+drawTrafficClass(const std::vector<double> &mix, Xoshiro256 &rng)
+{
+    if (mix.size() < 2)
+        return 0;
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < mix.size(); ++k) {
+        acc += mix[k];
+        if (u < acc)
+            return static_cast<std::uint8_t>(k);
+    }
+    return static_cast<std::uint8_t>(mix.size() - 1);
+}
+
+/**
+ * Open-loop session model (mode=session): sessions arrive by a
+ * Poisson process whose rate follows a deterministic diurnal
+ * curve; each session issues a bounded stream of requests with
+ * jittered gaps. Models "millions of users" showing up, working,
+ * and leaving — offered load is bursty at both the request scale
+ * (per-session trains) and the macro scale (diurnal swell).
+ */
+struct SessionModelConfig
+{
+    /** Base session arrivals per cycle per endpoint (the diurnal
+     *  curve multiplies this). */
+    double rate = 0.002;
+
+    /** Requests each session issues before ending. */
+    unsigned requests = 8;
+
+    /** Mean intra-session request gap, cycles (jittered ±25% like
+     *  the closed-loop think time). */
+    unsigned gap = 32;
+
+    /** Diurnal period, cycles (0 = flat load). */
+    Cycle diurnalPeriod = 0;
+
+    /** Diurnal peak-to-mean modulation amplitude in [0, 1]. */
+    double diurnalAmplitude = 0.5;
+
+    /** Active-session cap per endpoint; arrivals beyond it are
+     *  shed (counted, not queued) so overload cannot grow state
+     *  without bound. */
+    unsigned maxActive = 4096;
+};
+
+/** The diurnal load multiplier at `cycle`: a triangle wave in
+ *  [1 - amplitude, 1 + amplitude] with the configured period
+ *  (deterministic double arithmetic — no libm periodics). */
+inline double
+diurnalFactor(Cycle cycle, const SessionModelConfig &config)
+{
+    if (config.diurnalPeriod == 0 || config.diurnalAmplitude == 0.0)
+        return 1.0;
+    const double phase =
+        static_cast<double>(cycle % config.diurnalPeriod) /
+        static_cast<double>(config.diurnalPeriod);
+    const double tri =
+        phase < 0.5 ? 4.0 * phase - 1.0 : 3.0 - 4.0 * phase;
+    return 1.0 + config.diurnalAmplitude * tri;
+}
+
+} // namespace metro
+
+#endif // METRO_TRAFFIC_PROCESS_HH

@@ -76,20 +76,55 @@ TEST(Patterns, BitReversal)
     EXPECT_EQ(gen.pick(0b0011, rng), 0b1100u);
 }
 
-TEST(Patterns, PermutationIsFixedAndSelfFree)
+TEST(Patterns, HotspotNonHotSourceHitsHotExactlyAtFraction)
 {
-    DestinationGenerator gen(TrafficPattern::Permutation, 16, 77);
-    Xoshiro256 rng(6);
-    std::map<NodeId, NodeId> mapping;
-    for (NodeId s = 0; s < 16; ++s) {
-        const NodeId d1 = gen.pick(s, rng);
-        const NodeId d2 = gen.pick(s, rng);
-        // Fixed points fall back to uniform; others must be stable.
-        if (d1 == d2)
-            mapping[s] = d1;
-        EXPECT_NE(d1, s);
+    // Per-source semantics: a non-hot source sends exactly
+    // hotFraction of its traffic to the hot node and the rest
+    // uniformly over the other n-2 nodes (never itself, and never
+    // the hot node on the uniform path).
+    DestinationGenerator gen(TrafficPattern::Hotspot, 16, 1,
+                             /*hot=*/3, /*fraction=*/0.25);
+    Xoshiro256 rng(11);
+    std::map<NodeId, int> counts;
+    const int n = 28000;
+    for (int k = 0; k < n; ++k) {
+        const NodeId d = gen.pick(7, rng);
+        ASSERT_NE(d, 7u);
+        ++counts[d];
     }
-    EXPECT_GT(mapping.size(), 10u);
+    EXPECT_GT(counts[3], n * 0.23);
+    EXPECT_LT(counts[3], n * 0.27);
+    // The remaining 0.75 splits evenly across the 14 cold nodes.
+    for (NodeId d = 0; d < 16; ++d) {
+        if (d == 3 || d == 7)
+            continue;
+        EXPECT_GT(counts[d], n * 0.75 / 14.0 * 0.8) << "node " << d;
+        EXPECT_LT(counts[d], n * 0.75 / 14.0 * 1.2) << "node " << d;
+    }
+}
+
+TEST(Patterns, PermutationIsADerangementAndBijective)
+{
+    // Built with Sattolo's algorithm: a uniform random *cyclic*
+    // permutation, so no source ever maps to itself and every
+    // endpoint is the destination of exactly one source. No
+    // fallback draws: pick() is deterministic per source.
+    for (std::uint64_t seed : {7ull, 77ull, 777ull}) {
+        DestinationGenerator gen(TrafficPattern::Permutation, 16,
+                                 seed);
+        Xoshiro256 rng(6);
+        std::map<NodeId, NodeId> mapping;
+        std::map<NodeId, int> image;
+        for (NodeId s = 0; s < 16; ++s) {
+            const NodeId d = gen.pick(s, rng);
+            EXPECT_EQ(gen.pick(s, rng), d) << "unstable at " << s;
+            EXPECT_NE(d, s) << "fixed point at " << s;
+            mapping[s] = d;
+            ++image[d];
+        }
+        EXPECT_EQ(mapping.size(), 16u);
+        EXPECT_EQ(image.size(), 16u) << "not a bijection";
+    }
 }
 
 TEST(Drivers, ClosedLoopRespectsThinkTimeAndStalls)
